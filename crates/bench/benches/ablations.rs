@@ -1,0 +1,105 @@
+//! Criterion benches for the design-choice ablations of DESIGN.md §8:
+//! one-way inflation vs deflation, and contention-wait policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use thinlock::config::DynamicConfig;
+use thinlock::{TasukiLocks, ThinLocks};
+use thinlock_runtime::backoff::SpinPolicy;
+use thinlock_runtime::heap::Heap;
+use thinlock_runtime::protocol::SyncProtocol;
+use thinlock_runtime::registry::ThreadRegistry;
+
+/// Private-phase throughput after one contended (wait-inflated) episode:
+/// the permanently-fat base protocol vs the deflating variant.
+fn deflation_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_deflation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+
+    let thin = ThinLocks::with_capacity(2);
+    let obj = thin.heap().alloc().unwrap();
+    {
+        let reg = thin.registry().register().unwrap();
+        let t = reg.token();
+        thin.lock(obj, t).unwrap();
+        let _ = thin.wait(obj, t, Some(std::time::Duration::from_millis(1)));
+        thin.unlock(obj, t).unwrap();
+    }
+    assert!(thin.lock_word(obj).is_fat());
+    let reg = thin.registry().register().unwrap();
+    let t = reg.token();
+    g.bench_function(BenchmarkId::new("private_phase", "ThinLock (stays fat)"), |b| {
+        b.iter(|| {
+            for _ in 0..1_000 {
+                thin.lock(obj, t).unwrap();
+                thin.unlock(obj, t).unwrap();
+            }
+        })
+    });
+
+    let tasuki = TasukiLocks::with_capacity(2);
+    let obj2 = tasuki.heap().alloc().unwrap();
+    {
+        let reg = tasuki.registry().register().unwrap();
+        let t = reg.token();
+        tasuki.lock(obj2, t).unwrap();
+        let _ = tasuki.wait(obj2, t, Some(std::time::Duration::from_millis(1)));
+        tasuki.unlock(obj2, t).unwrap();
+    }
+    assert!(tasuki.lock_word(obj2).is_unlocked());
+    let reg2 = tasuki.registry().register().unwrap();
+    let t2 = reg2.token();
+    g.bench_function(BenchmarkId::new("private_phase", "Tasuki (deflated)"), |b| {
+        b.iter(|| {
+            for _ in 0..1_000 {
+                tasuki.lock(obj2, t2).unwrap();
+                tasuki.unlock(obj2, t2).unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Uncontended fast-path cost per spin policy (the policy only matters
+/// under contention, so these must be identical — a sanity ablation) plus
+/// the contended Threads-2 comparison.
+fn spin_policy_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_spin_policy");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for (name, policy) in [
+        ("spin-then-yield", SpinPolicy::SpinThenYield),
+        ("yield-only", SpinPolicy::YieldOnly),
+        ("spin-hard", SpinPolicy::SpinHard),
+    ] {
+        let protocol = ThinLocks::with_config(
+            Arc::new(Heap::with_capacity(2)),
+            ThreadRegistry::new(),
+            DynamicConfig::default().with_spin_policy(policy),
+        );
+        let obj = protocol.heap().alloc().unwrap();
+        let reg = protocol.registry().register().unwrap();
+        let t = reg.token();
+        g.bench_function(BenchmarkId::new("uncontended", name), |b| {
+            b.iter(|| {
+                for _ in 0..1_000 {
+                    protocol.lock(obj, t).unwrap();
+                    protocol.unlock(obj, t).unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Plot rendering dominates wall time on a single-CPU host; the
+    // numeric report in bench_output.txt is what EXPERIMENTS.md uses.
+    config = Criterion::default().without_plots();
+    targets = deflation_ablation, spin_policy_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for Figure 5: every Table 1 macro-benchmark trace
+//! replayed under all three protocols. Each iteration gets a fresh
+//! protocol instance because the trace allocates objects.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use thinlock_bench::ProtocolKind;
+use thinlock_trace::generator::{generate, TraceConfig};
+use thinlock_trace::replay::replay;
+use thinlock_trace::table1::MACRO_BENCHMARKS;
+
+fn bench_config() -> TraceConfig {
+    TraceConfig {
+        scale: 20_000,
+        seed: 0x7e57_ab1e,
+        max_objects: 2_000,
+        max_lock_ops: 5_000,
+        skew: 0.8,
+        work_per_sync: 100,
+        work_per_alloc: 800,
+    }
+}
+
+fn macro_replay(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("fig5_macro");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for profile in &MACRO_BENCHMARKS {
+        let trace = generate(profile, &cfg);
+        for kind in ProtocolKind::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(profile.name, kind.name()),
+                &trace,
+                |b, trace| {
+                    b.iter_batched(
+                        || kind.build(trace.required_heap_capacity(), 0),
+                        |protocol| {
+                            let registration =
+                                protocol.registry().register().expect("registry room");
+                            let out = replay(&*protocol, trace, registration.token())
+                                .expect("replay succeeds");
+                            assert_eq!(out.lock_ops, trace.lock_ops());
+                        },
+                        BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Plot rendering dominates wall time on a single-CPU host; the
+    // numeric report in bench_output.txt is what EXPERIMENTS.md uses.
+    config = Criterion::default().without_plots();
+    targets = macro_replay
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches for Table 1 / Figure 3: trace generation and
+//! characterization of every macro-benchmark profile, with the paper's
+//! aggregate invariants asserted on each sample.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thinlock_trace::characterize::characterize;
+use thinlock_trace::generator::{generate, TraceConfig};
+use thinlock_trace::table1::MACRO_BENCHMARKS;
+
+fn bench_config() -> TraceConfig {
+    TraceConfig {
+        scale: 20_000,
+        seed: 0x7e57_ab1e,
+        max_objects: 2_000,
+        max_lock_ops: 5_000,
+        skew: 0.8,
+        work_per_sync: 0, // characterization ignores work ops
+        work_per_alloc: 0,
+    }
+}
+
+fn characterization(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("table1_characterize");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for profile in &MACRO_BENCHMARKS {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(profile.name),
+            profile,
+            |b, profile| {
+                b.iter(|| {
+                    let trace = generate(profile, &cfg);
+                    let ch = characterize(&trace);
+                    assert!(ch.max_depth() <= 4);
+                    assert!(ch.first_lock_fraction() > 0.4);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Plot rendering dominates wall time on a single-CPU host; the
+    // numeric report in bench_output.txt is what EXPERIMENTS.md uses.
+    config = Criterion::default().without_plots();
+    targets = characterization
+}
+criterion_main!(benches);

@@ -1,0 +1,818 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! | artifact | function here | bench target | `reproduce` subcommand |
+//! |----------|---------------|--------------|------------------------|
+//! | Table 1  | [`macro_rows`] | `table1_characterize` | `table1` |
+//! | Table 2  | [`thinlock_vm::programs::MicroBench::table2`] | — | `table2` |
+//! | Figure 3 | [`figure3_rows`] | `table1_characterize` | `fig3` |
+//! | Figure 4 | [`run_micro`], [`run_micro_threads`] | `fig4_micro` | `fig4` |
+//! | Figure 5 | [`macro_speedups`] | `fig5_macro` | `fig5` |
+//! | Figure 6 | [`run_variant`] | `fig6_variants` | `fig6` |
+//!
+//! Absolute times are host-dependent; what the harness (and the
+//! assertions in `tests/`) check is the paper's *shape*: who wins, by
+//! roughly what factor, and where the crossovers fall.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use thinlock::config::{DynamicConfig, FastPathConfig, StaticMp, StaticUp};
+use thinlock::{TasukiLocks, ThinLocks};
+use thinlock_baselines::{HotLocks, MonitorCache};
+use thinlock_runtime::arch::ArchProfile;
+use thinlock_runtime::error::SyncResult;
+use thinlock_runtime::heap::{Heap, ObjRef};
+use thinlock_runtime::protocol::{SyncProtocol, WaitOutcome};
+use thinlock_runtime::registry::{ThreadRegistry, ThreadToken};
+use thinlock_trace::characterize::{characterize, TraceCharacterization};
+use thinlock_trace::generator::{generate, TraceConfig};
+use thinlock_trace::replay::replay;
+use thinlock_trace::table1::{BenchmarkProfile, MACRO_BENCHMARKS};
+use thinlock_vm::programs::MicroBench;
+use thinlock_vm::{Value, Vm};
+
+/// The three locking implementations of Section 3, plus the Tasuki-style
+/// extension used by the ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// The paper's contribution (this workspace's `thinlock` crate).
+    ThinLock,
+    /// Sun JDK 1.1.1 monitor cache.
+    Jdk111,
+    /// IBM JDK 1.1.2 hot locks.
+    Ibm112,
+    /// Deflating park-based variant (`thinlock::tasuki`), not part of the
+    /// paper's figures; see DESIGN.md §8.
+    Tasuki,
+}
+
+impl ProtocolKind {
+    /// The paper's three protocols, in its presentation order.
+    pub const ALL: [ProtocolKind; 3] =
+        [ProtocolKind::ThinLock, ProtocolKind::Jdk111, ProtocolKind::Ibm112];
+
+    /// The paper's protocols plus the Tasuki-style extension.
+    pub const ALL_EXTENDED: [ProtocolKind; 4] = [
+        ProtocolKind::ThinLock,
+        ProtocolKind::Jdk111,
+        ProtocolKind::Ibm112,
+        ProtocolKind::Tasuki,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::ThinLock => "ThinLock",
+            ProtocolKind::Jdk111 => "JDK111",
+            ProtocolKind::Ibm112 => "IBM112",
+            ProtocolKind::Tasuki => "Tasuki",
+        }
+    }
+
+    /// Builds a fresh protocol instance over its own heap.
+    pub fn build(self, heap_capacity: usize, fields: usize) -> Box<dyn SyncProtocol> {
+        let heap = Arc::new(Heap::with_capacity_and_fields(heap_capacity, fields));
+        let registry = ThreadRegistry::new();
+        match self {
+            ProtocolKind::ThinLock => Box::new(ThinLocks::new(heap, registry)),
+            ProtocolKind::Jdk111 => Box::new(MonitorCache::new(
+                heap,
+                registry,
+                thinlock_baselines::cache::DEFAULT_CACHE_CAPACITY,
+            )),
+            ProtocolKind::Ibm112 => Box::new(HotLocks::new(
+                heap,
+                registry,
+                thinlock_baselines::cache::DEFAULT_CACHE_CAPACITY,
+                thinlock_baselines::hot::DEFAULT_HOT_THRESHOLD,
+            )),
+            ProtocolKind::Tasuki => Box::new(TasukiLocks::new(heap, registry)),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One timed micro-benchmark cell of Figure 4 / Figure 6.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MicroResult {
+    /// Implementation measured ("ThinLock", "JDK111", "IBM112", or a
+    /// Figure 6 variant name).
+    pub implementation: String,
+    /// Benchmark name ("Sync", "MultiSync 64", …).
+    pub benchmark: String,
+    /// Loop iterations executed.
+    pub iters: i32,
+    /// Median wall-clock time over the repetitions.
+    pub elapsed: Duration,
+}
+
+impl MicroResult {
+    /// Nanoseconds per loop iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+impl fmt::Display for MicroResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} {:<16} {:>9.1} ns/iter",
+            self.benchmark,
+            self.implementation,
+            self.ns_per_iter()
+        )
+    }
+}
+
+/// Repetitions used by [`median_time`]: enough to shed scheduler noise on
+/// a shared host without exploding runtime.
+pub const DEFAULT_REPS: usize = 5;
+
+/// Runs `f` `reps` times and returns the median duration.
+pub fn median_time(reps: usize, mut f: impl FnMut()) -> Duration {
+    assert!(reps > 0);
+    let mut times: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Runs one Table 2 micro-benchmark (single-threaded) under a protocol,
+/// returning the median time of [`DEFAULT_REPS`] runs.
+///
+/// # Panics
+///
+/// Panics if the program misbehaves (wrong return value) — a benchmark
+/// that does not compute what it claims must not report a time.
+pub fn run_micro(kind: ProtocolKind, bench: MicroBench, iters: i32) -> MicroResult {
+    let protocol = kind.build(bench.pool_size() as usize + 1, 1);
+    run_micro_on(&*protocol, kind.name(), bench, iters)
+}
+
+/// [`run_micro`] against a caller-supplied protocol (used by the Figure 6
+/// variants, which need concrete `ThinLocks<C>` types so the fast path
+/// stays monomorphized).
+pub fn run_micro_on<P: SyncProtocol + ?Sized>(
+    protocol: &P,
+    implementation: &str,
+    bench: MicroBench,
+    iters: i32,
+) -> MicroResult {
+    let program = bench.program();
+    let pool: Vec<ObjRef> = (0..bench.pool_size())
+        .map(|_| protocol.heap().alloc().expect("heap sized for the pool"))
+        .collect();
+    let vm = Vm::new(protocol, &program, pool).expect("generated program is valid");
+    let registration = protocol.registry().register().expect("registry has room");
+    let token = registration.token();
+    let elapsed = median_time(DEFAULT_REPS, || {
+        let out = vm
+            .run("main", token, &[Value::Int(iters)])
+            .expect("benchmark must execute cleanly")
+            .and_then(Value::as_int)
+            .expect("main returns the iteration count");
+        assert_eq!(out, bench.expected(iters));
+    });
+    MicroResult {
+        implementation: implementation.to_string(),
+        benchmark: bench.to_string(),
+        iters,
+        elapsed,
+    }
+}
+
+/// The `Threads n` benchmark: `n` OS threads all running the `Sync` loop
+/// on the *same* object. Returns total wall-clock for all threads.
+pub fn run_micro_threads(kind: ProtocolKind, threads: u32, iters: i32) -> MicroResult {
+    let protocol = kind.build(2, 1);
+    let bench = MicroBench::Threads(threads);
+    let program = bench.program();
+    let pool: Vec<ObjRef> = vec![protocol.heap().alloc().expect("heap has room")];
+    let elapsed = median_time(3, || {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads.max(1) {
+                let protocol = &*protocol;
+                let program = &program;
+                let pool = pool.clone();
+                handles.push(scope.spawn(move || {
+                    let registration =
+                        protocol.registry().register().expect("registry has room");
+                    let vm = Vm::new(protocol, program, pool).expect("program is valid");
+                    let out = vm
+                        .run("main", registration.token(), &[Value::Int(iters)])
+                        .expect("benchmark must execute cleanly")
+                        .and_then(Value::as_int)
+                        .expect("main returns the iteration count");
+                    assert_eq!(out, iters);
+                }));
+            }
+            for h in handles {
+                h.join().expect("benchmark thread must not panic");
+            }
+        });
+    });
+    MicroResult {
+        implementation: kind.name().to_string(),
+        benchmark: bench.to_string(),
+        iters: iters.saturating_mul(threads.max(1) as i32),
+        elapsed,
+    }
+}
+
+/// The fast-path engineering variants of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// All synchronization removed — "the speed of light" within the
+    /// interpreter (only the extra bytecodes remain).
+    Nop,
+    /// Inlined, architecture-specialized fast path (uniprocessor).
+    Inline,
+    /// Fast path forced through a shared out-of-line function.
+    FnCall,
+    /// Multiprocessor barriers (`isync`/`sync` analogues) included.
+    MpSync,
+    /// The shipped configuration: dynamic architecture test per operation.
+    ThinLockDynamic,
+    /// Unlock performed with compare-and-swap instead of a store.
+    UnlkCas,
+    /// Compare-and-swap through the simulated POWER kernel trap.
+    KernelCas,
+}
+
+impl Variant {
+    /// All variants in Figure 6's presentation order.
+    pub const ALL: [Variant; 7] = [
+        Variant::Nop,
+        Variant::Inline,
+        Variant::FnCall,
+        Variant::MpSync,
+        Variant::ThinLockDynamic,
+        Variant::UnlkCas,
+        Variant::KernelCas,
+    ];
+
+    /// Figure 6 label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Nop => "NOP",
+            Variant::Inline => "Inline",
+            Variant::FnCall => "FnCall",
+            Variant::MpSync => "MP Sync",
+            Variant::ThinLockDynamic => "ThinLock",
+            Variant::UnlkCas => "UnlkC&S",
+            Variant::KernelCas => "KernelCAS",
+        }
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs one Figure 6 cell: `bench` under the given thin-lock variant.
+pub fn run_variant(variant: Variant, bench: MicroBench, iters: i32) -> MicroResult {
+    let cap = bench.pool_size() as usize + 1;
+    fn thin<C: FastPathConfig>(cap: usize, config: C) -> ThinLocks<C> {
+        ThinLocks::with_config(
+            Arc::new(Heap::with_capacity_and_fields(cap, 1)),
+            ThreadRegistry::new(),
+            config,
+        )
+    }
+    match variant {
+        Variant::Nop => {
+            let p = NullProtocol::new(cap);
+            run_micro_on(&p, variant.name(), bench, iters)
+        }
+        Variant::Inline => {
+            let p = thin(cap, StaticUp);
+            run_micro_on(&p, variant.name(), bench, iters)
+        }
+        Variant::FnCall => {
+            let p = thin(
+                cap,
+                DynamicConfig::new(ArchProfile::PowerPcUp).with_outlined_fast_path(),
+            );
+            run_micro_on(&p, variant.name(), bench, iters)
+        }
+        Variant::MpSync => {
+            let p = thin(cap, StaticMp);
+            run_micro_on(&p, variant.name(), bench, iters)
+        }
+        Variant::ThinLockDynamic => {
+            let p = thin(cap, DynamicConfig::new(ArchProfile::PowerPcMp));
+            run_micro_on(&p, variant.name(), bench, iters)
+        }
+        Variant::UnlkCas => {
+            let p = thin(cap, DynamicConfig::new(ArchProfile::PowerPcMp).with_cas_unlock());
+            run_micro_on(&p, variant.name(), bench, iters)
+        }
+        Variant::KernelCas => {
+            let p = thin(cap, DynamicConfig::new(ArchProfile::PowerKernelCas));
+            run_micro_on(&p, variant.name(), bench, iters)
+        }
+    }
+}
+
+/// One Figure 5 row: replay times per protocol and speedups over JDK111.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Thin-lock replay time.
+    pub thin: Duration,
+    /// Monitor-cache replay time.
+    pub jdk111: Duration,
+    /// Hot-locks replay time.
+    pub ibm112: Duration,
+    /// Lock operations replayed.
+    pub lock_ops: u64,
+}
+
+impl MacroRow {
+    /// Speedup of thin locks over JDK111 (>1 means thin wins).
+    pub fn speedup_thin(&self) -> f64 {
+        self.jdk111.as_secs_f64() / self.thin.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Speedup of IBM112 over JDK111.
+    pub fn speedup_ibm112(&self) -> f64 {
+        self.jdk111.as_secs_f64() / self.ibm112.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+impl fmt::Display for MacroRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} {:>8} syncs  thin {:>8.2?}  jdk {:>8.2?}  ibm {:>8.2?}  speedup(thin) {:>5.2}  speedup(ibm) {:>5.2}",
+            self.name,
+            self.lock_ops,
+            self.thin,
+            self.jdk111,
+            self.ibm112,
+            self.speedup_thin(),
+            self.speedup_ibm112()
+        )
+    }
+}
+
+/// Replays one macro-benchmark trace under one protocol with a fresh heap.
+///
+/// # Errors
+///
+/// Propagates protocol errors (none occur on valid traces).
+pub fn run_macro(
+    kind: ProtocolKind,
+    profile: &BenchmarkProfile,
+    config: &TraceConfig,
+) -> SyncResult<Duration> {
+    let trace = generate(profile, config);
+    let protocol = kind.build(trace.required_heap_capacity(), 0);
+    let registration = protocol.registry().register()?;
+    let best = (0..3)
+        .map(|_| -> SyncResult<Duration> {
+            // Fresh heap per repetition: the trace allocates.
+            let protocol = kind.build(trace.required_heap_capacity(), 0);
+            let registration = protocol.registry().register()?;
+            Ok(replay(&*protocol, &trace, registration.token())?.elapsed)
+        })
+        .collect::<SyncResult<Vec<_>>>()?
+        .into_iter()
+        .min()
+        .expect("three repetitions");
+    drop(registration);
+    drop(protocol);
+    Ok(best)
+}
+
+/// Regenerates Figure 5: every macro-benchmark replayed under all three
+/// protocols.
+///
+/// # Errors
+///
+/// Propagates protocol errors (none occur on valid traces).
+pub fn macro_speedups(config: &TraceConfig) -> SyncResult<Vec<MacroRow>> {
+    MACRO_BENCHMARKS
+        .iter()
+        .map(|profile| {
+            let trace = generate(profile, config);
+            Ok(MacroRow {
+                name: profile.name,
+                thin: run_macro(ProtocolKind::ThinLock, profile, config)?,
+                jdk111: run_macro(ProtocolKind::Jdk111, profile, config)?,
+                ibm112: run_macro(ProtocolKind::Ibm112, profile, config)?,
+                lock_ops: trace.lock_ops(),
+            })
+        })
+        .collect()
+}
+
+/// Regenerates Table 1: characterization of every generated trace.
+pub fn macro_rows(config: &TraceConfig) -> Vec<(&'static BenchmarkProfile, TraceCharacterization)> {
+    MACRO_BENCHMARKS
+        .iter()
+        .map(|p| (p, characterize(&generate(p, config))))
+        .collect()
+}
+
+/// Regenerates Figure 3: per-benchmark nesting-depth fractions
+/// (depth 1..=4) of the generated traces.
+pub fn figure3_rows(config: &TraceConfig) -> Vec<(&'static str, [f64; 4])> {
+    macro_rows(config)
+        .into_iter()
+        .map(|(p, c)| {
+            (
+                p.name,
+                [
+                    c.depth_fraction(1),
+                    c.depth_fraction(2),
+                    c.depth_fraction(3),
+                    c.depth_fraction(4),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Result of the phased (contend-then-private) ablation comparing one-way
+/// inflation against deflation. See [`phased_ablation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhasedAblation {
+    /// Time the base protocol (permanently inflated after phase 1) took
+    /// for the private phase.
+    pub thin_private: Duration,
+    /// Time the deflating protocol took for the private phase.
+    pub tasuki_private: Duration,
+    /// Inflations performed by the deflating protocol.
+    pub tasuki_inflations: u64,
+    /// Deflations performed by the deflating protocol.
+    pub tasuki_deflations: u64,
+}
+
+impl PhasedAblation {
+    /// How much faster the deflating variant runs the private phase.
+    pub fn private_phase_speedup(&self) -> f64 {
+        self.thin_private.as_secs_f64() / self.tasuki_private.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The ablation of the paper's one-way-inflation rule: a lock sees one
+/// burst of `wait`-induced inflation (phase 1), then `private_iters` of
+/// single-threaded lock/unlock (phase 2).
+///
+/// Under the paper's design the lock stays fat and phase 2 pays the
+/// monitor cost forever; under the Tasuki-style variant it deflates and
+/// phase 2 runs at thin-lock speed. The return value quantifies the gap —
+/// and `tasuki_inflations` shows the price (re-inflation on each
+/// contended episode) that made the paper choose permanence for
+/// simplicity.
+pub fn phased_ablation(private_iters: u32) -> PhasedAblation {
+    fn contend_once<P: SyncProtocol>(p: &P) {
+        let reg = p.registry().register().expect("registry");
+        let t = reg.token();
+        let obj = ObjRef::from_index(0);
+        p.lock(obj, t).expect("lock");
+        let _ = p.wait(obj, t, Some(Duration::from_millis(1)));
+        p.unlock(obj, t).expect("unlock");
+    }
+    fn private_phase<P: SyncProtocol>(p: &P, iters: u32) -> Duration {
+        let reg = p.registry().register().expect("registry");
+        let t = reg.token();
+        let obj = ObjRef::from_index(0);
+        median_time(DEFAULT_REPS, || {
+            for _ in 0..iters {
+                p.lock(obj, t).expect("lock");
+                p.unlock(obj, t).expect("unlock");
+            }
+        })
+    }
+
+    let thin = ThinLocks::with_capacity(2);
+    thin.heap().alloc().expect("alloc");
+    contend_once(&thin);
+    assert!(thin.lock_word(ObjRef::from_index(0)).is_fat());
+    let thin_private = private_phase(&thin, private_iters);
+
+    let tasuki = TasukiLocks::with_capacity(2);
+    tasuki.heap().alloc().expect("alloc");
+    contend_once(&tasuki);
+    assert!(tasuki.lock_word(ObjRef::from_index(0)).is_unlocked());
+    let tasuki_private = private_phase(&tasuki, private_iters);
+
+    PhasedAblation {
+        thin_private,
+        tasuki_private,
+        tasuki_inflations: tasuki.inflation_count(),
+        tasuki_deflations: tasuki.deflation_count(),
+    }
+}
+
+/// One row of the nest-count-width ablation: for each candidate width,
+/// the worst-case fraction of lock operations (over all Table 1 traces)
+/// that would overflow and force an inflation.
+pub fn count_width_ablation(config: &TraceConfig) -> Vec<(u32, f64)> {
+    let rows = macro_rows(config);
+    (1..=8)
+        .map(|bits| {
+            let worst = rows
+                .iter()
+                .map(|(_, c)| c.overflow_fraction(bits))
+                .fold(0.0f64, f64::max);
+            (bits, worst)
+        })
+        .collect()
+}
+
+/// Times the contended `Threads 2` workload under each spin policy —
+/// the ablation of the paper's open "standard back-off techniques" choice.
+pub fn spin_policy_ablation(iters: i32) -> Vec<(&'static str, Duration)> {
+    use thinlock_runtime::backoff::SpinPolicy;
+    let policies = [
+        ("spin-then-yield", SpinPolicy::SpinThenYield),
+        ("yield-only", SpinPolicy::YieldOnly),
+        ("spin-hard", SpinPolicy::SpinHard),
+    ];
+    policies
+        .iter()
+        .map(|&(name, policy)| {
+            let protocol = ThinLocks::with_config(
+                Arc::new(Heap::with_capacity_and_fields(2, 1)),
+                ThreadRegistry::new(),
+                DynamicConfig::default().with_spin_policy(policy),
+            );
+            let r = run_threads_on(&protocol, 2, iters);
+            (name, r)
+        })
+        .collect()
+}
+
+/// Times `threads` concurrent `Sync` loops against a concrete protocol.
+fn run_threads_on<P: SyncProtocol>(protocol: &P, threads: u32, iters: i32) -> Duration {
+    let bench = MicroBench::Threads(threads);
+    let program = bench.program();
+    let pool = vec![protocol.heap().alloc().expect("heap has room")];
+    median_time(3, || {
+        std::thread::scope(|scope| {
+            for _ in 0..threads.max(1) {
+                let program = &program;
+                let pool = pool.clone();
+                scope.spawn(move || {
+                    let registration = protocol.registry().register().expect("registry");
+                    let vm = Vm::new(protocol, program, pool).expect("program valid");
+                    vm.run("main", registration.token(), &[Value::Int(iters)])
+                        .expect("clean run");
+                });
+            }
+        });
+    })
+}
+
+/// One row of the concurrent macro replay: per-protocol wall time for a
+/// multithreaded Table 1 workload. See
+/// [`thinlock_trace::concurrent`].
+pub fn concurrent_macro(
+    profile: &BenchmarkProfile,
+    config: &thinlock_trace::concurrent::ConcurrentConfig,
+) -> SyncResult<Vec<(&'static str, Duration, bool)>> {
+    let trace = thinlock_trace::concurrent::generate_concurrent(profile, config);
+    ProtocolKind::ALL_EXTENDED
+        .iter()
+        .map(|&kind| {
+            let protocol = kind.build(trace.total_objects() as usize, 0);
+            let out = thinlock_trace::concurrent::replay_concurrent(&*protocol, &trace)?;
+            Ok((kind.name(), out.elapsed, out.exclusion_verified))
+        })
+        .collect()
+}
+
+/// A protocol whose lock operations do nothing — Figure 6's "NOP" case,
+/// measuring pure bytecode overhead of the synchronization instructions.
+#[derive(Debug)]
+pub struct NullProtocol {
+    heap: Arc<Heap>,
+    registry: ThreadRegistry,
+}
+
+impl NullProtocol {
+    /// Creates a no-op protocol over a fresh heap.
+    pub fn new(heap_capacity: usize) -> Self {
+        NullProtocol {
+            heap: Arc::new(Heap::with_capacity_and_fields(heap_capacity, 1)),
+            registry: ThreadRegistry::new(),
+        }
+    }
+}
+
+impl SyncProtocol for NullProtocol {
+    fn lock(&self, _obj: ObjRef, _t: ThreadToken) -> SyncResult<()> {
+        Ok(())
+    }
+    fn unlock(&self, _obj: ObjRef, _t: ThreadToken) -> SyncResult<()> {
+        Ok(())
+    }
+    fn wait(
+        &self,
+        _obj: ObjRef,
+        _t: ThreadToken,
+        _timeout: Option<Duration>,
+    ) -> SyncResult<WaitOutcome> {
+        Ok(WaitOutcome::TimedOut)
+    }
+    fn notify(&self, _obj: ObjRef, _t: ThreadToken) -> SyncResult<()> {
+        Ok(())
+    }
+    fn notify_all(&self, _obj: ObjRef, _t: ThreadToken) -> SyncResult<()> {
+        Ok(())
+    }
+    fn holds_lock(&self, _obj: ObjRef, _t: ThreadToken) -> bool {
+        false
+    }
+    fn heap(&self) -> &Heap {
+        &self.heap
+    }
+    fn registry(&self) -> &ThreadRegistry {
+        &self.registry
+    }
+    fn name(&self) -> &'static str {
+        "NOP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trace_config() -> TraceConfig {
+        TraceConfig {
+            scale: 100_000,
+            seed: 7,
+            max_objects: 500,
+            max_lock_ops: 1_000,
+            skew: 0.8,
+            work_per_sync: 10,
+            work_per_alloc: 20,
+        }
+    }
+
+    #[test]
+    fn protocol_kinds_build_and_name() {
+        for kind in ProtocolKind::ALL {
+            let p = kind.build(4, 1);
+            assert_eq!(p.name(), kind.name());
+            assert_eq!(p.heap().capacity(), 4);
+        }
+    }
+
+    #[test]
+    fn micro_benchmarks_run_under_every_protocol() {
+        for kind in ProtocolKind::ALL {
+            for bench in [MicroBench::NoSync, MicroBench::Sync, MicroBench::NestedSync] {
+                let r = run_micro(kind, bench, 50);
+                assert_eq!(r.iters, 50);
+                assert!(r.ns_per_iter() > 0.0, "{kind} {bench}");
+            }
+        }
+    }
+
+    #[test]
+    fn threads_benchmark_runs() {
+        let r = run_micro_threads(ProtocolKind::ThinLock, 2, 100);
+        assert_eq!(r.iters, 200);
+        assert!(r.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn all_variants_run() {
+        for v in Variant::ALL {
+            let r = run_variant(v, MicroBench::Sync, 50);
+            assert_eq!(r.implementation, v.name());
+        }
+    }
+
+    #[test]
+    fn macro_row_speedups() {
+        let row = MacroRow {
+            name: "x",
+            thin: Duration::from_millis(10),
+            jdk111: Duration::from_millis(20),
+            ibm112: Duration::from_millis(25),
+            lock_ops: 1,
+        };
+        assert!((row.speedup_thin() - 2.0).abs() < 1e-9);
+        assert!((row.speedup_ibm112() - 0.8).abs() < 1e-9);
+        assert!(row.to_string().contains("speedup"));
+    }
+
+    #[test]
+    fn macro_harness_runs_one_benchmark() {
+        let cfg = tiny_trace_config();
+        let p = BenchmarkProfile::by_name("javacup").unwrap();
+        for kind in ProtocolKind::ALL {
+            let t = run_macro(kind, p, &cfg).unwrap();
+            assert!(t > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn table1_and_fig3_rows_cover_all_benchmarks() {
+        let cfg = tiny_trace_config();
+        let rows = macro_rows(&cfg);
+        assert_eq!(rows.len(), 18);
+        let f3 = figure3_rows(&cfg);
+        assert_eq!(f3.len(), 18);
+        for (name, fr) in f3 {
+            let sum: f64 = fr.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{name}: fractions sum to 1");
+        }
+    }
+
+    #[test]
+    fn null_protocol_is_a_noop() {
+        let p = NullProtocol::new(2);
+        let reg = p.registry().register().unwrap();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, reg.token()).unwrap();
+        assert!(!p.holds_lock(obj, reg.token()));
+        p.unlock(obj, reg.token()).unwrap();
+        assert_eq!(p.name(), "NOP");
+    }
+
+    #[test]
+    fn phased_ablation_shows_deflation_benefit() {
+        let r = phased_ablation(2_000);
+        assert_eq!(r.tasuki_deflations, 1);
+        assert_eq!(r.tasuki_inflations, 1);
+        assert!(
+            r.private_phase_speedup() > 1.0,
+            "deflated private phase must be faster: {r:?}"
+        );
+    }
+
+    #[test]
+    fn count_width_ablation_confirms_paper_claim() {
+        let rows = count_width_ablation(&tiny_trace_config());
+        let at = |bits: u32| rows.iter().find(|&&(b, _)| b == bits).unwrap().1;
+        assert!(at(1) > 0.0, "1 bit overflows somewhere");
+        assert_eq!(at(2), 0.0, "2 bits never overflow (nesting <= 4)");
+        assert_eq!(at(8), 0.0);
+    }
+
+    #[test]
+    fn spin_policies_all_complete() {
+        for (name, t) in spin_policy_ablation(200) {
+            assert!(t > Duration::ZERO, "{name}");
+        }
+    }
+
+    #[test]
+    fn concurrent_macro_verifies_exclusion() {
+        let profile = BenchmarkProfile::by_name("javac").unwrap();
+        let cfg = thinlock_trace::concurrent::ConcurrentConfig {
+            threads: 2,
+            shared_fraction: 0.3,
+            base: tiny_trace_config(),
+        };
+        for (name, elapsed, ok) in concurrent_macro(profile, &cfg).unwrap() {
+            assert!(ok, "{name}: exclusion violated");
+            assert!(elapsed > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn tasuki_builds_through_protocol_kind() {
+        let p = ProtocolKind::Tasuki.build(4, 0);
+        assert_eq!(p.name(), "Tasuki");
+        let reg = p.registry().register().unwrap();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, reg.token()).unwrap();
+        p.unlock(obj, reg.token()).unwrap();
+    }
+
+    #[test]
+    fn median_time_is_monotone_reasonable() {
+        let d = median_time(3, || std::thread::sleep(Duration::from_millis(2)));
+        assert!(d >= Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,209 @@
+//! Fast-path configuration: the Figure 6 engineering variants.
+//!
+//! Section 3.5 of the paper measures several engineerings of the same
+//! locking algorithm:
+//!
+//! * **Inline** — assembly inlined into each bytecode, specialized per
+//!   architecture. Here: a zero-sized [`FastPathConfig`] whose methods are
+//!   compile-time constants, so the protocol monomorphizes to a straight-
+//!   line fast path ([`StaticUp`], [`StaticMp`], [`StaticKernelCas`]).
+//! * **FnCall** — one shared out-of-line lock/unlock routine. Here:
+//!   [`FastPathConfig::outlined`] returns `true`, routing the fast path
+//!   through an `#[inline(never)]` function.
+//! * **ThinLock (dynamic architecture test)** — the shipped configuration:
+//!   the CPU type is tested at run time on every operation. Here:
+//!   [`DynamicConfig`], whose profile is a runtime value.
+//! * **UnlkC&S** — unlocking with compare-and-swap instead of a store,
+//!   demonstrating why the owner-only-write discipline pays. Here:
+//!   [`UnlockStrategy::CompareAndSwap`].
+
+use std::fmt::Debug;
+
+use thinlock_runtime::arch::ArchProfile;
+use thinlock_runtime::backoff::SpinPolicy;
+
+/// How the unlock path writes the restored lock word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum UnlockStrategy {
+    /// A plain (release on MP) store — the paper's design, legal because
+    /// only the owner may write the lock word of a held lock.
+    #[default]
+    Store,
+    /// Compare-and-swap — the Figure 6 "UnlkC&S" straw man.
+    CompareAndSwap,
+}
+
+/// Compile-time or runtime selection of the fast-path engineering.
+///
+/// Implementations should keep every method `#[inline]`-friendly: when all
+/// answers are constants the optimizer reduces the protocol to the paper's
+/// specialized inline assembly; when they read fields it becomes the
+/// dynamically-tested shipped version.
+pub trait FastPathConfig: Debug + Send + Sync + 'static {
+    /// The simulated hardware (fence and CAS behaviour).
+    fn profile(&self) -> ArchProfile;
+
+    /// How unlock writes the lock word.
+    fn unlock_strategy(&self) -> UnlockStrategy {
+        UnlockStrategy::Store
+    }
+
+    /// Route the fast path through an `#[inline(never)]` function,
+    /// modelling the paper's single shared lock/unlock routine.
+    fn outlined(&self) -> bool {
+        false
+    }
+
+    /// How the contention path waits for the owner (ablation knob).
+    fn spin_policy(&self) -> SpinPolicy {
+        SpinPolicy::SpinThenYield
+    }
+}
+
+/// Runtime-configurable fast path — the paper's shipped "ThinLock"
+/// configuration (dynamic architecture test on every operation).
+///
+/// # Example
+///
+/// ```
+/// use thinlock::{DynamicConfig, FastPathConfig, UnlockStrategy};
+/// use thinlock_runtime::arch::ArchProfile;
+///
+/// let cfg = DynamicConfig::new(ArchProfile::PowerPcMp);
+/// assert_eq!(cfg.profile(), ArchProfile::PowerPcMp);
+/// assert_eq!(cfg.unlock_strategy(), UnlockStrategy::Store);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicConfig {
+    /// Simulated hardware profile.
+    pub profile: ArchProfile,
+    /// Unlock write strategy.
+    pub unlock: UnlockStrategy,
+    /// Whether the fast path is forced out of line.
+    pub outlined: bool,
+    /// Contention-wait policy.
+    pub spin: SpinPolicy,
+}
+
+impl DynamicConfig {
+    /// Creates the shipped configuration for `profile` (store unlock,
+    /// inlined fast path).
+    pub fn new(profile: ArchProfile) -> Self {
+        DynamicConfig {
+            profile,
+            unlock: UnlockStrategy::Store,
+            outlined: false,
+            spin: SpinPolicy::SpinThenYield,
+        }
+    }
+
+    /// Switches to the Figure 6 "UnlkC&S" unlock.
+    #[must_use]
+    pub fn with_cas_unlock(mut self) -> Self {
+        self.unlock = UnlockStrategy::CompareAndSwap;
+        self
+    }
+
+    /// Forces the fast path through an out-of-line function ("FnCall").
+    #[must_use]
+    pub fn with_outlined_fast_path(mut self) -> Self {
+        self.outlined = true;
+        self
+    }
+
+    /// Selects the contention-wait policy (ablation).
+    #[must_use]
+    pub fn with_spin_policy(mut self, spin: SpinPolicy) -> Self {
+        self.spin = spin;
+        self
+    }
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig::new(ArchProfile::default())
+    }
+}
+
+impl FastPathConfig for DynamicConfig {
+    #[inline]
+    fn profile(&self) -> ArchProfile {
+        self.profile
+    }
+
+    #[inline]
+    fn unlock_strategy(&self) -> UnlockStrategy {
+        self.unlock
+    }
+
+    #[inline]
+    fn outlined(&self) -> bool {
+        self.outlined
+    }
+
+    #[inline]
+    fn spin_policy(&self) -> SpinPolicy {
+        self.spin
+    }
+}
+
+macro_rules! static_profile {
+    ($(#[$doc:meta])* $name:ident => $profile:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+        pub struct $name;
+
+        impl FastPathConfig for $name {
+            #[inline]
+            fn profile(&self) -> ArchProfile {
+                $profile
+            }
+        }
+    };
+}
+
+static_profile!(
+    /// Compile-time PowerPC-uniprocessor fast path — Figure 6 "Inline".
+    StaticUp => ArchProfile::PowerPcUp
+);
+static_profile!(
+    /// Compile-time PowerPC-multiprocessor fast path — Figure 6 "MP Sync".
+    StaticMp => ArchProfile::PowerPcMp
+);
+static_profile!(
+    /// Compile-time POWER kernel-CAS fast path.
+    StaticKernelCas => ArchProfile::PowerKernelCas
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_design() {
+        let cfg = DynamicConfig::default();
+        assert_eq!(cfg.profile(), ArchProfile::PowerPcMp);
+        assert_eq!(cfg.unlock_strategy(), UnlockStrategy::Store);
+        assert!(!cfg.outlined());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = DynamicConfig::new(ArchProfile::PowerPcUp)
+            .with_cas_unlock()
+            .with_outlined_fast_path();
+        assert_eq!(cfg.profile(), ArchProfile::PowerPcUp);
+        assert_eq!(cfg.unlock_strategy(), UnlockStrategy::CompareAndSwap);
+        assert!(cfg.outlined());
+    }
+
+    #[test]
+    fn static_configs_are_zero_sized_constants() {
+        assert_eq!(std::mem::size_of::<StaticUp>(), 0);
+        assert_eq!(StaticUp.profile(), ArchProfile::PowerPcUp);
+        assert_eq!(StaticMp.profile(), ArchProfile::PowerPcMp);
+        assert_eq!(StaticKernelCas.profile(), ArchProfile::PowerKernelCas);
+        assert_eq!(StaticUp.unlock_strategy(), UnlockStrategy::Store);
+        assert!(!StaticMp.outlined());
+    }
+}

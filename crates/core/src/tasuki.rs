@@ -1,0 +1,613 @@
+//! A deflating, park-based variant of thin locks — the ablation of two of
+//! the paper's design choices.
+//!
+//! The paper fixes (a) **spin-to-inflate** under contention and (b)
+//! **one-way inflation** ("once an object's lock is inflated, it remains
+//! inflated for the lifetime of the object"), arguing that locality of
+//! contention amortizes both. The follow-up work by Onodera and Kawachiya
+//! (the *Tasuki lock*, OOPSLA '99 — Onodera is thanked in this paper's
+//! acknowledgements) showed both choices can be relaxed. [`TasukiLocks`]
+//! implements that relaxation so the benches can measure what the
+//! original design gives up and gains:
+//!
+//! * **No spinning.** A contender announces itself by setting a
+//!   *flat-lock-contention* (flc) bit — kept in the object's *second*
+//!   header word so the lock word's owner-only-write discipline is
+//!   untouched — enqueues itself in a lobby, and parks. The owner's
+//!   unlock checks the flc bit after its releasing store (with a
+//!   Dekker-style `SeqCst` fence pairing so a wakeup can never be lost)
+//!   and wakes the lobby.
+//! * **Deflation.** When a fat unlock finds the monitor completely quiet
+//!   (last nesting level, empty entry queue, empty wait set), it restores
+//!   the thin unlocked word before releasing the monitor. Because a
+//!   racing thread may still hold a reference to the old monitor, the fat
+//!   locking path *revalidates* the lock word after acquiring the monitor
+//!   and retries if the object has been deflated (or re-inflated to a
+//!   different monitor) in the meantime. Monitor indices are never
+//!   reused, so revalidation is ABA-free.
+//!
+//! The cost of all this is exactly what the paper predicted when it chose
+//! simplicity: an extra fence + flag check on every unlock, a retry loop
+//! in the fat path, and the possibility of inflate/deflate thrashing. The
+//! benefit is that a lock which is contended once and then used
+//! single-threaded returns to thin-lock speed — see the `ablation`
+//! section of the `reproduce` binary.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{fence, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use thinlock_monitor::{FatLock, MonitorTable};
+use thinlock_runtime::arch::{ArchProfile, LockWordCell};
+use thinlock_runtime::error::{SyncError, SyncResult};
+use thinlock_runtime::heap::{Heap, ObjRef};
+use thinlock_runtime::lockword::{LockWord, ThreadIndex, MAX_THIN_COUNT};
+use thinlock_runtime::protocol::{SyncProtocol, WaitOutcome};
+use thinlock_runtime::registry::{ThreadRegistry, ThreadToken};
+
+/// Bit 0 of the auxiliary header word: "a thread is parked waiting for
+/// this object's flat lock". Lives outside the lock word so that only the
+/// owner ever writes the lock word, exactly as in the base protocol.
+const FLC_BIT: u32 = 1;
+
+/// Monitor-table head-room: a deflating lock can inflate many times, so
+/// unlike the base protocol the table needs more slots than objects.
+/// Indices are never reused (revalidation relies on that), so the table
+/// bounds the total number of inflations over the protocol's lifetime.
+const INFLATIONS_PER_OBJECT: usize = 64;
+
+/// Threads parked waiting for flat locks, keyed by object index.
+#[derive(Debug, Default)]
+struct Lobby {
+    waiting: Mutex<HashMap<usize, Vec<ThreadIndex>>>,
+}
+
+impl Lobby {
+    fn enqueue(&self, obj: ObjRef, me: ThreadIndex) {
+        self.waiting
+            .lock()
+            .expect("lobby poisoned")
+            .entry(obj.index())
+            .or_default()
+            .push(me);
+    }
+
+    /// Removes `me` from the queue; returns true if the queue is now empty
+    /// (caller may clear the flc bit while we still hold the lobby lock —
+    /// a new contender re-sets it *after* enqueueing, so no clear is lost).
+    fn retract(&self, obj: ObjRef, me: ThreadIndex, aux: &std::sync::atomic::AtomicU32) {
+        let mut map = self.waiting.lock().expect("lobby poisoned");
+        if let Some(q) = map.get_mut(&obj.index()) {
+            q.retain(|&x| x != me);
+            if q.is_empty() {
+                map.remove(&obj.index());
+                aux.fetch_and(!FLC_BIT, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Drains and wakes every waiter for `obj`, clearing the flc bit.
+    fn wake_all(
+        &self,
+        obj: ObjRef,
+        aux: &std::sync::atomic::AtomicU32,
+        registry: &ThreadRegistry,
+    ) {
+        let drained = {
+            let mut map = self.waiting.lock().expect("lobby poisoned");
+            let drained = map.remove(&obj.index()).unwrap_or_default();
+            if map.get(&obj.index()).is_none() {
+                aux.fetch_and(!FLC_BIT, Ordering::SeqCst);
+            }
+            drained
+        };
+        for idx in drained {
+            if let Ok(rec) = registry.record(idx) {
+                rec.parker().unpark();
+            }
+        }
+    }
+}
+
+/// Thin locks with park-based contention and deflation (Tasuki-style).
+///
+/// Implements the same [`SyncProtocol`] as [`ThinLocks`](crate::ThinLocks);
+/// use it as a drop-in replacement when workloads have *phased* contention
+/// (contended for a while, then private again).
+///
+/// # Example
+///
+/// ```
+/// use thinlock::tasuki::TasukiLocks;
+/// use thinlock_runtime::protocol::SyncProtocol;
+///
+/// let locks = TasukiLocks::with_capacity(8);
+/// let reg = locks.registry().register()?;
+/// let obj = locks.heap().alloc()?;
+/// locks.lock(obj, reg.token())?;
+/// locks.unlock(obj, reg.token())?;
+/// # Ok::<(), thinlock_runtime::SyncError>(())
+/// ```
+pub struct TasukiLocks {
+    heap: Arc<Heap>,
+    registry: ThreadRegistry,
+    monitors: MonitorTable,
+    lobby: Lobby,
+    profile: ArchProfile,
+    inflations: std::sync::atomic::AtomicU64,
+    deflations: std::sync::atomic::AtomicU64,
+}
+
+impl TasukiLocks {
+    /// Creates a protocol over a fresh heap of `capacity` objects.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::new(Arc::new(Heap::with_capacity(capacity)), ThreadRegistry::new())
+    }
+
+    /// Creates a protocol over an existing heap and registry.
+    pub fn new(heap: Arc<Heap>, registry: ThreadRegistry) -> Self {
+        let monitors =
+            MonitorTable::with_capacity(heap.capacity().saturating_mul(INFLATIONS_PER_OBJECT));
+        TasukiLocks {
+            heap,
+            registry,
+            monitors,
+            lobby: Lobby::default(),
+            profile: ArchProfile::PowerPcMp,
+            inflations: std::sync::atomic::AtomicU64::new(0),
+            deflations: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Total inflations performed so far.
+    pub fn inflation_count(&self) -> u64 {
+        self.inflations.load(Ordering::Relaxed)
+    }
+
+    /// Total deflations performed so far.
+    pub fn deflation_count(&self) -> u64 {
+        self.deflations.load(Ordering::Relaxed)
+    }
+
+    /// The raw lock word of `obj` (diagnostics and tests).
+    pub fn lock_word(&self, obj: ObjRef) -> LockWord {
+        self.cell(obj).load_relaxed()
+    }
+
+    #[inline]
+    fn cell(&self, obj: ObjRef) -> &LockWordCell {
+        self.heap.header(obj).lock_word()
+    }
+
+    #[inline]
+    fn aux(&self, obj: ObjRef) -> &std::sync::atomic::AtomicU32 {
+        self.heap.header(obj).aux()
+    }
+
+    fn monitor_of(&self, word: LockWord) -> &FatLock {
+        let idx = word.monitor_index().expect("word must be inflated");
+        self.monitors
+            .get(idx)
+            .expect("inflated word references an allocated monitor")
+    }
+
+    /// Owner-only inflation; same as the base protocol.
+    fn inflate_owned(&self, obj: ObjRef, t: ThreadToken, locks: u32) -> SyncResult<&FatLock> {
+        let idx = self.monitors.allocate(FatLock::new_owned(t, locks))?;
+        let cell = self.cell(obj);
+        let current = cell.load_relaxed();
+        cell.store_release(current.inflated(idx));
+        self.inflations.fetch_add(1, Ordering::Relaxed);
+        Ok(self.monitor_of(current.inflated(idx)))
+    }
+
+    /// The acquire loop. Unlike the base protocol, contention parks in the
+    /// lobby instead of spinning, and never inflates by itself.
+    fn lock_impl(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        let cell = self.cell(obj);
+        loop {
+            // Thin fast path.
+            let old = cell.load_relaxed().with_lock_field_clear();
+            let new = LockWord::from_bits(old.bits() | t.shifted());
+            if cell.try_cas(old, new, self.profile).is_ok() {
+                return Ok(());
+            }
+            let word = cell.load_relaxed();
+            if word.can_nest(t.shifted()) {
+                cell.store_relaxed(word.with_count_incremented());
+                return Ok(());
+            }
+            if word.is_thin_owned_by(t.shifted()) {
+                // Count overflow: inflate (owner-only store).
+                debug_assert_eq!(u32::from(word.thin_count()), MAX_THIN_COUNT);
+                let locks = u32::from(word.thin_count()) + 2;
+                self.inflate_owned(obj, t, locks)?;
+                return Ok(());
+            }
+            if word.is_fat() {
+                // Revalidating fat path: the monitor we resolved may have
+                // been deflated away between our load and our acquisition.
+                let monitor = self.monitor_of(word);
+                monitor.lock(t, &self.registry)?;
+                let now = self.cell(obj).load_acquire();
+                if now == word {
+                    return Ok(());
+                }
+                monitor.unlock(t, &self.registry)?;
+                continue;
+            }
+            if word.is_unlocked() {
+                continue; // raced with an unlock; retry the CAS
+            }
+
+            // Thin-held by another thread: announce, verify, park.
+            let me = t.index();
+            let record = self.registry.record(me)?;
+            self.lobby.enqueue(obj, me);
+            self.aux(obj).fetch_or(FLC_BIT, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            let recheck = cell.load_relaxed();
+            if thin_held_by_other(recheck, me) {
+                record.parker().park();
+            }
+            // Woken (or the lock changed state): retract and retry.
+            self.lobby.retract(obj, me, self.aux(obj));
+        }
+    }
+
+    fn unlock_impl(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        let cell = self.cell(obj);
+        let word = cell.load_relaxed();
+
+        if word.is_locked_once_by(t.shifted()) {
+            // Final thin unlock: releasing store, then the Dekker-paired
+            // flc check so a parked contender is always woken.
+            cell.store_unlock(word.with_lock_field_clear(), self.profile);
+            fence(Ordering::SeqCst);
+            if self.aux(obj).load(Ordering::SeqCst) & FLC_BIT != 0 {
+                self.lobby.wake_all(obj, self.aux(obj), &self.registry);
+            }
+            return Ok(());
+        }
+        if word.is_thin_owned_by(t.shifted()) {
+            debug_assert!(word.thin_count() > 0);
+            cell.store_relaxed(word.with_count_decremented());
+            return Ok(());
+        }
+        if word.is_fat() {
+            let monitor = self.monitor_of(word);
+            if !monitor.holds(t) {
+                return Err(if monitor.owner().is_some() {
+                    SyncError::NotOwner
+                } else {
+                    SyncError::NotLocked
+                });
+            }
+            // Deflation: if this releases the last nesting level and the
+            // monitor is quiet, restore the thin word before releasing.
+            // A racer that enqueues between the checks and our release is
+            // woken by the release and revalidates.
+            if monitor.count() == 1
+                && monitor.entry_queue_len() == 0
+                && monitor.wait_set_len() == 0
+            {
+                cell.store_release(word.with_lock_field_clear());
+                self.deflations.fetch_add(1, Ordering::Relaxed);
+                monitor.unlock(t, &self.registry)?;
+                // Parked flat-lock contenders (if any) get a wake too.
+                fence(Ordering::SeqCst);
+                if self.aux(obj).load(Ordering::SeqCst) & FLC_BIT != 0 {
+                    self.lobby.wake_all(obj, self.aux(obj), &self.registry);
+                }
+                return Ok(());
+            }
+            monitor.unlock(t, &self.registry)?;
+            // A flat-lock contender may have parked before this lock ever
+            // inflated; give it a chance whenever anything is released so
+            // it can route itself through the (now fat) monitor instead.
+            if self.aux(obj).load(Ordering::SeqCst) & FLC_BIT != 0 {
+                self.lobby.wake_all(obj, self.aux(obj), &self.registry);
+            }
+            return Ok(());
+        }
+        if word.is_unlocked() {
+            Err(SyncError::NotLocked)
+        } else {
+            Err(SyncError::NotOwner)
+        }
+    }
+
+    /// Resolves `obj` to a fat monitor held by `t`, inflating if `t` holds
+    /// it thin; revalidates against deflation races.
+    fn require_fat(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<&FatLock> {
+        let word = self.cell(obj).load_acquire();
+        if word.is_fat() {
+            let monitor = self.monitor_of(word);
+            if !monitor.holds(t) {
+                return Err(if monitor.owner().is_some() {
+                    SyncError::NotOwner
+                } else {
+                    SyncError::NotLocked
+                });
+            }
+            return Ok(monitor);
+        }
+        if word.is_thin_owned_by(t.shifted()) {
+            let locks = u32::from(word.thin_count()) + 1;
+            return self.inflate_owned(obj, t, locks);
+        }
+        if word.is_unlocked() {
+            Err(SyncError::NotLocked)
+        } else {
+            Err(SyncError::NotOwner)
+        }
+    }
+}
+
+fn thin_held_by_other(word: LockWord, me: ThreadIndex) -> bool {
+    word.is_thin_shape() && word.thin_owner().is_some_and(|o| o != me)
+}
+
+impl SyncProtocol for TasukiLocks {
+    fn lock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        self.lock_impl(obj, t)
+    }
+
+    fn unlock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        self.unlock_impl(obj, t)
+    }
+
+    fn wait(
+        &self,
+        obj: ObjRef,
+        t: ThreadToken,
+        timeout: Option<Duration>,
+    ) -> SyncResult<WaitOutcome> {
+        self.require_fat(obj, t)?.wait(t, &self.registry, timeout)
+    }
+
+    fn notify(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        self.require_fat(obj, t)?.notify(t)
+    }
+
+    fn notify_all(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        self.require_fat(obj, t)?.notify_all(t)
+    }
+
+    fn holds_lock(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        let word = self.cell(obj).load_acquire();
+        if word.is_fat() {
+            self.monitor_of(word).holds(t)
+        } else {
+            word.is_thin_owned_by(t.shifted())
+        }
+    }
+
+    fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    fn registry(&self) -> &ThreadRegistry {
+        &self.registry
+    }
+
+    fn name(&self) -> &'static str {
+        "Tasuki"
+    }
+}
+
+impl fmt::Debug for TasukiLocks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TasukiLocks")
+            .field("heap", &self.heap)
+            .field("inflations", &self.inflation_count())
+            .field("deflations", &self.deflation_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Barrier;
+    use std::thread;
+
+    #[test]
+    fn thin_fast_path_matches_base_protocol() {
+        let p = TasukiLocks::with_capacity(4);
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        let obj = p.heap().alloc().unwrap();
+        let before = p.lock_word(obj);
+        for _ in 0..5 {
+            p.lock(obj, t).unwrap();
+        }
+        assert_eq!(p.lock_word(obj).thin_count(), 4);
+        for _ in 0..5 {
+            p.unlock(obj, t).unwrap();
+        }
+        assert_eq!(p.lock_word(obj), before);
+        assert_eq!(p.inflation_count(), 0);
+    }
+
+    #[test]
+    fn overflow_inflates_then_quiet_unlock_deflates() {
+        let p = TasukiLocks::with_capacity(4);
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        let obj = p.heap().alloc().unwrap();
+        for _ in 0..257 {
+            p.lock(obj, t).unwrap();
+        }
+        assert!(p.lock_word(obj).is_fat());
+        assert_eq!(p.inflation_count(), 1);
+        for _ in 0..257 {
+            p.unlock(obj, t).unwrap();
+        }
+        // Unlike the base protocol, the final unlock deflates.
+        assert!(p.lock_word(obj).is_unlocked(), "deflated back to thin");
+        assert_eq!(p.deflation_count(), 1);
+        // And the lock is thin-usable again.
+        p.lock(obj, t).unwrap();
+        assert!(p.lock_word(obj).is_thin_shape());
+        p.unlock(obj, t).unwrap();
+    }
+
+    #[test]
+    fn wait_notify_with_deflation_cycles() {
+        let p = TasukiLocks::with_capacity(4);
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        let obj = p.heap().alloc().unwrap();
+        for round in 0..5 {
+            p.lock(obj, t).unwrap();
+            let out = p.wait(obj, t, Some(Duration::from_millis(2))).unwrap();
+            assert_eq!(out, WaitOutcome::TimedOut);
+            assert!(p.lock_word(obj).is_fat(), "round {round}: inflated by wait");
+            p.unlock(obj, t).unwrap();
+            assert!(
+                p.lock_word(obj).is_unlocked(),
+                "round {round}: deflated after quiet unlock"
+            );
+        }
+        assert_eq!(p.inflation_count(), 5);
+        assert_eq!(p.deflation_count(), 5);
+    }
+
+    #[test]
+    fn contention_parks_and_recovers_thin_state() {
+        let p = Arc::new(TasukiLocks::with_capacity(4));
+        let obj = p.heap().alloc().unwrap();
+        let barrier = Arc::new(Barrier::new(2));
+        let holder = {
+            let p = Arc::clone(&p);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let reg = p.registry().register().unwrap();
+                let t = reg.token();
+                p.lock(obj, t).unwrap();
+                barrier.wait();
+                thread::sleep(Duration::from_millis(40));
+                p.unlock(obj, t).unwrap();
+            })
+        };
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        barrier.wait();
+        p.lock(obj, t).unwrap(); // parks in the lobby, never spins hot
+        assert!(p.holds_lock(obj, t));
+        // Contention did not inflate: the word is thin, owned by us.
+        assert!(p.lock_word(obj).is_thin_shape());
+        p.unlock(obj, t).unwrap();
+        holder.join().unwrap();
+        assert_eq!(p.inflation_count(), 0);
+        assert!(p.lock_word(obj).is_unlocked());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_heavy_contention() {
+        let p = Arc::new(TasukiLocks::with_capacity(4));
+        let obj = p.heap().alloc().unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        const THREADS: usize = 4;
+        const ITERS: u64 = 500;
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let p = Arc::clone(&p);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                let reg = p.registry().register().unwrap();
+                let t = reg.token();
+                for _ in 0..ITERS {
+                    p.lock(obj, t).unwrap();
+                    let v = counter.load(Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    counter.store(v + 1, Ordering::Relaxed);
+                    p.unlock(obj, t).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), THREADS as u64 * ITERS);
+        let reg = p.registry().register().unwrap();
+        assert!(!p.holds_lock(obj, reg.token()));
+    }
+
+    #[test]
+    fn wait_notify_rendezvous() {
+        let p = Arc::new(TasukiLocks::with_capacity(4));
+        let obj = p.heap().alloc().unwrap();
+        let entered = Arc::new(AtomicU64::new(0));
+        let waiter = {
+            let p = Arc::clone(&p);
+            let entered = Arc::clone(&entered);
+            thread::spawn(move || {
+                let reg = p.registry().register().unwrap();
+                let t = reg.token();
+                p.lock(obj, t).unwrap();
+                entered.store(1, Ordering::Release);
+                let out = p.wait(obj, t, None).unwrap();
+                p.unlock(obj, t).unwrap();
+                out
+            })
+        };
+        while entered.load(Ordering::Acquire) == 0 {
+            thread::yield_now();
+        }
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        loop {
+            p.lock(obj, t).unwrap();
+            p.notify(obj, t).unwrap();
+            p.unlock(obj, t).unwrap();
+            if waiter.is_finished() {
+                break;
+            }
+            thread::yield_now();
+        }
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Notified);
+    }
+
+    #[test]
+    fn unlock_errors_match_base_protocol() {
+        let p = TasukiLocks::with_capacity(4);
+        let ra = p.registry().register().unwrap();
+        let rb = p.registry().register().unwrap();
+        let obj = p.heap().alloc().unwrap();
+        assert_eq!(p.unlock(obj, ra.token()), Err(SyncError::NotLocked));
+        p.lock(obj, ra.token()).unwrap();
+        assert_eq!(p.unlock(obj, rb.token()), Err(SyncError::NotOwner));
+        assert_eq!(p.wait(obj, rb.token(), None), Err(SyncError::NotOwner));
+        p.unlock(obj, ra.token()).unwrap();
+    }
+
+    #[test]
+    fn phased_workload_recovers_thin_speed() {
+        // The headline ablation: contended phase inflates (via wait),
+        // private phase deflates and runs thin again.
+        let p = Arc::new(TasukiLocks::with_capacity(4));
+        let obj = p.heap().alloc().unwrap();
+        {
+            let reg = p.registry().register().unwrap();
+            let t = reg.token();
+            p.lock(obj, t).unwrap();
+            let _ = p.wait(obj, t, Some(Duration::from_millis(1))).unwrap();
+            p.unlock(obj, t).unwrap();
+        }
+        assert!(p.deflation_count() >= 1);
+        // Private phase: thin all the way.
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        for _ in 0..1000 {
+            p.lock(obj, t).unwrap();
+            p.unlock(obj, t).unwrap();
+        }
+        assert!(p.lock_word(obj).is_unlocked());
+        assert_eq!(p.inflation_count(), 1, "no re-inflation in private phase");
+    }
+}

@@ -1,0 +1,830 @@
+//! The thin-lock protocol: Section 2.3 of the paper.
+//!
+//! State machine of one object's lock word (Figures 1 and 2):
+//!
+//! ```text
+//!             CAS                       store
+//!  Unlocked ───────► Thin(me, 0)  ◄───────────┐
+//!     ▲                 │   ▲                 │
+//!     │ store           │add│sub              │
+//!     └─────────────────┤   └── Thin(me, n) ──┘
+//!                       │
+//!   contention / overflow / wait-notify
+//!                       ▼
+//!                  Fat(monitor)          (permanent)
+//! ```
+//!
+//! The invariants the implementation maintains (and the tests check):
+//!
+//! * **Owner-only writes:** after the acquiring CAS, the lock word of a
+//!   thin-held object is written only by its owner, with plain stores.
+//! * **One-way inflation:** a shape bit of 1 is never cleared; monitors
+//!   are never recycled while the heap lives.
+//! * **Header preservation:** the low 8 bits of the header word are never
+//!   changed by any lock operation.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use thinlock_monitor::{FatLock, MonitorTable};
+use thinlock_runtime::arch::LockWordCell;
+use thinlock_runtime::backoff::Backoff;
+use thinlock_runtime::error::{SyncError, SyncResult};
+use thinlock_runtime::heap::{Heap, ObjRef};
+use thinlock_runtime::lockword::{LockWord, MAX_THIN_COUNT};
+use thinlock_runtime::protocol::{SyncProtocol, WaitOutcome};
+use thinlock_runtime::registry::{ThreadRegistry, ThreadToken};
+use thinlock_runtime::stats::{InflationCause, LockScenario, LockStats};
+
+use crate::config::{DynamicConfig, FastPathConfig, UnlockStrategy};
+
+/// Nesting depth at or below which an acquisition counts as "shallow" in
+/// the statistics — the paper never observed nesting deeper than four
+/// (Section 3.2).
+const SHALLOW_DEPTH: u32 = 4;
+
+/// The thin-lock monitor protocol.
+///
+/// Generic over [`FastPathConfig`] so the Figure 6 variants monomorphize
+/// to distinct fast paths; the default is the paper's shipped
+/// configuration (runtime architecture test, store unlock).
+///
+/// # Example
+///
+/// ```
+/// use thinlock::ThinLocks;
+/// use thinlock_runtime::protocol::SyncProtocol;
+///
+/// let locks = ThinLocks::with_capacity(8);
+/// let reg = locks.registry().register()?;
+/// let obj = locks.heap().alloc()?;
+/// locks.lock(obj, reg.token())?;
+/// assert!(locks.holds_lock(obj, reg.token()));
+/// locks.unlock(obj, reg.token())?;
+/// # Ok::<(), thinlock_runtime::SyncError>(())
+/// ```
+pub struct ThinLocks<C: FastPathConfig = DynamicConfig> {
+    heap: Arc<Heap>,
+    registry: ThreadRegistry,
+    monitors: MonitorTable,
+    config: C,
+    stats: Option<Arc<LockStats>>,
+}
+
+impl ThinLocks<DynamicConfig> {
+    /// Creates a protocol over a fresh heap of `capacity` objects with the
+    /// default (shipped) configuration.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::new(Arc::new(Heap::with_capacity(capacity)), ThreadRegistry::new())
+    }
+
+    /// Creates a protocol with the default configuration over an existing
+    /// heap and registry.
+    pub fn new(heap: Arc<Heap>, registry: ThreadRegistry) -> Self {
+        Self::with_config(heap, registry, DynamicConfig::default())
+    }
+}
+
+impl<C: FastPathConfig> ThinLocks<C> {
+    /// Creates a protocol with an explicit fast-path configuration.
+    ///
+    /// The monitor table is sized to the heap: each object inflates at
+    /// most once, so `heap.capacity()` monitors can never be exceeded.
+    pub fn with_config(heap: Arc<Heap>, registry: ThreadRegistry, config: C) -> Self {
+        let monitors = MonitorTable::with_capacity(heap.capacity());
+        ThinLocks {
+            heap,
+            registry,
+            monitors,
+            config,
+            stats: None,
+        }
+    }
+
+    /// Attaches statistics counters (scenario characterization); counting
+    /// costs a couple of relaxed increments per operation.
+    #[must_use]
+    pub fn with_stats(mut self, stats: Arc<LockStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// The attached statistics, if any.
+    pub fn stats(&self) -> Option<&LockStats> {
+        self.stats.as_deref()
+    }
+
+    /// The fast-path configuration.
+    pub fn config(&self) -> &C {
+        &self.config
+    }
+
+    /// Number of locks inflated so far (monitors allocated).
+    pub fn inflated_count(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// The raw lock word of `obj` — diagnostics and tests.
+    pub fn lock_word(&self, obj: ObjRef) -> LockWord {
+        self.cell(obj).load_relaxed()
+    }
+
+    #[inline]
+    fn cell(&self, obj: ObjRef) -> &LockWordCell {
+        self.heap.header(obj).lock_word()
+    }
+
+    #[inline]
+    fn record_lock(&self, scenario: LockScenario, depth: u32) {
+        if let Some(s) = &self.stats {
+            s.record_lock(scenario, depth);
+        }
+    }
+
+    #[inline]
+    fn record_inflation(&self, cause: InflationCause) {
+        if let Some(s) = &self.stats {
+            s.record_inflation(cause);
+        }
+    }
+
+    /// Resolves the fat lock of an inflated word.
+    fn monitor_of(&self, word: LockWord) -> &FatLock {
+        let idx = word.monitor_index().expect("word must be inflated");
+        self.monitors
+            .get(idx)
+            .expect("inflated word references an allocated monitor")
+    }
+
+    /// Owner-only inflation: the calling thread holds the thin lock with
+    /// `locks` acquisitions and replaces it with a fat monitor owned the
+    /// same number of times. The release store publishes the monitor's
+    /// contents along with the new word.
+    fn inflate_owned(
+        &self,
+        obj: ObjRef,
+        t: ThreadToken,
+        locks: u32,
+        cause: InflationCause,
+    ) -> SyncResult<&FatLock> {
+        let idx = self.monitors.allocate(FatLock::new_owned(t, locks))?;
+        let cell = self.cell(obj);
+        let current = cell.load_relaxed();
+        debug_assert_eq!(current.thin_owner().map(ThreadTokenIndex::of), Some(ThreadTokenIndex::of(t.index())));
+        cell.store_release(current.inflated(idx));
+        self.record_inflation(cause);
+        Ok(self.monitor_of(current.inflated(idx)))
+    }
+
+    /// The complete lock algorithm. `#[inline]` so that with a static
+    /// config the fast path compiles to the paper's handful of
+    /// instructions at each call site.
+    #[inline]
+    fn lock_impl(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        let profile = self.config.profile();
+        let cell = self.cell(obj);
+
+        // Scenario 1 — locking an unlocked object. Build the old value by
+        // masking the loaded word, OR in the pre-shifted thread index, CAS.
+        let old = cell.load_relaxed().with_lock_field_clear();
+        let new = LockWord::from_bits(old.bits() | t.shifted());
+        if cell.try_cas(old, new, profile).is_ok() {
+            self.record_lock(LockScenario::Unlocked, 1);
+            return Ok(());
+        }
+
+        // Scenario 2 — nested locking by this thread: XOR + compare, then
+        // an ADD of 1<<8 written with a plain store.
+        let word = cell.load_relaxed();
+        if word.can_nest(t.shifted()) {
+            cell.store_relaxed(word.with_count_incremented());
+            let depth = u32::from(word.thin_count()) + 2;
+            self.record_lock(
+                if depth <= SHALLOW_DEPTH {
+                    LockScenario::NestedShallow
+                } else {
+                    LockScenario::NestedDeep
+                },
+                depth,
+            );
+            return Ok(());
+        }
+
+        self.lock_slow(obj, t, word)
+    }
+
+    /// Slow path: count overflow, inflated locks, and contention.
+    #[inline(never)]
+    fn lock_slow(&self, obj: ObjRef, t: ThreadToken, mut word: LockWord) -> SyncResult<()> {
+        let profile = self.config.profile();
+        let cell = self.cell(obj);
+        let mut backoff = Backoff::with_policy(self.config.spin_policy());
+        let mut spun = false;
+        loop {
+            if word.is_fat() {
+                // Fat path: index into the monitor table and queue there.
+                let monitor = self.monitor_of(word);
+                let contended = monitor.owner().is_some();
+                monitor.lock(t, &self.registry)?;
+                let depth = monitor.count();
+                if let Some(s) = &self.stats {
+                    s.record_lock(
+                        if depth > 1 {
+                            if depth <= SHALLOW_DEPTH {
+                                LockScenario::NestedShallow
+                            } else {
+                                LockScenario::NestedDeep
+                            }
+                        } else if contended {
+                            LockScenario::FatContended
+                        } else {
+                            LockScenario::FatUncontended
+                        },
+                        depth,
+                    );
+                    s.record_spin_rounds(backoff.rounds());
+                }
+                return Ok(());
+            }
+
+            if word.is_thin_owned_by(t.shifted()) {
+                // Owned by us at the maximum count: the 257th acquisition.
+                debug_assert_eq!(u32::from(word.thin_count()), MAX_THIN_COUNT);
+                let locks = u32::from(word.thin_count()) + 1 + 1; // held + this one
+                self.inflate_owned(obj, t, locks, InflationCause::CountOverflow)?;
+                self.record_lock(LockScenario::NestedDeep, locks);
+                return Ok(());
+            }
+
+            if word.is_unlocked() {
+                // Try to take it. If we spun to get here this is the
+                // contention scenario: acquire then inflate so the next
+                // contender queues instead of spinning (Section 2.3.4).
+                let new = LockWord::from_bits(word.bits() | t.shifted());
+                if cell.try_cas(word, new, profile).is_ok() {
+                    if spun {
+                        self.inflate_owned(obj, t, 1, InflationCause::Contention)?;
+                        self.record_lock(LockScenario::ContendedThin, 1);
+                        if let Some(s) = &self.stats {
+                            s.record_spin_rounds(backoff.rounds());
+                        }
+                    } else {
+                        self.record_lock(LockScenario::Unlocked, 1);
+                    }
+                    return Ok(());
+                }
+                word = cell.load_acquire();
+                continue;
+            }
+
+            // Thin-locked by another thread: spin until released.
+            spun = true;
+            backoff.snooze();
+            word = cell.load_acquire();
+        }
+    }
+
+    /// The complete unlock algorithm.
+    #[inline]
+    fn unlock_impl(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        let profile = self.config.profile();
+        let cell = self.cell(obj);
+        let word = cell.load_relaxed();
+
+        // Common case: thin, owned by us, locked exactly once. Restore the
+        // header-only word with a plain store (or CAS under UnlkC&S).
+        if word.is_locked_once_by(t.shifted()) {
+            let restored = word.with_lock_field_clear();
+            match self.config.unlock_strategy() {
+                UnlockStrategy::Store => cell.store_unlock(restored, profile),
+                UnlockStrategy::CompareAndSwap => {
+                    let r = cell.try_cas_release(word, restored, profile);
+                    debug_assert!(r.is_ok(), "owner-only discipline violated");
+                }
+            }
+            if let Some(s) = &self.stats {
+                s.record_unlock_thin();
+            }
+            return Ok(());
+        }
+
+        // Nested unlock: decrement with a plain store.
+        if word.is_thin_owned_by(t.shifted()) {
+            debug_assert!(word.thin_count() > 0);
+            cell.store_relaxed(word.with_count_decremented());
+            if let Some(s) = &self.stats {
+                s.record_unlock_thin();
+            }
+            return Ok(());
+        }
+
+        self.unlock_slow(obj, t, word)
+    }
+
+    #[inline(never)]
+    fn unlock_slow(&self, obj: ObjRef, t: ThreadToken, word: LockWord) -> SyncResult<()> {
+        let _ = obj;
+        if word.is_fat() {
+            let r = self.monitor_of(word).unlock(t, &self.registry);
+            if r.is_ok() {
+                if let Some(s) = &self.stats {
+                    s.record_unlock_fat();
+                }
+            }
+            return r;
+        }
+        if word.is_unlocked() {
+            Err(SyncError::NotLocked)
+        } else {
+            Err(SyncError::NotOwner)
+        }
+    }
+
+    /// Ensures `obj`'s lock is fat, inflating if the caller holds it thin.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::NotOwner`]/[`SyncError::NotLocked`] if the caller does
+    /// not own the monitor (required for `wait`/`notify`).
+    fn require_fat(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<&FatLock> {
+        let word = self.cell(obj).load_acquire();
+        if word.is_fat() {
+            let monitor = self.monitor_of(word);
+            if !monitor.holds(t) {
+                return Err(if monitor.owner().is_some() {
+                    SyncError::NotOwner
+                } else {
+                    SyncError::NotLocked
+                });
+            }
+            return Ok(monitor);
+        }
+        if word.is_thin_owned_by(t.shifted()) {
+            let locks = u32::from(word.thin_count()) + 1;
+            return self.inflate_owned(obj, t, locks, InflationCause::WaitNotify);
+        }
+        if word.is_unlocked() {
+            Err(SyncError::NotLocked)
+        } else {
+            Err(SyncError::NotOwner)
+        }
+    }
+}
+
+/// Tiny helper so a debug assertion can compare indices without importing
+/// the type in the hot module body.
+#[derive(PartialEq, Debug)]
+struct ThreadTokenIndex(u16);
+
+impl ThreadTokenIndex {
+    fn of(i: thinlock_runtime::lockword::ThreadIndex) -> Self {
+        ThreadTokenIndex(i.get())
+    }
+}
+
+/// Outlined trampolines for the Figure 6 "FnCall" variant.
+mod outlined {
+    use super::*;
+
+    #[inline(never)]
+    pub(super) fn lock<C: FastPathConfig>(
+        this: &ThinLocks<C>,
+        obj: ObjRef,
+        t: ThreadToken,
+    ) -> SyncResult<()> {
+        this.lock_impl(obj, t)
+    }
+
+    #[inline(never)]
+    pub(super) fn unlock<C: FastPathConfig>(
+        this: &ThinLocks<C>,
+        obj: ObjRef,
+        t: ThreadToken,
+    ) -> SyncResult<()> {
+        this.unlock_impl(obj, t)
+    }
+}
+
+impl<C: FastPathConfig> SyncProtocol for ThinLocks<C> {
+    #[inline]
+    fn lock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        if self.config.outlined() {
+            outlined::lock(self, obj, t)
+        } else {
+            self.lock_impl(obj, t)
+        }
+    }
+
+    #[inline]
+    fn unlock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        if self.config.outlined() {
+            outlined::unlock(self, obj, t)
+        } else {
+            self.unlock_impl(obj, t)
+        }
+    }
+
+    fn wait(
+        &self,
+        obj: ObjRef,
+        t: ThreadToken,
+        timeout: Option<Duration>,
+    ) -> SyncResult<WaitOutcome> {
+        if let Some(s) = &self.stats {
+            s.record_wait();
+        }
+        let monitor = self.require_fat(obj, t)?;
+        monitor.wait(t, &self.registry, timeout)
+    }
+
+    fn notify(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        if let Some(s) = &self.stats {
+            s.record_notify();
+        }
+        self.require_fat(obj, t)?.notify(t)
+    }
+
+    fn notify_all(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        if let Some(s) = &self.stats {
+            s.record_notify();
+        }
+        self.require_fat(obj, t)?.notify_all(t)
+    }
+
+    fn holds_lock(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        let word = self.cell(obj).load_acquire();
+        if word.is_fat() {
+            self.monitor_of(word).holds(t)
+        } else {
+            word.is_thin_owned_by(t.shifted())
+        }
+    }
+
+    fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    fn registry(&self) -> &ThreadRegistry {
+        &self.registry
+    }
+
+    fn name(&self) -> &'static str {
+        "ThinLock"
+    }
+}
+
+impl<C: FastPathConfig> fmt::Debug for ThinLocks<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThinLocks")
+            .field("heap", &self.heap)
+            .field("inflated", &self.monitors.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+    use thinlock_runtime::lockword::LockState;
+
+    fn fresh(capacity: usize) -> ThinLocks {
+        ThinLocks::with_capacity(capacity)
+    }
+
+    #[test]
+    fn lock_unlock_restores_word_exactly() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        let before = p.lock_word(obj);
+        p.lock(obj, t).unwrap();
+        let held = p.lock_word(obj);
+        assert_eq!(held.thin_owner().map(|o| o.get()), Some(t.index().get()));
+        assert_eq!(held.thin_count(), 0);
+        assert_eq!(held.header_bits(), before.header_bits());
+        p.unlock(obj, t).unwrap();
+        assert_eq!(p.lock_word(obj), before, "word restored bit-for-bit");
+        assert_eq!(p.inflated_count(), 0);
+    }
+
+    #[test]
+    fn nested_locking_counts_locks_minus_one() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        for depth in 1..=5u8 {
+            p.lock(obj, t).unwrap();
+            assert_eq!(p.lock_word(obj).thin_count(), depth - 1);
+        }
+        for depth in (1..=5u8).rev() {
+            assert_eq!(p.lock_word(obj).thin_count(), depth - 1);
+            p.unlock(obj, t).unwrap();
+        }
+        assert!(p.lock_word(obj).is_unlocked());
+        assert_eq!(p.inflated_count(), 0, "nesting alone never inflates");
+    }
+
+    #[test]
+    fn unlock_errors_mirror_java() {
+        let p = fresh(4);
+        let ra = p.registry().register().unwrap();
+        let rb = p.registry().register().unwrap();
+        let obj = p.heap().alloc().unwrap();
+        assert_eq!(p.unlock(obj, ra.token()), Err(SyncError::NotLocked));
+        p.lock(obj, ra.token()).unwrap();
+        assert_eq!(p.unlock(obj, rb.token()), Err(SyncError::NotOwner));
+        p.unlock(obj, ra.token()).unwrap();
+    }
+
+    #[test]
+    fn count_overflow_inflates_at_257th_lock() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        for _ in 0..256 {
+            p.lock(obj, t).unwrap();
+        }
+        assert!(p.lock_word(obj).is_thin_shape(), "256 locks still thin");
+        assert_eq!(u32::from(p.lock_word(obj).thin_count()), 255);
+        p.lock(obj, t).unwrap(); // the paper's "excessive" 257th
+        assert!(p.lock_word(obj).is_fat());
+        assert_eq!(p.inflated_count(), 1);
+        // All 257 unlocks must succeed through the fat path.
+        for _ in 0..257 {
+            p.unlock(obj, t).unwrap();
+        }
+        assert!(!p.holds_lock(obj, t));
+        assert!(p.lock_word(obj).is_fat(), "inflation is permanent");
+        // And the lock remains usable.
+        p.lock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+    }
+
+    #[test]
+    fn header_bits_survive_every_transition() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        let hash = p.lock_word(obj).header_bits();
+        for _ in 0..257 {
+            p.lock(obj, t).unwrap();
+            assert_eq!(p.lock_word(obj).header_bits(), hash);
+        }
+        for _ in 0..257 {
+            p.unlock(obj, t).unwrap();
+        }
+        assert_eq!(p.lock_word(obj).header_bits(), hash);
+    }
+
+    #[test]
+    fn wait_notify_inflates_and_works() {
+        let p = Arc::new(fresh(4));
+        let obj = p.heap().alloc().unwrap();
+        let waiter = {
+            let p = Arc::clone(&p);
+            thread::spawn(move || {
+                let r = p.registry().register().unwrap();
+                let t = r.token();
+                p.lock(obj, t).unwrap();
+                assert!(p.lock_word(obj).is_thin_shape());
+                let out = p.wait(obj, t, None).unwrap(); // inflates
+                assert!(p.holds_lock(obj, t));
+                p.unlock(obj, t).unwrap();
+                out
+            })
+        };
+        // Wait for the inflation caused by wait().
+        while !p.lock_word(obj).is_fat() {
+            thread::yield_now();
+        }
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        p.lock(obj, t).unwrap();
+        p.notify(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Notified);
+        assert_eq!(p.inflated_count(), 1);
+    }
+
+    #[test]
+    fn wait_requires_ownership() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        assert_eq!(p.wait(obj, t, None).unwrap_err(), SyncError::NotLocked);
+        assert_eq!(p.notify(obj, t).unwrap_err(), SyncError::NotLocked);
+        assert_eq!(p.notify_all(obj, t).unwrap_err(), SyncError::NotLocked);
+        // Not-owner on a fat lock.
+        let rb = p.registry().register().unwrap();
+        p.lock(obj, rb.token()).unwrap();
+        p.notify(obj, rb.token()).unwrap(); // inflates via owner
+        assert!(p.lock_word(obj).is_fat());
+        assert_eq!(p.wait(obj, t, None).unwrap_err(), SyncError::NotOwner);
+        p.unlock(obj, rb.token()).unwrap();
+    }
+
+    #[test]
+    fn timed_wait_times_out() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, t).unwrap();
+        let out = p
+            .wait(obj, t, Some(Duration::from_millis(25)))
+            .unwrap();
+        assert_eq!(out, WaitOutcome::TimedOut);
+        assert!(p.holds_lock(obj, t));
+        p.unlock(obj, t).unwrap();
+    }
+
+    #[test]
+    fn contention_spins_then_inflates_exactly_once() {
+        // Deterministic contention: the owner holds the lock across a
+        // barrier so the contender is guaranteed to find it thin-held.
+        let p = Arc::new(fresh(4));
+        let obj = p.heap().alloc().unwrap();
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let owner = {
+            let p = Arc::clone(&p);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let r = p.registry().register().unwrap();
+                let t = r.token();
+                p.lock(obj, t).unwrap();
+                barrier.wait(); // contender may now start spinning
+                thread::sleep(Duration::from_millis(30));
+                p.unlock(obj, t).unwrap();
+            })
+        };
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        barrier.wait();
+        assert!(p.lock_word(obj).is_thin_shape());
+        p.lock(obj, t).unwrap(); // spins, acquires, inflates
+        assert!(p.lock_word(obj).is_fat(), "contention inflated the lock");
+        assert!(p.holds_lock(obj, t));
+        p.unlock(obj, t).unwrap();
+        owner.join().unwrap();
+        assert_eq!(p.inflated_count(), 1, "inflated exactly once");
+    }
+
+    #[test]
+    fn mutual_exclusion_many_threads_one_object() {
+        let p = Arc::new(fresh(4));
+        let obj = p.heap().alloc().unwrap();
+        let total = Arc::new(AtomicU64::new(0));
+        const THREADS: usize = 4;
+        const ITERS: u64 = 300;
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let p = Arc::clone(&p);
+            let total = Arc::clone(&total);
+            handles.push(thread::spawn(move || {
+                let r = p.registry().register().unwrap();
+                let t = r.token();
+                for _ in 0..ITERS {
+                    p.lock(obj, t).unwrap();
+                    let v = total.load(Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    total.store(v + 1, Ordering::Relaxed);
+                    p.unlock(obj, t).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), THREADS as u64 * ITERS);
+        // Whether inflation occurred depends on the schedule, but the lock
+        // must end fully released either way.
+        let r = p.registry().register().unwrap();
+        assert!(!p.holds_lock(obj, r.token()));
+        assert!(p.inflated_count() <= 1);
+    }
+
+    #[test]
+    fn independent_objects_do_not_interfere() {
+        let p = fresh(16);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let objs: Vec<_> = (0..16).map(|_| p.heap().alloc().unwrap()).collect();
+        for &o in &objs {
+            p.lock(o, t).unwrap();
+        }
+        for &o in &objs {
+            assert!(p.holds_lock(o, t));
+        }
+        for &o in &objs {
+            p.unlock(o, t).unwrap();
+            assert!(!p.holds_lock(o, t));
+        }
+    }
+
+    #[test]
+    fn stats_classify_scenarios() {
+        let stats = Arc::new(LockStats::new());
+        let p = ThinLocks::with_capacity(4).with_stats(Arc::clone(&stats));
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, t).unwrap(); // unlocked
+        p.lock(obj, t).unwrap(); // nested depth 2
+        p.lock(obj, t).unwrap(); // nested depth 3
+        p.unlock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+        let snap = stats.snapshot();
+        assert_eq!(snap.scenario_counts[0], 1, "one first lock");
+        assert_eq!(snap.scenario_counts[1], 2, "two shallow nested");
+        assert_eq!(snap.depth_histogram[0], 1);
+        assert_eq!(snap.depth_histogram[1], 1);
+        assert_eq!(snap.depth_histogram[2], 1);
+        assert_eq!(snap.unlocks_thin, 3);
+        assert_eq!(snap.total_inflations(), 0);
+    }
+
+    #[test]
+    fn variant_configs_behave_identically() {
+        use crate::config::{StaticKernelCas, StaticMp, StaticUp};
+        fn exercise<C: FastPathConfig>(p: ThinLocks<C>) {
+            let r = p.registry().register().unwrap();
+            let t = r.token();
+            let obj = p.heap().alloc().unwrap();
+            for _ in 0..3 {
+                p.lock(obj, t).unwrap();
+            }
+            for _ in 0..3 {
+                p.unlock(obj, t).unwrap();
+            }
+            assert!(p.lock_word(obj).is_unlocked());
+        }
+        let heap = || Arc::new(Heap::with_capacity(2));
+        exercise(ThinLocks::with_config(heap(), ThreadRegistry::new(), StaticUp));
+        exercise(ThinLocks::with_config(heap(), ThreadRegistry::new(), StaticMp));
+        exercise(ThinLocks::with_config(
+            heap(),
+            ThreadRegistry::new(),
+            StaticKernelCas,
+        ));
+        exercise(ThinLocks::with_config(
+            heap(),
+            ThreadRegistry::new(),
+            DynamicConfig::default().with_cas_unlock(),
+        ));
+        exercise(ThinLocks::with_config(
+            heap(),
+            ThreadRegistry::new(),
+            DynamicConfig::default().with_outlined_fast_path(),
+        ));
+    }
+
+    #[test]
+    fn fat_lock_reentrancy_after_inflation() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, t).unwrap();
+        p.notify(obj, t).unwrap(); // forces inflation
+        assert!(p.lock_word(obj).is_fat());
+        p.lock(obj, t).unwrap(); // nested on fat
+        p.lock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+        assert!(p.holds_lock(obj, t));
+        p.unlock(obj, t).unwrap();
+        assert!(!p.holds_lock(obj, t));
+    }
+
+    #[test]
+    fn lock_state_reporting() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        assert!(matches!(p.lock_word(obj).state(), LockState::Unlocked));
+        p.lock(obj, t).unwrap();
+        assert!(matches!(p.lock_word(obj).state(), LockState::Thin { .. }));
+        p.notify(obj, t).unwrap();
+        assert!(matches!(p.lock_word(obj).state(), LockState::Fat { .. }));
+        p.unlock(obj, t).unwrap();
+    }
+
+    #[test]
+    fn debug_formatting() {
+        let p = fresh(1);
+        let text = format!("{p:?}");
+        assert!(text.contains("ThinLocks"));
+        assert!(text.contains("inflated"));
+    }
+}

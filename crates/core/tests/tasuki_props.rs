@@ -1,0 +1,130 @@
+//! Property tests of the deflating (Tasuki-style) variant against the
+//! single-threaded reference model — like `thin_model_props`, but with
+//! the deflating state machine: the fat state is *not* permanent; it
+//! collapses back to thin on a fully-released quiet unlock.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use thinlock::TasukiLocks;
+use thinlock_runtime::error::SyncError;
+use thinlock_runtime::heap::ObjRef;
+use thinlock_runtime::lockword::LockState;
+use thinlock_runtime::protocol::SyncProtocol;
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Lock(u8),
+    Unlock(u8),
+    Notify(u8),
+}
+
+fn arb_step(objects: u8) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (0..objects).prop_map(Step::Lock),
+        3 => (0..objects).prop_map(Step::Unlock),
+        1 => (0..objects).prop_map(Step::Notify),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Single-threaded model equivalence with deflation: the word is fat
+    /// exactly while a wait/notify-inflated monitor is still held; once
+    /// fully released it must be thin again (no waiters can exist
+    /// single-threaded).
+    #[test]
+    fn deflating_protocol_matches_model(
+        steps in proptest::collection::vec(arb_step(3), 1..120)
+    ) {
+        let locks = TasukiLocks::with_capacity(3);
+        let reg = locks.registry().register().unwrap();
+        let t = reg.token();
+        let objs: Vec<ObjRef> = (0..3).map(|_| locks.heap().alloc().unwrap()).collect();
+        let hashes: Vec<u8> = objs
+            .iter()
+            .map(|&o| locks.lock_word(o).header_bits())
+            .collect();
+
+        let mut depth: HashMap<usize, u32> = HashMap::new();
+        let mut fat_now: HashMap<usize, bool> = HashMap::new();
+
+        for step in steps {
+            match step {
+                Step::Lock(i) => {
+                    let i = usize::from(i);
+                    prop_assert!(locks.lock(objs[i], t).is_ok());
+                    let d = depth.entry(i).or_insert(0);
+                    *d += 1;
+                    if *d > 256 {
+                        fat_now.insert(i, true);
+                    }
+                }
+                Step::Unlock(i) => {
+                    let i = usize::from(i);
+                    let d = depth.entry(i).or_insert(0);
+                    let r = locks.unlock(objs[i], t);
+                    if *d == 0 {
+                        prop_assert!(matches!(
+                            r,
+                            Err(SyncError::NotLocked) | Err(SyncError::NotOwner)
+                        ));
+                    } else {
+                        prop_assert!(r.is_ok());
+                        *d -= 1;
+                        if *d == 0 {
+                            // Quiet final unlock always deflates.
+                            fat_now.insert(i, false);
+                        }
+                    }
+                }
+                Step::Notify(i) => {
+                    let i = usize::from(i);
+                    let d = *depth.get(&i).unwrap_or(&0);
+                    let r = locks.notify(objs[i], t);
+                    if d == 0 {
+                        prop_assert!(r.is_err());
+                    } else {
+                        prop_assert!(r.is_ok());
+                        fat_now.insert(i, true);
+                    }
+                }
+            }
+
+            for (i, &obj) in objs.iter().enumerate() {
+                let d = *depth.get(&i).unwrap_or(&0);
+                let fat = *fat_now.get(&i).unwrap_or(&false);
+                let word = locks.lock_word(obj);
+                prop_assert_eq!(word.header_bits(), hashes[i], "header disturbed");
+                match (fat, d) {
+                    (true, _) => prop_assert!(word.is_fat(), "expected fat, got {}", word),
+                    (false, 0) => {
+                        prop_assert_eq!(word.state(), LockState::Unlocked)
+                    }
+                    (false, d) => match word.state() {
+                        LockState::Thin { count, .. } => {
+                            prop_assert_eq!(u32::from(count) + 1, d);
+                        }
+                        other => prop_assert!(false, "expected thin, got {:?}", other),
+                    },
+                }
+            }
+        }
+
+        // Drain: everything releases and deflates.
+        for (i, &obj) in objs.iter().enumerate() {
+            let d = *depth.get(&i).unwrap_or(&0);
+            for _ in 0..d {
+                prop_assert!(locks.unlock(obj, t).is_ok());
+            }
+            prop_assert!(!locks.holds_lock(obj, t));
+            prop_assert!(locks.lock_word(obj).is_unlocked(), "deflated at rest");
+        }
+        prop_assert_eq!(
+            locks.inflation_count(),
+            locks.deflation_count(),
+            "every inflation eventually deflated"
+        );
+    }
+}

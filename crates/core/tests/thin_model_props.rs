@@ -1,0 +1,152 @@
+//! Property tests of the thin-lock protocol against a trivial reference
+//! model: arbitrary single-threaded sequences of lock/unlock/wait-ish
+//! operations must produce exactly the outcomes the model predicts, and
+//! the lock word must decode to the model's state after every step.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use thinlock::ThinLocks;
+use thinlock_runtime::error::SyncError;
+use thinlock_runtime::heap::ObjRef;
+use thinlock_runtime::lockword::LockState;
+use thinlock_runtime::protocol::SyncProtocol;
+
+/// One step of the generated workload.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Lock(u8),
+    Unlock(u8),
+    Notify(u8),
+    HoldsQuery(u8),
+}
+
+fn arb_step(objects: u8) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (0..objects).prop_map(Step::Lock),
+        3 => (0..objects).prop_map(Step::Unlock),
+        1 => (0..objects).prop_map(Step::Notify),
+        1 => (0..objects).prop_map(Step::HoldsQuery),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Single-threaded model equivalence. The model is a per-object depth
+    /// counter plus an "inflated" flag; the protocol must agree on every
+    /// success, every error, and every decoded lock-word state.
+    #[test]
+    fn protocol_matches_reference_model(
+        steps in proptest::collection::vec(arb_step(4), 1..120)
+    ) {
+        let locks = ThinLocks::with_capacity(4);
+        let reg = locks.registry().register().unwrap();
+        let t = reg.token();
+        let objs: Vec<ObjRef> = (0..4).map(|_| locks.heap().alloc().unwrap()).collect();
+        let hashes: Vec<u8> = objs
+            .iter()
+            .map(|&o| locks.lock_word(o).header_bits())
+            .collect();
+
+        let mut depth: HashMap<usize, u32> = HashMap::new();
+        let mut inflated: HashMap<usize, bool> = HashMap::new();
+
+        for step in steps {
+            match step {
+                Step::Lock(i) => {
+                    let i = usize::from(i);
+                    let r = locks.lock(objs[i], t);
+                    prop_assert!(r.is_ok());
+                    let d = depth.entry(i).or_insert(0);
+                    *d += 1;
+                    // The 257th acquisition (count overflow) inflates.
+                    if *d > 256 {
+                        inflated.insert(i, true);
+                    }
+                }
+                Step::Unlock(i) => {
+                    let i = usize::from(i);
+                    let d = depth.entry(i).or_insert(0);
+                    let r = locks.unlock(objs[i], t);
+                    if *d == 0 {
+                        // Not held: the error depends on inflation state
+                        // only in its flavour; both mean "illegal monitor
+                        // state" in Java.
+                        prop_assert!(matches!(
+                            r,
+                            Err(SyncError::NotLocked) | Err(SyncError::NotOwner)
+                        ));
+                    } else {
+                        prop_assert!(r.is_ok());
+                        *d -= 1;
+                    }
+                }
+                Step::Notify(i) => {
+                    let i = usize::from(i);
+                    let d = *depth.get(&i).unwrap_or(&0);
+                    let r = locks.notify(objs[i], t);
+                    if d == 0 {
+                        prop_assert!(r.is_err());
+                    } else {
+                        prop_assert!(r.is_ok());
+                        inflated.insert(i, true);
+                    }
+                }
+                Step::HoldsQuery(i) => {
+                    let i = usize::from(i);
+                    let d = *depth.get(&i).unwrap_or(&0);
+                    prop_assert_eq!(locks.holds_lock(objs[i], t), d > 0);
+                }
+            }
+
+            // After every step, each object's lock word must decode to the
+            // model's state.
+            for (i, &obj) in objs.iter().enumerate() {
+                let d = *depth.get(&i).unwrap_or(&0);
+                let infl = *inflated.get(&i).unwrap_or(&false);
+                let word = locks.lock_word(obj);
+                prop_assert_eq!(word.header_bits(), hashes[i], "header disturbed");
+                match (infl, d) {
+                    (false, 0) => prop_assert_eq!(word.state(), LockState::Unlocked),
+                    (false, d) => match word.state() {
+                        LockState::Thin { count, .. } => {
+                            prop_assert_eq!(u32::from(count) + 1, d);
+                        }
+                        other => prop_assert!(false, "expected thin, got {:?}", other),
+                    },
+                    (true, _) => prop_assert!(word.is_fat(), "inflation is permanent"),
+                }
+            }
+        }
+
+        // Drain all held locks; everything must release cleanly.
+        for (i, &obj) in objs.iter().enumerate() {
+            let d = *depth.get(&i).unwrap_or(&0);
+            for _ in 0..d {
+                prop_assert!(locks.unlock(obj, t).is_ok());
+            }
+            prop_assert!(!locks.holds_lock(obj, t));
+        }
+    }
+
+    /// The guard API never leaks a lock, whatever the nesting pattern.
+    #[test]
+    fn guards_balance_arbitrary_nesting(depths in proptest::collection::vec(1u8..6, 1..12)) {
+        use thinlock_runtime::protocol::SyncProtocolExt;
+        let locks = Arc::new(ThinLocks::with_capacity(4));
+        let reg = locks.registry().register().unwrap();
+        let t = reg.token();
+        let obj = locks.heap().alloc().unwrap();
+        for d in depths {
+            let mut guards = Vec::new();
+            for _ in 0..d {
+                guards.push(locks.enter(obj, t).unwrap());
+            }
+            prop_assert!(locks.holds_lock(obj, t));
+            drop(guards);
+            prop_assert!(!locks.holds_lock(obj, t));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Spin-wait backoff for the contention path.
+//!
+//! Section 2.3.4: a thread that finds an object thin-locked by another
+//! thread spins until the owner releases, then acquires and inflates. The
+//! paper notes that "standard back-off techniques [Anderson 90] for
+//! reducing the cost of spin-locking can be applied"; this module is that
+//! technique: bounded exponential busy-wait that degrades to
+//! `yield_now`, which is also what makes the spin loop livelock-free on a
+//! uniprocessor (such as the single-CPU container this reproduction runs
+//! in — the owner can only make progress if the spinner yields).
+
+use std::fmt;
+
+/// How the contention path waits for the owner to release (Section 2.3.4
+/// leaves this open: "standard back-off techniques… can be applied").
+/// Exposed as a knob so the ablation benches can measure the choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SpinPolicy {
+    /// Exponential busy-wait escalating to scheduler yields — the default,
+    /// and the only livelock-free choice on a uniprocessor.
+    #[default]
+    SpinThenYield,
+    /// Yield to the scheduler on every round (no busy-wait at all);
+    /// cheapest when the owner almost always needs a full quantum.
+    YieldOnly,
+    /// Keep busy-waiting with a capped pulse count, yielding only every
+    /// 64th round as a safety valve. Models aggressive SMP spinning; on a
+    /// uniprocessor this is the paper's "pathological case".
+    SpinHard,
+}
+
+/// Exponential spin/yield backoff.
+///
+/// # Example
+///
+/// ```
+/// use thinlock_runtime::backoff::Backoff;
+///
+/// let mut b = Backoff::new();
+/// for _ in 0..4 {
+///     b.snooze(); // cheap busy-wait first, then yields to the scheduler
+/// }
+/// assert!(b.rounds() == 4);
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    step: u32,
+    rounds: u64,
+    policy: SpinPolicy,
+}
+
+/// Past this step, each snooze yields the processor instead of busy
+/// spinning. Kept small: on the paper's locality-of-contention assumption
+/// the spin is rare and short, and on a uniprocessor only a yield lets the
+/// lock owner run at all.
+const SPIN_LIMIT: u32 = 5;
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backoff {
+    /// Creates a fresh backoff at the cheapest step with the default
+    /// policy.
+    pub fn new() -> Self {
+        Self::with_policy(SpinPolicy::SpinThenYield)
+    }
+
+    /// Creates a backoff with an explicit policy (ablation benches).
+    pub fn with_policy(policy: SpinPolicy) -> Self {
+        Backoff {
+            step: 0,
+            rounds: 0,
+            policy,
+        }
+    }
+
+    /// Waits one backoff round according to the policy.
+    pub fn snooze(&mut self) {
+        self.rounds += 1;
+        match self.policy {
+            SpinPolicy::SpinThenYield => {
+                if self.step <= SPIN_LIMIT {
+                    for _ in 0..(1u32 << self.step) {
+                        std::hint::spin_loop();
+                    }
+                    self.step += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            SpinPolicy::YieldOnly => std::thread::yield_now(),
+            SpinPolicy::SpinHard => {
+                if self.rounds.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    for _ in 0..(1u32 << SPIN_LIMIT.min(self.step)) {
+                        std::hint::spin_loop();
+                    }
+                    self.step = (self.step + 1).min(SPIN_LIMIT);
+                }
+            }
+        }
+    }
+
+    /// The policy this backoff runs under.
+    pub fn policy(&self) -> SpinPolicy {
+        self.policy
+    }
+
+    /// True once the backoff has escalated to yielding (always true under
+    /// [`SpinPolicy::YieldOnly`]).
+    pub fn is_yielding(&self) -> bool {
+        matches!(self.policy, SpinPolicy::YieldOnly) || self.step > SPIN_LIMIT
+    }
+
+    /// Total snoozes since creation or [`reset`](Self::reset); protocols use
+    /// this as the spin count reported to statistics.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Returns to the cheapest step (after successfully acquiring).
+    pub fn reset(&mut self) {
+        self.step = 0;
+        self.rounds = 0;
+    }
+}
+
+impl fmt::Display for Backoff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "backoff(step={}, rounds={})", self.step, self.rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_to_yielding() {
+        let mut b = Backoff::new();
+        assert!(!b.is_yielding());
+        for _ in 0..=SPIN_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        assert_eq!(b.rounds(), u64::from(SPIN_LIMIT) + 1);
+    }
+
+    #[test]
+    fn reset_returns_to_spinning() {
+        let mut b = Backoff::new();
+        for _ in 0..20 {
+            b.snooze();
+        }
+        b.reset();
+        assert!(!b.is_yielding());
+        assert_eq!(b.rounds(), 0);
+    }
+
+    #[test]
+    fn display_mentions_state() {
+        let b = Backoff::new();
+        assert_eq!(b.to_string(), "backoff(step=0, rounds=0)");
+    }
+
+    #[test]
+    fn yield_only_policy_is_always_yielding() {
+        let mut b = Backoff::with_policy(SpinPolicy::YieldOnly);
+        assert!(b.is_yielding());
+        for _ in 0..3 {
+            b.snooze();
+        }
+        assert_eq!(b.rounds(), 3);
+        assert_eq!(b.policy(), SpinPolicy::YieldOnly);
+    }
+
+    #[test]
+    fn spin_hard_policy_never_escalates_past_limit() {
+        let mut b = Backoff::with_policy(SpinPolicy::SpinHard);
+        for _ in 0..200 {
+            b.snooze();
+        }
+        // SpinHard caps at the spin limit instead of switching to yields.
+        assert!(!b.is_yielding());
+        assert_eq!(b.rounds(), 200);
+    }
+
+    #[test]
+    fn default_policy_is_spin_then_yield() {
+        assert_eq!(SpinPolicy::default(), SpinPolicy::SpinThenYield);
+        assert_eq!(Backoff::new().policy(), SpinPolicy::SpinThenYield);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types shared by every locking protocol in the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias used throughout the workspace.
+pub type SyncResult<T> = Result<T, SyncError>;
+
+/// Errors surfaced by the synchronization protocols and their substrates.
+///
+/// These mirror the failure modes of the Java monitor operations the paper
+/// implements: `IllegalMonitorStateException` when a thread performs a
+/// monitor operation on an object it does not own, plus resource-exhaustion
+/// conditions of the fixed-size tables the paper relies on (15-bit thread
+/// indices, 23-bit monitor indices, a fixed-capacity heap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SyncError {
+    /// A monitor operation (`unlock`, `wait`, `notify`, `notifyAll`) was
+    /// attempted by a thread that does not own the object's monitor.
+    ///
+    /// Java throws `IllegalMonitorStateException` here.
+    NotOwner,
+    /// An unlock was attempted on an object that is not locked at all.
+    NotLocked,
+    /// The 15-bit thread-index space (32767 live threads) is exhausted.
+    ThreadIndexExhausted,
+    /// The 23-bit monitor-index space is exhausted (more than 8,388,607
+    /// inflated locks alive at once).
+    MonitorIndexExhausted,
+    /// The fixed-capacity heap has no room for another object.
+    HeapFull,
+    /// A thread token was used with a registry it does not belong to, or
+    /// after its thread was deregistered.
+    StaleThreadToken,
+    /// `wait` was interrupted via [`crate::registry::ThreadRegistry::interrupt`].
+    ///
+    /// Java throws `InterruptedException`; protocols re-acquire the monitor
+    /// before surfacing this, exactly as the JLS requires.
+    Interrupted,
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            SyncError::NotOwner => "current thread does not own the monitor",
+            SyncError::NotLocked => "object is not locked",
+            SyncError::ThreadIndexExhausted => "thread index space (15 bits) exhausted",
+            SyncError::MonitorIndexExhausted => "monitor index space (23 bits) exhausted",
+            SyncError::HeapFull => "heap capacity exhausted",
+            SyncError::StaleThreadToken => "thread token is stale or from another registry",
+            SyncError::Interrupted => "wait was interrupted",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl Error for SyncError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        for e in [
+            SyncError::NotOwner,
+            SyncError::NotLocked,
+            SyncError::ThreadIndexExhausted,
+            SyncError::MonitorIndexExhausted,
+            SyncError::HeapFull,
+            SyncError::StaleThreadToken,
+            SyncError::Interrupted,
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "no trailing punctuation: {s}");
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SyncError>();
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SyncError::NotOwner, SyncError::NotOwner);
+        assert_ne!(SyncError::NotOwner, SyncError::NotLocked);
+    }
+}

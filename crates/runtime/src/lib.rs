@@ -1,0 +1,52 @@
+//! Substrate for the thin-locks reproduction.
+//!
+//! This crate provides everything the locking protocols of the paper
+//! *assume to exist* in the Java virtual machine they were built into:
+//!
+//! * [`lockword`] — the 24-bit lock field embedded in every object header,
+//!   with the exact bit layout of Figure 1/2 of the paper and the
+//!   XOR-based nested-lock predicate of Section 2.3.3.
+//! * [`heap`] — a fixed-capacity object heap whose objects carry a
+//!   three-word header; the low 8 bits of the header word that hosts the
+//!   lock field are "other header data" that locking must never disturb.
+//! * [`registry`] — the thread-index table: 15-bit thread indices, the
+//!   per-thread execution environment holding the *pre-shifted* index, and
+//!   a parker used by the heavyweight monitor layer to block threads.
+//! * [`arch`] — architecture profiles modelling the paper's PowerPC
+//!   uniprocessor / multiprocessor / POWER kernel-CAS targets (Section 3.5).
+//! * [`protocol`] — the [`protocol::SyncProtocol`] trait implemented by the
+//!   thin-lock protocol and by both baselines, so benchmarks and the
+//!   bytecode VM are generic over the locking implementation.
+//! * [`stats`] — instrumentation counters for the locking-scenario
+//!   characterization of Section 3.2 (Table 1 / Figure 3).
+//! * [`backoff`] — the spin/yield backoff used while spinning to inflate.
+//!
+//! # Example
+//!
+//! ```
+//! use thinlock_runtime::heap::Heap;
+//!
+//! let heap = Heap::with_capacity(16);
+//! let obj = heap.alloc()?;
+//! let word = heap.header(obj).lock_word().load_relaxed();
+//! assert!(word.is_unlocked());
+//! # Ok::<(), thinlock_runtime::SyncError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod arch;
+pub mod backoff;
+pub mod error;
+pub mod heap;
+pub mod lockword;
+pub mod protocol;
+pub mod registry;
+pub mod stats;
+
+pub use error::{SyncError, SyncResult};
+pub use heap::{Heap, ObjRef};
+pub use lockword::{LockWord, MonitorIndex, ThreadIndex};
+pub use protocol::{SyncProtocol, WaitOutcome};
+pub use registry::{ThreadRegistry, ThreadToken};

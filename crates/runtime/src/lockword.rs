@@ -1,0 +1,581 @@
+//! The 24-bit lock field of the paper, embedded in a 32-bit header word.
+//!
+//! Figure 1 of the paper reserves 24 bits of one header word for the lock;
+//! the remaining 8 bits are "either constant or subject to change only when
+//! an object is moved", so the locking protocol may treat them as constant.
+//! We place those 8 bits in the **low** byte of the word (the paper's
+//! diagrams put the lock field in the high-order bits, which is what makes
+//! the pre-shifted thread index and the single-compare nested-lock test
+//! work on PowerPC immediates):
+//!
+//! ```text
+//!  31          30..16            15..8       7..0
+//! +-------+------------------+-----------+----------+
+//! | shape | thread index(15) | count (8) | hdr bits |   shape = 0: thin
+//! +-------+------------------+-----------+----------+
+//! | shape |      monitor index (23)      | hdr bits |   shape = 1: fat
+//! +-------+------------------+-----------+----------+
+//! ```
+//!
+//! * A **thin** lock (`shape == 0`) holds a 15-bit thread index and an
+//!   8-bit nested-lock count. Thread index 0 means *unlocked* (and then the
+//!   count must also be 0). The count stores *locks − 1*: an object locked
+//!   once by thread `A` has count 0.
+//! * A **fat** (inflated) lock (`shape == 1`) holds a 23-bit index into the
+//!   monitor table.
+//!
+//! The module exposes both the paper's branch-minimal predicates (the XOR
+//! trick of Section 2.3.3) and a structured [`LockState`] decoding; a
+//! property test in this module proves they agree on every word.
+
+use std::fmt;
+
+use crate::error::SyncError;
+
+/// Mask of the 8 low "other header data" bits that share the word with the
+/// lock field. Locking must never change these bits.
+pub const HEADER_BITS_MASK: u32 = 0x0000_00FF;
+
+/// Mask of the full 24-bit lock field.
+pub const LOCK_FIELD_MASK: u32 = !HEADER_BITS_MASK;
+
+/// The monitor shape bit: 0 = thin, 1 = fat (inflated).
+pub const SHAPE_BIT: u32 = 1 << 31;
+
+/// Bit offset of the nested-lock count within the word.
+pub const COUNT_SHIFT: u32 = 8;
+
+/// Mask of the 8-bit nested-lock count.
+pub const COUNT_MASK: u32 = 0xFF << COUNT_SHIFT;
+
+/// Bit offset of the 15-bit thread index within the word.
+///
+/// Thread indices are stored *pre-shifted* by this amount in each thread's
+/// execution environment (Section 2.3.1) so the lock fast path needs no
+/// extra ALU operation.
+pub const TID_SHIFT: u32 = 16;
+
+/// Mask of the 15-bit thread index.
+pub const TID_MASK: u32 = 0x7FFF << TID_SHIFT;
+
+/// Bit offset of the 23-bit monitor index within the word.
+pub const MONITOR_SHIFT: u32 = 8;
+
+/// Mask of the 23-bit monitor index.
+pub const MONITOR_MASK: u32 = 0x7F_FFFF << MONITOR_SHIFT;
+
+/// Maximum value of the stored count field (locks − 1), i.e. 255.
+///
+/// The paper inflates on the lock that would exceed this: "we define
+/// excessive as 257" — the 256 thin-representable acquisitions plus the one
+/// that overflows.
+pub const MAX_THIN_COUNT: u32 = 0xFF;
+
+/// The paper's nested-lock-test limit: `255 << 8`, which "happens to fit
+/// into a 16-bit unsigned immediate field on most RISC architectures".
+pub const NESTED_LIMIT: u32 = 0xFF << COUNT_SHIFT;
+
+/// A 15-bit thread index (1..=32767). Index 0 is reserved to mean
+/// *unlocked* and cannot be constructed.
+///
+/// # Example
+///
+/// ```
+/// use thinlock_runtime::lockword::ThreadIndex;
+/// let t = ThreadIndex::new(5)?;
+/// assert_eq!(t.get(), 5);
+/// assert_eq!(t.shifted(), 5 << 16);
+/// # Ok::<(), thinlock_runtime::SyncError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadIndex(u16);
+
+impl ThreadIndex {
+    /// Largest representable thread index.
+    pub const MAX: u16 = 0x7FFF;
+
+    /// Creates a thread index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::ThreadIndexExhausted`] if `raw` is 0 or exceeds
+    /// the 15-bit space.
+    pub fn new(raw: u16) -> Result<Self, SyncError> {
+        if raw == 0 || raw > Self::MAX {
+            Err(SyncError::ThreadIndexExhausted)
+        } else {
+            Ok(ThreadIndex(raw))
+        }
+    }
+
+    /// The raw index value (never 0).
+    #[inline]
+    pub fn get(self) -> u16 {
+        self.0
+    }
+
+    /// The index pre-shifted into thread-index position of a lock word.
+    ///
+    /// This is the value each thread caches in its execution environment so
+    /// that building the "locked once by me" word is a single OR.
+    #[inline]
+    pub fn shifted(self) -> u32 {
+        u32::from(self.0) << TID_SHIFT
+    }
+}
+
+impl fmt::Display for ThreadIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A 23-bit index into the fat-lock (monitor) table.
+///
+/// # Example
+///
+/// ```
+/// use thinlock_runtime::lockword::MonitorIndex;
+/// let m = MonitorIndex::new(42)?;
+/// assert_eq!(m.get(), 42);
+/// # Ok::<(), thinlock_runtime::SyncError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MonitorIndex(u32);
+
+impl MonitorIndex {
+    /// Largest representable monitor index.
+    pub const MAX: u32 = 0x7F_FFFF;
+
+    /// Creates a monitor index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::MonitorIndexExhausted`] if `raw` exceeds the
+    /// 23-bit space.
+    pub fn new(raw: u32) -> Result<Self, SyncError> {
+        if raw > Self::MAX {
+            Err(SyncError::MonitorIndexExhausted)
+        } else {
+            Ok(MonitorIndex(raw))
+        }
+    }
+
+    /// The raw index value.
+    #[inline]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for MonitorIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Structured view of a lock word, for slow paths, debugging, and tests.
+///
+/// The fast paths never build this; they use the raw-word predicates on
+/// [`LockWord`] directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockState {
+    /// Lock field is all zeroes: nobody owns the object.
+    Unlocked,
+    /// Thin lock held by `owner`, acquired `count + 1` times.
+    Thin {
+        /// Owning thread.
+        owner: ThreadIndex,
+        /// Stored count, i.e. number of acquisitions minus one.
+        count: u8,
+    },
+    /// Inflated lock; all state lives in the monitor table at `index`.
+    Fat {
+        /// Index of the fat lock in the monitor table.
+        index: MonitorIndex,
+    },
+}
+
+/// A snapshot of an object's 32-bit header word containing the lock field.
+///
+/// `LockWord` is a *value*: loading, deciding, and storing are performed by
+/// the protocols on the underlying atomic. All methods are total and
+/// branch-free where the paper's assembly was.
+///
+/// # Example
+///
+/// ```
+/// use thinlock_runtime::lockword::{LockWord, ThreadIndex};
+///
+/// let hdr = LockWord::new_unlocked(0xAB);
+/// let t = ThreadIndex::new(7)?;
+/// let locked = hdr.locked_once_by(t);
+/// assert_eq!(locked.thin_owner(), Some(t));
+/// assert_eq!(locked.thin_count(), 0); // count stores locks - 1
+/// assert_eq!(locked.header_bits(), 0xAB); // low byte untouched
+/// # Ok::<(), thinlock_runtime::SyncError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LockWord(u32);
+
+impl LockWord {
+    /// Creates the word for an unlocked object whose "other header data"
+    /// byte is `header_bits`.
+    #[inline]
+    pub fn new_unlocked(header_bits: u8) -> Self {
+        LockWord(u32::from(header_bits))
+    }
+
+    /// Reinterprets a raw 32-bit header word.
+    #[inline]
+    pub fn from_bits(bits: u32) -> Self {
+        LockWord(bits)
+    }
+
+    /// The raw 32-bit word.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// The 8 "other header data" bits that share the word with the lock.
+    #[inline]
+    pub fn header_bits(self) -> u8 {
+        (self.0 & HEADER_BITS_MASK) as u8
+    }
+
+    /// The word with the entire 24-bit lock field cleared — the "old value"
+    /// a locking thread feeds to compare-and-swap (Section 2.3.1 constructs
+    /// it "by loading the lock word and masking out the high 24 bits").
+    #[inline]
+    pub fn with_lock_field_clear(self) -> Self {
+        LockWord(self.0 & HEADER_BITS_MASK)
+    }
+
+    /// True if the monitor shape bit is 0 (thin or unlocked).
+    #[inline]
+    pub fn is_thin_shape(self) -> bool {
+        self.0 & SHAPE_BIT == 0
+    }
+
+    /// True if the monitor shape bit is 1 (inflated).
+    #[inline]
+    pub fn is_fat(self) -> bool {
+        self.0 & SHAPE_BIT != 0
+    }
+
+    /// True if the lock field is all zeroes (unlocked, never inflated).
+    #[inline]
+    pub fn is_unlocked(self) -> bool {
+        self.0 & LOCK_FIELD_MASK == 0
+    }
+
+    /// The owning thread of a thin lock, if this word is a held thin lock.
+    #[inline]
+    pub fn thin_owner(self) -> Option<ThreadIndex> {
+        if self.is_fat() {
+            return None;
+        }
+        let raw = ((self.0 & TID_MASK) >> TID_SHIFT) as u16;
+        ThreadIndex::new(raw).ok()
+    }
+
+    /// The stored thin count (locks − 1). Meaningless unless
+    /// [`thin_owner`](Self::thin_owner) is `Some`.
+    #[inline]
+    pub fn thin_count(self) -> u8 {
+        ((self.0 & COUNT_MASK) >> COUNT_SHIFT) as u8
+    }
+
+    /// The monitor index of an inflated word, if the shape bit is set.
+    #[inline]
+    pub fn monitor_index(self) -> Option<MonitorIndex> {
+        if self.is_fat() {
+            Some(MonitorIndex((self.0 & MONITOR_MASK) >> MONITOR_SHIFT))
+        } else {
+            None
+        }
+    }
+
+    /// The word representing "locked once by `owner`": the bitwise OR of
+    /// the cleared word and the pre-shifted thread index (Figure 1(d)).
+    #[inline]
+    pub fn locked_once_by(self, owner: ThreadIndex) -> Self {
+        LockWord((self.0 & HEADER_BITS_MASK) | owner.shifted())
+    }
+
+    /// The paper's single-compare nested-lock test (Section 2.3.3):
+    /// XOR the word with the pre-shifted owner index and check the result
+    /// is `< 255 << 8`. True exactly when the shape bit is 0, the owner
+    /// matches, and the count can be incremented without overflow.
+    #[inline]
+    pub fn can_nest(self, owner_shifted: u32) -> bool {
+        (self.0 ^ owner_shifted) < NESTED_LIMIT
+    }
+
+    /// True exactly when this word is a thin lock held *once* by the given
+    /// owner: shape 0, matching index, count 0. This is the expected "old
+    /// value" of the common-case unlock (Section 2.3.2, Figure 1(d)); a
+    /// single XOR against the pre-shifted index leaves at most header bits.
+    #[inline]
+    pub fn is_locked_once_by(self, owner_shifted: u32) -> bool {
+        (self.0 ^ owner_shifted) <= HEADER_BITS_MASK
+    }
+
+    /// Like [`can_nest`](Self::can_nest) but also true at the maximum
+    /// count: shape is 0 and the owner matches, irrespective of overflow.
+    /// Used by the unlock and overflow-detection paths.
+    #[inline]
+    pub fn is_thin_owned_by(self, owner_shifted: u32) -> bool {
+        (self.0 ^ owner_shifted) <= (COUNT_MASK | HEADER_BITS_MASK)
+    }
+
+    /// The word with the nested count incremented by one — a single ADD of
+    /// `1 << 8` as in the paper. Caller must have checked
+    /// [`can_nest`](Self::can_nest).
+    #[inline]
+    pub fn with_count_incremented(self) -> Self {
+        debug_assert!(self.is_thin_shape());
+        debug_assert!(self.thin_count() < MAX_THIN_COUNT as u8);
+        LockWord(self.0 + (1 << COUNT_SHIFT))
+    }
+
+    /// The word with the nested count decremented by one. Caller must hold
+    /// the lock with a positive count.
+    #[inline]
+    pub fn with_count_decremented(self) -> Self {
+        debug_assert!(self.is_thin_shape());
+        debug_assert!(self.thin_count() > 0);
+        LockWord(self.0 - (1 << COUNT_SHIFT))
+    }
+
+    /// The inflated form of this word: shape bit set and the monitor index
+    /// installed, preserving the header byte (Figure 2(a)).
+    #[inline]
+    pub fn inflated(self, index: MonitorIndex) -> Self {
+        LockWord((self.0 & HEADER_BITS_MASK) | SHAPE_BIT | (index.0 << MONITOR_SHIFT))
+    }
+
+    /// Full structured decoding, for slow paths and diagnostics.
+    pub fn state(self) -> LockState {
+        if self.is_fat() {
+            LockState::Fat {
+                index: self.monitor_index().expect("shape bit checked"),
+            }
+        } else {
+            match self.thin_owner() {
+                None => LockState::Unlocked,
+                Some(owner) => LockState::Thin {
+                    owner,
+                    count: self.thin_count(),
+                },
+            }
+        }
+    }
+}
+
+impl fmt::Debug for LockWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LockWord({:#010x} = {:?})", self.0, self.state())
+    }
+}
+
+impl fmt::Display for LockWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.state() {
+            LockState::Unlocked => write!(f, "unlocked(hdr={:#04x})", self.header_bits()),
+            LockState::Thin { owner, count } => {
+                write!(f, "thin({owner}, locks={})", u32::from(count) + 1)
+            }
+            LockState::Fat { index } => write!(f, "fat({index})"),
+        }
+    }
+}
+
+impl fmt::LowerHex for LockWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for LockWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for LockWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u16) -> ThreadIndex {
+        ThreadIndex::new(i).unwrap()
+    }
+
+    #[test]
+    fn unlocked_word_has_zero_lock_field() {
+        let w = LockWord::new_unlocked(0xCD);
+        assert!(w.is_unlocked());
+        assert!(w.is_thin_shape());
+        assert!(!w.is_fat());
+        assert_eq!(w.header_bits(), 0xCD);
+        assert_eq!(w.thin_owner(), None);
+        assert_eq!(w.state(), LockState::Unlocked);
+    }
+
+    #[test]
+    fn thread_index_rejects_zero_and_too_large() {
+        assert_eq!(ThreadIndex::new(0), Err(SyncError::ThreadIndexExhausted));
+        assert_eq!(
+            ThreadIndex::new(0x8000),
+            Err(SyncError::ThreadIndexExhausted)
+        );
+        assert!(ThreadIndex::new(1).is_ok());
+        assert!(ThreadIndex::new(ThreadIndex::MAX).is_ok());
+    }
+
+    #[test]
+    fn monitor_index_bounds() {
+        assert!(MonitorIndex::new(0).is_ok());
+        assert!(MonitorIndex::new(MonitorIndex::MAX).is_ok());
+        assert_eq!(
+            MonitorIndex::new(MonitorIndex::MAX + 1),
+            Err(SyncError::MonitorIndexExhausted)
+        );
+    }
+
+    #[test]
+    fn locked_once_sets_owner_and_zero_count() {
+        let w = LockWord::new_unlocked(0x3C).locked_once_by(t(123));
+        assert!(!w.is_unlocked());
+        assert_eq!(w.thin_owner(), Some(t(123)));
+        assert_eq!(w.thin_count(), 0);
+        assert_eq!(w.header_bits(), 0x3C);
+        assert_eq!(
+            w.state(),
+            LockState::Thin {
+                owner: t(123),
+                count: 0
+            }
+        );
+    }
+
+    #[test]
+    fn nested_increment_and_decrement_are_adds_of_256() {
+        let w0 = LockWord::new_unlocked(0xFF).locked_once_by(t(9));
+        let w1 = w0.with_count_incremented();
+        assert_eq!(w1.bits(), w0.bits() + 256);
+        assert_eq!(w1.thin_count(), 1);
+        assert_eq!(w1.thin_owner(), Some(t(9)));
+        assert_eq!(w1.with_count_decremented(), w0);
+    }
+
+    #[test]
+    fn can_nest_matches_paper_conditions() {
+        let owner = t(77);
+        let os = owner.shifted();
+        // Unlocked: owner bits differ -> cannot nest.
+        assert!(!LockWord::new_unlocked(0).can_nest(os));
+        // Owned, count 0..=254: can nest.
+        let mut w = LockWord::new_unlocked(0xAA).locked_once_by(owner);
+        for _ in 0..MAX_THIN_COUNT {
+            assert!(w.can_nest(os), "count {}", w.thin_count());
+            w = w.with_count_incremented();
+        }
+        // Count == 255: cannot nest (would overflow 8 bits).
+        assert_eq!(w.thin_count(), 255);
+        assert!(!w.can_nest(os));
+        // ... but is still recognizably owned.
+        assert!(w.is_thin_owned_by(os));
+        // Different owner: cannot nest.
+        let other = LockWord::new_unlocked(0xAA).locked_once_by(t(78));
+        assert!(!other.can_nest(os));
+        assert!(!other.is_thin_owned_by(os));
+        // Fat: cannot nest.
+        let fat = w.inflated(MonitorIndex::new(3).unwrap());
+        assert!(!fat.can_nest(os));
+        assert!(!fat.is_thin_owned_by(os));
+    }
+
+    #[test]
+    fn is_locked_once_by_matches_decoded_check() {
+        let owner = t(300);
+        let os = owner.shifted();
+        let once = LockWord::new_unlocked(0x44).locked_once_by(owner);
+        assert!(once.is_locked_once_by(os));
+        assert!(!once.with_count_incremented().is_locked_once_by(os));
+        assert!(!LockWord::new_unlocked(0x44).is_locked_once_by(os));
+        assert!(!once
+            .inflated(MonitorIndex::new(1).unwrap())
+            .is_locked_once_by(os));
+        assert!(!LockWord::new_unlocked(0x44)
+            .locked_once_by(t(301))
+            .is_locked_once_by(os));
+    }
+
+    #[test]
+    fn nested_limit_fits_sixteen_bit_immediate() {
+        // The paper notes 255 << 8 fits a 16-bit unsigned immediate.
+        const { assert!(NESTED_LIMIT <= 0xFFFF) };
+    }
+
+    #[test]
+    fn inflation_preserves_header_bits_and_sets_shape() {
+        let thin = LockWord::new_unlocked(0x5A).locked_once_by(t(4));
+        let idx = MonitorIndex::new(0x7F_FFFF).unwrap();
+        let fat = thin.inflated(idx);
+        assert!(fat.is_fat());
+        assert_eq!(fat.header_bits(), 0x5A);
+        assert_eq!(fat.monitor_index(), Some(idx));
+        assert_eq!(fat.state(), LockState::Fat { index: idx });
+        assert_eq!(fat.thin_owner(), None);
+    }
+
+    #[test]
+    fn masks_partition_the_word() {
+        assert_eq!(HEADER_BITS_MASK | COUNT_MASK | TID_MASK | SHAPE_BIT, u32::MAX);
+        assert_eq!(HEADER_BITS_MASK & COUNT_MASK, 0);
+        assert_eq!(COUNT_MASK & TID_MASK, 0);
+        assert_eq!(TID_MASK & SHAPE_BIT, 0);
+        assert_eq!(MONITOR_MASK, COUNT_MASK | TID_MASK);
+    }
+
+    #[test]
+    fn max_thread_index_does_not_collide_with_shape_bit() {
+        let w = LockWord::new_unlocked(0).locked_once_by(t(ThreadIndex::MAX));
+        assert!(w.is_thin_shape());
+        assert_eq!(w.thin_owner(), Some(t(ThreadIndex::MAX)));
+    }
+
+    #[test]
+    fn clearing_lock_field_keeps_header_byte() {
+        let w = LockWord::from_bits(0xDEAD_BEEF);
+        assert_eq!(w.with_lock_field_clear().bits(), 0xEF);
+    }
+
+    #[test]
+    fn display_formats() {
+        let u = LockWord::new_unlocked(2);
+        assert_eq!(u.to_string(), "unlocked(hdr=0x02)");
+        let w = u.locked_once_by(t(5)).with_count_incremented();
+        assert_eq!(w.to_string(), "thin(t5, locks=2)");
+        let f = u.inflated(MonitorIndex::new(9).unwrap());
+        assert_eq!(f.to_string(), "fat(m9)");
+        // Debug is never empty and includes hex.
+        assert!(format!("{w:?}").contains("0x"));
+    }
+
+    #[test]
+    fn hex_binary_formatting() {
+        let w = LockWord::from_bits(0xF0);
+        assert_eq!(format!("{w:x}"), "f0");
+        assert_eq!(format!("{w:X}"), "F0");
+        assert_eq!(format!("{w:b}"), "11110000");
+    }
+}

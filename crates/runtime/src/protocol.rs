@@ -1,0 +1,381 @@
+//! The common interface of every monitor implementation in the workspace.
+//!
+//! The paper compares three implementations of Java monitor semantics:
+//! thin locks, the Sun JDK 1.1.1 monitor cache, and the IBM 1.1.2 hot
+//! locks. [`SyncProtocol`] is the seam that lets the bytecode VM, the trace
+//! replayer, and every benchmark run unchanged over all three.
+//!
+//! Semantics follow the Java language specification (derived from Mesa
+//! monitors, as the paper notes): re-entrant mutual exclusion per object,
+//! plus `wait`/`notify`/`notifyAll` condition queues with "notify moves the
+//! waiter to the entry queue" (Mesa signal-and-continue) semantics.
+
+use std::time::Duration;
+
+#[allow(unused_imports)] // referenced by doc links; used by the testing oracle
+use crate::error::SyncError;
+use crate::error::SyncResult;
+use crate::heap::{Heap, ObjRef};
+use crate::registry::{ThreadRegistry, ThreadToken};
+
+/// Result of a [`SyncProtocol::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitOutcome {
+    /// The thread was woken by `notify`/`notifyAll`.
+    Notified,
+    /// The timeout elapsed before a notification arrived.
+    TimedOut,
+}
+
+/// Java monitor semantics over a shared [`Heap`] of objects.
+///
+/// Calling threads identify themselves with the [`ThreadToken`] issued by
+/// the protocol's [`ThreadRegistry`]; this models the execution-environment
+/// pointer that the paper's assembly fast path loads the pre-shifted thread
+/// index from.
+///
+/// # Example
+///
+/// Generic code can take any protocol:
+///
+/// ```no_run
+/// use thinlock_runtime::{SyncProtocol, ObjRef, ThreadToken, SyncResult};
+///
+/// fn critical_section<P: SyncProtocol>(p: &P, obj: ObjRef, me: ThreadToken) -> SyncResult<()> {
+///     p.lock(obj, me)?;
+///     // ... guarded work ...
+///     p.unlock(obj, me)
+/// }
+/// ```
+pub trait SyncProtocol: Send + Sync {
+    /// Acquires the monitor of `obj` for thread `t`, re-entrantly.
+    ///
+    /// Blocks (spinning or queuing, per implementation) under contention.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific resource exhaustion
+    /// ([`SyncError::MonitorIndexExhausted`], …).
+    fn lock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()>;
+
+    /// Releases one level of the monitor of `obj`.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::NotOwner`] / [`SyncError::NotLocked`] when `t` does not
+    /// own the monitor — Java's `IllegalMonitorStateException`.
+    fn unlock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()>;
+
+    /// Releases the monitor entirely (all nesting levels), waits for a
+    /// notification or timeout, then re-acquires to the previous nesting
+    /// level before returning.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::NotOwner`] if `t` does not own the monitor;
+    /// [`SyncError::Interrupted`] if the thread was interrupted (the
+    /// monitor is still re-acquired first, as the JLS requires).
+    fn wait(&self, obj: ObjRef, t: ThreadToken, timeout: Option<Duration>)
+        -> SyncResult<WaitOutcome>;
+
+    /// Wakes one thread waiting on `obj`, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::NotOwner`] if `t` does not own the monitor.
+    fn notify(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()>;
+
+    /// Wakes every thread waiting on `obj`.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::NotOwner`] if `t` does not own the monitor.
+    fn notify_all(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()>;
+
+    /// True if thread `t` currently owns the monitor of `obj`.
+    fn holds_lock(&self, obj: ObjRef, t: ThreadToken) -> bool;
+
+    /// The heap whose objects this protocol synchronizes.
+    fn heap(&self) -> &Heap;
+
+    /// The registry that issued the tokens this protocol accepts.
+    fn registry(&self) -> &ThreadRegistry;
+
+    /// Short stable name used in benchmark reports ("ThinLock", "JDK111",
+    /// "IBM112").
+    fn name(&self) -> &'static str;
+}
+
+/// RAII guard: releases the monitor when dropped, even on unwind, so a
+/// panicking critical section cannot leak a lock (Java's `synchronized`
+/// unlocks on exception for the same reason).
+#[derive(Debug)]
+pub struct MonitorGuard<'p, P: SyncProtocol + ?Sized> {
+    protocol: &'p P,
+    obj: ObjRef,
+    token: ThreadToken,
+}
+
+impl<'p, P: SyncProtocol + ?Sized> MonitorGuard<'p, P> {
+    /// The guarded object.
+    pub fn object(&self) -> ObjRef {
+        self.obj
+    }
+
+    /// Waits on the guarded object's condition queue.
+    ///
+    /// # Errors
+    ///
+    /// See [`SyncProtocol::wait`].
+    pub fn wait(&self, timeout: Option<Duration>) -> SyncResult<WaitOutcome> {
+        self.protocol.wait(self.obj, self.token, timeout)
+    }
+
+    /// Notifies one waiter on the guarded object.
+    ///
+    /// # Errors
+    ///
+    /// See [`SyncProtocol::notify`].
+    pub fn notify(&self) -> SyncResult<()> {
+        self.protocol.notify(self.obj, self.token)
+    }
+
+    /// Notifies all waiters on the guarded object.
+    ///
+    /// # Errors
+    ///
+    /// See [`SyncProtocol::notify_all`].
+    pub fn notify_all(&self) -> SyncResult<()> {
+        self.protocol.notify_all(self.obj, self.token)
+    }
+}
+
+impl<'p, P: SyncProtocol + ?Sized> Drop for MonitorGuard<'p, P> {
+    fn drop(&mut self) {
+        // Destructors never fail (C-DTOR-FAIL): a guard only exists for a
+        // lock we own, so the only conceivable error here is a protocol
+        // bug; surface it loudly in debug builds, swallow it during unwind.
+        let r = self.protocol.unlock(self.obj, self.token);
+        debug_assert!(r.is_ok(), "guard unlock failed: {r:?}");
+    }
+}
+
+/// Blanket convenience layer over [`SyncProtocol`].
+pub trait SyncProtocolExt: SyncProtocol {
+    /// Acquires `obj` and returns a guard that releases it on drop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncProtocol::lock`] errors.
+    fn enter(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<MonitorGuard<'_, Self>> {
+        self.lock(obj, t)?;
+        Ok(MonitorGuard {
+            protocol: self,
+            obj,
+            token: t,
+        })
+    }
+
+    /// Runs `f` with the monitor of `obj` held — the `synchronized` block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncProtocol::lock`] errors; `f`'s value is returned on
+    /// success. The monitor is released even if `f` panics.
+    fn synchronized<R>(
+        &self,
+        obj: ObjRef,
+        t: ThreadToken,
+        f: impl FnOnce() -> R,
+    ) -> SyncResult<R> {
+        let _guard = self.enter(obj, t)?;
+        Ok(f())
+    }
+}
+
+impl<P: SyncProtocol + ?Sized> SyncProtocolExt for P {}
+
+/// A trivial protocol for tests of generic machinery: a global mutex table
+/// keyed by object index. Not a reproduction artifact — exists so substrate
+/// crates can test `SyncProtocol`-generic code without depending on the
+/// real protocols (which live upstack).
+#[cfg(any(test, feature = "testing"))]
+pub mod testing {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::{Condvar, Mutex};
+
+    /// Reference monitor implementation used as an oracle in tests.
+    #[derive(Debug)]
+    pub struct TableMonitor {
+        heap: Heap,
+        registry: ThreadRegistry,
+        state: Mutex<HashMap<usize, (u16, u32)>>, // obj -> (owner, count)
+        cv: Condvar,
+    }
+
+    impl TableMonitor {
+        /// Creates an oracle over a fresh heap of `cap` objects.
+        pub fn new(cap: usize) -> Self {
+            TableMonitor {
+                heap: Heap::with_capacity(cap),
+                registry: ThreadRegistry::new(),
+                state: Mutex::new(HashMap::new()),
+                cv: Condvar::new(),
+            }
+        }
+    }
+
+    impl SyncProtocol for TableMonitor {
+        fn lock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+            let mut st = self.state.lock().unwrap();
+            loop {
+                match st.get_mut(&obj.index()) {
+                    None => {
+                        st.insert(obj.index(), (t.index().get(), 1));
+                        return Ok(());
+                    }
+                    Some((owner, count)) if *owner == t.index().get() => {
+                        *count += 1;
+                        return Ok(());
+                    }
+                    Some(_) => {
+                        st = self.cv.wait(st).unwrap();
+                    }
+                }
+            }
+        }
+
+        fn unlock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+            let mut st = self.state.lock().unwrap();
+            match st.get_mut(&obj.index()) {
+                Some((owner, count)) if *owner == t.index().get() => {
+                    *count -= 1;
+                    if *count == 0 {
+                        st.remove(&obj.index());
+                        self.cv.notify_all();
+                    }
+                    Ok(())
+                }
+                Some(_) => Err(SyncError::NotOwner),
+                None => Err(SyncError::NotLocked),
+            }
+        }
+
+        fn wait(
+            &self,
+            _obj: ObjRef,
+            _t: ThreadToken,
+            _timeout: Option<Duration>,
+        ) -> SyncResult<WaitOutcome> {
+            unimplemented!("oracle does not model wait")
+        }
+
+        fn notify(&self, _obj: ObjRef, _t: ThreadToken) -> SyncResult<()> {
+            Ok(())
+        }
+
+        fn notify_all(&self, _obj: ObjRef, _t: ThreadToken) -> SyncResult<()> {
+            Ok(())
+        }
+
+        fn holds_lock(&self, obj: ObjRef, t: ThreadToken) -> bool {
+            self.state
+                .lock()
+                .unwrap()
+                .get(&obj.index())
+                .is_some_and(|(owner, _)| *owner == t.index().get())
+        }
+
+        fn heap(&self) -> &Heap {
+            &self.heap
+        }
+
+        fn registry(&self) -> &ThreadRegistry {
+            &self.registry
+        }
+
+        fn name(&self) -> &'static str {
+            "TableOracle"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::TableMonitor;
+    use super::*;
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let p = TableMonitor::new(4);
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        let obj = p.heap().alloc().unwrap();
+        {
+            let g = p.enter(obj, t).unwrap();
+            assert!(p.holds_lock(obj, t));
+            assert_eq!(g.object(), obj);
+        }
+        assert!(!p.holds_lock(obj, t));
+    }
+
+    #[test]
+    fn synchronized_returns_value_and_unlocks() {
+        let p = TableMonitor::new(4);
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        let obj = p.heap().alloc().unwrap();
+        let v = p.synchronized(obj, t, || 42).unwrap();
+        assert_eq!(v, 42);
+        assert!(!p.holds_lock(obj, t));
+    }
+
+    #[test]
+    fn guard_releases_on_panic() {
+        let p = TableMonitor::new(4);
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        let obj = p.heap().alloc().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = p.enter(obj, t).unwrap();
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert!(!p.holds_lock(obj, t), "lock released during unwind");
+    }
+
+    #[test]
+    fn reentrancy_in_oracle() {
+        let p = TableMonitor::new(4);
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, t).unwrap();
+        p.lock(obj, t).unwrap();
+        assert!(p.holds_lock(obj, t));
+        p.unlock(obj, t).unwrap();
+        assert!(p.holds_lock(obj, t));
+        p.unlock(obj, t).unwrap();
+        assert!(!p.holds_lock(obj, t));
+        assert_eq!(p.unlock(obj, t), Err(SyncError::NotLocked));
+    }
+
+    #[test]
+    fn unlock_by_non_owner_is_rejected() {
+        let p = TableMonitor::new(4);
+        let ra = p.registry().register().unwrap();
+        let rb = p.registry().register().unwrap();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, ra.token()).unwrap();
+        assert_eq!(p.unlock(obj, rb.token()), Err(SyncError::NotOwner));
+        p.unlock(obj, ra.token()).unwrap();
+    }
+
+    #[test]
+    fn protocol_is_object_safe() {
+        let p = TableMonitor::new(1);
+        let dynp: &dyn SyncProtocol = &p;
+        assert_eq!(dynp.name(), "TableOracle");
+    }
+}

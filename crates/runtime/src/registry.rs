@@ -1,0 +1,457 @@
+//! The thread-index table and per-thread execution environment.
+//!
+//! Section 2.3 of the paper: thin locks store a **15-bit thread index**; a
+//! global table maps indices to thread structures, and each thread's
+//! execution environment caches its own index *pre-shifted* 16 bits left so
+//! the lock fast path can build the "locked once by me" word with a single
+//! OR. This module provides exactly that:
+//!
+//! * [`ThreadRegistry`] — allocates indices 1..=32767 (0 means *unlocked*),
+//!   recycles them when threads exit, and maps an index back to the
+//!   thread's [`Parker`] so the heavyweight monitor layer can block and
+//!   wake threads by index.
+//! * [`ThreadToken`] — the cached execution-environment view: the index and
+//!   its pre-shifted form, `Copy` so it travels freely through fast paths.
+//! * [`Parker`] — a binary-semaphore thread parker built on
+//!   `Mutex`/`Condvar`, the primitive under the fat-lock queues.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+use crate::error::SyncError;
+use crate::lockword::ThreadIndex;
+
+/// A binary-semaphore parker: `unpark` grants one permit, `park` consumes
+/// one, blocking until available. Robust to spurious wakeups and to
+/// `unpark` arriving before `park`.
+///
+/// # Example
+///
+/// ```
+/// use thinlock_runtime::registry::Parker;
+/// let p = Parker::new();
+/// p.unpark();
+/// p.park(); // permit already available: returns immediately
+/// ```
+#[derive(Debug, Default)]
+pub struct Parker {
+    permit: Mutex<bool>,
+    cvar: Condvar,
+}
+
+impl Parker {
+    /// Creates a parker with no permit available.
+    pub fn new() -> Self {
+        Parker::default()
+    }
+
+    /// Blocks until a permit is available, then consumes it.
+    pub fn park(&self) {
+        let mut permit = self.permit.lock().expect("parker mutex poisoned");
+        while !*permit {
+            permit = self.cvar.wait(permit).expect("parker mutex poisoned");
+        }
+        *permit = false;
+    }
+
+    /// Blocks until a permit is available or `timeout` elapses.
+    ///
+    /// Returns `true` if a permit was consumed, `false` on timeout.
+    pub fn park_timeout(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut permit = self.permit.lock().expect("parker mutex poisoned");
+        while !*permit {
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            let (guard, _res) = self
+                .cvar
+                .wait_timeout(permit, remaining)
+                .expect("parker mutex poisoned");
+            permit = guard;
+        }
+        *permit = false;
+        true
+    }
+
+    /// Makes one permit available, waking a parked thread if any.
+    /// Saturating: multiple unparks before a park still grant one permit.
+    pub fn unpark(&self) {
+        let mut permit = self.permit.lock().expect("parker mutex poisoned");
+        *permit = true;
+        self.cvar.notify_one();
+    }
+
+    /// Discards any pending permit (used when a thread is about to re-wait
+    /// and must not consume a stale wakeup).
+    pub fn clear_permit(&self) {
+        let mut permit = self.permit.lock().expect("parker mutex poisoned");
+        *permit = false;
+    }
+}
+
+/// Per-thread record held by the registry while a thread is registered.
+#[derive(Debug)]
+pub struct ThreadRecord {
+    index: ThreadIndex,
+    parker: Parker,
+    interrupted: AtomicBool,
+}
+
+impl ThreadRecord {
+    /// The thread's index.
+    pub fn index(&self) -> ThreadIndex {
+        self.index
+    }
+
+    /// The thread's parker.
+    pub fn parker(&self) -> &Parker {
+        &self.parker
+    }
+
+    /// True if an interrupt is pending; clears the flag when `clear` is set
+    /// (Java's `Thread.interrupted()` vs `isInterrupted()`).
+    pub fn take_interrupt(&self, clear: bool) -> bool {
+        if clear {
+            self.interrupted.swap(false, Ordering::Relaxed)
+        } else {
+            self.interrupted.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Marks an interrupt pending and wakes the thread if parked.
+    pub fn interrupt(&self) {
+        self.interrupted.store(true, Ordering::Relaxed);
+        self.parker.unpark();
+    }
+}
+
+/// The execution-environment view of a registered thread: its index and
+/// the index pre-shifted into lock-word position (Section 2.3.1: "the
+/// thread index is stored pre-shifted by 16 bits, so that the locking code
+/// does not have to perform an extra ALU operation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThreadToken {
+    index: ThreadIndex,
+    shifted: u32,
+}
+
+impl ThreadToken {
+    /// The thread index.
+    #[inline]
+    pub fn index(self) -> ThreadIndex {
+        self.index
+    }
+
+    /// The pre-shifted index, ready to OR into a lock word.
+    #[inline]
+    pub fn shifted(self) -> u32 {
+        self.shifted
+    }
+}
+
+impl fmt::Display for ThreadToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.index, f)
+    }
+}
+
+/// RAII registration of the current thread with a [`ThreadRegistry`];
+/// dropping it returns the index to the free pool.
+#[derive(Debug)]
+pub struct Registration {
+    registry: Arc<RegistryShared>,
+    token: ThreadToken,
+}
+
+impl Registration {
+    /// The `Copy` token to thread through lock operations.
+    pub fn token(&self) -> ThreadToken {
+        self.token
+    }
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        self.registry.release(self.token.index);
+    }
+}
+
+#[derive(Debug)]
+struct RegistryShared {
+    slots: Box<[RwLock<Option<Arc<ThreadRecord>>>]>,
+    free: Mutex<FreePool>,
+}
+
+#[derive(Debug)]
+struct FreePool {
+    recycled: Vec<u16>,
+    next_fresh: u16,
+}
+
+impl RegistryShared {
+    fn release(&self, index: ThreadIndex) {
+        let slot = &self.slots[index.get() as usize];
+        *slot.write().expect("registry slot poisoned") = None;
+        self.free
+            .lock()
+            .expect("registry free pool poisoned")
+            .recycled
+            .push(index.get());
+    }
+}
+
+/// The global thread-index table of the paper.
+///
+/// # Example
+///
+/// ```
+/// use thinlock_runtime::registry::ThreadRegistry;
+///
+/// let registry = ThreadRegistry::new();
+/// let me = registry.register()?;
+/// let token = me.token();
+/// assert_eq!(u32::from(token.index().get()) << 16, token.shifted());
+/// # Ok::<(), thinlock_runtime::SyncError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreadRegistry {
+    shared: Arc<RegistryShared>,
+}
+
+impl Default for ThreadRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadRegistry {
+    /// Default maximum number of simultaneously registered threads.
+    ///
+    /// The 15-bit index space allows 32767; we default lower to keep the
+    /// slot table small, which suffices for every workload in the paper.
+    pub const DEFAULT_MAX_THREADS: u16 = 4096;
+
+    /// Creates a registry with the default capacity.
+    pub fn new() -> Self {
+        Self::with_max_threads(Self::DEFAULT_MAX_THREADS)
+    }
+
+    /// Creates a registry admitting at most `max_threads` concurrent
+    /// registrations (clamped to the 15-bit architectural limit).
+    pub fn with_max_threads(max_threads: u16) -> Self {
+        let max = max_threads.clamp(1, ThreadIndex::MAX);
+        let slots: Box<[RwLock<Option<Arc<ThreadRecord>>>]> = (0..=max as usize)
+            .map(|_| RwLock::new(None))
+            .collect();
+        ThreadRegistry {
+            shared: Arc::new(RegistryShared {
+                slots,
+                free: Mutex::new(FreePool {
+                    recycled: Vec::new(),
+                    next_fresh: 1,
+                }),
+            }),
+        }
+    }
+
+    /// Maximum number of simultaneously registered threads.
+    pub fn max_threads(&self) -> u16 {
+        (self.shared.slots.len() - 1) as u16
+    }
+
+    /// Registers the calling thread, assigning it a thread index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::ThreadIndexExhausted`] when all indices are in
+    /// use.
+    pub fn register(&self) -> Result<Registration, SyncError> {
+        let raw = {
+            let mut pool = self.shared.free.lock().expect("registry free pool poisoned");
+            if let Some(r) = pool.recycled.pop() {
+                r
+            } else if (pool.next_fresh as usize) < self.shared.slots.len() {
+                let r = pool.next_fresh;
+                pool.next_fresh += 1;
+                r
+            } else {
+                return Err(SyncError::ThreadIndexExhausted);
+            }
+        };
+        let index = ThreadIndex::new(raw).expect("pool never hands out 0 or overflow");
+        let record = Arc::new(ThreadRecord {
+            index,
+            parker: Parker::new(),
+            interrupted: AtomicBool::new(false),
+        });
+        *self.shared.slots[raw as usize]
+            .write()
+            .expect("registry slot poisoned") = Some(record);
+        Ok(Registration {
+            registry: Arc::clone(&self.shared),
+            token: ThreadToken {
+                index,
+                shifted: index.shifted(),
+            },
+        })
+    }
+
+    /// Looks up the record of a registered thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::StaleThreadToken`] if no thread currently holds
+    /// that index.
+    pub fn record(&self, index: ThreadIndex) -> Result<Arc<ThreadRecord>, SyncError> {
+        self.shared.slots[index.get() as usize]
+            .read()
+            .expect("registry slot poisoned")
+            .clone()
+            .ok_or(SyncError::StaleThreadToken)
+    }
+
+    /// Marks the thread holding `index` interrupted, waking it if parked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::StaleThreadToken`] if the index is unoccupied.
+    pub fn interrupt(&self, index: ThreadIndex) -> Result<(), SyncError> {
+        self.record(index)?.interrupt();
+        Ok(())
+    }
+
+    /// Number of live registrations.
+    pub fn live_threads(&self) -> usize {
+        let pool = self.shared.free.lock().expect("registry free pool poisoned");
+        (pool.next_fresh as usize - 1) - pool.recycled.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn indices_start_at_one_and_recycle() {
+        let reg = ThreadRegistry::with_max_threads(4);
+        let a = reg.register().unwrap();
+        let b = reg.register().unwrap();
+        assert_eq!(a.token().index().get(), 1);
+        assert_eq!(b.token().index().get(), 2);
+        assert_eq!(reg.live_threads(), 2);
+        let freed = b.token().index();
+        drop(b);
+        assert_eq!(reg.live_threads(), 1);
+        let c = reg.register().unwrap();
+        assert_eq!(c.token().index(), freed, "index is recycled");
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let reg = ThreadRegistry::with_max_threads(2);
+        let _a = reg.register().unwrap();
+        let _b = reg.register().unwrap();
+        assert!(matches!(
+            reg.register(),
+            Err(SyncError::ThreadIndexExhausted)
+        ));
+    }
+
+    #[test]
+    fn token_shift_matches_lockword_layout() {
+        let reg = ThreadRegistry::new();
+        let r = reg.register().unwrap();
+        let t = r.token();
+        assert_eq!(t.shifted(), t.index().shifted());
+        assert_eq!(t.to_string(), format!("t{}", t.index().get()));
+    }
+
+    #[test]
+    fn record_lookup_and_staleness() {
+        let reg = ThreadRegistry::new();
+        let r = reg.register().unwrap();
+        let idx = r.token().index();
+        assert!(reg.record(idx).is_ok());
+        drop(r);
+        assert_eq!(reg.record(idx).unwrap_err(), SyncError::StaleThreadToken);
+        assert_eq!(reg.interrupt(idx).unwrap_err(), SyncError::StaleThreadToken);
+    }
+
+    #[test]
+    fn parker_permit_before_park() {
+        let p = Parker::new();
+        p.unpark();
+        p.unpark(); // saturating
+        p.park(); // consumes the single permit
+        assert!(!p.park_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn parker_timeout_expires() {
+        let p = Parker::new();
+        let start = Instant::now();
+        assert!(!p.park_timeout(Duration::from_millis(30)));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn parker_cross_thread_handoff() {
+        let p = Arc::new(Parker::new());
+        let p2 = Arc::clone(&p);
+        let h = std::thread::spawn(move || {
+            p2.park();
+            true
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        p.unpark();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn clear_permit_discards_wakeup() {
+        let p = Parker::new();
+        p.unpark();
+        p.clear_permit();
+        assert!(!p.park_timeout(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn interrupt_sets_flag_and_unparks() {
+        let reg = ThreadRegistry::new();
+        let r = reg.register().unwrap();
+        let idx = r.token().index();
+        let rec = reg.record(idx).unwrap();
+        assert!(!rec.take_interrupt(false));
+        reg.interrupt(idx).unwrap();
+        assert!(rec.take_interrupt(false), "flag visible without clearing");
+        assert!(rec.take_interrupt(true), "flag cleared");
+        assert!(!rec.take_interrupt(false));
+        // The interrupt also left a permit.
+        assert!(rec.parker().park_timeout(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn many_registrations_concurrently() {
+        let reg = ThreadRegistry::with_max_threads(64);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let r = reg.register().unwrap();
+                    std::hint::black_box(r.token());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.live_threads(), 0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Instrumentation counters for the locking-scenario characterization.
+//!
+//! Section 2 of the paper ranks five locking scenarios by assumed
+//! frequency, and Section 3.2 (Table 1, Figure 3) validates the ranking by
+//! counting them. [`LockStats`] holds one relaxed atomic counter per
+//! scenario plus a nesting-depth histogram, so a protocol (or the trace
+//! replay engine) can regenerate those measurements.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The five locking scenarios of Section 2, plus the post-inflation fat
+/// cases needed to account for every operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockScenario {
+    /// Scenario 1: locking an unlocked object.
+    Unlocked,
+    /// Scenario 2: shallowly nested locking by the owner (depth ≤ 4, the
+    /// deepest the paper ever observed).
+    NestedShallow,
+    /// Scenario 3: deeply nested locking by the owner (depth > 4).
+    NestedDeep,
+    /// Scenario 4: locking an object thin-locked by another thread (spin
+    /// and inflate); no queue exists yet.
+    ContendedThin,
+    /// Locking an already-inflated lock without waiting (fat fast path).
+    FatUncontended,
+    /// Scenario 5: locking an inflated lock that forces queuing.
+    FatContended,
+}
+
+impl LockScenario {
+    /// All scenarios in presentation order.
+    pub const ALL: [LockScenario; 6] = [
+        LockScenario::Unlocked,
+        LockScenario::NestedShallow,
+        LockScenario::NestedDeep,
+        LockScenario::ContendedThin,
+        LockScenario::FatUncontended,
+        LockScenario::FatContended,
+    ];
+}
+
+impl fmt::Display for LockScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockScenario::Unlocked => "unlocked",
+            LockScenario::NestedShallow => "nested-shallow",
+            LockScenario::NestedDeep => "nested-deep",
+            LockScenario::ContendedThin => "contended-thin",
+            LockScenario::FatUncontended => "fat-uncontended",
+            LockScenario::FatContended => "fat-contended",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a thin lock was inflated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InflationCause {
+    /// A second thread contended for a thin-held lock (Section 2.3.4).
+    Contention,
+    /// The 8-bit nested count overflowed (the paper's "excessive" 257th
+    /// acquisition).
+    CountOverflow,
+    /// `wait`/`notify`/`notifyAll` was performed on a thin-locked object.
+    WaitNotify,
+}
+
+impl fmt::Display for InflationCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InflationCause::Contention => "contention",
+            InflationCause::CountOverflow => "count-overflow",
+            InflationCause::WaitNotify => "wait-notify",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Number of buckets in the nesting-depth histogram. Depth 1 is the first
+/// lock on an object; the last bucket aggregates everything deeper.
+pub const DEPTH_BUCKETS: usize = 8;
+
+/// Relaxed atomic counters describing a run's locking behaviour.
+///
+/// All increments are `Relaxed`: the counters are monotone and only read
+/// after the measured run quiesces, so no ordering is needed and the
+/// instrumented fast path stays cheap.
+///
+/// # Example
+///
+/// ```
+/// use thinlock_runtime::stats::{LockScenario, LockStats};
+///
+/// let stats = LockStats::new();
+/// stats.record_lock(LockScenario::Unlocked, 1);
+/// stats.record_lock(LockScenario::NestedShallow, 2);
+/// let snap = stats.snapshot();
+/// assert_eq!(snap.total_locks(), 2);
+/// assert_eq!(snap.depth_histogram[0], 1); // one first-lock
+/// assert_eq!(snap.depth_histogram[1], 1); // one second-lock
+/// ```
+#[derive(Debug, Default)]
+pub struct LockStats {
+    scenarios: [AtomicU64; 6],
+    depths: [AtomicU64; DEPTH_BUCKETS],
+    inflations: [AtomicU64; 3],
+    unlocks_thin: AtomicU64,
+    unlocks_fat: AtomicU64,
+    spin_rounds: AtomicU64,
+    waits: AtomicU64,
+    notifies: AtomicU64,
+}
+
+impl LockStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        LockStats::default()
+    }
+
+    fn scenario_slot(s: LockScenario) -> usize {
+        match s {
+            LockScenario::Unlocked => 0,
+            LockScenario::NestedShallow => 1,
+            LockScenario::NestedDeep => 2,
+            LockScenario::ContendedThin => 3,
+            LockScenario::FatUncontended => 4,
+            LockScenario::FatContended => 5,
+        }
+    }
+
+    fn cause_slot(c: InflationCause) -> usize {
+        match c {
+            InflationCause::Contention => 0,
+            InflationCause::CountOverflow => 1,
+            InflationCause::WaitNotify => 2,
+        }
+    }
+
+    /// Records one lock acquisition under `scenario` at nesting `depth`
+    /// (1 = first lock on the object).
+    pub fn record_lock(&self, scenario: LockScenario, depth: u32) {
+        self.scenarios[Self::scenario_slot(scenario)].fetch_add(1, Ordering::Relaxed);
+        let bucket = (depth.max(1) as usize - 1).min(DEPTH_BUCKETS - 1);
+        self.depths[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an inflation and its cause.
+    pub fn record_inflation(&self, cause: InflationCause) {
+        self.inflations[Self::cause_slot(cause)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a thin (store-based) unlock.
+    pub fn record_unlock_thin(&self) {
+        self.unlocks_thin.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a fat (monitor) unlock.
+    pub fn record_unlock_fat(&self) {
+        self.unlocks_fat.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds spin-loop rounds spent waiting to inflate.
+    pub fn record_spin_rounds(&self, rounds: u64) {
+        self.spin_rounds.fetch_add(rounds, Ordering::Relaxed);
+    }
+
+    /// Records a `wait` operation.
+    pub fn record_wait(&self) {
+        self.waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `notify`/`notifyAll` operation.
+    pub fn record_notify(&self) {
+        self.notifies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting (run must be
+    /// quiescent for exact totals).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        StatsSnapshot {
+            scenario_counts: std::array::from_fn(|i| load(&self.scenarios[i])),
+            depth_histogram: std::array::from_fn(|i| load(&self.depths[i])),
+            inflations: std::array::from_fn(|i| load(&self.inflations[i])),
+            unlocks_thin: load(&self.unlocks_thin),
+            unlocks_fat: load(&self.unlocks_fat),
+            spin_rounds: load(&self.spin_rounds),
+            waits: load(&self.waits),
+            notifies: load(&self.notifies),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`LockStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Counts per scenario, indexed like [`LockScenario::ALL`].
+    pub scenario_counts: [u64; 6],
+    /// Lock acquisitions by nesting depth; bucket 0 is depth 1 (first
+    /// lock), the final bucket aggregates depth ≥ [`DEPTH_BUCKETS`].
+    pub depth_histogram: [u64; DEPTH_BUCKETS],
+    /// Inflations by cause: contention, count overflow, wait/notify.
+    pub inflations: [u64; 3],
+    /// Store-based unlocks of thin locks.
+    pub unlocks_thin: u64,
+    /// Monitor unlocks of fat locks.
+    pub unlocks_fat: u64,
+    /// Spin-loop rounds spent in the contention path.
+    pub spin_rounds: u64,
+    /// `wait` operations.
+    pub waits: u64,
+    /// `notify` + `notifyAll` operations.
+    pub notifies: u64,
+}
+
+impl StatsSnapshot {
+    /// Total lock acquisitions across all scenarios.
+    pub fn total_locks(&self) -> u64 {
+        self.scenario_counts.iter().sum()
+    }
+
+    /// Total inflations across all causes.
+    pub fn total_inflations(&self) -> u64 {
+        self.inflations.iter().sum()
+    }
+
+    /// Fraction (0..=1) of lock operations that found the object unlocked —
+    /// the paper's headline "median of 80% of all lock operations are on
+    /// unlocked objects".
+    pub fn first_lock_fraction(&self) -> f64 {
+        let total = self.total_locks();
+        if total == 0 {
+            return 0.0;
+        }
+        self.depth_histogram[0] as f64 / total as f64
+    }
+
+    /// Deepest nesting bucket with a nonzero count (1-based depth), or 0 if
+    /// no locks were recorded.
+    pub fn max_observed_depth(&self) -> usize {
+        self.depth_histogram
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1)
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "locks: {}", self.total_locks())?;
+        for (s, c) in LockScenario::ALL.iter().zip(self.scenario_counts) {
+            writeln!(f, "  {s:<16} {c}")?;
+        }
+        writeln!(
+            f,
+            "inflations: {} (contention {}, overflow {}, wait {})",
+            self.total_inflations(),
+            self.inflations[0],
+            self.inflations[1],
+            self.inflations[2]
+        )?;
+        writeln!(
+            f,
+            "unlocks: thin {}, fat {}; spins {}; waits {}; notifies {}",
+            self.unlocks_thin, self.unlocks_fat, self.spin_rounds, self.waits, self.notifies
+        )?;
+        write!(f, "depth histogram: {:?}", self.depth_histogram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_counting() {
+        let s = LockStats::new();
+        s.record_lock(LockScenario::Unlocked, 1);
+        s.record_lock(LockScenario::Unlocked, 1);
+        s.record_lock(LockScenario::NestedShallow, 2);
+        s.record_lock(LockScenario::FatContended, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.scenario_counts[0], 2);
+        assert_eq!(snap.scenario_counts[1], 1);
+        assert_eq!(snap.scenario_counts[5], 1);
+        assert_eq!(snap.total_locks(), 4);
+    }
+
+    #[test]
+    fn depth_histogram_buckets_and_saturation() {
+        let s = LockStats::new();
+        s.record_lock(LockScenario::Unlocked, 1);
+        s.record_lock(LockScenario::NestedShallow, 4);
+        s.record_lock(LockScenario::NestedDeep, 100); // saturates last bucket
+        let snap = s.snapshot();
+        assert_eq!(snap.depth_histogram[0], 1);
+        assert_eq!(snap.depth_histogram[3], 1);
+        assert_eq!(snap.depth_histogram[DEPTH_BUCKETS - 1], 1);
+        assert_eq!(snap.max_observed_depth(), DEPTH_BUCKETS);
+    }
+
+    #[test]
+    fn first_lock_fraction() {
+        let s = LockStats::new();
+        for _ in 0..8 {
+            s.record_lock(LockScenario::Unlocked, 1);
+        }
+        for _ in 0..2 {
+            s.record_lock(LockScenario::NestedShallow, 2);
+        }
+        let snap = s.snapshot();
+        assert!((snap.first_lock_fraction() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_calm() {
+        let snap = LockStats::new().snapshot();
+        assert_eq!(snap.total_locks(), 0);
+        assert_eq!(snap.first_lock_fraction(), 0.0);
+        assert_eq!(snap.max_observed_depth(), 0);
+    }
+
+    #[test]
+    fn inflation_causes_tracked_separately() {
+        let s = LockStats::new();
+        s.record_inflation(InflationCause::Contention);
+        s.record_inflation(InflationCause::Contention);
+        s.record_inflation(InflationCause::CountOverflow);
+        s.record_inflation(InflationCause::WaitNotify);
+        let snap = s.snapshot();
+        assert_eq!(snap.inflations, [2, 1, 1]);
+        assert_eq!(snap.total_inflations(), 4);
+    }
+
+    #[test]
+    fn display_contains_key_lines() {
+        let s = LockStats::new();
+        s.record_lock(LockScenario::Unlocked, 1);
+        s.record_unlock_thin();
+        let text = s.snapshot().to_string();
+        assert!(text.contains("locks: 1"));
+        assert!(text.contains("unlocked"));
+        assert!(text.contains("depth histogram"));
+    }
+
+    #[test]
+    fn scenario_display_names() {
+        assert_eq!(LockScenario::Unlocked.to_string(), "unlocked");
+        assert_eq!(InflationCause::WaitNotify.to_string(), "wait-notify");
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests of the lock-word encoding: the branch-minimal bit
+//! tricks of Section 2.3 must agree with the naive structured decoding on
+//! every possible word.
+
+use proptest::prelude::*;
+
+use thinlock_runtime::lockword::{
+    LockState, LockWord, MonitorIndex, ThreadIndex, HEADER_BITS_MASK, MAX_THIN_COUNT,
+};
+
+fn arb_thread_index() -> impl Strategy<Value = ThreadIndex> {
+    (1u16..=ThreadIndex::MAX).prop_map(|i| ThreadIndex::new(i).expect("in range"))
+}
+
+fn arb_monitor_index() -> impl Strategy<Value = MonitorIndex> {
+    (0u32..=MonitorIndex::MAX).prop_map(|i| MonitorIndex::new(i).expect("in range"))
+}
+
+/// The naive definition of the paper's XOR nested-lock predicate.
+fn can_nest_naive(word: LockWord, owner: ThreadIndex) -> bool {
+    word.is_thin_shape()
+        && word.thin_owner() == Some(owner)
+        && u32::from(word.thin_count()) < MAX_THIN_COUNT
+}
+
+/// The naive definition of "thin, held once by owner".
+fn locked_once_naive(word: LockWord, owner: ThreadIndex) -> bool {
+    word.is_thin_shape() && word.thin_owner() == Some(owner) && word.thin_count() == 0
+}
+
+/// The naive definition of "thin and held by owner at any count".
+fn owned_naive(word: LockWord, owner: ThreadIndex) -> bool {
+    word.is_thin_shape() && word.thin_owner() == Some(owner)
+}
+
+proptest! {
+    /// Thin encode → decode is the identity on (header, owner, count).
+    #[test]
+    fn thin_encoding_round_trips(hdr in any::<u8>(), owner in arb_thread_index(), count in 0u8..=255) {
+        let mut w = LockWord::new_unlocked(hdr).locked_once_by(owner);
+        for _ in 0..count {
+            w = w.with_count_incremented();
+        }
+        prop_assert_eq!(w.header_bits(), hdr);
+        prop_assert_eq!(w.thin_owner(), Some(owner));
+        prop_assert_eq!(w.thin_count(), count);
+        prop_assert_eq!(w.state(), LockState::Thin { owner, count });
+    }
+
+    /// Fat encode → decode is the identity on (header, monitor index).
+    #[test]
+    fn fat_encoding_round_trips(hdr in any::<u8>(), idx in arb_monitor_index()) {
+        let w = LockWord::new_unlocked(hdr).inflated(idx);
+        prop_assert!(w.is_fat());
+        prop_assert_eq!(w.header_bits(), hdr);
+        prop_assert_eq!(w.monitor_index(), Some(idx));
+        prop_assert_eq!(w.state(), LockState::Fat { index: idx });
+    }
+
+    /// The single-compare nested test equals its naive definition on
+    /// *every* 32-bit word, not just well-formed ones.
+    #[test]
+    fn xor_nested_test_is_exact(bits in any::<u32>(), owner in arb_thread_index()) {
+        let w = LockWord::from_bits(bits);
+        prop_assert_eq!(w.can_nest(owner.shifted()), can_nest_naive(w, owner));
+    }
+
+    /// `is_locked_once_by` equals its naive definition on every word.
+    #[test]
+    fn locked_once_test_is_exact(bits in any::<u32>(), owner in arb_thread_index()) {
+        let w = LockWord::from_bits(bits);
+        prop_assert_eq!(w.is_locked_once_by(owner.shifted()), locked_once_naive(w, owner));
+    }
+
+    /// `is_thin_owned_by` equals its naive definition on every word.
+    #[test]
+    fn owned_test_is_exact(bits in any::<u32>(), owner in arb_thread_index()) {
+        let w = LockWord::from_bits(bits);
+        prop_assert_eq!(w.is_thin_owned_by(owner.shifted()), owned_naive(w, owner));
+    }
+
+    /// No lock-word construction ever disturbs the shared header byte.
+    #[test]
+    fn header_bits_invariant(
+        hdr in any::<u8>(),
+        owner in arb_thread_index(),
+        idx in arb_monitor_index(),
+        nests in 0u8..=200,
+    ) {
+        let base = LockWord::new_unlocked(hdr);
+        prop_assert_eq!(base.header_bits(), hdr);
+        let mut locked = base.locked_once_by(owner);
+        for _ in 0..nests {
+            locked = locked.with_count_incremented();
+        }
+        prop_assert_eq!(locked.header_bits(), hdr);
+        for _ in 0..nests {
+            locked = locked.with_count_decremented();
+        }
+        prop_assert_eq!(locked.header_bits(), hdr);
+        prop_assert_eq!(locked, base.locked_once_by(owner));
+        let fat = locked.inflated(idx);
+        prop_assert_eq!(fat.header_bits(), hdr);
+        prop_assert_eq!(locked.with_lock_field_clear().header_bits(), hdr);
+    }
+
+    /// `with_lock_field_clear` really clears only the lock field.
+    #[test]
+    fn clear_isolates_lock_field(bits in any::<u32>()) {
+        let cleared = LockWord::from_bits(bits).with_lock_field_clear();
+        prop_assert!(cleared.is_unlocked());
+        prop_assert_eq!(u32::from(cleared.header_bits()), bits & HEADER_BITS_MASK);
+    }
+
+    /// Distinct (owner, count) thin states map to distinct words; i.e. the
+    /// encoding is injective given a fixed header byte.
+    #[test]
+    fn thin_encoding_is_injective(
+        a in arb_thread_index(), b in arb_thread_index(),
+        ca in 0u8..=255, cb in 0u8..=255,
+    ) {
+        prop_assume!(a != b || ca != cb);
+        let mk = |o: ThreadIndex, c: u8| {
+            let mut w = LockWord::new_unlocked(0x2A).locked_once_by(o);
+            for _ in 0..c {
+                w = w.with_count_incremented();
+            }
+            w
+        };
+        prop_assert_ne!(mk(a, ca), mk(b, cb));
+    }
+
+    /// Thin and fat words never collide (the shape bit separates them).
+    #[test]
+    fn thin_and_fat_are_disjoint(
+        owner in arb_thread_index(),
+        count in 0u8..=255,
+        idx in arb_monitor_index(),
+        hdr in any::<u8>(),
+    ) {
+        let mut thin = LockWord::new_unlocked(hdr).locked_once_by(owner);
+        for _ in 0..count {
+            thin = thin.with_count_incremented();
+        }
+        let fat = LockWord::new_unlocked(hdr).inflated(idx);
+        prop_assert_ne!(thin, fat);
+        prop_assert!(thin.is_thin_shape());
+        prop_assert!(!fat.is_thin_shape());
+    }
+}

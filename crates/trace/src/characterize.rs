@@ -1,0 +1,240 @@
+//! Characterization of a lock trace — regenerates Table 1 and Figure 3.
+//!
+//! The paper instruments the JVM to count lock operations by scenario and
+//! nesting depth (Section 3.2). Here the same numbers are computed from a
+//! trace directly: the trace is single-threaded, so the scenario of every
+//! lock operation is determined by the per-object depth at that point.
+
+use std::fmt;
+
+use crate::generator::{LockTrace, TraceOp};
+
+/// Number of nesting-depth buckets reported (the paper's Figure 3 shows
+/// First through Fourth; nothing deeper ever occurred).
+pub const DEPTH_BUCKETS: usize = 8;
+
+/// Table 1 / Figure 3 numbers for one trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCharacterization {
+    /// Objects allocated.
+    pub objects_created: u64,
+    /// Objects locked at least once.
+    pub synchronized_objects: u64,
+    /// Total lock operations.
+    pub sync_operations: u64,
+    /// Lock operations by nesting depth; bucket 0 = depth 1 (object was
+    /// unlocked), last bucket aggregates deeper nesting.
+    pub depth_histogram: [u64; DEPTH_BUCKETS],
+}
+
+impl TraceCharacterization {
+    /// Synchronizations per synchronized object (Table 1, last column).
+    pub fn syncs_per_object(&self) -> f64 {
+        if self.synchronized_objects == 0 {
+            0.0
+        } else {
+            self.sync_operations as f64 / self.synchronized_objects as f64
+        }
+    }
+
+    /// Fraction of lock operations on unlocked objects (Figure 3 "First").
+    pub fn first_lock_fraction(&self) -> f64 {
+        if self.sync_operations == 0 {
+            0.0
+        } else {
+            self.depth_histogram[0] as f64 / self.sync_operations as f64
+        }
+    }
+
+    /// Deepest observed nesting (1-based), 0 if no locks.
+    pub fn max_depth(&self) -> usize {
+        self.depth_histogram
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1)
+    }
+
+    /// Fraction of lock operations that would overflow a thin count of
+    /// `count_bits` bits and force an inflation — the paper's "our use of
+    /// 8 bits for the lock count is highly conservative; 2 or 3 bits is
+    /// probably sufficient" (Section 3.2), made quantitative. A `b`-bit
+    /// count represents up to `2^b` acquisitions (the stored value is
+    /// locks − 1), so every lock op at depth `> 2^b` overflows.
+    pub fn overflow_fraction(&self, count_bits: u32) -> f64 {
+        if self.sync_operations == 0 {
+            return 0.0;
+        }
+        let max_locks = 1u64 << count_bits.min(32);
+        let overflowing: u64 = self
+            .depth_histogram
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| (i as u64 + 1) > max_locks)
+            .map(|(_, &c)| c)
+            .sum();
+        overflowing as f64 / self.sync_operations as f64
+    }
+
+    /// Fraction of lock operations at 1-based `depth`.
+    pub fn depth_fraction(&self, depth: usize) -> f64 {
+        if self.sync_operations == 0 || depth == 0 || depth > DEPTH_BUCKETS {
+            return 0.0;
+        }
+        self.depth_histogram[depth - 1] as f64 / self.sync_operations as f64
+    }
+}
+
+impl fmt::Display for TraceCharacterization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} objects | {} synced | {} syncs | {:.1} syncs/obj | {:.0}% first-locks | max depth {}",
+            self.objects_created,
+            self.synchronized_objects,
+            self.sync_operations,
+            self.syncs_per_object(),
+            self.first_lock_fraction() * 100.0,
+            self.max_depth()
+        )
+    }
+}
+
+/// Computes the characterization of a well-formed trace.
+///
+/// # Example
+///
+/// ```
+/// use thinlock_trace::{characterize, generator, table1::BenchmarkProfile};
+///
+/// let profile = BenchmarkProfile::by_name("javalex").unwrap();
+/// let trace = generator::generate(profile, &generator::quick_config());
+/// let c = characterize::characterize(&trace);
+/// assert_eq!(c.sync_operations, trace.lock_ops());
+/// assert!(c.max_depth() <= 4, "the paper never saw nesting deeper than 4");
+/// ```
+pub fn characterize(trace: &LockTrace) -> TraceCharacterization {
+    let mut depth = vec![0u32; trace.total_objects() as usize];
+    let mut ever_locked = vec![false; trace.total_objects() as usize];
+    let mut out = TraceCharacterization::default();
+    for op in trace.ops() {
+        match *op {
+            TraceOp::Alloc => out.objects_created += 1,
+            TraceOp::Lock(o) => {
+                let o = o as usize;
+                ever_locked[o] = true;
+                depth[o] += 1;
+                let bucket = (depth[o] as usize - 1).min(DEPTH_BUCKETS - 1);
+                out.depth_histogram[bucket] += 1;
+                out.sync_operations += 1;
+            }
+            TraceOp::Unlock(o) => depth[o as usize] -= 1,
+            TraceOp::Work(_) => {}
+        }
+    }
+    out.synchronized_objects = ever_locked.iter().filter(|&&b| b).count() as u64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, quick_config};
+    use crate::table1::{median, MACRO_BENCHMARKS};
+
+    #[test]
+    fn characterization_matches_trace_bookkeeping() {
+        for p in &MACRO_BENCHMARKS {
+            let trace = generate(p, &quick_config());
+            let c = characterize(&trace);
+            assert_eq!(c.objects_created, u64::from(trace.total_objects()), "{}", p.name);
+            assert_eq!(
+                c.synchronized_objects,
+                u64::from(trace.sync_objects()),
+                "{}",
+                p.name
+            );
+            assert_eq!(c.sync_operations, trace.lock_ops(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn nesting_never_exceeds_four() {
+        for p in &MACRO_BENCHMARKS {
+            let trace = generate(p, &quick_config());
+            let c = characterize(&trace);
+            assert!(c.max_depth() <= 4, "{}: max depth {}", p.name, c.max_depth());
+        }
+    }
+
+    #[test]
+    fn regenerated_figure3_aggregates_match_paper() {
+        // With a decently sized sample the generated traces must hit the
+        // paper's headline numbers: ≥45% first-locks everywhere, median
+        // around 80%.
+        let cfg = crate::generator::TraceConfig {
+            scale: 2_000,
+            max_lock_ops: 30_000,
+            ..quick_config()
+        };
+        let mut firsts = Vec::new();
+        for p in &MACRO_BENCHMARKS {
+            let c = characterize(&generate(p, &cfg));
+            // The warm-up pass (one lock per object) biases first-lock
+            // fraction slightly upward; allow a small tolerance below 45%.
+            assert!(
+                c.first_lock_fraction() > 0.42,
+                "{}: {:.2}",
+                p.name,
+                c.first_lock_fraction()
+            );
+            firsts.push(c.first_lock_fraction());
+        }
+        let med = median(&mut firsts);
+        assert!((med - 0.80).abs() < 0.06, "median first-lock ≈ 80%, got {med:.2}");
+    }
+
+    #[test]
+    fn depth_fraction_accessor() {
+        let p = &MACRO_BENCHMARKS[0];
+        let c = characterize(&generate(p, &quick_config()));
+        let total: f64 = (1..=DEPTH_BUCKETS).map(|d| c.depth_fraction(d)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(c.depth_fraction(0), 0.0);
+        assert_eq!(c.depth_fraction(DEPTH_BUCKETS + 1), 0.0);
+    }
+
+    #[test]
+    fn display_row_reads_like_table1() {
+        let p = &MACRO_BENCHMARKS[0];
+        let c = characterize(&generate(p, &quick_config()));
+        let s = c.to_string();
+        assert!(s.contains("syncs/obj"));
+        assert!(s.contains("first-locks"));
+    }
+
+    #[test]
+    fn overflow_fraction_matches_paper_claim() {
+        // Nesting never exceeds 4, so a 2-bit count (max 4 acquisitions)
+        // never overflows — the paper's "2 or 3 bits is probably
+        // sufficient", exactly.
+        for p in &MACRO_BENCHMARKS {
+            let c = characterize(&generate(p, &quick_config()));
+            assert_eq!(c.overflow_fraction(2), 0.0, "{}", p.name);
+            assert_eq!(c.overflow_fraction(8), 0.0, "{}", p.name);
+        }
+        // A 1-bit count (max 2 acquisitions) overflows on depth-3+ ops.
+        let mocha = crate::table1::BenchmarkProfile::by_name("mocha").unwrap();
+        let c = characterize(&generate(mocha, &quick_config()));
+        let expected = c.depth_fraction(3) + c.depth_fraction(4);
+        assert!((c.overflow_fraction(1) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_characterization_is_calm() {
+        let c = TraceCharacterization::default();
+        assert_eq!(c.syncs_per_object(), 0.0);
+        assert_eq!(c.first_lock_fraction(), 0.0);
+        assert_eq!(c.max_depth(), 0);
+        assert_eq!(c.overflow_fraction(1), 0.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Text serialization of lock traces.
+//!
+//! Benchmarks should be re-runnable bit-for-bit: a generated trace can be
+//! written to a `.trace` file, shipped alongside results, and replayed
+//! later (or on another machine) without regenerating it. The format is a
+//! line-oriented text format chosen for diff-ability:
+//!
+//! ```text
+//! thinlock-trace v1
+//! name javac
+//! ops
+//! A 3        ; allocate 3 objects
+//! L 0        ; lock object 0
+//! W 200      ; 200 units of application work
+//! U 0        ; unlock object 0
+//! end
+//! ```
+//!
+//! `A` lines carry a run length (allocations cluster); `L`/`U`/`W` are one
+//! per line. Comments (`;` or `#`) and blank lines are ignored. Reading
+//! re-derives all counters and re-validates the trace, so a corrupted
+//! file is rejected rather than replayed.
+
+use std::fmt::Write as _;
+
+use crate::generator::{LockTrace, TraceOp};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> TraceParseError {
+    TraceParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes a trace to the text format.
+pub fn trace_to_string(trace: &LockTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "thinlock-trace v1");
+    let _ = writeln!(out, "name {}", trace.name());
+    let _ = writeln!(out, "ops");
+    let mut pending_allocs: u32 = 0;
+    let flush = |out: &mut String, pending: &mut u32| {
+        if *pending > 0 {
+            let _ = writeln!(out, "A {pending}");
+            *pending = 0;
+        }
+    };
+    for op in trace.ops() {
+        match *op {
+            TraceOp::Alloc => pending_allocs += 1,
+            TraceOp::Lock(o) => {
+                flush(&mut out, &mut pending_allocs);
+                let _ = writeln!(out, "L {o}");
+            }
+            TraceOp::Unlock(o) => {
+                flush(&mut out, &mut pending_allocs);
+                let _ = writeln!(out, "U {o}");
+            }
+            TraceOp::Work(u) => {
+                flush(&mut out, &mut pending_allocs);
+                let _ = writeln!(out, "W {u}");
+            }
+        }
+    }
+    flush(&mut out, &mut pending_allocs);
+    let _ = writeln!(out, "end");
+    out
+}
+
+/// Parses a trace from the text format, re-validating it.
+///
+/// # Errors
+///
+/// Returns a [`TraceParseError`] naming the first offending line,
+/// including validation failures (unbalanced locks, references to
+/// unallocated objects).
+///
+/// # Example
+///
+/// ```
+/// use thinlock_trace::io::{trace_from_str, trace_to_string};
+/// use thinlock_trace::{generator, table1::BenchmarkProfile};
+///
+/// let profile = BenchmarkProfile::by_name("javacup").unwrap();
+/// let trace = generator::generate(profile, &generator::quick_config());
+/// let text = trace_to_string(&trace);
+/// let back = trace_from_str(&text)?;
+/// assert_eq!(trace, back);
+/// # Ok::<(), thinlock_trace::io::TraceParseError>(())
+/// ```
+pub fn trace_from_str(text: &str) -> Result<LockTrace, TraceParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split([';', '#']).next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    let (line, header) = lines.next().ok_or_else(|| err(1, "empty trace file"))?;
+    if header != "thinlock-trace v1" {
+        return Err(err(line, "missing `thinlock-trace v1` header"));
+    }
+    let (line, name_line) = lines.next().ok_or_else(|| err(line, "missing name"))?;
+    let name = name_line
+        .strip_prefix("name ")
+        .ok_or_else(|| err(line, "expected `name <benchmark>`"))?
+        .to_string();
+    let (line, ops_marker) = lines.next().ok_or_else(|| err(line, "missing ops"))?;
+    if ops_marker != "ops" {
+        return Err(err(line, "expected `ops`"));
+    }
+
+    let mut ops: Vec<TraceOp> = Vec::new();
+    let mut ended = false;
+    for (line_no, l) in lines {
+        if l == "end" {
+            ended = true;
+            continue;
+        }
+        if ended {
+            return Err(err(line_no, "content after `end`"));
+        }
+        let mut parts = l.split_whitespace();
+        let tag = parts.next().expect("non-empty line");
+        let operand: u64 = parts
+            .next()
+            .ok_or_else(|| err(line_no, format!("`{tag}` needs an operand")))?
+            .parse()
+            .map_err(|_| err(line_no, "invalid operand"))?;
+        if parts.next().is_some() {
+            return Err(err(line_no, "trailing tokens"));
+        }
+        match tag {
+            "A" => {
+                for _ in 0..operand {
+                    ops.push(TraceOp::Alloc);
+                }
+            }
+            "L" => ops.push(TraceOp::Lock(operand as u32)),
+            "U" => ops.push(TraceOp::Unlock(operand as u32)),
+            "W" => ops.push(TraceOp::Work(operand as u32)),
+            other => return Err(err(line_no, format!("unknown tag `{other}`"))),
+        }
+    }
+    if !ended {
+        return Err(err(text.lines().count(), "missing `end`"));
+    }
+    LockTrace::from_ops(name, ops).map_err(|m| err(0, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, quick_config};
+    use crate::table1::MACRO_BENCHMARKS;
+
+    #[test]
+    fn round_trips_every_generated_trace() {
+        for p in &MACRO_BENCHMARKS {
+            let trace = generate(p, &quick_config());
+            let text = trace_to_string(&trace);
+            let back = trace_from_str(&text).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert_eq!(trace, back, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn format_is_commentable_and_whitespace_tolerant() {
+        let text = "\n; banner\nthinlock-trace v1\nname toy   ; a name\nops\nA 2\n\nL 0 # lock\nW 5\nU 0\nend\n";
+        let t = trace_from_str(text).unwrap();
+        assert_eq!(t.name(), "toy");
+        assert_eq!(t.total_objects(), 2);
+        assert_eq!(t.lock_ops(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        let cases = [
+            ("", "empty"),
+            ("not-a-header\n", "header"),
+            ("thinlock-trace v1\nops\n", "name"),
+            ("thinlock-trace v1\nname x\nL 0\n", "expected `ops`"),
+            ("thinlock-trace v1\nname x\nops\nQ 1\nend\n", "unknown tag"),
+            ("thinlock-trace v1\nname x\nops\nL\nend\n", "needs an operand"),
+            ("thinlock-trace v1\nname x\nops\nL zero\nend\n", "invalid operand"),
+            ("thinlock-trace v1\nname x\nops\nL 0\n", "missing `end`"),
+            ("thinlock-trace v1\nname x\nops\nend\nL 0\n", "after `end`"),
+            ("thinlock-trace v1\nname x\nops\nL 0 0\nend\n", "trailing"),
+        ];
+        for (text, needle) in cases {
+            let e = trace_from_str(text).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "{text:?} -> {e} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_runs_on_read() {
+        // Lock of an unallocated object must be rejected.
+        let text = "thinlock-trace v1\nname bad\nops\nL 0\nU 0\nend\n";
+        let e = trace_from_str(text).unwrap_err();
+        assert!(e.to_string().contains("unallocated"), "{e}");
+        // Unbalanced lock as well.
+        let text = "thinlock-trace v1\nname bad\nops\nA 1\nL 0\nend\n";
+        assert!(trace_from_str(text).is_err());
+    }
+
+    #[test]
+    fn alloc_runs_are_compact() {
+        // Without per-alloc work, consecutive allocations serialize as
+        // run-length lines rather than one line each.
+        let mut cfg = quick_config();
+        cfg.work_per_alloc = 0;
+        let p = &MACRO_BENCHMARKS[0];
+        let trace = generate(p, &cfg);
+        let text = trace_to_string(&trace);
+        let alloc_lines = text.lines().filter(|l| l.starts_with("A ")).count() as u64;
+        let total_allocs = u64::from(trace.total_objects());
+        assert!(
+            alloc_lines < total_allocs || total_allocs <= 1,
+            "{alloc_lines} lines for {total_allocs} allocs"
+        );
+        // And the round trip still holds in this configuration.
+        assert_eq!(trace_from_str(&text).unwrap(), trace);
+    }
+}

@@ -1,0 +1,342 @@
+//! The macro-benchmark profiles of Table 1 / Figure 3.
+//!
+//! Eighteen real Java programs characterize the paper's macro evaluation.
+//! Numeric columns below are transcribed from the paper where the source
+//! text is legible and otherwise reconstructed to be consistent with the
+//! aggregates the prose states explicitly:
+//!
+//! * "The number of synchronized objects is generally less than a tenth of
+//!   the total number of objects created."
+//! * "the median number of synchronizations per synchronized object is
+//!   22.7" (extremes: `javacup` 7.4, `HashJava` 4312.0).
+//! * "at least 45% of locks obtained by any of the benchmark applications
+//!   were for unlocked objects; the median is 80%".
+//! * "none of the benchmarks obtained any locks nested more than four
+//!   deep".
+//! * Figure 5: thin locks speed the benchmarks up by a median of 1.22 and
+//!   a maximum of 1.7 over JDK111, while IBM112 manages a median of only
+//!   1.04 and slows several programs down.
+//!
+//! Cells marked *reconstructed* in EXPERIMENTS.md should be treated as
+//! representative rather than archival. The workload generator consumes
+//! only ratios and distributions, so the reproduced *shape* of Figures 3
+//! and 5 does not depend on the exact absolute values.
+
+use std::fmt;
+
+/// Static description of one macro-benchmark row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name as listed in Table 1.
+    pub name: &'static str,
+    /// One-line description (source) from Table 1.
+    pub description: &'static str,
+    /// Application bytecode size in bytes.
+    pub app_bytecode_bytes: u64,
+    /// Library bytecode size in bytes (classes transitively reachable).
+    pub lib_bytecode_bytes: u64,
+    /// Total objects created during the run.
+    pub objects_created: u64,
+    /// Objects that were ever synchronized.
+    pub synchronized_objects: u64,
+    /// Total synchronization (lock) operations.
+    pub sync_operations: u64,
+    /// Fraction of lock operations at nesting depth 1, 2, 3, 4
+    /// (Figure 3); sums to 1, zero beyond depth 4.
+    pub depth_fractions: [f64; 4],
+    /// Figure 5 speedup of thin locks over JDK111 (reconstructed where
+    /// the bar chart is not numerically labelled).
+    pub paper_speedup_thin: f64,
+    /// Figure 5 speedup of IBM112 hot locks over JDK111.
+    pub paper_speedup_ibm112: f64,
+}
+
+impl BenchmarkProfile {
+    /// Synchronizations per synchronized object — the last column of
+    /// Table 1.
+    pub fn syncs_per_object(&self) -> f64 {
+        if self.synchronized_objects == 0 {
+            0.0
+        } else {
+            self.sync_operations as f64 / self.synchronized_objects as f64
+        }
+    }
+
+    /// Fraction of lock operations that find the object unlocked
+    /// (depth 1) — Figure 3's "First" band.
+    pub fn first_lock_fraction(&self) -> f64 {
+        self.depth_fractions[0]
+    }
+
+    /// Looks up a profile by name.
+    pub fn by_name(name: &str) -> Option<&'static BenchmarkProfile> {
+        MACRO_BENCHMARKS.iter().find(|p| p.name == name)
+    }
+}
+
+impl fmt::Display for BenchmarkProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} objects, {} synced, {} syncs ({:.1}/obj)",
+            self.name,
+            self.objects_created,
+            self.synchronized_objects,
+            self.sync_operations,
+            self.syncs_per_object()
+        )
+    }
+}
+
+/// Shorthand constructor keeping the table below readable.
+#[allow(clippy::too_many_arguments)]
+const fn row(
+    name: &'static str,
+    description: &'static str,
+    app: u64,
+    lib: u64,
+    objects: u64,
+    synced: u64,
+    syncs: u64,
+    depth: [f64; 4],
+    thin: f64,
+    ibm: f64,
+) -> BenchmarkProfile {
+    BenchmarkProfile {
+        name,
+        description,
+        app_bytecode_bytes: app,
+        lib_bytecode_bytes: lib,
+        objects_created: objects,
+        synchronized_objects: synced,
+        sync_operations: syncs,
+        depth_fractions: depth,
+        paper_speedup_thin: thin,
+        paper_speedup_ibm112: ibm,
+    }
+}
+
+/// The eighteen macro-benchmarks of Table 1.
+pub const MACRO_BENCHMARKS: [BenchmarkProfile; 18] = [
+    row(
+        "trans",
+        "High Performance Java Compiler (IBM)",
+        124_751, 159_747, 486_215, 9_825, 173_911,
+        [0.80, 0.15, 0.04, 0.01], 1.22, 1.05,
+    ),
+    row(
+        "javac",
+        "Java source to bytecode compiler (Sun)",
+        298_436, 345_687, 247_350, 24_735, 856_666,
+        [0.74, 0.20, 0.05, 0.01], 1.25, 1.04,
+    ),
+    row(
+        "jacorb",
+        "Java Object Request Broker 0.5 (Freie U.)",
+        12_182, 159_747, 4_258_177, 150_175, 12_975_639,
+        [0.65, 0.25, 0.08, 0.02], 1.30, 0.97,
+    ),
+    row(
+        "javaparser",
+        "Java grammar parser (Sun)",
+        59_431, 159_747, 391_380, 39_138, 888_390,
+        [0.80, 0.16, 0.03, 0.01], 1.20, 1.06,
+    ),
+    row(
+        "jobe",
+        "Java Obfuscator 1.0 (E. Jokipii)",
+        52_961, 159_747, 437_793, 61_064, 807_000,
+        [0.85, 0.12, 0.02, 0.01], 1.18, 1.02,
+    ),
+    row(
+        "toba",
+        "Java to C translator (U. Arizona)",
+        23_743, 166_472, 266_198, 61_951, 917_038,
+        [0.88, 0.10, 0.015, 0.005], 1.15, 1.03,
+    ),
+    row(
+        "javalex",
+        "Lexical analyzer generator for Java (E. Berk)",
+        10_105, 159_758, 707_960, 70_796, 1_611_558,
+        [0.90, 0.08, 0.015, 0.005], 1.70, 1.10,
+    ),
+    row(
+        "jax",
+        "Java class-file compactor (IBM)",
+        24_154, 161_229, 6_250_390, 119_179, 16_517_630,
+        [0.92, 0.06, 0.015, 0.005], 1.65, 1.08,
+    ),
+    row(
+        "javacup",
+        "Java constructor of parsers (S. Hudson)",
+        25_058, 159_747, 433_920, 12_243, 90_573,
+        [0.75, 0.18, 0.05, 0.02], 1.10, 1.01,
+    ),
+    row(
+        "NetRexx",
+        "NetRexx to Java translator 1.0 (IBM)",
+        191_820, 160_963, 625_039, 119_179, 1_651_763,
+        [0.78, 0.17, 0.04, 0.01], 1.28, 1.04,
+    ),
+    row(
+        "Espresso",
+        "Java source to bytecode compiler (M. Odersky)",
+        305_690, 160_963, 433_920, 10_333, 1_975_481,
+        [0.70, 0.22, 0.06, 0.02], 1.35, 0.98,
+    ),
+    row(
+        "HashJava",
+        "Java obfuscator (K.B. Sriram)",
+        19_182, 160_963, 246_150, 4_629, 19_960_283,
+        [0.60, 0.28, 0.09, 0.03], 1.55, 1.12,
+    ),
+    row(
+        "crema",
+        "Java obfuscator, demo version (H.P. van Vliet)",
+        30_569, 160_963, 221_093, 23_676, 330_100,
+        [0.82, 0.14, 0.03, 0.01], 1.12, 1.02,
+    ),
+    row(
+        "jaNet",
+        "Java Neural Network ToolKit (W. Gander)",
+        136_535, 298_436, 2_258_960, 139_253, 1_918_352,
+        [0.72, 0.21, 0.05, 0.02], 1.24, 0.96,
+    ),
+    row(
+        "javadoc",
+        "Java document generator (Sun)",
+        16_821, 160_827, 247_723, 7_281, 212_148,
+        [0.80, 0.15, 0.04, 0.01], 1.14, 1.03,
+    ),
+    row(
+        "javap",
+        "Java disassembler (Sun)",
+        26_008, 161_071, 845_320, 10_228, 275_155,
+        [0.86, 0.11, 0.02, 0.01], 1.12, 1.04,
+    ),
+    row(
+        "mocha",
+        "Java decompiler (H.P. van Vliet)",
+        8_825, 160_827, 1_083_688, 2_340, 233_690,
+        [0.45, 0.35, 0.15, 0.05], 1.08, 1.00,
+    ),
+    row(
+        "wingdis",
+        "Java decompiler, demo version (WingSoft)",
+        79_260, 162_650, 2_577_899, 633_145, 3_647_296,
+        [0.88, 0.09, 0.02, 0.01], 1.40, 1.06,
+    ),
+];
+
+/// Median of a list (used by tests and reports).
+pub fn median(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty());
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighteen_benchmarks() {
+        assert_eq!(MACRO_BENCHMARKS.len(), 18);
+        let mut names: Vec<&str> = MACRO_BENCHMARKS.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18, "names are unique");
+    }
+
+    #[test]
+    fn depth_fractions_sum_to_one() {
+        for p in &MACRO_BENCHMARKS {
+            let sum: f64 = p.depth_fractions.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", p.name);
+            // Monotone non-increasing, as in Figure 3.
+            for w in p.depth_fractions.windows(2) {
+                assert!(w[0] >= w[1], "{}: deeper nesting is rarer", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn first_lock_fraction_matches_paper_aggregates() {
+        let mut firsts: Vec<f64> = MACRO_BENCHMARKS
+            .iter()
+            .map(|p| p.first_lock_fraction())
+            .collect();
+        for (&f, p) in firsts.iter().zip(&MACRO_BENCHMARKS) {
+            assert!(f >= 0.45, "{}: at least 45% first locks", p.name);
+        }
+        let med = median(&mut firsts);
+        assert!((med - 0.80).abs() < 0.03, "median ≈ 80%, got {med}");
+    }
+
+    #[test]
+    fn syncs_per_object_median_matches_paper() {
+        let mut ratios: Vec<f64> = MACRO_BENCHMARKS
+            .iter()
+            .map(|p| p.syncs_per_object())
+            .collect();
+        let med = median(&mut ratios);
+        assert!(
+            (med - 22.7).abs() < 8.0,
+            "median syncs/object ≈ 22.7, got {med:.1}"
+        );
+        // Extremes from the paper.
+        let hash = BenchmarkProfile::by_name("HashJava").unwrap();
+        assert!(hash.syncs_per_object() > 1000.0);
+        let cup = BenchmarkProfile::by_name("javacup").unwrap();
+        assert!(cup.syncs_per_object() < 10.0);
+    }
+
+    #[test]
+    fn synced_objects_are_minority() {
+        for p in &MACRO_BENCHMARKS {
+            assert!(
+                (p.synchronized_objects as f64) < 0.3 * p.objects_created as f64,
+                "{}: synced objects are a small minority",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn figure5_aggregates_hold() {
+        let mut thin: Vec<f64> = MACRO_BENCHMARKS.iter().map(|p| p.paper_speedup_thin).collect();
+        let mut ibm: Vec<f64> = MACRO_BENCHMARKS
+            .iter()
+            .map(|p| p.paper_speedup_ibm112)
+            .collect();
+        assert!((median(&mut thin) - 1.22).abs() < 0.05);
+        let max = MACRO_BENCHMARKS
+            .iter()
+            .map(|p| p.paper_speedup_thin)
+            .fold(0.0f64, f64::max);
+        assert!((max - 1.7).abs() < 1e-9);
+        assert!((median(&mut ibm) - 1.04).abs() < 0.02);
+        assert!(
+            MACRO_BENCHMARKS.iter().any(|p| p.paper_speedup_ibm112 < 1.0),
+            "some programs slowed down under IBM112"
+        );
+    }
+
+    #[test]
+    fn lookup_and_display() {
+        let p = BenchmarkProfile::by_name("javalex").unwrap();
+        assert!(p.to_string().contains("javalex"));
+        assert!(BenchmarkProfile::by_name("no-such").is_none());
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+}

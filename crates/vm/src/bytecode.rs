@@ -1,0 +1,235 @@
+//! The instruction set of the miniature VM.
+//!
+//! A JVM-flavoured subset, enough to express every benchmark in the paper:
+//! integer arithmetic and locals, conditional branches, object-pool loads
+//! (standing in for resolved constant-pool references), field access,
+//! method invocation, and — centrally — `monitorenter`/`monitorexit`.
+
+use std::fmt;
+
+/// One bytecode instruction.
+///
+/// Branch targets are absolute instruction indices within the method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Push the immediate integer.
+    IConst(i32),
+    /// Push the integer in local `slot`.
+    ILoad(u8),
+    /// Pop an integer into local `slot`.
+    IStore(u8),
+    /// Add `delta` to the integer in local `slot` (the JVM's `iinc`).
+    IInc(u8, i16),
+    /// Pop two integers, push their sum.
+    IAdd,
+    /// Pop two integers, push `first - second`.
+    ISub,
+    /// Pop two integers, push their product.
+    IMul,
+    /// Pop two integers, push `first % second` (truncated, like Java).
+    IRem,
+    /// Pop an integer, push its negation.
+    INeg,
+    /// Pop two integers, push their bitwise AND.
+    IAnd,
+    /// Pop two integers, push their bitwise OR.
+    IOr,
+    /// Pop two integers, push their bitwise XOR.
+    IXor,
+    /// Pop shift amount then value; push `value << (shift & 31)`.
+    IShl,
+    /// Pop shift amount then value; push `value >> (shift & 31)` (arithmetic).
+    IShr,
+    /// Push the object reference in local `slot`.
+    ALoad(u8),
+    /// Pop an object reference (or null) into local `slot`.
+    AStore(u8),
+    /// Push object-pool entry `index` (a resolved object constant).
+    AConst(u32),
+    /// Pop an integer `i`, push object-pool entry `i`.
+    ALoadPool,
+    /// Pop an object reference, push its integer field `index`.
+    GetField(u16),
+    /// Pop an integer then an object reference; store into field `index`.
+    PutField(u16),
+    /// Pop an integer index then an object reference; push the field at
+    /// that dynamic index (the `iaload` of our field-array objects).
+    GetFieldDyn,
+    /// Pop an integer value, an integer index, then an object reference;
+    /// store the value at that dynamic index (`iastore`).
+    PutFieldDyn,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Unconditional jump.
+    Goto(usize),
+    /// Pop two integers; jump if `first < second`.
+    IfICmpLt(usize),
+    /// Pop two integers; jump if `first >= second`.
+    IfICmpGe(usize),
+    /// Pop two integers; jump if equal.
+    IfICmpEq(usize),
+    /// Pop an integer; jump if zero.
+    IfEq(usize),
+    /// Pop an object reference; acquire its monitor.
+    MonitorEnter,
+    /// Pop an object reference; release its monitor.
+    MonitorExit,
+    /// Call method `id`; pops the callee's arguments (receiver first in
+    /// the argument list, deepest on the stack), pushes its return value
+    /// if it has one.
+    Invoke(u16),
+    /// Pop an object reference and throw it as an exception, unwinding to
+    /// the nearest enclosing handler (the JVM's `athrow`).
+    Throw,
+    /// Return with no value.
+    Return,
+    /// Pop an integer and return it.
+    IReturn,
+    /// Do nothing (padding / patched-out code).
+    Nop,
+}
+
+impl Op {
+    /// The assembler mnemonic of this instruction.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::IConst(_) => "iconst",
+            Op::ILoad(_) => "iload",
+            Op::IStore(_) => "istore",
+            Op::IInc(..) => "iinc",
+            Op::IAdd => "iadd",
+            Op::ISub => "isub",
+            Op::IMul => "imul",
+            Op::IRem => "irem",
+            Op::INeg => "ineg",
+            Op::IAnd => "iand",
+            Op::IOr => "ior",
+            Op::IXor => "ixor",
+            Op::IShl => "ishl",
+            Op::IShr => "ishr",
+            Op::ALoad(_) => "aload",
+            Op::AStore(_) => "astore",
+            Op::AConst(_) => "aconst",
+            Op::ALoadPool => "aloadpool",
+            Op::GetField(_) => "getfield",
+            Op::PutField(_) => "putfield",
+            Op::GetFieldDyn => "getfielddyn",
+            Op::PutFieldDyn => "putfielddyn",
+            Op::Dup => "dup",
+            Op::Pop => "pop",
+            Op::Goto(_) => "goto",
+            Op::IfICmpLt(_) => "if_icmplt",
+            Op::IfICmpGe(_) => "if_icmpge",
+            Op::IfICmpEq(_) => "if_icmpeq",
+            Op::IfEq(_) => "ifeq",
+            Op::MonitorEnter => "monitorenter",
+            Op::MonitorExit => "monitorexit",
+            Op::Invoke(_) => "invoke",
+            Op::Throw => "athrow",
+            Op::Return => "return",
+            Op::IReturn => "ireturn",
+            Op::Nop => "nop",
+        }
+    }
+
+    /// True for instructions that transfer control.
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            Op::Goto(_)
+                | Op::IfICmpLt(_)
+                | Op::IfICmpGe(_)
+                | Op::IfICmpEq(_)
+                | Op::IfEq(_)
+        )
+    }
+
+    /// The branch target, for branch instructions.
+    pub fn branch_target(self) -> Option<usize> {
+        match self {
+            Op::Goto(t)
+            | Op::IfICmpLt(t)
+            | Op::IfICmpGe(t)
+            | Op::IfICmpEq(t)
+            | Op::IfEq(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Op::IConst(v) => write!(f, "iconst {v}"),
+            Op::ILoad(s) => write!(f, "iload {s}"),
+            Op::IStore(s) => write!(f, "istore {s}"),
+            Op::IInc(s, d) => write!(f, "iinc {s} {d}"),
+            Op::ALoad(s) => write!(f, "aload {s}"),
+            Op::AStore(s) => write!(f, "astore {s}"),
+            Op::AConst(i) => write!(f, "aconst {i}"),
+            Op::GetField(i) => write!(f, "getfield {i}"),
+            Op::PutField(i) => write!(f, "putfield {i}"),
+            Op::Goto(t) => write!(f, "goto {t}"),
+            Op::IfICmpLt(t) => write!(f, "if_icmplt {t}"),
+            Op::IfICmpGe(t) => write!(f, "if_icmpge {t}"),
+            Op::IfICmpEq(t) => write!(f, "if_icmpeq {t}"),
+            Op::IfEq(t) => write!(f, "ifeq {t}"),
+            Op::Invoke(m) => write!(f, "invoke {m}"),
+            op => f.write_str(op.mnemonic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_cover_display() {
+        let ops = [
+            Op::IConst(3),
+            Op::ILoad(1),
+            Op::IStore(2),
+            Op::IInc(1, -1),
+            Op::IAdd,
+            Op::ISub,
+            Op::ALoad(0),
+            Op::AStore(3),
+            Op::AConst(9),
+            Op::ALoadPool,
+            Op::GetField(0),
+            Op::PutField(1),
+            Op::Dup,
+            Op::Pop,
+            Op::Goto(4),
+            Op::IfICmpLt(5),
+            Op::IfICmpGe(6),
+            Op::IfEq(7),
+            Op::MonitorEnter,
+            Op::MonitorExit,
+            Op::Invoke(2),
+            Op::Return,
+            Op::IReturn,
+            Op::Nop,
+        ];
+        for op in ops {
+            let text = op.to_string();
+            assert!(
+                text.starts_with(op.mnemonic()),
+                "{text} should start with {}",
+                op.mnemonic()
+            );
+        }
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Op::Goto(3).is_branch());
+        assert_eq!(Op::Goto(3).branch_target(), Some(3));
+        assert!(Op::IfEq(0).is_branch());
+        assert!(!Op::IAdd.is_branch());
+        assert_eq!(Op::MonitorEnter.branch_target(), None);
+    }
+}

@@ -1,0 +1,129 @@
+//! Interpreter error type.
+
+use std::error::Error;
+use std::fmt;
+
+use thinlock_runtime::error::SyncError;
+use thinlock_runtime::heap::ObjRef;
+
+/// Errors raised while executing bytecode.
+///
+/// In the real JVM most of these are ruled out statically by the bytecode
+/// verifier; the miniature VM checks them dynamically and reports them as
+/// errors rather than undefined behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmError {
+    /// An instruction popped from an empty operand stack.
+    StackUnderflow {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// An instruction found a value of the wrong kind.
+    TypeMismatch {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// A local-variable index exceeded the method's `max_locals`.
+    BadLocal {
+        /// The out-of-range slot.
+        slot: u8,
+    },
+    /// A branch or fall-through left the method's code.
+    BadPc {
+        /// The out-of-range target.
+        target: usize,
+    },
+    /// An `invoke` referenced a method id not present in the program.
+    BadMethod {
+        /// The unresolved method id.
+        id: u16,
+    },
+    /// An `aconst`/`aloadpool` referenced a missing object-pool entry.
+    BadPoolIndex {
+        /// The unresolved pool index.
+        index: u32,
+    },
+    /// A field access was out of range for the heap's field count.
+    BadField {
+        /// The out-of-range field index.
+        index: u16,
+    },
+    /// `monitorenter`/`monitorexit`/method sync touched `null`.
+    NullMonitor {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// An exception object was thrown (`athrow`) and no handler in any
+    /// frame caught it.
+    UncaughtException {
+        /// The thrown exception object.
+        object: ObjRef,
+    },
+    /// Integer remainder/divide by zero (Java's `ArithmeticException`).
+    DivisionByZero {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+    },
+    /// The step budget was exhausted (runaway loop protection in tests).
+    OutOfFuel,
+    /// A synchronization operation failed.
+    Sync(SyncError),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::StackUnderflow { pc } => write!(f, "operand stack underflow at pc {pc}"),
+            VmError::TypeMismatch { pc } => write!(f, "operand type mismatch at pc {pc}"),
+            VmError::BadLocal { slot } => write!(f, "local slot {slot} out of range"),
+            VmError::BadPc { target } => write!(f, "branch target {target} out of range"),
+            VmError::BadMethod { id } => write!(f, "unknown method id {id}"),
+            VmError::BadPoolIndex { index } => write!(f, "object pool index {index} out of range"),
+            VmError::BadField { index } => write!(f, "field index {index} out of range"),
+            VmError::NullMonitor { pc } => write!(f, "monitor operation on null at pc {pc}"),
+            VmError::UncaughtException { object } => {
+                write!(f, "uncaught exception: {object}")
+            }
+            VmError::DivisionByZero { pc } => write!(f, "division by zero at pc {pc}"),
+            VmError::OutOfFuel => f.write_str("execution fuel exhausted"),
+            VmError::Sync(e) => write!(f, "synchronization failed: {e}"),
+        }
+    }
+}
+
+impl Error for VmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VmError::Sync(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SyncError> for VmError {
+    fn from(e: SyncError) -> Self {
+        VmError::Sync(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            VmError::StackUnderflow { pc: 3 }.to_string(),
+            "operand stack underflow at pc 3"
+        );
+        assert!(VmError::Sync(SyncError::NotOwner).to_string().contains("synchronization"));
+    }
+
+    #[test]
+    fn source_chains_to_sync_error() {
+        let e = VmError::from(SyncError::NotLocked);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&VmError::OutOfFuel).is_none());
+    }
+}

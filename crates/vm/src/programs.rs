@@ -1,0 +1,486 @@
+//! The micro-benchmark programs of Table 2 (plus Figure 6's `MixedSync`).
+//!
+//! Each benchmark "runs a tight loop for a specified number of iterations;
+//! inside the loop an integer variable is incremented. The benchmarks
+//! differ in what occurs between the outer loop and the inner variable
+//! update" (Section 3.3). The generators here produce the corresponding
+//! bytecode:
+//!
+//! | program          | loop body                                          |
+//! |------------------|----------------------------------------------------|
+//! | `NoSync`         | nothing — pure interpretation cost                 |
+//! | `Sync`           | `synchronized(o) { count++ }` on an unlocked `o`   |
+//! | `NestedSync`     | same, but `o` is already locked outside the loop   |
+//! | `MultiSync n`    | synchronizes each of `n` objects every iteration   |
+//! | `Call`           | calls a non-synchronized method                    |
+//! | `CallSync`       | calls a synchronized method (initial lock)         |
+//! | `NestedCallSync` | calls a synchronized method while holding the lock |
+//! | `Threads n`      | the `Sync` body run concurrently by `n` threads    |
+//! | `MixedSync`      | three nested locks of one object per iteration     |
+//!
+//! Every `main` takes the iteration count as argument 0 and returns it, so
+//! harnesses can verify a run did what it claims.
+
+use std::fmt;
+
+use crate::bytecode::Op;
+use crate::program::{Method, MethodFlags, Program};
+
+/// Identifier of a Table 2 micro-benchmark (plus `MixedSync`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroBench {
+    /// No locking — the reference benchmark.
+    NoSync,
+    /// Initial lock with a `synchronized()` statement.
+    Sync,
+    /// Nested lock with a `synchronized()` statement.
+    NestedSync,
+    /// Like `Sync`, but synchronizes `n` objects every iteration.
+    MultiSync(u32),
+    /// Calls a non-synchronized method — reference benchmark.
+    Call,
+    /// Calls a synchronized method to obtain an initial lock.
+    CallSync,
+    /// Calls a synchronized method to obtain a nested lock.
+    NestedCallSync,
+    /// Initial locking performed concurrently by `n` competing threads;
+    /// the program is the `Sync` program, run on `n` threads by the
+    /// harness.
+    Threads(u32),
+    /// Figure 6's cross of `Sync` and `NestedSync`: three nested locks of
+    /// the same object on every iteration.
+    MixedSync,
+}
+
+impl MicroBench {
+    /// The benchmarks of Table 2 in presentation order, with the sweep
+    /// parameters used in Figure 4.
+    pub fn table2() -> Vec<MicroBench> {
+        vec![
+            MicroBench::NoSync,
+            MicroBench::Sync,
+            MicroBench::NestedSync,
+            MicroBench::MultiSync(64),
+            MicroBench::Call,
+            MicroBench::CallSync,
+            MicroBench::NestedCallSync,
+            MicroBench::Threads(4),
+        ]
+    }
+
+    /// Number of pooled objects the benchmark's program needs.
+    pub fn pool_size(self) -> u32 {
+        match self {
+            MicroBench::NoSync => 0,
+            MicroBench::MultiSync(n) => n.max(1),
+            _ => 1,
+        }
+    }
+
+    /// Builds the benchmark's bytecode program. The entry point is always
+    /// a method named `main` taking the iteration count.
+    pub fn program(self) -> Program {
+        match self {
+            MicroBench::NoSync => looped_program(0, vec![]),
+            MicroBench::Sync | MicroBench::Threads(_) => looped_program(
+                1,
+                vec![
+                    Op::AConst(0),
+                    Op::MonitorEnter,
+                    Op::IInc(2, 1),
+                    Op::AConst(0),
+                    Op::MonitorExit,
+                ],
+            ),
+            MicroBench::NestedSync => {
+                let body = vec![
+                    Op::AConst(0),
+                    Op::MonitorEnter,
+                    Op::IInc(2, 1),
+                    Op::AConst(0),
+                    Op::MonitorExit,
+                ];
+                wrapped_looped_program(1, body)
+            }
+            MicroBench::MultiSync(n) => {
+                let n = n.max(1);
+                let mut body = Vec::with_capacity(5 * n as usize);
+                for k in 0..n {
+                    body.extend([
+                        Op::AConst(k),
+                        Op::MonitorEnter,
+                        Op::IInc(2, 1),
+                        Op::AConst(k),
+                        Op::MonitorExit,
+                    ]);
+                }
+                looped_program(n, body)
+            }
+            MicroBench::Call => call_program(false, false),
+            MicroBench::CallSync => call_program(true, false),
+            MicroBench::NestedCallSync => call_program(true, true),
+            MicroBench::MixedSync => looped_program(
+                1,
+                vec![
+                    Op::AConst(0),
+                    Op::MonitorEnter,
+                    Op::AConst(0),
+                    Op::MonitorEnter,
+                    Op::AConst(0),
+                    Op::MonitorEnter,
+                    Op::IInc(2, 1),
+                    Op::AConst(0),
+                    Op::MonitorExit,
+                    Op::AConst(0),
+                    Op::MonitorExit,
+                    Op::AConst(0),
+                    Op::MonitorExit,
+                ],
+            ),
+        }
+    }
+
+    /// Expected return value of `main(iters)` — the iteration count.
+    pub fn expected(self, iters: i32) -> i32 {
+        iters
+    }
+
+    /// For the threaded benchmark, the thread count; 1 otherwise.
+    pub fn thread_count(self) -> u32 {
+        match self {
+            MicroBench::Threads(n) => n.max(1),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for MicroBench {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicroBench::NoSync => f.write_str("NoSync"),
+            MicroBench::Sync => f.write_str("Sync"),
+            MicroBench::NestedSync => f.write_str("NestedSync"),
+            MicroBench::MultiSync(n) => write!(f, "MultiSync {n}"),
+            MicroBench::Call => f.write_str("Call"),
+            MicroBench::CallSync => f.write_str("CallSync"),
+            MicroBench::NestedCallSync => f.write_str("NestedCallSync"),
+            MicroBench::Threads(n) => write!(f, "Threads {n}"),
+            MicroBench::MixedSync => f.write_str("MixedSync"),
+        }
+    }
+}
+
+/// `main(iters)`: the canonical tight loop with `body` between the bounds
+/// check and the induction increment. Locals: 0 = iters, 1 = i,
+/// 2 = counter.
+fn looped_program(pool: u32, body: Vec<Op>) -> Program {
+    let mut code = vec![
+        Op::IConst(0), // 0
+        Op::IStore(1), // 1: i = 0
+        Op::IConst(0), // 2
+        Op::IStore(2), // 3: counter = 0
+        Op::ILoad(1),  // 4: loop head
+        Op::ILoad(0),  // 5
+        Op::IfICmpGe(0), // 6: patched to END below
+    ];
+    code.extend(body);
+    let back_edge = code.len();
+    code.push(Op::IInc(1, 1)); // back_edge
+    code.push(Op::Goto(4));
+    let end = code.len();
+    code[6] = Op::IfICmpGe(end);
+    code.push(Op::ILoad(1));
+    code.push(Op::IReturn);
+    debug_assert!(back_edge > 6);
+
+    let mut program = Program::new(pool);
+    program.add_method(Method::new(
+        "main",
+        1,
+        3,
+        MethodFlags {
+            synchronized: false,
+            returns_value: true,
+        },
+        code,
+    ));
+    program
+}
+
+/// Like [`looped_program`] but the whole loop runs inside
+/// `synchronized(pool[0]) { ... }` — the `NestedSync` shape.
+fn wrapped_looped_program(pool: u32, body: Vec<Op>) -> Program {
+    let mut code = vec![
+        Op::AConst(0),
+        Op::MonitorEnter,
+        Op::IConst(0), // 2
+        Op::IStore(1), // 3: i = 0
+        Op::IConst(0), // 4
+        Op::IStore(2), // 5: counter = 0
+        Op::ILoad(1),  // 6: loop head
+        Op::ILoad(0),  // 7
+        Op::IfICmpGe(0), // 8: patched
+    ];
+    code.extend(body);
+    code.push(Op::IInc(1, 1));
+    code.push(Op::Goto(6));
+    let end = code.len();
+    code[8] = Op::IfICmpGe(end);
+    code.push(Op::AConst(0));
+    code.push(Op::MonitorExit);
+    code.push(Op::ILoad(1));
+    code.push(Op::IReturn);
+
+    let mut program = Program::new(pool);
+    program.add_method(Method::new(
+        "main",
+        1,
+        3,
+        MethodFlags {
+            synchronized: false,
+            returns_value: true,
+        },
+        code,
+    ));
+    program
+}
+
+/// The `Call`/`CallSync`/`NestedCallSync` programs: the loop body invokes
+/// `bump(pool[0])`, which increments the object's field 0. `sync` makes
+/// `bump` synchronized; `hold` wraps the whole loop in
+/// `synchronized(pool[0])` so every call-site lock is nested.
+fn call_program(sync: bool, hold: bool) -> Program {
+    let mut program = Program::new(1);
+
+    // Placeholder id 0 is main; bump becomes id 1 after both adds. Build
+    // bump first to learn its id, then main referencing it.
+    let bump = Method::new(
+        "bump",
+        1,
+        1,
+        MethodFlags {
+            synchronized: sync,
+            returns_value: false,
+        },
+        vec![
+            Op::ALoad(0),
+            Op::ALoad(0),
+            Op::GetField(0),
+            Op::IConst(1),
+            Op::IAdd,
+            Op::PutField(0),
+            Op::Return,
+        ],
+    );
+
+    let body = |bump_id: u16| vec![Op::AConst(0), Op::Invoke(bump_id)];
+
+    // main is id 0 by convention (added first).
+    let main_flags = MethodFlags {
+        synchronized: false,
+        returns_value: true,
+    };
+    let bump_id: u16 = 1;
+    let mut code;
+    if hold {
+        code = vec![
+            Op::AConst(0),
+            Op::MonitorEnter,
+            Op::IConst(0),
+            Op::IStore(1),
+            Op::ILoad(1), // 4: loop
+            Op::ILoad(0),
+            Op::IfICmpGe(0), // 6: patched
+        ];
+        code.extend(body(bump_id));
+        code.push(Op::IInc(1, 1));
+        code.push(Op::Goto(4));
+        let end = code.len();
+        code[6] = Op::IfICmpGe(end);
+        code.push(Op::AConst(0));
+        code.push(Op::MonitorExit);
+        code.push(Op::ILoad(1));
+        code.push(Op::IReturn);
+    } else {
+        code = vec![
+            Op::IConst(0),
+            Op::IStore(1),
+            Op::ILoad(1), // 2: loop
+            Op::ILoad(0),
+            Op::IfICmpGe(0), // 4: patched
+        ];
+        code.extend(body(bump_id));
+        code.push(Op::IInc(1, 1));
+        code.push(Op::Goto(2));
+        let end = code.len();
+        code[4] = Op::IfICmpGe(end);
+        code.push(Op::ILoad(1));
+        code.push(Op::IReturn);
+    }
+    program.add_method(Method::new("main", 1, 2, main_flags, code));
+    let actual_bump_id = program.add_method(bump);
+    debug_assert_eq!(actual_bump_id, bump_id);
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Vm;
+    use crate::value::Value;
+    use std::sync::Arc;
+    use thinlock::ThinLocks;
+    use thinlock_runtime::heap::{Heap, ObjRef};
+    use thinlock_runtime::protocol::SyncProtocol;
+    use thinlock_runtime::registry::ThreadRegistry;
+
+    fn run_bench(bench: MicroBench, iters: i32) -> (i32, ThinLocks, Vec<ObjRef>) {
+        let pool_size = bench.pool_size() as usize;
+        let heap = Arc::new(Heap::with_capacity_and_fields(pool_size + 1, 1));
+        let locks = ThinLocks::new(heap, ThreadRegistry::new());
+        let pool: Vec<ObjRef> = (0..pool_size)
+            .map(|_| locks.heap().alloc().unwrap())
+            .collect();
+        let program = bench.program();
+        program.validate().expect("generated program is well-formed");
+        let reg = locks.registry().register().unwrap();
+        let out = {
+            let vm = Vm::new(&locks, &program, pool.clone()).unwrap();
+            vm.run("main", reg.token(), &[Value::Int(iters)])
+                .unwrap()
+                .and_then(Value::as_int)
+                .unwrap()
+        };
+        (out, locks, pool)
+    }
+
+    #[test]
+    fn every_generated_program_validates() {
+        let all = [
+            MicroBench::NoSync,
+            MicroBench::Sync,
+            MicroBench::NestedSync,
+            MicroBench::MultiSync(1),
+            MicroBench::MultiSync(64),
+            MicroBench::MultiSync(1024),
+            MicroBench::Call,
+            MicroBench::CallSync,
+            MicroBench::NestedCallSync,
+            MicroBench::Threads(8),
+            MicroBench::MixedSync,
+        ];
+        for b in all {
+            b.program().validate().unwrap_or_else(|e| panic!("{b}: {e}"));
+        }
+    }
+
+    #[test]
+    fn no_sync_counts_iterations() {
+        let (out, locks, _) = run_bench(MicroBench::NoSync, 500);
+        assert_eq!(out, 500);
+        assert_eq!(locks.inflated_count(), 0);
+    }
+
+    #[test]
+    fn sync_locks_and_releases_each_iteration() {
+        let (out, locks, pool) = run_bench(MicroBench::Sync, 200);
+        assert_eq!(out, 200);
+        assert!(locks.lock_word(pool[0]).is_unlocked());
+        assert_eq!(locks.inflated_count(), 0, "single thread: stays thin");
+    }
+
+    #[test]
+    fn nested_sync_nests_within_outer_lock() {
+        let (out, locks, pool) = run_bench(MicroBench::NestedSync, 200);
+        assert_eq!(out, 200);
+        assert!(locks.lock_word(pool[0]).is_unlocked());
+        assert_eq!(
+            locks.inflated_count(),
+            0,
+            "nesting depth 2 never overflows the count"
+        );
+    }
+
+    #[test]
+    fn multi_sync_touches_every_object() {
+        let n = 16;
+        let (out, locks, pool) = run_bench(MicroBench::MultiSync(n), 50);
+        assert_eq!(out, 50);
+        assert_eq!(pool.len(), n as usize);
+        for o in pool {
+            assert!(locks.lock_word(o).is_unlocked());
+        }
+    }
+
+    #[test]
+    fn call_benchmarks_update_the_field() {
+        for bench in [MicroBench::Call, MicroBench::CallSync, MicroBench::NestedCallSync] {
+            let (out, locks, pool) = run_bench(bench, 100);
+            assert_eq!(out, 100, "{bench}");
+            let field = locks
+                .heap()
+                .field(pool[0], 0)
+                .load(std::sync::atomic::Ordering::Relaxed);
+            assert_eq!(field, 100, "{bench}: bump ran once per iteration");
+            assert!(locks.lock_word(pool[0]).is_unlocked(), "{bench}");
+        }
+    }
+
+    #[test]
+    fn mixed_sync_three_nested_locks() {
+        let (out, locks, pool) = run_bench(MicroBench::MixedSync, 100);
+        assert_eq!(out, 100);
+        assert!(locks.lock_word(pool[0]).is_unlocked());
+        assert_eq!(locks.inflated_count(), 0, "depth 3 stays thin");
+    }
+
+    #[test]
+    fn threads_program_is_shared_safely() {
+        let bench = MicroBench::Threads(4);
+        let heap = Arc::new(Heap::with_capacity(2));
+        let locks = Arc::new(ThinLocks::new(heap, ThreadRegistry::new()));
+        let pool = vec![locks.heap().alloc().unwrap()];
+        let program = Arc::new(bench.program());
+        let mut handles = Vec::new();
+        for _ in 0..bench.thread_count() {
+            let locks = Arc::clone(&locks);
+            let program = Arc::clone(&program);
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                let reg = locks.registry().register().unwrap();
+                let vm = Vm::new(&*locks, &program, pool).unwrap();
+                vm.run("main", reg.token(), &[Value::Int(200)])
+                    .unwrap()
+                    .and_then(Value::as_int)
+                    .unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 200);
+        }
+        // The shared object's lock must be fully released at the end.
+        let reg = locks.registry().register().unwrap();
+        assert!(!locks.holds_lock(pool[0], reg.token()));
+    }
+
+    #[test]
+    fn table2_listing_and_names() {
+        let names: Vec<String> = MicroBench::table2().iter().map(|b| b.to_string()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "NoSync",
+                "Sync",
+                "NestedSync",
+                "MultiSync 64",
+                "Call",
+                "CallSync",
+                "NestedCallSync",
+                "Threads 4"
+            ]
+        );
+        assert_eq!(MicroBench::Threads(4).thread_count(), 4);
+        assert_eq!(MicroBench::Sync.thread_count(), 1);
+        assert_eq!(MicroBench::Sync.expected(7), 7);
+    }
+}

@@ -1,0 +1,103 @@
+//! Runtime values of the miniature VM.
+
+use std::fmt;
+
+use thinlock_runtime::heap::ObjRef;
+
+/// A VM stack/local value: a 32-bit integer, an object reference, or null.
+///
+/// The interpreter type-checks at run time (`iload` on a `Ref` is a
+/// [`VmError::TypeMismatch`](crate::error::VmError::TypeMismatch)), which
+/// stands in for the JVM's bytecode verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A 32-bit signed integer (`int`).
+    Int(i32),
+    /// A reference to a heap object.
+    Ref(ObjRef),
+    /// The null reference.
+    Null,
+}
+
+impl Value {
+    /// Extracts an integer.
+    pub fn as_int(self) -> Option<i32> {
+        match self {
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Extracts an object reference.
+    pub fn as_ref(self) -> Option<ObjRef> {
+        match self {
+            Value::Ref(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl Default for Value {
+    /// Fresh locals start as `Null`, mirroring the JVM's definite-
+    /// assignment requirement being checked dynamically here.
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<ObjRef> for Value {
+    fn from(r: ObjRef) -> Self {
+        Value::Ref(r)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Ref(r) => write!(f, "{r}"),
+            Value::Null => f.write_str("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_ref(), None);
+        let r = ObjRef::from_index(3);
+        assert_eq!(Value::Ref(r).as_ref(), Some(r));
+        assert_eq!(Value::Ref(r).as_int(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn conversions_and_default() {
+        assert_eq!(Value::from(5), Value::Int(5));
+        assert_eq!(Value::from(ObjRef::from_index(1)), Value::Ref(ObjRef::from_index(1)));
+        assert_eq!(Value::default(), Value::Null);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Ref(ObjRef::from_index(2)).to_string(), "obj#2");
+    }
+}

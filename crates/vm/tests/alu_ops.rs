@@ -1,0 +1,100 @@
+//! Semantics of the extended ALU / comparison instruction set, checked
+//! against Rust's own integer semantics through assembled programs.
+
+use thinlock::ThinLocks;
+use thinlock_vm::asm::{assemble, disassemble};
+use thinlock_vm::verify::{verify_program, VerifyOptions};
+use thinlock_vm::{Value, Vm};
+
+fn eval(body: &str, args: &[i32]) -> i32 {
+    let src = format!(
+        "pool 0\nmethod main args={} locals={} returns {{\n{}\n  ireturn\n}}\n",
+        args.len(),
+        args.len().max(1),
+        body
+    );
+    let program = assemble(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    verify_program(&program, VerifyOptions::default()).unwrap();
+    // Round-trip through the disassembler on the way, for free coverage.
+    let program = assemble(&disassemble(&program)).unwrap();
+    let locks = ThinLocks::with_capacity(1);
+    let reg = thinlock_runtime::protocol::SyncProtocol::registry(&locks)
+        .register()
+        .unwrap();
+    let vm = Vm::new(&locks, &program, vec![]).unwrap();
+    let vals: Vec<Value> = args.iter().map(|&a| Value::Int(a)).collect();
+    vm.run("main", reg.token(), &vals)
+        .unwrap()
+        .and_then(Value::as_int)
+        .unwrap()
+}
+
+#[test]
+fn ineg() {
+    assert_eq!(eval("  iload 0\n  ineg", &[5]), -5);
+    assert_eq!(eval("  iload 0\n  ineg", &[i32::MIN]), i32::MIN.wrapping_neg());
+}
+
+#[test]
+fn bitwise_ops() {
+    assert_eq!(eval("  iload 0\n  iload 1\n  iand", &[0b1100, 0b1010]), 0b1000);
+    assert_eq!(eval("  iload 0\n  iload 1\n  ior", &[0b1100, 0b1010]), 0b1110);
+    assert_eq!(eval("  iload 0\n  iload 1\n  ixor", &[0b1100, 0b1010]), 0b0110);
+}
+
+#[test]
+fn shifts_mask_the_count_like_java() {
+    assert_eq!(eval("  iload 0\n  iload 1\n  ishl", &[1, 4]), 16);
+    assert_eq!(eval("  iload 0\n  iload 1\n  ishl", &[1, 33]), 2, "count & 31");
+    assert_eq!(eval("  iload 0\n  iload 1\n  ishr", &[-16, 2]), -4, "arithmetic");
+}
+
+#[test]
+fn imul_and_irem() {
+    assert_eq!(eval("  iload 0\n  iload 1\n  imul", &[7, -6]), -42);
+    assert_eq!(eval("  iload 0\n  iload 1\n  irem", &[17, 5]), 2);
+    assert_eq!(eval("  iload 0\n  iload 1\n  irem", &[-17, 5]), -2, "truncated");
+}
+
+#[test]
+fn if_icmpeq_branches_on_equality() {
+    let body = "\
+  iload 0
+  iload 1
+  if_icmpeq same
+  iconst 0
+  ireturn
+same:
+  iconst 1";
+    assert_eq!(eval(body, &[3, 3]), 1);
+    assert_eq!(eval(body, &[3, 4]), 0);
+}
+
+#[test]
+fn hash_mixing_program() {
+    // A small multiplicative hash written in assembly exercises several
+    // new ops together; compared against the same computation in Rust.
+    let body = "\
+  iload 0
+  iconst 31
+  imul
+  iload 0
+  ixor
+  iconst 7
+  ishr
+  iload 0
+  ior";
+    for x in [0i32, 1, -1, 12345, i32::MAX] {
+        let expected = (x.wrapping_mul(31) ^ x).wrapping_shr(7) | x;
+        assert_eq!(eval(body, &[x]), expected, "x = {x}");
+    }
+}
+
+#[test]
+fn verifier_types_new_ops() {
+    // iand on a ref must be rejected.
+    let src = "pool 1\nmethod main args=0 locals=0 returns {\n  aconst 0\n  iconst 1\n  iand\n  ireturn\n}\n";
+    let program = assemble(src).unwrap();
+    let e = verify_program(&program, VerifyOptions::default()).unwrap_err();
+    assert!(e.message.contains("expected int"), "{e}");
+}

@@ -1,0 +1,117 @@
+//! Property tests of the assembler: `assemble ∘ disassemble` is the
+//! identity on arbitrary well-formed programs.
+
+use proptest::prelude::*;
+
+use thinlock_vm::asm::{assemble, disassemble};
+use thinlock_vm::{Method, MethodFlags, Op, Program};
+
+/// Strategy for a single non-branch instruction within the given limits.
+fn arb_plain_op(max_locals: u8, pool: u32, methods: u16) -> impl Strategy<Value = Op> {
+    let slot = 0..max_locals.max(1);
+    prop_oneof![
+        any::<i32>().prop_map(Op::IConst),
+        slot.clone().prop_map(Op::ILoad),
+        slot.clone().prop_map(Op::IStore),
+        (slot.clone(), any::<i16>()).prop_map(|(s, d)| Op::IInc(s, d)),
+        Just(Op::IAdd),
+        Just(Op::ISub),
+        slot.clone().prop_map(Op::ALoad),
+        slot.prop_map(Op::AStore),
+        (0..pool.max(1)).prop_map(Op::AConst),
+        Just(Op::ALoadPool),
+        (0u16..4).prop_map(Op::GetField),
+        (0u16..4).prop_map(Op::PutField),
+        Just(Op::Dup),
+        Just(Op::Pop),
+        Just(Op::MonitorEnter),
+        Just(Op::MonitorExit),
+        (0..methods.max(1)).prop_map(Op::Invoke),
+        Just(Op::Return),
+        Just(Op::IReturn),
+        Just(Op::Nop),
+    ]
+}
+
+/// A well-formed method: random body with in-range branches, terminated
+/// by a return.
+fn arb_method(index: usize, pool: u32, methods: u16) -> impl Strategy<Value = Method> {
+    (2u8..6, 0u8..4, any::<bool>(), any::<bool>()).prop_flat_map(
+        move |(max_locals, extra_locals, synchronized, returns)| {
+            let locals = max_locals + extra_locals;
+            let body_len = 1usize..20;
+            body_len
+                .prop_flat_map(move |len| {
+                    (
+                        proptest::collection::vec(arb_plain_op(locals, pool, methods), len),
+                        proptest::collection::vec((0u8..100, any::<bool>()), 0..4),
+                    )
+                })
+                .prop_map(move |(mut code, branches)| {
+                    // Terminate so fall-through stays in range when assembled.
+                    code.push(Op::Return);
+                    // Sprinkle branches with targets inside the final code.
+                    let len = code.len();
+                    for (pos, forward) in branches {
+                        let target = usize::from(pos) % len;
+                        let at = usize::from(pos) % len;
+                        code[at] = if forward {
+                            Op::Goto(target)
+                        } else {
+                            Op::IfICmpGe(target)
+                        };
+                    }
+                    // Re-terminate in case a branch overwrote the return.
+                    code.push(Op::Return);
+                    Method::new(
+                        format!("m{index}"),
+                        1,
+                        locals.max(1),
+                        MethodFlags {
+                            synchronized,
+                            returns_value: returns,
+                        },
+                        code,
+                    )
+                })
+        },
+    )
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (1u32..8, 1u16..4).prop_flat_map(|(pool, nmethods)| {
+        let methods: Vec<_> = (0..usize::from(nmethods))
+            .map(|i| arb_method(i, pool, nmethods))
+            .collect();
+        methods.prop_map(move |ms| {
+            let mut p = Program::new(pool);
+            for m in ms {
+                p.add_method(m);
+            }
+            p
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Round trip: disassemble then assemble reproduces the program.
+    #[test]
+    fn assembler_round_trips(program in arb_program()) {
+        prop_assume!(program.validate().is_ok());
+        let text = disassemble(&program);
+        let back = assemble(&text);
+        prop_assert!(back.is_ok(), "{}\n{}", back.unwrap_err(), text);
+        prop_assert_eq!(program, back.unwrap());
+    }
+
+    /// Disassembly is line-oriented and never empty for a valid program.
+    #[test]
+    fn disassembly_is_parseable_linewise(program in arb_program()) {
+        prop_assume!(program.validate().is_ok());
+        let text = disassemble(&program);
+        prop_assert!(text.starts_with("pool "));
+        prop_assert!(text.lines().count() > program.methods().len());
+    }
+}

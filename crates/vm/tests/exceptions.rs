@@ -1,0 +1,360 @@
+//! Exception semantics: `athrow`, handler dispatch, propagation through
+//! frames, and — the part that matters for this reproduction — monitor
+//! release on every unwind path, under every locking protocol shape.
+
+use thinlock::ThinLocks;
+use thinlock_runtime::heap::ObjRef;
+use thinlock_runtime::protocol::SyncProtocol;
+use thinlock_vm::asm::{assemble, disassemble};
+use thinlock_vm::program::Handler;
+use thinlock_vm::verify::{verify_program, VerifyOptions};
+use thinlock_vm::{Method, MethodFlags, Op, Program, Value, Vm, VmError};
+
+fn setup(pool: u32) -> (ThinLocks, Vec<ObjRef>) {
+    let locks = ThinLocks::with_capacity(pool as usize + 2);
+    let objs = (0..pool).map(|_| locks.heap().alloc().unwrap()).collect();
+    (locks, objs)
+}
+
+fn flags(returns: bool) -> MethodFlags {
+    MethodFlags {
+        synchronized: false,
+        returns_value: returns,
+    }
+}
+
+#[test]
+fn throw_caught_in_same_frame() {
+    let (locks, pool) = setup(1);
+    let reg = locks.registry().register().unwrap();
+    let mut p = Program::new(1);
+    // try { throw pool[0]; unreachable } catch (e) { return 7 }
+    p.add_method(
+        Method::new(
+            "f",
+            0,
+            1,
+            flags(true),
+            vec![
+                Op::AConst(0),  // 0
+                Op::Throw,      // 1
+                Op::IConst(0),  // 2: skipped
+                Op::IReturn,    // 3: skipped
+                Op::AStore(0),  // 4: handler — store exception
+                Op::IConst(7),  // 5
+                Op::IReturn,    // 6
+            ],
+        )
+        .with_handler(Handler {
+            start: 0,
+            end: 4,
+            target: 4,
+        }),
+    );
+    let vm = Vm::new(&locks, &p, pool).unwrap();
+    let out = vm.run("f", reg.token(), &[]).unwrap();
+    assert_eq!(out, Some(Value::Int(7)));
+}
+
+#[test]
+fn uncaught_throw_surfaces_with_the_object() {
+    let (locks, pool) = setup(1);
+    let reg = locks.registry().register().unwrap();
+    let mut p = Program::new(1);
+    p.add_method(Method::new(
+        "boom",
+        0,
+        0,
+        flags(false),
+        vec![Op::AConst(0), Op::Throw],
+    ));
+    let vm = Vm::new(&locks, &p, pool.clone()).unwrap();
+    assert_eq!(
+        vm.run("boom", reg.token(), &[]).unwrap_err(),
+        VmError::UncaughtException { object: pool[0] }
+    );
+}
+
+#[test]
+fn throw_propagates_through_caller_frames() {
+    let (locks, pool) = setup(1);
+    let reg = locks.registry().register().unwrap();
+    let mut p = Program::new(1);
+    // id 0: outer catches; id 1: middle (no handler); id 2: thrower.
+    p.add_method(
+        Method::new(
+            "outer",
+            0,
+            1,
+            flags(true),
+            vec![
+                Op::Invoke(1), // 0: protected
+                Op::IConst(0), // 1: skipped (middle threw)
+                Op::IReturn,   // 2
+                Op::AStore(0), // 3: handler
+                Op::IConst(42),
+                Op::IReturn,
+            ],
+        )
+        .with_handler(Handler {
+            start: 0,
+            end: 3,
+            target: 3,
+        }),
+    );
+    p.add_method(Method::new(
+        "middle",
+        0,
+        0,
+        flags(false),
+        vec![Op::Invoke(2), Op::Return],
+    ));
+    p.add_method(Method::new(
+        "thrower",
+        0,
+        0,
+        flags(false),
+        vec![Op::AConst(0), Op::Throw],
+    ));
+    let vm = Vm::new(&locks, &p, pool).unwrap();
+    let out = vm.run("outer", reg.token(), &[]).unwrap();
+    assert_eq!(out, Some(Value::Int(42)));
+}
+
+#[test]
+fn synchronized_method_unlocks_when_exception_escapes() {
+    let (locks, pool) = setup(1);
+    let reg = locks.registry().register().unwrap();
+    let mut p = Program::new(1);
+    // synchronized void f(this) { throw this; }
+    p.add_method(Method::new(
+        "f",
+        1,
+        1,
+        MethodFlags {
+            synchronized: true,
+            returns_value: false,
+        },
+        vec![Op::ALoad(0), Op::Throw],
+    ));
+    let vm = Vm::new(&locks, &p, pool.clone()).unwrap();
+    let err = vm
+        .run("f", reg.token(), &[Value::Ref(pool[0])])
+        .unwrap_err();
+    assert_eq!(err, VmError::UncaughtException { object: pool[0] });
+    assert!(
+        locks.lock_word(pool[0]).is_unlocked(),
+        "ACC_SYNCHRONIZED released on unwind"
+    );
+}
+
+#[test]
+fn javac_style_synchronized_block_with_exception_cleanup() {
+    // The pattern javac emits for `synchronized (o) { body }`:
+    // the protected region is covered by a handler that performs
+    // monitorexit and rethrows.
+    let (locks, pool) = setup(2);
+    let reg = locks.registry().register().unwrap();
+    let mut p = Program::new(2);
+    p.add_method(
+        Method::new(
+            "f",
+            1,
+            2,
+            flags(true),
+            vec![
+                Op::AConst(0),      // 0: monitor object
+                Op::MonitorEnter,   // 1
+                Op::ILoad(0),       // 2: protected body: if arg != 0 throw
+                Op::IfEq(7),        // 3
+                Op::AConst(1),      // 4: the "exception"
+                Op::Throw,          // 5
+                Op::Nop,            // 6
+                Op::AConst(0),      // 7: normal exit: monitorexit
+                Op::MonitorExit,    // 8
+                Op::IConst(1),      // 9
+                Op::IReturn,        // 10
+                Op::AStore(1),      // 11: handler: save exception
+                Op::AConst(0),      // 12
+                Op::MonitorExit,    // 13: release the monitor
+                Op::ALoad(1),       // 14
+                Op::Throw,          // 15: rethrow
+            ],
+        )
+        .with_handler(Handler {
+            start: 2,
+            end: 7,
+            target: 11,
+        }),
+    );
+    let vm = Vm::new(&locks, &p, pool.clone()).unwrap();
+
+    // Normal path.
+    let out = vm.run("f", reg.token(), &[Value::Int(0)]).unwrap();
+    assert_eq!(out, Some(Value::Int(1)));
+    assert!(locks.lock_word(pool[0]).is_unlocked());
+
+    // Exceptional path: the handler's monitorexit must run before the
+    // rethrow escapes.
+    let err = vm.run("f", reg.token(), &[Value::Int(1)]).unwrap_err();
+    assert_eq!(err, VmError::UncaughtException { object: pool[1] });
+    assert!(
+        locks.lock_word(pool[0]).is_unlocked(),
+        "handler released the monitor before rethrowing"
+    );
+}
+
+#[test]
+fn handler_clears_operand_stack() {
+    let (locks, pool) = setup(1);
+    let reg = locks.registry().register().unwrap();
+    let mut p = Program::new(1);
+    // Leave junk on the stack, then throw; handler must see only the
+    // exception object (it stores it and returns an int constant).
+    p.add_method(
+        Method::new(
+            "f",
+            0,
+            1,
+            flags(true),
+            vec![
+                Op::IConst(1), // 0: junk
+                Op::IConst(2), // 1: junk
+                Op::AConst(0), // 2
+                Op::Throw,     // 3
+                Op::AStore(0), // 4: handler; succeeds only if top is a ref
+                Op::IConst(9), // 5
+                Op::IReturn,   // 6
+            ],
+        )
+        .with_handler(Handler {
+            start: 0,
+            end: 4,
+            target: 4,
+        }),
+    );
+    let vm = Vm::new(&locks, &p, pool).unwrap();
+    assert_eq!(
+        vm.run("f", reg.token(), &[]).unwrap(),
+        Some(Value::Int(9))
+    );
+}
+
+#[test]
+fn throwing_null_is_an_error_not_an_exception() {
+    let (locks, _) = setup(0);
+    let reg = locks.registry().register().unwrap();
+    let mut p = Program::new(0);
+    p.add_method(Method::new(
+        "f",
+        0,
+        1,
+        flags(false),
+        vec![Op::ALoad(0), Op::Throw],
+    ));
+    let vm = Vm::new(&locks, &p, vec![]).unwrap();
+    assert_eq!(
+        vm.run("f", reg.token(), &[]).unwrap_err(),
+        VmError::NullMonitor { pc: 1 }
+    );
+}
+
+#[test]
+fn asm_round_trips_handlers_and_athrow() {
+    let src = "\
+pool 1
+method f args=0 locals=1 returns {
+try_start:
+  aconst 0
+  athrow
+try_end:
+  astore 0
+  iconst 3
+  ireturn
+  .catch try_start try_end try_end
+}
+";
+    let p = assemble(src).unwrap();
+    let m = p.method(0).unwrap();
+    assert_eq!(m.handlers().len(), 1);
+    assert_eq!(m.handlers()[0], Handler { start: 0, end: 2, target: 2 });
+    assert!(m.code().contains(&Op::Throw));
+    // Round trip.
+    let text = disassemble(&p);
+    assert!(text.contains(".catch"));
+    assert_eq!(assemble(&text).unwrap(), p);
+    // And it runs.
+    let (locks, pool) = setup(1);
+    let reg = locks.registry().register().unwrap();
+    let vm = Vm::new(&locks, &p, pool).unwrap();
+    assert_eq!(
+        vm.run("f", reg.token(), &[]).unwrap(),
+        Some(Value::Int(3))
+    );
+}
+
+#[test]
+fn verifier_accepts_handler_code_and_checks_it() {
+    let mut p = Program::new(1);
+    p.add_method(
+        Method::new(
+            "good",
+            0,
+            1,
+            flags(true),
+            vec![
+                Op::AConst(0),
+                Op::Throw,
+                Op::AStore(0), // 2: handler stores the ref
+                Op::IConst(1),
+                Op::IReturn,
+            ],
+        )
+        .with_handler(Handler {
+            start: 0,
+            end: 2,
+            target: 2,
+        }),
+    );
+    verify_program(&p, VerifyOptions::default()).unwrap();
+
+    // A handler that treats the exception as an int must be rejected.
+    let mut bad = Program::new(1);
+    bad.add_method(
+        Method::new(
+            "bad",
+            0,
+            1,
+            flags(true),
+            vec![
+                Op::AConst(0),
+                Op::Throw,
+                Op::IStore(0), // 2: handler misuses the ref as int
+                Op::IConst(1),
+                Op::IReturn,
+            ],
+        )
+        .with_handler(Handler {
+            start: 0,
+            end: 2,
+            target: 2,
+        }),
+    );
+    let e = verify_program(&bad, VerifyOptions::default()).unwrap_err();
+    assert!(e.message.contains("expected int"), "{e}");
+}
+
+#[test]
+fn validation_rejects_malformed_handler_tables() {
+    let make = |h: Handler| {
+        let mut p = Program::new(0);
+        p.add_method(
+            Method::new("m", 0, 0, flags(false), vec![Op::Return]).with_handler(h),
+        );
+        p.validate()
+    };
+    assert!(make(Handler { start: 0, end: 0, target: 0 }).is_err());
+    assert!(make(Handler { start: 0, end: 5, target: 0 }).is_err());
+    assert!(make(Handler { start: 0, end: 1, target: 9 }).is_err());
+    assert!(make(Handler { start: 0, end: 1, target: 0 }).is_ok());
+}

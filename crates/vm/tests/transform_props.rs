@@ -1,0 +1,214 @@
+//! Differential property tests of the bytecode transformations: for any
+//! *verified* program, peephole optimization and synchronization
+//! stripping preserve single-threaded results exactly.
+
+use proptest::prelude::*;
+
+use thinlock::ThinLocks;
+use thinlock_runtime::heap::ObjRef;
+use thinlock_runtime::protocol::SyncProtocol;
+use thinlock_vm::transform::{peephole, strip_synchronization};
+use thinlock_vm::verify::{verify_program, VerifyOptions};
+use thinlock_vm::{Method, MethodFlags, Op, Program, Value, Vm};
+
+const POOL: u32 = 2;
+const LOCALS: u8 = 4;
+
+/// A stack-neutral, monitor-balanced code snippet — programs composed of
+/// these verify by construction, so the properties never starve on
+/// rejected inputs.
+#[derive(Debug, Clone)]
+enum Snippet {
+    /// `local[dst] = c`
+    SetConst(u8, i32),
+    /// `local[dst] = local[a] <arith> local[b]` over int locals 1..LOCALS
+    Arith(u8, u8, u8, u8),
+    /// `iconst c; pop` / `aconst k; pop` — peephole fodder
+    PushPop(i32, Option<u32>),
+    /// `iconst a; iconst b; imul; istore dst` — constant-fold fodder
+    FoldFodder(u8, i32, i32),
+    /// `local[dst] = local[a] + local[a]` via `dup`
+    DupAdd(u8, u8),
+    /// `nop`
+    Nop,
+    /// `synchronized (pool[k]) { inner }`
+    Sync(u32, Box<Snippet>),
+}
+
+impl Snippet {
+    fn emit(&self, code: &mut Vec<Op>) {
+        match self {
+            Snippet::SetConst(dst, c) => {
+                code.push(Op::IConst(*c));
+                code.push(Op::IStore(*dst));
+            }
+            Snippet::Arith(dst, a, b, which) => {
+                code.push(Op::ILoad(*a));
+                code.push(Op::ILoad(*b));
+                code.push(match which % 3 {
+                    0 => Op::IAdd,
+                    1 => Op::ISub,
+                    _ => Op::IMul,
+                });
+                code.push(Op::IStore(*dst));
+            }
+            Snippet::PushPop(c, pool) => {
+                match pool {
+                    Some(k) => code.push(Op::AConst(*k)),
+                    None => code.push(Op::IConst(*c)),
+                }
+                code.push(Op::Pop);
+            }
+            Snippet::FoldFodder(dst, a, b) => {
+                code.push(Op::IConst(*a));
+                code.push(Op::IConst(*b));
+                code.push(Op::IMul);
+                code.push(Op::IStore(*dst));
+            }
+            Snippet::DupAdd(dst, a) => {
+                code.push(Op::ILoad(*a));
+                code.push(Op::Dup);
+                code.push(Op::IAdd);
+                code.push(Op::IStore(*dst));
+            }
+            Snippet::Nop => code.push(Op::Nop),
+            Snippet::Sync(k, inner) => {
+                code.push(Op::AConst(*k));
+                code.push(Op::MonitorEnter);
+                inner.emit(code);
+                code.push(Op::AConst(*k));
+                code.push(Op::MonitorExit);
+            }
+        }
+    }
+}
+
+fn arb_snippet() -> impl Strategy<Value = Snippet> {
+    let local = 1u8..LOCALS;
+    let leaf = prop_oneof![
+        (local.clone(), -100i32..100).prop_map(|(d, c)| Snippet::SetConst(d, c)),
+        (local.clone(), local.clone(), local.clone(), any::<u8>())
+            .prop_map(|(d, a, b, w)| Snippet::Arith(d, a, b, w)),
+        (-100i32..100, proptest::option::of(0..POOL))
+            .prop_map(|(c, p)| Snippet::PushPop(c, p)),
+        (local.clone(), -50i32..50, -50i32..50)
+            .prop_map(|(d, a, b)| Snippet::FoldFodder(d, a, b)),
+        (local.clone(), local.clone()).prop_map(|(d, a)| Snippet::DupAdd(d, a)),
+        Just(Snippet::Nop),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        (0..POOL, inner).prop_map(|(k, s)| Snippet::Sync(k, Box::new(s)))
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_snippet(), 0..10).prop_map(|snippets| {
+        let body: Vec<Op> = {
+            let mut code = Vec::new();
+            for s in &snippets {
+                s.emit(&mut code);
+            }
+            code
+        };
+        // Template: counter loop running the random body twice, guarded by
+        // a fixed prologue that seeds the locals, ending by returning
+        // local 1 (defined by the prologue so it is always assigned).
+        let mut code = vec![
+            Op::IConst(7),
+            Op::IStore(1),
+            Op::IConst(3),
+            Op::IStore(2),
+            Op::IConst(0),
+            Op::IStore(3),
+        ];
+        code.extend(body.iter().copied());
+        code.extend(body);
+        code.push(Op::ILoad(1));
+        code.push(Op::IReturn);
+        let mut p = Program::new(POOL);
+        p.add_method(Method::new(
+            "main",
+            1,
+            LOCALS,
+            MethodFlags {
+                synchronized: false,
+                returns_value: true,
+            },
+            code,
+        ));
+        p
+    })
+}
+
+fn run(program: &Program, arg: i32) -> Option<i32> {
+    let heap = std::sync::Arc::new(thinlock_runtime::heap::Heap::with_capacity_and_fields(
+        POOL as usize + 1,
+        1,
+    ));
+    let locks = ThinLocks::new(heap, thinlock_runtime::registry::ThreadRegistry::new());
+    let pool: Vec<ObjRef> = (0..POOL).map(|_| locks.heap().alloc().unwrap()).collect();
+    let reg = locks.registry().register().unwrap();
+    let vm = Vm::new(&locks, program, pool).unwrap();
+    vm.run_with_fuel("main", reg.token(), &[Value::Int(arg)], 100_000)
+        .ok()
+        .and_then(|(v, _)| v)
+        .and_then(Value::as_int)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Peephole-optimized programs compute the same results.
+    #[test]
+    fn peephole_is_semantics_preserving(program in arb_program(), arg in -5i32..5) {
+        prop_assume!(verify_program(&program, VerifyOptions::default()).is_ok());
+        let original = run(&program, arg);
+        prop_assume!(original.is_some());
+        let (optimized, _) = peephole(&program);
+        prop_assert!(optimized.validate().is_ok());
+        prop_assert_eq!(run(&optimized, arg), original);
+    }
+
+    /// Stripping synchronization never changes single-threaded results.
+    #[test]
+    fn stripping_is_semantics_preserving(program in arb_program(), arg in -5i32..5) {
+        prop_assume!(verify_program(&program, VerifyOptions::default()).is_ok());
+        let original = run(&program, arg);
+        prop_assume!(original.is_some());
+        let stripped = strip_synchronization(&program);
+        prop_assert!(stripped.validate().is_ok());
+        prop_assert_eq!(run(&stripped, arg), original);
+    }
+
+    /// The two transformations compose.
+    #[test]
+    fn transforms_compose(program in arb_program(), arg in -5i32..5) {
+        prop_assume!(verify_program(&program, VerifyOptions::default()).is_ok());
+        let original = run(&program, arg);
+        prop_assume!(original.is_some());
+        let (optimized, _) = peephole(&strip_synchronization(&program));
+        prop_assert_eq!(run(&optimized, arg), original);
+    }
+
+    /// Peephole is idempotent-ish: a second pass finds nothing more on
+    /// programs whose first pass already converged (single application of
+    /// the local rules; folding can cascade, so run to fixpoint first).
+    #[test]
+    fn peephole_reaches_fixpoint(program in arb_program()) {
+        prop_assume!(verify_program(&program, VerifyOptions::default()).is_ok());
+        let mut current = program;
+        for _ in 0..8 {
+            let (next, stats) = peephole(&current);
+            if stats.total_removed() == 0 {
+                let (again, stats2) = peephole(&next);
+                prop_assert_eq!(stats2.total_removed(), 0);
+                prop_assert_eq!(again, next);
+                return Ok(());
+            }
+            current = next;
+        }
+        // Cascades longer than 8 passes would indicate non-termination.
+        let (_, stats) = peephole(&current);
+        prop_assert_eq!(stats.total_removed(), 0, "peephole must converge");
+    }
+}

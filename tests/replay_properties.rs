@@ -1,0 +1,146 @@
+//! Property-based integration tests: arbitrary well-formed lock traces
+//! replay successfully and equivalently under every protocol, and the
+//! characterizer agrees with an independent reference computation.
+
+use proptest::prelude::*;
+
+use thinlock_bench::ProtocolKind;
+use thinlock_trace::characterize::characterize;
+use thinlock_trace::generator::{generate, LockTrace, TraceConfig, TraceOp};
+use thinlock_trace::replay::replay;
+use thinlock_trace::table1::MACRO_BENCHMARKS;
+
+/// Strategy: a random generator configuration over a random Table 1
+/// profile — small enough to replay hundreds of cases quickly.
+fn arb_config() -> impl Strategy<Value = TraceConfig> {
+    (
+        1u64..=u64::MAX / 2,
+        any::<u64>(),
+        1u32..=200,
+        1u64..=500,
+        0.0f64..=1.5,
+    )
+        .prop_map(|(scale, seed, max_objects, max_lock_ops, skew)| TraceConfig {
+            scale,
+            seed,
+            max_objects,
+            max_lock_ops,
+            skew,
+            work_per_sync: 0, // keep replays fast; work is timing-only
+            work_per_alloc: 0,
+        })
+}
+
+fn arb_profile_index() -> impl Strategy<Value = usize> {
+    0..MACRO_BENCHMARKS.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated trace is well-formed by its own validator.
+    #[test]
+    fn generated_traces_validate(cfg in arb_config(), pi in arb_profile_index()) {
+        let trace = generate(&MACRO_BENCHMARKS[pi], &cfg);
+        prop_assert!(trace.validate().is_ok());
+        prop_assert!(trace.lock_ops() >= u64::from(trace.sync_objects()));
+    }
+
+    /// Generation is a pure function of (profile, config).
+    #[test]
+    fn generation_is_deterministic(cfg in arb_config(), pi in arb_profile_index()) {
+        let a = generate(&MACRO_BENCHMARKS[pi], &cfg);
+        let b = generate(&MACRO_BENCHMARKS[pi], &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The characterizer matches an independent reference computation.
+    #[test]
+    fn characterizer_matches_reference(cfg in arb_config(), pi in arb_profile_index()) {
+        let trace = generate(&MACRO_BENCHMARKS[pi], &cfg);
+        let c = characterize(&trace);
+
+        // Reference computation, written differently on purpose.
+        let mut allocs = 0u64;
+        let mut locks = 0u64;
+        let mut depth = std::collections::HashMap::new();
+        let mut touched = std::collections::HashSet::new();
+        let mut first_locks = 0u64;
+        for op in trace.ops() {
+            match *op {
+                TraceOp::Alloc => allocs += 1,
+                TraceOp::Lock(o) => {
+                    locks += 1;
+                    touched.insert(o);
+                    let d = depth.entry(o).or_insert(0u32);
+                    if *d == 0 {
+                        first_locks += 1;
+                    }
+                    *d += 1;
+                }
+                TraceOp::Unlock(o) => {
+                    *depth.get_mut(&o).unwrap() -= 1;
+                }
+                TraceOp::Work(_) => {}
+            }
+        }
+        prop_assert_eq!(c.objects_created, allocs);
+        prop_assert_eq!(c.sync_operations, locks);
+        prop_assert_eq!(c.synchronized_objects, touched.len() as u64);
+        prop_assert_eq!(c.depth_histogram[0], first_locks);
+    }
+
+    /// Replay succeeds under every protocol and performs exactly the
+    /// trace's operations, leaving every monitor released.
+    #[test]
+    fn replay_is_protocol_independent(cfg in arb_config(), pi in arb_profile_index()) {
+        let trace = generate(&MACRO_BENCHMARKS[pi], &cfg);
+        let mut per_protocol = Vec::new();
+        for kind in ProtocolKind::ALL_EXTENDED {
+            let p = kind.build(trace.required_heap_capacity(), 0);
+            let reg = p.registry().register().unwrap();
+            let out = replay(&*p, &trace, reg.token()).unwrap();
+            prop_assert_eq!(out.lock_ops, trace.lock_ops());
+            prop_assert_eq!(out.unlock_ops, trace.lock_ops());
+            prop_assert_eq!(out.allocs, u64::from(trace.total_objects()));
+            // Nothing is left held.
+            for obj in p.heap().iter() {
+                prop_assert!(!p.holds_lock(obj, reg.token()));
+            }
+            per_protocol.push((out.allocs, out.lock_ops));
+        }
+        prop_assert!(per_protocol.windows(2).all(|w| w[0] == w[1]));
+    }
+}
+
+/// A hand-built pathological trace (deep nesting on one object, many cold
+/// objects) exercises the same paths outside proptest shrink noise.
+#[test]
+fn pathological_trace_replays_everywhere() {
+    let mut ops = Vec::new();
+    for _ in 0..300 {
+        ops.push(TraceOp::Alloc);
+    }
+    // Deep nesting bursts on object 0 (depth 4, the paper's max).
+    for _ in 0..50 {
+        for _ in 0..4 {
+            ops.push(TraceOp::Lock(0));
+        }
+        for _ in 0..4 {
+            ops.push(TraceOp::Unlock(0));
+        }
+    }
+    // One touch each on the cold tail.
+    for o in 1..300u32 {
+        ops.push(TraceOp::Lock(o));
+        ops.push(TraceOp::Unlock(o));
+    }
+    let trace = LockTrace::from_ops("pathological", ops).expect("well-formed");
+    assert_eq!(trace.lock_ops(), 50 * 4 + 299);
+    for kind in ProtocolKind::ALL_EXTENDED {
+        let p = kind.build(trace.required_heap_capacity(), 0);
+        let reg = p.registry().register().unwrap();
+        let out = replay(&*p, &trace, reg.token()).unwrap();
+        assert_eq!(out.lock_ops, trace.lock_ops(), "{kind}");
+    }
+}
