@@ -1,0 +1,100 @@
+//! `lockcheck` — runs all four static lock-discipline passes over the
+//! built-in program library and prints per-method findings.
+
+use thinlock_analysis::escape::EscapeContext;
+use thinlock_analysis::{analyze_program, AnalysisReport};
+use thinlock_vm::library;
+use thinlock_vm::program::Program;
+use thinlock_vm::programs::{self, MicroBench};
+
+struct Totals {
+    programs: usize,
+    methods: usize,
+    diagnostics: usize,
+    cycles: usize,
+    elidable: usize,
+    hints: usize,
+}
+
+fn check(name: &str, program: &Program, ctx: &EscapeContext, totals: &mut Totals) {
+    let report: AnalysisReport = analyze_program(program, ctx);
+    let verdict = if report.is_clean() {
+        "clean"
+    } else {
+        "FINDINGS"
+    };
+    println!("== {name} ({} thread(s)) — {verdict}", ctx.thread_count);
+    print!("{report}");
+    println!();
+    totals.programs += 1;
+    totals.methods += report.methods.len();
+    totals.diagnostics += report.diagnostic_count() + report.verify_errors.len();
+    totals.cycles += report.lock_order.cycles.len();
+    totals.elidable += report.escape.elidable_ops.len();
+    totals.hints += report.nest.hints.len();
+}
+
+fn main() {
+    let mut totals = Totals {
+        programs: 0,
+        methods: 0,
+        diagnostics: 0,
+        cycles: 0,
+        elidable: 0,
+        hints: 0,
+    };
+
+    println!("lockcheck: static lock-discipline analysis\n");
+
+    for bench in MicroBench::table2()
+        .into_iter()
+        .chain([MicroBench::MixedSync])
+    {
+        let ctx = EscapeContext::threads(bench.thread_count());
+        check(&bench.to_string(), &bench.program(), &ctx, &mut totals);
+    }
+
+    check(
+        "JavaLex-like",
+        &library::javalex_like(),
+        &EscapeContext::single_threaded(),
+        &mut totals,
+    );
+
+    // Seeded defect programs: these must produce findings.
+    check(
+        "seeded: deadlock_pair",
+        &programs::deadlock_pair(),
+        &EscapeContext::threads(2),
+        &mut totals,
+    );
+    check(
+        "seeded: deep_nest",
+        &programs::deep_nest(),
+        &EscapeContext::single_threaded(),
+        &mut totals,
+    );
+    check(
+        "seeded: unbalanced_exit",
+        &programs::unbalanced_exit(),
+        &EscapeContext::single_threaded(),
+        &mut totals,
+    );
+    check(
+        "seeded: non_lifo_pair",
+        &programs::non_lifo_pair(),
+        &EscapeContext::single_threaded(),
+        &mut totals,
+    );
+
+    println!(
+        "summary: {} program(s), {} method(s); {} diagnostic(s), \
+         {} deadlock cycle(s), {} elidable sync op(s), {} pre-inflation hint(s)",
+        totals.programs,
+        totals.methods,
+        totals.diagnostics,
+        totals.cycles,
+        totals.elidable,
+        totals.hints,
+    );
+}

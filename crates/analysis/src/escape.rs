@@ -1,0 +1,230 @@
+//! Conservative thread-escape analysis for sync elision.
+//!
+//! The paper's motivating observation is that most locking is on objects
+//! only one thread ever touches. In this VM the question is decidable
+//! from the bytecode plus one harness fact: object fields are integers
+//! (references cannot be stored into the heap), there is no
+//! thread-spawning instruction, and references enter a method only as
+//! pool constants or arguments — so the *only* publication channel is
+//! the benchmark harness sharing the object pool across its worker
+//! threads. [`SharedPool`] encodes that harness contract.
+//!
+//! Every `monitorenter`/`monitorexit` whose operand provably names only
+//! non-shared objects is *elidable*: no other thread can ever observe
+//! the lock, so the paper's thin-lock fast path can be skipped entirely.
+//! The result feeds [`thinlock_vm::transform::elide_local_sync`] as an
+//! [`ElisionPlan`](thinlock_vm::transform::ElisionPlan).
+
+use std::collections::BTreeSet;
+
+use thinlock_vm::program::Program;
+use thinlock_vm::transform::ElisionPlan;
+
+use crate::lockstack::{MethodLockFacts, Sym};
+
+/// Which pool objects the harness may hand to more than one thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SharedPool {
+    /// Single-threaded run: no object is ever visible to a second thread.
+    None,
+    /// Every worker thread runs over the same pool (the `Threads(n)`
+    /// micro-benchmark harness): all pool objects escape.
+    All,
+    /// Only the listed pool indices are shared (a finer harness contract).
+    Some(BTreeSet<u32>),
+}
+
+/// Execution context the analysis cannot see in the bytecode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscapeContext {
+    /// Number of threads the harness runs the program on.
+    pub thread_count: u32,
+    /// Which pool objects those threads share.
+    pub shared: SharedPool,
+}
+
+impl EscapeContext {
+    /// Context for a single-threaded run: nothing escapes.
+    pub fn single_threaded() -> Self {
+        EscapeContext {
+            thread_count: 1,
+            shared: SharedPool::None,
+        }
+    }
+
+    /// Context for `n` worker threads sharing the whole pool.
+    pub fn threads(n: u32) -> Self {
+        EscapeContext {
+            thread_count: n,
+            shared: if n > 1 {
+                SharedPool::All
+            } else {
+                SharedPool::None
+            },
+        }
+    }
+
+    /// Context where only the given pool indices are shared.
+    pub fn with_shared(thread_count: u32, indices: impl IntoIterator<Item = u32>) -> Self {
+        EscapeContext {
+            thread_count,
+            shared: SharedPool::Some(indices.into_iter().collect()),
+        }
+    }
+
+    fn pool_is_shared(&self, index: u32) -> bool {
+        match &self.shared {
+            SharedPool::None => false,
+            SharedPool::All => true,
+            SharedPool::Some(set) => set.contains(&index),
+        }
+    }
+
+    fn any_shared(&self) -> bool {
+        match &self.shared {
+            SharedPool::None => false,
+            SharedPool::All => true,
+            SharedPool::Some(set) => !set.is_empty(),
+        }
+    }
+}
+
+/// Result of the escape pass over one program.
+#[derive(Debug, Clone)]
+pub struct EscapeReport {
+    /// The context the analysis ran under.
+    pub context: EscapeContext,
+    /// Pool indices proven thread-local (their sync ops never contend).
+    pub local_pool: BTreeSet<u32>,
+    /// Pool indices that may be observed by a second thread.
+    pub escaping_pool: BTreeSet<u32>,
+    /// `(method_id, pc)` of every `monitorenter`/`monitorexit` provably
+    /// on a thread-local object.
+    pub elidable_ops: Vec<(u16, usize)>,
+    /// Method ids whose `synchronized` flag only ever guards
+    /// thread-local receivers.
+    pub desync_methods: Vec<u16>,
+    /// Monitor operations that could *not* be elided.
+    pub retained_ops: usize,
+}
+
+impl EscapeReport {
+    /// Converts the report into the transform input.
+    pub fn elision_plan(&self) -> ElisionPlan {
+        ElisionPlan {
+            ops: self.elidable_ops.clone(),
+            desync_methods: self.desync_methods.clone(),
+        }
+    }
+}
+
+/// True when every object `sym` may name is thread-local under `ctx`.
+///
+/// `Pool(i)` is local iff the harness does not share `i`. `Arg`/`Unknown`
+/// can only ever be *some* pool object (the pool is the sole source of
+/// references, and locking null traps before any sharing question
+/// arises), so they are local exactly when no pool object is shared.
+fn sym_is_local(ctx: &EscapeContext, sym: Sym) -> bool {
+    match sym {
+        Sym::Pool(i) => !ctx.pool_is_shared(i),
+        Sym::Arg(_) | Sym::Unknown => !ctx.any_shared(),
+    }
+}
+
+/// Runs the escape pass: decides, per monitor operation, whether its
+/// object can ever be observed by a second thread.
+pub fn analyze(program: &Program, facts: &[MethodLockFacts], ctx: &EscapeContext) -> EscapeReport {
+    let mut local_pool = BTreeSet::new();
+    let mut escaping_pool = BTreeSet::new();
+    for i in 0..program.pool_size() {
+        if ctx.pool_is_shared(i) {
+            escaping_pool.insert(i);
+        } else {
+            local_pool.insert(i);
+        }
+    }
+
+    let mut elidable_ops = Vec::new();
+    let mut retained = 0usize;
+    let mut desync_methods = Vec::new();
+    for f in facts {
+        for op in &f.monitor_ops {
+            if sym_is_local(ctx, op.sym) {
+                elidable_ops.push((f.method_id, op.pc));
+            } else {
+                retained += 1;
+            }
+        }
+        if f.synchronized {
+            // The receiver is Arg(0): elidable only if no caller can pass
+            // a shared object, i.e. nothing is shared at all.
+            if sym_is_local(ctx, Sym::Arg(0)) {
+                desync_methods.push(f.method_id);
+            } else {
+                retained += 1;
+            }
+        }
+    }
+
+    EscapeReport {
+        context: ctx.clone(),
+        local_pool,
+        escaping_pool,
+        elidable_ops,
+        desync_methods,
+        retained_ops: retained,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lockstack;
+    use thinlock_vm::programs::MicroBench;
+
+    #[test]
+    fn single_threaded_sync_is_fully_elidable() {
+        let p = MicroBench::Sync.program();
+        let facts = lockstack::analyze_program(&p);
+        let r = analyze(&p, &facts, &EscapeContext::single_threaded());
+        assert!(!r.elidable_ops.is_empty());
+        assert_eq!(r.retained_ops, 0);
+        assert_eq!(r.escaping_pool.len(), 0);
+    }
+
+    #[test]
+    fn multi_threaded_pool_sharing_elides_nothing() {
+        let p = MicroBench::Sync.program();
+        let facts = lockstack::analyze_program(&p);
+        let r = analyze(&p, &facts, &EscapeContext::threads(4));
+        assert!(r.elidable_ops.is_empty());
+        assert!(r.retained_ops > 0);
+        assert!(r.local_pool.is_empty());
+    }
+
+    #[test]
+    fn partial_sharing_keeps_only_shared_objects_locked() {
+        // MultiSync(4) locks pool[0..4] each iteration; share only pool[0].
+        let p = MicroBench::MultiSync(4).program();
+        let facts = lockstack::analyze_program(&p);
+        let r = analyze(&p, &facts, &EscapeContext::with_shared(2, [0]));
+        assert_eq!(r.elidable_ops.len(), 6, "pool[1..4] enter/exit pairs");
+        assert_eq!(r.retained_ops, 2, "pool[0] enter/exit pair stays");
+        // No elided op may name pool[0].
+        for &(mid, pc) in &r.elidable_ops {
+            let f = facts.iter().find(|f| f.method_id == mid).unwrap();
+            let site = f.monitor_ops.iter().find(|m| m.pc == pc).unwrap();
+            assert_ne!(site.sym, crate::lockstack::Sym::Pool(0));
+        }
+    }
+
+    #[test]
+    fn synchronized_methods_desync_only_when_nothing_shared() {
+        let p = MicroBench::CallSync.program();
+        let facts = lockstack::analyze_program(&p);
+        let local = analyze(&p, &facts, &EscapeContext::single_threaded());
+        assert!(!local.desync_methods.is_empty());
+        let shared = analyze(&p, &facts, &EscapeContext::threads(2));
+        assert!(shared.desync_methods.is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! `lockcheck`: static lock-discipline analysis for the thin-locks VM.
+//!
+//! Four passes layered on the abstract-interpretation verifier of
+//! `thinlock_vm::verify`, each exploiting a premise of the paper (locking
+//! is shallow, uncontended, and mostly thread-local) to prove facts about
+//! a program's `MonitorEnter`/`MonitorExit` behaviour *before* it runs:
+//!
+//! * [`lockstack`] — a symbolic lock-stack dataflow that upgrades the
+//!   verifier's boolean monitor-balance counter to track *which*
+//!   pool-constant or argument each held lock came from at every program
+//!   point, with instruction-precise diagnostics for unbalanced or
+//!   mismatched monitor operations.
+//! * [`lockorder`] — a lock-order graph built from held-while-acquiring
+//!   edges across all methods (interprocedurally, through `Invoke`), with
+//!   cycle detection that flags potential deadlocks.
+//! * [`escape`] — a conservative thread-escape analysis marking sync
+//!   operations on provably thread-local objects elidable; its result
+//!   feeds `thinlock_vm::transform::elide_local_sync`.
+//! * [`nestdepth`] — a static nest-depth bound per pool object; nesting
+//!   that can exceed the paper's 255 thin-lock count (Section 2.3.3)
+//!   yields *pre-inflation hints* the interpreter applies via
+//!   `ThinLocks::pre_inflate`, so overflow inflation never happens in the
+//!   middle of a critical section.
+//!
+//! [`report`] assembles the per-method findings of all four passes, and
+//! the `lockcheck` binary prints them for the built-in program library.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod escape;
+pub mod lockorder;
+pub mod lockstack;
+pub mod nestdepth;
+pub mod report;
+
+pub use report::{analyze_program, AnalysisReport};

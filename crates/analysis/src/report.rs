@@ -1,0 +1,170 @@
+//! Aggregation of all four `lockcheck` passes into one program report.
+
+use std::fmt;
+
+use thinlock_vm::program::Program;
+use thinlock_vm::verify::{verify_method, VerifyOptions};
+
+use crate::escape::{self, EscapeContext, EscapeReport};
+use crate::lockorder::{self, LockOrderReport};
+use crate::lockstack::{self, MethodLockFacts};
+use crate::nestdepth::{self, NestDepthReport};
+
+/// The combined result of running `lockcheck` over one program.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Base-verifier failures (types/stack), one message per method that
+    /// failed; such methods still get lock-stack facts on a best-effort
+    /// basis.
+    pub verify_errors: Vec<String>,
+    /// Per-method symbolic lock-stack facts and diagnostics.
+    pub methods: Vec<MethodLockFacts>,
+    /// The program-wide lock-order graph and any deadlock cycles.
+    pub lock_order: LockOrderReport,
+    /// Escape analysis and elidable sync operations.
+    pub escape: EscapeReport,
+    /// Nest-depth bounds and pre-inflation hints.
+    pub nest: NestDepthReport,
+}
+
+impl AnalysisReport {
+    /// Total instruction-precise lock-discipline diagnostics.
+    pub fn diagnostic_count(&self) -> usize {
+        self.methods.iter().map(|m| m.diagnostics.len()).sum()
+    }
+
+    /// True when no pass found anything suspicious (elision and hints
+    /// are findings, not problems).
+    pub fn is_clean(&self) -> bool {
+        self.verify_errors.is_empty()
+            && self.diagnostic_count() == 0
+            && self.lock_order.is_acyclic()
+    }
+}
+
+/// Runs all four passes over `program` under the given harness context.
+///
+/// The base verifier runs first with `structured_locking` off: its job
+/// here is only to guarantee operand-stack sanity so the symbolic pass
+/// is meaningful; lock discipline is this crate's richer reimplementation.
+pub fn analyze_program(program: &Program, ctx: &EscapeContext) -> AnalysisReport {
+    let base = VerifyOptions {
+        structured_locking: false,
+        ..VerifyOptions::default()
+    };
+    let mut verify_errors = Vec::new();
+    for method in program.methods() {
+        if let Err(e) = verify_method(program, method, base) {
+            verify_errors.push(e.to_string());
+        }
+    }
+    let methods = lockstack::analyze_program(program);
+    let lock_order = lockorder::build(&methods);
+    let escape = escape::analyze(program, &methods, ctx);
+    let nest = nestdepth::analyze(&methods);
+    AnalysisReport {
+        verify_errors,
+        methods,
+        lock_order,
+        escape,
+        nest,
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.verify_errors {
+            writeln!(f, "  verify error: {e}")?;
+        }
+        for m in &self.methods {
+            let sync = if m.synchronized { " synchronized" } else { "" };
+            writeln!(
+                f,
+                "  method {}{} — {} monitor op(s), max nest {}",
+                m.name,
+                sync,
+                m.monitor_ops.len(),
+                m.max_lock_stack + usize::from(m.synchronized),
+            )?;
+            for d in &m.diagnostics {
+                writeln!(f, "    DIAG {d}")?;
+            }
+        }
+        if !self.lock_order.edges.is_empty() {
+            writeln!(f, "  lock order:")?;
+            for e in &self.lock_order.edges {
+                writeln!(f, "    {e}")?;
+            }
+        }
+        for cycle in &self.lock_order.cycles {
+            let names: Vec<String> = cycle.iter().map(|i| format!("pool[{i}]")).collect();
+            writeln!(f, "    DEADLOCK CYCLE: {}", names.join(" <-> "))?;
+        }
+        if self.lock_order.unresolved_edges > 0 {
+            writeln!(
+                f,
+                "    ({} unresolved edge(s) excluded from cycle check)",
+                self.lock_order.unresolved_edges
+            )?;
+        }
+        writeln!(
+            f,
+            "  escape ({} thread(s)): {} elidable op(s), {} retained, {} method(s) desyncable",
+            self.escape.context.thread_count,
+            self.escape.elidable_ops.len(),
+            self.escape.retained_ops,
+            self.escape.desync_methods.len(),
+        )?;
+        for (i, b) in &self.nest.bounds {
+            writeln!(f, "  nest depth pool[{i}]: {b}")?;
+        }
+        for i in &self.nest.hints {
+            writeln!(
+                f,
+                "    PRE-INFLATE pool[{i}] (may exceed thin count capacity)"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinlock_vm::programs::{self, MicroBench};
+
+    #[test]
+    fn clean_program_reports_clean() {
+        let r = analyze_program(
+            &MicroBench::MixedSync.program(),
+            &EscapeContext::single_threaded(),
+        );
+        assert!(r.is_clean(), "{r}");
+        assert!(!r.escape.elidable_ops.is_empty());
+    }
+
+    #[test]
+    fn deadlock_pair_is_not_clean() {
+        let r = analyze_program(&programs::deadlock_pair(), &EscapeContext::threads(2));
+        assert!(!r.is_clean());
+        assert_eq!(r.lock_order.cycles.len(), 1);
+    }
+
+    #[test]
+    fn unbalanced_program_reports_diagnostics() {
+        let r = analyze_program(
+            &programs::unbalanced_exit(),
+            &EscapeContext::single_threaded(),
+        );
+        assert!(r.diagnostic_count() > 0);
+        assert!(r.verify_errors.is_empty(), "{:?}", r.verify_errors);
+    }
+
+    #[test]
+    fn display_mentions_cycle_and_hints() {
+        let d = analyze_program(&programs::deadlock_pair(), &EscapeContext::threads(2));
+        assert!(d.to_string().contains("DEADLOCK CYCLE"));
+        let n = analyze_program(&programs::deep_nest(), &EscapeContext::single_threaded());
+        assert!(n.to_string().contains("PRE-INFLATE"), "{n}");
+    }
+}

@@ -239,8 +239,7 @@ impl SyncProtocol for MonitorCache {
     }
 
     fn holds_lock(&self, obj: ObjRef, t: ThreadToken) -> bool {
-        self.monitor_if_present(obj)
-            .is_some_and(|m| m.holds(t))
+        self.monitor_if_present(obj).is_some_and(|m| m.holds(t))
     }
 
     fn heap(&self) -> &Heap {
@@ -336,11 +335,7 @@ mod tests {
 
     #[test]
     fn small_working_set_never_evicts() {
-        let p = MonitorCache::new(
-            Arc::new(Heap::with_capacity(8)),
-            ThreadRegistry::new(),
-            16,
-        );
+        let p = MonitorCache::new(Arc::new(Heap::with_capacity(8)), ThreadRegistry::new(), 16);
         let r = p.registry().register().unwrap();
         let t = r.token();
         let objs: Vec<_> = (0..4).map(|_| p.heap().alloc().unwrap()).collect();

@@ -221,7 +221,9 @@ impl HotLocks {
         let cell = self.heap.header(obj).lock_word();
         let original = cell.load_relaxed().bits();
         debug_assert_eq!(original & HOT_MARKER_BIT, 0);
-        self.hot[hot_slot].displaced.store(original, Ordering::Relaxed);
+        self.hot[hot_slot]
+            .displaced
+            .store(original, Ordering::Relaxed);
         self.hot[hot_slot]
             .bound
             .store(obj.index() as u32, Ordering::Relaxed);
@@ -280,12 +282,19 @@ impl HotLocks {
 
     /// Number of promotions performed so far.
     pub fn promotions(&self) -> u64 {
-        self.cold.lock().expect("hot-lock cache poisoned").promotions
+        self.cold
+            .lock()
+            .expect("hot-lock cache poisoned")
+            .promotions
     }
 
     /// Number of free hot slots remaining.
     pub fn free_hot_slots(&self) -> usize {
-        self.cold.lock().expect("hot-lock cache poisoned").hot_free.len()
+        self.cold
+            .lock()
+            .expect("hot-lock cache poisoned")
+            .hot_free
+            .len()
     }
 
     /// Number of cold free-list reclaim scans so far.

@@ -1,23 +1,28 @@
-//! Criterion benches for the design-choice ablations of DESIGN.md §8:
-//! one-way inflation vs deflation, and contention-wait policies.
+//! Design-choice ablation benches for DESIGN.md §8: one-way inflation vs
+//! deflation, and contention-wait policies. Plain `harness = false`
+//! main; bench_output.txt is what EXPERIMENTS.md uses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 use thinlock::config::DynamicConfig;
 use thinlock::{TasukiLocks, ThinLocks};
+use thinlock_bench::{median_time, DEFAULT_REPS};
 use thinlock_runtime::backoff::SpinPolicy;
 use thinlock_runtime::heap::Heap;
 use thinlock_runtime::protocol::SyncProtocol;
 use thinlock_runtime::registry::ThreadRegistry;
 
+const OPS: u32 = 1_000;
+
+fn report(group: &str, name: &str, median: std::time::Duration) {
+    println!(
+        "{group:<20} {name:<24} {:>9.1} ns/op",
+        median.as_nanos() as f64 / f64::from(OPS)
+    );
+}
+
 /// Private-phase throughput after one contended (wait-inflated) episode:
 /// the permanently-fat base protocol vs the deflating variant.
-fn deflation_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_deflation");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_millis(1200));
-
+fn deflation_ablation() {
     let thin = ThinLocks::with_capacity(2);
     let obj = thin.heap().alloc().unwrap();
     {
@@ -30,14 +35,13 @@ fn deflation_ablation(c: &mut Criterion) {
     assert!(thin.lock_word(obj).is_fat());
     let reg = thin.registry().register().unwrap();
     let t = reg.token();
-    g.bench_function(BenchmarkId::new("private_phase", "ThinLock (stays fat)"), |b| {
-        b.iter(|| {
-            for _ in 0..1_000 {
-                thin.lock(obj, t).unwrap();
-                thin.unlock(obj, t).unwrap();
-            }
-        })
+    let median = median_time(DEFAULT_REPS, || {
+        for _ in 0..OPS {
+            thin.lock(obj, t).unwrap();
+            thin.unlock(obj, t).unwrap();
+        }
     });
+    report("ablation_deflation", "ThinLock (stays fat)", median);
 
     let tasuki = TasukiLocks::with_capacity(2);
     let obj2 = tasuki.heap().alloc().unwrap();
@@ -51,25 +55,19 @@ fn deflation_ablation(c: &mut Criterion) {
     assert!(tasuki.lock_word(obj2).is_unlocked());
     let reg2 = tasuki.registry().register().unwrap();
     let t2 = reg2.token();
-    g.bench_function(BenchmarkId::new("private_phase", "Tasuki (deflated)"), |b| {
-        b.iter(|| {
-            for _ in 0..1_000 {
-                tasuki.lock(obj2, t2).unwrap();
-                tasuki.unlock(obj2, t2).unwrap();
-            }
-        })
+    let median = median_time(DEFAULT_REPS, || {
+        for _ in 0..OPS {
+            tasuki.lock(obj2, t2).unwrap();
+            tasuki.unlock(obj2, t2).unwrap();
+        }
     });
-    g.finish();
+    report("ablation_deflation", "Tasuki (deflated)", median);
 }
 
 /// Uncontended fast-path cost per spin policy (the policy only matters
-/// under contention, so these must be identical — a sanity ablation) plus
-/// the contended Threads-2 comparison.
-fn spin_policy_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_spin_policy");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_millis(1200));
+/// under contention, so these must be near-identical — a sanity
+/// ablation).
+fn spin_policy_ablation() {
     for (name, policy) in [
         ("spin-then-yield", SpinPolicy::SpinThenYield),
         ("yield-only", SpinPolicy::YieldOnly),
@@ -83,23 +81,17 @@ fn spin_policy_ablation(c: &mut Criterion) {
         let obj = protocol.heap().alloc().unwrap();
         let reg = protocol.registry().register().unwrap();
         let t = reg.token();
-        g.bench_function(BenchmarkId::new("uncontended", name), |b| {
-            b.iter(|| {
-                for _ in 0..1_000 {
-                    protocol.lock(obj, t).unwrap();
-                    protocol.unlock(obj, t).unwrap();
-                }
-            })
+        let median = median_time(DEFAULT_REPS, || {
+            for _ in 0..OPS {
+                protocol.lock(obj, t).unwrap();
+                protocol.unlock(obj, t).unwrap();
+            }
         });
+        report("ablation_spin_policy", name, median);
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    // Plot rendering dominates wall time on a single-CPU host; the
-    // numeric report in bench_output.txt is what EXPERIMENTS.md uses.
-    config = Criterion::default().without_plots();
-    targets = deflation_ablation, spin_policy_ablation
+fn main() {
+    deflation_ablation();
+    spin_policy_ablation();
 }
-criterion_main!(benches);

@@ -1,49 +1,22 @@
-//! Criterion benches for Figure 4: the Table 2 micro-benchmarks under
-//! all three protocols, plus the MultiSync working-set sweep and the
-//! Threads contention sweep.
+//! Figure 4 benches: the Table 2 micro-benchmarks under all three
+//! protocols, plus the MultiSync working-set sweep and the Threads
+//! contention sweep. Plain `harness = false` main printing one line per
+//! cell; the numeric report in bench_output.txt is what EXPERIMENTS.md
+//! uses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use thinlock_bench::ProtocolKind;
-use thinlock_runtime::heap::ObjRef;
+use thinlock_bench::{run_micro, run_micro_threads, ProtocolKind};
 use thinlock_vm::programs::MicroBench;
-use thinlock_vm::{Value, Vm};
 
 const ITERS: i32 = 10_000;
 
-/// Builds protocol + VM once and times steady-state runs of `main`.
-fn bench_micro(c: &mut Criterion, group: &str, bench: MicroBench, iters: i32) {
-    let mut g = c.benchmark_group(group);
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_millis(1200));
+fn cell(group: &str, bench: MicroBench, iters: i32) {
     for kind in ProtocolKind::ALL {
-        let protocol = kind.build(bench.pool_size() as usize + 1, 1);
-        let pool: Vec<ObjRef> = (0..bench.pool_size())
-            .map(|_| protocol.heap().alloc().expect("heap sized for pool"))
-            .collect();
-        let program = bench.program();
-        let vm = Vm::new(&*protocol, &program, pool).expect("valid program");
-        let registration = protocol.registry().register().expect("registry room");
-        let token = registration.token();
-        g.bench_with_input(
-            BenchmarkId::new(bench.to_string(), kind.name()),
-            &iters,
-            |b, &iters| {
-                b.iter(|| {
-                    let out = vm
-                        .run("main", token, &[Value::Int(iters)])
-                        .expect("clean run")
-                        .and_then(Value::as_int)
-                        .expect("returns count");
-                    assert_eq!(out, iters);
-                })
-            },
-        );
+        let r = run_micro(kind, bench, iters);
+        println!("{group:<16} {r}");
     }
-    g.finish();
 }
 
-fn single_threaded(c: &mut Criterion) {
+fn main() {
     for bench in [
         MicroBench::NoSync,
         MicroBench::Sync,
@@ -52,43 +25,18 @@ fn single_threaded(c: &mut Criterion) {
         MicroBench::CallSync,
         MicroBench::NestedCallSync,
     ] {
-        bench_micro(c, "fig4_micro", bench, ITERS);
+        cell("fig4_micro", bench, ITERS);
     }
-}
 
-fn multisync_sweep(c: &mut Criterion) {
     for n in [8u32, 32, 64, 128, 512] {
-        bench_micro(c, "fig4_multisync", MicroBench::MultiSync(n), ITERS / 20);
+        cell("fig4_multisync", MicroBench::MultiSync(n), ITERS / 20);
     }
-}
 
-fn threads_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_threads");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_millis(1200));
     for n in [2u32, 4, 8] {
         for kind in ProtocolKind::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(format!("Threads {n}"), kind.name()),
-                &n,
-                |b, &n| {
-                    b.iter(|| {
-                        let r = thinlock_bench::run_micro_threads(kind, n, 500);
-                        assert!(r.elapsed.as_nanos() > 0);
-                    })
-                },
-            );
+            let r = run_micro_threads(kind, n, 500);
+            assert!(r.elapsed.as_nanos() > 0);
+            println!("{:<16} {r}", "fig4_threads");
         }
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Plot rendering dominates wall time on a single-CPU host; the
-    // numeric report in bench_output.txt is what EXPERIMENTS.md uses.
-    config = Criterion::default().without_plots();
-    targets = single_threaded, multisync_sweep, threads_sweep
-}
-criterion_main!(benches);

@@ -1,12 +1,16 @@
-//! Criterion benches for Figure 5: every Table 1 macro-benchmark trace
-//! replayed under all three protocols. Each iteration gets a fresh
-//! protocol instance because the trace allocates objects.
+//! Figure 5 benches: every Table 1 macro-benchmark trace replayed under
+//! all three protocols. Each repetition gets a fresh protocol instance
+//! (the trace allocates objects), built outside the timed region. Plain
+//! `harness = false` main; bench_output.txt is what EXPERIMENTS.md uses.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
 use thinlock_bench::ProtocolKind;
 use thinlock_trace::generator::{generate, TraceConfig};
 use thinlock_trace::replay::replay;
 use thinlock_trace::table1::MACRO_BENCHMARKS;
+
+const REPS: usize = 5;
 
 fn bench_config() -> TraceConfig {
     TraceConfig {
@@ -20,42 +24,33 @@ fn bench_config() -> TraceConfig {
     }
 }
 
-fn macro_replay(c: &mut Criterion) {
+fn main() {
     let cfg = bench_config();
-    let mut g = c.benchmark_group("fig5_macro");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_millis(1200));
     for profile in &MACRO_BENCHMARKS {
         let trace = generate(profile, &cfg);
         for kind in ProtocolKind::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(profile.name, kind.name()),
-                &trace,
-                |b, trace| {
-                    b.iter_batched(
-                        || kind.build(trace.required_heap_capacity(), 0),
-                        |protocol| {
-                            let registration =
-                                protocol.registry().register().expect("registry room");
-                            let out = replay(&*protocol, trace, registration.token())
-                                .expect("replay succeeds");
-                            assert_eq!(out.lock_ops, trace.lock_ops());
-                        },
-                        BatchSize::SmallInput,
-                    )
-                },
+            let mut times: Vec<Duration> = (0..REPS)
+                .map(|_| {
+                    // Setup (allocation-heavy protocol construction) stays
+                    // outside the timed region.
+                    let protocol = kind.build(trace.required_heap_capacity(), 0);
+                    let registration = protocol.registry().register().expect("registry room");
+                    let start = Instant::now();
+                    let out =
+                        replay(&*protocol, &trace, registration.token()).expect("replay succeeds");
+                    let elapsed = start.elapsed();
+                    assert_eq!(out.lock_ops, trace.lock_ops());
+                    elapsed
+                })
+                .collect();
+            times.sort_unstable();
+            let median = times[times.len() / 2];
+            println!(
+                "fig5_macro       {:<22} {:<16} {:>12.1} us",
+                profile.name,
+                kind.name(),
+                median.as_nanos() as f64 / 1_000.0
             );
         }
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Plot rendering dominates wall time on a single-CPU host; the
-    // numeric report in bench_output.txt is what EXPERIMENTS.md uses.
-    config = Criterion::default().without_plots();
-    targets = macro_replay
-}
-criterion_main!(benches);

@@ -1,18 +1,14 @@
-//! Criterion benches for Figure 6: the fast-path engineering variants
-//! (NOP / Inline / FnCall / MP Sync / dynamic ThinLock / UnlkC&S /
-//! KernelCAS) on the Sync, NestedSync, MixedSync, and CallSync loops.
+//! Figure 6 benches: the fast-path engineering variants (NOP / Inline /
+//! FnCall / MP Sync / dynamic ThinLock / UnlkC&S / KernelCAS) on the
+//! Sync, NestedSync, MixedSync, and CallSync loops. Plain
+//! `harness = false` main; bench_output.txt is what EXPERIMENTS.md uses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use thinlock_bench::{run_variant, Variant};
 use thinlock_vm::programs::MicroBench;
 
 const ITERS: i32 = 5_000;
 
-fn variants(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_variants");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_millis(1200));
+fn main() {
     for bench in [
         MicroBench::Sync,
         MicroBench::NestedSync,
@@ -20,26 +16,9 @@ fn variants(c: &mut Criterion) {
         MicroBench::CallSync,
     ] {
         for v in Variant::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(bench.to_string(), v.name()),
-                &v,
-                |b, &v| {
-                    b.iter(|| {
-                        let r = run_variant(v, bench, ITERS);
-                        assert!(r.elapsed.as_nanos() > 0);
-                    })
-                },
-            );
+            let r = run_variant(v, bench, ITERS);
+            assert!(r.elapsed.as_nanos() > 0);
+            println!("{:<16} {r}", "fig6_variants");
         }
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Plot rendering dominates wall time on a single-CPU host; the
-    // numeric report in bench_output.txt is what EXPERIMENTS.md uses.
-    config = Criterion::default().without_plots();
-    targets = variants
-}
-criterion_main!(benches);

@@ -1,8 +1,9 @@
-//! Criterion benches for Table 1 / Figure 3: trace generation and
-//! characterization of every macro-benchmark profile, with the paper's
-//! aggregate invariants asserted on each sample.
+//! Table 1 / Figure 3 benches: trace generation and characterization of
+//! every macro-benchmark profile, with the paper's aggregate invariants
+//! asserted on each sample. Plain `harness = false` main;
+//! bench_output.txt is what EXPERIMENTS.md uses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use thinlock_bench::{median_time, DEFAULT_REPS};
 use thinlock_trace::characterize::characterize;
 use thinlock_trace::generator::{generate, TraceConfig};
 use thinlock_trace::table1::MACRO_BENCHMARKS;
@@ -19,34 +20,19 @@ fn bench_config() -> TraceConfig {
     }
 }
 
-fn characterization(c: &mut Criterion) {
+fn main() {
     let cfg = bench_config();
-    let mut g = c.benchmark_group("table1_characterize");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(400));
-    g.measurement_time(std::time::Duration::from_millis(1200));
     for profile in &MACRO_BENCHMARKS {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(profile.name),
-            profile,
-            |b, profile| {
-                b.iter(|| {
-                    let trace = generate(profile, &cfg);
-                    let ch = characterize(&trace);
-                    assert!(ch.max_depth() <= 4);
-                    assert!(ch.first_lock_fraction() > 0.4);
-                })
-            },
+        let median = median_time(DEFAULT_REPS, || {
+            let trace = generate(profile, &cfg);
+            let ch = characterize(&trace);
+            assert!(ch.max_depth() <= 4);
+            assert!(ch.first_lock_fraction() > 0.4);
+        });
+        println!(
+            "table1_characterize {:<22} {:>12.1} us",
+            profile.name,
+            median.as_nanos() as f64 / 1_000.0
         );
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Plot rendering dominates wall time on a single-CPU host; the
-    // numeric report in bench_output.txt is what EXPERIMENTS.md uses.
-    config = Criterion::default().without_plots();
-    targets = characterization
-}
-criterion_main!(benches);

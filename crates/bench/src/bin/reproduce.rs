@@ -32,9 +32,7 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "all" | "table1" | "table2" | "fig3" | "fig4" | "fig5" | "fig6" | "ablations"
-            | "predict" => {
-                sections.push(arg)
-            }
+            | "predict" | "lockcheck" => sections.push(arg),
             "--iters" => {
                 iters = args
                     .next()
@@ -54,9 +52,11 @@ fn parse_args() -> Result<Options, String> {
                 scale = 20_000;
             }
             "--help" | "-h" => {
-                return Err("usage: reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|predict] \
-                            [--iters N] [--scale N] [--quick]"
-                    .to_string())
+                return Err(
+                    "usage: reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|predict\
+                            |lockcheck] [--iters N] [--scale N] [--quick]"
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
@@ -119,11 +119,26 @@ fn table2() {
         ("NoSync", "No locking - reference benchmark"),
         ("Sync", "Initial lock with a synchronized() statement"),
         ("NestedSync", "Nested lock with a synchronized() statement"),
-        ("MultiSync n", "Like Sync, but synchronizes n objects every iteration"),
-        ("Call", "Calls a non-synchronized method - reference benchmark"),
-        ("CallSync", "Calls a synchronized method to obtain an initial lock"),
-        ("NestedCallSync", "Calls a synchronized method to obtain a nested lock"),
-        ("Threads n", "Initial locking performed concurrently by n competing threads"),
+        (
+            "MultiSync n",
+            "Like Sync, but synchronizes n objects every iteration",
+        ),
+        (
+            "Call",
+            "Calls a non-synchronized method - reference benchmark",
+        ),
+        (
+            "CallSync",
+            "Calls a synchronized method to obtain an initial lock",
+        ),
+        (
+            "NestedCallSync",
+            "Calls a synchronized method to obtain a nested lock",
+        ),
+        (
+            "Threads n",
+            "Initial locking performed concurrently by n competing threads",
+        ),
     ];
     for (name, desc) in rows {
         println!("{name:<16} {desc}");
@@ -202,7 +217,10 @@ fn fig4(iters: i32) {
         println!();
     }
 
-    println!("\nThreads sweep (total wall time, {} iters/thread):", iters / 10);
+    println!(
+        "\nThreads sweep (total wall time, {} iters/thread):",
+        iters / 10
+    );
     for n in [1u32, 2, 4, 8, 16] {
         print!("  threads={n:<3}");
         for kind in ProtocolKind::ALL {
@@ -278,9 +296,8 @@ fn predict(iters: i32) {
     // The javalex-shaped workload's call count is known statically.
     let elements: i32 = 2_000;
     let calls = i64::from(1 + JAVALEX_SCAN_PASSES * 2) * i64::from(elements);
-    let predicted = std::time::Duration::from_nanos(
-        (saving_ns_per_call.max(0.0) * calls as f64) as u64,
-    );
+    let predicted =
+        std::time::Duration::from_nanos((saving_ns_per_call.max(0.0) * calls as f64) as u64);
 
     let program = javalex_like();
     let measure = |kind: ProtocolKind| {
@@ -366,6 +383,58 @@ fn ablations(cfg: &TraceConfig, iters: i32) {
     }
 }
 
+/// Summary of the static lock-discipline analysis over the program
+/// library (the `lockcheck` binary prints the full per-method findings).
+fn lockcheck() {
+    use thinlock_analysis::escape::EscapeContext;
+    use thinlock_vm::programs::{self, MicroBench};
+
+    heading("lockcheck: static lock-discipline analysis (summary)");
+
+    let mut programs = 0usize;
+    let mut diagnostics = 0usize;
+    let mut cycles = 0usize;
+    let mut elidable = 0usize;
+    let mut hints = 0usize;
+    let mut tally = |program: &thinlock_vm::program::Program, ctx: &EscapeContext| {
+        let report = thinlock_analysis::analyze_program(program, ctx);
+        programs += 1;
+        diagnostics += report.diagnostic_count() + report.verify_errors.len();
+        cycles += report.lock_order.cycles.len();
+        elidable += report.escape.elidable_ops.len();
+        hints += report.nest.hints.len();
+    };
+
+    for bench in MicroBench::table2()
+        .into_iter()
+        .chain([MicroBench::MixedSync])
+    {
+        let ctx = EscapeContext::threads(bench.thread_count());
+        tally(&bench.program(), &ctx);
+    }
+    tally(
+        &thinlock_vm::library::javalex_like(),
+        &EscapeContext::single_threaded(),
+    );
+    tally(&programs::deadlock_pair(), &EscapeContext::threads(2));
+    tally(&programs::deep_nest(), &EscapeContext::single_threaded());
+    tally(
+        &programs::unbalanced_exit(),
+        &EscapeContext::single_threaded(),
+    );
+    tally(
+        &programs::non_lifo_pair(),
+        &EscapeContext::single_threaded(),
+    );
+
+    println!("  programs analyzed:     {programs}");
+    println!("  diagnostics:           {diagnostics}");
+    println!("  deadlock cycles:       {cycles}");
+    println!("  elidable sync ops:     {elidable}");
+    println!("  pre-inflation hints:   {hints}");
+    println!("  (run the `lockcheck` binary for per-method findings)");
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -405,6 +474,9 @@ fn main() -> ExitCode {
     }
     if want("predict") {
         predict(opts.iters);
+    }
+    if want("lockcheck") {
+        lockcheck();
     }
     ExitCode::SUCCESS
 }

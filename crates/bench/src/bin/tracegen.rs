@@ -46,10 +46,7 @@ fn run() -> Result<(), String> {
         if args[0] == "--replay" {
             for kind in ProtocolKind::ALL_EXTENDED {
                 let protocol = kind.build(trace.required_heap_capacity(), 0);
-                let reg = protocol
-                    .registry()
-                    .register()
-                    .map_err(|e| e.to_string())?;
+                let reg = protocol.registry().register().map_err(|e| e.to_string())?;
                 let out = replay(&*protocol, &trace, reg.token()).map_err(|e| e.to_string())?;
                 println!("  {:<9} {out}", kind.name());
             }
@@ -92,7 +89,9 @@ fn run() -> Result<(), String> {
         .filter(|p| which.is_empty() || p.name == which)
         .collect();
     if selected.is_empty() {
-        return Err(format!("unknown benchmark `{which}`; see Table 1 for names"));
+        return Err(format!(
+            "unknown benchmark `{which}`; see Table 1 for names"
+        ));
     }
     std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
     for profile in selected {

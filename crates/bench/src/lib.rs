@@ -52,8 +52,11 @@ pub enum ProtocolKind {
 
 impl ProtocolKind {
     /// The paper's three protocols, in its presentation order.
-    pub const ALL: [ProtocolKind; 3] =
-        [ProtocolKind::ThinLock, ProtocolKind::Jdk111, ProtocolKind::Ibm112];
+    pub const ALL: [ProtocolKind; 3] = [
+        ProtocolKind::ThinLock,
+        ProtocolKind::Jdk111,
+        ProtocolKind::Ibm112,
+    ];
 
     /// The paper's protocols plus the Tasuki-style extension.
     pub const ALL_EXTENDED: [ProtocolKind; 4] = [
@@ -214,8 +217,7 @@ pub fn run_micro_threads(kind: ProtocolKind, threads: u32, iters: i32) -> MicroR
                 let program = &program;
                 let pool = pool.clone();
                 handles.push(scope.spawn(move || {
-                    let registration =
-                        protocol.registry().register().expect("registry has room");
+                    let registration = protocol.registry().register().expect("registry has room");
                     let vm = Vm::new(protocol, program, pool).expect("program is valid");
                     let out = vm
                         .run("main", registration.token(), &[Value::Int(iters)])
@@ -325,7 +327,10 @@ pub fn run_variant(variant: Variant, bench: MicroBench, iters: i32) -> MicroResu
             run_micro_on(&p, variant.name(), bench, iters)
         }
         Variant::UnlkCas => {
-            let p = thin(cap, DynamicConfig::new(ArchProfile::PowerPcMp).with_cas_unlock());
+            let p = thin(
+                cap,
+                DynamicConfig::new(ArchProfile::PowerPcMp).with_cas_unlock(),
+            );
             run_micro_on(&p, variant.name(), bench, iters)
         }
         Variant::KernelCas => {

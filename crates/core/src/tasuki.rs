@@ -89,12 +89,7 @@ impl Lobby {
     }
 
     /// Drains and wakes every waiter for `obj`, clearing the flc bit.
-    fn wake_all(
-        &self,
-        obj: ObjRef,
-        aux: &std::sync::atomic::AtomicU32,
-        registry: &ThreadRegistry,
-    ) {
+    fn wake_all(&self, obj: ObjRef, aux: &std::sync::atomic::AtomicU32, registry: &ThreadRegistry) {
         let drained = {
             let mut map = self.waiting.lock().expect("lobby poisoned");
             let drained = map.remove(&obj.index()).unwrap_or_default();
@@ -143,7 +138,10 @@ pub struct TasukiLocks {
 impl TasukiLocks {
     /// Creates a protocol over a fresh heap of `capacity` objects.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self::new(Arc::new(Heap::with_capacity(capacity)), ThreadRegistry::new())
+        Self::new(
+            Arc::new(Heap::with_capacity(capacity)),
+            ThreadRegistry::new(),
+        )
     }
 
     /// Creates a protocol over an existing heap and registry.
@@ -289,9 +287,7 @@ impl TasukiLocks {
             // monitor is quiet, restore the thin word before releasing.
             // A racer that enqueues between the checks and our release is
             // woken by the release and revalidates.
-            if monitor.count() == 1
-                && monitor.entry_queue_len() == 0
-                && monitor.wait_set_len() == 0
+            if monitor.count() == 1 && monitor.entry_queue_len() == 0 && monitor.wait_set_len() == 0
             {
                 cell.store_release(word.with_lock_field_clear());
                 self.deflations.fetch_add(1, Ordering::Relaxed);

@@ -76,7 +76,10 @@ impl ThinLocks<DynamicConfig> {
     /// Creates a protocol over a fresh heap of `capacity` objects with the
     /// default (shipped) configuration.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self::new(Arc::new(Heap::with_capacity(capacity)), ThreadRegistry::new())
+        Self::new(
+            Arc::new(Heap::with_capacity(capacity)),
+            ThreadRegistry::new(),
+        )
     }
 
     /// Creates a protocol with the default configuration over an existing
@@ -171,7 +174,10 @@ impl<C: FastPathConfig> ThinLocks<C> {
         let idx = self.monitors.allocate(FatLock::new_owned(t, locks))?;
         let cell = self.cell(obj);
         let current = cell.load_relaxed();
-        debug_assert_eq!(current.thin_owner().map(ThreadTokenIndex::of), Some(ThreadTokenIndex::of(t.index())));
+        debug_assert_eq!(
+            current.thin_owner().map(ThreadTokenIndex::of),
+            Some(ThreadTokenIndex::of(t.index()))
+        );
         cell.store_release(current.inflated(idx));
         self.record_inflation(cause);
         Ok(self.monitor_of(current.inflated(idx)))
@@ -341,6 +347,43 @@ impl<C: FastPathConfig> ThinLocks<C> {
         }
     }
 
+    /// Inflates `obj`'s lock ahead of time, before any thread holds it —
+    /// the receiving end of a `lockcheck` pre-inflation hint.
+    ///
+    /// The paper inflates on the 257th nested acquisition, in the middle
+    /// of a critical section and while holding no queue to hand off to.
+    /// When static analysis proves a nest-depth bound above
+    /// [`MAX_THIN_COUNT`], installing an (unowned) fat monitor up front
+    /// moves that cost to program start-up: every later acquisition takes
+    /// the fat path directly and the overflow transition never happens.
+    ///
+    /// Best-effort: returns `Ok(true)` if this call inflated the object,
+    /// `Ok(false)` if the object was already inflated, currently thin-held
+    /// (the owner must inflate; we cannot), or the installing CAS lost a
+    /// race. A lost race leaks one monitor-table slot, which is fine for
+    /// the intended use — hints are applied during single-threaded set-up.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::MonitorIndexExhausted`] if the monitor table is full.
+    pub fn pre_inflate(&self, obj: ObjRef) -> SyncResult<bool> {
+        let cell = self.cell(obj);
+        let word = cell.load_relaxed();
+        if !word.is_unlocked() {
+            // Already fat, or thin-held by some thread (owner-only writes
+            // forbid us from touching the word).
+            return Ok(false);
+        }
+        let idx = self.monitors.allocate(FatLock::new())?;
+        let inflated = word.inflated(idx);
+        if cell.try_cas(word, inflated, self.config.profile()).is_ok() {
+            self.record_inflation(InflationCause::Hint);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
     /// Ensures `obj`'s lock is fat, inflating if the caller holds it thin.
     ///
     /// # Errors
@@ -459,6 +502,10 @@ impl<C: FastPathConfig> SyncProtocol for ThinLocks<C> {
         } else {
             word.is_thin_owned_by(t.shifted())
         }
+    }
+
+    fn pre_inflate_hint(&self, obj: ObjRef) -> bool {
+        self.pre_inflate(obj).unwrap_or(false)
     }
 
     fn heap(&self) -> &Heap {
@@ -639,9 +686,7 @@ mod tests {
         let t = r.token();
         let obj = p.heap().alloc().unwrap();
         p.lock(obj, t).unwrap();
-        let out = p
-            .wait(obj, t, Some(Duration::from_millis(25)))
-            .unwrap();
+        let out = p.wait(obj, t, Some(Duration::from_millis(25))).unwrap();
         assert_eq!(out, WaitOutcome::TimedOut);
         assert!(p.holds_lock(obj, t));
         p.unlock(obj, t).unwrap();
@@ -769,8 +814,16 @@ mod tests {
             assert!(p.lock_word(obj).is_unlocked());
         }
         let heap = || Arc::new(Heap::with_capacity(2));
-        exercise(ThinLocks::with_config(heap(), ThreadRegistry::new(), StaticUp));
-        exercise(ThinLocks::with_config(heap(), ThreadRegistry::new(), StaticMp));
+        exercise(ThinLocks::with_config(
+            heap(),
+            ThreadRegistry::new(),
+            StaticUp,
+        ));
+        exercise(ThinLocks::with_config(
+            heap(),
+            ThreadRegistry::new(),
+            StaticMp,
+        ));
         exercise(ThinLocks::with_config(
             heap(),
             ThreadRegistry::new(),
@@ -804,6 +857,44 @@ mod tests {
         assert!(p.holds_lock(obj, t));
         p.unlock(obj, t).unwrap();
         assert!(!p.holds_lock(obj, t));
+    }
+
+    #[test]
+    fn pre_inflation_hint_avoids_overflow_inflation() {
+        let stats = Arc::new(LockStats::new());
+        let p = ThinLocks::with_capacity(4).with_stats(Arc::clone(&stats));
+        let obj = p.heap().alloc().unwrap();
+        assert!(p.pre_inflate(obj).unwrap());
+        assert!(p.lock_word(obj).is_fat());
+        assert!(!p.pre_inflate(obj).unwrap(), "second hint is a no-op");
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        // Nest past the thin-count limit: with the hint applied, no
+        // overflow inflation ever fires mid-critical-path.
+        for _ in 0..300 {
+            p.lock(obj, t).unwrap();
+        }
+        for _ in 0..300 {
+            p.unlock(obj, t).unwrap();
+        }
+        assert!(!p.holds_lock(obj, t));
+        let snap = stats.snapshot();
+        assert_eq!(snap.inflations, [0, 0, 0, 1], "only the hint inflation");
+        assert_eq!(p.inflated_count(), 1);
+    }
+
+    #[test]
+    fn pre_inflate_declines_while_thin_held() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, r.token()).unwrap();
+        assert!(!p.pre_inflate(obj).unwrap(), "owner-only writes: decline");
+        assert!(p.lock_word(obj).is_thin_shape());
+        p.unlock(obj, r.token()).unwrap();
+        // The protocol-level hint entry point reaches the same code.
+        assert!(p.pre_inflate_hint(obj));
+        assert!(p.lock_word(obj).is_fat());
     }
 
     #[test]

@@ -1,16 +1,19 @@
-//! Property tests of the deflating (Tasuki-style) variant against the
+//! Randomized tests of the deflating (Tasuki-style) variant against the
 //! single-threaded reference model — like `thin_model_props`, but with
 //! the deflating state machine: the fat state is *not* permanent; it
 //! collapses back to thin on a fully-released quiet unlock.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 use thinlock::TasukiLocks;
 use thinlock_runtime::error::SyncError;
 use thinlock_runtime::heap::ObjRef;
 use thinlock_runtime::lockword::LockState;
+use thinlock_runtime::prng::Prng;
 use thinlock_runtime::protocol::SyncProtocol;
+
+const CASES: usize = 96;
+const OBJECTS: u8 = 3;
 
 #[derive(Debug, Clone, Copy)]
 enum Step {
@@ -19,25 +22,28 @@ enum Step {
     Notify(u8),
 }
 
-fn arb_step(objects: u8) -> impl Strategy<Value = Step> {
-    prop_oneof![
-        3 => (0..objects).prop_map(Step::Lock),
-        3 => (0..objects).prop_map(Step::Unlock),
-        1 => (0..objects).prop_map(Step::Notify),
-    ]
+/// Weighted draw matching the old strategy: lock 3 : unlock 3 : notify 1.
+fn gen_step(rng: &mut Prng) -> Step {
+    let obj = rng.range_u32(0, u32::from(OBJECTS)) as u8;
+    match rng.range_u32(0, 7) {
+        0..=2 => Step::Lock(obj),
+        3..=5 => Step::Unlock(obj),
+        _ => Step::Notify(obj),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// Single-threaded model equivalence with deflation: the word is fat
+/// exactly while a wait/notify-inflated monitor is still held; once
+/// fully released it must be thin again (no waiters can exist
+/// single-threaded).
+#[test]
+fn deflating_protocol_matches_model() {
+    let mut rng = Prng::seed_from_u64(0x7a5_0001);
+    for _ in 0..CASES {
+        let steps: Vec<Step> = (0..rng.range_usize(1, 120))
+            .map(|_| gen_step(&mut rng))
+            .collect();
 
-    /// Single-threaded model equivalence with deflation: the word is fat
-    /// exactly while a wait/notify-inflated monitor is still held; once
-    /// fully released it must be thin again (no waiters can exist
-    /// single-threaded).
-    #[test]
-    fn deflating_protocol_matches_model(
-        steps in proptest::collection::vec(arb_step(3), 1..120)
-    ) {
         let locks = TasukiLocks::with_capacity(3);
         let reg = locks.registry().register().unwrap();
         let t = reg.token();
@@ -54,7 +60,7 @@ proptest! {
             match step {
                 Step::Lock(i) => {
                     let i = usize::from(i);
-                    prop_assert!(locks.lock(objs[i], t).is_ok());
+                    assert!(locks.lock(objs[i], t).is_ok());
                     let d = depth.entry(i).or_insert(0);
                     *d += 1;
                     if *d > 256 {
@@ -66,12 +72,12 @@ proptest! {
                     let d = depth.entry(i).or_insert(0);
                     let r = locks.unlock(objs[i], t);
                     if *d == 0 {
-                        prop_assert!(matches!(
+                        assert!(matches!(
                             r,
                             Err(SyncError::NotLocked) | Err(SyncError::NotOwner)
                         ));
                     } else {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok());
                         *d -= 1;
                         if *d == 0 {
                             // Quiet final unlock always deflates.
@@ -84,9 +90,9 @@ proptest! {
                     let d = *depth.get(&i).unwrap_or(&0);
                     let r = locks.notify(objs[i], t);
                     if d == 0 {
-                        prop_assert!(r.is_err());
+                        assert!(r.is_err());
                     } else {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok());
                         fat_now.insert(i, true);
                     }
                 }
@@ -96,17 +102,17 @@ proptest! {
                 let d = *depth.get(&i).unwrap_or(&0);
                 let fat = *fat_now.get(&i).unwrap_or(&false);
                 let word = locks.lock_word(obj);
-                prop_assert_eq!(word.header_bits(), hashes[i], "header disturbed");
+                assert_eq!(word.header_bits(), hashes[i], "header disturbed");
                 match (fat, d) {
-                    (true, _) => prop_assert!(word.is_fat(), "expected fat, got {}", word),
+                    (true, _) => assert!(word.is_fat(), "expected fat, got {word}"),
                     (false, 0) => {
-                        prop_assert_eq!(word.state(), LockState::Unlocked)
+                        assert_eq!(word.state(), LockState::Unlocked)
                     }
                     (false, d) => match word.state() {
                         LockState::Thin { count, .. } => {
-                            prop_assert_eq!(u32::from(count) + 1, d);
+                            assert_eq!(u32::from(count) + 1, d);
                         }
-                        other => prop_assert!(false, "expected thin, got {:?}", other),
+                        other => panic!("expected thin, got {other:?}"),
                     },
                 }
             }
@@ -116,12 +122,12 @@ proptest! {
         for (i, &obj) in objs.iter().enumerate() {
             let d = *depth.get(&i).unwrap_or(&0);
             for _ in 0..d {
-                prop_assert!(locks.unlock(obj, t).is_ok());
+                assert!(locks.unlock(obj, t).is_ok());
             }
-            prop_assert!(!locks.holds_lock(obj, t));
-            prop_assert!(locks.lock_word(obj).is_unlocked(), "deflated at rest");
+            assert!(!locks.holds_lock(obj, t));
+            assert!(locks.lock_word(obj).is_unlocked(), "deflated at rest");
         }
-        prop_assert_eq!(
+        assert_eq!(
             locks.inflation_count(),
             locks.deflation_count(),
             "every inflation eventually deflated"

@@ -1,9 +1,9 @@
-//! Property tests of the thin-lock protocol against a trivial reference
-//! model: arbitrary single-threaded sequences of lock/unlock/wait-ish
-//! operations must produce exactly the outcomes the model predicts, and
-//! the lock word must decode to the model's state after every step.
+//! Randomized tests of the thin-lock protocol against a trivial
+//! reference model: arbitrary single-threaded sequences of
+//! lock/unlock/wait-ish operations must produce exactly the outcomes
+//! the model predicts, and the lock word must decode to the model's
+//! state after every step.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -11,7 +11,11 @@ use thinlock::ThinLocks;
 use thinlock_runtime::error::SyncError;
 use thinlock_runtime::heap::ObjRef;
 use thinlock_runtime::lockword::LockState;
+use thinlock_runtime::prng::Prng;
 use thinlock_runtime::protocol::SyncProtocol;
+
+const CASES: usize = 96;
+const OBJECTS: u8 = 4;
 
 /// One step of the generated workload.
 #[derive(Debug, Clone, Copy)]
@@ -22,25 +26,29 @@ enum Step {
     HoldsQuery(u8),
 }
 
-fn arb_step(objects: u8) -> impl Strategy<Value = Step> {
-    prop_oneof![
-        3 => (0..objects).prop_map(Step::Lock),
-        3 => (0..objects).prop_map(Step::Unlock),
-        1 => (0..objects).prop_map(Step::Notify),
-        1 => (0..objects).prop_map(Step::HoldsQuery),
-    ]
+/// Weighted draw matching the old strategy: lock 3 : unlock 3 : notify 1
+/// : holds-query 1.
+fn gen_step(rng: &mut Prng) -> Step {
+    let obj = rng.range_u32(0, u32::from(OBJECTS)) as u8;
+    match rng.range_u32(0, 8) {
+        0..=2 => Step::Lock(obj),
+        3..=5 => Step::Unlock(obj),
+        6 => Step::Notify(obj),
+        _ => Step::HoldsQuery(obj),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// Single-threaded model equivalence. The model is a per-object depth
+/// counter plus an "inflated" flag; the protocol must agree on every
+/// success, every error, and every decoded lock-word state.
+#[test]
+fn protocol_matches_reference_model() {
+    let mut rng = Prng::seed_from_u64(0x717d_0001);
+    for _ in 0..CASES {
+        let steps: Vec<Step> = (0..rng.range_usize(1, 120))
+            .map(|_| gen_step(&mut rng))
+            .collect();
 
-    /// Single-threaded model equivalence. The model is a per-object depth
-    /// counter plus an "inflated" flag; the protocol must agree on every
-    /// success, every error, and every decoded lock-word state.
-    #[test]
-    fn protocol_matches_reference_model(
-        steps in proptest::collection::vec(arb_step(4), 1..120)
-    ) {
         let locks = ThinLocks::with_capacity(4);
         let reg = locks.registry().register().unwrap();
         let t = reg.token();
@@ -58,7 +66,7 @@ proptest! {
                 Step::Lock(i) => {
                     let i = usize::from(i);
                     let r = locks.lock(objs[i], t);
-                    prop_assert!(r.is_ok());
+                    assert!(r.is_ok());
                     let d = depth.entry(i).or_insert(0);
                     *d += 1;
                     // The 257th acquisition (count overflow) inflates.
@@ -74,12 +82,12 @@ proptest! {
                         // Not held: the error depends on inflation state
                         // only in its flavour; both mean "illegal monitor
                         // state" in Java.
-                        prop_assert!(matches!(
+                        assert!(matches!(
                             r,
                             Err(SyncError::NotLocked) | Err(SyncError::NotOwner)
                         ));
                     } else {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok());
                         *d -= 1;
                     }
                 }
@@ -88,16 +96,16 @@ proptest! {
                     let d = *depth.get(&i).unwrap_or(&0);
                     let r = locks.notify(objs[i], t);
                     if d == 0 {
-                        prop_assert!(r.is_err());
+                        assert!(r.is_err());
                     } else {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok());
                         inflated.insert(i, true);
                     }
                 }
                 Step::HoldsQuery(i) => {
                     let i = usize::from(i);
                     let d = *depth.get(&i).unwrap_or(&0);
-                    prop_assert_eq!(locks.holds_lock(objs[i], t), d > 0);
+                    assert_eq!(locks.holds_lock(objs[i], t), d > 0);
                 }
             }
 
@@ -107,16 +115,16 @@ proptest! {
                 let d = *depth.get(&i).unwrap_or(&0);
                 let infl = *inflated.get(&i).unwrap_or(&false);
                 let word = locks.lock_word(obj);
-                prop_assert_eq!(word.header_bits(), hashes[i], "header disturbed");
+                assert_eq!(word.header_bits(), hashes[i], "header disturbed");
                 match (infl, d) {
-                    (false, 0) => prop_assert_eq!(word.state(), LockState::Unlocked),
+                    (false, 0) => assert_eq!(word.state(), LockState::Unlocked),
                     (false, d) => match word.state() {
                         LockState::Thin { count, .. } => {
-                            prop_assert_eq!(u32::from(count) + 1, d);
+                            assert_eq!(u32::from(count) + 1, d);
                         }
-                        other => prop_assert!(false, "expected thin, got {:?}", other),
+                        other => panic!("expected thin, got {other:?}"),
                     },
-                    (true, _) => prop_assert!(word.is_fat(), "inflation is permanent"),
+                    (true, _) => assert!(word.is_fat(), "inflation is permanent"),
                 }
             }
         }
@@ -125,16 +133,22 @@ proptest! {
         for (i, &obj) in objs.iter().enumerate() {
             let d = *depth.get(&i).unwrap_or(&0);
             for _ in 0..d {
-                prop_assert!(locks.unlock(obj, t).is_ok());
+                assert!(locks.unlock(obj, t).is_ok());
             }
-            prop_assert!(!locks.holds_lock(obj, t));
+            assert!(!locks.holds_lock(obj, t));
         }
     }
+}
 
-    /// The guard API never leaks a lock, whatever the nesting pattern.
-    #[test]
-    fn guards_balance_arbitrary_nesting(depths in proptest::collection::vec(1u8..6, 1..12)) {
-        use thinlock_runtime::protocol::SyncProtocolExt;
+/// The guard API never leaks a lock, whatever the nesting pattern.
+#[test]
+fn guards_balance_arbitrary_nesting() {
+    use thinlock_runtime::protocol::SyncProtocolExt;
+    let mut rng = Prng::seed_from_u64(0x717d_0002);
+    for _ in 0..CASES {
+        let depths: Vec<u8> = (0..rng.range_usize(1, 12))
+            .map(|_| rng.range_u32(1, 6) as u8)
+            .collect();
         let locks = Arc::new(ThinLocks::with_capacity(4));
         let reg = locks.registry().register().unwrap();
         let t = reg.token();
@@ -144,9 +158,9 @@ proptest! {
             for _ in 0..d {
                 guards.push(locks.enter(obj, t).unwrap());
             }
-            prop_assert!(locks.holds_lock(obj, t));
+            assert!(locks.holds_lock(obj, t));
             drop(guards);
-            prop_assert!(!locks.holds_lock(obj, t));
+            assert!(!locks.holds_lock(obj, t));
         }
     }
 }

@@ -620,9 +620,7 @@ mod tests {
         lock.lock(t, &reg).unwrap();
         lock.lock(t, &reg).unwrap(); // depth 2
         let start = Instant::now();
-        let out = lock
-            .wait(t, &reg, Some(Duration::from_millis(40)))
-            .unwrap();
+        let out = lock.wait(t, &reg, Some(Duration::from_millis(40))).unwrap();
         assert_eq!(out, WaitOutcome::TimedOut);
         assert!(start.elapsed() >= Duration::from_millis(35));
         assert_eq!(lock.count(), 2, "nesting depth restored");

@@ -1,21 +1,21 @@
-//! Differential stress tests: our fat monitor against a `parking_lot`
-//! oracle under randomized multi-threaded schedules. `parking_lot` is used
-//! *only* here, as an independent reference implementation — never inside
-//! the reproduction itself.
+//! Differential stress tests: our fat monitor under randomized
+//! multi-threaded schedules, checked against two independent oracles —
+//! a pure single-threaded replay of the same PRNG streams (the
+//! critical-section count is a pure function of the seeds, independent
+//! of interleaving) and a `std::sync::Mutex`-guarded counter executing
+//! the identical schedule.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use thinlock_monitor::FatLock;
+use thinlock_runtime::prng::Prng;
 use thinlock_runtime::registry::ThreadRegistry;
 
 /// Shared scenario: several threads perform a random mix of plain
 /// critical sections and condition-variable handoffs; the same schedule
-/// (same seeds) is executed against the oracle and results compared.
+/// (same seeds) is executed against the oracles and results compared.
 struct Totals {
     increments: AtomicU64,
     handoffs: AtomicU64,
@@ -39,12 +39,12 @@ fn run_ours(threads: usize, per_thread: u32, seed: u64) -> (u64, u64) {
             scope.spawn(move || {
                 let reg = registry.register().unwrap();
                 let t = reg.token();
-                let mut rng = StdRng::seed_from_u64(seed ^ who as u64);
+                let mut rng = Prng::seed_from_u64(seed ^ who as u64);
                 for _ in 0..per_thread {
-                    match rng.gen_range(0..10u8) {
+                    match rng.range_u32(0, 10) {
                         // Plain critical section, sometimes nested.
                         0..=6 => {
-                            let depth = rng.gen_range(1..=3);
+                            let depth = rng.range_u32(1, 4);
                             for _ in 0..depth {
                                 lock.lock(t, &registry).unwrap();
                             }
@@ -92,44 +92,61 @@ fn run_ours(threads: usize, per_thread: u32, seed: u64) -> (u64, u64) {
     )
 }
 
-fn run_oracle(threads: usize, per_thread: u32, seed: u64) -> u64 {
-    // The oracle checks only the deterministic part of the schedule: the
-    // number of plain critical sections is a pure function of the RNG
-    // streams, independent of interleaving.
-    let lock = Arc::new(parking_lot::ReentrantMutex::new(()));
-    let count = Arc::new(AtomicU64::new(0));
+/// Pure replay oracle: the number of plain critical sections is a pure
+/// function of the RNG streams, independent of interleaving, so it can
+/// be computed without running any threads at all.
+fn replay_oracle(threads: usize, per_thread: u32, seed: u64) -> u64 {
+    let mut count = 0u64;
+    for who in 0..threads {
+        let mut rng = Prng::seed_from_u64(seed ^ who as u64);
+        for _ in 0..per_thread {
+            // Producer and consumer branches draw nothing further from
+            // the RNG in the real run either.
+            if let 0..=6 = rng.range_u32(0, 10) {
+                let _depth = rng.range_u32(1, 4);
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Concurrent reference oracle: the identical schedule against a plain
+/// `std::sync::Mutex` counter (no reentrancy, so nesting collapses to a
+/// single hold), checking that real threads draw the same streams.
+fn run_mutex_oracle(threads: usize, per_thread: u32, seed: u64) -> u64 {
+    let count = Arc::new(Mutex::new(0u64));
     std::thread::scope(|scope| {
         for who in 0..threads {
-            let lock = Arc::clone(&lock);
             let count = Arc::clone(&count);
             scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(seed ^ who as u64);
+                let mut rng = Prng::seed_from_u64(seed ^ who as u64);
                 for _ in 0..per_thread {
-                    // Producer and consumer branches draw nothing further
-                    // from the RNG in either implementation.
-                    if let 0..=6 = rng.gen_range(0..10u8) {
-                        let depth = rng.gen_range(1..=3);
-                        let mut guards = Vec::new();
-                        for _ in 0..depth {
-                            guards.push(lock.lock());
-                        }
-                        count.fetch_add(1, Ordering::Relaxed);
+                    if let 0..=6 = rng.range_u32(0, 10) {
+                        let _depth = rng.range_u32(1, 4);
+                        *count.lock().unwrap() += 1;
                     }
                 }
             });
         }
     });
-    count.load(Ordering::Relaxed)
+    let n = *count.lock().unwrap();
+    n
 }
 
 #[test]
 fn randomized_stress_matches_oracle_counts() {
     for seed in [1u64, 99, 12345] {
         let (increments, handoffs) = run_ours(4, 150, seed);
-        let oracle = run_oracle(4, 150, seed);
+        let replay = replay_oracle(4, 150, seed);
+        let mutex = run_mutex_oracle(4, 150, seed);
         assert_eq!(
-            increments, oracle,
-            "seed {seed}: critical-section count must match the oracle"
+            increments, replay,
+            "seed {seed}: critical-section count must match the pure replay"
+        );
+        assert_eq!(
+            mutex, replay,
+            "seed {seed}: mutex oracle must agree with the pure replay"
         );
         // Handoffs are schedule-dependent but bounded by producer posts.
         assert!(handoffs <= 4 * 150);
@@ -147,9 +164,9 @@ fn heavy_reentrancy_stress() {
             scope.spawn(move || {
                 let reg = registry.register().unwrap();
                 let t = reg.token();
-                let mut rng = StdRng::seed_from_u64(who as u64);
+                let mut rng = Prng::seed_from_u64(who as u64);
                 for _ in 0..300 {
-                    let depth = rng.gen_range(1..=16);
+                    let depth = rng.range_u32(1, 17);
                     for _ in 0..depth {
                         lock.lock(t, &registry).unwrap();
                     }

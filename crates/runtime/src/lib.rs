@@ -41,6 +41,7 @@ pub mod backoff;
 pub mod error;
 pub mod heap;
 pub mod lockword;
+pub mod prng;
 pub mod protocol;
 pub mod registry;
 pub mod stats;

@@ -539,7 +539,10 @@ mod tests {
 
     #[test]
     fn masks_partition_the_word() {
-        assert_eq!(HEADER_BITS_MASK | COUNT_MASK | TID_MASK | SHAPE_BIT, u32::MAX);
+        assert_eq!(
+            HEADER_BITS_MASK | COUNT_MASK | TID_MASK | SHAPE_BIT,
+            u32::MAX
+        );
         assert_eq!(HEADER_BITS_MASK & COUNT_MASK, 0);
         assert_eq!(COUNT_MASK & TID_MASK, 0);
         assert_eq!(TID_MASK & SHAPE_BIT, 0);

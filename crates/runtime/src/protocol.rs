@@ -75,8 +75,12 @@ pub trait SyncProtocol: Send + Sync {
     /// [`SyncError::NotOwner`] if `t` does not own the monitor;
     /// [`SyncError::Interrupted`] if the thread was interrupted (the
     /// monitor is still re-acquired first, as the JLS requires).
-    fn wait(&self, obj: ObjRef, t: ThreadToken, timeout: Option<Duration>)
-        -> SyncResult<WaitOutcome>;
+    fn wait(
+        &self,
+        obj: ObjRef,
+        t: ThreadToken,
+        timeout: Option<Duration>,
+    ) -> SyncResult<WaitOutcome>;
 
     /// Wakes one thread waiting on `obj`, if any.
     ///
@@ -94,6 +98,22 @@ pub trait SyncProtocol: Send + Sync {
 
     /// True if thread `t` currently owns the monitor of `obj`.
     fn holds_lock(&self, obj: ObjRef, t: ThreadToken) -> bool;
+
+    /// Applies a static pre-inflation hint to `obj`, if the protocol has a
+    /// cheaper-up-front lock representation it can skip.
+    ///
+    /// Static analysis (the `lockcheck` nest-depth pass) can prove that an
+    /// object's lock nesting may exceed a thin lock's 8-bit count, which
+    /// would force an inflation in the middle of a critical section. A
+    /// protocol that distinguishes cheap and expensive lock shapes can use
+    /// this hint to switch the object to the expensive shape *before* the
+    /// workload runs. Returns `true` if the hint changed the object's
+    /// representation. The default does nothing: protocols without an
+    /// inflation step (monitor caches, oracles) have nothing to pre-arm.
+    fn pre_inflate_hint(&self, obj: ObjRef) -> bool {
+        let _ = obj;
+        false
+    }
 
     /// The heap whose objects this protocol synchronizes.
     fn heap(&self) -> &Heap;
@@ -182,12 +202,7 @@ pub trait SyncProtocolExt: SyncProtocol {
     ///
     /// Propagates [`SyncProtocol::lock`] errors; `f`'s value is returned on
     /// success. The monitor is released even if `f` panics.
-    fn synchronized<R>(
-        &self,
-        obj: ObjRef,
-        t: ThreadToken,
-        f: impl FnOnce() -> R,
-    ) -> SyncResult<R> {
+    fn synchronized<R>(&self, obj: ObjRef, t: ThreadToken, f: impl FnOnce() -> R) -> SyncResult<R> {
         let _guard = self.enter(obj, t)?;
         Ok(f())
     }

@@ -64,7 +64,9 @@ impl Parker {
         let mut permit = self.permit.lock().expect("parker mutex poisoned");
         while !*permit {
             let now = std::time::Instant::now();
-            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
             else {
                 return false;
             };
@@ -245,9 +247,8 @@ impl ThreadRegistry {
     /// registrations (clamped to the 15-bit architectural limit).
     pub fn with_max_threads(max_threads: u16) -> Self {
         let max = max_threads.clamp(1, ThreadIndex::MAX);
-        let slots: Box<[RwLock<Option<Arc<ThreadRecord>>>]> = (0..=max as usize)
-            .map(|_| RwLock::new(None))
-            .collect();
+        let slots: Box<[RwLock<Option<Arc<ThreadRecord>>>]> =
+            (0..=max as usize).map(|_| RwLock::new(None)).collect();
         ThreadRegistry {
             shared: Arc::new(RegistryShared {
                 slots,
@@ -272,7 +273,11 @@ impl ThreadRegistry {
     /// use.
     pub fn register(&self) -> Result<Registration, SyncError> {
         let raw = {
-            let mut pool = self.shared.free.lock().expect("registry free pool poisoned");
+            let mut pool = self
+                .shared
+                .free
+                .lock()
+                .expect("registry free pool poisoned");
             if let Some(r) = pool.recycled.pop() {
                 r
             } else if (pool.next_fresh as usize) < self.shared.slots.len() {
@@ -327,7 +332,11 @@ impl ThreadRegistry {
 
     /// Number of live registrations.
     pub fn live_threads(&self) -> usize {
-        let pool = self.shared.free.lock().expect("registry free pool poisoned");
+        let pool = self
+            .shared
+            .free
+            .lock()
+            .expect("registry free pool poisoned");
         (pool.next_fresh as usize - 1) - pool.recycled.len()
     }
 }

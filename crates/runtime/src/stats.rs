@@ -65,6 +65,9 @@ pub enum InflationCause {
     CountOverflow,
     /// `wait`/`notify`/`notifyAll` was performed on a thin-locked object.
     WaitNotify,
+    /// A static pre-inflation hint was applied before the workload ran
+    /// (the `lockcheck` nest-depth pass predicted a count overflow).
+    Hint,
 }
 
 impl fmt::Display for InflationCause {
@@ -73,6 +76,7 @@ impl fmt::Display for InflationCause {
             InflationCause::Contention => "contention",
             InflationCause::CountOverflow => "count-overflow",
             InflationCause::WaitNotify => "wait-notify",
+            InflationCause::Hint => "hint",
         };
         f.write_str(s)
     }
@@ -105,7 +109,7 @@ pub const DEPTH_BUCKETS: usize = 8;
 pub struct LockStats {
     scenarios: [AtomicU64; 6],
     depths: [AtomicU64; DEPTH_BUCKETS],
-    inflations: [AtomicU64; 3],
+    inflations: [AtomicU64; 4],
     unlocks_thin: AtomicU64,
     unlocks_fat: AtomicU64,
     spin_rounds: AtomicU64,
@@ -135,6 +139,7 @@ impl LockStats {
             InflationCause::Contention => 0,
             InflationCause::CountOverflow => 1,
             InflationCause::WaitNotify => 2,
+            InflationCause::Hint => 3,
         }
     }
 
@@ -201,8 +206,9 @@ pub struct StatsSnapshot {
     /// Lock acquisitions by nesting depth; bucket 0 is depth 1 (first
     /// lock), the final bucket aggregates depth ≥ [`DEPTH_BUCKETS`].
     pub depth_histogram: [u64; DEPTH_BUCKETS],
-    /// Inflations by cause: contention, count overflow, wait/notify.
-    pub inflations: [u64; 3],
+    /// Inflations by cause: contention, count overflow, wait/notify,
+    /// static pre-inflation hint.
+    pub inflations: [u64; 4],
     /// Store-based unlocks of thin locks.
     pub unlocks_thin: u64,
     /// Monitor unlocks of fat locks.
@@ -255,11 +261,12 @@ impl fmt::Display for StatsSnapshot {
         }
         writeln!(
             f,
-            "inflations: {} (contention {}, overflow {}, wait {})",
+            "inflations: {} (contention {}, overflow {}, wait {}, hint {})",
             self.total_inflations(),
             self.inflations[0],
             self.inflations[1],
-            self.inflations[2]
+            self.inflations[2],
+            self.inflations[3]
         )?;
         writeln!(
             f,
@@ -329,9 +336,10 @@ mod tests {
         s.record_inflation(InflationCause::Contention);
         s.record_inflation(InflationCause::CountOverflow);
         s.record_inflation(InflationCause::WaitNotify);
+        s.record_inflation(InflationCause::Hint);
         let snap = s.snapshot();
-        assert_eq!(snap.inflations, [2, 1, 1]);
-        assert_eq!(snap.total_inflations(), 4);
+        assert_eq!(snap.inflations, [2, 1, 1, 1]);
+        assert_eq!(snap.total_inflations(), 5);
     }
 
     #[test]

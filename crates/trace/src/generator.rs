@@ -15,8 +15,7 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use thinlock_runtime::prng::Prng;
 
 use crate::table1::BenchmarkProfile;
 
@@ -112,14 +111,8 @@ impl LockTrace {
     /// Returns the [`validate`](LockTrace::validate) error if the sequence
     /// is not well-formed.
     pub fn from_ops(name: impl Into<String>, ops: Vec<TraceOp>) -> Result<Self, String> {
-        let total_objects = ops
-            .iter()
-            .filter(|o| matches!(o, TraceOp::Alloc))
-            .count() as u32;
-        let lock_ops = ops
-            .iter()
-            .filter(|o| matches!(o, TraceOp::Lock(_)))
-            .count() as u64;
+        let total_objects = ops.iter().filter(|o| matches!(o, TraceOp::Alloc)).count() as u32;
+        let lock_ops = ops.iter().filter(|o| matches!(o, TraceOp::Lock(_))).count() as u64;
         let mut locked = vec![false; total_objects as usize];
         for op in &ops {
             if let TraceOp::Lock(o) = *op {
@@ -248,16 +241,16 @@ fn zipf_cumulative(n: u32, skew: f64) -> Vec<f64> {
 }
 
 /// Samples an index from a cumulative weight vector.
-fn sample_cumulative(cum: &[f64], rng: &mut StdRng) -> usize {
+fn sample_cumulative(cum: &[f64], rng: &mut Prng) -> usize {
     let total = *cum.last().expect("non-empty weights");
-    let x = rng.gen_range(0.0..total);
+    let x = rng.range_f64(total);
     cum.partition_point(|&c| c <= x).min(cum.len() - 1)
 }
 
 /// Samples a burst depth `d ∈ 1..=4` with `P(d ≥ k) = f_k / f_1`.
-fn sample_depth(fractions: &[f64; 4], rng: &mut StdRng) -> u32 {
+fn sample_depth(fractions: &[f64; 4], rng: &mut Prng) -> u32 {
     let f1 = fractions[0].max(f64::MIN_POSITIVE);
-    let x: f64 = rng.gen_range(0.0..1.0);
+    let x: f64 = rng.next_f64();
     // d >= k  iff  x < f_k / f_1; find the deepest k satisfied.
     let mut d = 1;
     for k in 2..=4 {
@@ -284,11 +277,11 @@ fn sample_depth(fractions: &[f64; 4], rng: &mut StdRng) -> u32 {
 /// assert!(trace.lock_ops() > 0);
 /// ```
 pub fn generate(profile: &BenchmarkProfile, config: &TraceConfig) -> LockTrace {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ hash_name(profile.name));
+    let mut rng = Prng::seed_from_u64(config.seed ^ hash_name(profile.name));
 
     let scale = config.scale.max(1);
-    let sync_objects = ((profile.synchronized_objects / scale).max(1) as u32)
-        .min(config.max_objects.max(1));
+    let sync_objects =
+        ((profile.synchronized_objects / scale).max(1) as u32).min(config.max_objects.max(1));
     let total_objects = ((profile.objects_created / scale).max(u64::from(sync_objects)) as u32)
         .min(config.max_objects.max(sync_objects));
     let target_lock_ops = (profile.sync_operations / scale)
@@ -334,9 +327,8 @@ pub fn generate(profile: &BenchmarkProfile, config: &TraceConfig) -> LockTrace {
         let j = sample_cumulative(&cum, &mut rng);
         let id = sync_ids[j];
         ensure_allocated(&mut ops, &mut allocated, id);
-        let d = sample_depth(&profile.depth_fractions, &mut rng).min(
-            u32::try_from(target_lock_ops - lock_ops).unwrap_or(u32::MAX),
-        );
+        let d = sample_depth(&profile.depth_fractions, &mut rng)
+            .min(u32::try_from(target_lock_ops - lock_ops).unwrap_or(u32::MAX));
         let d = d.max(1);
         for _ in 0..d {
             ops.push(TraceOp::Lock(id));
@@ -401,7 +393,9 @@ mod tests {
     fn every_profile_generates_valid_trace() {
         for p in &MACRO_BENCHMARKS {
             let trace = generate(p, &quick_config());
-            trace.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            trace
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
             assert!(trace.lock_ops() > 0);
             assert!(trace.sync_objects() >= 1);
             assert!(trace.total_objects() >= trace.sync_objects());

@@ -197,8 +197,14 @@ mod tests {
             ("thinlock-trace v1\nops\n", "name"),
             ("thinlock-trace v1\nname x\nL 0\n", "expected `ops`"),
             ("thinlock-trace v1\nname x\nops\nQ 1\nend\n", "unknown tag"),
-            ("thinlock-trace v1\nname x\nops\nL\nend\n", "needs an operand"),
-            ("thinlock-trace v1\nname x\nops\nL zero\nend\n", "invalid operand"),
+            (
+                "thinlock-trace v1\nname x\nops\nL\nend\n",
+                "needs an operand",
+            ),
+            (
+                "thinlock-trace v1\nname x\nops\nL zero\nend\n",
+                "invalid operand",
+            ),
             ("thinlock-trace v1\nname x\nops\nL 0\n", "missing `end`"),
             ("thinlock-trace v1\nname x\nops\nend\nL 0\n", "after `end`"),
             ("thinlock-trace v1\nname x\nops\nL 0 0\nend\n", "trailing"),

@@ -35,5 +35,10 @@ pub mod io;
 pub mod replay;
 pub mod table1;
 
+/// The deterministic, seedable PRNG the generators sample from — an
+/// in-repo SplitMix64/xorshift128+ pair (no external `rand` dependency,
+/// so the workspace builds offline).
+pub use thinlock_runtime::prng;
+
 pub use generator::{LockTrace, TraceConfig, TraceOp};
 pub use table1::{BenchmarkProfile, MACRO_BENCHMARKS};

@@ -121,110 +121,218 @@ pub const MACRO_BENCHMARKS: [BenchmarkProfile; 18] = [
     row(
         "trans",
         "High Performance Java Compiler (IBM)",
-        124_751, 159_747, 486_215, 9_825, 173_911,
-        [0.80, 0.15, 0.04, 0.01], 1.22, 1.05,
+        124_751,
+        159_747,
+        486_215,
+        9_825,
+        173_911,
+        [0.80, 0.15, 0.04, 0.01],
+        1.22,
+        1.05,
     ),
     row(
         "javac",
         "Java source to bytecode compiler (Sun)",
-        298_436, 345_687, 247_350, 24_735, 856_666,
-        [0.74, 0.20, 0.05, 0.01], 1.25, 1.04,
+        298_436,
+        345_687,
+        247_350,
+        24_735,
+        856_666,
+        [0.74, 0.20, 0.05, 0.01],
+        1.25,
+        1.04,
     ),
     row(
         "jacorb",
         "Java Object Request Broker 0.5 (Freie U.)",
-        12_182, 159_747, 4_258_177, 150_175, 12_975_639,
-        [0.65, 0.25, 0.08, 0.02], 1.30, 0.97,
+        12_182,
+        159_747,
+        4_258_177,
+        150_175,
+        12_975_639,
+        [0.65, 0.25, 0.08, 0.02],
+        1.30,
+        0.97,
     ),
     row(
         "javaparser",
         "Java grammar parser (Sun)",
-        59_431, 159_747, 391_380, 39_138, 888_390,
-        [0.80, 0.16, 0.03, 0.01], 1.20, 1.06,
+        59_431,
+        159_747,
+        391_380,
+        39_138,
+        888_390,
+        [0.80, 0.16, 0.03, 0.01],
+        1.20,
+        1.06,
     ),
     row(
         "jobe",
         "Java Obfuscator 1.0 (E. Jokipii)",
-        52_961, 159_747, 437_793, 61_064, 807_000,
-        [0.85, 0.12, 0.02, 0.01], 1.18, 1.02,
+        52_961,
+        159_747,
+        437_793,
+        61_064,
+        807_000,
+        [0.85, 0.12, 0.02, 0.01],
+        1.18,
+        1.02,
     ),
     row(
         "toba",
         "Java to C translator (U. Arizona)",
-        23_743, 166_472, 266_198, 61_951, 917_038,
-        [0.88, 0.10, 0.015, 0.005], 1.15, 1.03,
+        23_743,
+        166_472,
+        266_198,
+        61_951,
+        917_038,
+        [0.88, 0.10, 0.015, 0.005],
+        1.15,
+        1.03,
     ),
     row(
         "javalex",
         "Lexical analyzer generator for Java (E. Berk)",
-        10_105, 159_758, 707_960, 70_796, 1_611_558,
-        [0.90, 0.08, 0.015, 0.005], 1.70, 1.10,
+        10_105,
+        159_758,
+        707_960,
+        70_796,
+        1_611_558,
+        [0.90, 0.08, 0.015, 0.005],
+        1.70,
+        1.10,
     ),
     row(
         "jax",
         "Java class-file compactor (IBM)",
-        24_154, 161_229, 6_250_390, 119_179, 16_517_630,
-        [0.92, 0.06, 0.015, 0.005], 1.65, 1.08,
+        24_154,
+        161_229,
+        6_250_390,
+        119_179,
+        16_517_630,
+        [0.92, 0.06, 0.015, 0.005],
+        1.65,
+        1.08,
     ),
     row(
         "javacup",
         "Java constructor of parsers (S. Hudson)",
-        25_058, 159_747, 433_920, 12_243, 90_573,
-        [0.75, 0.18, 0.05, 0.02], 1.10, 1.01,
+        25_058,
+        159_747,
+        433_920,
+        12_243,
+        90_573,
+        [0.75, 0.18, 0.05, 0.02],
+        1.10,
+        1.01,
     ),
     row(
         "NetRexx",
         "NetRexx to Java translator 1.0 (IBM)",
-        191_820, 160_963, 625_039, 119_179, 1_651_763,
-        [0.78, 0.17, 0.04, 0.01], 1.28, 1.04,
+        191_820,
+        160_963,
+        625_039,
+        119_179,
+        1_651_763,
+        [0.78, 0.17, 0.04, 0.01],
+        1.28,
+        1.04,
     ),
     row(
         "Espresso",
         "Java source to bytecode compiler (M. Odersky)",
-        305_690, 160_963, 433_920, 10_333, 1_975_481,
-        [0.70, 0.22, 0.06, 0.02], 1.35, 0.98,
+        305_690,
+        160_963,
+        433_920,
+        10_333,
+        1_975_481,
+        [0.70, 0.22, 0.06, 0.02],
+        1.35,
+        0.98,
     ),
     row(
         "HashJava",
         "Java obfuscator (K.B. Sriram)",
-        19_182, 160_963, 246_150, 4_629, 19_960_283,
-        [0.60, 0.28, 0.09, 0.03], 1.55, 1.12,
+        19_182,
+        160_963,
+        246_150,
+        4_629,
+        19_960_283,
+        [0.60, 0.28, 0.09, 0.03],
+        1.55,
+        1.12,
     ),
     row(
         "crema",
         "Java obfuscator, demo version (H.P. van Vliet)",
-        30_569, 160_963, 221_093, 23_676, 330_100,
-        [0.82, 0.14, 0.03, 0.01], 1.12, 1.02,
+        30_569,
+        160_963,
+        221_093,
+        23_676,
+        330_100,
+        [0.82, 0.14, 0.03, 0.01],
+        1.12,
+        1.02,
     ),
     row(
         "jaNet",
         "Java Neural Network ToolKit (W. Gander)",
-        136_535, 298_436, 2_258_960, 139_253, 1_918_352,
-        [0.72, 0.21, 0.05, 0.02], 1.24, 0.96,
+        136_535,
+        298_436,
+        2_258_960,
+        139_253,
+        1_918_352,
+        [0.72, 0.21, 0.05, 0.02],
+        1.24,
+        0.96,
     ),
     row(
         "javadoc",
         "Java document generator (Sun)",
-        16_821, 160_827, 247_723, 7_281, 212_148,
-        [0.80, 0.15, 0.04, 0.01], 1.14, 1.03,
+        16_821,
+        160_827,
+        247_723,
+        7_281,
+        212_148,
+        [0.80, 0.15, 0.04, 0.01],
+        1.14,
+        1.03,
     ),
     row(
         "javap",
         "Java disassembler (Sun)",
-        26_008, 161_071, 845_320, 10_228, 275_155,
-        [0.86, 0.11, 0.02, 0.01], 1.12, 1.04,
+        26_008,
+        161_071,
+        845_320,
+        10_228,
+        275_155,
+        [0.86, 0.11, 0.02, 0.01],
+        1.12,
+        1.04,
     ),
     row(
         "mocha",
         "Java decompiler (H.P. van Vliet)",
-        8_825, 160_827, 1_083_688, 2_340, 233_690,
-        [0.45, 0.35, 0.15, 0.05], 1.08, 1.00,
+        8_825,
+        160_827,
+        1_083_688,
+        2_340,
+        233_690,
+        [0.45, 0.35, 0.15, 0.05],
+        1.08,
+        1.00,
     ),
     row(
         "wingdis",
         "Java decompiler, demo version (WingSoft)",
-        79_260, 162_650, 2_577_899, 633_145, 3_647_296,
-        [0.88, 0.09, 0.02, 0.01], 1.40, 1.06,
+        79_260,
+        162_650,
+        2_577_899,
+        633_145,
+        3_647_296,
+        [0.88, 0.09, 0.02, 0.01],
+        1.40,
+        1.06,
     ),
 ];
 
@@ -309,7 +417,10 @@ mod tests {
 
     #[test]
     fn figure5_aggregates_hold() {
-        let mut thin: Vec<f64> = MACRO_BENCHMARKS.iter().map(|p| p.paper_speedup_thin).collect();
+        let mut thin: Vec<f64> = MACRO_BENCHMARKS
+            .iter()
+            .map(|p| p.paper_speedup_thin)
+            .collect();
         let mut ibm: Vec<f64> = MACRO_BENCHMARKS
             .iter()
             .map(|p| p.paper_speedup_ibm112)
@@ -322,7 +433,9 @@ mod tests {
         assert!((max - 1.7).abs() < 1e-9);
         assert!((median(&mut ibm) - 1.04).abs() < 0.02);
         assert!(
-            MACRO_BENCHMARKS.iter().any(|p| p.paper_speedup_ibm112 < 1.0),
+            MACRO_BENCHMARKS
+                .iter()
+                .any(|p| p.paper_speedup_ibm112 < 1.0),
             "some programs slowed down under IBM112"
         );
     }

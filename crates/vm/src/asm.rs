@@ -80,11 +80,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
 
     for (i, raw) in source.lines().enumerate() {
         let line_no = i + 1;
-        let line = raw
-            .split([';', '#'])
-            .next()
-            .unwrap_or("")
-            .trim();
+        let line = raw.split([';', '#']).next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
@@ -155,10 +151,7 @@ pub fn disassemble(program: &Program) -> String {
         targets.sort_unstable();
         targets.dedup();
         let label_of = |pc: usize| -> Option<String> {
-            targets
-                .binary_search(&pc)
-                .ok()
-                .map(|i| format!("L{i}"))
+            targets.binary_search(&pc).ok().map(|i| format!("L{i}"))
         };
 
         let mut header = format!(
@@ -210,7 +203,11 @@ struct MethodBuilder {
 #[derive(Debug)]
 enum PendingOp {
     Ready(Op),
-    Branch { mnemonic: String, target: String, line: usize },
+    Branch {
+        mnemonic: String,
+        target: String,
+        line: usize,
+    },
 }
 
 impl MethodBuilder {
@@ -270,7 +267,11 @@ impl MethodBuilder {
         if label.is_empty() {
             return Err(err(line, "empty label"));
         }
-        if self.labels.insert(label.to_string(), self.code.len()).is_some() {
+        if self
+            .labels
+            .insert(label.to_string(), self.code.len())
+            .is_some()
+        {
             return Err(err(line, format!("duplicate label `{label}`")));
         }
         Ok(())
@@ -286,12 +287,16 @@ impl MethodBuilder {
             } else {
                 Err(err(
                     line,
-                    format!("`{mnemonic}` expects {n} operand(s), got {}", operands.len()),
+                    format!(
+                        "`{mnemonic}` expects {n} operand(s), got {}",
+                        operands.len()
+                    ),
                 ))
             }
         };
         let int = |s: &str| -> Result<i64, AsmError> {
-            s.parse().map_err(|_| err(line, format!("invalid operand `{s}`")))
+            s.parse()
+                .map_err(|_| err(line, format!("invalid operand `{s}`")))
         };
 
         let op = match mnemonic {
@@ -470,8 +475,7 @@ impl MethodBuilder {
         if code.is_empty() {
             return Err(err(end_line, "empty method body"));
         }
-        let mut method =
-            Method::new(self.name, self.arg_count, self.max_locals, self.flags, code);
+        let mut method = Method::new(self.name, self.arg_count, self.max_locals, self.flags, code);
         for (start, end, target, line) in self.catches {
             method = method.with_handler(Handler {
                 start: resolve(&start, line)?,
@@ -542,9 +546,18 @@ done:
         let cases = [
             ("method m args=0 locals=0 {\n return\n}\n", "pool"),
             ("pool 0\n frobnicate\n", "outside a method"),
-            ("pool 0\nmethod m args=0 locals=0 {\n bogus_op\n}\n", "unknown mnemonic"),
-            ("pool 0\nmethod m args=0 locals=0 {\n goto nowhere\n}\n", "undefined label"),
-            ("pool 0\nmethod m args=0 locals=0 {\n iconst\n}\n", "expects 1"),
+            (
+                "pool 0\nmethod m args=0 locals=0 {\n bogus_op\n}\n",
+                "unknown mnemonic",
+            ),
+            (
+                "pool 0\nmethod m args=0 locals=0 {\n goto nowhere\n}\n",
+                "undefined label",
+            ),
+            (
+                "pool 0\nmethod m args=0 locals=0 {\n iconst\n}\n",
+                "expects 1",
+            ),
             ("pool 0\nmethod m args=0 locals=0 {\n", "unterminated"),
             ("pool 0\nmethod m args=0 {\n return\n}\n", "missing locals="),
             ("pool x\n", "invalid pool size"),

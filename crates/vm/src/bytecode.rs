@@ -138,22 +138,16 @@ impl Op {
     pub fn is_branch(self) -> bool {
         matches!(
             self,
-            Op::Goto(_)
-                | Op::IfICmpLt(_)
-                | Op::IfICmpGe(_)
-                | Op::IfICmpEq(_)
-                | Op::IfEq(_)
+            Op::Goto(_) | Op::IfICmpLt(_) | Op::IfICmpGe(_) | Op::IfICmpEq(_) | Op::IfEq(_)
         )
     }
 
     /// The branch target, for branch instructions.
     pub fn branch_target(self) -> Option<usize> {
         match self {
-            Op::Goto(t)
-            | Op::IfICmpLt(t)
-            | Op::IfICmpGe(t)
-            | Op::IfICmpEq(t)
-            | Op::IfEq(t) => Some(t),
+            Op::Goto(t) | Op::IfICmpLt(t) | Op::IfICmpGe(t) | Op::IfICmpEq(t) | Op::IfEq(t) => {
+                Some(t)
+            }
             _ => None,
         }
     }

@@ -117,7 +117,9 @@ mod tests {
             VmError::StackUnderflow { pc: 3 }.to_string(),
             "operand stack underflow at pc 3"
         );
-        assert!(VmError::Sync(SyncError::NotOwner).to_string().contains("synchronization"));
+        assert!(VmError::Sync(SyncError::NotOwner)
+            .to_string()
+            .contains("synchronization"));
     }
 
     #[test]

@@ -88,6 +88,27 @@ impl<'p, P: SyncProtocol + ?Sized> Vm<'p, P> {
         self.protocol
     }
 
+    /// The object pool backing `aconst`/`aloadpool`.
+    pub fn pool(&self) -> &[ObjRef] {
+        &self.pool
+    }
+
+    /// Applies static pre-inflation hints to the pooled objects named by
+    /// `hints` (pool indices, as produced by the `lockcheck` nest-depth
+    /// pass). Each named object is handed to
+    /// [`SyncProtocol::pre_inflate_hint`], which switches it to the
+    /// protocol's expensive lock representation up front so that a
+    /// predicted count overflow never inflates mid-critical-path. Returns
+    /// how many objects actually changed representation. Out-of-range
+    /// indices are ignored (the hint is advisory).
+    pub fn apply_pre_inflation_hints(&self, hints: &[u32]) -> usize {
+        hints
+            .iter()
+            .filter_map(|&i| self.pool.get(i as usize))
+            .filter(|&&obj| self.protocol.pre_inflate_hint(obj))
+            .count()
+    }
+
     /// Runs method `name` with `args` on the calling thread.
     ///
     /// # Errors
@@ -351,9 +372,7 @@ impl<'p, P: SyncProtocol + ?Sized> Vm<'p, P> {
                     let obj = usize::try_from(i)
                         .ok()
                         .and_then(|i| self.pool.get(i).copied())
-                        .ok_or(VmError::BadPoolIndex {
-                            index: i as u32,
-                        })?;
+                        .ok_or(VmError::BadPoolIndex { index: i as u32 })?;
                     stack.push(Value::Ref(obj));
                 }
                 Op::GetField(i) => {
@@ -385,7 +404,9 @@ impl<'p, P: SyncProtocol + ?Sized> Vm<'p, P> {
                         .ok()
                         .filter(|&i| i < heap.fields_per_object())
                         .ok_or(VmError::BadField { index: i as u16 })?;
-                    let v = heap.field(obj, idx).load(std::sync::atomic::Ordering::Relaxed);
+                    let v = heap
+                        .field(obj, idx)
+                        .load(std::sync::atomic::Ordering::Relaxed);
                     stack.push(Value::Int(v));
                 }
                 Op::PutFieldDyn => {
@@ -451,19 +472,15 @@ impl<'p, P: SyncProtocol + ?Sized> Vm<'p, P> {
                     let base = stack.len() - argc;
                     let call_args: Vec<Value> = stack.drain(base..).collect();
                     match self.call(id, token, &call_args, fuel)? {
-                        Exec::Return(returned) => {
-                            match (callee.flags().returns_value, returned) {
-                                (true, Some(v)) => stack.push(v),
-                                (false, None) => {}
-                                _ => return Err(VmError::TypeMismatch { pc }),
-                            }
-                        }
-                        Exec::Threw(e) => {
-                            match Self::dispatch_handler(method, pc, e, &mut stack) {
-                                Some(target) => next = target,
-                                None => return Ok(Exec::Threw(e)),
-                            }
-                        }
+                        Exec::Return(returned) => match (callee.flags().returns_value, returned) {
+                            (true, Some(v)) => stack.push(v),
+                            (false, None) => {}
+                            _ => return Err(VmError::TypeMismatch { pc }),
+                        },
+                        Exec::Threw(e) => match Self::dispatch_handler(method, pc, e, &mut stack) {
+                            Some(target) => next = target,
+                            None => return Ok(Exec::Threw(e)),
+                        },
                     }
                 }
                 Op::Throw => {
@@ -557,15 +574,15 @@ mod tests {
             2,
             flags(true),
             vec![
-                Op::IConst(0),      // 0
-                Op::IStore(1),      // 1
-                Op::ILoad(1),       // 2: loop
-                Op::ILoad(0),       // 3
-                Op::IfICmpGe(7),    // 4
-                Op::IInc(1, 1),     // 5
-                Op::Goto(2),        // 6
-                Op::ILoad(1),       // 7: end
-                Op::IReturn,        // 8
+                Op::IConst(0),   // 0
+                Op::IStore(1),   // 1
+                Op::ILoad(1),    // 2: loop
+                Op::ILoad(0),    // 3
+                Op::IfICmpGe(7), // 4
+                Op::IInc(1, 1),  // 5
+                Op::Goto(2),     // 6
+                Op::ILoad(1),    // 7: end
+                Op::IReturn,     // 8
             ],
         ));
         let vm = Vm::new(&locks, &p, vec![]).unwrap();
@@ -581,13 +598,7 @@ mod tests {
         let (locks, _) = setup(0, 0);
         let reg = locks.registry().register().unwrap();
         let mut p = Program::new(0);
-        p.add_method(Method::new(
-            "spin",
-            0,
-            0,
-            flags(false),
-            vec![Op::Goto(0)],
-        ));
+        p.add_method(Method::new("spin", 0, 0, flags(false), vec![Op::Goto(0)]));
         let vm = Vm::new(&locks, &p, vec![]).unwrap();
         assert_eq!(
             vm.run_with_fuel("spin", reg.token(), &[], 100).unwrap_err(),
@@ -606,7 +617,13 @@ mod tests {
             0,
             0,
             flags(false),
-            vec![Op::AConst(0), Op::MonitorEnter, Op::AConst(0), Op::MonitorExit, Op::Return],
+            vec![
+                Op::AConst(0),
+                Op::MonitorEnter,
+                Op::AConst(0),
+                Op::MonitorExit,
+                Op::Return,
+            ],
         ));
         let vm = Vm::new(&locks, &p, pool.clone()).unwrap();
         vm.run("f", reg.token(), &[]).unwrap();
@@ -647,7 +664,10 @@ mod tests {
             .field(pool[0], 0)
             .load(std::sync::atomic::Ordering::Relaxed);
         assert_eq!(v, 3);
-        assert!(locks.lock_word(pool[0]).is_unlocked(), "method exit unlocked");
+        assert!(
+            locks.lock_word(pool[0]).is_unlocked(),
+            "method exit unlocked"
+        );
     }
 
     #[test]
@@ -694,7 +714,12 @@ mod tests {
             1,
             1,
             flags(true),
-            vec![Op::ILoad(0), Op::Invoke(inner), Op::Invoke(inner), Op::IReturn],
+            vec![
+                Op::ILoad(0),
+                Op::Invoke(inner),
+                Op::Invoke(inner),
+                Op::IReturn,
+            ],
         ));
         let vm = Vm::new(&locks, &p, vec![]).unwrap();
         let out = vm.run("twice", reg.token(), &[Value::Int(5)]).unwrap();

@@ -324,7 +324,9 @@ mod tests {
     fn locks_with_fields(objects: usize, fields: usize) -> (ThinLocks, Vec<ObjRef>) {
         let heap = Arc::new(Heap::with_capacity_and_fields(objects, fields));
         let locks = ThinLocks::new(heap, ThreadRegistry::new());
-        let pool = (0..objects).map(|_| locks.heap().alloc().unwrap()).collect();
+        let pool = (0..objects)
+            .map(|_| locks.heap().alloc().unwrap())
+            .collect();
         (locks, pool)
     }
 

@@ -263,7 +263,11 @@ impl fmt::Display for Program {
         writeln!(f, "; pool {}", self.pool_size)?;
         for m in &self.methods {
             let sync = if m.flags().synchronized { " sync" } else { "" };
-            let ret = if m.flags().returns_value { " returns" } else { "" };
+            let ret = if m.flags().returns_value {
+                " returns"
+            } else {
+                ""
+            };
             writeln!(
                 f,
                 "method {} args={} locals={}{sync}{ret} {{",
@@ -318,7 +322,13 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_local() {
-        let m = Method::new("bad", 0, 1, MethodFlags::default(), vec![Op::ILoad(3), Op::Return]);
+        let m = Method::new(
+            "bad",
+            0,
+            1,
+            MethodFlags::default(),
+            vec![Op::ILoad(3), Op::Return],
+        );
         assert!(m.validate().unwrap_err().contains("max_locals"));
     }
 

@@ -175,12 +175,12 @@ impl fmt::Display for MicroBench {
 /// 2 = counter.
 fn looped_program(pool: u32, body: Vec<Op>) -> Program {
     let mut code = vec![
-        Op::IConst(0), // 0
-        Op::IStore(1), // 1: i = 0
-        Op::IConst(0), // 2
-        Op::IStore(2), // 3: counter = 0
-        Op::ILoad(1),  // 4: loop head
-        Op::ILoad(0),  // 5
+        Op::IConst(0),   // 0
+        Op::IStore(1),   // 1: i = 0
+        Op::IConst(0),   // 2
+        Op::IStore(2),   // 3: counter = 0
+        Op::ILoad(1),    // 4: loop head
+        Op::ILoad(0),    // 5
         Op::IfICmpGe(0), // 6: patched to END below
     ];
     code.extend(body);
@@ -213,12 +213,12 @@ fn wrapped_looped_program(pool: u32, body: Vec<Op>) -> Program {
     let mut code = vec![
         Op::AConst(0),
         Op::MonitorEnter,
-        Op::IConst(0), // 2
-        Op::IStore(1), // 3: i = 0
-        Op::IConst(0), // 4
-        Op::IStore(2), // 5: counter = 0
-        Op::ILoad(1),  // 6: loop head
-        Op::ILoad(0),  // 7
+        Op::IConst(0),   // 2
+        Op::IStore(1),   // 3: i = 0
+        Op::IConst(0),   // 4
+        Op::IStore(2),   // 5: counter = 0
+        Op::ILoad(1),    // 6: loop head
+        Op::ILoad(0),    // 7
         Op::IfICmpGe(0), // 8: patched
     ];
     code.extend(body);
@@ -323,6 +323,141 @@ fn call_program(sync: bool, hold: bool) -> Program {
     program
 }
 
+/// A classic lock-order inversion: `left` acquires `pool[0]` then
+/// `pool[1]`, `right` acquires them in the opposite order. Two threads
+/// interleaving `left` and `right` can deadlock; `lockcheck`'s
+/// lock-order pass must flag the `0 <-> 1` cycle. Single-threaded
+/// execution is safe, so the program still runs under the dynamic
+/// oracle: `main(iters)` calls both once and returns `iters`.
+pub fn deadlock_pair() -> Program {
+    let ordered = |first: u32, second: u32| {
+        vec![
+            Op::AConst(first),
+            Op::MonitorEnter,
+            Op::AConst(second),
+            Op::MonitorEnter,
+            Op::AConst(second),
+            Op::MonitorExit,
+            Op::AConst(first),
+            Op::MonitorExit,
+            Op::Return,
+        ]
+    };
+    let mut program = Program::new(2);
+    program.add_method(Method::new(
+        "main",
+        1,
+        1,
+        MethodFlags {
+            synchronized: false,
+            returns_value: true,
+        },
+        vec![Op::Invoke(1), Op::Invoke(2), Op::ILoad(0), Op::IReturn],
+    ));
+    program.add_method(Method::new(
+        "left",
+        0,
+        0,
+        MethodFlags::default(),
+        ordered(0, 1),
+    ));
+    program.add_method(Method::new(
+        "right",
+        0,
+        0,
+        MethodFlags::default(),
+        ordered(1, 0),
+    ));
+    program
+}
+
+/// `main(n)` recurses `n` levels deep, re-locking `pool[0]` at every
+/// level — nest depth equals the argument, so no static finite bound
+/// exists. With `n > 256` the thin-lock count field overflows and forces
+/// inflation mid-critical-section; `lockcheck`'s nest-depth pass must
+/// report `pool[0]` as unbounded and emit a pre-inflation hint.
+pub fn deep_nest() -> Program {
+    let mut program = Program::new(1);
+    program.add_method(Method::new(
+        "main",
+        1,
+        1,
+        MethodFlags {
+            synchronized: false,
+            returns_value: true,
+        },
+        vec![Op::ILoad(0), Op::Invoke(1), Op::ILoad(0), Op::IReturn],
+    ));
+    program.add_method(Method::new(
+        "rec",
+        1,
+        1,
+        MethodFlags::default(),
+        vec![
+            Op::ILoad(0),     // 0
+            Op::IfEq(10),     // 1: n == 0 -> return
+            Op::AConst(0),    // 2
+            Op::MonitorEnter, // 3
+            Op::ILoad(0),     // 4
+            Op::IConst(1),    // 5
+            Op::ISub,         // 6
+            Op::Invoke(1),    // 7: rec(n - 1) while holding pool[0]
+            Op::AConst(0),    // 8
+            Op::MonitorExit,  // 9
+            Op::Return,       // 10
+        ],
+    ));
+    program
+}
+
+/// A `monitorexit` with no matching `monitorenter` on any path — the
+/// unbalanced-lock seed `lockcheck` must diagnose at pc 1. Passes the
+/// base verifier with structured locking disabled (types are fine).
+pub fn unbalanced_exit() -> Program {
+    let mut program = Program::new(1);
+    program.add_method(Method::new(
+        "main",
+        1,
+        1,
+        MethodFlags {
+            synchronized: false,
+            returns_value: true,
+        },
+        vec![Op::AConst(0), Op::MonitorExit, Op::ILoad(0), Op::IReturn],
+    ));
+    program
+}
+
+/// Balanced lock counts but scrambled identity: acquires `pool[0]` then
+/// `pool[1]` and releases them outermost-first. The verifier's depth
+/// counter cannot see this; the symbolic lock-stack pass must flag the
+/// non-LIFO release at pc 5.
+pub fn non_lifo_pair() -> Program {
+    let mut program = Program::new(2);
+    program.add_method(Method::new(
+        "main",
+        1,
+        1,
+        MethodFlags {
+            synchronized: false,
+            returns_value: true,
+        },
+        vec![
+            Op::AConst(0),    // 0
+            Op::MonitorEnter, // 1
+            Op::AConst(1),    // 2
+            Op::MonitorEnter, // 3
+            Op::AConst(0),    // 4
+            Op::MonitorExit,  // 5: releases the outer lock first
+            Op::AConst(1),    // 6
+            Op::MonitorExit,  // 7
+            Op::ILoad(0),     // 8
+            Op::IReturn,      // 9
+        ],
+    ));
+    program
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,7 +477,9 @@ mod tests {
             .map(|_| locks.heap().alloc().unwrap())
             .collect();
         let program = bench.program();
-        program.validate().expect("generated program is well-formed");
+        program
+            .validate()
+            .expect("generated program is well-formed");
         let reg = locks.registry().register().unwrap();
         let out = {
             let vm = Vm::new(&locks, &program, pool.clone()).unwrap();
@@ -370,7 +507,9 @@ mod tests {
             MicroBench::MixedSync,
         ];
         for b in all {
-            b.program().validate().unwrap_or_else(|e| panic!("{b}: {e}"));
+            b.program()
+                .validate()
+                .unwrap_or_else(|e| panic!("{b}: {e}"));
         }
     }
 
@@ -414,7 +553,11 @@ mod tests {
 
     #[test]
     fn call_benchmarks_update_the_field() {
-        for bench in [MicroBench::Call, MicroBench::CallSync, MicroBench::NestedCallSync] {
+        for bench in [
+            MicroBench::Call,
+            MicroBench::CallSync,
+            MicroBench::NestedCallSync,
+        ] {
             let (out, locks, pool) = run_bench(bench, 100);
             assert_eq!(out, 100, "{bench}");
             let field = locks

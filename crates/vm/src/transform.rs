@@ -1,8 +1,8 @@
 //! Bytecode transformations.
 //!
-//! Two transformations, both with the property that a transformed program
-//! is executable by the unmodified interpreter (checked differentially by
-//! this module's tests):
+//! Three transformations, all with the property that a transformed
+//! program is executable by the unmodified interpreter (checked
+//! differentially by this module's tests):
 //!
 //! * [`strip_synchronization`] — removes every locking operation from a
 //!   program: `monitorenter`/`monitorexit` become stack-neutral `pop`s
@@ -12,6 +12,11 @@
 //!   synchronization"); running a stripped program on a real protocol
 //!   must compute the same values as the original program, since the
 //!   benchmarks are single-threaded.
+//! * [`elide_local_sync`] — the *selective* version: removes only the
+//!   monitor operations an [`ElisionPlan`] names, leaving every other
+//!   lock in place. The plan comes from `thinlock-analysis`'s escape
+//!   pass, which proves the named operations are on objects no second
+//!   thread can ever observe.
 //! * [`peephole`] — a conservative cleanup pass (constant folding of
 //!   `iconst; iconst; iadd/isub/imul`, `push; pop` elimination,
 //!   `nop` removal) that preserves semantics; branch targets are
@@ -49,6 +54,86 @@ pub fn strip_synchronization(program: &Program) -> Program {
         out.add_method(method);
     }
     out
+}
+
+/// Which sync operations a static analysis proved removable.
+///
+/// Plain data rather than an analysis type so the transform stays
+/// independent of the `thinlock-analysis` crate (which depends on this
+/// one).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ElisionPlan {
+    /// `(method_id, pc)` of `monitorenter`/`monitorexit` instructions to
+    /// replace with stack-neutral `pop`s.
+    pub ops: Vec<(u16, usize)>,
+    /// Method ids whose `synchronized` flag may be cleared.
+    pub desync_methods: Vec<u16>,
+}
+
+/// Statistics of one [`elide_local_sync`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ElisionStats {
+    /// Monitor operations replaced with `pop`.
+    pub ops_elided: usize,
+    /// `synchronized` flags cleared.
+    pub methods_desynchronized: usize,
+    /// Plan entries that did not name a monitor op (or named a method /
+    /// pc out of range) and were ignored.
+    pub entries_ignored: usize,
+}
+
+/// Removes exactly the sync operations named by `plan`.
+///
+/// Unlike [`strip_synchronization`], locks not covered by the plan are
+/// preserved, so the transformed program is safe to run concurrently as
+/// long as the plan only names operations on thread-local objects.
+/// Plan entries that do not point at a `monitorenter`/`monitorexit` are
+/// counted in [`ElisionStats::entries_ignored`] rather than applied,
+/// so a stale plan can never corrupt unrelated instructions.
+pub fn elide_local_sync(program: &Program, plan: &ElisionPlan) -> (Program, ElisionStats) {
+    let mut stats = ElisionStats::default();
+    let mut elide: BTreeSet<(u16, usize)> = BTreeSet::new();
+    for &(mid, pc) in &plan.ops {
+        let is_monitor_op = program
+            .method(mid)
+            .and_then(|m| m.code().get(pc))
+            .is_some_and(|op| matches!(op, Op::MonitorEnter | Op::MonitorExit));
+        if is_monitor_op {
+            elide.insert((mid, pc));
+        } else {
+            stats.entries_ignored += 1;
+        }
+    }
+    let desync: BTreeSet<u16> = plan.desync_methods.iter().copied().collect();
+
+    let mut out = Program::new(program.pool_size());
+    for (mid, m) in program.methods().iter().enumerate() {
+        let mid = mid as u16;
+        let code: Vec<Op> = m
+            .code()
+            .iter()
+            .enumerate()
+            .map(|(pc, &op)| {
+                if elide.contains(&(mid, pc)) {
+                    stats.ops_elided += 1;
+                    Op::Pop
+                } else {
+                    op
+                }
+            })
+            .collect();
+        let mut flags = m.flags();
+        if flags.synchronized && desync.contains(&mid) {
+            flags.synchronized = false;
+            stats.methods_desynchronized += 1;
+        }
+        let mut method = Method::new(m.name(), m.arg_count(), m.max_locals(), flags, code);
+        for &h in m.handlers() {
+            method = method.with_handler(h);
+        }
+        out.add_method(method);
+    }
+    (out, stats)
 }
 
 /// Statistics of one [`peephole`] run.
@@ -131,9 +216,7 @@ fn peephole_method(m: &Method, stats: &mut PeepholeStats) -> Method {
         }
         // iconst/aconst ; pop  ->  (nothing)
         if i + 1 < code.len() && !crosses(i, i + 1) {
-            if let (Some(Op::IConst(_) | Op::AConst(_)), Some(Op::Pop)) =
-                (slots[i], slots[i + 1])
-            {
+            if let (Some(Op::IConst(_) | Op::AConst(_)), Some(Op::Pop)) = (slots[i], slots[i + 1]) {
                 slots[i] = None;
                 slots[i + 1] = None;
                 stats.push_pop_removed += 1;
@@ -209,9 +292,10 @@ mod tests {
     use thinlock_runtime::protocol::SyncProtocol;
 
     fn run_program(program: &Program, pool_size: u32, arg: i32) -> i32 {
-        let heap = std::sync::Arc::new(
-            thinlock_runtime::heap::Heap::with_capacity_and_fields(pool_size as usize + 1, 1),
-        );
+        let heap = std::sync::Arc::new(thinlock_runtime::heap::Heap::with_capacity_and_fields(
+            pool_size as usize + 1,
+            1,
+        ));
         let locks = ThinLocks::new(heap, thinlock_runtime::registry::ThreadRegistry::new());
         let pool: Vec<ObjRef> = (0..pool_size)
             .map(|_| locks.heap().alloc().unwrap())
@@ -276,6 +360,72 @@ mod tests {
     }
 
     #[test]
+    fn elide_applies_only_named_ops() {
+        // MixedSync's main nests three enter/exit pairs; elide one pair
+        // and verify the program still computes the same answer while
+        // still actually locking (the other two pairs remain).
+        let bench = MicroBench::MixedSync;
+        let original = bench.program();
+        let main = original.method(0).unwrap();
+        let monitor_pcs: Vec<usize> = main
+            .code()
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| matches!(op, Op::MonitorEnter | Op::MonitorExit))
+            .map(|(pc, _)| pc)
+            .collect();
+        assert_eq!(monitor_pcs.len(), 6);
+        let plan = ElisionPlan {
+            ops: vec![(0, monitor_pcs[0]), (0, monitor_pcs[5])],
+            desync_methods: vec![],
+        };
+        let (elided, stats) = elide_local_sync(&original, &plan);
+        assert_eq!(stats.ops_elided, 2);
+        assert_eq!(stats.entries_ignored, 0);
+        elided.validate().unwrap();
+        let remaining = elided
+            .method(0)
+            .unwrap()
+            .code()
+            .iter()
+            .filter(|op| matches!(op, Op::MonitorEnter | Op::MonitorExit))
+            .count();
+        assert_eq!(remaining, 4);
+        assert_eq!(
+            run_program(&original, bench.pool_size(), 29),
+            run_program(&elided, bench.pool_size(), 29),
+        );
+    }
+
+    #[test]
+    fn elide_ignores_stale_plan_entries() {
+        let p = MicroBench::Sync.program();
+        let plan = ElisionPlan {
+            ops: vec![(0, 0), (7, 3), (0, 9999)],
+            desync_methods: vec![],
+        };
+        let (out, stats) = elide_local_sync(&p, &plan);
+        // pc 0 of Sync's main is not a monitor op, and the others are out
+        // of range: nothing may change.
+        assert_eq!(stats.ops_elided, 0);
+        assert_eq!(stats.entries_ignored, 3);
+        assert_eq!(out.method(0).unwrap().code(), p.method(0).unwrap().code());
+    }
+
+    #[test]
+    fn elide_clears_synchronized_flag_on_request() {
+        let p = MicroBench::CallSync.program();
+        let plan = ElisionPlan {
+            ops: vec![],
+            desync_methods: vec![1],
+        };
+        let (out, stats) = elide_local_sync(&p, &plan);
+        assert_eq!(stats.methods_desynchronized, 1);
+        assert!(!out.method(1).unwrap().flags().synchronized);
+        assert_eq!(run_program(&p, 1, 41), run_program(&out, 1, 41),);
+    }
+
+    #[test]
     fn peephole_folds_constants() {
         let mut p = Program::new(0);
         p.add_method(Method::new(
@@ -299,7 +449,10 @@ mod tests {
         assert_eq!(stats.constants_folded, 1);
         assert_eq!(stats.nops_removed, 1);
         assert_eq!(stats.total_removed(), 3);
-        assert_eq!(opt.method(0).unwrap().code(), &[Op::IConst(42), Op::IReturn]);
+        assert_eq!(
+            opt.method(0).unwrap().code(),
+            &[Op::IConst(42), Op::IReturn]
+        );
         assert_eq!(run_program(&opt, 0, 0), 42);
     }
 
@@ -314,12 +467,7 @@ mod tests {
                 synchronized: false,
                 returns_value: true,
             },
-            vec![
-                Op::AConst(0),
-                Op::Pop,
-                Op::IConst(7),
-                Op::IReturn,
-            ],
+            vec![Op::AConst(0), Op::Pop, Op::IConst(7), Op::IReturn],
         ));
         let (opt, stats) = peephole(&p);
         assert_eq!(stats.push_pop_removed, 1);
@@ -341,12 +489,12 @@ mod tests {
                 returns_value: true,
             },
             vec![
-                Op::ILoad(0),    // 0
-                Op::IfEq(3),     // 1: arg==0 -> jump into the middle
-                Op::IConst(10),  // 2
-                Op::IConst(20),  // 3: branch target
-                Op::IAdd,        // 4  (only valid on the fall-through path)
-                Op::IReturn,     // 5
+                Op::ILoad(0),   // 0
+                Op::IfEq(3),    // 1: arg==0 -> jump into the middle
+                Op::IConst(10), // 2
+                Op::IConst(20), // 3: branch target
+                Op::IAdd,       // 4  (only valid on the fall-through path)
+                Op::IReturn,    // 5
             ],
         ));
         let (opt, stats) = peephole(&p);
@@ -358,7 +506,11 @@ mod tests {
 
     #[test]
     fn peephole_preserves_microbench_semantics() {
-        for bench in [MicroBench::Sync, MicroBench::MultiSync(4), MicroBench::CallSync] {
+        for bench in [
+            MicroBench::Sync,
+            MicroBench::MultiSync(4),
+            MicroBench::CallSync,
+        ] {
             let original = bench.program();
             let (opt, _) = peephole(&original);
             opt.validate().unwrap();

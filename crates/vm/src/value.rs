@@ -90,7 +90,10 @@ mod tests {
     #[test]
     fn conversions_and_default() {
         assert_eq!(Value::from(5), Value::Int(5));
-        assert_eq!(Value::from(ObjRef::from_index(1)), Value::Ref(ObjRef::from_index(1)));
+        assert_eq!(
+            Value::from(ObjRef::from_index(1)),
+            Value::Ref(ObjRef::from_index(1))
+        );
         assert_eq!(Value::default(), Value::Null);
     }
 

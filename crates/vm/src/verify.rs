@@ -113,9 +113,9 @@ impl Frame {
         let mut changed = false;
         let mut stack = Vec::with_capacity(self.stack.len());
         for (&a, &b) in self.stack.iter().zip(&other.stack) {
-            let j = a.join(b).ok_or_else(|| {
-                format!("irreconcilable stack types at join: {a} vs {b}")
-            })?;
+            let j = a
+                .join(b)
+                .ok_or_else(|| format!("irreconcilable stack types at join: {a} vs {b}"))?;
             changed |= j != a;
             stack.push(j);
         }
@@ -200,7 +200,10 @@ pub fn verify_method(
         match entry_locals.first_mut() {
             Some(first) => *first = Some(VType::Ref),
             None => {
-                return Err(err(0, "synchronized method needs a receiver argument".into()))
+                return Err(err(
+                    0,
+                    "synchronized method needs a receiver argument".into(),
+                ))
             }
         }
     }
@@ -234,9 +237,7 @@ pub fn verify_method(
                 let v = pop!();
                 match v.join($want) {
                     Some(_) => {}
-                    None => {
-                        return Err(err(pc, format!("expected {} on stack, found {v}", $want)))
-                    }
+                    None => return Err(err(pc, format!("expected {} on stack, found {v}", $want))),
                 }
             }};
         }
@@ -374,8 +375,13 @@ pub fn verify_method(
             }
             Op::MonitorEnter => {
                 pop_kind!(VType::Ref);
-                frame.monitors += 1;
-                max_monitors = max_monitors.max(frame.monitors);
+                // Only track depth under structured locking: exits do not
+                // decrement otherwise, and a stale count would poison the
+                // depth check in `Frame::merge` at every loop join.
+                if options.structured_locking {
+                    frame.monitors += 1;
+                    max_monitors = max_monitors.max(frame.monitors);
+                }
             }
             Op::MonitorExit => {
                 pop_kind!(VType::Ref);
@@ -616,11 +622,11 @@ mod tests {
     fn rejects_join_with_mismatched_stack_depth() {
         // Path A pushes one int before the join; path B pushes none.
         let code = vec![
-            Op::ILoad(0),    // 0
-            Op::IfEq(4),     // 1: if zero jump to 4 with empty stack
-            Op::IConst(7),   // 2: push
-            Op::Goto(4),     // 3: join at 4 with depth 1
-            Op::Return,      // 4
+            Op::ILoad(0),  // 0
+            Op::IfEq(4),   // 1: if zero jump to 4 with empty stack
+            Op::IConst(7), // 2: push
+            Op::Goto(4),   // 3: join at 4 with depth 1
+            Op::Return,    // 4
         ];
         let (p, m) = method(void_flags(), 1, 1, code);
         let e = verify_method(&p, &m, VerifyOptions::default()).unwrap_err();
@@ -654,6 +660,88 @@ mod tests {
     }
 
     #[test]
+    fn monitorenter_on_int_is_rejected_with_precise_pc() {
+        let code = vec![Op::IConst(1), Op::MonitorEnter, Op::Return];
+        let (p, m) = method(void_flags(), 0, 0, code);
+        let e = verify_method(&p, &m, VerifyOptions::default()).unwrap_err();
+        assert_eq!(e.pc, 1);
+        assert!(
+            e.message.contains("expected ref on stack, found int"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn exception_path_that_releases_the_lock_verifies() {
+        use crate::program::Handler;
+        // synchronized(pool[0]) { throw } with a handler that releases
+        // the monitor before returning: every path balances.
+        let code = vec![
+            Op::AConst(0),    // 0
+            Op::MonitorEnter, // 1
+            Op::AConst(0),    // 2: protected
+            Op::Throw,        // 3: protected
+            Op::AStore(0),    // 4: handler target
+            Op::AConst(0),    // 5
+            Op::MonitorExit,  // 6
+            Op::Return,       // 7
+        ];
+        let mut p = Program::new(1);
+        let m = Method::new("m", 0, 1, void_flags(), code).with_handler(Handler {
+            start: 2,
+            end: 4,
+            target: 4,
+        });
+        p.add_method(m.clone());
+        let s = verify_method(&p, &m, VerifyOptions::default()).unwrap();
+        assert_eq!(s.max_monitors, 1);
+    }
+
+    #[test]
+    fn exception_path_that_leaks_the_lock_is_rejected() {
+        use crate::program::Handler;
+        // Same shape but the handler forgets the monitorexit: the return
+        // on the exception path still holds the monitor.
+        let code = vec![
+            Op::AConst(0),    // 0
+            Op::MonitorEnter, // 1
+            Op::AConst(0),    // 2: protected
+            Op::Throw,        // 3: protected
+            Op::AStore(0),    // 4: handler target
+            Op::Return,       // 5
+        ];
+        let mut p = Program::new(1);
+        let m = Method::new("m", 0, 1, void_flags(), code).with_handler(Handler {
+            start: 2,
+            end: 4,
+            target: 4,
+        });
+        p.add_method(m.clone());
+        let e = verify_method(&p, &m, VerifyOptions::default()).unwrap_err();
+        assert_eq!(e.pc, 5);
+        assert!(e.message.contains("holding a monitor"), "{e}");
+    }
+
+    #[test]
+    fn unstructured_mode_accepts_balanced_loops() {
+        // With structured locking off, monitor depth must not be tracked
+        // at all — a stale only-incremented count would fail the join
+        // check at the loop head of any balanced looping program.
+        use crate::programs::MicroBench;
+        let opts = VerifyOptions {
+            structured_locking: false,
+            ..VerifyOptions::default()
+        };
+        for b in [
+            MicroBench::MixedSync,
+            MicroBench::Sync,
+            MicroBench::MultiSync(4),
+        ] {
+            verify_program(&b.program(), opts).unwrap_or_else(|e| panic!("{b}: {e}"));
+        }
+    }
+
+    #[test]
     fn synchronized_receiver_must_be_ref() {
         let mut p = Program::new(1);
         let callee = Method::new(
@@ -682,9 +770,9 @@ mod tests {
     #[test]
     fn stack_overflow_detected() {
         let code = vec![
-            Op::IConst(1),   // 0
-            Op::Dup,         // 1
-            Op::Goto(1),     // 2: unbounded growth
+            Op::IConst(1), // 0
+            Op::Dup,       // 1
+            Op::Goto(1),   // 2: unbounded growth
         ];
         let (p, m) = method(void_flags(), 0, 0, code);
         let e = verify_method(&p, &m, VerifyOptions::default()).unwrap_err();
@@ -736,8 +824,7 @@ mod tests {
             assert!(summaries.iter().all(|s| s.max_stack <= 4), "{b}");
         }
         // MixedSync holds three monitors at once.
-        let s = verify_program(&MicroBench::MixedSync.program(), VerifyOptions::default())
-            .unwrap();
+        let s = verify_program(&MicroBench::MixedSync.program(), VerifyOptions::default()).unwrap();
         assert_eq!(s[0].max_monitors, 3);
     }
 

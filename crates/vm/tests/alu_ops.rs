@@ -32,28 +32,52 @@ fn eval(body: &str, args: &[i32]) -> i32 {
 #[test]
 fn ineg() {
     assert_eq!(eval("  iload 0\n  ineg", &[5]), -5);
-    assert_eq!(eval("  iload 0\n  ineg", &[i32::MIN]), i32::MIN.wrapping_neg());
+    assert_eq!(
+        eval("  iload 0\n  ineg", &[i32::MIN]),
+        i32::MIN.wrapping_neg()
+    );
 }
 
 #[test]
 fn bitwise_ops() {
-    assert_eq!(eval("  iload 0\n  iload 1\n  iand", &[0b1100, 0b1010]), 0b1000);
-    assert_eq!(eval("  iload 0\n  iload 1\n  ior", &[0b1100, 0b1010]), 0b1110);
-    assert_eq!(eval("  iload 0\n  iload 1\n  ixor", &[0b1100, 0b1010]), 0b0110);
+    assert_eq!(
+        eval("  iload 0\n  iload 1\n  iand", &[0b1100, 0b1010]),
+        0b1000
+    );
+    assert_eq!(
+        eval("  iload 0\n  iload 1\n  ior", &[0b1100, 0b1010]),
+        0b1110
+    );
+    assert_eq!(
+        eval("  iload 0\n  iload 1\n  ixor", &[0b1100, 0b1010]),
+        0b0110
+    );
 }
 
 #[test]
 fn shifts_mask_the_count_like_java() {
     assert_eq!(eval("  iload 0\n  iload 1\n  ishl", &[1, 4]), 16);
-    assert_eq!(eval("  iload 0\n  iload 1\n  ishl", &[1, 33]), 2, "count & 31");
-    assert_eq!(eval("  iload 0\n  iload 1\n  ishr", &[-16, 2]), -4, "arithmetic");
+    assert_eq!(
+        eval("  iload 0\n  iload 1\n  ishl", &[1, 33]),
+        2,
+        "count & 31"
+    );
+    assert_eq!(
+        eval("  iload 0\n  iload 1\n  ishr", &[-16, 2]),
+        -4,
+        "arithmetic"
+    );
 }
 
 #[test]
 fn imul_and_irem() {
     assert_eq!(eval("  iload 0\n  iload 1\n  imul", &[7, -6]), -42);
     assert_eq!(eval("  iload 0\n  iload 1\n  irem", &[17, 5]), 2);
-    assert_eq!(eval("  iload 0\n  iload 1\n  irem", &[-17, 5]), -2, "truncated");
+    assert_eq!(
+        eval("  iload 0\n  iload 1\n  irem", &[-17, 5]),
+        -2,
+        "truncated"
+    );
 }
 
 #[test]

@@ -1,117 +1,125 @@
-//! Property tests of the assembler: `assemble ∘ disassemble` is the
-//! identity on arbitrary well-formed programs.
+//! Randomized tests of the assembler: `assemble ∘ disassemble` is the
+//! identity on arbitrary well-formed programs. Programs are generated
+//! with the in-repo deterministic PRNG; invalid draws are skipped, like
+//! a rejection-sampling `prop_assume`.
 
-use proptest::prelude::*;
-
+use thinlock_runtime::prng::Prng;
 use thinlock_vm::asm::{assemble, disassemble};
 use thinlock_vm::{Method, MethodFlags, Op, Program};
 
-/// Strategy for a single non-branch instruction within the given limits.
-fn arb_plain_op(max_locals: u8, pool: u32, methods: u16) -> impl Strategy<Value = Op> {
-    let slot = 0..max_locals.max(1);
-    prop_oneof![
-        any::<i32>().prop_map(Op::IConst),
-        slot.clone().prop_map(Op::ILoad),
-        slot.clone().prop_map(Op::IStore),
-        (slot.clone(), any::<i16>()).prop_map(|(s, d)| Op::IInc(s, d)),
-        Just(Op::IAdd),
-        Just(Op::ISub),
-        slot.clone().prop_map(Op::ALoad),
-        slot.prop_map(Op::AStore),
-        (0..pool.max(1)).prop_map(Op::AConst),
-        Just(Op::ALoadPool),
-        (0u16..4).prop_map(Op::GetField),
-        (0u16..4).prop_map(Op::PutField),
-        Just(Op::Dup),
-        Just(Op::Pop),
-        Just(Op::MonitorEnter),
-        Just(Op::MonitorExit),
-        (0..methods.max(1)).prop_map(Op::Invoke),
-        Just(Op::Return),
-        Just(Op::IReturn),
-        Just(Op::Nop),
-    ]
+const CASES: usize = 128;
+
+/// A single random non-branch instruction within the given limits.
+fn gen_plain_op(rng: &mut Prng, max_locals: u8, pool: u32, methods: u16) -> Op {
+    let slot = rng.range_u32(0, u32::from(max_locals.max(1))) as u8;
+    match rng.range_u32(0, 20) {
+        0 => Op::IConst(rng.next_u32() as i32),
+        1 => Op::ILoad(slot),
+        2 => Op::IStore(slot),
+        3 => Op::IInc(slot, rng.next_u32() as i16),
+        4 => Op::IAdd,
+        5 => Op::ISub,
+        6 => Op::ALoad(slot),
+        7 => Op::AStore(slot),
+        8 => Op::AConst(rng.range_u32(0, pool.max(1))),
+        9 => Op::ALoadPool,
+        10 => Op::GetField(rng.range_u32(0, 4) as u16),
+        11 => Op::PutField(rng.range_u32(0, 4) as u16),
+        12 => Op::Dup,
+        13 => Op::Pop,
+        14 => Op::MonitorEnter,
+        15 => Op::MonitorExit,
+        16 => Op::Invoke(rng.range_u32(0, u32::from(methods.max(1))) as u16),
+        17 => Op::Return,
+        18 => Op::IReturn,
+        _ => Op::Nop,
+    }
 }
 
 /// A well-formed method: random body with in-range branches, terminated
 /// by a return.
-fn arb_method(index: usize, pool: u32, methods: u16) -> impl Strategy<Value = Method> {
-    (2u8..6, 0u8..4, any::<bool>(), any::<bool>()).prop_flat_map(
-        move |(max_locals, extra_locals, synchronized, returns)| {
-            let locals = max_locals + extra_locals;
-            let body_len = 1usize..20;
-            body_len
-                .prop_flat_map(move |len| {
-                    (
-                        proptest::collection::vec(arb_plain_op(locals, pool, methods), len),
-                        proptest::collection::vec((0u8..100, any::<bool>()), 0..4),
-                    )
-                })
-                .prop_map(move |(mut code, branches)| {
-                    // Terminate so fall-through stays in range when assembled.
-                    code.push(Op::Return);
-                    // Sprinkle branches with targets inside the final code.
-                    let len = code.len();
-                    for (pos, forward) in branches {
-                        let target = usize::from(pos) % len;
-                        let at = usize::from(pos) % len;
-                        code[at] = if forward {
-                            Op::Goto(target)
-                        } else {
-                            Op::IfICmpGe(target)
-                        };
-                    }
-                    // Re-terminate in case a branch overwrote the return.
-                    code.push(Op::Return);
-                    Method::new(
-                        format!("m{index}"),
-                        1,
-                        locals.max(1),
-                        MethodFlags {
-                            synchronized,
-                            returns_value: returns,
-                        },
-                        code,
-                    )
-                })
+fn gen_method(rng: &mut Prng, index: usize, pool: u32, methods: u16) -> Method {
+    let max_locals = rng.range_u32(2, 6) as u8;
+    let extra_locals = rng.range_u32(0, 4) as u8;
+    let synchronized = rng.gen_bool(0.5);
+    let returns_value = rng.gen_bool(0.5);
+    let locals = max_locals + extra_locals;
+    let body_len = rng.range_usize(1, 20);
+    let mut code: Vec<Op> = (0..body_len)
+        .map(|_| gen_plain_op(rng, locals, pool, methods))
+        .collect();
+    // Terminate so fall-through stays in range when assembled.
+    code.push(Op::Return);
+    // Sprinkle branches with targets inside the final code.
+    let len = code.len();
+    for _ in 0..rng.range_usize(0, 4) {
+        let pos = rng.range_usize(0, 100);
+        let forward = rng.gen_bool(0.5);
+        let target = pos % len;
+        let at = pos % len;
+        code[at] = if forward {
+            Op::Goto(target)
+        } else {
+            Op::IfICmpGe(target)
+        };
+    }
+    // Re-terminate in case a branch overwrote the return.
+    code.push(Op::Return);
+    Method::new(
+        format!("m{index}"),
+        1,
+        locals.max(1),
+        MethodFlags {
+            synchronized,
+            returns_value,
         },
+        code,
     )
 }
 
-fn arb_program() -> impl Strategy<Value = Program> {
-    (1u32..8, 1u16..4).prop_flat_map(|(pool, nmethods)| {
-        let methods: Vec<_> = (0..usize::from(nmethods))
-            .map(|i| arb_method(i, pool, nmethods))
-            .collect();
-        methods.prop_map(move |ms| {
-            let mut p = Program::new(pool);
-            for m in ms {
-                p.add_method(m);
-            }
-            p
-        })
-    })
+fn gen_program(rng: &mut Prng) -> Program {
+    let pool = rng.range_u32(1, 8);
+    let nmethods = rng.range_u32(1, 4) as u16;
+    let mut p = Program::new(pool);
+    for i in 0..usize::from(nmethods) {
+        p.add_method(gen_method(rng, i, pool, nmethods));
+    }
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Round trip: disassemble then assemble reproduces the program.
-    #[test]
-    fn assembler_round_trips(program in arb_program()) {
-        prop_assume!(program.validate().is_ok());
+/// Round trip: disassemble then assemble reproduces the program.
+#[test]
+fn assembler_round_trips() {
+    let mut rng = Prng::seed_from_u64(0xa53b_0001);
+    let mut tested = 0usize;
+    for _ in 0..CASES {
+        let program = gen_program(&mut rng);
+        if program.validate().is_err() {
+            continue;
+        }
+        tested += 1;
         let text = disassemble(&program);
         let back = assemble(&text);
-        prop_assert!(back.is_ok(), "{}\n{}", back.unwrap_err(), text);
-        prop_assert_eq!(program, back.unwrap());
+        assert!(back.is_ok(), "{}\n{}", back.unwrap_err(), text);
+        assert_eq!(program, back.unwrap());
     }
+    assert!(tested > CASES / 2, "only {tested} valid programs generated");
+}
 
-    /// Disassembly is line-oriented and never empty for a valid program.
-    #[test]
-    fn disassembly_is_parseable_linewise(program in arb_program()) {
-        prop_assume!(program.validate().is_ok());
+/// Disassembly is line-oriented and never empty for a valid program.
+#[test]
+fn disassembly_is_parseable_linewise() {
+    let mut rng = Prng::seed_from_u64(0xa53b_0002);
+    let mut tested = 0usize;
+    for _ in 0..CASES {
+        let program = gen_program(&mut rng);
+        if program.validate().is_err() {
+            continue;
+        }
+        tested += 1;
         let text = disassemble(&program);
-        prop_assert!(text.starts_with("pool "));
-        prop_assert!(text.lines().count() > program.methods().len());
+        assert!(text.starts_with("pool "));
+        assert!(text.lines().count() > program.methods().len());
     }
+    assert!(tested > CASES / 2, "only {tested} valid programs generated");
 }

@@ -36,13 +36,13 @@ fn throw_caught_in_same_frame() {
             1,
             flags(true),
             vec![
-                Op::AConst(0),  // 0
-                Op::Throw,      // 1
-                Op::IConst(0),  // 2: skipped
-                Op::IReturn,    // 3: skipped
-                Op::AStore(0),  // 4: handler — store exception
-                Op::IConst(7),  // 5
-                Op::IReturn,    // 6
+                Op::AConst(0), // 0
+                Op::Throw,     // 1
+                Op::IConst(0), // 2: skipped
+                Op::IReturn,   // 3: skipped
+                Op::AStore(0), // 4: handler — store exception
+                Op::IConst(7), // 5
+                Op::IReturn,   // 6
             ],
         )
         .with_handler(Handler {
@@ -163,22 +163,22 @@ fn javac_style_synchronized_block_with_exception_cleanup() {
             2,
             flags(true),
             vec![
-                Op::AConst(0),      // 0: monitor object
-                Op::MonitorEnter,   // 1
-                Op::ILoad(0),       // 2: protected body: if arg != 0 throw
-                Op::IfEq(7),        // 3
-                Op::AConst(1),      // 4: the "exception"
-                Op::Throw,          // 5
-                Op::Nop,            // 6
-                Op::AConst(0),      // 7: normal exit: monitorexit
-                Op::MonitorExit,    // 8
-                Op::IConst(1),      // 9
-                Op::IReturn,        // 10
-                Op::AStore(1),      // 11: handler: save exception
-                Op::AConst(0),      // 12
-                Op::MonitorExit,    // 13: release the monitor
-                Op::ALoad(1),       // 14
-                Op::Throw,          // 15: rethrow
+                Op::AConst(0),    // 0: monitor object
+                Op::MonitorEnter, // 1
+                Op::ILoad(0),     // 2: protected body: if arg != 0 throw
+                Op::IfEq(7),      // 3
+                Op::AConst(1),    // 4: the "exception"
+                Op::Throw,        // 5
+                Op::Nop,          // 6
+                Op::AConst(0),    // 7: normal exit: monitorexit
+                Op::MonitorExit,  // 8
+                Op::IConst(1),    // 9
+                Op::IReturn,      // 10
+                Op::AStore(1),    // 11: handler: save exception
+                Op::AConst(0),    // 12
+                Op::MonitorExit,  // 13: release the monitor
+                Op::ALoad(1),     // 14
+                Op::Throw,        // 15: rethrow
             ],
         )
         .with_handler(Handler {
@@ -234,10 +234,7 @@ fn handler_clears_operand_stack() {
         }),
     );
     let vm = Vm::new(&locks, &p, pool).unwrap();
-    assert_eq!(
-        vm.run("f", reg.token(), &[]).unwrap(),
-        Some(Value::Int(9))
-    );
+    assert_eq!(vm.run("f", reg.token(), &[]).unwrap(), Some(Value::Int(9)));
 }
 
 #[test]
@@ -277,7 +274,14 @@ try_end:
     let p = assemble(src).unwrap();
     let m = p.method(0).unwrap();
     assert_eq!(m.handlers().len(), 1);
-    assert_eq!(m.handlers()[0], Handler { start: 0, end: 2, target: 2 });
+    assert_eq!(
+        m.handlers()[0],
+        Handler {
+            start: 0,
+            end: 2,
+            target: 2
+        }
+    );
     assert!(m.code().contains(&Op::Throw));
     // Round trip.
     let text = disassemble(&p);
@@ -287,10 +291,7 @@ try_end:
     let (locks, pool) = setup(1);
     let reg = locks.registry().register().unwrap();
     let vm = Vm::new(&locks, &p, pool).unwrap();
-    assert_eq!(
-        vm.run("f", reg.token(), &[]).unwrap(),
-        Some(Value::Int(3))
-    );
+    assert_eq!(vm.run("f", reg.token(), &[]).unwrap(), Some(Value::Int(3)));
 }
 
 #[test]
@@ -348,13 +349,31 @@ fn verifier_accepts_handler_code_and_checks_it() {
 fn validation_rejects_malformed_handler_tables() {
     let make = |h: Handler| {
         let mut p = Program::new(0);
-        p.add_method(
-            Method::new("m", 0, 0, flags(false), vec![Op::Return]).with_handler(h),
-        );
+        p.add_method(Method::new("m", 0, 0, flags(false), vec![Op::Return]).with_handler(h));
         p.validate()
     };
-    assert!(make(Handler { start: 0, end: 0, target: 0 }).is_err());
-    assert!(make(Handler { start: 0, end: 5, target: 0 }).is_err());
-    assert!(make(Handler { start: 0, end: 1, target: 9 }).is_err());
-    assert!(make(Handler { start: 0, end: 1, target: 0 }).is_ok());
+    assert!(make(Handler {
+        start: 0,
+        end: 0,
+        target: 0
+    })
+    .is_err());
+    assert!(make(Handler {
+        start: 0,
+        end: 5,
+        target: 0
+    })
+    .is_err());
+    assert!(make(Handler {
+        start: 0,
+        end: 1,
+        target: 9
+    })
+    .is_err());
+    assert!(make(Handler {
+        start: 0,
+        end: 1,
+        target: 0
+    })
+    .is_ok());
 }

@@ -1,11 +1,12 @@
-//! Differential property tests of the bytecode transformations: for any
-//! *verified* program, peephole optimization and synchronization
-//! stripping preserve single-threaded results exactly.
-
-use proptest::prelude::*;
+//! Differential randomized tests of the bytecode transformations: for
+//! any *verified* program, peephole optimization and synchronization
+//! stripping preserve single-threaded results exactly. Programs are
+//! built from stack-neutral snippets drawn with the in-repo PRNG, so
+//! they verify by construction and the properties never starve.
 
 use thinlock::ThinLocks;
 use thinlock_runtime::heap::ObjRef;
+use thinlock_runtime::prng::Prng;
 use thinlock_runtime::protocol::SyncProtocol;
 use thinlock_vm::transform::{peephole, strip_synchronization};
 use thinlock_vm::verify::{verify_program, VerifyOptions};
@@ -13,10 +14,9 @@ use thinlock_vm::{Method, MethodFlags, Op, Program, Value, Vm};
 
 const POOL: u32 = 2;
 const LOCALS: u8 = 4;
+const CASES: usize = 128;
 
-/// A stack-neutral, monitor-balanced code snippet — programs composed of
-/// these verify by construction, so the properties never starve on
-/// rejected inputs.
+/// A stack-neutral, monitor-balanced code snippet.
 #[derive(Debug, Clone)]
 enum Snippet {
     /// `local[dst] = c`
@@ -83,61 +83,80 @@ impl Snippet {
     }
 }
 
-fn arb_snippet() -> impl Strategy<Value = Snippet> {
-    let local = 1u8..LOCALS;
-    let leaf = prop_oneof![
-        (local.clone(), -100i32..100).prop_map(|(d, c)| Snippet::SetConst(d, c)),
-        (local.clone(), local.clone(), local.clone(), any::<u8>())
-            .prop_map(|(d, a, b, w)| Snippet::Arith(d, a, b, w)),
-        (-100i32..100, proptest::option::of(0..POOL))
-            .prop_map(|(c, p)| Snippet::PushPop(c, p)),
-        (local.clone(), -50i32..50, -50i32..50)
-            .prop_map(|(d, a, b)| Snippet::FoldFodder(d, a, b)),
-        (local.clone(), local.clone()).prop_map(|(d, a)| Snippet::DupAdd(d, a)),
-        Just(Snippet::Nop),
-    ];
-    leaf.prop_recursive(2, 8, 2, |inner| {
-        (0..POOL, inner).prop_map(|(k, s)| Snippet::Sync(k, Box::new(s)))
-    })
+fn gen_local(rng: &mut Prng) -> u8 {
+    rng.range_u32(1, u32::from(LOCALS)) as u8
 }
 
-fn arb_program() -> impl Strategy<Value = Program> {
-    proptest::collection::vec(arb_snippet(), 0..10).prop_map(|snippets| {
-        let body: Vec<Op> = {
-            let mut code = Vec::new();
-            for s in &snippets {
-                s.emit(&mut code);
-            }
-            code
-        };
-        // Template: counter loop running the random body twice, guarded by
-        // a fixed prologue that seeds the locals, ending by returning
-        // local 1 (defined by the prologue so it is always assigned).
-        let mut code = vec![
-            Op::IConst(7),
-            Op::IStore(1),
-            Op::IConst(3),
-            Op::IStore(2),
-            Op::IConst(0),
-            Op::IStore(3),
-        ];
-        code.extend(body.iter().copied());
-        code.extend(body);
-        code.push(Op::ILoad(1));
-        code.push(Op::IReturn);
-        let mut p = Program::new(POOL);
-        p.add_method(Method::new(
-            "main",
-            1,
-            LOCALS,
-            MethodFlags {
-                synchronized: false,
-                returns_value: true,
-            },
-            code,
-        ));
-        p
-    })
+/// Random snippet; up to `depth` levels of `Sync` nesting.
+fn gen_snippet(rng: &mut Prng, depth: u32) -> Snippet {
+    if depth > 0 && rng.gen_bool(0.25) {
+        let k = rng.range_u32(0, POOL);
+        return Snippet::Sync(k, Box::new(gen_snippet(rng, depth - 1)));
+    }
+    match rng.range_u32(0, 6) {
+        0 => Snippet::SetConst(gen_local(rng), rng.range_i32(-100, 100)),
+        1 => Snippet::Arith(
+            gen_local(rng),
+            gen_local(rng),
+            gen_local(rng),
+            rng.next_u32() as u8,
+        ),
+        2 => {
+            let pool = if rng.gen_bool(0.5) {
+                Some(rng.range_u32(0, POOL))
+            } else {
+                None
+            };
+            Snippet::PushPop(rng.range_i32(-100, 100), pool)
+        }
+        3 => Snippet::FoldFodder(
+            gen_local(rng),
+            rng.range_i32(-50, 50),
+            rng.range_i32(-50, 50),
+        ),
+        4 => Snippet::DupAdd(gen_local(rng), gen_local(rng)),
+        _ => Snippet::Nop,
+    }
+}
+
+fn gen_program(rng: &mut Prng) -> Program {
+    let snippets: Vec<Snippet> = (0..rng.range_usize(0, 10))
+        .map(|_| gen_snippet(rng, 2))
+        .collect();
+    let body: Vec<Op> = {
+        let mut code = Vec::new();
+        for s in &snippets {
+            s.emit(&mut code);
+        }
+        code
+    };
+    // Template: a fixed prologue seeds the locals, the random body runs
+    // twice, and the method returns local 1 (always assigned by the
+    // prologue).
+    let mut code = vec![
+        Op::IConst(7),
+        Op::IStore(1),
+        Op::IConst(3),
+        Op::IStore(2),
+        Op::IConst(0),
+        Op::IStore(3),
+    ];
+    code.extend(body.iter().copied());
+    code.extend(body);
+    code.push(Op::ILoad(1));
+    code.push(Op::IReturn);
+    let mut p = Program::new(POOL);
+    p.add_method(Method::new(
+        "main",
+        1,
+        LOCALS,
+        MethodFlags {
+            synchronized: false,
+            returns_value: true,
+        },
+        code,
+    ));
+    p
 }
 
 fn run(program: &Program, arg: i32) -> Option<i32> {
@@ -155,60 +174,85 @@ fn run(program: &Program, arg: i32) -> Option<i32> {
         .and_then(Value::as_int)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Peephole-optimized programs compute the same results.
-    #[test]
-    fn peephole_is_semantics_preserving(program in arb_program(), arg in -5i32..5) {
-        prop_assume!(verify_program(&program, VerifyOptions::default()).is_ok());
-        let original = run(&program, arg);
-        prop_assume!(original.is_some());
-        let (optimized, _) = peephole(&program);
-        prop_assert!(optimized.validate().is_ok());
-        prop_assert_eq!(run(&optimized, arg), original);
+/// Drives `check` over `CASES` random (program, arg) pairs that verify
+/// and run successfully.
+fn for_valid_cases(seed: u64, mut check: impl FnMut(&Program, i32, i32)) {
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut tested = 0usize;
+    for _ in 0..CASES {
+        let program = gen_program(&mut rng);
+        let arg = rng.range_i32(-5, 5);
+        if verify_program(&program, VerifyOptions::default()).is_err() {
+            continue;
+        }
+        let Some(original) = run(&program, arg) else {
+            continue;
+        };
+        tested += 1;
+        check(&program, arg, original);
     }
+    assert!(
+        tested > CASES / 2,
+        "only {tested} usable programs generated"
+    );
+}
 
-    /// Stripping synchronization never changes single-threaded results.
-    #[test]
-    fn stripping_is_semantics_preserving(program in arb_program(), arg in -5i32..5) {
-        prop_assume!(verify_program(&program, VerifyOptions::default()).is_ok());
-        let original = run(&program, arg);
-        prop_assume!(original.is_some());
-        let stripped = strip_synchronization(&program);
-        prop_assert!(stripped.validate().is_ok());
-        prop_assert_eq!(run(&stripped, arg), original);
-    }
+/// Peephole-optimized programs compute the same results.
+#[test]
+fn peephole_is_semantics_preserving() {
+    for_valid_cases(0x7f0e_0001, |program, arg, original| {
+        let (optimized, _) = peephole(program);
+        assert!(optimized.validate().is_ok());
+        assert_eq!(run(&optimized, arg), Some(original));
+    });
+}
 
-    /// The two transformations compose.
-    #[test]
-    fn transforms_compose(program in arb_program(), arg in -5i32..5) {
-        prop_assume!(verify_program(&program, VerifyOptions::default()).is_ok());
-        let original = run(&program, arg);
-        prop_assume!(original.is_some());
-        let (optimized, _) = peephole(&strip_synchronization(&program));
-        prop_assert_eq!(run(&optimized, arg), original);
-    }
+/// Stripping synchronization never changes single-threaded results.
+#[test]
+fn stripping_is_semantics_preserving() {
+    for_valid_cases(0x7f0e_0002, |program, arg, original| {
+        let stripped = strip_synchronization(program);
+        assert!(stripped.validate().is_ok());
+        assert_eq!(run(&stripped, arg), Some(original));
+    });
+}
 
-    /// Peephole is idempotent-ish: a second pass finds nothing more on
-    /// programs whose first pass already converged (single application of
-    /// the local rules; folding can cascade, so run to fixpoint first).
-    #[test]
-    fn peephole_reaches_fixpoint(program in arb_program()) {
-        prop_assume!(verify_program(&program, VerifyOptions::default()).is_ok());
+/// The two transformations compose.
+#[test]
+fn transforms_compose() {
+    for_valid_cases(0x7f0e_0003, |program, arg, original| {
+        let (optimized, _) = peephole(&strip_synchronization(program));
+        assert_eq!(run(&optimized, arg), Some(original));
+    });
+}
+
+/// Peephole is idempotent-ish: a second pass finds nothing more on
+/// programs whose first pass already converged (single application of
+/// the local rules; folding can cascade, so run to fixpoint first).
+#[test]
+fn peephole_reaches_fixpoint() {
+    let mut rng = Prng::seed_from_u64(0x7f0e_0004);
+    let mut tested = 0usize;
+    'cases: for _ in 0..CASES {
+        let program = gen_program(&mut rng);
+        if verify_program(&program, VerifyOptions::default()).is_err() {
+            continue;
+        }
+        tested += 1;
         let mut current = program;
         for _ in 0..8 {
             let (next, stats) = peephole(&current);
             if stats.total_removed() == 0 {
                 let (again, stats2) = peephole(&next);
-                prop_assert_eq!(stats2.total_removed(), 0);
-                prop_assert_eq!(again, next);
-                return Ok(());
+                assert_eq!(stats2.total_removed(), 0);
+                assert_eq!(again, next);
+                continue 'cases;
             }
             current = next;
         }
         // Cascades longer than 8 passes would indicate non-termination.
         let (_, stats) = peephole(&current);
-        prop_assert_eq!(stats.total_removed(), 0, "peephole must converge");
+        assert_eq!(stats.total_removed(), 0, "peephole must converge");
     }
+    assert!(tested > CASES / 2, "only {tested} valid programs generated");
 }

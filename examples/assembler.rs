@@ -95,6 +95,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("synchronization-stripped program agrees: {out2}");
 
     // 6. Round-trip through the disassembler, for inspection.
-    println!("\ndisassembly of the optimized program:\n{}", disassemble(&optimized));
+    println!(
+        "\ndisassembly of the optimized program:\n{}",
+        disassemble(&optimized)
+    );
     Ok(())
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the tier-1 build + test cycle.
+# Everything runs offline; no network access is required or attempted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: cargo build --release"
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q"
+cargo test -q --offline
+
+echo "All checks passed."

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-0e2a3d6f6953cd79.d: crates/bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-0e2a3d6f6953cd79.rmeta: crates/bench/benches/ablations.rs Cargo.toml
+
+crates/bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

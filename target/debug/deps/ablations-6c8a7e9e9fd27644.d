@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-6c8a7e9e9fd27644.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-6c8a7e9e9fd27644.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

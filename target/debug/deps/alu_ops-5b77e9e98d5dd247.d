@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alu_ops-5b77e9e98d5dd247.d: crates/vm/tests/alu_ops.rs
+
+/root/repo/target/debug/deps/libalu_ops-5b77e9e98d5dd247.rmeta: crates/vm/tests/alu_ops.rs
+
+crates/vm/tests/alu_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alu_ops-61254166b60135bd.d: crates/vm/tests/alu_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalu_ops-61254166b60135bd.rmeta: crates/vm/tests/alu_ops.rs Cargo.toml
+
+crates/vm/tests/alu_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alu_ops-df130bdd0f7e2738.d: crates/vm/tests/alu_ops.rs
+
+/root/repo/target/debug/deps/alu_ops-df130bdd0f7e2738: crates/vm/tests/alu_ops.rs
+
+crates/vm/tests/alu_ops.rs:

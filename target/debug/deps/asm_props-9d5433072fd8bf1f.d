@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/asm_props-9d5433072fd8bf1f.d: crates/vm/tests/asm_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasm_props-9d5433072fd8bf1f.rmeta: crates/vm/tests/asm_props.rs Cargo.toml
+
+crates/vm/tests/asm_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/asm_props-a08ede23e250fd25.d: crates/vm/tests/asm_props.rs
+
+/root/repo/target/debug/deps/libasm_props-a08ede23e250fd25.rmeta: crates/vm/tests/asm_props.rs
+
+crates/vm/tests/asm_props.rs:

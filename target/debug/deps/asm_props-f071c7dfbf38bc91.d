@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/asm_props-f071c7dfbf38bc91.d: crates/vm/tests/asm_props.rs
+
+/root/repo/target/debug/deps/asm_props-f071c7dfbf38bc91: crates/vm/tests/asm_props.rs
+
+crates/vm/tests/asm_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_protocol-1724b66b9c82377c.d: crates/bench/../../tests/cross_protocol.rs
+
+/root/repo/target/debug/deps/libcross_protocol-1724b66b9c82377c.rmeta: crates/bench/../../tests/cross_protocol.rs
+
+crates/bench/../../tests/cross_protocol.rs:

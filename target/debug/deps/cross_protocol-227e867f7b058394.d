@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_protocol-227e867f7b058394.d: crates/bench/../../tests/cross_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_protocol-227e867f7b058394.rmeta: crates/bench/../../tests/cross_protocol.rs Cargo.toml
+
+crates/bench/../../tests/cross_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

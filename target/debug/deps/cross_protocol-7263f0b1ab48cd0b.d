@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_protocol-7263f0b1ab48cd0b.d: crates/bench/../../tests/cross_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_protocol-7263f0b1ab48cd0b.rmeta: crates/bench/../../tests/cross_protocol.rs Cargo.toml
+
+crates/bench/../../tests/cross_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_protocol-e8fd55a34bf850a9.d: crates/bench/../../tests/cross_protocol.rs
+
+/root/repo/target/debug/deps/cross_protocol-e8fd55a34bf850a9: crates/bench/../../tests/cross_protocol.rs
+
+crates/bench/../../tests/cross_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_protocol-eb1664b291bdfb35.d: crates/bench/../../tests/cross_protocol.rs
+
+/root/repo/target/debug/deps/cross_protocol-eb1664b291bdfb35: crates/bench/../../tests/cross_protocol.rs
+
+crates/bench/../../tests/cross_protocol.rs:

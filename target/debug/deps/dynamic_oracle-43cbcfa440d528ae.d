@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_oracle-43cbcfa440d528ae.d: crates/analysis/tests/dynamic_oracle.rs
+
+/root/repo/target/debug/deps/dynamic_oracle-43cbcfa440d528ae: crates/analysis/tests/dynamic_oracle.rs
+
+crates/analysis/tests/dynamic_oracle.rs:

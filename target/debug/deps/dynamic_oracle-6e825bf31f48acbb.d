@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_oracle-6e825bf31f48acbb.d: crates/analysis/tests/dynamic_oracle.rs
+
+/root/repo/target/debug/deps/libdynamic_oracle-6e825bf31f48acbb.rmeta: crates/analysis/tests/dynamic_oracle.rs
+
+crates/analysis/tests/dynamic_oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamic_oracle-cfa9a5fe4926d242.d: crates/analysis/tests/dynamic_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_oracle-cfa9a5fe4926d242.rmeta: crates/analysis/tests/dynamic_oracle.rs Cargo.toml
+
+crates/analysis/tests/dynamic_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exceptions-aba4935952621396.d: crates/vm/tests/exceptions.rs
+
+/root/repo/target/debug/deps/exceptions-aba4935952621396: crates/vm/tests/exceptions.rs
+
+crates/vm/tests/exceptions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exceptions-b2c052db28e2b4c1.d: crates/vm/tests/exceptions.rs
+
+/root/repo/target/debug/deps/libexceptions-b2c052db28e2b4c1.rmeta: crates/vm/tests/exceptions.rs
+
+crates/vm/tests/exceptions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exceptions-dea8716f90ad2b84.d: crates/vm/tests/exceptions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexceptions-dea8716f90ad2b84.rmeta: crates/vm/tests/exceptions.rs Cargo.toml
+
+crates/vm/tests/exceptions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-3c1134b5bdd427d0.d: crates/bench/../../tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-3c1134b5bdd427d0: crates/bench/../../tests/failure_injection.rs
+
+crates/bench/../../tests/failure_injection.rs:

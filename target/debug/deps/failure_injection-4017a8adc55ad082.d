@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-4017a8adc55ad082.d: crates/bench/../../tests/failure_injection.rs
+
+/root/repo/target/debug/deps/libfailure_injection-4017a8adc55ad082.rmeta: crates/bench/../../tests/failure_injection.rs
+
+crates/bench/../../tests/failure_injection.rs:

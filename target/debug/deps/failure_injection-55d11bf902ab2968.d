@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-55d11bf902ab2968.d: crates/bench/../../tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-55d11bf902ab2968: crates/bench/../../tests/failure_injection.rs
+
+crates/bench/../../tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-895a71b359622ae3.d: crates/bench/../../tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-895a71b359622ae3.rmeta: crates/bench/../../tests/failure_injection.rs Cargo.toml
+
+crates/bench/../../tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

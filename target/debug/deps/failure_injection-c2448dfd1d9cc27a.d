@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-c2448dfd1d9cc27a.d: crates/bench/../../tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-c2448dfd1d9cc27a.rmeta: crates/bench/../../tests/failure_injection.rs Cargo.toml
+
+crates/bench/../../tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_micro-0ab27d4c8961601e.d: crates/bench/benches/fig4_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_micro-0ab27d4c8961601e.rmeta: crates/bench/benches/fig4_micro.rs Cargo.toml
+
+crates/bench/benches/fig4_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_micro-557c7a4aba678132.d: crates/bench/benches/fig4_micro.rs
+
+/root/repo/target/debug/deps/libfig4_micro-557c7a4aba678132.rmeta: crates/bench/benches/fig4_micro.rs
+
+crates/bench/benches/fig4_micro.rs:

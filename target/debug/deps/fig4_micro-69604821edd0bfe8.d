@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_micro-69604821edd0bfe8.d: crates/bench/benches/fig4_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_micro-69604821edd0bfe8.rmeta: crates/bench/benches/fig4_micro.rs Cargo.toml
+
+crates/bench/benches/fig4_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_macro-9998c63ed7636310.d: crates/bench/benches/fig5_macro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_macro-9998c63ed7636310.rmeta: crates/bench/benches/fig5_macro.rs Cargo.toml
+
+crates/bench/benches/fig5_macro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

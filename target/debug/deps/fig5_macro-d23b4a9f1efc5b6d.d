@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_macro-d23b4a9f1efc5b6d.d: crates/bench/benches/fig5_macro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_macro-d23b4a9f1efc5b6d.rmeta: crates/bench/benches/fig5_macro.rs Cargo.toml
+
+crates/bench/benches/fig5_macro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_macro-d24e70aaa029c29e.d: crates/bench/benches/fig5_macro.rs
+
+/root/repo/target/debug/deps/libfig5_macro-d24e70aaa029c29e.rmeta: crates/bench/benches/fig5_macro.rs
+
+crates/bench/benches/fig5_macro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_variants-64858b1323f53ca7.d: crates/bench/benches/fig6_variants.rs
+
+/root/repo/target/debug/deps/libfig6_variants-64858b1323f53ca7.rmeta: crates/bench/benches/fig6_variants.rs
+
+crates/bench/benches/fig6_variants.rs:

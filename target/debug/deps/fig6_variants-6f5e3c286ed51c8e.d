@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_variants-6f5e3c286ed51c8e.d: crates/bench/benches/fig6_variants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_variants-6f5e3c286ed51c8e.rmeta: crates/bench/benches/fig6_variants.rs Cargo.toml
+
+crates/bench/benches/fig6_variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

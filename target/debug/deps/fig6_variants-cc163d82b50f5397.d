@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_variants-cc163d82b50f5397.d: crates/bench/benches/fig6_variants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_variants-cc163d82b50f5397.rmeta: crates/bench/benches/fig6_variants.rs Cargo.toml
+
+crates/bench/benches/fig6_variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inflation_lifecycle-2875f878de9c64da.d: crates/bench/../../tests/inflation_lifecycle.rs
+
+/root/repo/target/debug/deps/inflation_lifecycle-2875f878de9c64da: crates/bench/../../tests/inflation_lifecycle.rs
+
+crates/bench/../../tests/inflation_lifecycle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inflation_lifecycle-393357994dae6a58.d: crates/bench/../../tests/inflation_lifecycle.rs
+
+/root/repo/target/debug/deps/libinflation_lifecycle-393357994dae6a58.rmeta: crates/bench/../../tests/inflation_lifecycle.rs
+
+crates/bench/../../tests/inflation_lifecycle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inflation_lifecycle-9817234a1236093d.d: crates/bench/../../tests/inflation_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinflation_lifecycle-9817234a1236093d.rmeta: crates/bench/../../tests/inflation_lifecycle.rs Cargo.toml
+
+crates/bench/../../tests/inflation_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

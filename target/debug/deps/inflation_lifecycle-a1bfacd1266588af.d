@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inflation_lifecycle-a1bfacd1266588af.d: crates/bench/../../tests/inflation_lifecycle.rs
+
+/root/repo/target/debug/deps/inflation_lifecycle-a1bfacd1266588af: crates/bench/../../tests/inflation_lifecycle.rs
+
+crates/bench/../../tests/inflation_lifecycle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inflation_lifecycle-a540d980c643f779.d: crates/bench/../../tests/inflation_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinflation_lifecycle-a540d980c643f779.rmeta: crates/bench/../../tests/inflation_lifecycle.rs Cargo.toml
+
+crates/bench/../../tests/inflation_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

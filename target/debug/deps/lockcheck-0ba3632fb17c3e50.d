@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lockcheck-0ba3632fb17c3e50.d: crates/analysis/src/bin/lockcheck.rs
+
+/root/repo/target/debug/deps/liblockcheck-0ba3632fb17c3e50.rmeta: crates/analysis/src/bin/lockcheck.rs
+
+crates/analysis/src/bin/lockcheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lockcheck-4e85959e54079f23.d: crates/analysis/src/bin/lockcheck.rs
+
+/root/repo/target/debug/deps/liblockcheck-4e85959e54079f23.rmeta: crates/analysis/src/bin/lockcheck.rs
+
+crates/analysis/src/bin/lockcheck.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lockcheck-5069c8f922a44e3d.d: crates/analysis/src/bin/lockcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblockcheck-5069c8f922a44e3d.rmeta: crates/analysis/src/bin/lockcheck.rs Cargo.toml
+
+crates/analysis/src/bin/lockcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

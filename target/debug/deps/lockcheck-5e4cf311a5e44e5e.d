@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lockcheck-5e4cf311a5e44e5e.d: crates/analysis/src/bin/lockcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblockcheck-5e4cf311a5e44e5e.rmeta: crates/analysis/src/bin/lockcheck.rs Cargo.toml
+
+crates/analysis/src/bin/lockcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lockcheck-7718e217481876bb.d: crates/analysis/src/bin/lockcheck.rs
+
+/root/repo/target/debug/deps/lockcheck-7718e217481876bb: crates/analysis/src/bin/lockcheck.rs
+
+crates/analysis/src/bin/lockcheck.rs:

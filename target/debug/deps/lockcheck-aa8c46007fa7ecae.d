@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lockcheck-aa8c46007fa7ecae.d: crates/analysis/src/bin/lockcheck.rs
+
+/root/repo/target/debug/deps/lockcheck-aa8c46007fa7ecae: crates/analysis/src/bin/lockcheck.rs
+
+crates/analysis/src/bin/lockcheck.rs:

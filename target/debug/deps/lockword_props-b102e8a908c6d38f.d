@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lockword_props-b102e8a908c6d38f.d: crates/runtime/tests/lockword_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblockword_props-b102e8a908c6d38f.rmeta: crates/runtime/tests/lockword_props.rs Cargo.toml
+
+crates/runtime/tests/lockword_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lockword_props-b21ceb70d71fdd79.d: crates/runtime/tests/lockword_props.rs
+
+/root/repo/target/debug/deps/liblockword_props-b21ceb70d71fdd79.rmeta: crates/runtime/tests/lockword_props.rs
+
+crates/runtime/tests/lockword_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lockword_props-b9bd47344d0b48da.d: crates/runtime/tests/lockword_props.rs
+
+/root/repo/target/debug/deps/lockword_props-b9bd47344d0b48da: crates/runtime/tests/lockword_props.rs
+
+crates/runtime/tests/lockword_props.rs:

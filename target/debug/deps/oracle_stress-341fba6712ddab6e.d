@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle_stress-341fba6712ddab6e.d: crates/monitor/tests/oracle_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_stress-341fba6712ddab6e.rmeta: crates/monitor/tests/oracle_stress.rs Cargo.toml
+
+crates/monitor/tests/oracle_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_stress-908e67086a22ed62.d: crates/monitor/tests/oracle_stress.rs
+
+/root/repo/target/debug/deps/liboracle_stress-908e67086a22ed62.rmeta: crates/monitor/tests/oracle_stress.rs
+
+crates/monitor/tests/oracle_stress.rs:

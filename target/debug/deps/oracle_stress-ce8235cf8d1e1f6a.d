@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_stress-ce8235cf8d1e1f6a.d: crates/monitor/tests/oracle_stress.rs
+
+/root/repo/target/debug/deps/oracle_stress-ce8235cf8d1e1f6a: crates/monitor/tests/oracle_stress.rs
+
+crates/monitor/tests/oracle_stress.rs:

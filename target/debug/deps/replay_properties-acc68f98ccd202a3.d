@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_properties-acc68f98ccd202a3.d: crates/bench/../../tests/replay_properties.rs
+
+/root/repo/target/debug/deps/libreplay_properties-acc68f98ccd202a3.rmeta: crates/bench/../../tests/replay_properties.rs
+
+crates/bench/../../tests/replay_properties.rs:

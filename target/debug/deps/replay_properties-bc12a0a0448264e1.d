@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay_properties-bc12a0a0448264e1.d: crates/bench/../../tests/replay_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay_properties-bc12a0a0448264e1.rmeta: crates/bench/../../tests/replay_properties.rs Cargo.toml
+
+crates/bench/../../tests/replay_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay_properties-dce4b915e84a3a37.d: crates/bench/../../tests/replay_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay_properties-dce4b915e84a3a37.rmeta: crates/bench/../../tests/replay_properties.rs Cargo.toml
+
+crates/bench/../../tests/replay_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_properties-f5f067ecac8aba62.d: crates/bench/../../tests/replay_properties.rs
+
+/root/repo/target/debug/deps/replay_properties-f5f067ecac8aba62: crates/bench/../../tests/replay_properties.rs
+
+crates/bench/../../tests/replay_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_properties-fbb80adac9e47285.d: crates/bench/../../tests/replay_properties.rs
+
+/root/repo/target/debug/deps/replay_properties-fbb80adac9e47285: crates/bench/../../tests/replay_properties.rs
+
+crates/bench/../../tests/replay_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-2328aaabac0a6037.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-2328aaabac0a6037: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-29a283d5d41a0843.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-29a283d5d41a0843: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-4955f6fdff36369c.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/libreproduce-4955f6fdff36369c.rmeta: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

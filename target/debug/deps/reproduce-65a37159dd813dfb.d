@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-65a37159dd813dfb.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-65a37159dd813dfb: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-85b2ef769c7b55f1.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-85b2ef769c7b55f1: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-a3788c113dd6490f.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/libreproduce-a3788c113dd6490f.rmeta: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shape_assertions-6a31fc76c03b2970.d: crates/bench/../../tests/shape_assertions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshape_assertions-6a31fc76c03b2970.rmeta: crates/bench/../../tests/shape_assertions.rs Cargo.toml
+
+crates/bench/../../tests/shape_assertions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

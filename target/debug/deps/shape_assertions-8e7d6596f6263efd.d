@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shape_assertions-8e7d6596f6263efd.d: crates/bench/../../tests/shape_assertions.rs
+
+/root/repo/target/debug/deps/shape_assertions-8e7d6596f6263efd: crates/bench/../../tests/shape_assertions.rs
+
+crates/bench/../../tests/shape_assertions.rs:

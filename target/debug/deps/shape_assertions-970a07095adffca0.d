@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shape_assertions-970a07095adffca0.d: crates/bench/../../tests/shape_assertions.rs
+
+/root/repo/target/debug/deps/shape_assertions-970a07095adffca0: crates/bench/../../tests/shape_assertions.rs
+
+crates/bench/../../tests/shape_assertions.rs:

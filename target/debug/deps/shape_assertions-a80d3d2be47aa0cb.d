@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shape_assertions-a80d3d2be47aa0cb.d: crates/bench/../../tests/shape_assertions.rs
+
+/root/repo/target/debug/deps/libshape_assertions-a80d3d2be47aa0cb.rmeta: crates/bench/../../tests/shape_assertions.rs
+
+crates/bench/../../tests/shape_assertions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shape_assertions-ff947f2a9eb7bef7.d: crates/bench/../../tests/shape_assertions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshape_assertions-ff947f2a9eb7bef7.rmeta: crates/bench/../../tests/shape_assertions.rs Cargo.toml
+
+crates/bench/../../tests/shape_assertions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

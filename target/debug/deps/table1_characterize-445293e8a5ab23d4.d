@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_characterize-445293e8a5ab23d4.d: crates/bench/benches/table1_characterize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_characterize-445293e8a5ab23d4.rmeta: crates/bench/benches/table1_characterize.rs Cargo.toml
+
+crates/bench/benches/table1_characterize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_characterize-60fa65eb4a202aad.d: crates/bench/benches/table1_characterize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_characterize-60fa65eb4a202aad.rmeta: crates/bench/benches/table1_characterize.rs Cargo.toml
+
+crates/bench/benches/table1_characterize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_characterize-b2acd670a9e62023.d: crates/bench/benches/table1_characterize.rs
+
+/root/repo/target/debug/deps/libtable1_characterize-b2acd670a9e62023.rmeta: crates/bench/benches/table1_characterize.rs
+
+crates/bench/benches/table1_characterize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tasuki_props-4877726d94811f84.d: crates/core/tests/tasuki_props.rs
+
+/root/repo/target/debug/deps/libtasuki_props-4877726d94811f84.rmeta: crates/core/tests/tasuki_props.rs
+
+crates/core/tests/tasuki_props.rs:

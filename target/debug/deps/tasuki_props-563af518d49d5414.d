@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tasuki_props-563af518d49d5414.d: crates/core/tests/tasuki_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtasuki_props-563af518d49d5414.rmeta: crates/core/tests/tasuki_props.rs Cargo.toml
+
+crates/core/tests/tasuki_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

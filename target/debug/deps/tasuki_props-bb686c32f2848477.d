@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tasuki_props-bb686c32f2848477.d: crates/core/tests/tasuki_props.rs
+
+/root/repo/target/debug/deps/tasuki_props-bb686c32f2848477: crates/core/tests/tasuki_props.rs
+
+crates/core/tests/tasuki_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thin_model_props-419393e39737fb4c.d: crates/core/tests/thin_model_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthin_model_props-419393e39737fb4c.rmeta: crates/core/tests/thin_model_props.rs Cargo.toml
+
+crates/core/tests/thin_model_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thin_model_props-c3497f11f721c502.d: crates/core/tests/thin_model_props.rs
+
+/root/repo/target/debug/deps/libthin_model_props-c3497f11f721c502.rmeta: crates/core/tests/thin_model_props.rs
+
+crates/core/tests/thin_model_props.rs:

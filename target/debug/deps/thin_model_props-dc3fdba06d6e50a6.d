@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thin_model_props-dc3fdba06d6e50a6.d: crates/core/tests/thin_model_props.rs
+
+/root/repo/target/debug/deps/thin_model_props-dc3fdba06d6e50a6: crates/core/tests/thin_model_props.rs
+
+crates/core/tests/thin_model_props.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/thinlock-04ea98feb0b48b27.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/tasuki.rs crates/core/src/thin.rs
+
+/root/repo/target/debug/deps/libthinlock-04ea98feb0b48b27.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/tasuki.rs crates/core/src/thin.rs
+
+/root/repo/target/debug/deps/libthinlock-04ea98feb0b48b27.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/tasuki.rs crates/core/src/thin.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/tasuki.rs:
+crates/core/src/thin.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/thinlock-423baf964a7459d2.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/tasuki.rs crates/core/src/thin.rs
+
+/root/repo/target/debug/deps/libthinlock-423baf964a7459d2.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/tasuki.rs crates/core/src/thin.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/tasuki.rs:
+crates/core/src/thin.rs:

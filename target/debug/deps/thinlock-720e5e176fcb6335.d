@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/thinlock-720e5e176fcb6335.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/tasuki.rs crates/core/src/thin.rs
+
+/root/repo/target/debug/deps/thinlock-720e5e176fcb6335: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/tasuki.rs crates/core/src/thin.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/tasuki.rs:
+crates/core/src/thin.rs:

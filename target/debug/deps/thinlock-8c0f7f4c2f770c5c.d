@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/thinlock-8c0f7f4c2f770c5c.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/tasuki.rs crates/core/src/thin.rs
+
+/root/repo/target/debug/deps/libthinlock-8c0f7f4c2f770c5c.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/tasuki.rs crates/core/src/thin.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/tasuki.rs:
+crates/core/src/thin.rs:

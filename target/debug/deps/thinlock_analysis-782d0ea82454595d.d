@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/thinlock_analysis-782d0ea82454595d.d: crates/analysis/src/lib.rs crates/analysis/src/escape.rs crates/analysis/src/lockorder.rs crates/analysis/src/lockstack.rs crates/analysis/src/nestdepth.rs crates/analysis/src/report.rs
+
+/root/repo/target/debug/deps/libthinlock_analysis-782d0ea82454595d.rlib: crates/analysis/src/lib.rs crates/analysis/src/escape.rs crates/analysis/src/lockorder.rs crates/analysis/src/lockstack.rs crates/analysis/src/nestdepth.rs crates/analysis/src/report.rs
+
+/root/repo/target/debug/deps/libthinlock_analysis-782d0ea82454595d.rmeta: crates/analysis/src/lib.rs crates/analysis/src/escape.rs crates/analysis/src/lockorder.rs crates/analysis/src/lockstack.rs crates/analysis/src/nestdepth.rs crates/analysis/src/report.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/escape.rs:
+crates/analysis/src/lockorder.rs:
+crates/analysis/src/lockstack.rs:
+crates/analysis/src/nestdepth.rs:
+crates/analysis/src/report.rs:

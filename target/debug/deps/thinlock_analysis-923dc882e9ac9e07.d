@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/thinlock_analysis-923dc882e9ac9e07.d: crates/analysis/src/lib.rs crates/analysis/src/escape.rs crates/analysis/src/lockorder.rs crates/analysis/src/lockstack.rs crates/analysis/src/nestdepth.rs crates/analysis/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthinlock_analysis-923dc882e9ac9e07.rmeta: crates/analysis/src/lib.rs crates/analysis/src/escape.rs crates/analysis/src/lockorder.rs crates/analysis/src/lockstack.rs crates/analysis/src/nestdepth.rs crates/analysis/src/report.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/escape.rs:
+crates/analysis/src/lockorder.rs:
+crates/analysis/src/lockstack.rs:
+crates/analysis/src/nestdepth.rs:
+crates/analysis/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/thinlock_analysis-b594d09d9730cfca.d: crates/analysis/src/lib.rs crates/analysis/src/escape.rs crates/analysis/src/lockorder.rs crates/analysis/src/lockstack.rs crates/analysis/src/nestdepth.rs crates/analysis/src/report.rs
+
+/root/repo/target/debug/deps/thinlock_analysis-b594d09d9730cfca: crates/analysis/src/lib.rs crates/analysis/src/escape.rs crates/analysis/src/lockorder.rs crates/analysis/src/lockstack.rs crates/analysis/src/nestdepth.rs crates/analysis/src/report.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/escape.rs:
+crates/analysis/src/lockorder.rs:
+crates/analysis/src/lockstack.rs:
+crates/analysis/src/nestdepth.rs:
+crates/analysis/src/report.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/thinlock_analysis-ecb8f5dbccc8aba1.d: crates/analysis/src/lib.rs crates/analysis/src/escape.rs crates/analysis/src/lockorder.rs crates/analysis/src/lockstack.rs crates/analysis/src/nestdepth.rs crates/analysis/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthinlock_analysis-ecb8f5dbccc8aba1.rmeta: crates/analysis/src/lib.rs crates/analysis/src/escape.rs crates/analysis/src/lockorder.rs crates/analysis/src/lockstack.rs crates/analysis/src/nestdepth.rs crates/analysis/src/report.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/escape.rs:
+crates/analysis/src/lockorder.rs:
+crates/analysis/src/lockstack.rs:
+crates/analysis/src/nestdepth.rs:
+crates/analysis/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thinlock_baselines-5d992a19f4b0f653.d: crates/baselines/src/lib.rs crates/baselines/src/cache.rs crates/baselines/src/hot.rs
+
+/root/repo/target/debug/deps/libthinlock_baselines-5d992a19f4b0f653.rlib: crates/baselines/src/lib.rs crates/baselines/src/cache.rs crates/baselines/src/hot.rs
+
+/root/repo/target/debug/deps/libthinlock_baselines-5d992a19f4b0f653.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cache.rs crates/baselines/src/hot.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cache.rs:
+crates/baselines/src/hot.rs:

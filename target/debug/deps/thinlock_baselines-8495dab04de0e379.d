@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thinlock_baselines-8495dab04de0e379.d: crates/baselines/src/lib.rs crates/baselines/src/cache.rs crates/baselines/src/hot.rs
+
+/root/repo/target/debug/deps/libthinlock_baselines-8495dab04de0e379.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cache.rs crates/baselines/src/hot.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cache.rs:
+crates/baselines/src/hot.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thinlock_baselines-8fa958c3a4bcddda.d: crates/baselines/src/lib.rs crates/baselines/src/cache.rs crates/baselines/src/hot.rs
+
+/root/repo/target/debug/deps/thinlock_baselines-8fa958c3a4bcddda: crates/baselines/src/lib.rs crates/baselines/src/cache.rs crates/baselines/src/hot.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cache.rs:
+crates/baselines/src/hot.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/thinlock_baselines-d3514e23cb8d190c.d: crates/baselines/src/lib.rs crates/baselines/src/cache.rs crates/baselines/src/hot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthinlock_baselines-d3514e23cb8d190c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cache.rs crates/baselines/src/hot.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cache.rs:
+crates/baselines/src/hot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thinlock_baselines-e456824d3d27d851.d: crates/baselines/src/lib.rs crates/baselines/src/cache.rs crates/baselines/src/hot.rs
+
+/root/repo/target/debug/deps/libthinlock_baselines-e456824d3d27d851.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cache.rs crates/baselines/src/hot.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cache.rs:
+crates/baselines/src/hot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thinlock_bench-03c27e91619c8c38.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/thinlock_bench-03c27e91619c8c38: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thinlock_bench-19d89b35172fe3ad.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libthinlock_bench-19d89b35172fe3ad.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thinlock_bench-21414b4e50232fa0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/thinlock_bench-21414b4e50232fa0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thinlock_bench-6ff97cf183277278.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libthinlock_bench-6ff97cf183277278.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libthinlock_bench-6ff97cf183277278.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thinlock_bench-8068b2b1fad97238.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthinlock_bench-8068b2b1fad97238.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

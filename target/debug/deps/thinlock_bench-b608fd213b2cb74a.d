@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thinlock_bench-b608fd213b2cb74a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthinlock_bench-b608fd213b2cb74a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thinlock_bench-b84f1856e76bcc2c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthinlock_bench-b84f1856e76bcc2c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

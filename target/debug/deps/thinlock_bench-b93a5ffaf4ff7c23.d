@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thinlock_bench-b93a5ffaf4ff7c23.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthinlock_bench-b93a5ffaf4ff7c23.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thinlock_bench-be949f071267b982.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libthinlock_bench-be949f071267b982.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

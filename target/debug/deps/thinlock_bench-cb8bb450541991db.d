@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thinlock_bench-cb8bb450541991db.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libthinlock_bench-cb8bb450541991db.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libthinlock_bench-cb8bb450541991db.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

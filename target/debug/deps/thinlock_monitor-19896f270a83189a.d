@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thinlock_monitor-19896f270a83189a.d: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs
+
+/root/repo/target/debug/deps/libthinlock_monitor-19896f270a83189a.rmeta: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/fatlock.rs:
+crates/monitor/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/thinlock_monitor-6c446ce0ad644d6a.d: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthinlock_monitor-6c446ce0ad644d6a.rmeta: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs Cargo.toml
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/fatlock.rs:
+crates/monitor/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

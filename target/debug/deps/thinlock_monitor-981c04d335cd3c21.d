@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thinlock_monitor-981c04d335cd3c21.d: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs
+
+/root/repo/target/debug/deps/libthinlock_monitor-981c04d335cd3c21.rlib: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs
+
+/root/repo/target/debug/deps/libthinlock_monitor-981c04d335cd3c21.rmeta: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/fatlock.rs:
+crates/monitor/src/table.rs:

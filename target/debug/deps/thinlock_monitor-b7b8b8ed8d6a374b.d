@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thinlock_monitor-b7b8b8ed8d6a374b.d: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs
+
+/root/repo/target/debug/deps/thinlock_monitor-b7b8b8ed8d6a374b: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/fatlock.rs:
+crates/monitor/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/thinlock_monitor-c191e590fe155f61.d: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthinlock_monitor-c191e590fe155f61.rmeta: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs Cargo.toml
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/fatlock.rs:
+crates/monitor/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

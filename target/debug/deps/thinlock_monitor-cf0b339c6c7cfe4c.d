@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thinlock_monitor-cf0b339c6c7cfe4c.d: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs
+
+/root/repo/target/debug/deps/libthinlock_monitor-cf0b339c6c7cfe4c.rmeta: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/fatlock.rs:
+crates/monitor/src/table.rs:

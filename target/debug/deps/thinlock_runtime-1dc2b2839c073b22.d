@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/thinlock_runtime-1dc2b2839c073b22.d: crates/runtime/src/lib.rs crates/runtime/src/arch.rs crates/runtime/src/backoff.rs crates/runtime/src/error.rs crates/runtime/src/heap.rs crates/runtime/src/lockword.rs crates/runtime/src/prng.rs crates/runtime/src/protocol.rs crates/runtime/src/registry.rs crates/runtime/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthinlock_runtime-1dc2b2839c073b22.rmeta: crates/runtime/src/lib.rs crates/runtime/src/arch.rs crates/runtime/src/backoff.rs crates/runtime/src/error.rs crates/runtime/src/heap.rs crates/runtime/src/lockword.rs crates/runtime/src/prng.rs crates/runtime/src/protocol.rs crates/runtime/src/registry.rs crates/runtime/src/stats.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/arch.rs:
+crates/runtime/src/backoff.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/heap.rs:
+crates/runtime/src/lockword.rs:
+crates/runtime/src/prng.rs:
+crates/runtime/src/protocol.rs:
+crates/runtime/src/registry.rs:
+crates/runtime/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/thinlock_runtime-fdabfdc941e5479e.d: crates/runtime/src/lib.rs crates/runtime/src/arch.rs crates/runtime/src/backoff.rs crates/runtime/src/error.rs crates/runtime/src/heap.rs crates/runtime/src/lockword.rs crates/runtime/src/prng.rs crates/runtime/src/protocol.rs crates/runtime/src/registry.rs crates/runtime/src/stats.rs
+
+/root/repo/target/debug/deps/libthinlock_runtime-fdabfdc941e5479e.rmeta: crates/runtime/src/lib.rs crates/runtime/src/arch.rs crates/runtime/src/backoff.rs crates/runtime/src/error.rs crates/runtime/src/heap.rs crates/runtime/src/lockword.rs crates/runtime/src/prng.rs crates/runtime/src/protocol.rs crates/runtime/src/registry.rs crates/runtime/src/stats.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/arch.rs:
+crates/runtime/src/backoff.rs:
+crates/runtime/src/error.rs:
+crates/runtime/src/heap.rs:
+crates/runtime/src/lockword.rs:
+crates/runtime/src/prng.rs:
+crates/runtime/src/protocol.rs:
+crates/runtime/src/registry.rs:
+crates/runtime/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/thinlock_trace-63767cd9c847bd56.d: crates/trace/src/lib.rs crates/trace/src/characterize.rs crates/trace/src/concurrent.rs crates/trace/src/generator.rs crates/trace/src/io.rs crates/trace/src/replay.rs crates/trace/src/table1.rs
+
+/root/repo/target/debug/deps/thinlock_trace-63767cd9c847bd56: crates/trace/src/lib.rs crates/trace/src/characterize.rs crates/trace/src/concurrent.rs crates/trace/src/generator.rs crates/trace/src/io.rs crates/trace/src/replay.rs crates/trace/src/table1.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/characterize.rs:
+crates/trace/src/concurrent.rs:
+crates/trace/src/generator.rs:
+crates/trace/src/io.rs:
+crates/trace/src/replay.rs:
+crates/trace/src/table1.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/thinlock_trace-7816528abb88a97d.d: crates/trace/src/lib.rs crates/trace/src/characterize.rs crates/trace/src/concurrent.rs crates/trace/src/generator.rs crates/trace/src/io.rs crates/trace/src/replay.rs crates/trace/src/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthinlock_trace-7816528abb88a97d.rmeta: crates/trace/src/lib.rs crates/trace/src/characterize.rs crates/trace/src/concurrent.rs crates/trace/src/generator.rs crates/trace/src/io.rs crates/trace/src/replay.rs crates/trace/src/table1.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/characterize.rs:
+crates/trace/src/concurrent.rs:
+crates/trace/src/generator.rs:
+crates/trace/src/io.rs:
+crates/trace/src/replay.rs:
+crates/trace/src/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/thinlock_trace-f6950d1b3a2bc9fa.d: crates/trace/src/lib.rs crates/trace/src/characterize.rs crates/trace/src/concurrent.rs crates/trace/src/generator.rs crates/trace/src/io.rs crates/trace/src/replay.rs crates/trace/src/table1.rs
+
+/root/repo/target/debug/deps/libthinlock_trace-f6950d1b3a2bc9fa.rmeta: crates/trace/src/lib.rs crates/trace/src/characterize.rs crates/trace/src/concurrent.rs crates/trace/src/generator.rs crates/trace/src/io.rs crates/trace/src/replay.rs crates/trace/src/table1.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/characterize.rs:
+crates/trace/src/concurrent.rs:
+crates/trace/src/generator.rs:
+crates/trace/src/io.rs:
+crates/trace/src/replay.rs:
+crates/trace/src/table1.rs:

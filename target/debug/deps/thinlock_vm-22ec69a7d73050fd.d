@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/thinlock_vm-22ec69a7d73050fd.d: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/bytecode.rs crates/vm/src/error.rs crates/vm/src/interp.rs crates/vm/src/library.rs crates/vm/src/program.rs crates/vm/src/programs.rs crates/vm/src/transform.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+/root/repo/target/debug/deps/libthinlock_vm-22ec69a7d73050fd.rmeta: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/bytecode.rs crates/vm/src/error.rs crates/vm/src/interp.rs crates/vm/src/library.rs crates/vm/src/program.rs crates/vm/src/programs.rs crates/vm/src/transform.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/asm.rs:
+crates/vm/src/bytecode.rs:
+crates/vm/src/error.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/library.rs:
+crates/vm/src/program.rs:
+crates/vm/src/programs.rs:
+crates/vm/src/transform.rs:
+crates/vm/src/value.rs:
+crates/vm/src/verify.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/thinlock_vm-3f7e99f98391f461.d: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/bytecode.rs crates/vm/src/error.rs crates/vm/src/interp.rs crates/vm/src/library.rs crates/vm/src/program.rs crates/vm/src/programs.rs crates/vm/src/transform.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+/root/repo/target/debug/deps/thinlock_vm-3f7e99f98391f461: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/bytecode.rs crates/vm/src/error.rs crates/vm/src/interp.rs crates/vm/src/library.rs crates/vm/src/program.rs crates/vm/src/programs.rs crates/vm/src/transform.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/asm.rs:
+crates/vm/src/bytecode.rs:
+crates/vm/src/error.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/library.rs:
+crates/vm/src/program.rs:
+crates/vm/src/programs.rs:
+crates/vm/src/transform.rs:
+crates/vm/src/value.rs:
+crates/vm/src/verify.rs:

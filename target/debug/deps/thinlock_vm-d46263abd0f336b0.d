@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/thinlock_vm-d46263abd0f336b0.d: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/bytecode.rs crates/vm/src/error.rs crates/vm/src/interp.rs crates/vm/src/library.rs crates/vm/src/program.rs crates/vm/src/programs.rs crates/vm/src/transform.rs crates/vm/src/value.rs crates/vm/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthinlock_vm-d46263abd0f336b0.rmeta: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/bytecode.rs crates/vm/src/error.rs crates/vm/src/interp.rs crates/vm/src/library.rs crates/vm/src/program.rs crates/vm/src/programs.rs crates/vm/src/transform.rs crates/vm/src/value.rs crates/vm/src/verify.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/asm.rs:
+crates/vm/src/bytecode.rs:
+crates/vm/src/error.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/library.rs:
+crates/vm/src/program.rs:
+crates/vm/src/programs.rs:
+crates/vm/src/transform.rs:
+crates/vm/src/value.rs:
+crates/vm/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracegen-18a48a6e57bee369.d: crates/bench/src/bin/tracegen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracegen-18a48a6e57bee369.rmeta: crates/bench/src/bin/tracegen.rs Cargo.toml
+
+crates/bench/src/bin/tracegen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

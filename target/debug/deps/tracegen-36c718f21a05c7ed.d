@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracegen-36c718f21a05c7ed.d: crates/bench/src/bin/tracegen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracegen-36c718f21a05c7ed.rmeta: crates/bench/src/bin/tracegen.rs Cargo.toml
+
+crates/bench/src/bin/tracegen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracegen-39ff63146a61d393.d: crates/bench/src/bin/tracegen.rs
+
+/root/repo/target/debug/deps/tracegen-39ff63146a61d393: crates/bench/src/bin/tracegen.rs
+
+crates/bench/src/bin/tracegen.rs:

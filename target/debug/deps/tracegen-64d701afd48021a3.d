@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracegen-64d701afd48021a3.d: crates/bench/src/bin/tracegen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracegen-64d701afd48021a3.rmeta: crates/bench/src/bin/tracegen.rs Cargo.toml
+
+crates/bench/src/bin/tracegen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracegen-6513b9db9bce9b0b.d: crates/bench/src/bin/tracegen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracegen-6513b9db9bce9b0b.rmeta: crates/bench/src/bin/tracegen.rs Cargo.toml
+
+crates/bench/src/bin/tracegen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

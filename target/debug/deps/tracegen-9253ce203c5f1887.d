@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracegen-9253ce203c5f1887.d: crates/bench/src/bin/tracegen.rs
+
+/root/repo/target/debug/deps/tracegen-9253ce203c5f1887: crates/bench/src/bin/tracegen.rs
+
+crates/bench/src/bin/tracegen.rs:

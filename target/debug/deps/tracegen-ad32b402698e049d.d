@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracegen-ad32b402698e049d.d: crates/bench/src/bin/tracegen.rs
+
+/root/repo/target/debug/deps/libtracegen-ad32b402698e049d.rmeta: crates/bench/src/bin/tracegen.rs
+
+crates/bench/src/bin/tracegen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracegen-b80a7d695e735d74.d: crates/bench/src/bin/tracegen.rs
+
+/root/repo/target/debug/deps/tracegen-b80a7d695e735d74: crates/bench/src/bin/tracegen.rs
+
+crates/bench/src/bin/tracegen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracegen-d2101a0c7085e669.d: crates/bench/src/bin/tracegen.rs
+
+/root/repo/target/debug/deps/libtracegen-d2101a0c7085e669.rmeta: crates/bench/src/bin/tracegen.rs
+
+crates/bench/src/bin/tracegen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracegen-ed20b2ea01fd5009.d: crates/bench/src/bin/tracegen.rs
+
+/root/repo/target/debug/deps/tracegen-ed20b2ea01fd5009: crates/bench/src/bin/tracegen.rs
+
+crates/bench/src/bin/tracegen.rs:

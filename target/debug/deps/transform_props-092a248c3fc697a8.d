@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transform_props-092a248c3fc697a8.d: crates/vm/tests/transform_props.rs
+
+/root/repo/target/debug/deps/libtransform_props-092a248c3fc697a8.rmeta: crates/vm/tests/transform_props.rs
+
+crates/vm/tests/transform_props.rs:

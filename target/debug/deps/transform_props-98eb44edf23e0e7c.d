@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transform_props-98eb44edf23e0e7c.d: crates/vm/tests/transform_props.rs
+
+/root/repo/target/debug/deps/transform_props-98eb44edf23e0e7c: crates/vm/tests/transform_props.rs
+
+crates/vm/tests/transform_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transform_props-ebe33a5af75a4b7e.d: crates/vm/tests/transform_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransform_props-ebe33a5af75a4b7e.rmeta: crates/vm/tests/transform_props.rs Cargo.toml
+
+crates/vm/tests/transform_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

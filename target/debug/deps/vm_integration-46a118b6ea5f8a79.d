@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm_integration-46a118b6ea5f8a79.d: crates/bench/../../tests/vm_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm_integration-46a118b6ea5f8a79.rmeta: crates/bench/../../tests/vm_integration.rs Cargo.toml
+
+crates/bench/../../tests/vm_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

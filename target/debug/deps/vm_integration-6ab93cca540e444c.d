@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vm_integration-6ab93cca540e444c.d: crates/bench/../../tests/vm_integration.rs
+
+/root/repo/target/debug/deps/libvm_integration-6ab93cca540e444c.rmeta: crates/bench/../../tests/vm_integration.rs
+
+crates/bench/../../tests/vm_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vm_integration-86d6f9635b5e89cc.d: crates/bench/../../tests/vm_integration.rs
+
+/root/repo/target/debug/deps/vm_integration-86d6f9635b5e89cc: crates/bench/../../tests/vm_integration.rs
+
+crates/bench/../../tests/vm_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vm_integration-b3a0bb19b962b8ed.d: crates/bench/../../tests/vm_integration.rs
+
+/root/repo/target/debug/deps/vm_integration-b3a0bb19b962b8ed: crates/bench/../../tests/vm_integration.rs
+
+crates/bench/../../tests/vm_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm_integration-ff709117789ecae9.d: crates/bench/../../tests/vm_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm_integration-ff709117789ecae9.rmeta: crates/bench/../../tests/vm_integration.rs Cargo.toml
+
+crates/bench/../../tests/vm_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/assembler-0824d8f4d85368c3.d: crates/bench/../../examples/assembler.rs
+
+/root/repo/target/debug/examples/assembler-0824d8f4d85368c3: crates/bench/../../examples/assembler.rs
+
+crates/bench/../../examples/assembler.rs:

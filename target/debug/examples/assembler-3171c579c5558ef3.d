@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/assembler-3171c579c5558ef3.d: crates/bench/../../examples/assembler.rs Cargo.toml
+
+/root/repo/target/debug/examples/libassembler-3171c579c5558ef3.rmeta: crates/bench/../../examples/assembler.rs Cargo.toml
+
+crates/bench/../../examples/assembler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/assembler-69ba250d75966ef6.d: crates/bench/../../examples/assembler.rs Cargo.toml
+
+/root/repo/target/debug/examples/libassembler-69ba250d75966ef6.rmeta: crates/bench/../../examples/assembler.rs Cargo.toml
+
+crates/bench/../../examples/assembler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/assembler-93aebf0742ac155a.d: crates/bench/../../examples/assembler.rs
+
+/root/repo/target/debug/examples/assembler-93aebf0742ac155a: crates/bench/../../examples/assembler.rs
+
+crates/bench/../../examples/assembler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/assembler-ae31491aec52a9c0.d: crates/bench/../../examples/assembler.rs
+
+/root/repo/target/debug/examples/libassembler-ae31491aec52a9c0.rmeta: crates/bench/../../examples/assembler.rs
+
+crates/bench/../../examples/assembler.rs:

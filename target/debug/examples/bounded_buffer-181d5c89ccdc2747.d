@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bounded_buffer-181d5c89ccdc2747.d: crates/bench/../../examples/bounded_buffer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbounded_buffer-181d5c89ccdc2747.rmeta: crates/bench/../../examples/bounded_buffer.rs Cargo.toml
+
+crates/bench/../../examples/bounded_buffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

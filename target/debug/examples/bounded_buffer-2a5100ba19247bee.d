@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bounded_buffer-2a5100ba19247bee.d: crates/bench/../../examples/bounded_buffer.rs
+
+/root/repo/target/debug/examples/libbounded_buffer-2a5100ba19247bee.rmeta: crates/bench/../../examples/bounded_buffer.rs
+
+crates/bench/../../examples/bounded_buffer.rs:

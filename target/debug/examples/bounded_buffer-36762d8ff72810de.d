@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bounded_buffer-36762d8ff72810de.d: crates/bench/../../examples/bounded_buffer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbounded_buffer-36762d8ff72810de.rmeta: crates/bench/../../examples/bounded_buffer.rs Cargo.toml
+
+crates/bench/../../examples/bounded_buffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

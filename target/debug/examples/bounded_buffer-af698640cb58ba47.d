@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bounded_buffer-af698640cb58ba47.d: crates/bench/../../examples/bounded_buffer.rs
+
+/root/repo/target/debug/examples/bounded_buffer-af698640cb58ba47: crates/bench/../../examples/bounded_buffer.rs
+
+crates/bench/../../examples/bounded_buffer.rs:

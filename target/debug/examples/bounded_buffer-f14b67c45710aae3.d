@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bounded_buffer-f14b67c45710aae3.d: crates/bench/../../examples/bounded_buffer.rs
+
+/root/repo/target/debug/examples/bounded_buffer-f14b67c45710aae3: crates/bench/../../examples/bounded_buffer.rs
+
+crates/bench/../../examples/bounded_buffer.rs:

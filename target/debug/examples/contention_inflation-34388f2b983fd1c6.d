@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/contention_inflation-34388f2b983fd1c6.d: crates/bench/../../examples/contention_inflation.rs
+
+/root/repo/target/debug/examples/contention_inflation-34388f2b983fd1c6: crates/bench/../../examples/contention_inflation.rs
+
+crates/bench/../../examples/contention_inflation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/contention_inflation-aa86cc8007f8ca22.d: crates/bench/../../examples/contention_inflation.rs
+
+/root/repo/target/debug/examples/contention_inflation-aa86cc8007f8ca22: crates/bench/../../examples/contention_inflation.rs
+
+crates/bench/../../examples/contention_inflation.rs:

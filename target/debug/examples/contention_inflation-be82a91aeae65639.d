@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/contention_inflation-be82a91aeae65639.d: crates/bench/../../examples/contention_inflation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontention_inflation-be82a91aeae65639.rmeta: crates/bench/../../examples/contention_inflation.rs Cargo.toml
+
+crates/bench/../../examples/contention_inflation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/contention_inflation-c8975d42d031ae3a.d: crates/bench/../../examples/contention_inflation.rs
+
+/root/repo/target/debug/examples/libcontention_inflation-c8975d42d031ae3a.rmeta: crates/bench/../../examples/contention_inflation.rs
+
+crates/bench/../../examples/contention_inflation.rs:

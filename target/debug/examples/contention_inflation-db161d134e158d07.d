@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/contention_inflation-db161d134e158d07.d: crates/bench/../../examples/contention_inflation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontention_inflation-db161d134e158d07.rmeta: crates/bench/../../examples/contention_inflation.rs Cargo.toml
+
+crates/bench/../../examples/contention_inflation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/library_tax-2a0bb64e86a3a107.d: crates/bench/../../examples/library_tax.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblibrary_tax-2a0bb64e86a3a107.rmeta: crates/bench/../../examples/library_tax.rs Cargo.toml
+
+crates/bench/../../examples/library_tax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

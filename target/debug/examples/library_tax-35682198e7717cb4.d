@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/library_tax-35682198e7717cb4.d: crates/bench/../../examples/library_tax.rs
+
+/root/repo/target/debug/examples/liblibrary_tax-35682198e7717cb4.rmeta: crates/bench/../../examples/library_tax.rs
+
+crates/bench/../../examples/library_tax.rs:

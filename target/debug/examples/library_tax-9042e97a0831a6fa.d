@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/library_tax-9042e97a0831a6fa.d: crates/bench/../../examples/library_tax.rs
+
+/root/repo/target/debug/examples/library_tax-9042e97a0831a6fa: crates/bench/../../examples/library_tax.rs
+
+crates/bench/../../examples/library_tax.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/library_tax-af4a2e497b03ec04.d: crates/bench/../../examples/library_tax.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblibrary_tax-af4a2e497b03ec04.rmeta: crates/bench/../../examples/library_tax.rs Cargo.toml
+
+crates/bench/../../examples/library_tax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

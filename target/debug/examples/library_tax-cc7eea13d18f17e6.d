@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/library_tax-cc7eea13d18f17e6.d: crates/bench/../../examples/library_tax.rs
+
+/root/repo/target/debug/examples/library_tax-cc7eea13d18f17e6: crates/bench/../../examples/library_tax.rs
+
+crates/bench/../../examples/library_tax.rs:

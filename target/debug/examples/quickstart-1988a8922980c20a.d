@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1988a8922980c20a.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1988a8922980c20a: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

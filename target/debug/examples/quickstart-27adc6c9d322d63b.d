@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-27adc6c9d322d63b.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-27adc6c9d322d63b: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

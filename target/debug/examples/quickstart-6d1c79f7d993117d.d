@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6d1c79f7d993117d.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-6d1c79f7d993117d.rmeta: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vector_workload-21670f82989e1472.d: crates/bench/../../examples/vector_workload.rs
+
+/root/repo/target/debug/examples/vector_workload-21670f82989e1472: crates/bench/../../examples/vector_workload.rs
+
+crates/bench/../../examples/vector_workload.rs:

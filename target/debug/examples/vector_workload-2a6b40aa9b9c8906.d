@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vector_workload-2a6b40aa9b9c8906.d: crates/bench/../../examples/vector_workload.rs
+
+/root/repo/target/debug/examples/vector_workload-2a6b40aa9b9c8906: crates/bench/../../examples/vector_workload.rs
+
+crates/bench/../../examples/vector_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vector_workload-2d5ac37f7d828d77.d: crates/bench/../../examples/vector_workload.rs
+
+/root/repo/target/debug/examples/libvector_workload-2d5ac37f7d828d77.rmeta: crates/bench/../../examples/vector_workload.rs
+
+crates/bench/../../examples/vector_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vector_workload-e654ab21e35c4a9f.d: crates/bench/../../examples/vector_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvector_workload-e654ab21e35c4a9f.rmeta: crates/bench/../../examples/vector_workload.rs Cargo.toml
+
+crates/bench/../../examples/vector_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

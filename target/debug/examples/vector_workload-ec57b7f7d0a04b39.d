@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vector_workload-ec57b7f7d0a04b39.d: crates/bench/../../examples/vector_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvector_workload-ec57b7f7d0a04b39.rmeta: crates/bench/../../examples/vector_workload.rs Cargo.toml
+
+crates/bench/../../examples/vector_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

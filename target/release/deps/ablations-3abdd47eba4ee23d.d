@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-3abdd47eba4ee23d.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-3abdd47eba4ee23d: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lockcheck-a7bd3717c51b5f9a.d: crates/analysis/src/bin/lockcheck.rs
+
+/root/repo/target/release/deps/lockcheck-a7bd3717c51b5f9a: crates/analysis/src/bin/lockcheck.rs
+
+crates/analysis/src/bin/lockcheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-62b697750681c8e7.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-62b697750681c8e7: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

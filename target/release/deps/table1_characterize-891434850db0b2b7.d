@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_characterize-891434850db0b2b7.d: crates/bench/benches/table1_characterize.rs
+
+/root/repo/target/release/deps/table1_characterize-891434850db0b2b7: crates/bench/benches/table1_characterize.rs
+
+crates/bench/benches/table1_characterize.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/thinlock-fc0da74c9efe0b2d.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/tasuki.rs crates/core/src/thin.rs
+
+/root/repo/target/release/deps/libthinlock-fc0da74c9efe0b2d.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/tasuki.rs crates/core/src/thin.rs
+
+/root/repo/target/release/deps/libthinlock-fc0da74c9efe0b2d.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/tasuki.rs crates/core/src/thin.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/tasuki.rs:
+crates/core/src/thin.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/thinlock_analysis-2471ef5b57667999.d: crates/analysis/src/lib.rs crates/analysis/src/escape.rs crates/analysis/src/lockorder.rs crates/analysis/src/lockstack.rs crates/analysis/src/nestdepth.rs crates/analysis/src/report.rs
+
+/root/repo/target/release/deps/libthinlock_analysis-2471ef5b57667999.rlib: crates/analysis/src/lib.rs crates/analysis/src/escape.rs crates/analysis/src/lockorder.rs crates/analysis/src/lockstack.rs crates/analysis/src/nestdepth.rs crates/analysis/src/report.rs
+
+/root/repo/target/release/deps/libthinlock_analysis-2471ef5b57667999.rmeta: crates/analysis/src/lib.rs crates/analysis/src/escape.rs crates/analysis/src/lockorder.rs crates/analysis/src/lockstack.rs crates/analysis/src/nestdepth.rs crates/analysis/src/report.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/escape.rs:
+crates/analysis/src/lockorder.rs:
+crates/analysis/src/lockstack.rs:
+crates/analysis/src/nestdepth.rs:
+crates/analysis/src/report.rs:

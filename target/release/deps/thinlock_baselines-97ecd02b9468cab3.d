@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/thinlock_baselines-97ecd02b9468cab3.d: crates/baselines/src/lib.rs crates/baselines/src/cache.rs crates/baselines/src/hot.rs
+
+/root/repo/target/release/deps/libthinlock_baselines-97ecd02b9468cab3.rlib: crates/baselines/src/lib.rs crates/baselines/src/cache.rs crates/baselines/src/hot.rs
+
+/root/repo/target/release/deps/libthinlock_baselines-97ecd02b9468cab3.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cache.rs crates/baselines/src/hot.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cache.rs:
+crates/baselines/src/hot.rs:

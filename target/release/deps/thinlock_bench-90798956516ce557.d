@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/thinlock_bench-90798956516ce557.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libthinlock_bench-90798956516ce557.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libthinlock_bench-90798956516ce557.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

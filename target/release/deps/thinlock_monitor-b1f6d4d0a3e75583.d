@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/thinlock_monitor-b1f6d4d0a3e75583.d: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs
+
+/root/repo/target/release/deps/libthinlock_monitor-b1f6d4d0a3e75583.rlib: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs
+
+/root/repo/target/release/deps/libthinlock_monitor-b1f6d4d0a3e75583.rmeta: crates/monitor/src/lib.rs crates/monitor/src/fatlock.rs crates/monitor/src/table.rs
+
+crates/monitor/src/lib.rs:
+crates/monitor/src/fatlock.rs:
+crates/monitor/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/thinlock_trace-1ca96ceafd9a0d4e.d: crates/trace/src/lib.rs crates/trace/src/characterize.rs crates/trace/src/concurrent.rs crates/trace/src/generator.rs crates/trace/src/io.rs crates/trace/src/replay.rs crates/trace/src/table1.rs
+
+/root/repo/target/release/deps/libthinlock_trace-1ca96ceafd9a0d4e.rlib: crates/trace/src/lib.rs crates/trace/src/characterize.rs crates/trace/src/concurrent.rs crates/trace/src/generator.rs crates/trace/src/io.rs crates/trace/src/replay.rs crates/trace/src/table1.rs
+
+/root/repo/target/release/deps/libthinlock_trace-1ca96ceafd9a0d4e.rmeta: crates/trace/src/lib.rs crates/trace/src/characterize.rs crates/trace/src/concurrent.rs crates/trace/src/generator.rs crates/trace/src/io.rs crates/trace/src/replay.rs crates/trace/src/table1.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/characterize.rs:
+crates/trace/src/concurrent.rs:
+crates/trace/src/generator.rs:
+crates/trace/src/io.rs:
+crates/trace/src/replay.rs:
+crates/trace/src/table1.rs:

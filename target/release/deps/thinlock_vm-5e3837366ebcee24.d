@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/thinlock_vm-5e3837366ebcee24.d: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/bytecode.rs crates/vm/src/error.rs crates/vm/src/interp.rs crates/vm/src/library.rs crates/vm/src/program.rs crates/vm/src/programs.rs crates/vm/src/transform.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+/root/repo/target/release/deps/libthinlock_vm-5e3837366ebcee24.rlib: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/bytecode.rs crates/vm/src/error.rs crates/vm/src/interp.rs crates/vm/src/library.rs crates/vm/src/program.rs crates/vm/src/programs.rs crates/vm/src/transform.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+/root/repo/target/release/deps/libthinlock_vm-5e3837366ebcee24.rmeta: crates/vm/src/lib.rs crates/vm/src/asm.rs crates/vm/src/bytecode.rs crates/vm/src/error.rs crates/vm/src/interp.rs crates/vm/src/library.rs crates/vm/src/program.rs crates/vm/src/programs.rs crates/vm/src/transform.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/asm.rs:
+crates/vm/src/bytecode.rs:
+crates/vm/src/error.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/library.rs:
+crates/vm/src/program.rs:
+crates/vm/src/programs.rs:
+crates/vm/src/transform.rs:
+crates/vm/src/value.rs:
+crates/vm/src/verify.rs:

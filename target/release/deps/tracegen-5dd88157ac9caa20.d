@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tracegen-5dd88157ac9caa20.d: crates/bench/src/bin/tracegen.rs
+
+/root/repo/target/release/deps/tracegen-5dd88157ac9caa20: crates/bench/src/bin/tracegen.rs
+
+crates/bench/src/bin/tracegen.rs:

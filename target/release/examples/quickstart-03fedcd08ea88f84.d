@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-03fedcd08ea88f84.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-03fedcd08ea88f84: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -47,7 +47,11 @@ fn ownership_violations_rejected_everywhere() {
         let rb = p.registry().register().unwrap();
         let obj = p.heap().alloc().unwrap();
         p.lock(obj, ra.token()).unwrap();
-        assert_eq!(p.unlock(obj, rb.token()), Err(SyncError::NotOwner), "{kind}");
+        assert_eq!(
+            p.unlock(obj, rb.token()),
+            Err(SyncError::NotOwner),
+            "{kind}"
+        );
         assert!(
             matches!(
                 p.wait(obj, rb.token(), None),

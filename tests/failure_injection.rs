@@ -119,7 +119,11 @@ fn interrupt_during_wait_surfaces_under_thin_and_tasuki() {
                 waiter_index.store(u64::from(t.index().get()), Ordering::Release);
                 p.lock(obj, t).unwrap();
                 let r = p.wait(obj, t, None);
-                assert!(p.holds_lock(obj, t), "{}: reacquired before surfacing", p.name());
+                assert!(
+                    p.holds_lock(obj, t),
+                    "{}: reacquired before surfacing",
+                    p.name()
+                );
                 p.unlock(obj, t).unwrap();
                 r
             })
@@ -169,8 +173,15 @@ fn zero_timeout_wait_returns_promptly() {
         p.lock(obj, t).unwrap();
         let start = std::time::Instant::now();
         let out = p.wait(obj, t, Some(Duration::ZERO)).unwrap();
-        assert_eq!(out, thinlock_runtime::protocol::WaitOutcome::TimedOut, "{kind}");
-        assert!(start.elapsed() < Duration::from_secs(1), "{kind}: prompt return");
+        assert_eq!(
+            out,
+            thinlock_runtime::protocol::WaitOutcome::TimedOut,
+            "{kind}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "{kind}: prompt return"
+        );
         assert!(p.holds_lock(obj, t));
         p.unlock(obj, t).unwrap();
     }

@@ -1,62 +1,68 @@
-//! Property-based integration tests: arbitrary well-formed lock traces
+//! Randomized integration tests: arbitrary well-formed lock traces
 //! replay successfully and equivalently under every protocol, and the
 //! characterizer agrees with an independent reference computation.
-
-use proptest::prelude::*;
+//! Driven by the in-repo deterministic PRNG.
 
 use thinlock_bench::ProtocolKind;
+use thinlock_runtime::prng::Prng;
 use thinlock_trace::characterize::characterize;
 use thinlock_trace::generator::{generate, LockTrace, TraceConfig, TraceOp};
 use thinlock_trace::replay::replay;
 use thinlock_trace::table1::MACRO_BENCHMARKS;
 
-/// Strategy: a random generator configuration over a random Table 1
-/// profile — small enough to replay hundreds of cases quickly.
-fn arb_config() -> impl Strategy<Value = TraceConfig> {
-    (
-        1u64..=u64::MAX / 2,
-        any::<u64>(),
-        1u32..=200,
-        1u64..=500,
-        0.0f64..=1.5,
-    )
-        .prop_map(|(scale, seed, max_objects, max_lock_ops, skew)| TraceConfig {
-            scale,
-            seed,
-            max_objects,
-            max_lock_ops,
-            skew,
-            work_per_sync: 0, // keep replays fast; work is timing-only
-            work_per_alloc: 0,
-        })
-}
+const CASES: usize = 48;
 
-fn arb_profile_index() -> impl Strategy<Value = usize> {
-    0..MACRO_BENCHMARKS.len()
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every generated trace is well-formed by its own validator.
-    #[test]
-    fn generated_traces_validate(cfg in arb_config(), pi in arb_profile_index()) {
-        let trace = generate(&MACRO_BENCHMARKS[pi], &cfg);
-        prop_assert!(trace.validate().is_ok());
-        prop_assert!(trace.lock_ops() >= u64::from(trace.sync_objects()));
+/// A random generator configuration — small enough to replay dozens of
+/// cases quickly.
+fn gen_config(rng: &mut Prng) -> TraceConfig {
+    TraceConfig {
+        scale: 1 + rng.next_below(u64::MAX / 2),
+        seed: rng.next_u64(),
+        max_objects: rng.range_u32(1, 201),
+        max_lock_ops: 1 + rng.next_below(500),
+        skew: rng.range_f64(1.5),
+        work_per_sync: 0, // keep replays fast; work is timing-only
+        work_per_alloc: 0,
     }
+}
 
-    /// Generation is a pure function of (profile, config).
-    #[test]
-    fn generation_is_deterministic(cfg in arb_config(), pi in arb_profile_index()) {
+fn gen_profile_index(rng: &mut Prng) -> usize {
+    rng.range_usize(0, MACRO_BENCHMARKS.len())
+}
+
+/// Every generated trace is well-formed by its own validator.
+#[test]
+fn generated_traces_validate() {
+    let mut rng = Prng::seed_from_u64(0x4e91_0001);
+    for _ in 0..CASES {
+        let cfg = gen_config(&mut rng);
+        let pi = gen_profile_index(&mut rng);
+        let trace = generate(&MACRO_BENCHMARKS[pi], &cfg);
+        assert!(trace.validate().is_ok());
+        assert!(trace.lock_ops() >= u64::from(trace.sync_objects()));
+    }
+}
+
+/// Generation is a pure function of (profile, config).
+#[test]
+fn generation_is_deterministic() {
+    let mut rng = Prng::seed_from_u64(0x4e91_0002);
+    for _ in 0..CASES {
+        let cfg = gen_config(&mut rng);
+        let pi = gen_profile_index(&mut rng);
         let a = generate(&MACRO_BENCHMARKS[pi], &cfg);
         let b = generate(&MACRO_BENCHMARKS[pi], &cfg);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// The characterizer matches an independent reference computation.
-    #[test]
-    fn characterizer_matches_reference(cfg in arb_config(), pi in arb_profile_index()) {
+/// The characterizer matches an independent reference computation.
+#[test]
+fn characterizer_matches_reference() {
+    let mut rng = Prng::seed_from_u64(0x4e91_0003);
+    for _ in 0..CASES {
+        let cfg = gen_config(&mut rng);
+        let pi = gen_profile_index(&mut rng);
         let trace = generate(&MACRO_BENCHMARKS[pi], &cfg);
         let c = characterize(&trace);
 
@@ -84,37 +90,42 @@ proptest! {
                 TraceOp::Work(_) => {}
             }
         }
-        prop_assert_eq!(c.objects_created, allocs);
-        prop_assert_eq!(c.sync_operations, locks);
-        prop_assert_eq!(c.synchronized_objects, touched.len() as u64);
-        prop_assert_eq!(c.depth_histogram[0], first_locks);
+        assert_eq!(c.objects_created, allocs);
+        assert_eq!(c.sync_operations, locks);
+        assert_eq!(c.synchronized_objects, touched.len() as u64);
+        assert_eq!(c.depth_histogram[0], first_locks);
     }
+}
 
-    /// Replay succeeds under every protocol and performs exactly the
-    /// trace's operations, leaving every monitor released.
-    #[test]
-    fn replay_is_protocol_independent(cfg in arb_config(), pi in arb_profile_index()) {
+/// Replay succeeds under every protocol and performs exactly the
+/// trace's operations, leaving every monitor released.
+#[test]
+fn replay_is_protocol_independent() {
+    let mut rng = Prng::seed_from_u64(0x4e91_0004);
+    for _ in 0..CASES {
+        let cfg = gen_config(&mut rng);
+        let pi = gen_profile_index(&mut rng);
         let trace = generate(&MACRO_BENCHMARKS[pi], &cfg);
         let mut per_protocol = Vec::new();
         for kind in ProtocolKind::ALL_EXTENDED {
             let p = kind.build(trace.required_heap_capacity(), 0);
             let reg = p.registry().register().unwrap();
             let out = replay(&*p, &trace, reg.token()).unwrap();
-            prop_assert_eq!(out.lock_ops, trace.lock_ops());
-            prop_assert_eq!(out.unlock_ops, trace.lock_ops());
-            prop_assert_eq!(out.allocs, u64::from(trace.total_objects()));
+            assert_eq!(out.lock_ops, trace.lock_ops());
+            assert_eq!(out.unlock_ops, trace.lock_ops());
+            assert_eq!(out.allocs, u64::from(trace.total_objects()));
             // Nothing is left held.
             for obj in p.heap().iter() {
-                prop_assert!(!p.holds_lock(obj, reg.token()));
+                assert!(!p.holds_lock(obj, reg.token()));
             }
             per_protocol.push((out.allocs, out.lock_ops));
         }
-        prop_assert!(per_protocol.windows(2).all(|w| w[0] == w[1]));
+        assert!(per_protocol.windows(2).all(|w| w[0] == w[1]));
     }
 }
 
 /// A hand-built pathological trace (deep nesting on one object, many cold
-/// objects) exercises the same paths outside proptest shrink noise.
+/// objects) exercises the same paths outside the randomized sweeps.
 #[test]
 fn pathological_trace_replays_everywhere() {
     let mut ops = Vec::new();
