@@ -13,7 +13,7 @@
 //! non-shared objects is *elidable*: no other thread can ever observe
 //! the lock, so the paper's thin-lock fast path can be skipped entirely.
 //! The result feeds [`thinlock_vm::transform::elide_local_sync`] as an
-//! [`ElisionPlan`](thinlock_vm::transform::ElisionPlan).
+//! [`ElisionPlan`].
 
 use std::collections::BTreeSet;
 

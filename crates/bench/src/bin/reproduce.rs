@@ -1,12 +1,17 @@
 //! Regenerates every table and figure of the thin-locks paper.
 //!
 //! ```text
-//! reproduce [all|table1|table2|fig3|fig4|fig5|fig6] [--iters N] [--scale N] [--quick]
+//! reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|predict|lockcheck|profile]
+//!           [--iters N] [--scale N] [--quick] [--json PATH]
 //! ```
 //!
 //! Output is plain text, one section per artifact, in the same row/series
 //! structure the paper reports. Absolute numbers are host-dependent; the
 //! expected *shape* for each artifact is stated in EXPERIMENTS.md.
+//!
+//! The `profile` section runs the observability corpus (DESIGN.md §10)
+//! and prints the per-object contention profile; `--json PATH` also
+//! exports it as machine-readable JSON.
 
 use std::process::ExitCode;
 
@@ -22,17 +27,19 @@ struct Options {
     sections: Vec<String>,
     iters: i32,
     scale: u64,
+    json: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut sections = Vec::new();
     let mut iters: i32 = 200_000;
     let mut scale: u64 = 1_000;
+    let mut json = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "all" | "table1" | "table2" | "fig3" | "fig4" | "fig5" | "fig6" | "ablations"
-            | "predict" | "lockcheck" => sections.push(arg),
+            | "predict" | "lockcheck" | "profile" => sections.push(arg),
             "--iters" => {
                 iters = args
                     .next()
@@ -51,10 +58,13 @@ fn parse_args() -> Result<Options, String> {
                 iters = 20_000;
                 scale = 20_000;
             }
+            "--json" => {
+                json = Some(args.next().ok_or("--json needs a path")?);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|predict\
-                            |lockcheck] [--iters N] [--scale N] [--quick]"
+                            |lockcheck|profile] [--iters N] [--scale N] [--quick] [--json PATH]"
                         .to_string(),
                 )
             }
@@ -68,6 +78,7 @@ fn parse_args() -> Result<Options, String> {
         sections,
         iters,
         scale,
+        json,
     })
 }
 
@@ -435,6 +446,32 @@ fn lockcheck() {
     println!("  (run the `lockcheck` binary for per-method findings)");
 }
 
+/// The observability pipeline (DESIGN.md §10): run the profiling corpus
+/// under a `LockTracer`, print the aggregated contention profile, and
+/// verify that the event stream attributes every inflation the
+/// statistics counters recorded.
+fn profile_section(json: Option<&str>) -> Result<(), String> {
+    heading("profile: lock-event observability (per-thread rings, thinlock-obs)");
+    let run = thinlock_bench::run_profile_corpus(thinlock_obs::TracerConfig::default());
+    println!("{}", run.profile);
+    let traced = run.profile.inflations_by_cause();
+    if !run.attribution_consistent() {
+        return Err(format!(
+            "inflation attribution mismatch: stats {:?} vs traced {:?}",
+            run.stats.inflations, traced
+        ));
+    }
+    println!(
+        "attribution check: stats inflations {:?} == traced {:?} (contention, overflow, wait, hint)",
+        run.stats.inflations, traced
+    );
+    if let Some(path) = json {
+        std::fs::write(path, run.profile.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("profile JSON written to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -477,6 +514,12 @@ fn main() -> ExitCode {
     }
     if want("lockcheck") {
         lockcheck();
+    }
+    if want("profile") {
+        if let Err(msg) = profile_section(opts.json.as_deref()) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

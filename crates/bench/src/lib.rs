@@ -612,6 +612,154 @@ pub fn concurrent_macro(
         .collect()
 }
 
+/// Everything the profiling corpus produced: the aggregated contention
+/// profile plus the statistics counters of the same run, so callers can
+/// cross-check that the event stream attributes every inflation the
+/// counters saw.
+#[derive(Debug, Clone)]
+pub struct ProfiledRun {
+    /// Per-object contention profile built from the merged event rings.
+    pub profile: thinlock_obs::ContentionProfile,
+    /// The run's scenario counters (same run, same protocol instance).
+    pub stats: thinlock_runtime::stats::StatsSnapshot,
+}
+
+impl ProfiledRun {
+    /// True if the event stream attributes exactly the inflations the
+    /// statistics counters recorded, cause by cause — the acceptance
+    /// check of the `reproduce profile` section.
+    pub fn attribution_consistent(&self) -> bool {
+        self.profile.inflations_by_cause() == self.stats.inflations
+    }
+}
+
+/// Runs the profiling corpus: a deterministic workload that exercises
+/// every locking scenario and every
+/// [`InflationCause`](thinlock_runtime::stats::InflationCause) while a
+/// `LockTracer` records the event stream.
+///
+/// The corpus phases:
+///
+/// 1. a hot uncontended lock/unlock loop (scenario 1 dominates, as in
+///    the paper's Table 1 median),
+/// 2. shallow nesting (depths 2–3),
+/// 3. deep nesting past the 8-bit count — a `CountOverflow` inflation,
+/// 4. two-thread contention on a thin-held lock — a `Contention`
+///    inflation after spinning,
+/// 5. wait/notify — a `WaitNotify` inflation,
+/// 6. a static pre-inflation hint — a `Hint` inflation,
+/// 7. the escape analysis running over the `Sync` micro-benchmark,
+///    with each provably-elidable operation recorded as an
+///    `ElisionHit` through the generic
+///    [`SyncProtocol::trace_sink`] seam.
+///
+/// # Panics
+///
+/// Panics if any corpus phase fails to drive the protocol into the
+/// intended state (these are the same guarantees the unit tests assert).
+pub fn run_profile_corpus(config: thinlock_obs::TracerConfig) -> ProfiledRun {
+    use thinlock_obs::{ContentionProfile, LockTracer};
+    use thinlock_runtime::events::{TraceEventKind, TraceSink};
+    use thinlock_runtime::stats::LockStats;
+
+    let tracer = Arc::new(LockTracer::new(config));
+    let stats = Arc::new(LockStats::new());
+    let protocol = ThinLocks::with_capacity(8)
+        .with_stats(Arc::clone(&stats))
+        .with_trace_sink(Arc::clone(&tracer) as Arc<dyn TraceSink>);
+
+    let reg = protocol.registry().register().expect("registry has room");
+    let t = reg.token();
+
+    // Phase 1: hot uncontended loop (scenario 1).
+    let hot = protocol.heap().alloc().expect("heap has room");
+    for _ in 0..1_000 {
+        protocol.lock(hot, t).expect("lock");
+        protocol.unlock(hot, t).expect("unlock");
+    }
+
+    // Phase 2: shallow nesting.
+    let nested = protocol.heap().alloc().expect("heap has room");
+    for _ in 0..3 {
+        protocol.lock(nested, t).expect("lock");
+    }
+    for _ in 0..3 {
+        protocol.unlock(nested, t).expect("unlock");
+    }
+
+    // Phase 3: nest past the 8-bit count — CountOverflow inflation.
+    let deep = protocol.heap().alloc().expect("heap has room");
+    for _ in 0..257 {
+        protocol.lock(deep, t).expect("lock");
+    }
+    for _ in 0..257 {
+        protocol.unlock(deep, t).expect("unlock");
+    }
+    assert!(protocol.lock_word(deep).is_fat(), "overflow inflated");
+
+    // Phase 4: contention — the owner holds across a barrier so the
+    // contender is guaranteed to spin on a thin-held lock and inflate.
+    let contended = protocol.heap().alloc().expect("heap has room");
+    let barrier = std::sync::Barrier::new(2);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let reg = protocol.registry().register().expect("registry");
+            let t = reg.token();
+            protocol.lock(contended, t).expect("lock");
+            barrier.wait();
+            std::thread::sleep(Duration::from_millis(10));
+            protocol.unlock(contended, t).expect("unlock");
+        });
+        barrier.wait();
+        protocol.lock(contended, t).expect("contended lock");
+        protocol.unlock(contended, t).expect("unlock");
+    });
+    assert!(
+        protocol.lock_word(contended).is_fat(),
+        "contention inflated"
+    );
+
+    // Phase 5: wait/notify — inflates with WaitNotify.
+    let shared = protocol.heap().alloc().expect("heap has room");
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let reg = protocol.registry().register().expect("registry");
+            let t = reg.token();
+            protocol.lock(shared, t).expect("lock");
+            let out = protocol.wait(shared, t, None).expect("wait");
+            assert_eq!(out, WaitOutcome::Notified);
+            protocol.unlock(shared, t).expect("unlock");
+        });
+        while !protocol.lock_word(shared).is_fat() {
+            std::thread::yield_now();
+        }
+        protocol.lock(shared, t).expect("lock");
+        protocol.notify(shared, t).expect("notify");
+        protocol.unlock(shared, t).expect("unlock");
+    });
+
+    // Phase 6: static pre-inflation hint.
+    let hinted = protocol.heap().alloc().expect("heap has room");
+    assert!(protocol.pre_inflate_hint(hinted), "hint applies");
+
+    // Phase 7: the escape analysis proves the single-threaded Sync
+    // micro-benchmark's operations elidable; credit each one as an
+    // ElisionHit through the protocol-generic trace seam.
+    let program = MicroBench::Sync.program();
+    let ctx = thinlock_analysis::escape::EscapeContext::single_threaded();
+    let report = thinlock_analysis::analyze_program(&program, &ctx);
+    if let Some(sink) = protocol.trace_sink() {
+        for _ in &report.escape.elidable_ops {
+            sink.record(None, None, TraceEventKind::ElisionHit);
+        }
+    }
+
+    ProfiledRun {
+        profile: ContentionProfile::build(&tracer.snapshot()),
+        stats: stats.snapshot(),
+    }
+}
+
 /// A protocol whose lock operations do nothing — Figure 6's "NOP" case,
 /// measuring pure bytecode overhead of the synchronization instructions.
 #[derive(Debug)]
@@ -813,6 +961,31 @@ mod tests {
         let obj = p.heap().alloc().unwrap();
         p.lock(obj, reg.token()).unwrap();
         p.unlock(obj, reg.token()).unwrap();
+    }
+
+    #[test]
+    fn profile_corpus_attributes_every_inflation() {
+        let run = run_profile_corpus(thinlock_obs::TracerConfig {
+            max_threads: 16,
+            ring_capacity: 4096,
+        });
+        assert!(
+            run.attribution_consistent(),
+            "stats {:?} vs traced {:?}",
+            run.stats.inflations,
+            run.profile.inflations_by_cause()
+        );
+        // One inflation of every cause, in stats and in the trace.
+        assert_eq!(run.stats.inflations, [1, 1, 1, 1]);
+        assert_eq!(run.profile.inflations.len(), 4);
+        // Every traced inflation names its object.
+        assert!(run.profile.inflations.iter().all(|i| i.obj.is_some()));
+        // The corpus exercises elision hits and monitor allocations too.
+        assert!(run.profile.elision_hits > 0);
+        assert!(run.profile.monitors_allocated >= 4);
+        assert_eq!(run.profile.dropped, 0, "rings sized for the corpus");
+        // The hot object dominates the ranking.
+        assert_eq!(run.profile.objects[0].acquire_unlocked, 1_000);
     }
 
     #[test]

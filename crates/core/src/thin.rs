@@ -31,8 +31,9 @@ use thinlock_monitor::{FatLock, MonitorTable};
 use thinlock_runtime::arch::LockWordCell;
 use thinlock_runtime::backoff::Backoff;
 use thinlock_runtime::error::{SyncError, SyncResult};
+use thinlock_runtime::events::{TraceEventKind, TraceSink};
 use thinlock_runtime::heap::{Heap, ObjRef};
-use thinlock_runtime::lockword::{LockWord, MAX_THIN_COUNT};
+use thinlock_runtime::lockword::{LockWord, ThreadIndex, MAX_THIN_COUNT};
 use thinlock_runtime::protocol::{SyncProtocol, WaitOutcome};
 use thinlock_runtime::registry::{ThreadRegistry, ThreadToken};
 use thinlock_runtime::stats::{InflationCause, LockScenario, LockStats};
@@ -70,6 +71,7 @@ pub struct ThinLocks<C: FastPathConfig = DynamicConfig> {
     monitors: MonitorTable,
     config: C,
     stats: Option<Arc<LockStats>>,
+    tracer: Option<Arc<dyn TraceSink>>,
 }
 
 impl ThinLocks<DynamicConfig> {
@@ -102,6 +104,7 @@ impl<C: FastPathConfig> ThinLocks<C> {
             monitors,
             config,
             stats: None,
+            tracer: None,
         }
     }
 
@@ -116,6 +119,20 @@ impl<C: FastPathConfig> ThinLocks<C> {
     /// The attached statistics, if any.
     pub fn stats(&self) -> Option<&LockStats> {
         self.stats.as_deref()
+    }
+
+    /// Attaches an event sink: every protocol transition (acquire,
+    /// unlock, inflation with its cause, wait/notify, monitor-table
+    /// allocation) is streamed to `sink` as a [`TraceEventKind`] event.
+    ///
+    /// When no sink is attached the only hot-path cost is one
+    /// never-taken branch — the same zero-cost-when-disabled discipline
+    /// as [`ThinLocks::with_stats`].
+    #[must_use]
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.monitors.set_sink(Arc::clone(&sink));
+        self.tracer = Some(sink);
+        self
     }
 
     /// The fast-path configuration.
@@ -152,6 +169,13 @@ impl<C: FastPathConfig> ThinLocks<C> {
         }
     }
 
+    #[inline]
+    fn emit(&self, thread: Option<ThreadIndex>, obj: Option<ObjRef>, kind: TraceEventKind) {
+        if let Some(sink) = &self.tracer {
+            sink.record(thread, obj, kind);
+        }
+    }
+
     /// Resolves the fat lock of an inflated word.
     fn monitor_of(&self, word: LockWord) -> &FatLock {
         let idx = word.monitor_index().expect("word must be inflated");
@@ -180,6 +204,11 @@ impl<C: FastPathConfig> ThinLocks<C> {
         );
         cell.store_release(current.inflated(idx));
         self.record_inflation(cause);
+        self.emit(
+            Some(t.index()),
+            Some(obj),
+            TraceEventKind::Inflated { cause },
+        );
         Ok(self.monitor_of(current.inflated(idx)))
     }
 
@@ -197,6 +226,7 @@ impl<C: FastPathConfig> ThinLocks<C> {
         let new = LockWord::from_bits(old.bits() | t.shifted());
         if cell.try_cas(old, new, profile).is_ok() {
             self.record_lock(LockScenario::Unlocked, 1);
+            self.emit(Some(t.index()), Some(obj), TraceEventKind::AcquireUnlocked);
             return Ok(());
         }
 
@@ -213,6 +243,11 @@ impl<C: FastPathConfig> ThinLocks<C> {
                     LockScenario::NestedDeep
                 },
                 depth,
+            );
+            self.emit(
+                Some(t.index()),
+                Some(obj),
+                TraceEventKind::AcquireNested { depth },
             );
             return Ok(());
         }
@@ -251,6 +286,11 @@ impl<C: FastPathConfig> ThinLocks<C> {
                     );
                     s.record_spin_rounds(backoff.rounds());
                 }
+                self.emit(
+                    Some(t.index()),
+                    Some(obj),
+                    TraceEventKind::AcquireFat { contended },
+                );
                 return Ok(());
             }
 
@@ -258,6 +298,11 @@ impl<C: FastPathConfig> ThinLocks<C> {
                 // Owned by us at the maximum count: the 257th acquisition.
                 debug_assert_eq!(u32::from(word.thin_count()), MAX_THIN_COUNT);
                 let locks = u32::from(word.thin_count()) + 1 + 1; // held + this one
+                self.emit(
+                    Some(t.index()),
+                    Some(obj),
+                    TraceEventKind::AcquireNested { depth: locks },
+                );
                 self.inflate_owned(obj, t, locks, InflationCause::CountOverflow)?;
                 self.record_lock(LockScenario::NestedDeep, locks);
                 return Ok(());
@@ -270,6 +315,14 @@ impl<C: FastPathConfig> ThinLocks<C> {
                 let new = LockWord::from_bits(word.bits() | t.shifted());
                 if cell.try_cas(word, new, profile).is_ok() {
                     if spun {
+                        let rounds = u32::try_from(backoff.rounds()).unwrap_or(u32::MAX);
+                        self.emit(
+                            Some(t.index()),
+                            Some(obj),
+                            TraceEventKind::AcquireContendedThin {
+                                spin_rounds: rounds,
+                            },
+                        );
                         self.inflate_owned(obj, t, 1, InflationCause::Contention)?;
                         self.record_lock(LockScenario::ContendedThin, 1);
                         if let Some(s) = &self.stats {
@@ -277,6 +330,7 @@ impl<C: FastPathConfig> ThinLocks<C> {
                         }
                     } else {
                         self.record_lock(LockScenario::Unlocked, 1);
+                        self.emit(Some(t.index()), Some(obj), TraceEventKind::AcquireUnlocked);
                     }
                     return Ok(());
                 }
@@ -312,6 +366,7 @@ impl<C: FastPathConfig> ThinLocks<C> {
             if let Some(s) = &self.stats {
                 s.record_unlock_thin();
             }
+            self.emit(Some(t.index()), Some(obj), TraceEventKind::UnlockThin);
             return Ok(());
         }
 
@@ -322,6 +377,7 @@ impl<C: FastPathConfig> ThinLocks<C> {
             if let Some(s) = &self.stats {
                 s.record_unlock_thin();
             }
+            self.emit(Some(t.index()), Some(obj), TraceEventKind::UnlockThin);
             return Ok(());
         }
 
@@ -330,13 +386,13 @@ impl<C: FastPathConfig> ThinLocks<C> {
 
     #[inline(never)]
     fn unlock_slow(&self, obj: ObjRef, t: ThreadToken, word: LockWord) -> SyncResult<()> {
-        let _ = obj;
         if word.is_fat() {
             let r = self.monitor_of(word).unlock(t, &self.registry);
             if r.is_ok() {
                 if let Some(s) = &self.stats {
                     s.record_unlock_fat();
                 }
+                self.emit(Some(t.index()), Some(obj), TraceEventKind::UnlockFat);
             }
             return r;
         }
@@ -378,6 +434,13 @@ impl<C: FastPathConfig> ThinLocks<C> {
         let inflated = word.inflated(idx);
         if cell.try_cas(word, inflated, self.config.profile()).is_ok() {
             self.record_inflation(InflationCause::Hint);
+            self.emit(
+                None,
+                Some(obj),
+                TraceEventKind::Inflated {
+                    cause: InflationCause::Hint,
+                },
+            );
             Ok(true)
         } else {
             Ok(false)
@@ -478,6 +541,7 @@ impl<C: FastPathConfig> SyncProtocol for ThinLocks<C> {
             s.record_wait();
         }
         let monitor = self.require_fat(obj, t)?;
+        self.emit(Some(t.index()), Some(obj), TraceEventKind::Wait);
         monitor.wait(t, &self.registry, timeout)
     }
 
@@ -485,14 +549,18 @@ impl<C: FastPathConfig> SyncProtocol for ThinLocks<C> {
         if let Some(s) = &self.stats {
             s.record_notify();
         }
-        self.require_fat(obj, t)?.notify(t)
+        let monitor = self.require_fat(obj, t)?;
+        self.emit(Some(t.index()), Some(obj), TraceEventKind::Notify);
+        monitor.notify(t)
     }
 
     fn notify_all(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
         if let Some(s) = &self.stats {
             s.record_notify();
         }
-        self.require_fat(obj, t)?.notify_all(t)
+        let monitor = self.require_fat(obj, t)?;
+        self.emit(Some(t.index()), Some(obj), TraceEventKind::Notify);
+        monitor.notify_all(t)
     }
 
     fn holds_lock(&self, obj: ObjRef, t: ThreadToken) -> bool {
@@ -505,7 +573,13 @@ impl<C: FastPathConfig> SyncProtocol for ThinLocks<C> {
     }
 
     fn pre_inflate_hint(&self, obj: ObjRef) -> bool {
-        self.pre_inflate(obj).unwrap_or(false)
+        let applied = self.pre_inflate(obj).unwrap_or(false);
+        self.emit(None, Some(obj), TraceEventKind::PreInflateHint { applied });
+        applied
+    }
+
+    fn trace_sink(&self) -> Option<&dyn TraceSink> {
+        self.tracer.as_deref()
     }
 
     fn heap(&self) -> &Heap {
@@ -909,6 +983,84 @@ mod tests {
         p.notify(obj, t).unwrap();
         assert!(matches!(p.lock_word(obj).state(), LockState::Fat { .. }));
         p.unlock(obj, t).unwrap();
+    }
+
+    #[test]
+    fn trace_sink_sees_protocol_transitions() {
+        use std::sync::Mutex;
+
+        #[derive(Debug, Default)]
+        struct Recorder(Mutex<Vec<TraceEventKind>>);
+        impl TraceSink for Recorder {
+            fn record(&self, _t: Option<ThreadIndex>, _o: Option<ObjRef>, kind: TraceEventKind) {
+                self.0.lock().unwrap().push(kind);
+            }
+        }
+
+        let recorder = Arc::new(Recorder::default());
+        let p = ThinLocks::with_capacity(4)
+            .with_trace_sink(Arc::clone(&recorder) as Arc<dyn TraceSink>);
+        assert!(p.trace_sink().is_some());
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+
+        p.lock(obj, t).unwrap();
+        p.lock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+        p.notify(obj, t).unwrap(); // still held once: inflates, WaitNotify
+        p.unlock(obj, t).unwrap();
+
+        let events = recorder.0.lock().unwrap().clone();
+        assert_eq!(
+            events,
+            vec![
+                TraceEventKind::AcquireUnlocked,
+                TraceEventKind::AcquireNested { depth: 2 },
+                TraceEventKind::UnlockThin,
+                // notify() re-acquires nothing: the lock inflates in
+                // place, the monitor allocation is traced by the table,
+                // then the notify itself is recorded.
+                TraceEventKind::MonitorAllocated { index: 0 },
+                TraceEventKind::Inflated {
+                    cause: InflationCause::WaitNotify
+                },
+                TraceEventKind::Notify,
+                TraceEventKind::UnlockFat,
+            ]
+        );
+    }
+
+    #[test]
+    fn trace_sink_attributes_hint_inflation() {
+        use std::sync::Mutex;
+
+        #[derive(Debug, Default)]
+        struct Recorder(Mutex<Vec<TraceEventKind>>);
+        impl TraceSink for Recorder {
+            fn record(&self, _t: Option<ThreadIndex>, _o: Option<ObjRef>, kind: TraceEventKind) {
+                self.0.lock().unwrap().push(kind);
+            }
+        }
+
+        let recorder = Arc::new(Recorder::default());
+        let p = ThinLocks::with_capacity(4)
+            .with_trace_sink(Arc::clone(&recorder) as Arc<dyn TraceSink>);
+        let obj = p.heap().alloc().unwrap();
+        assert!(p.pre_inflate_hint(obj));
+        assert!(!p.pre_inflate_hint(obj), "already fat: not applied");
+        let events = recorder.0.lock().unwrap().clone();
+        assert_eq!(
+            events,
+            vec![
+                TraceEventKind::MonitorAllocated { index: 0 },
+                TraceEventKind::Inflated {
+                    cause: InflationCause::Hint
+                },
+                TraceEventKind::PreInflateHint { applied: true },
+                TraceEventKind::PreInflateHint { applied: false },
+            ]
+        );
     }
 
     #[test]

@@ -13,9 +13,10 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use thinlock_runtime::error::SyncError;
+use thinlock_runtime::events::{TraceEventKind, TraceSink};
 use thinlock_runtime::lockword::MonitorIndex;
 
 use crate::fatlock::FatLock;
@@ -35,6 +36,7 @@ use crate::fatlock::FatLock;
 pub struct MonitorTable {
     slots: Box<[OnceLock<FatLock>]>,
     next: AtomicU32,
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl MonitorTable {
@@ -45,7 +47,16 @@ impl MonitorTable {
         MonitorTable {
             slots: (0..cap).map(|_| OnceLock::new()).collect(),
             next: AtomicU32::new(0),
+            sink: None,
         }
+    }
+
+    /// Attaches an event sink; every subsequent allocation emits a
+    /// [`TraceEventKind::MonitorAllocated`] event. Recording at the table
+    /// (rather than at inflation sites) also covers allocations whose
+    /// installing CAS loses a race and leaks the slot.
+    pub fn set_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = Some(sink);
     }
 
     /// Registers a fat lock, returning its permanent index.
@@ -61,6 +72,9 @@ impl MonitorTable {
         }
         let installed = self.slots[slot as usize].set(lock).is_ok();
         assert!(installed, "slot allocated twice");
+        if let Some(sink) = &self.sink {
+            sink.record(None, None, TraceEventKind::MonitorAllocated { index: slot });
+        }
         // The index is published to other threads through a release store
         // of the inflated lock word; OnceLock::set already synchronizes
         // the lock contents with any subsequent get().
@@ -167,6 +181,30 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 400);
+    }
+
+    #[test]
+    fn sink_sees_every_allocation_with_its_index() {
+        use std::sync::Mutex;
+        use thinlock_runtime::heap::ObjRef;
+        use thinlock_runtime::lockword::ThreadIndex;
+
+        #[derive(Debug, Default)]
+        struct Recorder(Mutex<Vec<u32>>);
+        impl TraceSink for Recorder {
+            fn record(&self, _t: Option<ThreadIndex>, _o: Option<ObjRef>, kind: TraceEventKind) {
+                if let TraceEventKind::MonitorAllocated { index } = kind {
+                    self.0.lock().unwrap().push(index);
+                }
+            }
+        }
+
+        let recorder = Arc::new(Recorder::default());
+        let mut table = MonitorTable::with_capacity(3);
+        table.set_sink(Arc::clone(&recorder) as Arc<dyn TraceSink>);
+        table.allocate(FatLock::new()).unwrap();
+        table.allocate(FatLock::new()).unwrap();
+        assert_eq!(*recorder.0.lock().unwrap(), vec![0, 1]);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! The decoded event record and its fixed-width ring encoding.
+//!
+//! A ring slot stores an event in two machine words (plus the timestamp
+//! and the slot's sequence number): a *meta* word packing the event kind,
+//! the recording thread, and a 32-bit payload, and an *object* word
+//! holding the attributed object index (or a sentinel for "none"). The
+//! packing is lossless for every [`TraceEventKind`] payload the protocol
+//! can produce: nesting depth and spin rounds saturate at `u32::MAX`
+//! (still far past anything observable), monitor indices are 23 bits,
+//! and inflation causes are 2 bits.
+
+use thinlock_runtime::events::TraceEventKind;
+use thinlock_runtime::heap::ObjRef;
+use thinlock_runtime::lockword::ThreadIndex;
+use thinlock_runtime::stats::InflationCause;
+
+/// Sentinel in the object word meaning "no object attributed".
+const NO_OBJ: u64 = u64::MAX;
+
+/// One decoded lock event, as returned by ring and tracer snapshots.
+///
+/// `index` is the event's position in its ring's total recording order
+/// (0 = first event ever recorded there); because rings are per-thread,
+/// it orders events of one thread exactly even when timestamps collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockEvent {
+    /// Position in the owning ring's recording order.
+    pub index: u64,
+    /// Nanoseconds since the tracer's epoch (its creation instant).
+    pub time_ns: u64,
+    /// The recording thread, if the event is attributable to one.
+    pub thread: Option<ThreadIndex>,
+    /// The object the event concerns, if any.
+    pub obj: Option<ObjRef>,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// Packs `kind` into its stable 8-bit code plus a 32-bit payload.
+pub(crate) fn encode_kind(kind: TraceEventKind) -> (u8, u32) {
+    match kind {
+        TraceEventKind::AcquireUnlocked => (1, 0),
+        TraceEventKind::AcquireNested { depth } => (2, depth),
+        TraceEventKind::AcquireFat { contended } => (3, u32::from(contended)),
+        TraceEventKind::AcquireContendedThin { spin_rounds } => (4, spin_rounds),
+        TraceEventKind::Inflated { cause } => (5, u32::from(cause.code())),
+        TraceEventKind::UnlockThin => (6, 0),
+        TraceEventKind::UnlockFat => (7, 0),
+        TraceEventKind::Wait => (8, 0),
+        TraceEventKind::Notify => (9, 0),
+        TraceEventKind::MonitorAllocated { index } => (10, index),
+        TraceEventKind::ElisionHit => (11, 0),
+        TraceEventKind::PreInflateHint { applied } => (12, u32::from(applied)),
+    }
+}
+
+/// Inverse of [`encode_kind`]; `None` for corrupt codes (which a torn
+/// slot can never produce — the ring's sequence check rejects tearing —
+/// but defensive decoding keeps the snapshot path panic-free).
+pub(crate) fn decode_kind(code: u8, payload: u32) -> Option<TraceEventKind> {
+    Some(match code {
+        1 => TraceEventKind::AcquireUnlocked,
+        2 => TraceEventKind::AcquireNested { depth: payload },
+        3 => TraceEventKind::AcquireFat {
+            contended: payload != 0,
+        },
+        4 => TraceEventKind::AcquireContendedThin {
+            spin_rounds: payload,
+        },
+        5 => TraceEventKind::Inflated {
+            cause: InflationCause::from_code(u8::try_from(payload).ok()?)?,
+        },
+        6 => TraceEventKind::UnlockThin,
+        7 => TraceEventKind::UnlockFat,
+        8 => TraceEventKind::Wait,
+        9 => TraceEventKind::Notify,
+        10 => TraceEventKind::MonitorAllocated { index: payload },
+        11 => TraceEventKind::ElisionHit,
+        12 => TraceEventKind::PreInflateHint {
+            applied: payload != 0,
+        },
+        _ => return None,
+    })
+}
+
+/// Packs kind + thread + payload into the meta word:
+/// `kind(8) | thread(16) | unused(8) | payload(32)`, high to low.
+pub(crate) fn pack_meta(kind: TraceEventKind, thread: Option<ThreadIndex>) -> u64 {
+    let (code, payload) = encode_kind(kind);
+    let thread = thread.map_or(0u64, |t| u64::from(t.get()));
+    (u64::from(code) << 56) | (thread << 40) | u64::from(payload)
+}
+
+/// Packs an optional object into the object word.
+pub(crate) fn pack_obj(obj: Option<ObjRef>) -> u64 {
+    obj.map_or(NO_OBJ, |o| o.index() as u64)
+}
+
+/// Decodes a (meta, obj) word pair; `None` if the kind code is corrupt.
+pub(crate) fn unpack(meta: u64) -> Option<(TraceEventKind, Option<ThreadIndex>)> {
+    let code = (meta >> 56) as u8;
+    let thread_raw = ((meta >> 40) & 0xFFFF) as u16;
+    let payload = meta as u32;
+    let kind = decode_kind(code, payload)?;
+    let thread = ThreadIndex::new(thread_raw).ok();
+    Some((kind, thread))
+}
+
+/// Decodes the object word.
+pub(crate) fn unpack_obj(obj: u64) -> Option<ObjRef> {
+    (obj != NO_OBJ).then(|| ObjRef::from_index(obj as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(kind: TraceEventKind) {
+        let (code, payload) = encode_kind(kind);
+        assert_eq!(decode_kind(code, payload), Some(kind));
+    }
+
+    #[test]
+    fn every_kind_roundtrips() {
+        for kind in [
+            TraceEventKind::AcquireUnlocked,
+            TraceEventKind::AcquireNested { depth: 257 },
+            TraceEventKind::AcquireFat { contended: true },
+            TraceEventKind::AcquireFat { contended: false },
+            TraceEventKind::AcquireContendedThin { spin_rounds: 12345 },
+            TraceEventKind::UnlockThin,
+            TraceEventKind::UnlockFat,
+            TraceEventKind::Wait,
+            TraceEventKind::Notify,
+            TraceEventKind::MonitorAllocated { index: 0x7F_FFFF },
+            TraceEventKind::ElisionHit,
+            TraceEventKind::PreInflateHint { applied: true },
+        ] {
+            roundtrip(kind);
+        }
+        for cause in InflationCause::ALL {
+            roundtrip(TraceEventKind::Inflated { cause });
+        }
+    }
+
+    #[test]
+    fn corrupt_codes_decode_to_none() {
+        assert_eq!(decode_kind(0, 0), None);
+        assert_eq!(decode_kind(200, 0), None);
+        // Inflated with an out-of-range cause code.
+        assert_eq!(decode_kind(5, 99), None);
+    }
+
+    #[test]
+    fn meta_word_carries_thread_and_payload() {
+        let t = ThreadIndex::new(42).unwrap();
+        let meta = pack_meta(
+            TraceEventKind::AcquireContendedThin { spin_rounds: 7 },
+            Some(t),
+        );
+        let (kind, thread) = unpack(meta).unwrap();
+        assert_eq!(
+            kind,
+            TraceEventKind::AcquireContendedThin { spin_rounds: 7 }
+        );
+        assert_eq!(thread, Some(t));
+        // No thread: index 0 is not a valid ThreadIndex, decodes to None.
+        let (_, none) = unpack(pack_meta(TraceEventKind::Wait, None)).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn obj_word_sentinel() {
+        assert_eq!(unpack_obj(pack_obj(None)), None);
+        let o = ObjRef::from_index(7);
+        assert_eq!(unpack_obj(pack_obj(Some(o))), Some(o));
+    }
+}

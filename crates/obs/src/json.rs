@@ -1,0 +1,240 @@
+//! A minimal JSON writer for the profile export.
+//!
+//! The workspace is dependency-free by policy (DESIGN.md §6), so the
+//! profile's machine-readable export is produced by this small
+//! comma-and-escaping-aware builder instead of a serialization crate.
+//! It emits compact, valid JSON; it does not pretty-print.
+
+use std::fmt::Write as _;
+
+/// An incremental JSON builder.
+///
+/// Keys are written with the `field_*` methods inside objects and the
+/// `elem_*` methods inside arrays; commas are inserted automatically.
+///
+/// # Example
+///
+/// ```
+/// use thinlock_obs::json::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.field_str("name", "fig4");
+/// w.begin_named_array("xs");
+/// w.elem_u64(1);
+/// w.elem_u64(2);
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"name":"fig4","xs":[1,2]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: true once it has a first element.
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Returns the accumulated JSON text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if containers are still open — a malformed document must
+    /// not escape silently.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.out
+    }
+
+    fn comma(&mut self) {
+        if let Some(has_elem) = self.stack.last_mut() {
+            if *has_elem {
+                self.out.push(',');
+            }
+            *has_elem = true;
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        self.comma();
+        self.push_string(name);
+        self.out.push(':');
+        // The value that follows is the element; don't double-comma.
+        if let Some(has_elem) = self.stack.last_mut() {
+            *has_elem = true;
+        }
+    }
+
+    fn push_string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.out, "\\u{:04x}", c as u32);
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Opens an anonymous object (document root or array element).
+    pub fn begin_object(&mut self) {
+        self.comma();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Opens an object-valued field.
+    pub fn begin_named_object(&mut self, name: &str) {
+        self.key(name);
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        self.stack.pop().expect("end_object without begin");
+        self.out.push('}');
+    }
+
+    /// Opens an anonymous array.
+    pub fn begin_array(&mut self) {
+        self.comma();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Opens an array-valued field.
+    pub fn begin_named_array(&mut self, name: &str) {
+        self.key(name);
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        self.stack.pop().expect("end_array without begin");
+        self.out.push(']');
+    }
+
+    /// Writes a string field.
+    pub fn field_str(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.push_string(value);
+    }
+
+    /// Writes an unsigned-integer field.
+    pub fn field_u64(&mut self, name: &str, value: u64) {
+        self.key(name);
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Writes a float field (`null` if not finite — JSON has no NaN).
+    pub fn field_f64(&mut self, name: &str, value: f64) {
+        self.key(name);
+        if value.is_finite() {
+            let _ = write!(self.out, "{value}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a boolean field.
+    pub fn field_bool(&mut self, name: &str, value: bool) {
+        self.key(name);
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Writes a `null` field.
+    pub fn field_null(&mut self, name: &str) {
+        self.key(name);
+        self.out.push_str("null");
+    }
+
+    /// Writes an unsigned-integer array element.
+    pub fn elem_u64(&mut self, value: u64) {
+        self.comma();
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Writes a string array element.
+    pub fn elem_str(&mut self, value: &str) {
+        self.comma();
+        self.push_string(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structure() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("n", 3);
+        w.begin_named_object("inner");
+        w.field_bool("ok", true);
+        w.field_null("missing");
+        w.end_object();
+        w.begin_named_array("items");
+        w.begin_object();
+        w.field_f64("x", 1.5);
+        w.end_object();
+        w.elem_str("end");
+        w.end_array();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"n":3,"inner":{"ok":true,"missing":null},"items":[{"x":1.5},"end"]}"#
+        );
+    }
+
+    #[test]
+    fn control_chars_use_unicode_escapes() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("s", "\u{1}");
+        w.end_object();
+        // Expected output escapes U+0001 as a backslash-u sequence; the
+        // expected string is built with format! so this source file stays
+        assert_eq!(w.finish(), format!(r#"{{"s":"\{}"}}"#, "u0001"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("s", "a\"b\\c\nd");
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"s":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_f64("bad", f64::NAN);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"bad":null}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unbalanced_document_panics() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        let _ = w.finish();
+    }
+}

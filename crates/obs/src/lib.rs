@@ -1,0 +1,40 @@
+//! Lock-event observability for the thin-lock reproduction.
+//!
+//! The statistics counters in `thinlock-runtime` reproduce the paper's
+//! aggregate tables; this crate records the *individual* events behind
+//! them, cheaply enough to leave on while measuring:
+//!
+//! 1. A protocol streams events through the
+//!    [`TraceSink`](thinlock_runtime::events::TraceSink) seam into a
+//!    [`LockTracer`] — one fixed-capacity [`EventRing`] per thread,
+//!    preallocated up front, written with relaxed atomic stores, never
+//!    blocking and never allocating on the hot path. Full rings wrap
+//!    over their oldest events and count exactly how many were lost.
+//! 2. [`LockTracer::snapshot`] merges the rings into a time-sorted
+//!    stream of decoded [`LockEvent`]s — safe to take while writer
+//!    threads are still recording (a seqlock per slot rejects torn
+//!    reads).
+//! 3. [`ContentionProfile::build`] aggregates the stream into the
+//!    hottest objects, the spin-round distribution, and a timeline
+//!    attributing every inflation to its
+//!    [`InflationCause`](thinlock_runtime::stats::InflationCause).
+//!    The profile prints as text (the `reproduce` binary's `profile`
+//!    section) or exports as JSON via [`ContentionProfile::to_json`].
+//!
+//! See DESIGN.md §10 for the event schema, memory-ordering argument,
+//! and overhead budget.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod event;
+pub mod json;
+pub mod profile;
+pub mod ring;
+pub mod tracer;
+
+pub use event::LockEvent;
+pub use json::JsonWriter;
+pub use profile::{ContentionProfile, Inflation, ObjectProfile, SPIN_BUCKETS};
+pub use ring::{EventRing, RawEvent, RingSnapshot};
+pub use tracer::{LockTracer, TraceSnapshot, TracerConfig};

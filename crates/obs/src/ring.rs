@@ -1,0 +1,244 @@
+//! The fixed-capacity event ring: lock-free writes, seqlock snapshots.
+//!
+//! One ring per thread, sized at tracer construction — the hot path
+//! never allocates. A write claims a global position with a relaxed
+//! `fetch_add`, marks the slot in-progress (odd sequence number), stores
+//! the event words with relaxed stores, then publishes with a release
+//! store of the even sequence number. Old events are overwritten on
+//! wraparound; the number of events lost this way is exact arithmetic
+//! over the head counter, reported as `dropped` in every snapshot.
+//!
+//! Snapshots run concurrently with writers: a reader validates each slot
+//! with the classic seqlock protocol (read sequence, read data, re-read
+//! sequence; keep only if both reads saw the same even value). A slot
+//! mid-overwrite is simply skipped — its old event counts as dropped,
+//! its new event belongs to a later snapshot — so a snapshot never
+//! blocks a writer and never returns a torn event.
+//!
+//! The sequence number of a slot is derived from the global position
+//! (`2·pos + 1` while writing, `2·pos + 2` when published), so it grows
+//! monotonically across wraparounds and doubles as the event's position:
+//! consistency validation and drop accounting come from the same word.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// An event as stored in a ring: position plus the three data words.
+/// Decoding into a [`LockEvent`](crate::event::LockEvent) happens at the
+/// tracer layer; the ring is payload-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawEvent {
+    /// Position in this ring's total recording order (0 = first ever).
+    pub index: u64,
+    /// First data word (the tracer stores the timestamp here).
+    pub time: u64,
+    /// Second data word (packed kind/thread/payload).
+    pub meta: u64,
+    /// Third data word (packed object reference).
+    pub obj: u64,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    /// 0 = never written; `2·pos + 1` = write in progress; `2·pos + 2` =
+    /// holds the event recorded at global position `pos`.
+    seq: AtomicU64,
+    time: AtomicU64,
+    meta: AtomicU64,
+    obj: AtomicU64,
+}
+
+/// A fixed-capacity single-writer ring of lock events.
+///
+/// Any number of threads may snapshot concurrently, but at most one
+/// thread should write at a time (the tracer enforces this by giving
+/// each thread its own ring). Concurrent writers are still memory-safe —
+/// everything is atomics — but two writers that wrap onto the same slot
+/// simultaneously could publish an event attributed to the wrong
+/// position, so the multi-writer shared ring is documented best-effort.
+///
+/// # Example
+///
+/// ```
+/// use thinlock_obs::ring::EventRing;
+///
+/// let ring = EventRing::with_capacity(4);
+/// for i in 0..6 {
+///     ring.push(i, i * 10, i * 100);
+/// }
+/// let snap = ring.snapshot();
+/// assert_eq!(snap.recorded, 6);
+/// assert_eq!(snap.dropped, 2); // capacity 4: the two oldest were overwritten
+/// assert_eq!(snap.events.len(), 4);
+/// assert_eq!(snap.events[0].index, 2); // oldest surviving event
+/// ```
+#[derive(Debug)]
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    head: AtomicU64,
+}
+
+/// A consistent view of a ring's surviving events plus drop accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingSnapshot {
+    /// Surviving events, sorted by position ascending. Every event is
+    /// internally consistent (the seqlock rejected torn reads).
+    pub events: Vec<RawEvent>,
+    /// Total events ever pushed at the moment the snapshot started.
+    pub recorded: u64,
+    /// `recorded - events.len()`: events overwritten by wraparound or
+    /// mid-write while the snapshot ran.
+    pub dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding the most recent `capacity` events
+    /// (rounded up to a power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        EventRing {
+            slots: (0..cap).map(|_| Slot::default()).collect(),
+            mask: (cap - 1) as u64,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots (events retained before wraparound).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events pushed over the ring's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to wraparound so far (monotone, exact between pushes).
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Records an event. Lock-free, allocation-free; wraps over the
+    /// oldest event when full.
+    #[inline]
+    pub fn push(&self, time: u64, meta: u64, obj: u64) {
+        let pos = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(pos & self.mask) as usize];
+        slot.seq.store(2 * pos + 1, Ordering::Relaxed);
+        // Order the in-progress marker before the data stores so a
+        // reader that observes new data also observes an odd (or newer)
+        // sequence and rejects the slot.
+        fence(Ordering::Release);
+        slot.time.store(time, Ordering::Relaxed);
+        slot.meta.store(meta, Ordering::Relaxed);
+        slot.obj.store(obj, Ordering::Relaxed);
+        slot.seq.store(2 * pos + 2, Ordering::Release);
+    }
+
+    /// Collects the surviving events without stopping writers.
+    pub fn snapshot(&self) -> RingSnapshot {
+        let recorded = self.head.load(Ordering::Acquire);
+        let mut events = Vec::with_capacity(self.slots.len().min(recorded as usize));
+        for slot in self.slots.iter() {
+            // A slot being overwritten right now is skipped rather than
+            // retried: the retry would only ever surface an event newer
+            // than `recorded`, which we exclude anyway to keep the
+            // accounting (`events + dropped == recorded`) exact.
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == 0 || seq % 2 == 1 {
+                continue; // empty or mid-write
+            }
+            let time = slot.time.load(Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let obj = slot.obj.load(Ordering::Relaxed);
+            // Order the data loads before the validating re-read.
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != seq {
+                continue; // overwritten while reading: torn, discard
+            }
+            let index = (seq - 2) / 2;
+            if index >= recorded {
+                continue; // published after the snapshot began
+            }
+            events.push(RawEvent {
+                index,
+                time,
+                meta,
+                obj,
+            });
+        }
+        events.sort_unstable_by_key(|e| e.index);
+        let dropped = recorded - events.len() as u64;
+        RingSnapshot {
+            events,
+            recorded,
+            dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_snapshot() {
+        let ring = EventRing::with_capacity(8);
+        let snap = ring.snapshot();
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.recorded, 0);
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(EventRing::with_capacity(0).capacity(), 2);
+        assert_eq!(EventRing::with_capacity(3).capacity(), 4);
+        assert_eq!(EventRing::with_capacity(8).capacity(), 8);
+        assert_eq!(EventRing::with_capacity(1000).capacity(), 1024);
+    }
+
+    #[test]
+    fn events_survive_in_order_below_capacity() {
+        let ring = EventRing::with_capacity(8);
+        for i in 0..5u64 {
+            ring.push(i, 100 + i, 200 + i);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.recorded, 5);
+        assert_eq!(snap.dropped, 0);
+        let idx: Vec<u64> = snap.events.iter().map(|e| e.index).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+        for e in &snap.events {
+            assert_eq!(e.time, e.index);
+            assert_eq!(e.meta, 100 + e.index);
+            assert_eq!(e.obj, 200 + e.index);
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_and_counts_drops() {
+        let ring = EventRing::with_capacity(4);
+        for i in 0..11u64 {
+            ring.push(i, i, i);
+        }
+        assert_eq!(ring.recorded(), 11);
+        assert_eq!(ring.dropped(), 7);
+        let snap = ring.snapshot();
+        assert_eq!(snap.recorded, 11);
+        assert_eq!(snap.dropped, 7);
+        let idx: Vec<u64> = snap.events.iter().map(|e| e.index).collect();
+        assert_eq!(idx, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn accounting_identity_holds() {
+        let ring = EventRing::with_capacity(16);
+        for i in 0..100u64 {
+            ring.push(i, i, i);
+            let snap = ring.snapshot();
+            assert_eq!(snap.events.len() as u64 + snap.dropped, snap.recorded);
+        }
+    }
+}

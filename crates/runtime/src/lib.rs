@@ -19,6 +19,9 @@
 //!   bytecode VM are generic over the locking implementation.
 //! * [`stats`] — instrumentation counters for the locking-scenario
 //!   characterization of Section 3.2 (Table 1 / Figure 3).
+//! * [`events`] — the [`events::TraceSink`] seam through which protocols
+//!   stream individual timestamped lock events to an observability
+//!   backend (the `thinlock-obs` crate) without depending on one.
 //! * [`backoff`] — the spin/yield backoff used while spinning to inflate.
 //!
 //! # Example
@@ -39,6 +42,7 @@
 pub mod arch;
 pub mod backoff;
 pub mod error;
+pub mod events;
 pub mod heap;
 pub mod lockword;
 pub mod prng;
@@ -47,6 +51,7 @@ pub mod registry;
 pub mod stats;
 
 pub use error::{SyncError, SyncResult};
+pub use events::{TraceEventKind, TraceSink};
 pub use heap::{Heap, ObjRef};
 pub use lockword::{LockWord, MonitorIndex, ThreadIndex};
 pub use protocol::{SyncProtocol, WaitOutcome};

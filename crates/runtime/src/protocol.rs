@@ -15,6 +15,7 @@ use std::time::Duration;
 #[allow(unused_imports)] // referenced by doc links; used by the testing oracle
 use crate::error::SyncError;
 use crate::error::SyncResult;
+use crate::events::TraceSink;
 use crate::heap::{Heap, ObjRef};
 use crate::registry::{ThreadRegistry, ThreadToken};
 
@@ -113,6 +114,20 @@ pub trait SyncProtocol: Send + Sync {
     fn pre_inflate_hint(&self, obj: ObjRef) -> bool {
         let _ = obj;
         false
+    }
+
+    /// The event sink this protocol records lock events into, if any.
+    ///
+    /// Protocols that support event tracing (the thin-lock protocol with
+    /// a `thinlock-obs` tracer attached) return their sink here so
+    /// generic harness code — the bytecode VM, the trace replayer, the
+    /// `reproduce` binary — can record protocol-adjacent events (sync
+    /// elision hits, hint deliveries) into the *same* event stream the
+    /// protocol's own recording points feed, without knowing the
+    /// concrete protocol or sink type. The default is `None`: tracing
+    /// is strictly opt-in and costs untraced protocols nothing.
+    fn trace_sink(&self) -> Option<&dyn TraceSink> {
+        None
     }
 
     /// The heap whose objects this protocol synchronizes.
@@ -392,5 +407,11 @@ mod tests {
         let p = TableMonitor::new(1);
         let dynp: &dyn SyncProtocol = &p;
         assert_eq!(dynp.name(), "TableOracle");
+    }
+
+    #[test]
+    fn trace_sink_defaults_to_none() {
+        let p = TableMonitor::new(1);
+        assert!(p.trace_sink().is_none(), "tracing is opt-in");
     }
 }

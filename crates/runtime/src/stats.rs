@@ -70,6 +70,32 @@ pub enum InflationCause {
     Hint,
 }
 
+impl InflationCause {
+    /// All causes, in the order [`StatsSnapshot::inflations`] is indexed.
+    pub const ALL: [InflationCause; 4] = [
+        InflationCause::Contention,
+        InflationCause::CountOverflow,
+        InflationCause::WaitNotify,
+        InflationCause::Hint,
+    ];
+
+    /// Stable numeric code (the index into [`InflationCause::ALL`]),
+    /// used by the event-ring encoding in `thinlock-obs`.
+    pub fn code(self) -> u8 {
+        match self {
+            InflationCause::Contention => 0,
+            InflationCause::CountOverflow => 1,
+            InflationCause::WaitNotify => 2,
+            InflationCause::Hint => 3,
+        }
+    }
+
+    /// Inverse of [`code`](InflationCause::code).
+    pub fn from_code(code: u8) -> Option<InflationCause> {
+        InflationCause::ALL.get(code as usize).copied()
+    }
+}
+
 impl fmt::Display for InflationCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== cargo doc (no deps, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+
 echo "== tier-1: cargo build --release"
 cargo build --release --offline
 

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates the full reproduction report and the contention-profile
+# JSON into out/ (gitignored — the report is host-dependent; only the
+# code that generates it is versioned).
+#
+# Usage: scripts/reproduce.sh [extra reproduce args...]
+# e.g.:  scripts/reproduce.sh --quick
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p out
+cargo build --release --offline -p thinlock-bench
+./target/release/reproduce all profile --json out/profile.json "$@" \
+    | tee out/reproduce_output.txt
+echo
+echo "report: out/reproduce_output.txt"
+echo "profile JSON: out/profile.json"
