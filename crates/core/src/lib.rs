@@ -56,9 +56,11 @@
 pub mod config;
 pub mod tasuki;
 pub mod thin;
+pub mod watchdog;
 
 pub use config::{
     DynamicConfig, FastPathConfig, StaticKernelCas, StaticMp, StaticUp, UnlockStrategy,
 };
 pub use tasuki::TasukiLocks;
 pub use thin::ThinLocks;
+pub use watchdog::{DeadlockReport, Watchdog};

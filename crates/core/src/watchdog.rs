@@ -1,0 +1,332 @@
+//! Deadlock watchdog: waits-for cycle detection over the registry.
+//!
+//! The paper's protocol (like Java's monitors) happily lets threads
+//! deadlock; this module adds the diagnostic the VM around it would want.
+//! Every blocking acquisition publishes an advisory *waits-for edge*
+//! (thread → object) on its [`ThreadRecord`](thinlock_runtime::registry::ThreadRecord);
+//! the object's owner — thin owner straight from the lock word, fat owner
+//! from the monitor table — closes the edge to another thread. Since a
+//! blocked thread waits on at most one object, the graph is functional and
+//! a cycle can be found by pointer-chasing in `O(threads)` with no
+//! allocation beyond the report.
+//!
+//! Everything here is **advisory**: edges are published with relaxed
+//! stores and read racily, so a single scan can observe a cycle that was
+//! just broken. [`confirm_cycle`] therefore scans twice and only reports a
+//! cycle seen identically both times; a real deadlock is stable, so it is
+//! always confirmed, while transient artifacts have to survive two scans
+//! separated by a yield to be misreported.
+//!
+//! Two consumers:
+//!
+//! * [`ThinLocks::lock_deadline`](crate::ThinLocks) runs [`confirm_cycle`]
+//!   when a timed acquisition expires, turning "timed out while
+//!   deadlocked" into
+//!   [`SyncError::DeadlockDetected`](thinlock_runtime::error::SyncError::DeadlockDetected).
+//! * [`Watchdog`] runs [`scan`] on a background thread at a fixed
+//!   interval, collecting [`DeadlockReport`]s and emitting
+//!   [`TraceEventKind::DeadlockDetected`] events for cycles of threads
+//!   blocked in *untimed* acquisitions, which can never observe the cycle
+//!   themselves.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use thinlock_runtime::events::TraceEventKind;
+use thinlock_runtime::heap::ObjRef;
+use thinlock_runtime::lockword::ThreadIndex;
+use thinlock_runtime::protocol::SyncProtocol;
+
+use crate::config::FastPathConfig;
+use crate::thin::ThinLocks;
+
+/// One waits-for cycle: `threads[i]` is blocked acquiring `objects[i]`,
+/// which is owned by `threads[(i + 1) % len]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// The threads on the cycle, starting from the thread the scan began
+    /// at. Never empty.
+    pub threads: Vec<ThreadIndex>,
+    /// The object each corresponding thread is blocked on.
+    pub objects: Vec<ObjRef>,
+}
+
+impl DeadlockReport {
+    /// A rotation-invariant key for the cycle, used to deduplicate the
+    /// same deadlock discovered from different starting threads.
+    pub fn normalized(&self) -> Vec<u16> {
+        let ids: Vec<u16> = self.threads.iter().map(|t| t.get()).collect();
+        let pivot = ids
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, id)| **id)
+            .map_or(0, |(i, _)| i);
+        let mut rotated = Vec::with_capacity(ids.len());
+        rotated.extend_from_slice(&ids[pivot..]);
+        rotated.extend_from_slice(&ids[..pivot]);
+        rotated
+    }
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadlock cycle of {}: ", self.threads.len())?;
+        for (i, (t, o)) in self.threads.iter().zip(&self.objects).enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "thread {} waits on obj {}", t.get(), o.index())?;
+        }
+        Ok(())
+    }
+}
+
+/// Chases the waits-for chain starting at `start` (blocked on
+/// `waiting_on`) and returns the cycle if the chain loops back to
+/// `start`. A chain that dead-ends (some owner is not blocked) or loops
+/// without passing through `start` yields `None`.
+pub fn cycle_from<C: FastPathConfig>(
+    locks: &ThinLocks<C>,
+    start: ThreadIndex,
+    waiting_on: ObjRef,
+) -> Option<DeadlockReport> {
+    let mut threads = vec![start];
+    let mut objects = vec![waiting_on];
+    let mut obj = waiting_on;
+    loop {
+        let owner = locks.owner_of(obj)?;
+        if owner == start {
+            return Some(DeadlockReport { threads, objects });
+        }
+        if threads.contains(&owner) {
+            // A cycle exists but does not pass through `start`: the
+            // caller is blocked *behind* a deadlock, not part of one.
+            return None;
+        }
+        let next = locks.registry().record(owner).ok()?.blocked_on()?;
+        threads.push(owner);
+        objects.push(next);
+        obj = next;
+    }
+}
+
+/// [`cycle_from`], double-checked: the edges are read racily, so a cycle
+/// only counts if two scans separated by a yield observe it identically.
+pub fn confirm_cycle<C: FastPathConfig>(
+    locks: &ThinLocks<C>,
+    start: ThreadIndex,
+    waiting_on: ObjRef,
+) -> Option<DeadlockReport> {
+    let first = cycle_from(locks, start, waiting_on)?;
+    thread::yield_now();
+    let second = cycle_from(locks, start, waiting_on)?;
+    (first.threads == second.threads).then_some(first)
+}
+
+/// One full pass: every live thread with a published waits-for edge is
+/// used as a starting point, and distinct confirmed cycles are returned
+/// (the same cycle reached from two of its members is reported once).
+pub fn scan<C: FastPathConfig>(locks: &ThinLocks<C>) -> Vec<DeadlockReport> {
+    let mut reports = Vec::new();
+    let mut seen: HashSet<Vec<u16>> = HashSet::new();
+    for record in locks.registry().live_records() {
+        let Some(obj) = record.blocked_on() else {
+            continue;
+        };
+        let Some(report) = confirm_cycle(locks, record.index(), obj) else {
+            continue;
+        };
+        if seen.insert(report.normalized()) {
+            reports.push(report);
+        }
+    }
+    reports
+}
+
+struct WatchdogShared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+    reports: Mutex<Vec<DeadlockReport>>,
+}
+
+/// A background thread that runs [`scan`] at a fixed interval.
+///
+/// New cycles are appended to [`Watchdog::reports`] and emitted as
+/// [`TraceEventKind::DeadlockDetected`] through the protocol's trace
+/// sink (attributed to the first thread and object of the cycle). The
+/// watchdog only ever *reports*: breaking a deadlock is the embedder's
+/// policy decision (kill a thread, which triggers the orphan sweep).
+///
+/// The thread exits when the watchdog is dropped.
+pub struct Watchdog {
+    shared: Arc<WatchdogShared>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Spawns the watchdog over `locks`, scanning every `interval`.
+    pub fn spawn<C: FastPathConfig>(locks: Arc<ThinLocks<C>>, interval: Duration) -> Self {
+        let shared = Arc::new(WatchdogShared {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+            reports: Mutex::new(Vec::new()),
+        });
+        let inner = Arc::clone(&shared);
+        let handle = thread::Builder::new()
+            .name("thinlock-watchdog".into())
+            .spawn(move || {
+                let mut seen: HashSet<Vec<u16>> = HashSet::new();
+                loop {
+                    {
+                        let stop = inner.stop.lock().unwrap_or_else(|e| e.into_inner());
+                        if *stop {
+                            return;
+                        }
+                        let (stop, _timeout) = inner
+                            .wake
+                            .wait_timeout(stop, interval)
+                            .unwrap_or_else(|e| e.into_inner());
+                        if *stop {
+                            return;
+                        }
+                    }
+                    for report in scan(&locks) {
+                        if seen.insert(report.normalized()) {
+                            if let Some(sink) = locks.trace_sink() {
+                                sink.record(
+                                    report.threads.first().copied(),
+                                    report.objects.first().copied(),
+                                    TraceEventKind::DeadlockDetected {
+                                        threads: u32::try_from(report.threads.len())
+                                            .unwrap_or(u32::MAX),
+                                    },
+                                );
+                            }
+                            inner
+                                .reports
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(report);
+                        }
+                    }
+                }
+            })
+            .expect("spawn thinlock-watchdog thread");
+        Watchdog {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Every distinct deadlock observed so far.
+    pub fn reports(&self) -> Vec<DeadlockReport> {
+        self.shared
+            .reports
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Stops the background thread and waits for it to exit.
+    pub fn stop(self) {
+        // Drop does the work; this name just reads better at call sites.
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        *self.shared.stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.shared.wake.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Watchdog")
+            .field("reports", &self.reports().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+    use thinlock_runtime::error::SyncError;
+
+    #[test]
+    fn no_deadlock_scan_is_empty() {
+        let p = ThinLocks::with_capacity(4);
+        let r = p.registry().register().unwrap();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, r.token()).unwrap();
+        assert!(scan(&p).is_empty());
+        p.unlock(obj, r.token()).unwrap();
+    }
+
+    #[test]
+    fn report_normalization_is_rotation_invariant() {
+        let a = DeadlockReport {
+            threads: vec![ThreadIndex::new(3).unwrap(), ThreadIndex::new(1).unwrap()],
+            objects: vec![ObjRef::from_index(0), ObjRef::from_index(1)],
+        };
+        let b = DeadlockReport {
+            threads: vec![ThreadIndex::new(1).unwrap(), ThreadIndex::new(3).unwrap()],
+            objects: vec![ObjRef::from_index(1), ObjRef::from_index(0)],
+        };
+        assert_eq!(a.normalized(), b.normalized());
+        assert!(format!("{a}").contains("deadlock cycle of 2"));
+    }
+
+    #[test]
+    fn watchdog_reports_two_thread_cycle() {
+        let p = Arc::new(ThinLocks::with_capacity(4));
+        let o1 = p.heap().alloc().unwrap();
+        let o2 = p.heap().alloc().unwrap();
+        let barrier = Arc::new(Barrier::new(2));
+        let dog = Watchdog::spawn(Arc::clone(&p), Duration::from_millis(10));
+
+        let spawn = |mine: ObjRef, theirs: ObjRef| {
+            let p = Arc::clone(&p);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let r = p.registry().register().unwrap();
+                let t = r.token();
+                p.lock(mine, t).unwrap();
+                barrier.wait();
+                // Long enough that the watchdog sees the cycle first.
+                let res = p.lock_deadline(theirs, t, Duration::from_secs(5));
+                if res.is_ok() {
+                    p.unlock(theirs, t).unwrap();
+                }
+                p.unlock(mine, t).unwrap();
+                res
+            })
+        };
+        let a = spawn(o1, o2);
+        let b = spawn(o2, o1);
+        let mut waited = Duration::ZERO;
+        while dog.reports().is_empty() && waited < Duration::from_secs(10) {
+            thread::sleep(Duration::from_millis(10));
+            waited += Duration::from_millis(10);
+        }
+        let reports = dog.reports();
+        assert_eq!(reports.len(), 1, "one distinct cycle");
+        assert_eq!(reports[0].threads.len(), 2);
+        // At least one side classifies its expiry as a deadlock; once it
+        // backs out and releases, the other may legitimately acquire.
+        let ra = a.join().unwrap();
+        let rb = b.join().unwrap();
+        assert!(
+            ra == Err(SyncError::DeadlockDetected) || rb == Err(SyncError::DeadlockDetected),
+            "{ra:?} / {rb:?}"
+        );
+        dog.stop();
+    }
+}

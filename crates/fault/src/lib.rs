@@ -1,0 +1,30 @@
+//! Deterministic fault injection and the seeded chaos harness.
+//!
+//! This crate is the test-side half of the fault seam declared in
+//! `thinlock_runtime::fault`: the protocol crates expose labeled
+//! [`InjectionPoint`](thinlock_runtime::fault::InjectionPoint)s behind a
+//! zero-cost-when-disabled gate, and this crate supplies the injectors
+//! that drive them.
+//!
+//! - [`FaultPlan`] — a seeded, per-point probabilistic
+//!   [`FaultInjector`](thinlock_runtime::fault::FaultInjector) with
+//!   rates, budgets, and fire counters. Same seed, same decisions.
+//! - [`chaos`] — randomized multi-threaded schedules
+//!   driven through a faulted protocol and cross-checked against a
+//!   `std::sync::Mutex` oracle; any divergence is reported with the
+//!   seed that replays it.
+//!
+//! The crate-level tests (`tests/`) are the robustness suite of
+//! DESIGN.md §11: the ≥1000-seed chaos sweep, orphaned-lock recovery,
+//! timed/try acquisition end-to-end, spurious-wakeup properties, and
+//! exhaustion-error recovery. The `chaos` binary runs the same sweep
+//! from the command line (`scripts/chaos.sh`).
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod chaos;
+pub mod plan;
+
+pub use chaos::{run_schedule, ChaosConfig, ChaosReport, ChaosTotals};
+pub use plan::{FaultPlan, POINTS, PPM};

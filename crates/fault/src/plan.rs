@@ -1,0 +1,236 @@
+//! Seeded, deterministic fault plans.
+//!
+//! A [`FaultPlan`] is a [`FaultInjector`] built from per-point *rules*:
+//! each [`InjectionPoint`] carries an action to inject, a firing
+//! probability, and an optional budget capping how many times it may
+//! fire. Decisions are drawn from one seeded in-repo PRNG, so a plan
+//! constructed from the same seed issues the same decision sequence —
+//! the property the chaos suite relies on to replay a failing schedule
+//! from nothing but its seed.
+//!
+//! Plans are *probabilistically terminating* by construction: any rule
+//! with probability below 1 eventually answers
+//! [`FaultAction::Proceed`], so retry loops steered by a plan make
+//! progress with probability one, and budgets give a hard cap where
+//! even that is too weak (e.g. forced exhaustion, which callers treat
+//! as a terminal error).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use thinlock_runtime::fault::{FaultAction, FaultInjector, InjectionPoint};
+use thinlock_runtime::prng::Xorshift128Plus;
+
+/// Number of labeled injection points (the length of
+/// [`InjectionPoint::ALL`]).
+pub const POINTS: usize = InjectionPoint::ALL.len();
+
+/// Probability scale: a rate of [`PPM`] fires on every consultation.
+pub const PPM: u32 = 1_000_000;
+
+/// One injection rule: what to inject at a point, and how often.
+#[derive(Debug, Clone, Copy)]
+struct Rule {
+    action: FaultAction,
+    rate_ppm: u32,
+}
+
+const NO_RULE: Rule = Rule {
+    action: FaultAction::Proceed,
+    rate_ppm: 0,
+};
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// # Example
+///
+/// ```
+/// use thinlock_fault::FaultPlan;
+/// use thinlock_runtime::fault::{FaultAction, FaultInjector, InjectionPoint};
+///
+/// // Fail the fast-path CAS once, deterministically.
+/// let plan = FaultPlan::new(42)
+///     .with_rule(InjectionPoint::LockFastCas, FaultAction::FailCas, thinlock_fault::PPM)
+///     .with_budget(InjectionPoint::LockFastCas, 1);
+/// assert_eq!(plan.decide(InjectionPoint::LockFastCas), FaultAction::FailCas);
+/// assert_eq!(plan.decide(InjectionPoint::LockFastCas), FaultAction::Proceed);
+/// assert_eq!(plan.fires(InjectionPoint::LockFastCas), 1);
+/// ```
+#[derive(Debug)]
+pub struct FaultPlan {
+    rng: Mutex<Xorshift128Plus>,
+    rules: [Rule; POINTS],
+    budgets: [AtomicU64; POINTS],
+    consults: [AtomicU64; POINTS],
+    fired: [AtomicU64; POINTS],
+}
+
+impl FaultPlan {
+    /// An empty plan (every point proceeds) drawing from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            rng: Mutex::new(Xorshift128Plus::seed_from_u64(seed)),
+            rules: [NO_RULE; POINTS],
+            budgets: std::array::from_fn(|_| AtomicU64::new(u64::MAX)),
+            consults: std::array::from_fn(|_| AtomicU64::new(0)),
+            fired: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The action chaos mode injects at `point` — the most disruptive
+    /// one that still leaves every schedule able to finish: CAS sites
+    /// lose their CAS, park sites wake spuriously, everything else is
+    /// descheduled. Exhaustion is deliberately absent (it turns
+    /// operations into errors; the exhaustion tests inject it with an
+    /// explicit budget instead).
+    pub fn natural_action(point: InjectionPoint) -> FaultAction {
+        match point {
+            InjectionPoint::LockFastCas | InjectionPoint::LockSlowCas => FaultAction::FailCas,
+            InjectionPoint::FatPark | InjectionPoint::WaitPark => FaultAction::SpuriousWake,
+            _ => FaultAction::Yield,
+        }
+    }
+
+    /// A plan injecting the [natural](FaultPlan::natural_action) action
+    /// at *every* point with probability `rate_ppm` — the all-points
+    /// chaos configuration the seeded suite sweeps.
+    pub fn chaos(seed: u64, rate_ppm: u32) -> Self {
+        let mut plan = Self::new(seed);
+        for point in InjectionPoint::ALL {
+            plan = plan.with_rule(point, Self::natural_action(point), rate_ppm);
+        }
+        plan
+    }
+
+    /// Sets the rule for `point`: inject `action` with probability
+    /// `rate_ppm` (in parts per million, saturating at [`PPM`] = always).
+    #[must_use]
+    pub fn with_rule(mut self, point: InjectionPoint, action: FaultAction, rate_ppm: u32) -> Self {
+        self.rules[point.index()] = Rule {
+            action,
+            rate_ppm: rate_ppm.min(PPM),
+        };
+        self
+    }
+
+    /// Caps `point` at firing `budget` times; further consultations
+    /// proceed. `u64::MAX` (the default) means unlimited.
+    #[must_use]
+    pub fn with_budget(self, point: InjectionPoint, budget: u64) -> Self {
+        self.budgets[point.index()].store(budget, Ordering::Relaxed);
+        self
+    }
+
+    /// How many times `point` has been consulted.
+    pub fn consults(&self, point: InjectionPoint) -> u64 {
+        self.consults[point.index()].load(Ordering::Relaxed)
+    }
+
+    /// How many times `point` actually injected its action.
+    pub fn fires(&self, point: InjectionPoint) -> u64 {
+        self.fired[point.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total injections across all points.
+    pub fn total_fires(&self) -> u64 {
+        InjectionPoint::ALL.iter().map(|p| self.fires(*p)).sum()
+    }
+
+    /// Per-point fire counts, indexed like [`InjectionPoint::ALL`].
+    pub fn fire_counts(&self) -> [u64; POINTS] {
+        std::array::from_fn(|i| self.fired[i].load(Ordering::Relaxed))
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn decide(&self, point: InjectionPoint) -> FaultAction {
+        let idx = point.index();
+        self.consults[idx].fetch_add(1, Ordering::Relaxed);
+        let rule = self.rules[idx];
+        if rule.rate_ppm == 0 || rule.action == FaultAction::Proceed {
+            return FaultAction::Proceed;
+        }
+        let draw = {
+            let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+            rng.next_below(u64::from(PPM)) as u32
+        };
+        if draw >= rule.rate_ppm {
+            return FaultAction::Proceed;
+        }
+        // Consume budget last so a rate miss never burns it.
+        let had_budget = self.budgets[idx]
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .is_ok();
+        if !had_budget {
+            return FaultAction::Proceed;
+        }
+        self.fired[idx].fetch_add(1, Ordering::Relaxed);
+        rule.action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_always_proceeds() {
+        let plan = FaultPlan::new(7);
+        for point in InjectionPoint::ALL {
+            assert_eq!(plan.decide(point), FaultAction::Proceed);
+        }
+        assert_eq!(plan.total_fires(), 0);
+        assert_eq!(plan.consults(InjectionPoint::LockFastCas), 1);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mk = || {
+            FaultPlan::new(1234).with_rule(InjectionPoint::LockSpin, FaultAction::Yield, PPM / 2)
+        };
+        let (a, b) = (mk(), mk());
+        for _ in 0..200 {
+            assert_eq!(
+                a.decide(InjectionPoint::LockSpin),
+                b.decide(InjectionPoint::LockSpin)
+            );
+        }
+        assert_eq!(
+            a.fires(InjectionPoint::LockSpin),
+            b.fires(InjectionPoint::LockSpin)
+        );
+        assert!(
+            a.fires(InjectionPoint::LockSpin) > 0,
+            "half rate fires in 200 draws"
+        );
+    }
+
+    #[test]
+    fn budget_caps_fires() {
+        let plan = FaultPlan::new(5)
+            .with_rule(InjectionPoint::HeapAlloc, FaultAction::Exhaust, PPM)
+            .with_budget(InjectionPoint::HeapAlloc, 3);
+        let mut injected = 0;
+        for _ in 0..10 {
+            if plan.decide(InjectionPoint::HeapAlloc) == FaultAction::Exhaust {
+                injected += 1;
+            }
+        }
+        assert_eq!(injected, 3);
+        assert_eq!(plan.fires(InjectionPoint::HeapAlloc), 3);
+        assert_eq!(plan.consults(InjectionPoint::HeapAlloc), 10);
+    }
+
+    #[test]
+    fn chaos_plan_covers_every_point() {
+        let plan = FaultPlan::chaos(99, PPM);
+        for point in InjectionPoint::ALL {
+            let action = plan.decide(point);
+            assert_eq!(action, FaultPlan::natural_action(point));
+            assert_ne!(action, FaultAction::Proceed);
+        }
+        assert_eq!(plan.total_fires(), POINTS as u64);
+        let counts = plan.fire_counts();
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,94 @@
+//! The seeded chaos sweep: ≥1000 randomized schedules through the
+//! faulted protocol, every one cross-checked against the std-Mutex
+//! oracle, with full injection-point catalog coverage asserted over
+//! the sweep.
+
+use thinlock_fault::{run_schedule, ChaosConfig, ChaosTotals};
+use thinlock_runtime::fault::InjectionPoint;
+
+/// The acceptance sweep: 1024 seeds, zero divergence, all 11 points.
+#[test]
+fn thousand_seed_sweep_converges_with_full_point_coverage() {
+    let mut totals = ChaosTotals::default();
+    let mut orphan_runs = 0u64;
+    for seed in 0..1024u64 {
+        let cfg = ChaosConfig::quick(seed);
+        if cfg.kill_thread {
+            orphan_runs += 1;
+        }
+        match run_schedule(cfg) {
+            Ok(report) => totals.absorb(&report),
+            Err(msg) => panic!("oracle divergence: {msg}"),
+        }
+    }
+    assert_eq!(totals.runs, 1024);
+    assert_eq!(orphan_runs, 256, "every 4th seed kills a thread mid-run");
+    assert!(
+        totals.report.orphaned,
+        "kill runs exercised the orphan sweep"
+    );
+    assert!(
+        totals.report.acquisitions > 10_000,
+        "sweep did real work: {} acquisitions",
+        totals.report.acquisitions
+    );
+    let unfired = totals.unfired_points();
+    assert!(
+        unfired.is_empty(),
+        "injection points never exercised across 1024 seeds: {unfired:?}"
+    );
+    assert!(
+        totals.report.total_fires() > 1000,
+        "fault rate injected a real fault volume: {}",
+        totals.report.total_fires()
+    );
+}
+
+/// Replay: the same seed re-derives the same per-worker operation
+/// streams, so the replay executes the identical op count. (Interleaving
+/// — and therefore which ops contend or time out — still belongs to the
+/// OS scheduler; the seed pins the *decisions*, not the clock.)
+#[test]
+fn same_seed_replays_same_operation_streams() {
+    for seed in [3, 17, 92, 100] {
+        let cfg = ChaosConfig::quick(seed);
+        let a = run_schedule(cfg).expect("first run converges");
+        let b = run_schedule(cfg).expect("replay converges");
+        assert_eq!(a.ops, b.ops, "seed {seed}: op counts differ");
+        assert_eq!(a.orphaned, b.orphaned, "seed {seed}: kill behavior differs");
+    }
+}
+
+/// A fault-free schedule (rate 0) also converges, and injects nothing.
+#[test]
+fn zero_rate_schedule_is_clean() {
+    let report = run_schedule(ChaosConfig {
+        seed: 7,
+        threads: 4,
+        objects: 3,
+        ops_per_thread: 50,
+        fault_rate_ppm: 0,
+        kill_thread: false,
+    })
+    .expect("fault-free schedule converges");
+    assert_eq!(report.total_fires(), 0);
+    assert!(report.acquisitions > 0);
+}
+
+/// Cranking the rate to certainty on the always-applicable points still
+/// converges: every injected action is legal, so the protocol must ride
+/// it out.
+#[test]
+fn high_rate_schedule_survives() {
+    let report = run_schedule(ChaosConfig {
+        seed: 41,
+        threads: 3,
+        objects: 2,
+        ops_per_thread: 20,
+        fault_rate_ppm: 600_000,
+        kill_thread: true,
+    })
+    .expect("high-rate schedule converges");
+    assert!(report.orphaned);
+    assert!(report.fires[InjectionPoint::LockFastCas.index()] > 0);
+}

@@ -17,6 +17,7 @@ use std::sync::{Arc, OnceLock};
 
 use thinlock_runtime::error::SyncError;
 use thinlock_runtime::events::{TraceEventKind, TraceSink};
+use thinlock_runtime::fault::{FaultAction, FaultInjector, InjectionPoint};
 use thinlock_runtime::lockword::MonitorIndex;
 
 use crate::fatlock::FatLock;
@@ -36,7 +37,8 @@ use crate::fatlock::FatLock;
 pub struct MonitorTable {
     slots: Box<[OnceLock<FatLock>]>,
     next: AtomicU32,
-    sink: Option<Arc<dyn TraceSink>>,
+    sink: OnceLock<Arc<dyn TraceSink>>,
+    injector: OnceLock<Arc<dyn FaultInjector>>,
 }
 
 impl MonitorTable {
@@ -47,16 +49,26 @@ impl MonitorTable {
         MonitorTable {
             slots: (0..cap).map(|_| OnceLock::new()).collect(),
             next: AtomicU32::new(0),
-            sink: None,
+            sink: OnceLock::new(),
+            injector: OnceLock::new(),
         }
     }
 
     /// Attaches an event sink; every subsequent allocation emits a
     /// [`TraceEventKind::MonitorAllocated`] event. Recording at the table
     /// (rather than at inflation sites) also covers allocations whose
-    /// installing CAS loses a race and leaks the slot.
-    pub fn set_sink(&mut self, sink: Arc<dyn TraceSink>) {
-        self.sink = Some(sink);
+    /// installing CAS loses a race and leaks the slot. Write-once: the
+    /// first installed sink wins.
+    pub fn set_sink(&self, sink: Arc<dyn TraceSink>) {
+        let _ = self.sink.set(sink);
+    }
+
+    /// Attaches a fault injector consulted at
+    /// [`InjectionPoint::MonitorAllocate`] on every allocation, and
+    /// stamped into every fat lock this table publishes (so their park
+    /// points inject too). Write-once: the first installed injector wins.
+    pub fn set_fault_injector(&self, injector: Arc<dyn FaultInjector>) {
+        let _ = self.injector.set(injector);
     }
 
     /// Registers a fat lock, returning its permanent index.
@@ -65,6 +77,17 @@ impl MonitorTable {
     ///
     /// [`SyncError::MonitorIndexExhausted`] if the table is full.
     pub fn allocate(&self, lock: FatLock) -> Result<MonitorIndex, SyncError> {
+        if let Some(injector) = self.injector.get() {
+            match injector.decide(InjectionPoint::MonitorAllocate) {
+                // Injected exhaustion consumes no slot: callers observe
+                // exactly what a full table produces, while the table
+                // stays usable for the recovery the caller must perform.
+                FaultAction::Exhaust => return Err(SyncError::MonitorIndexExhausted),
+                FaultAction::Yield => std::thread::yield_now(),
+                _ => {}
+            }
+            lock.set_fault_injector(Arc::clone(injector));
+        }
         let slot = self.next.fetch_add(1, Ordering::Relaxed);
         if (slot as usize) >= self.slots.len() {
             self.next.fetch_sub(1, Ordering::Relaxed);
@@ -72,7 +95,7 @@ impl MonitorTable {
         }
         let installed = self.slots[slot as usize].set(lock).is_ok();
         assert!(installed, "slot allocated twice");
-        if let Some(sink) = &self.sink {
+        if let Some(sink) = self.sink.get() {
             sink.record(None, None, TraceEventKind::MonitorAllocated { index: slot });
         }
         // The index is published to other threads through a release store
@@ -84,6 +107,17 @@ impl MonitorTable {
     /// Looks up a monitor by index. Wait-free.
     pub fn get(&self, index: MonitorIndex) -> Option<&FatLock> {
         self.slots.get(index.get() as usize)?.get()
+    }
+
+    /// Iterates over every allocated monitor with its index, in
+    /// allocation order. Diagnostic scans (the orphan sweep, the deadlock
+    /// watchdog) use this; monitors allocated after the iterator was
+    /// created may or may not appear.
+    pub fn iter(&self) -> impl Iterator<Item = (MonitorIndex, &FatLock)> + '_ {
+        (0..self.len() as u32).filter_map(move |slot| {
+            let lock = self.slots[slot as usize].get()?;
+            Some((MonitorIndex::new(slot).ok()?, lock))
+        })
     }
 
     /// Number of monitors allocated so far.
@@ -200,7 +234,7 @@ mod tests {
         }
 
         let recorder = Arc::new(Recorder::default());
-        let mut table = MonitorTable::with_capacity(3);
+        let table = MonitorTable::with_capacity(3);
         table.set_sink(Arc::clone(&recorder) as Arc<dyn TraceSink>);
         table.allocate(FatLock::new()).unwrap();
         table.allocate(FatLock::new()).unwrap();
@@ -211,5 +245,47 @@ mod tests {
     fn debug_output_mentions_len() {
         let table = MonitorTable::with_capacity(1);
         assert!(format!("{table:?}").contains("len"));
+    }
+
+    #[test]
+    fn injected_exhaustion_consumes_no_slot_and_recovers() {
+        use std::sync::atomic::AtomicBool;
+
+        #[derive(Debug, Default)]
+        struct ExhaustOnce(AtomicBool);
+        impl FaultInjector for ExhaustOnce {
+            fn decide(&self, point: InjectionPoint) -> FaultAction {
+                if point == InjectionPoint::MonitorAllocate && !self.0.swap(true, Ordering::Relaxed)
+                {
+                    FaultAction::Exhaust
+                } else {
+                    FaultAction::Proceed
+                }
+            }
+        }
+
+        let table = MonitorTable::with_capacity(2);
+        table.set_fault_injector(Arc::new(ExhaustOnce::default()));
+        assert_eq!(
+            table.allocate(FatLock::new()).unwrap_err(),
+            SyncError::MonitorIndexExhausted
+        );
+        assert_eq!(table.len(), 0, "injected failure consumed no slot");
+        assert!(table.allocate(FatLock::new()).is_ok());
+        assert!(table.allocate(FatLock::new()).is_ok());
+        assert_eq!(
+            table.allocate(FatLock::new()).unwrap_err(),
+            SyncError::MonitorIndexExhausted,
+            "real exhaustion still reported"
+        );
+    }
+
+    #[test]
+    fn iter_visits_allocated_monitors_in_order() {
+        let table = MonitorTable::with_capacity(4);
+        let a = table.allocate(FatLock::new()).unwrap();
+        let b = table.allocate(FatLock::new()).unwrap();
+        let indices: Vec<u32> = table.iter().map(|(i, _)| i.get()).collect();
+        assert_eq!(indices, vec![a.get(), b.get()]);
     }
 }

@@ -51,6 +51,9 @@ pub(crate) fn encode_kind(kind: TraceEventKind) -> (u8, u32) {
         TraceEventKind::MonitorAllocated { index } => (10, index),
         TraceEventKind::ElisionHit => (11, 0),
         TraceEventKind::PreInflateHint { applied } => (12, u32::from(applied)),
+        TraceEventKind::OrphanReclaimed { fat } => (13, u32::from(fat)),
+        TraceEventKind::DeadlockDetected { threads } => (14, threads),
+        TraceEventKind::AcquireTimedOut => (15, 0),
     }
 }
 
@@ -79,6 +82,9 @@ pub(crate) fn decode_kind(code: u8, payload: u32) -> Option<TraceEventKind> {
         12 => TraceEventKind::PreInflateHint {
             applied: payload != 0,
         },
+        13 => TraceEventKind::OrphanReclaimed { fat: payload != 0 },
+        14 => TraceEventKind::DeadlockDetected { threads: payload },
+        15 => TraceEventKind::AcquireTimedOut,
         _ => return None,
     })
 }
@@ -135,6 +141,10 @@ mod tests {
             TraceEventKind::MonitorAllocated { index: 0x7F_FFFF },
             TraceEventKind::ElisionHit,
             TraceEventKind::PreInflateHint { applied: true },
+            TraceEventKind::OrphanReclaimed { fat: true },
+            TraceEventKind::OrphanReclaimed { fat: false },
+            TraceEventKind::DeadlockDetected { threads: 3 },
+            TraceEventKind::AcquireTimedOut,
         ] {
             roundtrip(kind);
         }

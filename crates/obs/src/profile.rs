@@ -73,6 +73,11 @@ pub struct ObjectProfile {
     /// Synchronization operations elided on this object by the static
     /// escape analysis.
     pub elisions: u64,
+    /// Try/timed acquisitions of this object that gave up.
+    pub acquire_timeouts: u64,
+    /// Times this object's lock was force-released because its owner's
+    /// registration dropped without unlocking.
+    pub orphan_reclaims: u64,
     /// The object's inflation, if its lock ever inflated (thin-lock
     /// inflation is one-way, so at most one per object).
     pub inflation: Option<Inflation>,
@@ -93,6 +98,8 @@ impl ObjectProfile {
             waits: 0,
             notifies: 0,
             elisions: 0,
+            acquire_timeouts: 0,
+            orphan_reclaims: 0,
             inflation: None,
         }
     }
@@ -142,6 +149,15 @@ pub struct ContentionProfile {
     pub pre_inflate_hints: u64,
     /// The subset of hints that actually changed a lock's shape.
     pub pre_inflate_applied: u64,
+    /// Locks force-released by the registry's orphan sweep.
+    pub orphans_reclaimed: u64,
+    /// The subset of orphan reclaims that released a fat monitor.
+    pub orphans_reclaimed_fat: u64,
+    /// Distinct waits-for cycles reported by the deadlock watchdog or a
+    /// timed acquisition's expiry scan.
+    pub deadlocks_detected: u64,
+    /// Try/timed acquisitions that gave up without the lock.
+    pub acquire_timeouts: u64,
     /// Decoded events the profile is built from.
     pub events: u64,
     /// Events recorded by the tracer (surviving + dropped).
@@ -171,6 +187,10 @@ impl ContentionProfile {
         let mut elision_hits = 0;
         let mut pre_inflate_hints = 0;
         let mut pre_inflate_applied = 0;
+        let mut orphans_reclaimed = 0;
+        let mut orphans_reclaimed_fat = 0;
+        let mut deadlocks_detected = 0;
+        let mut acquire_timeouts = 0;
 
         for event in &snapshot.events {
             let profile = event.obj.map(|o| {
@@ -251,6 +271,22 @@ impl ContentionProfile {
                         pre_inflate_applied += 1;
                     }
                 }
+                TraceEventKind::OrphanReclaimed { fat } => {
+                    orphans_reclaimed += 1;
+                    if fat {
+                        orphans_reclaimed_fat += 1;
+                    }
+                    if let Some(p) = profile {
+                        p.orphan_reclaims += 1;
+                    }
+                }
+                TraceEventKind::DeadlockDetected { .. } => deadlocks_detected += 1,
+                TraceEventKind::AcquireTimedOut => {
+                    acquire_timeouts += 1;
+                    if let Some(p) = profile {
+                        p.acquire_timeouts += 1;
+                    }
+                }
             }
         }
 
@@ -270,6 +306,10 @@ impl ContentionProfile {
             elision_hits,
             pre_inflate_hints,
             pre_inflate_applied,
+            orphans_reclaimed,
+            orphans_reclaimed_fat,
+            deadlocks_detected,
+            acquire_timeouts,
             events: snapshot.events.len() as u64,
             recorded: snapshot.recorded,
             dropped: snapshot.dropped,
@@ -310,6 +350,10 @@ impl ContentionProfile {
         w.field_u64("elision_hits", self.elision_hits);
         w.field_u64("pre_inflate_hints", self.pre_inflate_hints);
         w.field_u64("pre_inflate_applied", self.pre_inflate_applied);
+        w.field_u64("orphans_reclaimed", self.orphans_reclaimed);
+        w.field_u64("orphans_reclaimed_fat", self.orphans_reclaimed_fat);
+        w.field_u64("deadlocks_detected", self.deadlocks_detected);
+        w.field_u64("acquire_timeouts", self.acquire_timeouts);
 
         w.begin_named_object("inflations_by_cause");
         let by_cause = self.inflations_by_cause();
@@ -334,6 +378,8 @@ impl ContentionProfile {
             w.field_u64("waits", o.waits);
             w.field_u64("notifies", o.notifies);
             w.field_u64("elisions", o.elisions);
+            w.field_u64("acquire_timeouts", o.acquire_timeouts);
+            w.field_u64("orphan_reclaims", o.orphan_reclaims);
             match o.inflation {
                 Some(i) => {
                     w.begin_named_object("inflation");
@@ -394,6 +440,16 @@ impl fmt::Display for ContentionProfile {
             self.pre_inflate_hints,
             self.pre_inflate_applied
         )?;
+        if self.orphans_reclaimed + self.deadlocks_detected + self.acquire_timeouts > 0 {
+            writeln!(
+                f,
+                "recovery: {} orphaned locks reclaimed ({} fat); {} deadlocks detected; {} acquisitions timed out",
+                self.orphans_reclaimed,
+                self.orphans_reclaimed_fat,
+                self.deadlocks_detected,
+                self.acquire_timeouts
+            )?;
+        }
 
         writeln!(f, "hottest objects:")?;
         writeln!(
@@ -544,6 +600,42 @@ mod tests {
         assert_eq!(profile.pre_inflate_hints, 2);
         assert_eq!(profile.pre_inflate_applied, 1);
         assert!(profile.objects.is_empty());
+    }
+
+    #[test]
+    fn recovery_events_are_counted_and_attributed() {
+        let tracer = LockTracer::new(TracerConfig::default());
+        let obj = ObjRef::from_index(9);
+        tracer.record(Some(tidx(3)), Some(obj), TraceEventKind::AcquireTimedOut);
+        tracer.record(
+            Some(tidx(3)),
+            Some(obj),
+            TraceEventKind::DeadlockDetected { threads: 2 },
+        );
+        tracer.record(
+            Some(tidx(3)),
+            Some(obj),
+            TraceEventKind::OrphanReclaimed { fat: true },
+        );
+        tracer.record(
+            Some(tidx(4)),
+            None,
+            TraceEventKind::OrphanReclaimed { fat: false },
+        );
+        let profile = ContentionProfile::build(&tracer.snapshot());
+        assert_eq!(profile.acquire_timeouts, 1);
+        assert_eq!(profile.deadlocks_detected, 1);
+        assert_eq!(profile.orphans_reclaimed, 2);
+        assert_eq!(profile.orphans_reclaimed_fat, 1);
+        let po = profile.objects.iter().find(|o| o.obj == obj).unwrap();
+        assert_eq!(po.acquire_timeouts, 1);
+        assert_eq!(po.orphan_reclaims, 1);
+        let text = profile.to_string();
+        assert!(text.contains("recovery: 2 orphaned locks reclaimed (1 fat)"));
+        let json = profile.to_json();
+        assert!(json.contains(r#""orphans_reclaimed":2"#));
+        assert!(json.contains(r#""deadlocks_detected":1"#));
+        assert!(json.contains(r#""acquire_timeouts":1"#));
     }
 
     #[test]

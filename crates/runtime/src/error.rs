@@ -38,6 +38,16 @@ pub enum SyncError {
     /// Java throws `InterruptedException`; protocols re-acquire the monitor
     /// before surfacing this, exactly as the JLS requires.
     Interrupted,
+    /// A timed acquisition (`lock_deadline`) gave up: the bounded
+    /// spin/park phase ran past its deadline without winning the lock.
+    /// The lock was *not* acquired.
+    Timeout,
+    /// A timed acquisition gave up *and* the deadlock watchdog found the
+    /// calling thread on a waits-for cycle at that moment: every thread
+    /// on the cycle is blocked on a lock held by the next one. The lock
+    /// was not acquired; backing off (releasing held locks and retrying)
+    /// breaks the cycle.
+    DeadlockDetected,
 }
 
 impl fmt::Display for SyncError {
@@ -50,6 +60,8 @@ impl fmt::Display for SyncError {
             SyncError::HeapFull => "heap capacity exhausted",
             SyncError::StaleThreadToken => "thread token is stale or from another registry",
             SyncError::Interrupted => "wait was interrupted",
+            SyncError::Timeout => "timed lock acquisition ran past its deadline",
+            SyncError::DeadlockDetected => "deadlock detected: thread waits on a waits-for cycle",
         };
         f.write_str(msg)
     }
@@ -71,6 +83,8 @@ mod tests {
             SyncError::HeapFull,
             SyncError::StaleThreadToken,
             SyncError::Interrupted,
+            SyncError::Timeout,
+            SyncError::DeadlockDetected,
         ] {
             let s = e.to_string();
             assert!(!s.is_empty());

@@ -107,6 +107,24 @@ pub enum TraceEventKind {
         /// successful `Inflated { cause: Hint }` event follows).
         applied: bool,
     },
+    /// The registry's exit sweep force-released a lock whose owner
+    /// deregistered (died) while still holding it; `thread` is the dead
+    /// owner and `obj` the reclaimed object.
+    OrphanReclaimed {
+        /// True if the orphaned lock was inflated (released through its
+        /// fat monitor); false if it was thin (lock field cleared).
+        fat: bool,
+    },
+    /// A timed acquisition found the caller on a waits-for cycle and
+    /// surfaced [`SyncError::DeadlockDetected`](crate::error::SyncError::DeadlockDetected);
+    /// `obj` is the lock the caller was blocked on.
+    DeadlockDetected {
+        /// Number of threads on the detected cycle.
+        threads: u32,
+    },
+    /// A `try_lock` or `lock_deadline` gave up without acquiring; `obj`
+    /// is the lock that stayed contended.
+    AcquireTimedOut,
 }
 
 impl TraceEventKind {
@@ -125,6 +143,9 @@ impl TraceEventKind {
             TraceEventKind::MonitorAllocated { .. } => "monitor-allocated",
             TraceEventKind::ElisionHit => "elision-hit",
             TraceEventKind::PreInflateHint { .. } => "pre-inflate-hint",
+            TraceEventKind::OrphanReclaimed { .. } => "orphan-reclaimed",
+            TraceEventKind::DeadlockDetected { .. } => "deadlock-detected",
+            TraceEventKind::AcquireTimedOut => "acquire-timed-out",
         }
     }
 }

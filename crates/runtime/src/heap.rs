@@ -21,9 +21,11 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicI32, AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::arch::LockWordCell;
 use crate::error::SyncError;
+use crate::fault::{FaultAction, FaultInjector, InjectionPoint};
 use crate::lockword::LockWord;
 
 /// A reference to a heap object: an index into the heap's arena.
@@ -127,6 +129,7 @@ pub struct Heap {
     fields: Box<[AtomicI32]>,
     fields_per_object: usize,
     next: AtomicU32,
+    injector: OnceLock<Arc<dyn FaultInjector>>,
 }
 
 impl Heap {
@@ -150,7 +153,17 @@ impl Heap {
             fields,
             fields_per_object,
             next: AtomicU32::new(0),
+            injector: OnceLock::new(),
         }
+    }
+
+    /// Attaches a fault injector consulted at [`InjectionPoint::HeapAlloc`]
+    /// on every allocation. Write-once: the first installed injector wins
+    /// and later calls are ignored (mirroring `OnceLock` semantics), so a
+    /// chaos harness can install through a shared `Arc<Heap>` without a
+    /// `&mut` builder window.
+    pub fn set_fault_injector(&self, injector: Arc<dyn FaultInjector>) {
+        let _ = self.injector.set(injector);
     }
 
     /// Total number of objects this heap can hold.
@@ -186,6 +199,13 @@ impl Heap {
     ///
     /// Returns [`SyncError::HeapFull`] when the arena is exhausted.
     pub fn alloc_with_class(&self, class_id: u32) -> Result<ObjRef, SyncError> {
+        if let Some(injector) = self.injector.get() {
+            match injector.decide(InjectionPoint::HeapAlloc) {
+                FaultAction::Exhaust => return Err(SyncError::HeapFull),
+                FaultAction::Yield => std::thread::yield_now(),
+                _ => {}
+            }
+        }
         let slot = self.next.fetch_add(1, Ordering::Relaxed);
         if (slot as usize) >= self.headers.len() {
             // Undo so `allocated()` stays meaningful; harmless if racy
@@ -335,6 +355,32 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 1000);
+        assert_eq!(heap.alloc(), Err(SyncError::HeapFull));
+    }
+
+    #[test]
+    fn injected_exhaustion_fails_alloc_without_consuming_capacity() {
+        use std::sync::atomic::AtomicBool;
+
+        #[derive(Debug, Default)]
+        struct ExhaustOnce(AtomicBool);
+        impl FaultInjector for ExhaustOnce {
+            fn decide(&self, point: InjectionPoint) -> FaultAction {
+                if point == InjectionPoint::HeapAlloc && !self.0.swap(true, Ordering::Relaxed) {
+                    FaultAction::Exhaust
+                } else {
+                    FaultAction::Proceed
+                }
+            }
+        }
+
+        let heap = Heap::with_capacity(2);
+        heap.set_fault_injector(Arc::new(ExhaustOnce::default()));
+        assert_eq!(heap.alloc(), Err(SyncError::HeapFull));
+        assert_eq!(heap.allocated(), 0, "injected failure consumed no slot");
+        // Subsequent allocations proceed and the full capacity is usable.
+        assert!(heap.alloc().is_ok());
+        assert!(heap.alloc().is_ok());
         assert_eq!(heap.alloc(), Err(SyncError::HeapFull));
     }
 

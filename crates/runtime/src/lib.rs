@@ -23,6 +23,10 @@
 //!   stream individual timestamped lock events to an observability
 //!   backend (the `thinlock-obs` crate) without depending on one.
 //! * [`backoff`] — the spin/yield backoff used while spinning to inflate.
+//! * [`fault`] — the [`fault::FaultInjector`] seam: labeled injection
+//!   points at which a deterministic chaos harness (the `thinlock-fault`
+//!   crate) can force CAS failures, descheduling, spurious wakeups, and
+//!   resource exhaustion; zero-cost when no injector is attached.
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@ pub mod arch;
 pub mod backoff;
 pub mod error;
 pub mod events;
+pub mod fault;
 pub mod heap;
 pub mod lockword;
 pub mod prng;
@@ -52,6 +57,7 @@ pub mod stats;
 
 pub use error::{SyncError, SyncResult};
 pub use events::{TraceEventKind, TraceSink};
+pub use fault::{FaultAction, FaultInjector, InjectionPoint};
 pub use heap::{Heap, ObjRef};
 pub use lockword::{LockWord, MonitorIndex, ThreadIndex};
 pub use protocol::{SyncProtocol, WaitOutcome};

@@ -100,6 +100,42 @@ pub trait SyncProtocol: Send + Sync {
     /// True if thread `t` currently owns the monitor of `obj`.
     fn holds_lock(&self, obj: ObjRef, t: ThreadToken) -> bool;
 
+    /// Attempts to acquire the monitor of `obj` without blocking.
+    ///
+    /// Returns `Ok(true)` if acquired (including re-entrantly) and
+    /// `Ok(false)` if the monitor was held by another thread. The default
+    /// delegates to [`SyncProtocol::lock`] and therefore **may block**;
+    /// it exists so protocols without a non-blocking path (the JDK 1.1.1
+    /// monitor-cache baseline) stay correct, merely without the timeliness
+    /// guarantee. The thin-lock protocol overrides it with a genuinely
+    /// non-blocking attempt.
+    ///
+    /// # Errors
+    ///
+    /// Same resource-exhaustion errors as [`SyncProtocol::lock`].
+    fn try_lock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<bool> {
+        self.lock(obj, t).map(|()| true)
+    }
+
+    /// Acquires the monitor of `obj`, giving up after `timeout`.
+    ///
+    /// On success the monitor is held exactly as after
+    /// [`SyncProtocol::lock`]. On timeout the monitor is **not** held and
+    /// [`SyncError::Timeout`] is returned; implementations with a
+    /// deadlock watchdog may return [`SyncError::DeadlockDetected`]
+    /// instead when the caller was on a waits-for cycle at the deadline.
+    /// The default delegates to [`SyncProtocol::lock`] and ignores the
+    /// timeout (unbounded blocking), so it never reports either error.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::Timeout`], [`SyncError::DeadlockDetected`], plus the
+    /// resource-exhaustion errors of [`SyncProtocol::lock`].
+    fn lock_deadline(&self, obj: ObjRef, t: ThreadToken, timeout: Duration) -> SyncResult<()> {
+        let _ = timeout;
+        self.lock(obj, t)
+    }
+
     /// Applies a static pre-inflation hint to `obj`, if the protocol has a
     /// cheaper-up-front lock representation it can skip.
     ///
@@ -221,6 +257,41 @@ pub trait SyncProtocolExt: SyncProtocol {
         let _guard = self.enter(obj, t)?;
         Ok(f())
     }
+
+    /// Attempts [`SyncProtocol::try_lock`]; on success returns a guard
+    /// that releases on drop, on contention returns `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncProtocol::try_lock`] errors.
+    fn try_enter(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<Option<MonitorGuard<'_, Self>>> {
+        Ok(self.try_lock(obj, t)?.then(|| MonitorGuard {
+            protocol: self,
+            obj,
+            token: t,
+        }))
+    }
+
+    /// Acquires with [`SyncProtocol::lock_deadline`] and returns a guard
+    /// that releases on drop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncProtocol::lock_deadline`] errors, including
+    /// [`SyncError::Timeout`].
+    fn enter_deadline(
+        &self,
+        obj: ObjRef,
+        t: ThreadToken,
+        timeout: Duration,
+    ) -> SyncResult<MonitorGuard<'_, Self>> {
+        self.lock_deadline(obj, t, timeout)?;
+        Ok(MonitorGuard {
+            protocol: self,
+            obj,
+            token: t,
+        })
+    }
 }
 
 impl<P: SyncProtocol + ?Sized> SyncProtocolExt for P {}
@@ -271,6 +342,47 @@ pub mod testing {
                     }
                     Some(_) => {
                         st = self.cv.wait(st).unwrap();
+                    }
+                }
+            }
+        }
+
+        fn try_lock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<bool> {
+            let mut st = self.state.lock().unwrap();
+            match st.get_mut(&obj.index()) {
+                None => {
+                    st.insert(obj.index(), (t.index().get(), 1));
+                    Ok(true)
+                }
+                Some((owner, count)) if *owner == t.index().get() => {
+                    *count += 1;
+                    Ok(true)
+                }
+                Some(_) => Ok(false),
+            }
+        }
+
+        fn lock_deadline(&self, obj: ObjRef, t: ThreadToken, timeout: Duration) -> SyncResult<()> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.state.lock().unwrap();
+            loop {
+                match st.get_mut(&obj.index()) {
+                    None => {
+                        st.insert(obj.index(), (t.index().get(), 1));
+                        return Ok(());
+                    }
+                    Some((owner, count)) if *owner == t.index().get() => {
+                        *count += 1;
+                        return Ok(());
+                    }
+                    Some(_) => {
+                        let Some(remaining) = deadline
+                            .checked_duration_since(std::time::Instant::now())
+                            .filter(|d| !d.is_zero())
+                        else {
+                            return Err(SyncError::Timeout);
+                        };
+                        st = self.cv.wait_timeout(st, remaining).unwrap().0;
                     }
                 }
             }
@@ -413,5 +525,78 @@ mod tests {
     fn trace_sink_defaults_to_none() {
         let p = TableMonitor::new(1);
         assert!(p.trace_sink().is_none(), "tracing is opt-in");
+    }
+
+    #[test]
+    fn try_lock_succeeds_uncontended_and_reentrantly() {
+        let p = TableMonitor::new(4);
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        let obj = p.heap().alloc().unwrap();
+        assert_eq!(p.try_lock(obj, t), Ok(true));
+        assert_eq!(p.try_lock(obj, t), Ok(true), "re-entrant try succeeds");
+        p.unlock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+        assert!(!p.holds_lock(obj, t));
+    }
+
+    #[test]
+    fn try_lock_fails_under_contention_without_blocking() {
+        let p = TableMonitor::new(4);
+        let ra = p.registry().register().unwrap();
+        let rb = p.registry().register().unwrap();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, ra.token()).unwrap();
+        assert_eq!(p.try_lock(obj, rb.token()), Ok(false));
+        assert!(!p.holds_lock(obj, rb.token()));
+        p.unlock(obj, ra.token()).unwrap();
+        assert_eq!(p.try_lock(obj, rb.token()), Ok(true));
+        p.unlock(obj, rb.token()).unwrap();
+    }
+
+    #[test]
+    fn lock_deadline_times_out_and_later_succeeds() {
+        let p = TableMonitor::new(4);
+        let ra = p.registry().register().unwrap();
+        let rb = p.registry().register().unwrap();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, ra.token()).unwrap();
+        assert_eq!(
+            p.lock_deadline(obj, rb.token(), Duration::from_millis(20)),
+            Err(SyncError::Timeout)
+        );
+        assert!(!p.holds_lock(obj, rb.token()), "timeout leaves lock unheld");
+        p.unlock(obj, ra.token()).unwrap();
+        p.lock_deadline(obj, rb.token(), Duration::from_millis(20))
+            .unwrap();
+        assert!(p.holds_lock(obj, rb.token()));
+        p.unlock(obj, rb.token()).unwrap();
+    }
+
+    #[test]
+    fn try_enter_guard_and_contention() {
+        let p = TableMonitor::new(4);
+        let ra = p.registry().register().unwrap();
+        let rb = p.registry().register().unwrap();
+        let obj = p.heap().alloc().unwrap();
+        {
+            let g = p.try_enter(obj, ra.token()).unwrap();
+            assert!(g.is_some());
+            assert!(p.try_enter(obj, rb.token()).unwrap().is_none());
+        }
+        assert!(!p.holds_lock(obj, ra.token()), "guard released on drop");
+    }
+
+    #[test]
+    fn enter_deadline_returns_guard() {
+        let p = TableMonitor::new(4);
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        let obj = p.heap().alloc().unwrap();
+        {
+            let _g = p.enter_deadline(obj, t, Duration::from_millis(5)).unwrap();
+            assert!(p.holds_lock(obj, t));
+        }
+        assert!(!p.holds_lock(obj, t));
     }
 }

@@ -16,11 +16,12 @@
 //!   `Mutex`/`Condvar`, the primitive under the fat-lock queues.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
 
 use crate::error::SyncError;
+use crate::heap::ObjRef;
 use crate::lockword::ThreadIndex;
 
 /// A binary-semaphore parker: `unpark` grants one permit, `park` consumes
@@ -96,12 +97,20 @@ impl Parker {
     }
 }
 
+/// Sentinel in [`ThreadRecord::blocked_on`]'s cell meaning "not blocked".
+const NOT_BLOCKED: u64 = 0;
+
 /// Per-thread record held by the registry while a thread is registered.
 #[derive(Debug)]
 pub struct ThreadRecord {
     index: ThreadIndex,
     parker: Parker,
     interrupted: AtomicBool,
+    /// The object this thread is currently blocked acquiring, stored as
+    /// `obj index + 1` (0 when not blocked). Advisory: protocols publish
+    /// it around blocking acquisition so the deadlock watchdog can build
+    /// the waits-for graph; it is never read on any correctness path.
+    blocked_on: AtomicU64,
 }
 
 impl ThreadRecord {
@@ -129,6 +138,22 @@ impl ThreadRecord {
     pub fn interrupt(&self) {
         self.interrupted.store(true, Ordering::Relaxed);
         self.parker.unpark();
+    }
+
+    /// Publishes (or clears, with `None`) the object this thread is
+    /// blocked acquiring. Protocols call this around blocking waits so
+    /// the deadlock watchdog can see waits-for edges.
+    pub fn set_blocked_on(&self, obj: Option<ObjRef>) {
+        let encoded = obj.map_or(NOT_BLOCKED, |o| o.index() as u64 + 1);
+        self.blocked_on.store(encoded, Ordering::Relaxed);
+    }
+
+    /// The object this thread last published as blocking on, if any.
+    pub fn blocked_on(&self) -> Option<ObjRef> {
+        match self.blocked_on.load(Ordering::Relaxed) {
+            NOT_BLOCKED => None,
+            encoded => Some(ObjRef::from_index((encoded - 1) as usize)),
+        }
     }
 }
 
@@ -183,10 +208,42 @@ impl Drop for Registration {
     }
 }
 
-#[derive(Debug)]
+/// Hook run when a registration is released, *before* the dead thread's
+/// index returns to the free pool.
+///
+/// This ordering is the registry's anti-ABA guarantee for orphaned locks:
+/// a lock word still carrying the dead thread's index is reclaimed by the
+/// sweep while no live thread can possibly hold that index, so a later
+/// thread that recycles it can never be mistaken for the dead owner (nor
+/// inherit its locks). `ThinLocks::with_orphan_recovery` installs the
+/// protocol-side implementation.
+pub trait ExitSweeper: Send + Sync {
+    /// Reclaims whatever `index`'s thread still owned. Called after the
+    /// registry slot is cleared (lookups of `index` already fail) and
+    /// before the index is recycled.
+    fn sweep_thread(&self, index: ThreadIndex, registry: &ThreadRegistry);
+}
+
 struct RegistryShared {
     slots: Box<[RwLock<Option<Arc<ThreadRecord>>>]>,
     free: Mutex<FreePool>,
+    sweeper: RwLock<Option<Arc<dyn ExitSweeper>>>,
+}
+
+impl fmt::Debug for RegistryShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegistryShared")
+            .field("slots", &self.slots.len())
+            .field(
+                "sweeper",
+                &self
+                    .sweeper
+                    .read()
+                    .expect("registry sweeper poisoned")
+                    .is_some(),
+            )
+            .finish_non_exhaustive()
+    }
 }
 
 #[derive(Debug)]
@@ -196,9 +253,25 @@ struct FreePool {
 }
 
 impl RegistryShared {
-    fn release(&self, index: ThreadIndex) {
+    fn release(self: &Arc<Self>, index: ThreadIndex) {
+        // Step 1: clear the slot. From here on record(index) fails with
+        // StaleThreadToken, so the fat-lock layer skips this thread.
         let slot = &self.slots[index.get() as usize];
         *slot.write().expect("registry slot poisoned") = None;
+        // Step 2: sweep orphaned locks while the index is in limbo —
+        // neither live nor reusable.
+        let sweeper = self
+            .sweeper
+            .read()
+            .expect("registry sweeper poisoned")
+            .clone();
+        if let Some(sweeper) = sweeper {
+            let registry = ThreadRegistry {
+                shared: Arc::clone(self),
+            };
+            sweeper.sweep_thread(index, &registry);
+        }
+        // Step 3: only now may the index be handed to a new thread.
         self.free
             .lock()
             .expect("registry free pool poisoned")
@@ -256,6 +329,7 @@ impl ThreadRegistry {
                     recycled: Vec::new(),
                     next_fresh: 1,
                 }),
+                sweeper: RwLock::new(None),
             }),
         }
     }
@@ -293,6 +367,7 @@ impl ThreadRegistry {
             index,
             parker: Parker::new(),
             interrupted: AtomicBool::new(false),
+            blocked_on: AtomicU64::new(NOT_BLOCKED),
         });
         *self.shared.slots[raw as usize]
             .write()
@@ -338,6 +413,28 @@ impl ThreadRegistry {
             .lock()
             .expect("registry free pool poisoned");
         (pool.next_fresh as usize - 1) - pool.recycled.len()
+    }
+
+    /// Installs the hook run when a registration drops, replacing any
+    /// previous one. The sweep runs on the releasing thread, after its
+    /// slot is cleared and before its index is recycled.
+    pub fn set_exit_sweeper(&self, sweeper: Arc<dyn ExitSweeper>) {
+        *self
+            .shared
+            .sweeper
+            .write()
+            .expect("registry sweeper poisoned") = Some(sweeper);
+    }
+
+    /// Snapshot of every live thread record, for diagnostic scans (the
+    /// deadlock watchdog's waits-for graph). Registrations racing with
+    /// the snapshot may or may not appear.
+    pub fn live_records(&self) -> Vec<Arc<ThreadRecord>> {
+        self.shared
+            .slots
+            .iter()
+            .filter_map(|slot| slot.read().expect("registry slot poisoned").clone())
+            .collect()
     }
 }
 
@@ -443,6 +540,73 @@ mod tests {
         assert!(!rec.take_interrupt(false));
         // The interrupt also left a permit.
         assert!(rec.parker().park_timeout(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn blocked_on_roundtrips_and_clears() {
+        let reg = ThreadRegistry::new();
+        let r = reg.register().unwrap();
+        let rec = reg.record(r.token().index()).unwrap();
+        assert_eq!(rec.blocked_on(), None);
+        let obj = ObjRef::from_index(0); // index 0 must be representable
+        rec.set_blocked_on(Some(obj));
+        assert_eq!(rec.blocked_on(), Some(obj));
+        rec.set_blocked_on(None);
+        assert_eq!(rec.blocked_on(), None);
+    }
+
+    #[test]
+    fn live_records_snapshots_registered_threads() {
+        let reg = ThreadRegistry::with_max_threads(8);
+        let a = reg.register().unwrap();
+        let b = reg.register().unwrap();
+        let mut seen: Vec<u16> = reg
+            .live_records()
+            .iter()
+            .map(|rec| rec.index().get())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![a.token().index().get(), b.token().index().get()]);
+        drop(a);
+        assert_eq!(reg.live_records().len(), 1);
+        drop(b);
+        assert!(reg.live_records().is_empty());
+    }
+
+    #[test]
+    fn exit_sweeper_runs_between_slot_clear_and_recycle() {
+        use std::sync::atomic::AtomicU16;
+
+        #[derive(Debug, Default)]
+        struct Probe {
+            swept: AtomicU16,
+            index_was_live: AtomicBool,
+            index_was_recycled: AtomicBool,
+        }
+        impl ExitSweeper for Probe {
+            fn sweep_thread(&self, index: ThreadIndex, registry: &ThreadRegistry) {
+                self.swept.store(index.get(), Ordering::Relaxed);
+                // The slot is already cleared...
+                self.index_was_live
+                    .store(registry.record(index).is_ok(), Ordering::Relaxed);
+                // ...but the index must not be reusable yet: with a
+                // 1-slot registry, re-registering would hand it back.
+                self.index_was_recycled
+                    .store(registry.register().is_ok(), Ordering::Relaxed);
+            }
+        }
+
+        let reg = ThreadRegistry::with_max_threads(1);
+        let probe = Arc::new(Probe::default());
+        reg.set_exit_sweeper(Arc::clone(&probe) as Arc<dyn ExitSweeper>);
+        let r = reg.register().unwrap();
+        let idx = r.token().index().get();
+        drop(r);
+        assert_eq!(probe.swept.load(Ordering::Relaxed), idx);
+        assert!(!probe.index_was_live.load(Ordering::Relaxed));
+        assert!(!probe.index_was_recycled.load(Ordering::Relaxed));
+        // After the drop completes, the index is reusable again.
+        assert!(reg.register().is_ok());
     }
 
     #[test]

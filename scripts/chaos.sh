@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Seeded chaos gate: randomized fault-injected schedules through the
+# thin-lock protocol, each cross-checked against a std-Mutex oracle.
+# The seed sets are fixed so a failure here is reproducible verbatim:
+# the divergence message names the seed, and
+#   cargo run -p thinlock-fault --bin chaos -- <flags> <seed>
+# replays exactly that schedule's decision sequence.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CHAOS=(cargo run -q --release --offline -p thinlock-fault --bin chaos --)
+
+echo "== chaos: 1024-seed sweep, default shape (3 threads x 4 objects, kill every 4th)"
+"${CHAOS[@]}" --seeds 1024 --start 0
+
+echo "== chaos: high fault rate, tight contention (2 objects, 60% injection)"
+"${CHAOS[@]}" --seeds 128 --start 5000 --objects 2 --rate-ppm 600000
+
+echo "== chaos: wide fan-out (6 threads, 8 objects, no kills)"
+"${CHAOS[@]}" --seeds 64 --start 9000 --threads 6 --objects 8 --ops 40 --kill-every 0
+
+echo "All chaos schedules converged."

@@ -19,4 +19,7 @@ cargo build --release --offline
 echo "== tier-1: cargo test -q"
 cargo test -q --offline
 
+echo "== chaos: seeded fault-injection sweep"
+bash scripts/chaos.sh
+
 echo "All checks passed."
