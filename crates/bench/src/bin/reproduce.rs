@@ -2,32 +2,30 @@
 //!
 //! ```text
 //! reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|predict|lockcheck|profile]
-//!           [--iters N] [--scale N] [--quick] [--json PATH]
+//!           [--iters N] [--scale N] [--quick] [--json PATH] [--profile-json PATH]
 //! ```
 //!
 //! Output is plain text, one section per artifact, in the same row/series
 //! structure the paper reports. Absolute numbers are host-dependent; the
 //! expected *shape* for each artifact is stated in EXPERIMENTS.md.
 //!
-//! The `profile` section runs the observability corpus (DESIGN.md §10)
-//! and prints the per-object contention profile; `--json PATH` also
-//! exports it as machine-readable JSON.
+//! `--json PATH` additionally writes the machine-readable benchmark
+//! report (the `BENCH_thinlock.json` schema documented in BENCHMARKS.md)
+//! that `benchgate` diffs against the committed baseline. The `profile`
+//! section runs the observability corpus (DESIGN.md §10) and prints the
+//! per-object contention profile; `--profile-json PATH` also exports
+//! that profile as JSON.
 
 use std::process::ExitCode;
 
-use thinlock_bench::{
-    figure3_rows, macro_rows, macro_speedups, run_micro, run_micro_threads, run_variant,
-    MicroResult, ProtocolKind, Variant,
-};
-use thinlock_trace::generator::TraceConfig;
-use thinlock_trace::table1::median;
-use thinlock_vm::programs::MicroBench;
+use thinlock_bench::report;
 
 struct Options {
     sections: Vec<String>,
     iters: i32,
     scale: u64,
     json: Option<String>,
+    profile_json: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -35,11 +33,12 @@ fn parse_args() -> Result<Options, String> {
     let mut iters: i32 = 200_000;
     let mut scale: u64 = 1_000;
     let mut json = None;
+    let mut profile_json = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "all" | "table1" | "table2" | "fig3" | "fig4" | "fig5" | "fig6" | "ablations"
-            | "predict" | "lockcheck" | "profile" => sections.push(arg),
+            "all" => sections.push(arg),
+            s if report::SECTIONS.contains(&s) => sections.push(arg),
             "--iters" => {
                 iters = args
                     .next()
@@ -61,10 +60,14 @@ fn parse_args() -> Result<Options, String> {
             "--json" => {
                 json = Some(args.next().ok_or("--json needs a path")?);
             }
+            "--profile-json" => {
+                profile_json = Some(args.next().ok_or("--profile-json needs a path")?);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|predict\
-                            |lockcheck|profile] [--iters N] [--scale N] [--quick] [--json PATH]"
+                            |lockcheck|profile] [--iters N] [--scale N] [--quick] [--json PATH] \
+                            [--profile-json PATH]"
                         .to_string(),
                 )
             }
@@ -79,397 +82,8 @@ fn parse_args() -> Result<Options, String> {
         iters,
         scale,
         json,
+        profile_json,
     })
-}
-
-fn trace_config(scale: u64) -> TraceConfig {
-    TraceConfig {
-        scale,
-        seed: 0x7e57_ab1e,
-        max_objects: 50_000,
-        max_lock_ops: 500_000,
-        skew: 0.8,
-        work_per_sync: thinlock_trace::generator::DEFAULT_WORK_PER_SYNC,
-        work_per_alloc: thinlock_trace::generator::DEFAULT_WORK_PER_ALLOC,
-    }
-}
-
-fn heading(title: &str) {
-    println!("\n=== {title} ===");
-}
-
-fn table1(cfg: &TraceConfig) {
-    heading("Table 1: macro-benchmark characterization (generated traces)");
-    println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}",
-        "program", "objects", "sync objs", "syncs", "syncs/obj", "paper s/o", "1st-lock%"
-    );
-    let mut ratios = Vec::new();
-    for (p, c) in macro_rows(cfg) {
-        ratios.push(c.syncs_per_object());
-        println!(
-            "{:<12} {:>10} {:>10} {:>10} {:>10.1} {:>11.1} {:>9.0}%",
-            p.name,
-            c.objects_created,
-            c.synchronized_objects,
-            c.sync_operations,
-            c.syncs_per_object(),
-            p.syncs_per_object(),
-            c.first_lock_fraction() * 100.0
-        );
-    }
-    println!(
-        "median syncs/object: {:.1} (paper: 22.7)",
-        median(&mut ratios)
-    );
-}
-
-fn table2() {
-    heading("Table 2: micro-benchmarks");
-    let rows = [
-        ("NoSync", "No locking - reference benchmark"),
-        ("Sync", "Initial lock with a synchronized() statement"),
-        ("NestedSync", "Nested lock with a synchronized() statement"),
-        (
-            "MultiSync n",
-            "Like Sync, but synchronizes n objects every iteration",
-        ),
-        (
-            "Call",
-            "Calls a non-synchronized method - reference benchmark",
-        ),
-        (
-            "CallSync",
-            "Calls a synchronized method to obtain an initial lock",
-        ),
-        (
-            "NestedCallSync",
-            "Calls a synchronized method to obtain a nested lock",
-        ),
-        (
-            "Threads n",
-            "Initial locking performed concurrently by n competing threads",
-        ),
-    ];
-    for (name, desc) in rows {
-        println!("{name:<16} {desc}");
-    }
-}
-
-fn fig3(cfg: &TraceConfig) {
-    heading("Figure 3: depth of lock nesting by benchmark (generated traces)");
-    println!(
-        "{:<12} {:>8} {:>8} {:>8} {:>8}",
-        "program", "first", "second", "third", "fourth"
-    );
-    let mut firsts = Vec::new();
-    for (name, fr) in figure3_rows(cfg) {
-        firsts.push(fr[0]);
-        println!(
-            "{:<12} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
-            name,
-            fr[0] * 100.0,
-            fr[1] * 100.0,
-            fr[2] * 100.0,
-            fr[3] * 100.0
-        );
-    }
-    println!(
-        "median first-lock fraction: {:.0}% (paper: 80%; minimum observed must be >= ~45%)",
-        median(&mut firsts) * 100.0
-    );
-}
-
-fn print_micro(results: &[MicroResult]) {
-    for r in results {
-        println!("  {r}");
-    }
-}
-
-fn fig4(iters: i32) {
-    heading("Figure 4: micro-benchmark performance (ns per iteration)");
-    let single: &[MicroBench] = &[
-        MicroBench::NoSync,
-        MicroBench::Sync,
-        MicroBench::NestedSync,
-        MicroBench::Call,
-        MicroBench::CallSync,
-        MicroBench::NestedCallSync,
-    ];
-    for &bench in single {
-        let results: Vec<MicroResult> = ProtocolKind::ALL
-            .iter()
-            .map(|&k| run_micro(k, bench, iters))
-            .collect();
-        print_micro(&results);
-        if bench == MicroBench::Sync {
-            let thin = results[0].ns_per_iter();
-            let jdk = results[1].ns_per_iter();
-            let ibm = results[2].ns_per_iter();
-            println!(
-                "  -> Sync: ThinLock is {:.1}x faster than JDK111 (paper: 3.7x), {:.1}x faster than IBM112 (paper: 1.8x)",
-                jdk / thin,
-                ibm / thin
-            );
-        }
-        println!();
-    }
-
-    println!("MultiSync working-set sweep (ns per object-sync):");
-    let multi_iters = (iters / 50).max(100);
-    for n in [1u32, 8, 16, 32, 64, 128, 256, 512, 1024] {
-        print!("  n={n:<5}");
-        for kind in ProtocolKind::ALL {
-            let r = run_micro(kind, MicroBench::MultiSync(n), multi_iters);
-            // Normalize per object-sync: each iteration performs n syncs.
-            let per_sync = r.ns_per_iter() / f64::from(n);
-            print!("  {}={:>8.1}", kind.name(), per_sync);
-        }
-        println!();
-    }
-
-    println!(
-        "\nThreads sweep (total wall time, {} iters/thread):",
-        iters / 10
-    );
-    for n in [1u32, 2, 4, 8, 16] {
-        print!("  threads={n:<3}");
-        for kind in ProtocolKind::ALL {
-            let r = run_micro_threads(kind, n, iters / 10);
-            print!("  {}={:>9.2?}", kind.name(), r.elapsed);
-        }
-        println!();
-    }
-}
-
-fn fig5(cfg: &TraceConfig) {
-    heading("Figure 5: macro-benchmark speedups over JDK111 (replayed traces)");
-    match macro_speedups(cfg) {
-        Ok(rows) => {
-            let mut thin = Vec::new();
-            let mut ibm = Vec::new();
-            for row in &rows {
-                println!("  {row}");
-                thin.push(row.speedup_thin());
-                ibm.push(row.speedup_ibm112());
-            }
-            let max_thin = thin.iter().copied().fold(0.0f64, f64::max);
-            println!(
-                "median speedup: thin {:.2} (paper 1.22), ibm112 {:.2} (paper 1.04); max thin {:.2} (paper 1.7)",
-                median(&mut thin),
-                median(&mut ibm),
-                max_thin
-            );
-        }
-        Err(e) => println!("  replay failed: {e}"),
-    }
-}
-
-fn fig6(iters: i32) {
-    heading("Figure 6: fast-path engineering tradeoffs (ns per iteration)");
-    let benches = [
-        MicroBench::Sync,
-        MicroBench::NestedSync,
-        MicroBench::MixedSync,
-        MicroBench::CallSync,
-    ];
-    for bench in benches {
-        for v in Variant::ALL {
-            let r = run_variant(v, bench, iters);
-            println!("  {r}");
-        }
-        println!();
-    }
-}
-
-/// Section 3.4's consistency check: predict macro speedup from the
-/// micro-benchmark per-call saving, then measure it. The paper does this
-/// for javalex ("we can predict 2.7 seconds of speedup per 1 million
-/// synchronized method invocations ... or 6.5 seconds" vs 6.6 measured).
-fn predict(iters: i32) {
-    use thinlock_runtime::heap::ObjRef;
-    use thinlock_vm::library::{javalex_expected, javalex_like, JAVALEX_SCAN_PASSES};
-    use thinlock_vm::{Value, Vm};
-
-    heading("Section 3.4 cross-check: micro-benchmarks predict the macro speedup");
-
-    // Per-call saving from the CallSync micro-benchmark.
-    let thin_micro = run_micro(ProtocolKind::ThinLock, MicroBench::CallSync, iters);
-    let jdk_micro = run_micro(ProtocolKind::Jdk111, MicroBench::CallSync, iters);
-    let saving_ns_per_call = jdk_micro.ns_per_iter() - thin_micro.ns_per_iter();
-    println!(
-        "CallSync: ThinLock {:.1} ns/call, JDK111 {:.1} ns/call -> saving {:.1} ns per synchronized call",
-        thin_micro.ns_per_iter(),
-        jdk_micro.ns_per_iter(),
-        saving_ns_per_call
-    );
-
-    // The javalex-shaped workload's call count is known statically.
-    let elements: i32 = 2_000;
-    let calls = i64::from(1 + JAVALEX_SCAN_PASSES * 2) * i64::from(elements);
-    let predicted =
-        std::time::Duration::from_nanos((saving_ns_per_call.max(0.0) * calls as f64) as u64);
-
-    let program = javalex_like();
-    let measure = |kind: ProtocolKind| {
-        let protocol = kind.build(2, elements as usize + 1);
-        let pool: Vec<ObjRef> = vec![protocol.heap().alloc().expect("alloc")];
-        let reg = protocol.registry().register().expect("registry");
-        let vector = pool[0];
-        let vm = Vm::new(&*protocol, &program, pool).expect("program valid");
-        thinlock_bench::median_time(5, || {
-            // Empty the vector so repeated runs rebuild it from scratch.
-            protocol
-                .heap()
-                .field(vector, 0)
-                .store(0, std::sync::atomic::Ordering::Relaxed);
-            let out = vm
-                .run("main", reg.token(), &[Value::Int(elements)])
-                .expect("clean run")
-                .and_then(Value::as_int)
-                .expect("returns checksum");
-            assert_eq!(out, javalex_expected(elements));
-        })
-    };
-    let thin_macro = measure(ProtocolKind::ThinLock);
-    let jdk_macro = measure(ProtocolKind::Jdk111);
-    let measured = jdk_macro.saturating_sub(thin_macro);
-    println!(
-        "javalex-shaped workload ({calls} synchronized calls): JDK111 {jdk_macro:.2?} - ThinLock {thin_macro:.2?} = {measured:.2?} saved"
-    );
-    let ratio = measured.as_secs_f64() / predicted.as_secs_f64().max(f64::MIN_POSITIVE);
-    println!(
-        "predicted from micro-benchmarks: {predicted:.2?}  (measured/predicted = {ratio:.2}; the paper's javalex check landed at 6.6s/6.5s = 1.02)"
-    );
-}
-
-fn ablations(cfg: &TraceConfig, iters: i32) {
-    heading("Ablations: the paper's design choices, measured (DESIGN.md §8)");
-
-    println!("(a) One-way inflation vs deflation (Tasuki-style):");
-    let phased = thinlock_bench::phased_ablation((iters / 4).max(1_000) as u32);
-    println!(
-        "    private phase after one contended episode: permanent-fat {:.2?} vs deflating {:.2?} ({:.1}x)",
-        phased.thin_private,
-        phased.tasuki_private,
-        phased.private_phase_speedup()
-    );
-    println!(
-        "    deflating variant performed {} inflation(s) / {} deflation(s)",
-        phased.tasuki_inflations, phased.tasuki_deflations
-    );
-
-    println!("(b) Nest-count width (paper: \"2 or 3 bits is probably sufficient\"):");
-    for (bits, worst) in thinlock_bench::count_width_ablation(cfg) {
-        println!(
-            "    {bits} bit(s): worst-case overflow fraction {:.4}% of lock ops",
-            worst * 100.0
-        );
-    }
-
-    println!("(c) Contention-wait policy on Threads 2:");
-    for (name, t) in thinlock_bench::spin_policy_ablation(iters / 20) {
-        println!("    {name:<16} {t:>10.2?}");
-    }
-
-    println!("(d) Concurrent macro replay (4 threads, hottest 5% of objects shared):");
-    let ccfg = thinlock_trace::concurrent::ConcurrentConfig {
-        threads: 4,
-        shared_fraction: 0.05,
-        base: *cfg,
-    };
-    for name in ["javac", "jacorb", "javalex"] {
-        let profile = thinlock_trace::table1::BenchmarkProfile::by_name(name).unwrap();
-        match thinlock_bench::concurrent_macro(profile, &ccfg) {
-            Ok(rows) => {
-                print!("    {name:<10}");
-                for (proto, t, ok) in rows {
-                    assert!(ok, "{proto}: mutual exclusion violated");
-                    print!("  {proto}={t:>9.2?}");
-                }
-                println!();
-            }
-            Err(e) => println!("    {name}: failed: {e}"),
-        }
-    }
-}
-
-/// Summary of the static lock-discipline analysis over the program
-/// library (the `lockcheck` binary prints the full per-method findings).
-fn lockcheck() {
-    use thinlock_analysis::escape::EscapeContext;
-    use thinlock_vm::programs::{self, MicroBench};
-
-    heading("lockcheck: static lock-discipline analysis (summary)");
-
-    let mut programs = 0usize;
-    let mut diagnostics = 0usize;
-    let mut cycles = 0usize;
-    let mut elidable = 0usize;
-    let mut hints = 0usize;
-    let mut tally = |program: &thinlock_vm::program::Program, ctx: &EscapeContext| {
-        let report = thinlock_analysis::analyze_program(program, ctx);
-        programs += 1;
-        diagnostics += report.diagnostic_count() + report.verify_errors.len();
-        cycles += report.lock_order.cycles.len();
-        elidable += report.escape.elidable_ops.len();
-        hints += report.nest.hints.len();
-    };
-
-    for bench in MicroBench::table2()
-        .into_iter()
-        .chain([MicroBench::MixedSync])
-    {
-        let ctx = EscapeContext::threads(bench.thread_count());
-        tally(&bench.program(), &ctx);
-    }
-    tally(
-        &thinlock_vm::library::javalex_like(),
-        &EscapeContext::single_threaded(),
-    );
-    tally(&programs::deadlock_pair(), &EscapeContext::threads(2));
-    tally(&programs::deep_nest(), &EscapeContext::single_threaded());
-    tally(
-        &programs::unbalanced_exit(),
-        &EscapeContext::single_threaded(),
-    );
-    tally(
-        &programs::non_lifo_pair(),
-        &EscapeContext::single_threaded(),
-    );
-
-    println!("  programs analyzed:     {programs}");
-    println!("  diagnostics:           {diagnostics}");
-    println!("  deadlock cycles:       {cycles}");
-    println!("  elidable sync ops:     {elidable}");
-    println!("  pre-inflation hints:   {hints}");
-    println!("  (run the `lockcheck` binary for per-method findings)");
-}
-
-/// The observability pipeline (DESIGN.md §10): run the profiling corpus
-/// under a `LockTracer`, print the aggregated contention profile, and
-/// verify that the event stream attributes every inflation the
-/// statistics counters recorded.
-fn profile_section(json: Option<&str>) -> Result<(), String> {
-    heading("profile: lock-event observability (per-thread rings, thinlock-obs)");
-    let run = thinlock_bench::run_profile_corpus(thinlock_obs::TracerConfig::default());
-    println!("{}", run.profile);
-    let traced = run.profile.inflations_by_cause();
-    if !run.attribution_consistent() {
-        return Err(format!(
-            "inflation attribution mismatch: stats {:?} vs traced {:?}",
-            run.stats.inflations, traced
-        ));
-    }
-    println!(
-        "attribution check: stats inflations {:?} == traced {:?} (contention, overflow, wait, hint)",
-        run.stats.inflations, traced
-    );
-    if let Some(path) = json {
-        std::fs::write(path, run.profile.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
-        println!("profile JSON written to {path}");
-    }
-    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -480,46 +94,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let cfg = trace_config(opts.scale);
-    let all = opts.sections.iter().any(|s| s == "all");
-    let want = |s: &str| all || opts.sections.iter().any(|x| x == s);
-
-    println!(
-        "thin-locks reproduction harness (iters={}, trace scale={})",
-        opts.iters, opts.scale
-    );
-    if want("table1") {
-        table1(&cfg);
-    }
-    if want("table2") {
-        table2();
-    }
-    if want("fig3") {
-        fig3(&cfg);
-    }
-    if want("fig4") {
-        fig4(opts.iters);
-    }
-    if want("fig5") {
-        fig5(&cfg);
-    }
-    if want("fig6") {
-        fig6(opts.iters);
-    }
-    if want("ablations") {
-        ablations(&cfg, opts.iters);
-    }
-    if want("predict") {
-        predict(opts.iters);
-    }
-    if want("lockcheck") {
-        lockcheck();
-    }
-    if want("profile") {
-        if let Err(msg) = profile_section(opts.json.as_deref()) {
+    let bench_report = match report::run_sections(
+        &opts.sections,
+        opts.iters,
+        opts.scale,
+        opts.profile_json.as_deref(),
+    ) {
+        Ok(r) => r,
+        Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
+    };
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, bench_report.to_json()) {
+            eprintln!("writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "\nbench report: {} benchmark(s) written to {path}",
+            bench_report.benchmarks.len()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -339,11 +339,20 @@ impl<C: FastPathConfig> ThinLocks<C> {
         loop {
             if word.is_fat() {
                 // Fat path: index into the monitor table and queue there.
+                // Unowned or re-entrant acquisitions complete in a single
+                // monitor critical section with no registry traffic; only
+                // an acquisition that must park pays for the parker lookup
+                // and publishes a waits-for edge (it is the only one that
+                // can deadlock).
                 let monitor = self.monitor_of(word);
-                let contended = monitor.owner().is_some();
-                waiting.publish(&self.registry, t, obj);
-                monitor.lock(t, &self.registry)?;
-                let depth = monitor.count();
+                let (depth, contended) = match monitor.lock_uncontended(t) {
+                    Some(depth) => (depth, depth > 1),
+                    None => {
+                        waiting.publish(&self.registry, t, obj);
+                        monitor.lock(t, &self.registry)?;
+                        (monitor.count(), true)
+                    }
+                };
                 if let Some(s) = &self.stats {
                     s.record_lock(
                         if depth > 1 {

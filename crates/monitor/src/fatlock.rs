@@ -230,6 +230,39 @@ impl FatLock {
         }
     }
 
+    /// The non-blocking half of [`lock`](FatLock::lock): acquires if the
+    /// monitor is unowned or already owned by `t`, returning the
+    /// resulting nested depth, or `None` if another thread owns it (the
+    /// caller must fall back to the parking path).
+    ///
+    /// One critical section, no registry lookup — this is the fat-lock
+    /// fast path of Section 2.3 ("index into the vector"), where the
+    /// paper's design only wins over the JDK monitor cache if an
+    /// inflated acquisition stays a handful of instructions. Token
+    /// validation is deferred to the parking path, exactly as the thin
+    /// fast path defers it to inflation.
+    #[inline]
+    pub fn lock_uncontended(&self, t: ThreadToken) -> Option<u32> {
+        if self.inject(InjectionPoint::FatAcquire) == FaultAction::Yield {
+            std::thread::yield_now();
+        }
+        let me = t.index();
+        let mut inner = self.lock_inner();
+        match inner.owner {
+            None => {
+                inner.owner = Some(me);
+                inner.count = 1;
+                inner.remove_from_entry(me);
+                Some(1)
+            }
+            Some(owner) if owner == me => {
+                inner.count += 1;
+                Some(inner.count)
+            }
+            Some(_) => None,
+        }
+    }
+
     /// Attempts to acquire the monitor once for `t` without blocking.
     ///
     /// Returns `true` on success (including re-entrant acquisition),
@@ -597,17 +630,22 @@ impl FatLock {
     }
 
     /// The current owner, if any.
+    #[inline]
     pub fn owner(&self) -> Option<ThreadIndex> {
         self.lock_inner().owner
     }
 
     /// The current nested lock count (0 when unowned). Unlike the thin
     /// encoding this is the number of locks, not locks − 1 (Figure 2).
+    #[inline]
     pub fn count(&self) -> u32 {
         self.lock_inner().count
     }
 
-    /// True if `t` owns the monitor.
+    /// True if `t` owns the monitor. `#[inline]` (with [`Self::owner`]
+    /// and [`Self::count`]) so ownership checks on the cross-crate fat
+    /// path compile down to the underlying mutex acquire + field read.
+    #[inline]
     pub fn holds(&self, t: ThreadToken) -> bool {
         self.lock_inner().owner == Some(t.index())
     }

@@ -105,6 +105,14 @@ impl MonitorTable {
     }
 
     /// Looks up a monitor by index. Wait-free.
+    ///
+    /// `#[inline]` because this sits on the fat-lock fast path — the
+    /// paper's "shifting the monitor index to the right and indexing
+    /// into the vector". Without it the call stays outlined across the
+    /// crate boundary into `thinlock-core` (the workspace does not use
+    /// LTO), costing a call/return on every operation against an
+    /// inflated lock.
+    #[inline]
     pub fn get(&self, index: MonitorIndex) -> Option<&FatLock> {
         self.slots.get(index.get() as usize)?.get()
     }
@@ -121,16 +129,19 @@ impl MonitorTable {
     }
 
     /// Number of monitors allocated so far.
+    #[inline]
     pub fn len(&self) -> usize {
         (self.next.load(Ordering::Relaxed) as usize).min(self.slots.len())
     }
 
     /// True if no monitor has been allocated.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Total slots available.
+    #[inline]
     pub fn capacity(&self) -> usize {
         self.slots.len()
     }

@@ -29,12 +29,14 @@
 
 pub mod event;
 pub mod json;
+pub mod parse;
 pub mod profile;
 pub mod ring;
 pub mod tracer;
 
 pub use event::LockEvent;
 pub use json::JsonWriter;
+pub use parse::{parse, JsonParseError, JsonValue};
 pub use profile::{ContentionProfile, Inflation, ObjectProfile, SPIN_BUCKETS};
 pub use ring::{EventRing, RawEvent, RingSnapshot};
 pub use tracer::{LockTracer, TraceSnapshot, TracerConfig};

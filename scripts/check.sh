@@ -19,6 +19,9 @@ cargo build --release --offline
 echo "== tier-1: cargo test -q"
 cargo test -q --offline
 
+echo "== bench smoke: tiny reproduce --json run + id-coverage gate"
+bash scripts/bench.sh smoke
+
 echo "== chaos: seeded fault-injection sweep"
 bash scripts/chaos.sh
 

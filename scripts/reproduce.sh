@@ -10,8 +10,10 @@ cd "$(dirname "$0")/.."
 
 mkdir -p out
 cargo build --release --offline -p thinlock-bench
-./target/release/reproduce all profile --json out/profile.json "$@" \
+./target/release/reproduce all --json out/bench.json \
+    --profile-json out/profile.json "$@" \
     | tee out/reproduce_output.txt
 echo
 echo "report: out/reproduce_output.txt"
+echo "bench JSON: out/bench.json (see scripts/bench.sh for the gated pipeline)"
 echo "profile JSON: out/profile.json"
