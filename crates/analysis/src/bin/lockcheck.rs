@@ -1,8 +1,22 @@
-//! `lockcheck` — runs all four static lock-discipline passes over the
+//! `lockcheck` — runs the static lock-discipline passes over the
 //! built-in program library and prints per-method findings.
+//!
+//! Flags:
+//!
+//! * `--races` — additionally runs the guards (lockset) pass over the
+//!   seeded concurrent program library with each program's real
+//!   thread-role contract, printing inferred `@GuardedBy` facts and
+//!   race candidates next to the ground-truth label.
+//! * `--deny-races` — implies `--races`; exits non-zero if any race
+//!   verdict disagrees with ground truth (a clean program flagged, a
+//!   racy program missed) or a sequential-library program has race
+//!   candidates. CI wires this into `scripts/check.sh`.
+
+use std::process::ExitCode;
 
 use thinlock_analysis::escape::EscapeContext;
-use thinlock_analysis::{analyze_program, AnalysisReport};
+use thinlock_analysis::guards::EntryRole;
+use thinlock_analysis::{analyze_program, analyze_program_with_roles, AnalysisReport};
 use thinlock_vm::library;
 use thinlock_vm::program::Program;
 use thinlock_vm::programs::{self, MicroBench};
@@ -14,6 +28,9 @@ struct Totals {
     cycles: usize,
     elidable: usize,
     hints: usize,
+    guarded_facts: usize,
+    race_candidates: usize,
+    race_mismatches: usize,
 }
 
 fn check(name: &str, program: &Program, ctx: &EscapeContext, totals: &mut Totals) {
@@ -32,9 +49,82 @@ fn check(name: &str, program: &Program, ctx: &EscapeContext, totals: &mut Totals
     totals.cycles += report.lock_order.cycles.len();
     totals.elidable += report.escape.elidable_ops.len();
     totals.hints += report.nest.hints.len();
+    // Sequential-library programs must never have lockset race
+    // candidates; any hit is a detector regression.
+    totals.race_mismatches += report.guards.races.len();
+    totals.race_candidates += report.guards.races.len();
 }
 
-fn main() {
+/// The `--races` section: the guards pass over the concurrent library,
+/// each program analyzed under its own thread-role contract and compared
+/// with its ground-truth race label.
+fn check_races(totals: &mut Totals) {
+    println!("== races: guards pass over the concurrent program library");
+    for entry in programs::concurrent_library() {
+        let ctx = EscapeContext::threads(entry.total_threads());
+        let roles: Vec<EntryRole> = entry
+            .roles
+            .iter()
+            .map(|r| EntryRole {
+                name: r.method.to_string(),
+                method: entry.program.method_id(r.method).unwrap_or(0),
+                threads: r.threads,
+            })
+            .collect();
+        let report = analyze_program_with_roles(&entry.program, &ctx, &roles);
+        let found_racy = !report.guards.is_race_free();
+        let agrees = found_racy == entry.racy;
+        let label = if entry.racy { "racy" } else { "clean" };
+        let verdict = match (found_racy, agrees) {
+            (true, true) => "RACE (expected)",
+            (false, true) => "race-free",
+            (true, false) => "FALSE POSITIVE",
+            (false, false) => "MISSED RACE",
+        };
+        println!(
+            "  {} [{label}, {} thread(s)] — {verdict}",
+            entry.name,
+            entry.total_threads()
+        );
+        for fact in &report.guards.facts {
+            println!("    @GuardedBy {fact}");
+        }
+        for race in &report.guards.races {
+            println!("    RACE {race}");
+        }
+        totals.guarded_facts += report.guards.facts.len();
+        totals.race_candidates += report.guards.races.len();
+        if !agrees {
+            totals.race_mismatches += 1;
+        }
+        // The expected racy fields must all be among the candidates.
+        for &(pool, field) in &entry.racy_fields {
+            if !report
+                .guards
+                .races
+                .iter()
+                .any(|r| (r.pool, r.field) == (pool, field))
+            {
+                println!("    MISSING expected race on pool[{pool}].f{field}");
+                totals.race_mismatches += 1;
+            }
+        }
+    }
+    println!();
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let deny_races = args.iter().any(|a| a == "--deny-races");
+    let races = deny_races || args.iter().any(|a| a == "--races");
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| *a != "--races" && *a != "--deny-races")
+    {
+        eprintln!("lockcheck: unknown flag {unknown} (expected --races or --deny-races)");
+        return ExitCode::from(2);
+    }
+
     let mut totals = Totals {
         programs: 0,
         methods: 0,
@@ -42,6 +132,9 @@ fn main() {
         cycles: 0,
         elidable: 0,
         hints: 0,
+        guarded_facts: 0,
+        race_candidates: 0,
+        race_mismatches: 0,
     };
 
     println!("lockcheck: static lock-discipline analysis\n");
@@ -87,6 +180,10 @@ fn main() {
         &mut totals,
     );
 
+    if races {
+        check_races(&mut totals);
+    }
+
     println!(
         "summary: {} program(s), {} method(s); {} diagnostic(s), \
          {} deadlock cycle(s), {} elidable sync op(s), {} pre-inflation hint(s)",
@@ -97,4 +194,18 @@ fn main() {
         totals.elidable,
         totals.hints,
     );
+    if races {
+        println!(
+            "races: {} @GuardedBy fact(s), {} race candidate(s), {} mismatch(es) vs ground truth",
+            totals.guarded_facts, totals.race_candidates, totals.race_mismatches,
+        );
+    }
+    if deny_races && totals.race_mismatches > 0 {
+        eprintln!(
+            "lockcheck: --deny-races: {} race verdict(s) disagree with ground truth",
+            totals.race_mismatches
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -72,7 +72,8 @@ impl EscapeContext {
         }
     }
 
-    fn pool_is_shared(&self, index: u32) -> bool {
+    /// True when the harness may hand `pool[index]` to a second thread.
+    pub fn pool_is_shared(&self, index: u32) -> bool {
         match &self.shared {
             SharedPool::None => false,
             SharedPool::All => true,
@@ -216,6 +217,39 @@ mod tests {
             let site = f.monitor_ops.iter().find(|m| m.pc == pc).unwrap();
             assert_ne!(site.sym, crate::lockstack::Sym::Pool(0));
         }
+    }
+
+    #[test]
+    fn dynamic_field_ops_do_not_perturb_elision() {
+        // Same sync shape as the Sync benchmark, but the loop body also
+        // reads and writes fields through GetFieldDyn/PutFieldDyn: field
+        // traffic (indexed or dynamic) must not change what is elidable.
+        use thinlock_vm::program::{Method, MethodFlags};
+        use thinlock_vm::Op;
+        let code = vec![
+            Op::AConst(0),    // 0
+            Op::MonitorEnter, // 1
+            Op::AConst(0),    // 2: put receiver
+            Op::IConst(0),    // 3: put index
+            Op::AConst(0),    // 4
+            Op::IConst(0),    // 5
+            Op::GetFieldDyn,  // 6
+            Op::IConst(1),    // 7
+            Op::IAdd,         // 8
+            Op::PutFieldDyn,  // 9
+            Op::AConst(0),    // 10
+            Op::MonitorExit,  // 11
+            Op::Return,       // 12
+        ];
+        let mut p = Program::new(1);
+        p.add_method(Method::new("main", 0, 0, MethodFlags::default(), code));
+        let facts = lockstack::analyze_program(&p);
+        let local = analyze(&p, &facts, &EscapeContext::single_threaded());
+        assert_eq!(local.elidable_ops.len(), 2, "enter+exit still elidable");
+        assert_eq!(local.retained_ops, 0);
+        let shared = analyze(&p, &facts, &EscapeContext::threads(2));
+        assert!(shared.elidable_ops.is_empty());
+        assert_eq!(shared.retained_ops, 2);
     }
 
     #[test]

@@ -21,17 +21,24 @@
 //!   yields *pre-inflation hints* the interpreter applies via
 //!   `ThinLocks::pre_inflate`, so overflow inflation never happens in the
 //!   middle of a critical section.
+//! * [`guards`] — an Eraser/RacerD-style lockset pass: per-field
+//!   intersection of the locks provably held across every reachable
+//!   access infers `@GuardedBy` facts, and a field written with an empty
+//!   lockset while reachable from more than one thread-role is flagged
+//!   as a race candidate. Cross-checked at runtime by the dynamic Eraser
+//!   sanitizer in `thinlock_obs`.
 //!
-//! [`report`] assembles the per-method findings of all four passes, and
-//! the `lockcheck` binary prints them for the built-in program library.
+//! [`report`] assembles the per-method findings of all passes, and the
+//! `lockcheck` binary prints them for the built-in program library.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod escape;
+pub mod guards;
 pub mod lockorder;
 pub mod lockstack;
 pub mod nestdepth;
 pub mod report;
 
-pub use report::{analyze_program, AnalysisReport};
+pub use report::{analyze_program, analyze_program_with_roles, AnalysisReport};

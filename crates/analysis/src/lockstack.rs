@@ -13,6 +13,14 @@
 //! it records instruction-precise diagnostics (orphan `monitorexit`,
 //! non-LIFO release, imbalance at a join, monitors held at return) and
 //! keeps going, so one malformed method still yields facts for the rest.
+//!
+//! Besides monitor operations, the pass records every field access
+//! (`GetField`/`PutField` and the dynamic forms) with its symbolic
+//! object, resolved [`FieldId`], and the held-set around it. Integer
+//! constants are tracked through the operand stack, so
+//! `GetFieldDyn`/`PutFieldDyn` with a provably constant index resolve to
+//! the same precision as the indexed forms; only a genuinely dynamic
+//! index degrades to [`FieldId::Unknown`].
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -53,6 +61,29 @@ impl fmt::Display for Sym {
     }
 }
 
+/// Statically resolved identity of an accessed field.
+///
+/// `GetField(i)`/`PutField(i)` always resolve; the dynamic forms resolve
+/// exactly when the index operand is a provable integer constant, which
+/// gives `GetFieldDyn`/`PutFieldDyn` the same precision as the indexed
+/// forms whenever the index is statically known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FieldId {
+    /// A statically known field index.
+    Const(u16),
+    /// A dynamic index the dataflow could not resolve to a constant.
+    Unknown,
+}
+
+impl fmt::Display for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FieldId::Const(i) => write!(f, "f{i}"),
+            FieldId::Unknown => f.write_str("f?"),
+        }
+    }
+}
+
 /// Abstract value for one stack slot or local.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum AbsVal {
@@ -60,6 +91,9 @@ enum AbsVal {
     ArgAny(u8),
     /// An integer.
     Int,
+    /// A known integer constant (from `IConst`), tracked so the dynamic
+    /// field ops can resolve their index operand.
+    Const(i32),
     /// A reference with a symbolic identity.
     Ref(Sym),
     /// Irreconcilable or untracked.
@@ -71,7 +105,8 @@ impl AbsVal {
         use AbsVal::*;
         match (self, other) {
             (a, b) if a == b => a,
-            (ArgAny(_), Int) | (Int, ArgAny(_)) => Int,
+            (ArgAny(_) | Const(_), Int) | (Int, ArgAny(_) | Const(_)) => Int,
+            (ArgAny(_), Const(_)) | (Const(_), ArgAny(_)) | (Const(_), Const(_)) => Int,
             (ArgAny(i), Ref(s)) | (Ref(s), ArgAny(i)) => Ref(Sym::Arg(i).join(s)),
             (Ref(a), Ref(b)) => Ref(a.join(b)),
             _ => Top,
@@ -84,6 +119,15 @@ impl AbsVal {
             AbsVal::ArgAny(i) => Sym::Arg(i),
             AbsVal::Ref(s) => s,
             _ => Sym::Unknown,
+        }
+    }
+
+    /// The field index this value resolves to when used as a dynamic
+    /// field-index operand.
+    fn as_field_id(self) -> FieldId {
+        match self {
+            AbsVal::Const(k) => u16::try_from(k).map_or(FieldId::Unknown, FieldId::Const),
+            _ => FieldId::Unknown,
         }
     }
 }
@@ -127,6 +171,23 @@ pub struct MonitorSite {
     pub sym: Sym,
 }
 
+/// A field access (`GetField`/`PutField` or their dynamic forms) with
+/// the symbolic object, resolved field, and the locks held around it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldAccessSite {
+    /// Program counter of the access.
+    pub pc: usize,
+    /// Symbolic identity of the accessed object.
+    pub obj: Sym,
+    /// The accessed field, if statically resolvable.
+    pub field: FieldId,
+    /// True for `PutField`/`PutFieldDyn`.
+    pub is_write: bool,
+    /// Symbols held at the access, innermost last; includes the
+    /// synchronized receiver where applicable.
+    pub held: Vec<Sym>,
+}
+
 /// An `Invoke` site with symbolic arguments and the held-set around it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InvokeSite {
@@ -159,6 +220,9 @@ pub struct MethodLockFacts {
     pub monitor_ops: Vec<MonitorSite>,
     /// Every `Invoke` with symbolic arguments and held-set.
     pub invokes: Vec<InvokeSite>,
+    /// Every field access with its symbolic object, resolved field, and
+    /// held-set — the substrate of the guards (lockset) pass.
+    pub field_accesses: Vec<FieldAccessSite>,
     /// Maximum symbolic lock-stack depth (body locks only; add one for
     /// a synchronized method's receiver).
     pub max_lock_stack: usize,
@@ -246,6 +310,7 @@ pub fn analyze_method(program: &Program, method_id: u16, method: &Method) -> Met
         acquires: Vec::new(),
         monitor_ops: Vec::new(),
         invokes: Vec::new(),
+        field_accesses: Vec::new(),
         max_lock_stack: 0,
     };
     if synchronized {
@@ -397,6 +462,38 @@ pub fn analyze_method(program: &Program, method_id: u16, method: &Method) -> Met
                     }
                 }
             }
+            Op::GetField(_) | Op::PutField(_) | Op::GetFieldDyn | Op::PutFieldDyn => {
+                // Peek the operand `back` slots from the stack top.
+                let peek = |back: usize| {
+                    frame
+                        .stack
+                        .len()
+                        .checked_sub(back)
+                        .and_then(|k| frame.stack.get(k))
+                        .copied()
+                };
+                let (obj, field, is_write) = match op {
+                    Op::GetField(i) => (peek(1), FieldId::Const(i), false),
+                    Op::PutField(i) => (peek(2), FieldId::Const(i), true),
+                    Op::GetFieldDyn => (
+                        peek(2),
+                        peek(1).map_or(FieldId::Unknown, AbsVal::as_field_id),
+                        false,
+                    ),
+                    _ => (
+                        peek(3),
+                        peek(2).map_or(FieldId::Unknown, AbsVal::as_field_id),
+                        true,
+                    ),
+                };
+                facts.field_accesses.push(FieldAccessSite {
+                    pc,
+                    obj: obj.map_or(Sym::Unknown, AbsVal::as_sym),
+                    field,
+                    is_write,
+                    held: held_with_base(&frame.lock_stack),
+                });
+            }
             Op::Invoke(id) => {
                 if let Some(callee) = program.method(id) {
                     let argc = usize::from(callee.arg_count());
@@ -465,7 +562,7 @@ fn transfer(program: &Program, frame: &Frame, op: Op) -> Option<(Frame, Vec<usiz
         }};
     }
     match op {
-        Op::IConst(_) => f.stack.push(AbsVal::Int),
+        Op::IConst(v) => f.stack.push(AbsVal::Const(v)),
         Op::ILoad(s) => {
             let s = local!(s);
             f.locals[s] = Some(AbsVal::Int);
@@ -833,6 +930,133 @@ mod tests {
                 .diagnostics
                 .iter()
                 .any(|d| d.message.contains("lock-stack depth mismatch")),
+            "{:?}",
+            facts[0].diagnostics
+        );
+    }
+
+    #[test]
+    fn indexed_field_accesses_record_object_field_and_held_set() {
+        // synchronized(pool[0]) { pool[0].f2 = pool[0].f2 + 1 }
+        let code = vec![
+            Op::AConst(0),    // 0
+            Op::MonitorEnter, // 1
+            Op::AConst(0),    // 2: receiver for the put
+            Op::AConst(0),    // 3
+            Op::GetField(2),  // 4
+            Op::IConst(1),    // 5
+            Op::IAdd,         // 6
+            Op::PutField(2),  // 7
+            Op::AConst(0),    // 8
+            Op::MonitorExit,  // 9
+            Op::Return,       // 10
+        ];
+        let p = one_method(1, MethodFlags::default(), 0, 0, code);
+        let facts = analyze_program(&p);
+        let accesses = &facts[0].field_accesses;
+        assert_eq!(accesses.len(), 2, "{accesses:?}");
+        let get = &accesses[0];
+        assert_eq!(
+            (get.pc, get.obj, get.field, get.is_write),
+            (4, Sym::Pool(0), FieldId::Const(2), false)
+        );
+        assert_eq!(get.held, vec![Sym::Pool(0)]);
+        let put = &accesses[1];
+        assert_eq!(
+            (put.pc, put.obj, put.field, put.is_write),
+            (7, Sym::Pool(0), FieldId::Const(2), true)
+        );
+        assert_eq!(put.held, vec![Sym::Pool(0)]);
+    }
+
+    #[test]
+    fn dynamic_field_ops_with_constant_index_resolve_exactly() {
+        // pool[0].f[3] = pool[0].f[3] + 1 via the dynamic forms, index
+        // pushed as IConst — must match the indexed forms' precision.
+        let code = vec![
+            Op::AConst(0),   // 0: receiver for the put
+            Op::IConst(3),   // 1: put index
+            Op::AConst(0),   // 2
+            Op::IConst(3),   // 3: get index
+            Op::GetFieldDyn, // 4
+            Op::IConst(1),   // 5
+            Op::IAdd,        // 6
+            Op::PutFieldDyn, // 7
+            Op::Return,      // 8
+        ];
+        let p = one_method(1, MethodFlags::default(), 0, 0, code);
+        let facts = analyze_program(&p);
+        assert!(
+            facts[0].diagnostics.is_empty(),
+            "{:?}",
+            facts[0].diagnostics
+        );
+        let accesses = &facts[0].field_accesses;
+        assert_eq!(accesses.len(), 2, "{accesses:?}");
+        assert_eq!(
+            (accesses[0].obj, accesses[0].field, accesses[0].is_write),
+            (Sym::Pool(0), FieldId::Const(3), false)
+        );
+        assert_eq!(
+            (accesses[1].obj, accesses[1].field, accesses[1].is_write),
+            (Sym::Pool(0), FieldId::Const(3), true)
+        );
+    }
+
+    #[test]
+    fn dynamic_field_ops_with_computed_index_degrade_to_unknown() {
+        // Index comes from a local (joined to Int): the object identity
+        // survives but the field index does not.
+        let code = vec![
+            Op::AConst(0),   // 0
+            Op::ILoad(0),    // 1: dynamic index
+            Op::GetFieldDyn, // 2
+            Op::Pop,         // 3
+            Op::Return,      // 4
+        ];
+        let p = one_method(1, MethodFlags::default(), 1, 1, code);
+        let facts = analyze_program(&p);
+        let accesses = &facts[0].field_accesses;
+        assert_eq!(accesses.len(), 1);
+        assert_eq!(accesses[0].obj, Sym::Pool(0));
+        assert_eq!(accesses[0].field, FieldId::Unknown);
+    }
+
+    #[test]
+    fn synchronized_method_field_access_includes_receiver_in_held_set() {
+        // The CallSync bump method accesses arg0.f0 under the synthetic
+        // receiver lock.
+        let p = MicroBench::CallSync.program();
+        let facts = analyze_program(&p);
+        let bump = facts.iter().find(|f| f.synchronized).expect("bump");
+        assert_eq!(bump.field_accesses.len(), 2);
+        for a in &bump.field_accesses {
+            assert_eq!(a.obj, Sym::Arg(0));
+            assert_eq!(a.field, FieldId::Const(0));
+            assert_eq!(a.held, vec![Sym::Arg(0)], "receiver lock is held");
+        }
+    }
+
+    #[test]
+    fn constant_joins_collapse_to_int_not_top() {
+        // Two paths push different constants; the join is Int, so a
+        // following dynamic access degrades gracefully to FieldId::Unknown
+        // (not a malformed-stack diagnostic).
+        let code = vec![
+            Op::ILoad(0),  // 0
+            Op::IfEq(4),   // 1
+            Op::IConst(1), // 2
+            Op::Goto(5),   // 3
+            Op::IConst(2), // 4
+            Op::AConst(0), // 5: join point: [Int]
+            Op::Pop,       // 6
+            Op::Pop,       // 7
+            Op::Return,    // 8
+        ];
+        let p = one_method(1, MethodFlags::default(), 1, 1, code);
+        let facts = analyze_program(&p);
+        assert!(
+            facts[0].diagnostics.is_empty(),
             "{:?}",
             facts[0].diagnostics
         );

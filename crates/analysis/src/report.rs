@@ -1,4 +1,4 @@
-//! Aggregation of all four `lockcheck` passes into one program report.
+//! Aggregation of all `lockcheck` passes into one program report.
 
 use std::fmt;
 
@@ -6,6 +6,7 @@ use thinlock_vm::program::Program;
 use thinlock_vm::verify::{verify_method, VerifyOptions};
 
 use crate::escape::{self, EscapeContext, EscapeReport};
+use crate::guards::{self, EntryRole, GuardsReport};
 use crate::lockorder::{self, LockOrderReport};
 use crate::lockstack::{self, MethodLockFacts};
 use crate::nestdepth::{self, NestDepthReport};
@@ -25,6 +26,8 @@ pub struct AnalysisReport {
     pub escape: EscapeReport,
     /// Nest-depth bounds and pre-inflation hints.
     pub nest: NestDepthReport,
+    /// Guarded-by inference and lockset race candidates.
+    pub guards: GuardsReport,
 }
 
 impl AnalysisReport {
@@ -33,21 +36,34 @@ impl AnalysisReport {
         self.methods.iter().map(|m| m.diagnostics.len()).sum()
     }
 
-    /// True when no pass found anything suspicious (elision and hints
-    /// are findings, not problems).
+    /// True when no pass found anything suspicious (elision, hints, and
+    /// guarded-by facts are findings, not problems).
     pub fn is_clean(&self) -> bool {
         self.verify_errors.is_empty()
             && self.diagnostic_count() == 0
             && self.lock_order.is_acyclic()
+            && self.guards.is_race_free()
     }
 }
 
-/// Runs all four passes over `program` under the given harness context.
+/// Runs all passes over `program` under the given harness context, with
+/// the guards pass grounded at the default entry role (`main`, or method
+/// 0, run on `ctx.thread_count` threads).
+pub fn analyze_program(program: &Program, ctx: &EscapeContext) -> AnalysisReport {
+    analyze_program_with_roles(program, ctx, &guards::default_roles(program, ctx))
+}
+
+/// Like [`analyze_program`], but grounds the guards pass at explicit
+/// concurrent entry roles (one per worker kind, as the harness runs them).
 ///
 /// The base verifier runs first with `structured_locking` off: its job
 /// here is only to guarantee operand-stack sanity so the symbolic pass
 /// is meaningful; lock discipline is this crate's richer reimplementation.
-pub fn analyze_program(program: &Program, ctx: &EscapeContext) -> AnalysisReport {
+pub fn analyze_program_with_roles(
+    program: &Program,
+    ctx: &EscapeContext,
+    roles: &[EntryRole],
+) -> AnalysisReport {
     let base = VerifyOptions {
         structured_locking: false,
         ..VerifyOptions::default()
@@ -62,12 +78,14 @@ pub fn analyze_program(program: &Program, ctx: &EscapeContext) -> AnalysisReport
     let lock_order = lockorder::build(&methods);
     let escape = escape::analyze(program, &methods, ctx);
     let nest = nestdepth::analyze(&methods);
+    let guards = guards::analyze(program, &methods, roles, ctx);
     AnalysisReport {
         verify_errors,
         methods,
         lock_order,
         escape,
         nest,
+        guards,
     }
 }
 
@@ -122,6 +140,28 @@ impl fmt::Display for AnalysisReport {
             writeln!(
                 f,
                 "    PRE-INFLATE pool[{i}] (may exceed thin count capacity)"
+            )?;
+        }
+        if !self.guards.facts.is_empty() || !self.guards.races.is_empty() {
+            let roles: Vec<String> = self
+                .guards
+                .roles
+                .iter()
+                .map(|r| format!("{}x{}", r.name, r.threads))
+                .collect();
+            writeln!(f, "  guards (roles: {}):", roles.join(", "))?;
+            for fact in &self.guards.facts {
+                writeln!(f, "    @GuardedBy {fact}")?;
+            }
+            for race in &self.guards.races {
+                writeln!(f, "    RACE {race}")?;
+            }
+        }
+        if self.guards.unresolved_accesses > 0 {
+            writeln!(
+                f,
+                "    ({} unresolved field access(es) excluded from lockset inference)",
+                self.guards.unresolved_accesses
             )?;
         }
         Ok(())

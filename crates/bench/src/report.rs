@@ -626,6 +626,7 @@ fn lockcheck(out: &mut BenchReport) {
     println!("  elidable sync ops:     {elidable}");
     println!("  pre-inflation hints:   {hints}");
     println!("  (run the `lockcheck` binary for per-method findings)");
+    lockcheck_races();
     for (id, value) in [
         ("lockcheck/programs", programs),
         ("lockcheck/diagnostics", diagnostics),
@@ -643,6 +644,76 @@ fn lockcheck(out: &mut BenchReport) {
             value as f64,
         ));
     }
+}
+
+/// The race-detection subsection (DESIGN.md §13): the guards pass over
+/// the concurrent program library, each static verdict cross-checked by
+/// one seeded replay under the dynamic Eraser sanitizer. Text only — the
+/// gated `lockcheck/*` records above cover the sequential library and
+/// stay byte-identical.
+fn lockcheck_races() {
+    use std::sync::Arc;
+    use thinlock_analysis::escape::EscapeContext;
+    use thinlock_analysis::guards::EntryRole;
+    use thinlock_obs::EraserSanitizer;
+    use thinlock_trace::vmreplay::run_concurrent_program;
+    use thinlock_vm::programs::concurrent_library;
+
+    println!("  races: guards pass + Eraser sanitizer over the concurrent library");
+    let mut mismatches = 0usize;
+    for entry in concurrent_library() {
+        let ctx = EscapeContext::threads(entry.total_threads());
+        let roles: Vec<EntryRole> = entry
+            .roles
+            .iter()
+            .map(|r| EntryRole {
+                name: r.method.to_string(),
+                method: entry.program.method_id(r.method).unwrap_or(0),
+                threads: r.threads,
+            })
+            .collect();
+        let report = thinlock_analysis::analyze_program_with_roles(&entry.program, &ctx, &roles);
+        let static_racy = !report.guards.is_race_free();
+
+        let sanitizer = Arc::new(EraserSanitizer::new(
+            entry.program.pool_size() as usize + 1,
+            usize::from(entry.fields.max(1)),
+        ));
+        let dynamic_racy = match run_concurrent_program(
+            &entry,
+            96,
+            0xB16B_00B5,
+            Some(Arc::clone(&sanitizer) as Arc<dyn thinlock_runtime::events::TraceSink>),
+        ) {
+            Ok(_) => sanitizer.report_count() > 0,
+            Err(e) => {
+                println!("    {}: replay failed: {e}", entry.name);
+                mismatches += 1;
+                continue;
+            }
+        };
+
+        let agree = static_racy == entry.racy && dynamic_racy == entry.racy;
+        if !agree {
+            mismatches += 1;
+        }
+        println!(
+            "    {:22} truth={:5} static={:5} dynamic={:5} — {}",
+            entry.name,
+            if entry.racy { "racy" } else { "clean" },
+            if static_racy { "racy" } else { "clean" },
+            if dynamic_racy { "racy" } else { "clean" },
+            if agree { "agree" } else { "DISAGREE" },
+        );
+    }
+    println!(
+        "    verdict agreement: {}",
+        if mismatches == 0 {
+            "all programs (static == dynamic == ground truth)".to_string()
+        } else {
+            format!("{mismatches} mismatch(es) — see `lockcheck --deny-races`")
+        }
+    );
 }
 
 /// The observability pipeline (DESIGN.md §10): run the profiling corpus

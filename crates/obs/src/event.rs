@@ -54,6 +54,10 @@ pub(crate) fn encode_kind(kind: TraceEventKind) -> (u8, u32) {
         TraceEventKind::OrphanReclaimed { fat } => (13, u32::from(fat)),
         TraceEventKind::DeadlockDetected { threads } => (14, threads),
         TraceEventKind::AcquireTimedOut => (15, 0),
+        TraceEventKind::FieldAccess { field, write } => {
+            (16, u32::from(field) | (u32::from(write) << 16))
+        }
+        TraceEventKind::RaceDetected { field } => (17, u32::from(field)),
     }
 }
 
@@ -85,6 +89,13 @@ pub(crate) fn decode_kind(code: u8, payload: u32) -> Option<TraceEventKind> {
         13 => TraceEventKind::OrphanReclaimed { fat: payload != 0 },
         14 => TraceEventKind::DeadlockDetected { threads: payload },
         15 => TraceEventKind::AcquireTimedOut,
+        16 => TraceEventKind::FieldAccess {
+            field: payload as u16,
+            write: (payload >> 16) & 1 != 0,
+        },
+        17 => TraceEventKind::RaceDetected {
+            field: u16::try_from(payload).ok()?,
+        },
         _ => return None,
     })
 }
@@ -145,6 +156,15 @@ mod tests {
             TraceEventKind::OrphanReclaimed { fat: false },
             TraceEventKind::DeadlockDetected { threads: 3 },
             TraceEventKind::AcquireTimedOut,
+            TraceEventKind::FieldAccess {
+                field: 0,
+                write: false,
+            },
+            TraceEventKind::FieldAccess {
+                field: u16::MAX,
+                write: true,
+            },
+            TraceEventKind::RaceDetected { field: 7 },
         ] {
             roundtrip(kind);
         }
@@ -159,6 +179,8 @@ mod tests {
         assert_eq!(decode_kind(200, 0), None);
         // Inflated with an out-of-range cause code.
         assert_eq!(decode_kind(5, 99), None);
+        // RaceDetected with a field index past the 16-bit payload.
+        assert_eq!(decode_kind(17, 0x1_0000), None);
     }
 
     #[test]

@@ -20,9 +20,16 @@
 //!    [`InflationCause`](thinlock_runtime::stats::InflationCause).
 //!    The profile prints as text (the `reproduce` binary's `profile`
 //!    section) or exports as JSON via [`ContentionProfile::to_json`].
+//! 4. [`EraserSanitizer`] chains on the same seam and turns the event
+//!    stream into dynamic data-race verdicts: per-thread held-lock sets
+//!    from acquire/release events drive the classic Eraser
+//!    Virgin → Exclusive → Shared → Shared-Modified lockset state
+//!    machine per (object, field), cross-checking the static guards
+//!    pass of `thinlock-analysis` at runtime.
 //!
 //! See DESIGN.md §10 for the event schema, memory-ordering argument,
-//! and overhead budget.
+//! and overhead budget, and §13 for the sanitizer's agreement contract
+//! with the static lockset analysis.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -32,6 +39,7 @@ pub mod json;
 pub mod parse;
 pub mod profile;
 pub mod ring;
+pub mod sanitizer;
 pub mod tracer;
 
 pub use event::LockEvent;
@@ -39,4 +47,5 @@ pub use json::JsonWriter;
 pub use parse::{parse, JsonParseError, JsonValue};
 pub use profile::{ContentionProfile, Inflation, ObjectProfile, SPIN_BUCKETS};
 pub use ring::{EventRing, RawEvent, RingSnapshot};
+pub use sanitizer::EraserSanitizer;
 pub use tracer::{LockTracer, TraceSnapshot, TracerConfig};

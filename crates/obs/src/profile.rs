@@ -78,6 +78,13 @@ pub struct ObjectProfile {
     /// Times this object's lock was force-released because its owner's
     /// registration dropped without unlocking.
     pub orphan_reclaims: u64,
+    /// Field reads the VM performed on this object.
+    pub field_reads: u64,
+    /// Field writes the VM performed on this object.
+    pub field_writes: u64,
+    /// Data races the dynamic Eraser sanitizer reported on this object
+    /// (at most one per field).
+    pub races: u64,
     /// The object's inflation, if its lock ever inflated (thin-lock
     /// inflation is one-way, so at most one per object).
     pub inflation: Option<Inflation>,
@@ -100,6 +107,9 @@ impl ObjectProfile {
             elisions: 0,
             acquire_timeouts: 0,
             orphan_reclaims: 0,
+            field_reads: 0,
+            field_writes: 0,
+            races: 0,
             inflation: None,
         }
     }
@@ -158,6 +168,12 @@ pub struct ContentionProfile {
     pub deadlocks_detected: u64,
     /// Try/timed acquisitions that gave up without the lock.
     pub acquire_timeouts: u64,
+    /// Field reads the VM streamed through the sink.
+    pub field_reads: u64,
+    /// Field writes the VM streamed through the sink.
+    pub field_writes: u64,
+    /// Data races reported by the dynamic Eraser sanitizer.
+    pub races_detected: u64,
     /// Decoded events the profile is built from.
     pub events: u64,
     /// Events recorded by the tracer (surviving + dropped).
@@ -191,6 +207,9 @@ impl ContentionProfile {
         let mut orphans_reclaimed_fat = 0;
         let mut deadlocks_detected = 0;
         let mut acquire_timeouts = 0;
+        let mut field_reads = 0;
+        let mut field_writes = 0;
+        let mut races_detected = 0;
 
         for event in &snapshot.events {
             let profile = event.obj.map(|o| {
@@ -287,6 +306,26 @@ impl ContentionProfile {
                         p.acquire_timeouts += 1;
                     }
                 }
+                TraceEventKind::FieldAccess { write, .. } => {
+                    if write {
+                        field_writes += 1;
+                    } else {
+                        field_reads += 1;
+                    }
+                    if let Some(p) = profile {
+                        if write {
+                            p.field_writes += 1;
+                        } else {
+                            p.field_reads += 1;
+                        }
+                    }
+                }
+                TraceEventKind::RaceDetected { .. } => {
+                    races_detected += 1;
+                    if let Some(p) = profile {
+                        p.races += 1;
+                    }
+                }
             }
         }
 
@@ -310,6 +349,9 @@ impl ContentionProfile {
             orphans_reclaimed_fat,
             deadlocks_detected,
             acquire_timeouts,
+            field_reads,
+            field_writes,
+            races_detected,
             events: snapshot.events.len() as u64,
             recorded: snapshot.recorded,
             dropped: snapshot.dropped,
@@ -354,6 +396,9 @@ impl ContentionProfile {
         w.field_u64("orphans_reclaimed_fat", self.orphans_reclaimed_fat);
         w.field_u64("deadlocks_detected", self.deadlocks_detected);
         w.field_u64("acquire_timeouts", self.acquire_timeouts);
+        w.field_u64("field_reads", self.field_reads);
+        w.field_u64("field_writes", self.field_writes);
+        w.field_u64("races_detected", self.races_detected);
 
         w.begin_named_object("inflations_by_cause");
         let by_cause = self.inflations_by_cause();
@@ -380,6 +425,9 @@ impl ContentionProfile {
             w.field_u64("elisions", o.elisions);
             w.field_u64("acquire_timeouts", o.acquire_timeouts);
             w.field_u64("orphan_reclaims", o.orphan_reclaims);
+            w.field_u64("field_reads", o.field_reads);
+            w.field_u64("field_writes", o.field_writes);
+            w.field_u64("races", o.races);
             match o.inflation {
                 Some(i) => {
                     w.begin_named_object("inflation");
@@ -440,6 +488,13 @@ impl fmt::Display for ContentionProfile {
             self.pre_inflate_hints,
             self.pre_inflate_applied
         )?;
+        if self.field_reads + self.field_writes + self.races_detected > 0 {
+            writeln!(
+                f,
+                "field traffic: {} reads, {} writes; races detected: {}",
+                self.field_reads, self.field_writes, self.races_detected
+            )?;
+        }
         if self.orphans_reclaimed + self.deadlocks_detected + self.acquire_timeouts > 0 {
             writeln!(
                 f,
@@ -636,6 +691,47 @@ mod tests {
         assert!(json.contains(r#""orphans_reclaimed":2"#));
         assert!(json.contains(r#""deadlocks_detected":1"#));
         assert!(json.contains(r#""acquire_timeouts":1"#));
+    }
+
+    #[test]
+    fn field_accesses_and_race_verdicts_are_counted() {
+        let tracer = LockTracer::new(TracerConfig::default());
+        let obj = ObjRef::from_index(2);
+        tracer.record(
+            Some(tidx(1)),
+            Some(obj),
+            TraceEventKind::FieldAccess {
+                field: 0,
+                write: false,
+            },
+        );
+        tracer.record(
+            Some(tidx(2)),
+            Some(obj),
+            TraceEventKind::FieldAccess {
+                field: 0,
+                write: true,
+            },
+        );
+        tracer.record(
+            Some(tidx(2)),
+            Some(obj),
+            TraceEventKind::RaceDetected { field: 0 },
+        );
+        let snap = tracer.snapshot();
+        // Exact accounting even with the new event kinds in the stream.
+        assert_eq!(snap.events.len() as u64 + snap.dropped, snap.recorded);
+        let profile = ContentionProfile::build(&snap);
+        assert_eq!(profile.field_reads, 1);
+        assert_eq!(profile.field_writes, 1);
+        assert_eq!(profile.races_detected, 1);
+        let po = profile.objects.iter().find(|o| o.obj == obj).unwrap();
+        assert_eq!((po.field_reads, po.field_writes, po.races), (1, 1, 1));
+        let text = profile.to_string();
+        assert!(text.contains("field traffic: 1 reads, 1 writes; races detected: 1"));
+        let json = profile.to_json();
+        assert!(json.contains(r#""races_detected":1"#));
+        assert!(json.contains(r#""field_reads":1"#));
     }
 
     #[test]

@@ -1,0 +1,528 @@
+//! Dynamic Eraser lockset sanitizer.
+//!
+//! The runtime half of the race-detection story: where the `lockcheck`
+//! guards pass computes per-field lockset intersections over *all paths
+//! statically*, [`EraserSanitizer`] computes the same invariant over the
+//! *observed* event stream. It sits on the [`TraceSink`] seam between a
+//! protocol and the tracer, tracking per-thread held-lock sets from
+//! acquire/release events and driving the classic per-(object, field)
+//! Eraser state machine from the VM's field-access events:
+//!
+//! ```text
+//! Virgin --first access--> Exclusive(t)
+//! Exclusive --access by u != t--> Shared (read) | Shared-Modified (write),
+//!                                 C := locks-held(u)
+//! Shared/Shared-Modified --any access by v--> C := C ∩ locks-held(v),
+//!                                 write promotes Shared -> Shared-Modified
+//! report once when Shared-Modified ∧ C = ∅
+//! ```
+//!
+//! The candidate set `C` starts as the full universe and is first
+//! materialized at the moment a second thread touches the field, exactly
+//! as in Eraser — single-threaded warm-up (initialization before
+//! publication) never reports.
+//!
+//! All state lives in preallocated atomic words: one packed `u64` per
+//! (object, field) and a fixed array of held-lock slots per thread, so
+//! `record` never blocks or allocates (the [`TraceSink`] contract).
+//! Every tracking limit degrades *conservatively toward silence*: a
+//! guard object outside the 40-bit lockset bitmap, a thread past the
+//! tracked range, or a held-slot overflow all mark the affected state
+//! "unverifiable" rather than risk a false race report. Verdicts are
+//! emitted as [`TraceEventKind::RaceDetected`] through the optional
+//! inner sink (at most once per (object, field)) and are queryable via
+//! [`EraserSanitizer::racy_fields`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use thinlock_runtime::events::{TraceEventKind, TraceSink};
+use thinlock_runtime::heap::ObjRef;
+use thinlock_runtime::lockword::ThreadIndex;
+
+/// Guard objects with heap index below this fit the lockset bitmap;
+/// larger indices degrade to the conservative "unverifiable" path.
+pub const TRACKED_GUARD_OBJECTS: usize = 40;
+
+/// Threads with index at or past this are not tracked (conservative).
+const MAX_TRACKED_THREADS: usize = 256;
+
+/// Distinct locks one thread may hold simultaneously before its
+/// held-set tracking overflows (conservative).
+const HELD_SLOTS: usize = 16;
+
+// Packed per-(object, field) state word:
+//   bits 0..2   Eraser state (Virgin / Exclusive / Shared / SM)
+//   bit  2      reported (race verdict emitted)
+//   bit  3      unverifiable (a tracking limit was hit; never report)
+//   bits 8..24  first accessing thread (ThreadIndex, nonzero)
+//   bits 24..64 candidate lockset bitmap over guard-object indices
+const STATE_MASK: u64 = 0b11;
+const VIRGIN: u64 = 0;
+const EXCLUSIVE: u64 = 1;
+const SHARED: u64 = 2;
+const SHARED_MODIFIED: u64 = 3;
+const REPORTED: u64 = 1 << 2;
+const UNVERIFIABLE: u64 = 1 << 3;
+const FIRST_SHIFT: u32 = 8;
+const FIRST_MASK: u64 = 0xFFFF << FIRST_SHIFT;
+const LOCKSET_SHIFT: u32 = 24;
+
+/// The dynamic lockset sanitizer; see the module docs for the protocol.
+pub struct EraserSanitizer {
+    fields_per_object: usize,
+    /// One packed state word per (object, field).
+    states: Vec<AtomicU64>,
+    /// `HELD_SLOTS` slots per tracked thread, each packed as
+    /// `(obj_index + 1) << 32 | count` (0 = empty). Only the owning
+    /// thread writes its slots on the hot path.
+    held: Vec<AtomicU64>,
+    /// Per-thread count of acquisitions that found no free slot.
+    held_overflow: Vec<AtomicU64>,
+    /// Total race verdicts emitted.
+    reports: AtomicU64,
+    /// Optional downstream sink; all events (plus verdicts) forward here.
+    inner: Option<Arc<dyn TraceSink>>,
+}
+
+impl EraserSanitizer {
+    /// Creates a sanitizer covering `capacity` heap objects with
+    /// `fields` integer fields each. All memory is allocated here;
+    /// `record` allocates nothing.
+    pub fn new(capacity: usize, fields: usize) -> Self {
+        let fields = fields.max(1);
+        EraserSanitizer {
+            fields_per_object: fields,
+            states: (0..capacity * fields).map(|_| AtomicU64::new(0)).collect(),
+            held: (0..MAX_TRACKED_THREADS * HELD_SLOTS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            held_overflow: (0..MAX_TRACKED_THREADS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            reports: AtomicU64::new(0),
+            inner: None,
+        }
+    }
+
+    /// Forwards every event (and race verdicts) to `sink` as well —
+    /// chain a `LockTracer` here to keep the profiling pipeline fed.
+    #[must_use]
+    pub fn with_inner(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.inner = Some(sink);
+        self
+    }
+
+    /// Number of race verdicts emitted so far.
+    pub fn report_count(&self) -> u64 {
+        self.reports.load(Ordering::Acquire)
+    }
+
+    /// The `(object index, field)` pairs reported as racy, sorted.
+    pub fn racy_fields(&self) -> Vec<(usize, u16)> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.load(Ordering::Acquire) & REPORTED != 0)
+            .map(|(i, _)| {
+                (
+                    i / self.fields_per_object,
+                    (i % self.fields_per_object) as u16,
+                )
+            })
+            .collect()
+    }
+
+    /// True when `(obj, field)` ever left the single-thread states, i.e.
+    /// a second thread touched it (diagnostic for tests).
+    pub fn was_shared(&self, obj: ObjRef, field: u16) -> bool {
+        self.state_cell(obj, field).is_some_and(|c| {
+            matches!(
+                c.load(Ordering::Acquire) & STATE_MASK,
+                SHARED | SHARED_MODIFIED
+            )
+        })
+    }
+
+    fn state_cell(&self, obj: ObjRef, field: u16) -> Option<&AtomicU64> {
+        if usize::from(field) >= self.fields_per_object {
+            return None;
+        }
+        self.states
+            .get(obj.index() * self.fields_per_object + usize::from(field))
+    }
+
+    fn thread_slots(&self, t: ThreadIndex) -> Option<&[AtomicU64]> {
+        let ti = usize::from(t.get());
+        (ti < MAX_TRACKED_THREADS).then(|| &self.held[ti * HELD_SLOTS..(ti + 1) * HELD_SLOTS])
+    }
+
+    fn acquired(&self, t: ThreadIndex, obj: ObjRef) {
+        let Some(slots) = self.thread_slots(t) else {
+            return;
+        };
+        let key = (obj.index() as u64 + 1) << 32;
+        let mut free = None;
+        for slot in slots {
+            let v = slot.load(Ordering::Relaxed);
+            if v & !0xFFFF_FFFF == key {
+                slot.store(v + 1, Ordering::Relaxed);
+                return;
+            }
+            if v == 0 && free.is_none() {
+                free = Some(slot);
+            }
+        }
+        match free {
+            Some(slot) => slot.store(key | 1, Ordering::Relaxed),
+            None => {
+                self.held_overflow[usize::from(t.get())].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn released(&self, t: ThreadIndex, obj: ObjRef, all: bool) {
+        let Some(slots) = self.thread_slots(t) else {
+            return;
+        };
+        let key = (obj.index() as u64 + 1) << 32;
+        for slot in slots {
+            let v = slot.load(Ordering::Relaxed);
+            if v & !0xFFFF_FFFF == key {
+                let count = v & 0xFFFF_FFFF;
+                let next = if all || count <= 1 { 0 } else { v - 1 };
+                slot.store(next, Ordering::Relaxed);
+                return;
+            }
+        }
+        // Not tracked: it was an overflow acquisition.
+        let of = &self.held_overflow[usize::from(t.get())];
+        let _ = of.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    }
+
+    /// The thread's current held set as a lockset bitmap, plus whether
+    /// any part of it could not be represented.
+    fn held_bitmap(&self, t: ThreadIndex) -> (u64, bool) {
+        let Some(slots) = self.thread_slots(t) else {
+            return (0, true);
+        };
+        let mut bitmap = 0u64;
+        let mut unverifiable =
+            self.held_overflow[usize::from(t.get())].load(Ordering::Relaxed) != 0;
+        for slot in slots {
+            let v = slot.load(Ordering::Relaxed);
+            if v == 0 {
+                continue;
+            }
+            let obj = (v >> 32) as usize - 1;
+            if obj < TRACKED_GUARD_OBJECTS {
+                bitmap |= 1 << obj;
+            } else {
+                unverifiable = true;
+            }
+        }
+        (bitmap, unverifiable)
+    }
+
+    fn access(&self, t: ThreadIndex, obj: ObjRef, field: u16, write: bool) {
+        let Some(cell) = self.state_cell(obj, field) else {
+            return;
+        };
+        let (held, unverifiable) = self.held_bitmap(t);
+        let me = u64::from(t.get()) << FIRST_SHIFT;
+        let mut report = false;
+        let mut cur = cell.load(Ordering::Acquire);
+        loop {
+            let state = cur & STATE_MASK;
+            let next = match state {
+                VIRGIN => EXCLUSIVE | me,
+                EXCLUSIVE if cur & FIRST_MASK == me => break, // still single-threaded
+                _ => {
+                    // Second thread onward: materialize or refine C.
+                    let c = if state == EXCLUSIVE {
+                        held
+                    } else {
+                        (cur >> LOCKSET_SHIFT) & held
+                    };
+                    let promoted = if write || state == SHARED_MODIFIED {
+                        SHARED_MODIFIED
+                    } else {
+                        SHARED
+                    };
+                    let mut next = promoted
+                        | (cur & (REPORTED | UNVERIFIABLE | FIRST_MASK))
+                        | (c << LOCKSET_SHIFT);
+                    if unverifiable {
+                        next |= UNVERIFIABLE;
+                    }
+                    report = promoted == SHARED_MODIFIED
+                        && c == 0
+                        && next & (REPORTED | UNVERIFIABLE) == 0;
+                    if report {
+                        next |= REPORTED;
+                    }
+                    next
+                }
+            };
+            match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => break,
+                Err(observed) => {
+                    report = false;
+                    cur = observed;
+                }
+            }
+        }
+        if report {
+            self.reports.fetch_add(1, Ordering::AcqRel);
+            if let Some(inner) = &self.inner {
+                inner.record(Some(t), Some(obj), TraceEventKind::RaceDetected { field });
+            }
+        }
+    }
+}
+
+impl TraceSink for EraserSanitizer {
+    fn record(&self, thread: Option<ThreadIndex>, obj: Option<ObjRef>, kind: TraceEventKind) {
+        if let Some(inner) = &self.inner {
+            inner.record(thread, obj, kind);
+        }
+        let (Some(t), Some(o)) = (thread, obj) else {
+            return;
+        };
+        match kind {
+            TraceEventKind::AcquireUnlocked
+            | TraceEventKind::AcquireNested { .. }
+            | TraceEventKind::AcquireFat { .. }
+            | TraceEventKind::AcquireContendedThin { .. } => self.acquired(t, o),
+            TraceEventKind::UnlockThin | TraceEventKind::UnlockFat => {
+                self.released(t, o, false);
+            }
+            TraceEventKind::OrphanReclaimed { .. } => self.released(t, o, true),
+            TraceEventKind::FieldAccess { field, write } => self.access(t, o, field, write),
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Debug for EraserSanitizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EraserSanitizer")
+            .field("objects", &(self.states.len() / self.fields_per_object))
+            .field("fields_per_object", &self.fields_per_object)
+            .field("reports", &self.report_count())
+            .field("chained", &self.inner.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u16) -> ThreadIndex {
+        ThreadIndex::new(i).unwrap()
+    }
+
+    fn obj(i: usize) -> ObjRef {
+        ObjRef::from_index(i)
+    }
+
+    fn read(s: &EraserSanitizer, th: u16, o: usize) {
+        s.record(
+            Some(t(th)),
+            Some(obj(o)),
+            TraceEventKind::FieldAccess {
+                field: 0,
+                write: false,
+            },
+        );
+    }
+
+    fn write(s: &EraserSanitizer, th: u16, o: usize) {
+        s.record(
+            Some(t(th)),
+            Some(obj(o)),
+            TraceEventKind::FieldAccess {
+                field: 0,
+                write: true,
+            },
+        );
+    }
+
+    fn lock(s: &EraserSanitizer, th: u16, o: usize) {
+        s.record(Some(t(th)), Some(obj(o)), TraceEventKind::AcquireUnlocked);
+    }
+
+    fn unlock(s: &EraserSanitizer, th: u16, o: usize) {
+        s.record(Some(t(th)), Some(obj(o)), TraceEventKind::UnlockThin);
+    }
+
+    #[test]
+    fn single_threaded_accesses_never_report() {
+        let s = EraserSanitizer::new(4, 1);
+        for _ in 0..100 {
+            write(&s, 1, 0);
+            read(&s, 1, 0);
+        }
+        assert_eq!(s.report_count(), 0);
+        assert!(!s.was_shared(obj(0), 0));
+    }
+
+    #[test]
+    fn guarded_sharing_never_reports() {
+        let s = EraserSanitizer::new(4, 1);
+        for th in [1u16, 2, 1, 2, 2, 1] {
+            lock(&s, th, 1);
+            write(&s, th, 0);
+            read(&s, th, 0);
+            unlock(&s, th, 1);
+        }
+        assert_eq!(s.report_count(), 0);
+        assert!(s.was_shared(obj(0), 0), "second thread did touch it");
+    }
+
+    #[test]
+    fn unguarded_second_writer_reports_exactly_once() {
+        let s = EraserSanitizer::new(4, 1);
+        write(&s, 1, 0); // Virgin -> Exclusive(1)
+        write(&s, 2, 0); // C := {} and write -> report
+        write(&s, 1, 0);
+        write(&s, 2, 0); // further accesses must not re-report
+        assert_eq!(s.report_count(), 1);
+        assert_eq!(s.racy_fields(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn read_sharing_reports_only_on_the_write() {
+        let s = EraserSanitizer::new(4, 1);
+        write(&s, 1, 0); // Exclusive
+        read(&s, 2, 0); // Shared, C = {}
+        assert_eq!(s.report_count(), 0, "read-only sharing is not a race");
+        write(&s, 2, 0); // Shared-Modified with empty C
+        assert_eq!(s.report_count(), 1);
+    }
+
+    #[test]
+    fn partial_guarding_is_caught() {
+        let s = EraserSanitizer::new(4, 1);
+        lock(&s, 1, 1);
+        write(&s, 1, 0);
+        unlock(&s, 1, 1);
+        // Thread 2 holds a *different* lock: C materializes as {2}.
+        lock(&s, 2, 2);
+        write(&s, 2, 0);
+        unlock(&s, 2, 2);
+        assert_eq!(s.report_count(), 0, "C = {{lock 2}} is still non-empty");
+        // Thread 1's next guarded write refines C to {1} ∩ {2} = ∅.
+        lock(&s, 1, 1);
+        write(&s, 1, 0);
+        unlock(&s, 1, 1);
+        assert_eq!(s.report_count(), 1);
+    }
+
+    #[test]
+    fn consistent_guard_with_nesting_and_reentry() {
+        let s = EraserSanitizer::new(4, 1);
+        for th in [1u16, 2] {
+            lock(&s, th, 1);
+            s.record(
+                Some(t(th)),
+                Some(obj(1)),
+                TraceEventKind::AcquireNested { depth: 2 },
+            );
+            write(&s, th, 0);
+            unlock(&s, th, 1);
+            // Still held once (count 2 -> 1): accesses stay guarded.
+            write(&s, th, 0);
+            unlock(&s, th, 1);
+        }
+        assert_eq!(s.report_count(), 0);
+    }
+
+    #[test]
+    fn untracked_guard_object_suppresses_instead_of_lying() {
+        let s = EraserSanitizer::new(64, 1);
+        // Guard object index 60 is past the lockset bitmap: the state
+        // must become unverifiable, not falsely racy.
+        for th in [1u16, 2] {
+            lock(&s, th, 60);
+            write(&s, th, 0);
+            unlock(&s, th, 60);
+        }
+        assert_eq!(s.report_count(), 0);
+    }
+
+    #[test]
+    fn verdict_forwards_to_inner_sink() {
+        use std::sync::atomic::AtomicUsize;
+
+        #[derive(Debug, Default)]
+        struct Counter {
+            races: AtomicUsize,
+            total: AtomicUsize,
+        }
+        impl TraceSink for Counter {
+            fn record(&self, _: Option<ThreadIndex>, _: Option<ObjRef>, kind: TraceEventKind) {
+                self.total.fetch_add(1, Ordering::Relaxed);
+                if matches!(kind, TraceEventKind::RaceDetected { .. }) {
+                    self.races.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let counter = Arc::new(Counter::default());
+        let s = EraserSanitizer::new(4, 1).with_inner(counter.clone());
+        write(&s, 1, 0);
+        write(&s, 2, 0);
+        assert_eq!(counter.races.load(Ordering::Relaxed), 1);
+        // Both field accesses AND the verdict passed through.
+        assert_eq!(counter.total.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn out_of_range_fields_and_objects_are_ignored() {
+        let s = EraserSanitizer::new(2, 1);
+        s.record(
+            Some(t(1)),
+            Some(obj(100)),
+            TraceEventKind::FieldAccess {
+                field: 0,
+                write: true,
+            },
+        );
+        s.record(
+            Some(t(1)),
+            Some(obj(0)),
+            TraceEventKind::FieldAccess {
+                field: 9,
+                write: true,
+            },
+        );
+        assert_eq!(s.report_count(), 0);
+        assert_eq!(s.racy_fields(), vec![]);
+    }
+
+    #[test]
+    fn concurrent_unguarded_writers_always_report() {
+        // The schedule-independence claim: whatever the interleaving of
+        // two unguarded writers, the detector fires.
+        for _ in 0..32 {
+            let s = Arc::new(EraserSanitizer::new(4, 1));
+            let mut handles = Vec::new();
+            for th in [1u16, 2] {
+                let s = Arc::clone(&s);
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        read(&s, th, 0);
+                        write(&s, th, 0);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(s.report_count(), 1);
+        }
+    }
+}

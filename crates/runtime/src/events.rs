@@ -125,6 +125,23 @@ pub enum TraceEventKind {
     /// A `try_lock` or `lock_deadline` gave up without acquiring; `obj`
     /// is the lock that stayed contended.
     AcquireTimedOut,
+    /// The interpreter read or wrote an object field; `obj` is the
+    /// accessed object and `field` its field index. Emitted by the VM
+    /// (not the protocol) through the same sink so the dynamic Eraser
+    /// sanitizer can pair accesses with the locks held around them.
+    FieldAccess {
+        /// Field index within the object.
+        field: u16,
+        /// True for a write (`PutField`/`PutFieldDyn`).
+        write: bool,
+    },
+    /// The dynamic Eraser sanitizer's verdict: `obj`'s `field` reached
+    /// Shared-Modified with an empty candidate lockset — a data race.
+    /// Emitted at most once per (object, field).
+    RaceDetected {
+        /// Field index within the object.
+        field: u16,
+    },
 }
 
 impl TraceEventKind {
@@ -146,6 +163,9 @@ impl TraceEventKind {
             TraceEventKind::OrphanReclaimed { .. } => "orphan-reclaimed",
             TraceEventKind::DeadlockDetected { .. } => "deadlock-detected",
             TraceEventKind::AcquireTimedOut => "acquire-timed-out",
+            TraceEventKind::FieldAccess { write: false, .. } => "field-read",
+            TraceEventKind::FieldAccess { write: true, .. } => "field-write",
+            TraceEventKind::RaceDetected { .. } => "race-detected",
         }
     }
 }
@@ -216,6 +236,26 @@ mod tests {
         assert_eq!(
             TraceEventKind::PreInflateHint { applied: true }.name(),
             "pre-inflate-hint"
+        );
+        assert_eq!(
+            TraceEventKind::FieldAccess {
+                field: 3,
+                write: false
+            }
+            .name(),
+            "field-read"
+        );
+        assert_eq!(
+            TraceEventKind::FieldAccess {
+                field: 3,
+                write: true
+            }
+            .name(),
+            "field-write"
+        );
+        assert_eq!(
+            TraceEventKind::RaceDetected { field: 0 }.name(),
+            "race-detected"
         );
     }
 }

@@ -23,7 +23,11 @@
 //! this substitution preserves the relevant behaviour. [`concurrent`]
 //! extends the model to the paper's multithreaded design target: the same
 //! distributions split across worker threads with the hottest objects
-//! shared.
+//! shared. [`vmreplay`] runs the VM's seeded concurrent bytecode
+//! programs under barrier-released worker threads with seed-derived
+//! schedule perturbation, streaming every lock and field event through a
+//! caller-supplied sink — the harness behind the static/dynamic
+//! race-detector cross-check.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -34,6 +38,7 @@ pub mod generator;
 pub mod io;
 pub mod replay;
 pub mod table1;
+pub mod vmreplay;
 
 /// The deterministic, seedable PRNG the generators sample from — an
 /// in-repo SplitMix64/xorshift128+ pair (no external `rand` dependency,
@@ -42,3 +47,4 @@ pub use thinlock_runtime::prng;
 
 pub use generator::{LockTrace, TraceConfig, TraceOp};
 pub use table1::{BenchmarkProfile, MACRO_BENCHMARKS};
+pub use vmreplay::{run_concurrent_program, VmReplayReport};

@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use thinlock_runtime::events::{TraceEventKind, TraceSink};
 use thinlock_runtime::heap::ObjRef;
 use thinlock_runtime::protocol::SyncProtocol;
 use thinlock_runtime::registry::ThreadToken;
@@ -58,6 +59,10 @@ pub struct Vm<'p, P: SyncProtocol + ?Sized> {
     protocol: &'p P,
     program: &'p Program,
     pool: Vec<ObjRef>,
+    /// The protocol's trace sink, resolved once at construction so the
+    /// field-access fast path pays a single never-taken branch when
+    /// tracing is off.
+    sink: Option<&'p dyn TraceSink>,
 }
 
 impl<'p, P: SyncProtocol + ?Sized> Vm<'p, P> {
@@ -80,7 +85,20 @@ impl<'p, P: SyncProtocol + ?Sized> Vm<'p, P> {
             protocol,
             program,
             pool,
+            sink: protocol.trace_sink(),
         })
+    }
+
+    /// Emits a field-access event when the protocol has a trace sink.
+    #[inline]
+    fn trace_field(&self, token: ThreadToken, obj: ObjRef, field: u16, write: bool) {
+        if let Some(sink) = self.sink {
+            sink.record(
+                Some(token.index()),
+                Some(obj),
+                TraceEventKind::FieldAccess { field, write },
+            );
+        }
     }
 
     /// The locking protocol in use.
@@ -381,6 +399,7 @@ impl<'p, P: SyncProtocol + ?Sized> Vm<'p, P> {
                     if usize::from(i) >= heap.fields_per_object() {
                         return Err(VmError::BadField { index: i });
                     }
+                    self.trace_field(token, obj, i, false);
                     let v = heap
                         .field(obj, usize::from(i))
                         .load(std::sync::atomic::Ordering::Relaxed);
@@ -393,6 +412,7 @@ impl<'p, P: SyncProtocol + ?Sized> Vm<'p, P> {
                     if usize::from(i) >= heap.fields_per_object() {
                         return Err(VmError::BadField { index: i });
                     }
+                    self.trace_field(token, obj, i, true);
                     heap.field(obj, usize::from(i))
                         .store(v, std::sync::atomic::Ordering::Relaxed);
                 }
@@ -404,6 +424,7 @@ impl<'p, P: SyncProtocol + ?Sized> Vm<'p, P> {
                         .ok()
                         .filter(|&i| i < heap.fields_per_object())
                         .ok_or(VmError::BadField { index: i as u16 })?;
+                    self.trace_field(token, obj, idx as u16, false);
                     let v = heap
                         .field(obj, idx)
                         .load(std::sync::atomic::Ordering::Relaxed);
@@ -418,6 +439,7 @@ impl<'p, P: SyncProtocol + ?Sized> Vm<'p, P> {
                         .ok()
                         .filter(|&i| i < heap.fields_per_object())
                         .ok_or(VmError::BadField { index: i as u16 })?;
+                    self.trace_field(token, obj, idx as u16, true);
                     heap.field(obj, idx)
                         .store(v, std::sync::atomic::Ordering::Relaxed);
                 }

@@ -20,6 +20,12 @@
 //!
 //! Every `main` takes the iteration count as argument 0 and returns it, so
 //! harnesses can verify a run did what it claims.
+//!
+//! Beyond Table 2, [`concurrent_library`] provides seeded concurrent
+//! programs with ground-truth race labels: statically race-free
+//! counters (every shared-field access under a consistent lock) and
+//! deliberately racy variants, used to validate the `lockcheck` guards
+//! pass against the dynamic Eraser sanitizer.
 
 use std::fmt;
 
@@ -170,10 +176,10 @@ impl fmt::Display for MicroBench {
     }
 }
 
-/// `main(iters)`: the canonical tight loop with `body` between the bounds
+/// `name(iters)`: the canonical tight loop with `body` between the bounds
 /// check and the induction increment. Locals: 0 = iters, 1 = i,
-/// 2 = counter.
-fn looped_program(pool: u32, body: Vec<Op>) -> Program {
+/// 2 = counter. Returns the iteration count.
+fn looped_method(name: &str, body: Vec<Op>) -> Method {
     let mut code = vec![
         Op::IConst(0),   // 0
         Op::IStore(1),   // 1: i = 0
@@ -193,9 +199,8 @@ fn looped_program(pool: u32, body: Vec<Op>) -> Program {
     code.push(Op::IReturn);
     debug_assert!(back_edge > 6);
 
-    let mut program = Program::new(pool);
-    program.add_method(Method::new(
-        "main",
+    Method::new(
+        name,
         1,
         3,
         MethodFlags {
@@ -203,7 +208,13 @@ fn looped_program(pool: u32, body: Vec<Op>) -> Program {
             returns_value: true,
         },
         code,
-    ));
+    )
+}
+
+/// A one-method program whose `main` is [`looped_method`].
+fn looped_program(pool: u32, body: Vec<Op>) -> Program {
+    let mut program = Program::new(pool);
+    program.add_method(looped_method("main", body));
     program
 }
 
@@ -458,6 +469,222 @@ pub fn non_lifo_pair() -> Program {
     program
 }
 
+/// One worker kind of a [`ConcurrentProgram`]: `threads` threads each
+/// run the named entry method concurrently over the shared pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadRole {
+    /// Entry method name (each role method takes the iteration count).
+    pub method: &'static str,
+    /// Number of threads running this role.
+    pub threads: u32,
+}
+
+/// A seeded concurrent program with its harness contract: which methods
+/// run on how many threads, and whether the program contains a data
+/// race by construction. The race detectors (static `lockcheck` guards
+/// pass and the dynamic Eraser sanitizer) are tested against exactly
+/// these ground-truth labels.
+///
+/// Every racy program has at least two threads whose accesses to the
+/// racy field hold *no* lock, so a lockset (Eraser) sanitizer reports
+/// it under any thread schedule — the verdict is schedule-independent,
+/// not a lucky interleaving.
+#[derive(Debug)]
+pub struct ConcurrentProgram {
+    /// Stable program name, used in reports and bench output.
+    pub name: &'static str,
+    /// The bytecode.
+    pub program: Program,
+    /// The worker roles the harness runs.
+    pub roles: Vec<ThreadRole>,
+    /// Fields per heap object the program touches.
+    pub fields: u16,
+    /// True when the program contains a seeded data race.
+    pub racy: bool,
+    /// The `(pool, field)` pairs expected to race (empty when clean).
+    pub racy_fields: Vec<(u32, u16)>,
+}
+
+impl ConcurrentProgram {
+    /// Total worker threads across all roles.
+    pub fn total_threads(&self) -> u32 {
+        self.roles.iter().map(|r| r.threads).sum()
+    }
+}
+
+/// `synchronized(pool[lock]) { pool[obj].f(field)++ }`.
+fn guarded_inc(lock: u32, obj: u32, field: u16) -> Vec<Op> {
+    vec![
+        Op::AConst(lock),
+        Op::MonitorEnter,
+        Op::AConst(obj),
+        Op::AConst(obj),
+        Op::GetField(field),
+        Op::IConst(1),
+        Op::IAdd,
+        Op::PutField(field),
+        Op::AConst(lock),
+        Op::MonitorExit,
+    ]
+}
+
+/// `pool[obj].f(field)++` with no lock.
+fn bare_inc(obj: u32, field: u16) -> Vec<Op> {
+    vec![
+        Op::AConst(obj),
+        Op::AConst(obj),
+        Op::GetField(field),
+        Op::IConst(1),
+        Op::IAdd,
+        Op::PutField(field),
+    ]
+}
+
+/// The increment through `GetFieldDyn`/`PutFieldDyn` with a constant
+/// index operand, optionally under `pool[lock]` — exercises the dynamic
+/// field forms' constant-index precision in the static passes.
+fn dyn_inc(lock: Option<u32>, obj: u32, field: i32) -> Vec<Op> {
+    let mut body = Vec::new();
+    if let Some(l) = lock {
+        body.extend([Op::AConst(l), Op::MonitorEnter]);
+    }
+    body.extend([
+        Op::AConst(obj),   // put receiver
+        Op::IConst(field), // put index
+        Op::AConst(obj),
+        Op::IConst(field),
+        Op::GetFieldDyn,
+        Op::IConst(1),
+        Op::IAdd,
+        Op::PutFieldDyn,
+    ]);
+    if let Some(l) = lock {
+        body.extend([Op::AConst(l), Op::MonitorExit]);
+    }
+    body
+}
+
+/// `synchronized(pool[0]) { read pool[0].f0 }`.
+fn guarded_read() -> Vec<Op> {
+    vec![
+        Op::AConst(0),
+        Op::MonitorEnter,
+        Op::AConst(0),
+        Op::GetField(0),
+        Op::Pop,
+        Op::AConst(0),
+        Op::MonitorExit,
+    ]
+}
+
+/// The seeded concurrent program library: four statically race-free
+/// programs and three with a data race by construction. Ground truth
+/// for both race detectors.
+pub fn concurrent_library() -> Vec<ConcurrentProgram> {
+    let worker2 = |method| vec![ThreadRole { method, threads: 2 }];
+    let mut library = Vec::new();
+
+    // Clean: every access of pool[0].f0 holds pool[0].
+    library.push(ConcurrentProgram {
+        name: "guarded-counter",
+        program: looped_program(1, guarded_inc(0, 0, 0)),
+        roles: worker2("main"),
+        fields: 1,
+        racy: false,
+        racy_fields: Vec::new(),
+    });
+
+    // Clean: same discipline through the dynamic field forms.
+    library.push(ConcurrentProgram {
+        name: "guarded-dyn-counter",
+        program: looped_program(1, dyn_inc(Some(0), 0, 0)),
+        roles: worker2("main"),
+        fields: 1,
+        racy: false,
+        racy_fields: Vec::new(),
+    });
+
+    // Clean: one writer, two readers, all under pool[0].
+    let mut read_mostly = Program::new(1);
+    read_mostly.add_method(looped_method("writer", guarded_inc(0, 0, 0)));
+    read_mostly.add_method(looped_method("reader", guarded_read()));
+    library.push(ConcurrentProgram {
+        name: "read-mostly",
+        program: read_mostly,
+        roles: vec![
+            ThreadRole {
+                method: "writer",
+                threads: 1,
+            },
+            ThreadRole {
+                method: "reader",
+                threads: 2,
+            },
+        ],
+        fields: 1,
+        racy: false,
+        racy_fields: Vec::new(),
+    });
+
+    // Clean: pool[1] guards pool[0].f0, pool[0] guards pool[0].f1 — the
+    // guard need not be the object it protects.
+    let mut two_locks = guarded_inc(1, 0, 0);
+    two_locks.extend(guarded_inc(0, 0, 1));
+    library.push(ConcurrentProgram {
+        name: "two-locks-two-fields",
+        program: looped_program(2, two_locks),
+        roles: worker2("main"),
+        fields: 2,
+        racy: false,
+        racy_fields: Vec::new(),
+    });
+
+    // Racy: two threads increment pool[0].f0 with no lock at all.
+    library.push(ConcurrentProgram {
+        name: "racy-counter",
+        program: looped_program(1, bare_inc(0, 0)),
+        roles: worker2("main"),
+        fields: 1,
+        racy: true,
+        racy_fields: vec![(0, 0)],
+    });
+
+    // Racy: the same unguarded increment through the dynamic forms.
+    library.push(ConcurrentProgram {
+        name: "racy-dyn-counter",
+        program: looped_program(1, dyn_inc(None, 0, 0)),
+        roles: worker2("main"),
+        fields: 1,
+        racy: true,
+        racy_fields: vec![(0, 0)],
+    });
+
+    // Racy: one disciplined writer plus two bare writers — the per-field
+    // lockset intersection is empty even though one role locks.
+    let mut partial = Program::new(1);
+    partial.add_method(looped_method("locked", guarded_inc(0, 0, 0)));
+    partial.add_method(looped_method("bare", bare_inc(0, 0)));
+    library.push(ConcurrentProgram {
+        name: "racy-partial-guard",
+        program: partial,
+        roles: vec![
+            ThreadRole {
+                method: "locked",
+                threads: 1,
+            },
+            ThreadRole {
+                method: "bare",
+                threads: 2,
+            },
+        ],
+        fields: 1,
+        racy: true,
+        racy_fields: vec![(0, 0)],
+    });
+
+    library
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -604,6 +831,76 @@ mod tests {
         // The shared object's lock must be fully released at the end.
         let reg = locks.registry().register().unwrap();
         assert!(!locks.holds_lock(pool[0], reg.token()));
+    }
+
+    #[test]
+    fn concurrent_library_programs_validate_and_run() {
+        let library = concurrent_library();
+        assert_eq!(library.len(), 7);
+        for entry in &library {
+            entry
+                .program
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            assert!(entry.total_threads() >= 2, "{}", entry.name);
+            assert_eq!(entry.racy, !entry.racy_fields.is_empty(), "{}", entry.name);
+            // Each role method runs single-threaded to completion.
+            let pool_size = entry.program.pool_size() as usize;
+            let heap = Arc::new(Heap::with_capacity_and_fields(
+                pool_size + 1,
+                usize::from(entry.fields),
+            ));
+            let locks = ThinLocks::new(heap, ThreadRegistry::new());
+            let pool: Vec<ObjRef> = (0..pool_size)
+                .map(|_| locks.heap().alloc().unwrap())
+                .collect();
+            let reg = locks.registry().register().unwrap();
+            for role in &entry.roles {
+                let vm = Vm::new(&locks, &entry.program, pool.clone()).unwrap();
+                let out = vm
+                    .run(role.method, reg.token(), &[Value::Int(25)])
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", entry.name, role.method))
+                    .and_then(Value::as_int)
+                    .unwrap();
+                assert_eq!(out, 25, "{}/{}", entry.name, role.method);
+            }
+            for o in &pool {
+                assert!(locks.lock_word(*o).is_unlocked(), "{}", entry.name);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_library_counters_add_up_under_contention() {
+        // The guarded counter is exact under real concurrency: 2 threads
+        // x 100 guarded increments must land on 200.
+        let entry = concurrent_library()
+            .into_iter()
+            .find(|e| e.name == "guarded-counter")
+            .unwrap();
+        let heap = Arc::new(Heap::with_capacity_and_fields(2, 1));
+        let locks = Arc::new(ThinLocks::new(heap, ThreadRegistry::new()));
+        let pool = vec![locks.heap().alloc().unwrap()];
+        let program = Arc::new(entry.program);
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let locks = Arc::clone(&locks);
+            let program = Arc::clone(&program);
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                let reg = locks.registry().register().unwrap();
+                let vm = Vm::new(&*locks, &program, pool).unwrap();
+                vm.run("main", reg.token(), &[Value::Int(100)]).unwrap()
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let field = locks
+            .heap()
+            .field(pool[0], 0)
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(field, 200);
     }
 
     #[test]

@@ -19,6 +19,9 @@ cargo build --release --offline
 echo "== tier-1: cargo test -q"
 cargo test -q --offline
 
+echo "== lockcheck: race verdicts must match ground truth"
+cargo run -q --release --offline -p thinlock-analysis --bin lockcheck -- --deny-races >/dev/null
+
 echo "== bench smoke: tiny reproduce --json run + id-coverage gate"
 bash scripts/bench.sh smoke
 

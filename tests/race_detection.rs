@@ -1,0 +1,190 @@
+//! Static-vs-dynamic race-detection cross-check (DESIGN.md §13).
+//!
+//! Every program in the concurrent library carries a ground-truth race
+//! label. The static guards pass must reproduce that label from the
+//! bytecode alone, and the dynamic Eraser sanitizer must reproduce it
+//! from seeded concurrent replays — on *every* seed, not just a lucky
+//! schedule. The two detectors are independent implementations of the
+//! lockset idea, so their agreement on the whole library is the
+//! strongest in-repo evidence either one is right.
+
+use std::sync::Arc;
+
+use thinlock_analysis::escape::EscapeContext;
+use thinlock_analysis::guards::EntryRole;
+use thinlock_analysis::{analyze_program, analyze_program_with_roles};
+use thinlock_obs::EraserSanitizer;
+use thinlock_runtime::events::TraceSink;
+use thinlock_runtime::prng::Prng;
+use thinlock_trace::vmreplay::run_concurrent_program;
+use thinlock_vm::programs::{concurrent_library, ConcurrentProgram, MicroBench};
+
+const SEEDS: usize = 64;
+const ITERS: u32 = 64;
+
+fn roles_of(entry: &ConcurrentProgram) -> Vec<EntryRole> {
+    entry
+        .roles
+        .iter()
+        .map(|r| EntryRole {
+            name: r.method.to_string(),
+            method: entry.program.method_id(r.method).unwrap_or(0),
+            threads: r.threads,
+        })
+        .collect()
+}
+
+/// Runs one seeded replay of `entry` under a fresh sanitizer and returns
+/// the racy `(object, field)` pairs it reported.
+fn sanitize_one(entry: &ConcurrentProgram, seed: u64) -> Vec<(usize, u16)> {
+    let sanitizer = Arc::new(EraserSanitizer::new(
+        entry.program.pool_size() as usize + 1,
+        usize::from(entry.fields.max(1)),
+    ));
+    let sink: Arc<dyn TraceSink> = Arc::clone(&sanitizer) as Arc<dyn TraceSink>;
+    run_concurrent_program(entry, ITERS, seed, Some(sink))
+        .unwrap_or_else(|e| panic!("{}: replay failed: {e}", entry.name));
+    sanitizer.racy_fields()
+}
+
+/// The static guards pass reproduces every ground-truth label, and the
+/// expected racy fields are all among its candidates.
+#[test]
+fn static_verdicts_match_ground_truth() {
+    for entry in concurrent_library() {
+        let ctx = EscapeContext::threads(entry.total_threads());
+        let report = analyze_program_with_roles(&entry.program, &ctx, &roles_of(&entry));
+        assert_eq!(
+            !report.guards.is_race_free(),
+            entry.racy,
+            "{}: static verdict disagrees with ground truth",
+            entry.name
+        );
+        for &(pool, field) in &entry.racy_fields {
+            assert!(
+                report
+                    .guards
+                    .races
+                    .iter()
+                    .any(|r| (r.pool, r.field) == (pool, field)),
+                "{}: expected race on pool[{pool}].f{field} not among candidates",
+                entry.name
+            );
+        }
+        if !entry.racy {
+            assert!(
+                !report.guards.facts.is_empty(),
+                "{}: clean concurrent program must yield @GuardedBy facts",
+                entry.name
+            );
+        }
+    }
+}
+
+/// The sanitizer never reports on a statically race-free program, on
+/// any seed: a clean program's every schedule keeps locksets non-empty.
+#[test]
+fn sanitizer_is_silent_on_clean_programs_across_seeds() {
+    let mut rng = Prng::seed_from_u64(0x5ace_0001);
+    for entry in concurrent_library().into_iter().filter(|e| !e.racy) {
+        for _ in 0..SEEDS {
+            let racy = sanitize_one(&entry, rng.next_u64());
+            assert!(
+                racy.is_empty(),
+                "{}: sanitizer false positive on {racy:?}",
+                entry.name
+            );
+        }
+    }
+}
+
+/// The sanitizer reports every seeded racy program on every seed, and
+/// names exactly the expected fields. Each racy program has at least
+/// two fully-unguarded writer threads, so the report is
+/// schedule-independent: whichever thread touches the field second
+/// empties the candidate lockset.
+#[test]
+fn sanitizer_flags_racy_programs_on_every_seed() {
+    let mut rng = Prng::seed_from_u64(0x5ace_0002);
+    for entry in concurrent_library().into_iter().filter(|e| e.racy) {
+        for _ in 0..SEEDS {
+            let racy = sanitize_one(&entry, rng.next_u64());
+            // Pool objects are allocated into the heap in pool order, so
+            // a pool index doubles as the sanitizer's object index.
+            for &(pool, field) in &entry.racy_fields {
+                assert!(
+                    racy.contains(&(pool as usize, field)),
+                    "{}: missed race on pool[{pool}].f{field} (got {racy:?})",
+                    entry.name
+                );
+            }
+            for &(obj, field) in &racy {
+                assert!(
+                    entry.racy_fields.contains(&(obj as u32, field)),
+                    "{}: spurious report on obj {obj} field {field}",
+                    entry.name
+                );
+            }
+        }
+    }
+}
+
+/// The headline contract: on every program and every seed, the dynamic
+/// verdict equals the static verdict equals the ground-truth label.
+#[test]
+fn static_and_dynamic_detectors_agree_on_every_seed() {
+    let mut rng = Prng::seed_from_u64(0x5ace_0003);
+    for entry in concurrent_library() {
+        let ctx = EscapeContext::threads(entry.total_threads());
+        let report = analyze_program_with_roles(&entry.program, &ctx, &roles_of(&entry));
+        let static_racy = !report.guards.is_race_free();
+        for _ in 0..8 {
+            let dynamic_racy = !sanitize_one(&entry, rng.next_u64()).is_empty();
+            assert_eq!(
+                static_racy, dynamic_racy,
+                "{}: static and dynamic verdicts disagree",
+                entry.name
+            );
+            assert_eq!(dynamic_racy, entry.racy, "{}: wrong verdict", entry.name);
+        }
+    }
+}
+
+/// Default-role analysis (no explicit contract) still finds the races
+/// in single-role programs: `analyze_program` seeds `main` with the
+/// context's thread count.
+#[test]
+fn default_roles_cover_single_entry_programs() {
+    for entry in concurrent_library() {
+        if entry.roles.len() != 1 || entry.roles[0].method != "main" {
+            continue;
+        }
+        let ctx = EscapeContext::threads(entry.total_threads());
+        let report = analyze_program(&entry.program, &ctx);
+        assert_eq!(
+            !report.guards.is_race_free(),
+            entry.racy,
+            "{}: default-role verdict disagrees",
+            entry.name
+        );
+    }
+}
+
+/// The sequential micro-benchmark library is race-free under the guards
+/// pass: locked counters stay locked, and single-threaded contexts can
+/// never race.
+#[test]
+fn sequential_library_has_no_race_candidates() {
+    for bench in MicroBench::table2()
+        .into_iter()
+        .chain([MicroBench::MixedSync])
+    {
+        let ctx = EscapeContext::threads(bench.thread_count());
+        let report = analyze_program(&bench.program(), &ctx);
+        assert!(
+            report.guards.races.is_empty(),
+            "{bench}: unexpected race candidates {:?}",
+            report.guards.races
+        );
+    }
+}
