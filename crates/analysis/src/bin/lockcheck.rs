@@ -11,16 +11,24 @@
 //!   verdict disagrees with ground truth (a clean program flagged, a
 //!   racy program missed) or a sequential-library program has race
 //!   candidates. CI wires this into `scripts/check.sh`.
+//! * `--json` — emits a single machine-readable JSON document instead
+//!   of the text report: the full `AnalysisReport` tree per program
+//!   (see `thinlock_analysis::json`), the races cross-check when
+//!   `--races` is also set, and the summary totals. Exit-code behaviour
+//!   (including `--deny-races`) is unchanged.
 
 use std::process::ExitCode;
 
 use thinlock_analysis::escape::EscapeContext;
 use thinlock_analysis::guards::EntryRole;
+use thinlock_analysis::json::write_report;
 use thinlock_analysis::{analyze_program, analyze_program_with_roles, AnalysisReport};
+use thinlock_obs::JsonWriter;
 use thinlock_vm::library;
 use thinlock_vm::program::Program;
-use thinlock_vm::programs::{self, MicroBench};
+use thinlock_vm::programs::{self, ConcurrentProgram, MicroBench};
 
+#[derive(Default)]
 struct Totals {
     programs: usize,
     methods: usize,
@@ -33,157 +41,173 @@ struct Totals {
     race_mismatches: usize,
 }
 
-fn check(name: &str, program: &Program, ctx: &EscapeContext, totals: &mut Totals) {
-    let report: AnalysisReport = analyze_program(program, ctx);
-    let verdict = if report.is_clean() {
-        "clean"
-    } else {
-        "FINDINGS"
-    };
-    println!("== {name} ({} thread(s)) — {verdict}", ctx.thread_count);
-    print!("{report}");
-    println!();
-    totals.programs += 1;
-    totals.methods += report.methods.len();
-    totals.diagnostics += report.diagnostic_count() + report.verify_errors.len();
-    totals.cycles += report.lock_order.cycles.len();
-    totals.elidable += report.escape.elidable_ops.len();
-    totals.hints += report.nest.hints.len();
-    // Sequential-library programs must never have lockset race
-    // candidates; any hit is a detector regression.
-    totals.race_mismatches += report.guards.races.len();
-    totals.race_candidates += report.guards.races.len();
+/// One analyzed program from the sequential catalog.
+struct ProgramRun {
+    name: String,
+    threads: u32,
+    report: AnalysisReport,
 }
 
-/// The `--races` section: the guards pass over the concurrent library,
-/// each program analyzed under its own thread-role contract and compared
-/// with its ground-truth race label.
-fn check_races(totals: &mut Totals) {
-    println!("== races: guards pass over the concurrent program library");
-    for entry in programs::concurrent_library() {
-        let ctx = EscapeContext::threads(entry.total_threads());
-        let roles: Vec<EntryRole> = entry
-            .roles
-            .iter()
-            .map(|r| EntryRole {
-                name: r.method.to_string(),
-                method: entry.program.method_id(r.method).unwrap_or(0),
-                threads: r.threads,
-            })
-            .collect();
-        let report = analyze_program_with_roles(&entry.program, &ctx, &roles);
-        let found_racy = !report.guards.is_race_free();
-        let agrees = found_racy == entry.racy;
-        let label = if entry.racy { "racy" } else { "clean" };
-        let verdict = match (found_racy, agrees) {
-            (true, true) => "RACE (expected)",
-            (false, true) => "race-free",
-            (true, false) => "FALSE POSITIVE",
-            (false, false) => "MISSED RACE",
-        };
-        println!(
-            "  {} [{label}, {} thread(s)] — {verdict}",
-            entry.name,
-            entry.total_threads()
-        );
-        for fact in &report.guards.facts {
-            println!("    @GuardedBy {fact}");
-        }
-        for race in &report.guards.races {
-            println!("    RACE {race}");
-        }
-        totals.guarded_facts += report.guards.facts.len();
-        totals.race_candidates += report.guards.races.len();
-        if !agrees {
-            totals.race_mismatches += 1;
-        }
-        // The expected racy fields must all be among the candidates.
-        for &(pool, field) in &entry.racy_fields {
-            if !report
-                .guards
-                .races
-                .iter()
-                .any(|r| (r.pool, r.field) == (pool, field))
-            {
-                println!("    MISSING expected race on pool[{pool}].f{field}");
-                totals.race_mismatches += 1;
-            }
-        }
-    }
-    println!();
+/// One concurrent-library program cross-checked against ground truth.
+struct RaceRun {
+    entry: ConcurrentProgram,
+    report: AnalysisReport,
+    agrees: bool,
+    /// Expected racy fields absent from the candidate list.
+    missing: Vec<(u32, u16)>,
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let deny_races = args.iter().any(|a| a == "--deny-races");
-    let races = deny_races || args.iter().any(|a| a == "--races");
-    if let Some(unknown) = args
-        .iter()
-        .find(|a| *a != "--races" && *a != "--deny-races")
-    {
-        eprintln!("lockcheck: unknown flag {unknown} (expected --races or --deny-races)");
-        return ExitCode::from(2);
-    }
-
-    let mut totals = Totals {
-        programs: 0,
-        methods: 0,
-        diagnostics: 0,
-        cycles: 0,
-        elidable: 0,
-        hints: 0,
-        guarded_facts: 0,
-        race_candidates: 0,
-        race_mismatches: 0,
-    };
-
-    println!("lockcheck: static lock-discipline analysis\n");
-
+/// The sequential analysis catalog: every micro-benchmark, the scanner
+/// macro-benchmark, and the seeded defect programs.
+fn catalog() -> Vec<(String, EscapeContext, Program)> {
+    let mut entries: Vec<(String, EscapeContext, Program)> = Vec::new();
     for bench in MicroBench::table2()
         .into_iter()
         .chain([MicroBench::MixedSync])
     {
         let ctx = EscapeContext::threads(bench.thread_count());
-        check(&bench.to_string(), &bench.program(), &ctx, &mut totals);
+        entries.push((bench.to_string(), ctx, bench.program()));
     }
-
-    check(
-        "JavaLex-like",
-        &library::javalex_like(),
-        &EscapeContext::single_threaded(),
-        &mut totals,
-    );
-
+    entries.push((
+        "JavaLex-like".to_string(),
+        EscapeContext::single_threaded(),
+        library::javalex_like(),
+    ));
     // Seeded defect programs: these must produce findings.
-    check(
-        "seeded: deadlock_pair",
-        &programs::deadlock_pair(),
-        &EscapeContext::threads(2),
-        &mut totals,
-    );
-    check(
-        "seeded: deep_nest",
-        &programs::deep_nest(),
-        &EscapeContext::single_threaded(),
-        &mut totals,
-    );
-    check(
-        "seeded: unbalanced_exit",
-        &programs::unbalanced_exit(),
-        &EscapeContext::single_threaded(),
-        &mut totals,
-    );
-    check(
-        "seeded: non_lifo_pair",
-        &programs::non_lifo_pair(),
-        &EscapeContext::single_threaded(),
-        &mut totals,
-    );
+    entries.push((
+        "seeded: deadlock_pair".to_string(),
+        EscapeContext::threads(2),
+        programs::deadlock_pair(),
+    ));
+    entries.push((
+        "seeded: deep_nest".to_string(),
+        EscapeContext::single_threaded(),
+        programs::deep_nest(),
+    ));
+    entries.push((
+        "seeded: unbalanced_exit".to_string(),
+        EscapeContext::single_threaded(),
+        programs::unbalanced_exit(),
+    ));
+    entries.push((
+        "seeded: non_lifo_pair".to_string(),
+        EscapeContext::single_threaded(),
+        programs::non_lifo_pair(),
+    ));
+    entries
+}
 
-    if races {
-        check_races(&mut totals);
+fn analyze_catalog(totals: &mut Totals) -> Vec<ProgramRun> {
+    catalog()
+        .into_iter()
+        .map(|(name, ctx, program)| {
+            let report = analyze_program(&program, &ctx);
+            totals.programs += 1;
+            totals.methods += report.methods.len();
+            totals.diagnostics += report.diagnostic_count() + report.verify_errors.len();
+            totals.cycles += report.lock_order.cycles.len();
+            totals.elidable += report.escape.elidable_ops.len();
+            totals.hints += report.nest.hints.len();
+            // Sequential-library programs must never have lockset race
+            // candidates; any hit is a detector regression.
+            totals.race_mismatches += report.guards.races.len();
+            totals.race_candidates += report.guards.races.len();
+            ProgramRun {
+                name,
+                threads: ctx.thread_count,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// The `--races` section: the guards pass over the concurrent library,
+/// each program analyzed under its own thread-role contract and compared
+/// with its ground-truth race label.
+fn analyze_races(totals: &mut Totals) -> Vec<RaceRun> {
+    programs::concurrent_library()
+        .into_iter()
+        .map(|entry| {
+            let ctx = EscapeContext::threads(entry.total_threads());
+            let roles: Vec<EntryRole> = entry
+                .roles
+                .iter()
+                .map(|r| EntryRole {
+                    name: r.method.to_string(),
+                    method: entry.program.method_id(r.method).unwrap_or(0),
+                    threads: r.threads,
+                })
+                .collect();
+            let report = analyze_program_with_roles(&entry.program, &ctx, &roles);
+            let agrees = report.guards.is_race_free() != entry.racy;
+            // The expected racy fields must all be among the candidates.
+            let missing: Vec<(u32, u16)> = entry
+                .racy_fields
+                .iter()
+                .copied()
+                .filter(|&(pool, field)| {
+                    !report
+                        .guards
+                        .races
+                        .iter()
+                        .any(|r| (r.pool, r.field) == (pool, field))
+                })
+                .collect();
+            totals.guarded_facts += report.guards.facts.len();
+            totals.race_candidates += report.guards.races.len();
+            if !agrees {
+                totals.race_mismatches += 1;
+            }
+            totals.race_mismatches += missing.len();
+            RaceRun {
+                entry,
+                report,
+                agrees,
+                missing,
+            }
+        })
+        .collect()
+}
+
+fn print_text(runs: &[ProgramRun], races: Option<&[RaceRun]>, totals: &Totals) {
+    println!("lockcheck: static lock-discipline analysis\n");
+    for run in runs {
+        let verdict = if run.report.is_clean() {
+            "clean"
+        } else {
+            "FINDINGS"
+        };
+        println!("== {} ({} thread(s)) — {verdict}", run.name, run.threads);
+        print!("{}", run.report);
+        println!();
     }
-
+    if let Some(races) = races {
+        println!("== races: guards pass over the concurrent program library");
+        for run in races {
+            let label = if run.entry.racy { "racy" } else { "clean" };
+            let verdict = match (!run.report.guards.is_race_free(), run.agrees) {
+                (true, true) => "RACE (expected)",
+                (false, true) => "race-free",
+                (true, false) => "FALSE POSITIVE",
+                (false, false) => "MISSED RACE",
+            };
+            println!(
+                "  {} [{label}, {} thread(s)] — {verdict}",
+                run.entry.name,
+                run.entry.total_threads()
+            );
+            for fact in &run.report.guards.facts {
+                println!("    @GuardedBy {fact}");
+            }
+            for race in &run.report.guards.races {
+                println!("    RACE {race}");
+            }
+            for &(pool, field) in &run.missing {
+                println!("    MISSING expected race on pool[{pool}].f{field}");
+            }
+        }
+        println!();
+    }
     println!(
         "summary: {} program(s), {} method(s); {} diagnostic(s), \
          {} deadlock cycle(s), {} elidable sync op(s), {} pre-inflation hint(s)",
@@ -194,12 +218,92 @@ fn main() -> ExitCode {
         totals.elidable,
         totals.hints,
     );
-    if races {
+    if races.is_some() {
         println!(
             "races: {} @GuardedBy fact(s), {} race candidate(s), {} mismatch(es) vs ground truth",
             totals.guarded_facts, totals.race_candidates, totals.race_mismatches,
         );
     }
+}
+
+fn print_json(runs: &[ProgramRun], races: Option<&[RaceRun]>, totals: &Totals) {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("tool", "lockcheck");
+    w.begin_named_array("programs");
+    for run in runs {
+        write_report(&mut w, &run.name, run.threads, &run.report);
+    }
+    w.end_array();
+    if let Some(races) = races {
+        w.begin_named_array("races");
+        for run in races {
+            w.begin_object();
+            w.field_str("program", run.entry.name);
+            w.field_u64("threads", u64::from(run.entry.total_threads()));
+            w.field_bool("expected_racy", run.entry.racy);
+            w.field_bool("found_racy", !run.report.guards.is_race_free());
+            w.field_bool("agrees", run.agrees);
+            w.begin_named_array("facts");
+            for fact in &run.report.guards.facts {
+                w.elem_str(&fact.to_string());
+            }
+            w.end_array();
+            w.begin_named_array("race_candidates");
+            for race in &run.report.guards.races {
+                w.elem_str(&race.to_string());
+            }
+            w.end_array();
+            w.begin_named_array("missing_expected");
+            for &(pool, field) in &run.missing {
+                w.begin_object();
+                w.field_u64("pool", u64::from(pool));
+                w.field_u64("field", u64::from(field));
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+    }
+    w.begin_named_object("summary");
+    w.field_u64("programs", totals.programs as u64);
+    w.field_u64("methods", totals.methods as u64);
+    w.field_u64("diagnostics", totals.diagnostics as u64);
+    w.field_u64("deadlock_cycles", totals.cycles as u64);
+    w.field_u64("elidable_sync_ops", totals.elidable as u64);
+    w.field_u64("pre_inflation_hints", totals.hints as u64);
+    w.field_u64("guarded_facts", totals.guarded_facts as u64);
+    w.field_u64("race_candidates", totals.race_candidates as u64);
+    w.field_u64("race_mismatches", totals.race_mismatches as u64);
+    w.end_object();
+    w.end_object();
+    println!("{}", w.finish());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let deny_races = args.iter().any(|a| a == "--deny-races");
+    let races = deny_races || args.iter().any(|a| a == "--races");
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| *a != "--races" && *a != "--deny-races" && *a != "--json")
+    {
+        eprintln!("lockcheck: unknown flag {unknown} (expected --races, --deny-races, or --json)");
+        return ExitCode::from(2);
+    }
+
+    let mut totals = Totals::default();
+    let runs = analyze_catalog(&mut totals);
+    let race_runs = races.then(|| analyze_races(&mut totals));
+
+    if json {
+        print_json(&runs, race_runs.as_deref(), &totals);
+    } else {
+        print_text(&runs, race_runs.as_deref(), &totals);
+    }
+
     if deny_races && totals.race_mismatches > 0 {
         eprintln!(
             "lockcheck: --deny-races: {} race verdict(s) disagree with ground truth",

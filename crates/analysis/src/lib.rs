@@ -29,13 +29,16 @@
 //!   sanitizer in `thinlock_obs`.
 //!
 //! [`report`] assembles the per-method findings of all passes, and the
-//! `lockcheck` binary prints them for the built-in program library.
+//! `lockcheck` binary prints them for the built-in program library —
+//! either as human-readable text or, via `--json`, as a machine-readable
+//! document produced by [`json`].
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod escape;
 pub mod guards;
+pub mod json;
 pub mod lockorder;
 pub mod lockstack;
 pub mod nestdepth;

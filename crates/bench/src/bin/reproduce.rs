@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the thin-locks paper.
 //!
 //! ```text
-//! reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|predict|lockcheck|profile]
+//! reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|predict|lockcheck|lockmc|profile]
 //!           [--iters N] [--scale N] [--quick] [--json PATH] [--profile-json PATH]
 //! ```
 //!
@@ -66,8 +66,8 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|predict\
-                            |lockcheck|profile] [--iters N] [--scale N] [--quick] [--json PATH] \
-                            [--profile-json PATH]"
+                            |lockcheck|lockmc|profile] [--iters N] [--scale N] [--quick] \
+                            [--json PATH] [--profile-json PATH]"
                         .to_string(),
                 )
             }

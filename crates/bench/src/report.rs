@@ -19,7 +19,7 @@ use crate::{
 };
 
 /// Every section name `reproduce` accepts, in presentation order.
-pub const SECTIONS: [&str; 10] = [
+pub const SECTIONS: [&str; 11] = [
     "table1",
     "table2",
     "fig3",
@@ -29,6 +29,7 @@ pub const SECTIONS: [&str; 10] = [
     "ablations",
     "predict",
     "lockcheck",
+    "lockmc",
     "profile",
 ];
 
@@ -716,6 +717,48 @@ fn lockcheck_races() {
     );
 }
 
+/// The protocol model checker (DESIGN.md §14): exhaustively explore the
+/// verify catalog's interleaving spaces under both naive DFS and
+/// sleep-set DPOR and report states explored plus the aggregate
+/// reduction factor. Text only — the state-space sizes are structural
+/// facts already pinned exactly by `tests/modelcheck_protocol.rs`, so
+/// gating them here would duplicate the test without adding signal.
+fn lockmc() {
+    use thinlock_modelcheck::{reduction_factor, run_verify, Limits};
+
+    heading("lockmc: exhaustive protocol model checking (DPOR)");
+    println!(
+        "  {:<22} {:>10} {:>10} {:>8}  verdict",
+        "program", "naive", "dpor", "factor"
+    );
+    let reports = run_verify(&Limits::exhaustive(), true);
+    for r in &reports {
+        let naive = r.naive.as_ref().expect("naive baseline requested");
+        println!(
+            "  {:<22} {:>10} {:>10} {:>7.1}x  {}",
+            r.name,
+            naive.executions,
+            r.dpor.executions,
+            naive.executions as f64 / r.dpor.executions.max(1) as f64,
+            if r.violation.is_some() {
+                "VIOLATION"
+            } else if r.dpor.complete && naive.complete {
+                "exhausted clean"
+            } else {
+                "INCOMPLETE"
+            },
+        );
+    }
+    match reduction_factor(&reports) {
+        Some(factor) => println!(
+            "  aggregate DPOR reduction: {factor:.1}x fewer executions than naive DFS \
+             (acceptance floor: > 2x)"
+        ),
+        None => println!("  aggregate DPOR reduction: unavailable (missing naive baseline)"),
+    }
+    println!("  (run the `lockmc` binary for mutation testing and counterexample replay)");
+}
+
 /// The observability pipeline (DESIGN.md §10): run the profiling corpus
 /// under a `LockTracer`, print the aggregated contention profile, and
 /// verify that the event stream attributes every inflation the
@@ -822,6 +865,9 @@ pub fn run_sections(
     }
     if want("lockcheck") {
         lockcheck(&mut out);
+    }
+    if want("lockmc") {
+        lockmc();
     }
     if want("profile") {
         profile_section(profile_json, &mut out)?;

@@ -37,6 +37,7 @@ use thinlock_runtime::heap::{Heap, ObjRef};
 use thinlock_runtime::lockword::{LockWord, ThreadIndex, MAX_THIN_COUNT};
 use thinlock_runtime::protocol::{SyncProtocol, WaitOutcome};
 use thinlock_runtime::registry::{ExitSweeper, ThreadRecord, ThreadRegistry, ThreadToken};
+use thinlock_runtime::schedule::{SchedPoint, Schedule};
 use thinlock_runtime::stats::{InflationCause, LockScenario, LockStats};
 
 use crate::config::{DynamicConfig, FastPathConfig, UnlockStrategy};
@@ -74,6 +75,7 @@ pub struct ThinLocks<C: FastPathConfig = DynamicConfig> {
     stats: Option<Arc<LockStats>>,
     tracer: Option<Arc<dyn TraceSink>>,
     injector: Option<Arc<dyn FaultInjector>>,
+    schedule: Option<Arc<dyn Schedule>>,
 }
 
 impl ThinLocks<DynamicConfig> {
@@ -108,6 +110,7 @@ impl<C: FastPathConfig> ThinLocks<C> {
             stats: None,
             tracer: None,
             injector: None,
+            schedule: None,
         }
     }
 
@@ -152,6 +155,28 @@ impl<C: FastPathConfig> ThinLocks<C> {
         self.monitors.set_fault_injector(Arc::clone(&injector));
         self.heap.set_fault_injector(Arc::clone(&injector));
         self.injector = Some(injector);
+        self
+    }
+
+    /// Attaches a cooperative schedule: the protocol announces each
+    /// labeled [`SchedPoint`] (fast-path CAS, nested stores, slow-path
+    /// CAS, spin, inflation publish, unlock stores, fat release, notify)
+    /// to it before executing the step, and propagates it into the
+    /// monitor table (which stamps it into every fat lock it publishes,
+    /// covering the two park points). A serializing scheduler — the
+    /// `thinlock-modelcheck` crate — blocks the calling thread inside
+    /// [`Schedule::reached`] to take ownership of the interleaving.
+    ///
+    /// When no schedule is attached the only cost is one never-taken
+    /// branch per point — the same zero-cost-when-disabled discipline as
+    /// [`ThinLocks::with_fault_injector`].
+    ///
+    /// Timed paths (`try_lock`, `lock_deadline`) carry no schedule
+    /// points: the model checker only drives the untimed operations.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Arc<dyn Schedule>) -> Self {
+        self.monitors.set_schedule(Arc::clone(&schedule));
+        self.schedule = Some(schedule);
         self
     }
 
@@ -234,12 +259,33 @@ impl<C: FastPathConfig> ThinLocks<C> {
         }
     }
 
+    #[inline]
+    fn reach(&self, point: SchedPoint, obj: ObjRef) {
+        if let Some(s) = &self.schedule {
+            // Thin-path points ignore the returned action: SkipPark only
+            // applies at the monitor-layer park points.
+            let _ = s.reached(point, Some(obj));
+        }
+    }
+
     /// Resolves the fat lock of an inflated word.
     fn monitor_of(&self, word: LockWord) -> &FatLock {
         let idx = word.monitor_index().expect("word must be inflated");
         self.monitors
             .get(idx)
             .expect("inflated word references an allocated monitor")
+    }
+
+    /// The fat monitor of `obj`, if its lock has inflated — a
+    /// diagnostics/model-checking probe pairing with
+    /// [`ThinLocks::lock_word`].
+    pub fn monitor_for(&self, obj: ObjRef) -> Option<&FatLock> {
+        let word = self.cell(obj).load_acquire();
+        if word.is_fat() {
+            Some(self.monitor_of(word))
+        } else {
+            None
+        }
     }
 
     /// Owner-only inflation: the calling thread holds the thin lock with
@@ -253,6 +299,7 @@ impl<C: FastPathConfig> ThinLocks<C> {
         locks: u32,
         cause: InflationCause,
     ) -> SyncResult<&FatLock> {
+        self.reach(SchedPoint::Inflate, obj);
         if self.inject(InjectionPoint::Inflate) == FaultAction::Yield {
             // Deschedule between deciding to inflate and publishing the
             // fat word — the window in which other threads still spin.
@@ -287,6 +334,7 @@ impl<C: FastPathConfig> ThinLocks<C> {
         // masking the loaded word, OR in the pre-shifted thread index, CAS.
         let old = cell.load_relaxed().with_lock_field_clear();
         let new = LockWord::from_bits(old.bits() | t.shifted());
+        self.reach(SchedPoint::LockFast, obj);
         let fast = match self.inject(InjectionPoint::LockFastCas) {
             FaultAction::FailCas => false,
             FaultAction::Yield => {
@@ -305,6 +353,7 @@ impl<C: FastPathConfig> ThinLocks<C> {
         // an ADD of 1<<8 written with a plain store.
         let word = cell.load_relaxed();
         if word.can_nest(t.shifted()) {
+            self.reach(SchedPoint::LockNest, obj);
             cell.store_relaxed(word.with_count_incremented());
             let depth = u32::from(word.thin_count()) + 2;
             self.record_lock(
@@ -397,6 +446,7 @@ impl<C: FastPathConfig> ThinLocks<C> {
                 // contention scenario: acquire then inflate so the next
                 // contender queues instead of spinning (Section 2.3.4).
                 let new = LockWord::from_bits(word.bits() | t.shifted());
+                self.reach(SchedPoint::LockSlowCas, obj);
                 let attempt = match self.inject(InjectionPoint::LockSlowCas) {
                     FaultAction::FailCas => false,
                     FaultAction::Yield => {
@@ -442,6 +492,7 @@ impl<C: FastPathConfig> ThinLocks<C> {
             // Thin-locked by another thread: spin until released.
             spun = true;
             waiting.publish(&self.registry, t, obj);
+            self.reach(SchedPoint::LockSpin, obj);
             if self.inject(InjectionPoint::LockSpin) == FaultAction::Yield {
                 std::thread::yield_now();
             }
@@ -460,6 +511,7 @@ impl<C: FastPathConfig> ThinLocks<C> {
         // Common case: thin, owned by us, locked exactly once. Restore the
         // header-only word with a plain store (or CAS under UnlkC&S).
         if word.is_locked_once_by(t.shifted()) {
+            self.reach(SchedPoint::UnlockThin, obj);
             if self.inject(InjectionPoint::UnlockStore) == FaultAction::Yield {
                 // Deschedule between deciding to release and the store:
                 // owner-only writes make this window harmless, which is
@@ -484,6 +536,7 @@ impl<C: FastPathConfig> ThinLocks<C> {
         // Nested unlock: decrement with a plain store.
         if word.is_thin_owned_by(t.shifted()) {
             debug_assert!(word.thin_count() > 0);
+            self.reach(SchedPoint::UnlockNest, obj);
             cell.store_relaxed(word.with_count_decremented());
             if let Some(s) = &self.stats {
                 s.record_unlock_thin();
@@ -498,6 +551,7 @@ impl<C: FastPathConfig> ThinLocks<C> {
     #[inline(never)]
     fn unlock_slow(&self, obj: ObjRef, t: ThreadToken, word: LockWord) -> SyncResult<()> {
         if word.is_fat() {
+            self.reach(SchedPoint::FatUnlock, obj);
             let r = self.monitor_of(word).unlock(t, &self.registry);
             if r.is_ok() {
                 if let Some(s) = &self.stats {
@@ -949,6 +1003,7 @@ impl<C: FastPathConfig> SyncProtocol for ThinLocks<C> {
         }
         let monitor = self.require_fat(obj, t)?;
         self.emit(Some(t.index()), Some(obj), TraceEventKind::Notify);
+        self.reach(SchedPoint::Notify, obj);
         monitor.notify(t)
     }
 
@@ -958,6 +1013,7 @@ impl<C: FastPathConfig> SyncProtocol for ThinLocks<C> {
         }
         let monitor = self.require_fat(obj, t)?;
         self.emit(Some(t.index()), Some(obj), TraceEventKind::Notify);
+        self.reach(SchedPoint::Notify, obj);
         monitor.notify_all(t)
     }
 

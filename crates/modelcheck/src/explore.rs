@@ -1,0 +1,519 @@
+//! Stateless DFS over schedule decisions with dynamic partial-order
+//! reduction and sleep sets.
+//!
+//! The explorer repeatedly re-executes the program under the
+//! cooperative scheduler, replaying a decision prefix and extending it
+//! with a free run (prefer the previously running worker). Each
+//! decision point is a stack node holding the enabled set, every
+//! worker's pending label, and the DPOR bookkeeping:
+//!
+//! * **backtrack** — workers that must eventually be tried from this
+//!   state. Naive mode seeds it with the full enabled set (exhaustive
+//!   DFS); DPOR mode seeds it with just the chosen worker and grows it
+//!   from observed conflicts (Flanagan–Godefroid): after each
+//!   execution, for every step `i` by worker `p`, the latest earlier
+//!   step `j` by a different worker whose label is *dependent* with
+//!   `i`'s adds `p` (or, if `p` was not enabled there, everyone
+//!   enabled) to `j`'s backtrack set.
+//! * **sleep** — workers whose exploration from this state is already
+//!   covered by an earlier sibling branch. A child inherits the
+//!   parent's sleep set plus the parent's completed choices, filtered
+//!   to workers whose pending labels are independent of the executed
+//!   step. Branches whose every enabled worker sleeps are abandoned.
+//!
+//! Two labels are dependent unless they are boundary checkpoints
+//! (pure local no-ops), touch different objects, or are both spin
+//! probes (read-only) on the same object. Unknown objects are
+//! conservatively dependent with everything.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use thinlock_runtime::schedule::SchedPoint;
+
+use crate::program::{run_execution, ExecutionRecord, McProgram, Pick};
+use crate::sched::{CoopScheduler, Label};
+
+/// Exploration strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Exhaustive DFS: every enabled worker is tried at every state.
+    Naive,
+    /// DFS with dynamic partial-order reduction and sleep sets.
+    Dpor,
+}
+
+/// Exploration budget.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum executions before giving up (`complete` turns false).
+    pub max_executions: u64,
+    /// Maximum granted steps within one execution.
+    pub max_steps: usize,
+}
+
+impl Limits {
+    /// A budget far beyond any bounded verify-suite program: hitting it
+    /// means the state space is not what the suite intended.
+    pub fn exhaustive() -> Self {
+        Limits {
+            max_executions: 2_000_000,
+            max_steps: 10_000,
+        }
+    }
+
+    /// A time-bounded smoke budget for CI (`lockmc --quick`).
+    pub fn quick() -> Self {
+        Limits {
+            max_executions: 2_000,
+            max_steps: 2_000,
+        }
+    }
+}
+
+/// Counters from one exploration run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExploreStats {
+    /// Distinct executions (complete schedules) run.
+    pub executions: u64,
+    /// Total granted steps across all executions (includes prefix
+    /// replays — the real serialized work performed).
+    pub transitions: u64,
+    /// Executions abandoned because every enabled worker slept.
+    pub sleep_blocked: u64,
+    /// Deepest decision stack observed.
+    pub max_depth: usize,
+    /// True if the state space was exhausted within the limits.
+    pub complete: bool,
+}
+
+/// Exploration result: counters plus the first violation found (with
+/// the decision schedule that reaches it).
+#[derive(Debug)]
+pub struct ExploreOutcome {
+    /// Counters.
+    pub stats: ExploreStats,
+    /// First invariant violation, if any.
+    pub violation: Option<FoundViolation>,
+}
+
+/// A violation plus the schedule that triggers it.
+#[derive(Debug, Clone)]
+pub struct FoundViolation {
+    /// Invariant name.
+    pub invariant: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+    /// The decision schedule (granted worker per step) reaching the
+    /// violation.
+    pub schedule: Vec<Decision>,
+}
+
+/// One schedule decision, for replay and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Worker granted the step.
+    pub worker: usize,
+    /// The labeled point it was granted from.
+    pub label: Label,
+}
+
+/// True if the two labeled steps can be freely commuted.
+fn independent(a: Label, b: Label) -> bool {
+    if a.0 == SchedPoint::Boundary || b.0 == SchedPoint::Boundary {
+        return true;
+    }
+    match (a.1, b.1) {
+        (Some(x), Some(y)) if x != y => true,
+        (Some(_), Some(_)) => a.0 == SchedPoint::LockSpin && b.0 == SchedPoint::LockSpin,
+        _ => false,
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    enabled: Vec<usize>,
+    labels: Vec<Option<Label>>,
+    sleep: BTreeSet<usize>,
+    backtrack: BTreeSet<usize>,
+    done: BTreeSet<usize>,
+    chosen: usize,
+    chosen_label: Label,
+}
+
+/// Explores every interleaving of `program` within `limits`, stopping
+/// at the first invariant violation.
+pub fn explore(
+    program: &McProgram,
+    sched: &Arc<CoopScheduler>,
+    mode: Mode,
+    limits: &Limits,
+) -> ExploreOutcome {
+    explore_with(mode, limits, |pick| {
+        run_execution(program, sched, None, limits.max_steps, pick)
+    })
+}
+
+/// The DFS + DPOR engine over an arbitrary execution runner: `run` must
+/// perform one fresh execution, driving its schedule decisions through
+/// the provided `pick` callback (see [`run_execution`]'s contract —
+/// `pick` is called once per quiescent state with at least one enabled
+/// worker). [`explore`] instantiates it with the [`McProgram`] harness;
+/// other harnesses (e.g. exhaustive VM-program replays) supply their
+/// own environment per execution and reuse the same exploration.
+pub fn explore_with<R>(mode: Mode, limits: &Limits, mut run: R) -> ExploreOutcome
+where
+    R: FnMut(
+        &mut dyn FnMut(usize, &[crate::sched::WorkerView], &[usize]) -> Pick,
+    ) -> ExecutionRecord,
+{
+    let mut stack: Vec<Node> = Vec::new();
+    let mut prefix_len = 0usize;
+    let mut stats = ExploreStats::default();
+
+    loop {
+        if stats.executions >= limits.max_executions {
+            return ExploreOutcome {
+                stats,
+                violation: None,
+            };
+        }
+        stats.executions += 1;
+
+        let record = {
+            let stack = &mut stack;
+            run(&mut |k, views, enabled| {
+                if k < prefix_len {
+                    return Pick::Grant(stack[k].chosen);
+                }
+                // New node: inherit the sleep set from the parent, keep
+                // only workers whose pending step is independent of the
+                // step the parent executed.
+                let sleep: BTreeSet<usize> = match k.checked_sub(1).map(|i| &stack[i]) {
+                    None => BTreeSet::new(),
+                    Some(parent) => parent
+                        .sleep
+                        .iter()
+                        .chain(parent.done.iter())
+                        .copied()
+                        .filter(|&t| t != parent.chosen)
+                        .filter(|&t| match parent.labels[t] {
+                            Some(l) => independent(l, parent.chosen_label),
+                            None => false,
+                        })
+                        .collect(),
+                };
+                let free: Vec<usize> = enabled
+                    .iter()
+                    .copied()
+                    .filter(|w| !sleep.contains(w))
+                    .collect();
+                if free.is_empty() {
+                    return Pick::Stop;
+                }
+                let prev = k.checked_sub(1).map(|i| stack[i].chosen);
+                let chosen = match prev {
+                    Some(p) if free.contains(&p) => p,
+                    _ => free[0],
+                };
+                let backtrack: BTreeSet<usize> = match mode {
+                    Mode::Naive => enabled.iter().copied().collect(),
+                    Mode::Dpor => [chosen].into_iter().collect(),
+                };
+                stack.push(Node {
+                    enabled: enabled.to_vec(),
+                    labels: views.iter().map(|v| v.pending).collect(),
+                    sleep,
+                    backtrack,
+                    done: BTreeSet::new(),
+                    chosen,
+                    chosen_label: views[chosen].pending.expect("enabled worker has a label"),
+                });
+                Pick::Grant(chosen)
+            })
+        };
+
+        stats.transitions += record.steps.len() as u64;
+        stats.max_depth = stats.max_depth.max(record.steps.len());
+        if record.aborted {
+            stats.sleep_blocked += 1;
+        }
+        assert!(
+            !record.truncated,
+            "execution exceeded {} steps — raise Limits::max_steps",
+            limits.max_steps
+        );
+
+        if let Some((invariant, detail)) = record.violation.clone() {
+            return ExploreOutcome {
+                stats,
+                violation: Some(FoundViolation {
+                    invariant,
+                    detail,
+                    schedule: decisions_of(&record),
+                }),
+            };
+        }
+
+        if mode == Mode::Dpor {
+            add_backtrack_points(&mut stack, prefix_len);
+        }
+
+        // Pick the next branch: deepest node with an untried backtrack
+        // choice outside its sleep set; prune fully explored nodes.
+        let next = loop {
+            let Some(top) = stack.last_mut() else {
+                break None;
+            };
+            let chosen = top.chosen;
+            top.done.insert(chosen);
+            let candidate = top
+                .backtrack
+                .iter()
+                .copied()
+                .find(|w| !top.done.contains(w) && !top.sleep.contains(w));
+            match candidate {
+                Some(w) => {
+                    top.chosen = w;
+                    top.chosen_label = top.labels[w].expect("backtrack choice has a label");
+                    break Some(());
+                }
+                None => {
+                    stack.pop();
+                }
+            }
+        };
+        match next {
+            Some(()) => prefix_len = stack.len(),
+            None => {
+                stats.complete = true;
+                return ExploreOutcome {
+                    stats,
+                    violation: None,
+                };
+            }
+        }
+    }
+}
+
+fn decisions_of(record: &ExecutionRecord) -> Vec<Decision> {
+    record
+        .steps
+        .iter()
+        .map(|s| Decision {
+            worker: s.worker,
+            label: s.label,
+        })
+        .collect()
+}
+
+/// The Flanagan–Godefroid backtrack-point update over the freshly
+/// executed suffix.
+fn add_backtrack_points(stack: &mut [Node], prefix_len: usize) {
+    for i in prefix_len.max(1)..stack.len() {
+        let p = stack[i].chosen;
+        let l_i = stack[i].chosen_label;
+        let conflict = (0..i)
+            .rev()
+            .find(|&j| stack[j].chosen != p && !independent(stack[j].chosen_label, l_i));
+        if let Some(j) = conflict {
+            if stack[j].enabled.contains(&p) {
+                stack[j].backtrack.insert(p);
+            } else {
+                let everyone: Vec<usize> = stack[j].enabled.clone();
+                stack[j].backtrack.extend(everyone);
+            }
+        }
+    }
+}
+
+/// Replays an explicit decision schedule, completing any tail with the
+/// default free policy (prefer the previous worker). Returns the
+/// execution record; an infeasible decision (worker not enabled at that
+/// step) aborts the replay with `aborted = true`.
+pub fn replay(
+    program: &McProgram,
+    sched: &Arc<CoopScheduler>,
+    decisions: &[Decision],
+    sink: Option<Arc<dyn thinlock_runtime::events::TraceSink>>,
+    max_steps: usize,
+) -> ExecutionRecord {
+    let mut last: Option<usize> = None;
+    run_execution(program, sched, sink, max_steps, |k, _views, enabled| {
+        let w = if k < decisions.len() {
+            let w = decisions[k].worker;
+            if !enabled.contains(&w) {
+                return Pick::Stop;
+            }
+            w
+        } else {
+            match last {
+                Some(p) if enabled.contains(&p) => p,
+                _ => enabled[0],
+            }
+        };
+        last = Some(w);
+        Pick::Grant(w)
+    })
+}
+
+/// Counts context switches in a schedule (changes of granted worker).
+pub fn context_switches(decisions: &[Decision]) -> usize {
+    decisions
+        .windows(2)
+        .filter(|w| w[0].worker != w[1].worker)
+        .count()
+}
+
+/// Greedily shrinks a violating schedule: repeatedly tries dropping
+/// single decisions (and truncating the tail), keeping any candidate
+/// that still reproduces a violation of the same invariant under
+/// replay-plus-default-completion. The result is minimal in the sense
+/// that no single decision can be removed.
+pub fn shrink(
+    program: &McProgram,
+    sched: &Arc<CoopScheduler>,
+    invariant: &'static str,
+    schedule: Vec<Decision>,
+    max_steps: usize,
+) -> Vec<Decision> {
+    let reproduce = |candidate: &[Decision]| -> Option<Vec<Decision>> {
+        let rec = replay(program, sched, candidate, None, max_steps);
+        match rec.violation {
+            Some((inv, _)) if inv == invariant => {
+                // Keep the decisions actually executed up to the
+                // violation — the tail completion may have shortened or
+                // extended the schedule.
+                Some(
+                    rec.steps
+                        .iter()
+                        .map(|s| Decision {
+                            worker: s.worker,
+                            label: s.label,
+                        })
+                        .collect(),
+                )
+            }
+            _ => None,
+        }
+    };
+
+    let cost = |d: &[Decision]| (d.len(), context_switches(d));
+    let mut best = schedule;
+    // The violating execution's own decision list already reproduces;
+    // normalize it through one replay so the tail is policy-completed.
+    if let Some(b) = reproduce(&best) {
+        if cost(&b) < cost(&best) {
+            best = b;
+        }
+    }
+    loop {
+        let mut improved = false;
+        // Truncations first: dropping the whole tail is the biggest win.
+        let mut cut = 0;
+        while cut < best.len() {
+            let candidate: Vec<Decision> = best[..cut].to_vec();
+            if let Some(b) = reproduce(&candidate) {
+                if cost(&b) < cost(&best) {
+                    best = b;
+                    improved = true;
+                    continue;
+                }
+            }
+            cut += 1;
+        }
+        // Single-decision deletions.
+        let mut i = 0;
+        while i < best.len() {
+            let mut candidate = best.clone();
+            candidate.remove(i);
+            if let Some(b) = reproduce(&candidate) {
+                if cost(&b) < cost(&best) {
+                    best = b;
+                    improved = true;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::McOp;
+
+    #[test]
+    fn boundary_steps_are_independent() {
+        let b: Label = (SchedPoint::Boundary, None);
+        let l: Label = (
+            SchedPoint::LockFast,
+            Some(thinlock_runtime::heap::ObjRef::from_index(1)),
+        );
+        assert!(independent(b, l));
+        assert!(independent(b, b));
+    }
+
+    #[test]
+    fn same_object_writes_are_dependent_spins_are_not() {
+        let o = Some(thinlock_runtime::heap::ObjRef::from_index(1));
+        let p = Some(thinlock_runtime::heap::ObjRef::from_index(2));
+        assert!(!independent(
+            (SchedPoint::LockFast, o),
+            (SchedPoint::UnlockThin, o)
+        ));
+        assert!(independent(
+            (SchedPoint::LockFast, o),
+            (SchedPoint::UnlockThin, p)
+        ));
+        assert!(independent(
+            (SchedPoint::LockSpin, o),
+            (SchedPoint::LockSpin, o)
+        ));
+        assert!(!independent(
+            (SchedPoint::LockSpin, o),
+            (SchedPoint::UnlockThin, None)
+        ));
+    }
+
+    #[test]
+    fn single_worker_program_explores_exactly_one_execution() {
+        let program = McProgram::new("solo", 1, vec![vec![McOp::Lock(0), McOp::Unlock(0)]]);
+        let sched = Arc::new(CoopScheduler::new());
+        let out = explore(&program, &sched, Mode::Naive, &Limits::exhaustive());
+        assert!(out.violation.is_none());
+        assert!(out.stats.complete);
+        assert_eq!(out.stats.executions, 1);
+    }
+
+    #[test]
+    fn dpor_never_explores_more_than_naive() {
+        let program = McProgram::new(
+            "two-uncontended",
+            2,
+            vec![
+                vec![McOp::Lock(0), McOp::Unlock(0)],
+                vec![McOp::Lock(1), McOp::Unlock(1)],
+            ],
+        );
+        let sched = Arc::new(CoopScheduler::new());
+        let naive = explore(&program, &sched, Mode::Naive, &Limits::exhaustive());
+        let dpor = explore(&program, &sched, Mode::Dpor, &Limits::exhaustive());
+        assert!(naive.violation.is_none());
+        assert!(dpor.violation.is_none());
+        assert!(naive.stats.complete && dpor.stats.complete);
+        assert!(
+            dpor.stats.executions <= naive.stats.executions,
+            "dpor {} vs naive {}",
+            dpor.stats.executions,
+            naive.stats.executions
+        );
+        // Disjoint objects: DPOR should collapse the interleavings
+        // dramatically, not marginally.
+        assert!(dpor.stats.executions * 2 <= naive.stats.executions);
+    }
+}

@@ -1,0 +1,180 @@
+//! The pluggable invariant suite checked at every quiescent state.
+//!
+//! Each check compares the physical lock words (and fat monitors)
+//! against the ground-truth model the worker bodies maintain
+//! ([`DriverState`]): a worker's model depth for an object counts its
+//! completed `lock`s minus completed `unlock`s, and is exempt from
+//! physical-state checks while the worker is inside a `wait` (it
+//! logically holds the lock but has physically released it — exactly
+//! Java's wait semantics).
+//!
+//! Checks are *forward-only*: every schedule point sits before its
+//! step's effect, and the model updates only after an op returns, so at
+//! a quiescent state the model never runs ahead of the physical words
+//! in a correct protocol. Any divergence is a protocol bug (or a seeded
+//! mutation — the mutation suite demands these checks catch every one).
+
+use thinlock::ThinLocks;
+use thinlock_runtime::heap::ObjRef;
+use thinlock_runtime::registry::ThreadToken;
+
+use crate::program::{DriverState, Violation};
+
+/// Per-execution sticky state for the invariant suite: each object's
+/// header byte at birth (locking must never disturb it) and whether the
+/// object has ever been observed fat (inflation is one-way).
+#[derive(Debug)]
+pub struct InvariantState {
+    birth_header: Vec<u8>,
+    fat_seen: Vec<bool>,
+}
+
+impl InvariantState {
+    /// Captures the birth state of the program objects.
+    pub fn new(thin: &ThinLocks, objs: &[ObjRef]) -> Self {
+        InvariantState {
+            birth_header: objs
+                .iter()
+                .map(|&o| thin.lock_word(o).header_bits())
+                .collect(),
+            fat_seen: vec![false; objs.len()],
+        }
+    }
+
+    /// Checks every state invariant against the current quiescent
+    /// state, returning the first violation.
+    pub fn check_state(
+        &mut self,
+        thin: &ThinLocks,
+        objs: &[ObjRef],
+        tokens: &[ThreadToken],
+        driver: &DriverState,
+    ) -> Option<Violation> {
+        let (depth, waiting_on) = driver.model();
+        for (oi, &obj) in objs.iter().enumerate() {
+            let word = thin.lock_word(obj);
+
+            // Lock-word well-formedness: the low header byte survives
+            // every protocol step, a fat word's monitor index resolves,
+            // and an ownerless thin word cannot carry a nest count.
+            if word.header_bits() != self.birth_header[oi] {
+                return Some((
+                    "well-formed-word",
+                    format!(
+                        "obj{oi}: header byte stomped ({:#04x} -> {:#04x})",
+                        self.birth_header[oi],
+                        word.header_bits()
+                    ),
+                ));
+            }
+            if word.is_fat() && thin.monitor_for(obj).is_none() {
+                return Some((
+                    "well-formed-word",
+                    format!("obj{oi}: fat word's monitor index resolves to no monitor"),
+                ));
+            }
+            if word.is_thin_shape() && word.thin_owner().is_none() && word.thin_count() != 0 {
+                return Some((
+                    "well-formed-word",
+                    format!(
+                        "obj{oi}: thin word with no owner carries nest count {}",
+                        word.thin_count()
+                    ),
+                ));
+            }
+
+            // One-way inflation: the shape bit never goes fat -> thin.
+            if self.fat_seen[oi] && !word.is_fat() {
+                return Some((
+                    "one-way-inflation",
+                    format!(
+                        "obj{oi}: deflated after inflation (word {:#010x})",
+                        word.bits()
+                    ),
+                ));
+            }
+            if word.is_fat() {
+                self.fat_seen[oi] = true;
+            }
+
+            // Mutual exclusion over the model: workers whose completed
+            // ops say they hold the lock (and are not parked in a wait).
+            let holders: Vec<usize> = (0..depth.len())
+                .filter(|&w| depth[w][oi] > 0 && waiting_on[w] != Some(oi))
+                .collect();
+            if holders.len() > 1 {
+                return Some((
+                    "mutual-exclusion",
+                    format!("obj{oi}: workers {holders:?} hold the lock simultaneously"),
+                ));
+            }
+
+            // Word conformance: a model holder must be visible in the
+            // physical state with the same owner and nesting depth.
+            if let [w] = holders[..] {
+                let d = depth[w][oi];
+                let me = tokens[w].index();
+                let conforms = if word.is_fat() {
+                    thin.monitor_for(obj)
+                        .map(|m| m.owner() == Some(me) && m.count() == d)
+                        .unwrap_or(false)
+                } else {
+                    word.thin_owner() == Some(me) && u32::from(word.thin_count()) + 1 == d
+                };
+                if !conforms {
+                    return Some((
+                        "word-conformance",
+                        format!(
+                            "obj{oi}: model says worker {w} holds at depth {d}, word is {:#010x}",
+                            word.bits()
+                        ),
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// End-of-execution checks once every worker completed: all locks
+    /// released physically and in the model.
+    pub fn check_end(
+        &mut self,
+        thin: &ThinLocks,
+        objs: &[ObjRef],
+        tokens: &[ThreadToken],
+        driver: &DriverState,
+    ) -> Option<Violation> {
+        if let Some(v) = self.check_state(thin, objs, tokens, driver) {
+            return Some(v);
+        }
+        let (depth, _) = driver.model();
+        for (oi, &obj) in objs.iter().enumerate() {
+            let word = thin.lock_word(obj);
+            let released = if word.is_fat() {
+                thin.monitor_for(obj)
+                    .map(|m| m.owner().is_none() && m.wait_set_len() == 0)
+                    .unwrap_or(false)
+            } else {
+                word.is_unlocked()
+            };
+            if !released {
+                return Some((
+                    "unreleased-at-exit",
+                    format!(
+                        "obj{oi}: still held after all workers finished (word {:#010x})",
+                        word.bits()
+                    ),
+                ));
+            }
+            for (w, d) in depth.iter().enumerate() {
+                if d[oi] != 0 {
+                    return Some((
+                        "unreleased-at-exit",
+                        format!("obj{oi}: worker {w} model depth {} at exit", d[oi]),
+                    ));
+                }
+            }
+        }
+        None
+    }
+}

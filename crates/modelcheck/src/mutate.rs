@@ -1,0 +1,202 @@
+//! Seeded protocol mutations: deliberately broken variants of the
+//! thin-lock protocol that the checker must catch.
+//!
+//! Each [`MutationKind`] is a single, surgically small deviation from
+//! the protocol — the kind of bug a real implementation could ship
+//! with. [`MutantProtocol`] wraps the genuine [`ThinLocks`] instance
+//! and overrides exactly one operation; everything else delegates, so a
+//! caught mutation demonstrates the invariant suite noticed *that*
+//! deviation, not some unrelated breakage. The mutation suite
+//! (`lockmc --mutate`) fails if any mutation survives exploration.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use thinlock::ThinLocks;
+use thinlock_runtime::error::SyncResult;
+use thinlock_runtime::heap::{Heap, ObjRef};
+use thinlock_runtime::lockword::LockWord;
+use thinlock_runtime::protocol::{SyncProtocol, WaitOutcome};
+use thinlock_runtime::registry::{ThreadRegistry, ThreadToken};
+use thinlock_runtime::schedule::{SchedPoint, Schedule};
+
+use crate::sched::CoopScheduler;
+
+/// The catalog of seeded protocol bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// `unlock` clears the lock field without checking the caller owns
+    /// it: a rogue release by a non-owner succeeds and breaks mutual
+    /// exclusion.
+    BlindRelease,
+    /// Re-entrant `lock` skips the nest-count increment: the word
+    /// under-counts and the lock is released one level early.
+    SkipNestCount,
+    /// `unlock` of a fat lock also writes the word back to its thin
+    /// unlocked shape: inflation is no longer one-way and parked
+    /// threads race an orphaned monitor.
+    DeflateOnRelease,
+    /// `notify` while holding the lock is silently swallowed: the
+    /// waiter sleeps forever.
+    LostNotify,
+    /// The thin release stores an all-zero word, stomping the header
+    /// hash bits the lock field must preserve.
+    StompHeader,
+}
+
+impl MutationKind {
+    /// Every mutation, in catalog order.
+    pub const ALL: [MutationKind; 5] = [
+        MutationKind::BlindRelease,
+        MutationKind::SkipNestCount,
+        MutationKind::DeflateOnRelease,
+        MutationKind::LostNotify,
+        MutationKind::StompHeader,
+    ];
+
+    /// Stable short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::BlindRelease => "blind-release",
+            MutationKind::SkipNestCount => "skip-nest-count",
+            MutationKind::DeflateOnRelease => "deflate-on-release",
+            MutationKind::LostNotify => "lost-notify",
+            MutationKind::StompHeader => "stomp-header",
+        }
+    }
+}
+
+impl std::fmt::Display for MutationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The real protocol with exactly one seeded bug.
+#[derive(Debug)]
+pub struct MutantProtocol {
+    inner: Arc<ThinLocks>,
+    kind: MutationKind,
+    sched: Arc<CoopScheduler>,
+}
+
+impl MutantProtocol {
+    /// Wraps `inner` with the seeded bug `kind`. The scheduler handle
+    /// lets the mutated step block at a schedule point of its own, so
+    /// the explorer can interleave other workers around the buggy
+    /// write.
+    pub fn new(inner: Arc<ThinLocks>, kind: MutationKind, sched: Arc<CoopScheduler>) -> Self {
+        MutantProtocol { inner, kind, sched }
+    }
+
+    fn reach(&self, point: SchedPoint, obj: ObjRef) {
+        let _ = self.sched.reached(point, Some(obj));
+    }
+
+    fn word(&self, obj: ObjRef) -> LockWord {
+        self.inner.lock_word(obj)
+    }
+
+    fn store(&self, obj: ObjRef, word: LockWord) {
+        self.inner
+            .heap()
+            .header(obj)
+            .lock_word()
+            .store_relaxed(word);
+    }
+}
+
+impl SyncProtocol for MutantProtocol {
+    fn lock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        if self.kind == MutationKind::SkipNestCount {
+            let word = self.word(obj);
+            if word.is_thin_owned_by(t.shifted()) {
+                // Bug: the re-entrant path "succeeds" without bumping
+                // the count.
+                self.reach(SchedPoint::LockNest, obj);
+                return Ok(());
+            }
+        }
+        self.inner.lock(obj, t)
+    }
+
+    fn unlock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        match self.kind {
+            MutationKind::BlindRelease => {
+                let word = self.word(obj);
+                if word.is_thin_shape() && !word.is_unlocked() {
+                    // Bug: no owner check before clearing the field.
+                    self.reach(SchedPoint::UnlockThin, obj);
+                    self.store(obj, word.with_lock_field_clear());
+                    return Ok(());
+                }
+                self.inner.unlock(obj, t)
+            }
+            MutationKind::StompHeader => {
+                let word = self.word(obj);
+                if word.is_locked_once_by(t.shifted()) {
+                    // Bug: release by zeroing the whole word, hash
+                    // bits included.
+                    self.reach(SchedPoint::UnlockThin, obj);
+                    self.store(obj, LockWord::from_bits(0));
+                    return Ok(());
+                }
+                self.inner.unlock(obj, t)
+            }
+            MutationKind::DeflateOnRelease => {
+                let word = self.word(obj);
+                let r = self.inner.unlock(obj, t);
+                if word.is_fat() && r.is_ok() {
+                    // Bug: write the word back to thin after a fat
+                    // release, orphaning the monitor.
+                    self.reach(SchedPoint::UnlockThin, obj);
+                    self.store(obj, LockWord::new_unlocked(word.header_bits()));
+                }
+                r
+            }
+            _ => self.inner.unlock(obj, t),
+        }
+    }
+
+    fn wait(
+        &self,
+        obj: ObjRef,
+        t: ThreadToken,
+        timeout: Option<Duration>,
+    ) -> SyncResult<WaitOutcome> {
+        self.inner.wait(obj, t, timeout)
+    }
+
+    fn notify(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        if self.kind == MutationKind::LostNotify && self.inner.holds_lock(obj, t) {
+            // Bug: swallow the notification.
+            self.reach(SchedPoint::Notify, obj);
+            return Ok(());
+        }
+        self.inner.notify(obj, t)
+    }
+
+    fn notify_all(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        if self.kind == MutationKind::LostNotify && self.inner.holds_lock(obj, t) {
+            self.reach(SchedPoint::Notify, obj);
+            return Ok(());
+        }
+        self.inner.notify_all(obj, t)
+    }
+
+    fn holds_lock(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        self.inner.holds_lock(obj, t)
+    }
+
+    fn heap(&self) -> &Heap {
+        self.inner.heap()
+    }
+
+    fn registry(&self) -> &ThreadRegistry {
+        self.inner.registry()
+    }
+
+    fn name(&self) -> &'static str {
+        "thin-locks-mutant"
+    }
+}

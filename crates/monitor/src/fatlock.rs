@@ -29,6 +29,7 @@ use thinlock_runtime::fault::{FaultAction, FaultInjector, InjectionPoint};
 use thinlock_runtime::lockword::ThreadIndex;
 use thinlock_runtime::protocol::WaitOutcome;
 use thinlock_runtime::registry::{ThreadRegistry, ThreadToken};
+use thinlock_runtime::schedule::{SchedAction, SchedPoint, Schedule};
 
 /// Shared flag linking a waiting thread to its wait-set entry, so `notify`
 /// can mark it delivered after the entry has moved queues.
@@ -94,6 +95,7 @@ impl Inner {
 pub struct FatLock {
     inner: Mutex<Inner>,
     injector: OnceLock<Arc<dyn FaultInjector>>,
+    schedule: OnceLock<Arc<dyn Schedule>>,
 }
 
 impl fmt::Debug for FatLock {
@@ -101,6 +103,7 @@ impl fmt::Debug for FatLock {
         f.debug_struct("FatLock")
             .field("inner", &self.inner)
             .field("injector", &self.injector.get().is_some())
+            .field("schedule", &self.schedule.get().is_some())
             .finish()
     }
 }
@@ -131,6 +134,7 @@ impl FatLock {
                 wait_set: VecDeque::new(),
             }),
             injector: OnceLock::new(),
+            schedule: OnceLock::new(),
         }
     }
 
@@ -149,6 +153,36 @@ impl FatLock {
             None => FaultAction::Proceed,
             Some(i) => i.decide(point),
         }
+    }
+
+    /// Attaches a cooperative schedule consulted before every park
+    /// ([`SchedPoint::FatPark`] / [`SchedPoint::WaitPark`]), so a model
+    /// checker can hold the thread at the point instead of letting it
+    /// sleep. Write-once: the first installed schedule wins. The monitor
+    /// table stamps its own schedule into every fat lock it publishes.
+    ///
+    /// Both park points sit *outside* the monitor's internal mutex, so a
+    /// thread blocked inside [`Schedule::reached`] never wedges other
+    /// threads touching this monitor.
+    pub fn set_schedule(&self, schedule: Arc<dyn Schedule>) {
+        let _ = self.schedule.set(schedule);
+    }
+
+    #[inline]
+    fn reach(&self, point: SchedPoint) -> SchedAction {
+        match self.schedule.get() {
+            None => SchedAction::Proceed,
+            Some(s) => s.reached(point, None),
+        }
+    }
+
+    /// True if `t` is in the wait set — parked in `wait` and not yet
+    /// moved to the entry queue by a `notify`. Model checkers use this
+    /// to decide whether a thread blocked at a wait park can make
+    /// progress when resumed.
+    pub fn is_waiting(&self, t: ThreadToken) -> bool {
+        let me = t.index();
+        self.lock_inner().wait_set.iter().any(|e| e.thread == me)
     }
 
     fn lock_inner(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -214,6 +248,12 @@ impl FatLock {
                         }
                     }
                 }
+            }
+            // A serializing scheduler holds the thread here and answers
+            // SkipPark when it is resumed — the park never happens, and
+            // the re-looped acquire attempt is the thread's next step.
+            if self.reach(SchedPoint::FatPark) == SchedAction::SkipPark {
+                continue;
             }
             match self.inject(InjectionPoint::FatPark) {
                 // A spurious wakeup is a park that returns with nothing to
@@ -542,17 +582,22 @@ impl FatLock {
                 return Err(SyncError::Interrupted);
             }
             match deadline {
-                None => match self.inject(InjectionPoint::WaitPark) {
-                    // Same spurious-wakeup model as the entry queue: the
-                    // skipped park re-runs the notified/interrupt checks,
-                    // which is exactly what a real spurious wake does.
-                    FaultAction::SpuriousWake => {}
-                    FaultAction::Yield => {
-                        std::thread::yield_now();
-                        record.parker().park();
+                None => {
+                    if self.reach(SchedPoint::WaitPark) == SchedAction::SkipPark {
+                        continue;
                     }
-                    _ => record.parker().park(),
-                },
+                    match self.inject(InjectionPoint::WaitPark) {
+                        // Same spurious-wakeup model as the entry queue: the
+                        // skipped park re-runs the notified/interrupt checks,
+                        // which is exactly what a real spurious wake does.
+                        FaultAction::SpuriousWake => {}
+                        FaultAction::Yield => {
+                            std::thread::yield_now();
+                            record.parker().park();
+                        }
+                        _ => record.parker().park(),
+                    }
+                }
                 Some(d) => {
                     let now = Instant::now();
                     let Some(remaining) = d.checked_duration_since(now).filter(|r| !r.is_zero())

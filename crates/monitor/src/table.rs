@@ -19,6 +19,7 @@ use thinlock_runtime::error::SyncError;
 use thinlock_runtime::events::{TraceEventKind, TraceSink};
 use thinlock_runtime::fault::{FaultAction, FaultInjector, InjectionPoint};
 use thinlock_runtime::lockword::MonitorIndex;
+use thinlock_runtime::schedule::Schedule;
 
 use crate::fatlock::FatLock;
 
@@ -39,6 +40,7 @@ pub struct MonitorTable {
     next: AtomicU32,
     sink: OnceLock<Arc<dyn TraceSink>>,
     injector: OnceLock<Arc<dyn FaultInjector>>,
+    schedule: OnceLock<Arc<dyn Schedule>>,
 }
 
 impl MonitorTable {
@@ -51,6 +53,7 @@ impl MonitorTable {
             next: AtomicU32::new(0),
             sink: OnceLock::new(),
             injector: OnceLock::new(),
+            schedule: OnceLock::new(),
         }
     }
 
@@ -71,6 +74,13 @@ impl MonitorTable {
         let _ = self.injector.set(injector);
     }
 
+    /// Attaches a cooperative schedule, stamped into every fat lock this
+    /// table publishes (so their park points consult it). Write-once:
+    /// the first installed schedule wins.
+    pub fn set_schedule(&self, schedule: Arc<dyn Schedule>) {
+        let _ = self.schedule.set(schedule);
+    }
+
     /// Registers a fat lock, returning its permanent index.
     ///
     /// # Errors
@@ -87,6 +97,9 @@ impl MonitorTable {
                 _ => {}
             }
             lock.set_fault_injector(Arc::clone(injector));
+        }
+        if let Some(schedule) = self.schedule.get() {
+            lock.set_schedule(Arc::clone(schedule));
         }
         let slot = self.next.fetch_add(1, Ordering::Relaxed);
         if (slot as usize) >= self.slots.len() {

@@ -1,0 +1,157 @@
+//! Counterexample capture: an ordered, lossless event log for replaying
+//! model-checker schedules as readable timelines.
+//!
+//! The [`LockTracer`](crate::LockTracer) ring buffers are built for hot
+//! production paths — per-thread, fixed capacity, willing to drop the
+//! oldest events. A counterexample replay has the opposite needs: the
+//! execution is tiny and fully serialized, and the log must be complete
+//! and in global order, because two replays of the same schedule are
+//! compared line-for-line to prove determinism. [`CounterexampleLog`]
+//! therefore records every [`TraceSink`] event into one mutex-guarded
+//! vector (fine off the hot path) and renders it as a text timeline or
+//! JSON.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use thinlock_runtime::events::{TraceEventKind, TraceSink};
+use thinlock_runtime::heap::ObjRef;
+use thinlock_runtime::lockword::ThreadIndex;
+
+use crate::json::JsonWriter;
+
+/// One recorded protocol event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// Acting thread index, when the protocol knew it.
+    pub thread: Option<u16>,
+    /// Object operated on, when the protocol knew it.
+    pub obj: Option<u32>,
+    /// Stable event-kind name ([`TraceEventKind::name`]).
+    pub kind: &'static str,
+    /// Full event payload, debug-rendered (carries the kind's fields:
+    /// depth, cause, spin rounds, …).
+    pub detail: String,
+}
+
+/// A complete, ordered [`TraceSink`] log for counterexample replay.
+#[derive(Debug, Default)]
+pub struct CounterexampleLog {
+    events: Mutex<Vec<RecordedEvent>>,
+}
+
+impl CounterexampleLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the recorded events, in global order.
+    pub fn events(&self) -> Vec<RecordedEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Renders the log as a one-event-per-line timeline:
+    /// `#seq  t<thread>  obj<obj>  <kind>  <detail>`. Stable across
+    /// replays of the same schedule — the determinism contract the
+    /// model checker's replay test asserts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, e) in self.events.lock().unwrap().iter().enumerate() {
+            let t = e
+                .thread
+                .map(|t| format!("t{t}"))
+                .unwrap_or_else(|| "t?".to_string());
+            let o = e
+                .obj
+                .map(|o| format!("obj{o}"))
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(out, "#{i:<3} {t:<4} {o:<6} {:<18} {}", e.kind, e.detail);
+        }
+        out
+    }
+
+    /// Exports the log as a JSON array of event objects.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        for e in self.events.lock().unwrap().iter() {
+            w.begin_object();
+            match e.thread {
+                Some(t) => w.field_u64("thread", u64::from(t)),
+                None => w.field_null("thread"),
+            }
+            match e.obj {
+                Some(o) => w.field_u64("obj", u64::from(o)),
+                None => w.field_null("obj"),
+            }
+            w.field_str("kind", e.kind);
+            w.field_str("detail", &e.detail);
+            w.end_object();
+        }
+        w.end_array();
+        w.finish()
+    }
+}
+
+impl TraceSink for CounterexampleLog {
+    fn record(&self, thread: Option<ThreadIndex>, obj: Option<ObjRef>, kind: TraceEventKind) {
+        self.events.lock().unwrap().push(RecordedEvent {
+            thread: thread.map(|t| t.get()),
+            obj: obj.map(|o| o.index() as u32),
+            kind: kind.name(),
+            detail: format!("{kind:?}"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_renders_deterministically() {
+        let log = CounterexampleLog::new();
+        log.record(
+            Some(ThreadIndex::new(1).unwrap()),
+            Some(ObjRef::from_index(2)),
+            TraceEventKind::AcquireUnlocked,
+        );
+        log.record(
+            None,
+            Some(ObjRef::from_index(2)),
+            TraceEventKind::UnlockThin,
+        );
+        assert_eq!(log.len(), 2);
+        let first = log.render();
+        assert_eq!(first, log.render(), "rendering is a pure function");
+        assert!(first.contains("acquire-unlocked"));
+        assert!(first.contains("t1"));
+        assert!(first.contains("obj2"));
+    }
+
+    #[test]
+    fn json_export_parses_back() {
+        let log = CounterexampleLog::new();
+        log.record(
+            Some(ThreadIndex::new(3).unwrap()),
+            None,
+            TraceEventKind::Wait,
+        );
+        let json = log.to_json();
+        let value = crate::parse(&json).expect("valid json");
+        let events = value.as_array().expect("array");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("kind").and_then(|k| k.as_str()), Some("wait"));
+    }
+}

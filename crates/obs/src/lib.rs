@@ -34,6 +34,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod counterexample;
 pub mod event;
 pub mod json;
 pub mod parse;
@@ -42,6 +43,7 @@ pub mod ring;
 pub mod sanitizer;
 pub mod tracer;
 
+pub use counterexample::{CounterexampleLog, RecordedEvent};
 pub use event::LockEvent;
 pub use json::JsonWriter;
 pub use parse::{parse, JsonParseError, JsonValue};

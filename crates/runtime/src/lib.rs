@@ -27,6 +27,10 @@
 //!   points at which a deterministic chaos harness (the `thinlock-fault`
 //!   crate) can force CAS failures, descheduling, spurious wakeups, and
 //!   resource exhaustion; zero-cost when no injector is attached.
+//! * [`schedule`] — the [`schedule::Schedule`] seam: labeled schedule
+//!   points at which a cooperative scheduler (the `thinlock-modelcheck`
+//!   crate) can serialize execution and explore every interleaving of a
+//!   small thread program; zero-cost when no schedule is attached.
 //!
 //! # Example
 //!
@@ -53,6 +57,7 @@ pub mod lockword;
 pub mod prng;
 pub mod protocol;
 pub mod registry;
+pub mod schedule;
 pub mod stats;
 
 pub use error::{SyncError, SyncResult};
@@ -62,3 +67,4 @@ pub use heap::{Heap, ObjRef};
 pub use lockword::{LockWord, MonitorIndex, ThreadIndex};
 pub use protocol::{SyncProtocol, WaitOutcome};
 pub use registry::{ThreadRegistry, ThreadToken};
+pub use schedule::{SchedAction, SchedPoint, Schedule};

@@ -1,0 +1,178 @@
+//! Boundary-value property test for the lock-word encoding (DESIGN.md
+//! §2): every field round-trips at its limits, and encode/decode is a
+//! bijection over the word's legal states.
+//!
+//! The paper's entire protocol rests on the 24-bit lock field packing
+//! `(shape, owner, count)` — or `(shape, monitor index)` — next to the
+//! hash bits without loss. These tests enumerate the corner values of
+//! each field (zero, one, max-1, max) in full cross product, plus a
+//! deterministic pseudo-random sweep of interior values, and assert the
+//! decoded state reconstructs the exact input and the exact bits.
+
+use thinlock_runtime::lockword::{
+    LockState, LockWord, MonitorIndex, ThreadIndex, COUNT_SHIFT, HEADER_BITS_MASK, MONITOR_SHIFT,
+    SHAPE_BIT, TID_SHIFT,
+};
+use thinlock_runtime::prng::Prng;
+
+const HEADER_CORNERS: [u8; 5] = [0x00, 0x01, 0x7F, 0x80, 0xFF];
+// Thread index 0 is reserved: an all-zero tid field means "unlocked".
+const TID_CORNERS: [u16; 4] = [1, 2, ThreadIndex::MAX - 1, ThreadIndex::MAX];
+const COUNT_CORNERS: [u8; 4] = [0, 1, 0xFE, 0xFF];
+const MONITOR_CORNERS: [u32; 4] = [0, 1, MonitorIndex::MAX - 1, MonitorIndex::MAX];
+
+/// Builds a thin word owned by `owner` with stored count `count` (i.e.
+/// `count + 1` acquisitions) over header byte `header`, through the
+/// public increment API — the same path the protocol takes.
+fn thin_word(header: u8, owner: ThreadIndex, count: u8) -> LockWord {
+    let mut word = LockWord::new_unlocked(header).locked_once_by(owner);
+    for _ in 0..count {
+        word = word.with_count_incremented();
+    }
+    word
+}
+
+/// Asserts `word` decodes to exactly the thin state it was built from,
+/// and that the raw bits place every field where the layout promises.
+fn assert_thin_roundtrip(word: LockWord, header: u8, owner: ThreadIndex, count: u8) {
+    assert_eq!(word.header_bits(), header, "{word:?}: header byte lost");
+    assert_eq!(word.thin_owner(), Some(owner), "{word:?}: owner lost");
+    assert_eq!(word.thin_count(), count, "{word:?}: count lost");
+    assert!(word.is_thin_shape() && !word.is_fat() && !word.is_unlocked());
+    assert_eq!(
+        word.state(),
+        LockState::Thin { owner, count },
+        "{word:?}: structured decode disagrees"
+    );
+    // Bit-level layout: header in 0..8, count in 8..16, tid in 16..31,
+    // shape bit clear.
+    let bits = word.bits();
+    assert_eq!((bits & HEADER_BITS_MASK) as u8, header);
+    assert_eq!(((bits >> COUNT_SHIFT) & 0xFF) as u8, count);
+    assert_eq!(((bits >> TID_SHIFT) & 0x7FFF) as u16, owner.get());
+    assert_eq!(bits & SHAPE_BIT, 0, "{word:?}: thin word has shape bit");
+    // Bits round-trip: from_bits is the inverse of bits().
+    assert_eq!(LockWord::from_bits(bits), word);
+    // Owner-shifted predicates agree with the decoded owner.
+    assert!(word.is_thin_owned_by(owner.shifted()));
+    assert_eq!(word.is_locked_once_by(owner.shifted()), count == 0);
+}
+
+/// Every (header, owner, count) corner combination round-trips, and
+/// increments/decrements are inverse bijections along the way.
+#[test]
+fn thin_field_corners_roundtrip() {
+    for &header in &HEADER_CORNERS {
+        for &tid in &TID_CORNERS {
+            let owner = ThreadIndex::new(tid).expect("corner tid is legal");
+            for &count in &COUNT_CORNERS {
+                let word = thin_word(header, owner, count);
+                assert_thin_roundtrip(word, header, owner, count);
+                // Decrement is the exact inverse of increment.
+                if count > 0 {
+                    assert_eq!(word.with_count_decremented().with_count_incremented(), word);
+                    assert_thin_roundtrip(word.with_count_decremented(), header, owner, count - 1);
+                }
+                // Nesting is allowed exactly below the stored-count max.
+                assert_eq!(word.can_nest(owner.shifted()), count < 0xFF);
+                // Clearing the lock field releases without touching the
+                // header byte.
+                let cleared = word.with_lock_field_clear();
+                assert!(cleared.is_unlocked());
+                assert_eq!(cleared.header_bits(), header);
+                assert_eq!(cleared, LockWord::new_unlocked(header));
+            }
+        }
+    }
+}
+
+/// Every (header, monitor) corner combination round-trips through the
+/// fat shape, preserving the header byte and setting only the shape bit
+/// plus the 23-bit monitor index.
+#[test]
+fn fat_field_corners_roundtrip() {
+    for &header in &HEADER_CORNERS {
+        for &raw in &MONITOR_CORNERS {
+            let index = MonitorIndex::new(raw).expect("corner index is legal");
+            let word = LockWord::new_unlocked(header).inflated(index);
+            assert!(word.is_fat() && !word.is_thin_shape() && !word.is_unlocked());
+            assert_eq!(word.header_bits(), header, "{word:?}: header byte lost");
+            assert_eq!(word.monitor_index(), Some(index), "{word:?}: index lost");
+            assert_eq!(word.state(), LockState::Fat { index });
+            let bits = word.bits();
+            assert_eq!((bits & HEADER_BITS_MASK) as u8, header);
+            assert_ne!(bits & SHAPE_BIT, 0, "{word:?}: fat word missing shape bit");
+            assert_eq!((bits >> MONITOR_SHIFT) & 0x7F_FFFF, raw);
+            assert_eq!(LockWord::from_bits(bits), word);
+            // Inflating from a *held* thin word must produce the same
+            // result as inflating from unlocked: only header bits
+            // survive inflation.
+            let held = thin_word(header, ThreadIndex::new(7).unwrap(), 3);
+            assert_eq!(held.inflated(index), word);
+        }
+    }
+}
+
+/// Out-of-range field values are rejected at construction — the word
+/// can never encode an index that would not decode back.
+#[test]
+fn out_of_range_fields_are_rejected() {
+    assert!(ThreadIndex::new(ThreadIndex::MAX).is_ok());
+    assert!(ThreadIndex::new(ThreadIndex::MAX + 1).is_err());
+    assert!(ThreadIndex::new(u16::MAX).is_err());
+    assert!(
+        ThreadIndex::new(0).is_err(),
+        "tid 0 must stay reserved for the unlocked encoding"
+    );
+    assert!(MonitorIndex::new(MonitorIndex::MAX).is_ok());
+    assert!(MonitorIndex::new(MonitorIndex::MAX + 1).is_err());
+    assert!(MonitorIndex::new(u32::MAX).is_err());
+}
+
+/// Deterministic pseudo-random sweep of interior values: the corners
+/// prove the edges, this proves there is no lossy combination hiding in
+/// the middle of a field's range.
+#[test]
+fn interior_values_roundtrip_under_random_sweep() {
+    let mut rng = Prng::seed_from_u64(0x10c4_303d);
+    for _ in 0..2_000 {
+        let header = (rng.next_u64() & 0xFF) as u8;
+        let tid = rng.range_u32(1, u32::from(ThreadIndex::MAX) + 1) as u16;
+        let count = (rng.next_u64() & 0xFF) as u8;
+        let owner = ThreadIndex::new(tid).expect("in range");
+        assert_thin_roundtrip(thin_word(header, owner, count), header, owner, count);
+
+        let raw = rng.range_u32(0, MonitorIndex::MAX + 1);
+        let index = MonitorIndex::new(raw).expect("in range");
+        let fat = LockWord::new_unlocked(header).inflated(index);
+        assert_eq!(fat.monitor_index(), Some(index));
+        assert_eq!(fat.header_bits(), header);
+        assert_eq!(LockWord::from_bits(fat.bits()), fat);
+    }
+}
+
+/// Two distinct legal states never encode to the same bits (injectivity
+/// probe over the corner grid, where collisions would cluster).
+#[test]
+fn corner_encodings_are_distinct() {
+    let mut seen = std::collections::HashSet::new();
+    for &header in &HEADER_CORNERS {
+        assert!(seen.insert(LockWord::new_unlocked(header).bits()));
+        for &tid in &TID_CORNERS {
+            let owner = ThreadIndex::new(tid).unwrap();
+            for &count in &COUNT_CORNERS {
+                assert!(
+                    seen.insert(thin_word(header, owner, count).bits()),
+                    "thin({header:#04x}, t{tid}, {count}) collides"
+                );
+            }
+        }
+        for &raw in &MONITOR_CORNERS {
+            let index = MonitorIndex::new(raw).unwrap();
+            assert!(
+                seen.insert(LockWord::new_unlocked(header).inflated(index).bits()),
+                "fat({header:#04x}, m{raw}) collides"
+            );
+        }
+    }
+}
