@@ -31,8 +31,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use thinlock_monitor::FatLock;
+use thinlock_runtime::backend::{MonitorProbe, SyncBackend};
 use thinlock_runtime::error::{SyncError, SyncResult};
 use thinlock_runtime::heap::{Heap, ObjRef};
+use thinlock_runtime::lockword::ThreadIndex;
 use thinlock_runtime::protocol::{SyncProtocol, WaitOutcome};
 use thinlock_runtime::registry::{ThreadRegistry, ThreadToken};
 
@@ -252,6 +254,60 @@ impl SyncProtocol for MonitorCache {
 
     fn name(&self) -> &'static str {
         "JDK111"
+    }
+}
+
+impl SyncBackend for MonitorCache {
+    // The header word carries no lock state in this baseline — every
+    // probe goes through the cached monitor, and the default
+    // word-decoding `owner_of` would always answer `None`.
+    fn monitor_probe(&self, obj: ObjRef) -> Option<MonitorProbe> {
+        let monitor = self.monitor_if_present(obj)?;
+        (monitor.owner().is_some() || monitor.wait_set_len() > 0).then(|| MonitorProbe {
+            owner: monitor.owner(),
+            count: monitor.count(),
+            entry_queue_len: monitor.entry_queue_len(),
+            wait_set_len: monitor.wait_set_len(),
+        })
+    }
+
+    fn owner_of(&self, obj: ObjRef) -> Option<ThreadIndex> {
+        self.monitor_if_present(obj).and_then(|m| m.owner())
+    }
+
+    fn in_wait_set(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        self.monitor_if_present(obj)
+            .is_some_and(|m| m.is_waiting(t))
+    }
+
+    // Eviction recycles monitor structures, which is this baseline's
+    // (coarse) analogue of deflation.
+    fn deflation_capable(&self) -> bool {
+        true
+    }
+
+    fn deflation_count(&self) -> u64 {
+        self.evictions()
+    }
+
+    fn monitors_live(&self) -> usize {
+        self.cached_monitors()
+    }
+
+    fn monitors_peak(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("monitor cache poisoned")
+            .pool
+            .len()
+    }
+
+    fn monitors_allocated(&self) -> u64 {
+        self.cache
+            .lock()
+            .expect("monitor cache poisoned")
+            .pool
+            .len() as u64
     }
 }
 

@@ -27,9 +27,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use thinlock_monitor::FatLock;
+use thinlock_runtime::backend::{MonitorProbe, SyncBackend};
 use thinlock_runtime::error::{SyncError, SyncResult};
 use thinlock_runtime::heap::{Heap, ObjRef};
-use thinlock_runtime::lockword::LockWord;
+use thinlock_runtime::lockword::{LockWord, ThreadIndex};
 use thinlock_runtime::protocol::{SyncProtocol, WaitOutcome};
 use thinlock_runtime::registry::{ThreadRegistry, ThreadToken};
 
@@ -377,6 +378,73 @@ impl SyncProtocol for HotLocks {
 
     fn name(&self) -> &'static str {
         "IBM112"
+    }
+}
+
+impl HotLocks {
+    /// Runs `f` against the monitor currently backing `obj`, hot or
+    /// cold, if any.
+    fn with_monitor<R>(&self, obj: ObjRef, f: impl FnOnce(&FatLock) -> R) -> Option<R> {
+        match self.resolve_existing(obj)? {
+            Resolved::Hot(slot) => Some(f(&self.hot[slot].lock)),
+            Resolved::Cold(monitor) => Some(f(&monitor)),
+        }
+    }
+}
+
+impl SyncBackend for HotLocks {
+    // The header word is either real header data or a hot-lock pointer,
+    // never thin-lock state — probes must resolve through the monitor,
+    // like the JDK111 baseline.
+    fn monitor_probe(&self, obj: ObjRef) -> Option<MonitorProbe> {
+        self.with_monitor(obj, |m| {
+            (m.owner().is_some() || m.wait_set_len() > 0).then(|| MonitorProbe {
+                owner: m.owner(),
+                count: m.count(),
+                entry_queue_len: m.entry_queue_len(),
+                wait_set_len: m.wait_set_len(),
+            })
+        })
+        .flatten()
+    }
+
+    fn owner_of(&self, obj: ObjRef) -> Option<ThreadIndex> {
+        self.with_monitor(obj, FatLock::owner).flatten()
+    }
+
+    fn in_wait_set(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        self.with_monitor(obj, |m| m.is_waiting(t)).unwrap_or(false)
+    }
+
+    // Cold-cache eviction recycles monitors; hot promotion is one-way.
+    fn deflation_capable(&self) -> bool {
+        true
+    }
+
+    fn inflation_count(&self) -> u64 {
+        self.promotions()
+    }
+
+    fn deflation_count(&self) -> u64 {
+        self.evictions()
+    }
+
+    fn monitors_live(&self) -> usize {
+        self.cold.lock().expect("hot-lock cache poisoned").map.len()
+    }
+
+    fn monitors_peak(&self) -> usize {
+        let cold = self
+            .cold
+            .lock()
+            .expect("hot-lock cache poisoned")
+            .pool
+            .len();
+        cold + (HOT_LOCK_COUNT - self.free_hot_slots())
+    }
+
+    fn monitors_allocated(&self) -> u64 {
+        self.monitors_peak() as u64
     }
 }
 

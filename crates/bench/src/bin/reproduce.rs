@@ -1,9 +1,15 @@
 //! Regenerates every table and figure of the thin-locks paper.
 //!
 //! ```text
-//! reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|predict|lockcheck|lockmc|profile]
+//! reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|churn|predict|lockcheck|lockmc|profile]
 //!           [--iters N] [--scale N] [--quick] [--json PATH] [--profile-json PATH]
+//!           [--backend <thin|cjm|tasuki>]
 //! ```
+//!
+//! `--backend` narrows the `churn` section to one protocol; without it
+//! the section runs the thin/cjm head-to-head the committed baseline
+//! records (so a `--backend` run's JSON is a subset of the baseline's
+//! id set — use it for spot measurements, not for gating).
 //!
 //! Output is plain text, one section per artifact, in the same row/series
 //! structure the paper reports. Absolute numbers are host-dependent; the
@@ -26,6 +32,7 @@ struct Options {
     scale: u64,
     json: Option<String>,
     profile_json: Option<String>,
+    backend: Option<thinlock::BackendChoice>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -34,6 +41,7 @@ fn parse_args() -> Result<Options, String> {
     let mut scale: u64 = 1_000;
     let mut json = None;
     let mut profile_json = None;
+    let mut backend = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -63,11 +71,18 @@ fn parse_args() -> Result<Options, String> {
             "--profile-json" => {
                 profile_json = Some(args.next().ok_or("--profile-json needs a path")?);
             }
+            "--backend" => {
+                let name = args.next().ok_or("--backend needs a value")?;
+                backend = Some(
+                    thinlock::BackendChoice::from_name(&name)
+                        .ok_or_else(|| format!("--backend: unknown backend `{name}`"))?,
+                );
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|predict\
-                            |lockcheck|lockmc|profile] [--iters N] [--scale N] [--quick] \
-                            [--json PATH] [--profile-json PATH]"
+                    "usage: reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|churn\
+                            |predict|lockcheck|lockmc|profile] [--iters N] [--scale N] [--quick] \
+                            [--json PATH] [--profile-json PATH] [--backend <thin|cjm|tasuki>]"
                         .to_string(),
                 )
             }
@@ -83,6 +98,7 @@ fn parse_args() -> Result<Options, String> {
         scale,
         json,
         profile_json,
+        backend,
     })
 }
 
@@ -99,6 +115,7 @@ fn main() -> ExitCode {
         opts.iters,
         opts.scale,
         opts.profile_json.as_deref(),
+        opts.backend,
     ) {
         Ok(r) => r,
         Err(msg) => {

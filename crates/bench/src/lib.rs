@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use thinlock::config::{DynamicConfig, FastPathConfig, StaticMp, StaticUp};
-use thinlock::{TasukiLocks, ThinLocks};
+use thinlock::{BackendChoice, TasukiLocks, ThinLocks};
 use thinlock_baselines::{HotLocks, MonitorCache};
 use thinlock_runtime::arch::ArchProfile;
 use thinlock_runtime::error::SyncResult;
@@ -52,6 +52,9 @@ pub enum ProtocolKind {
     /// Deflating park-based variant (`thinlock::tasuki`), not part of the
     /// paper's figures; see DESIGN.md §8.
     Tasuki,
+    /// Compact Java Monitors (`thinlock::cjm`): deflation plus a bounded
+    /// recycling monitor pool; see BACKENDS.md.
+    Cjm,
 }
 
 impl ProtocolKind {
@@ -70,6 +73,18 @@ impl ProtocolKind {
         ProtocolKind::Tasuki,
     ];
 
+    /// Every protocol the workspace implements — the paper's three plus
+    /// both deflating extensions. The observational-equivalence matrix
+    /// (`tests/cross_protocol.rs`) and the concurrent macro replay run
+    /// over this set.
+    pub const ALL_BACKENDS: [ProtocolKind; 5] = [
+        ProtocolKind::ThinLock,
+        ProtocolKind::Jdk111,
+        ProtocolKind::Ibm112,
+        ProtocolKind::Tasuki,
+        ProtocolKind::Cjm,
+    ];
+
     /// Display name matching the paper.
     pub fn name(self) -> &'static str {
         match self {
@@ -77,6 +92,7 @@ impl ProtocolKind {
             ProtocolKind::Jdk111 => "JDK111",
             ProtocolKind::Ibm112 => "IBM112",
             ProtocolKind::Tasuki => "Tasuki",
+            ProtocolKind::Cjm => "CJM",
         }
     }
 
@@ -98,6 +114,7 @@ impl ProtocolKind {
                 thinlock_baselines::hot::DEFAULT_HOT_THRESHOLD,
             )),
             ProtocolKind::Tasuki => Box::new(TasukiLocks::new(heap, registry)),
+            ProtocolKind::Cjm => Box::new(thinlock::CjmLocks::new(heap, registry)),
         }
     }
 }
@@ -668,6 +685,107 @@ pub fn phased_ablation(private_iters: u32) -> PhasedAblation {
     }
 }
 
+/// Objects the churn workload rotates over (also the monitor-population
+/// ceiling a backend may not exceed during it).
+pub const CHURN_OBJECTS: usize = 8;
+
+/// Burst/private rounds the churn workload executes per repetition.
+pub const CHURN_ROUNDS: u32 = 64;
+
+/// Result of one monitor-churn run. See [`run_churn`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnRun {
+    /// Backend measured.
+    pub backend: BackendChoice,
+    /// Objects the rounds rotated over.
+    pub objects: usize,
+    /// Burst/private rounds executed per repetition.
+    pub rounds: u32,
+    /// Fastest private-phase cost, in ns per lock/unlock pair.
+    pub ns_per_op: f64,
+    /// Per-repetition ns-per-op samples, execution order.
+    pub samples: Vec<f64>,
+    /// Inflations one repetition performs (deterministic per backend).
+    pub inflations: u64,
+    /// Deflations one repetition performs (0 under one-way inflation).
+    pub deflations: u64,
+    /// Monitors still live when a repetition ends.
+    pub monitors_live: usize,
+    /// Peak simultaneous monitor population during a repetition.
+    pub monitors_peak: usize,
+}
+
+/// The monitor-churn workload: the access pattern where permanent
+/// inflation loses.
+///
+/// Each round picks the next object in a rotating set of `objects`,
+/// forces one wait-induced inflation burst on it (lock, timed `wait`,
+/// unlock — the paper's own inflation trigger), then runs
+/// `private_iters` single-threaded lock/unlock pairs on the same object
+/// with only the private phases timed. Under one-way inflation every
+/// object stays fat after its first burst, so all later private phases
+/// pay the monitor price and the monitor population climbs to the full
+/// object count. A deflating backend returns each object to its thin
+/// word when the burst quiesces: private phases run at thin-lock speed
+/// and at most one monitor is ever live.
+///
+/// Each repetition runs on a freshly built backend (the
+/// [`run_micro_sampled`] discipline), so the population counters are
+/// per-repetition and deterministic — `reproduce` gates them exactly.
+pub fn run_churn(
+    choice: BackendChoice,
+    objects: usize,
+    rounds: u32,
+    private_iters: u32,
+) -> ChurnRun {
+    assert!(objects >= 1 && rounds >= 1 && private_iters >= 1);
+    let mut counters = (0u64, 0u64, 0usize, 0usize);
+    let samples: Vec<f64> = (0..DEFAULT_REPS)
+        .map(|_| {
+            let locks = choice.build(objects);
+            let objs: Vec<ObjRef> = (0..objects)
+                .map(|_| locks.heap().alloc().expect("heap sized for churn set"))
+                .collect();
+            let reg = locks.registry().register().expect("registry has room");
+            let t = reg.token();
+            let mut busy = Duration::ZERO;
+            for round in 0..rounds {
+                let obj = objs[round as usize % objects];
+                locks.lock(obj, t).expect("burst lock");
+                locks
+                    .wait(obj, t, Some(Duration::from_micros(1)))
+                    .expect("timed wait");
+                locks.unlock(obj, t).expect("burst unlock");
+                let start = Instant::now();
+                for _ in 0..private_iters {
+                    locks.lock(obj, t).expect("private lock");
+                    locks.unlock(obj, t).expect("private unlock");
+                }
+                busy += start.elapsed();
+            }
+            counters = (
+                locks.inflation_count(),
+                locks.deflation_count(),
+                locks.monitors_live(),
+                locks.monitors_peak(),
+            );
+            busy.as_nanos() as f64 / (u64::from(rounds) * u64::from(private_iters)) as f64
+        })
+        .collect();
+    let ns_per_op = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    ChurnRun {
+        backend: choice,
+        objects,
+        rounds,
+        ns_per_op,
+        samples,
+        inflations: counters.0,
+        deflations: counters.1,
+        monitors_live: counters.2,
+        monitors_peak: counters.3,
+    }
+}
+
 /// One row of the nest-count-width ablation: for each candidate width,
 /// the worst-case fraction of lock operations (over all Table 1 traces)
 /// that would overflow and force an inflation.
@@ -753,7 +871,7 @@ pub fn concurrent_macro(
     config: &thinlock_trace::concurrent::ConcurrentConfig,
 ) -> SyncResult<Vec<(&'static str, Duration, bool)>> {
     let trace = thinlock_trace::concurrent::generate_concurrent(profile, config);
-    ProtocolKind::ALL_EXTENDED
+    ProtocolKind::ALL_BACKENDS
         .iter()
         .map(|&kind| {
             // Min-of-3 fresh-heap replays, like `run_macro`: a single
@@ -1082,6 +1200,31 @@ mod tests {
             r.private_phase_speedup() > 1.0,
             "deflated private phase must be faster: {r:?}"
         );
+    }
+
+    #[test]
+    fn churn_population_separates_thin_from_cjm() {
+        let thin = run_churn(BackendChoice::Thin, 4, 12, 50);
+        assert_eq!(
+            thin.monitors_live, 4,
+            "one-way inflation keeps every monitor"
+        );
+        assert_eq!(thin.monitors_peak, 4);
+        assert_eq!(
+            thin.inflations, 4,
+            "each object inflates once, then stays fat"
+        );
+        assert_eq!(thin.deflations, 0);
+
+        let cjm = run_churn(BackendChoice::Cjm, 4, 12, 50);
+        assert_eq!(cjm.monitors_live, 0, "every burst deflates back to neutral");
+        assert_eq!(
+            cjm.monitors_peak, 1,
+            "sequential bursts never stack monitors"
+        );
+        assert_eq!(cjm.inflations, 12, "every round re-inflates");
+        assert_eq!(cjm.deflations, 12);
+        assert!(cjm.ns_per_op > 0.0 && thin.ns_per_op > 0.0);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::{
 };
 
 /// Every section name `reproduce` accepts, in presentation order.
-pub const SECTIONS: [&str; 11] = [
+pub const SECTIONS: [&str; 12] = [
     "table1",
     "table2",
     "fig3",
@@ -27,11 +27,17 @@ pub const SECTIONS: [&str; 11] = [
     "fig5",
     "fig6",
     "ablations",
+    "churn",
     "predict",
     "lockcheck",
     "lockmc",
     "profile",
 ];
+
+/// The backends the `churn` section measures head-to-head when
+/// `reproduce` runs without `--backend`.
+pub const CHURN_BACKENDS: [thinlock::BackendChoice; 2] =
+    [thinlock::BackendChoice::Thin, thinlock::BackendChoice::Cjm];
 
 /// The canonical trace configuration every reproduction run uses: a
 /// fixed seed so trace-derived numbers are deterministic, scaled down by
@@ -364,6 +370,101 @@ fn fig6(iters: i32, out: &mut BenchReport) {
             ));
         }
         println!();
+    }
+}
+
+/// The monitor-churn head-to-head (BACKENDS.md): alternating
+/// wait-induced inflation bursts and private phases, where one-way
+/// inflation pays the monitor price forever and a deflating backend
+/// recovers thin-word speed. The population counters are deterministic
+/// (gated exactly); the per-op time is a micro cell.
+fn churn(iters: i32, backends: &[thinlock::BackendChoice], out: &mut BenchReport) {
+    heading("churn: repeated inflate/deflate cycles (monitor population and private-phase cost)");
+    let private_iters = (iters / 100).max(200) as u32;
+    println!(
+        "{} objects x {} rounds, {} private lock/unlock pairs per round:",
+        crate::CHURN_OBJECTS,
+        crate::CHURN_ROUNDS,
+        private_iters
+    );
+    let mut per_op = Vec::new();
+    for &choice in backends {
+        let run = crate::run_churn(
+            choice,
+            crate::CHURN_OBJECTS,
+            crate::CHURN_ROUNDS,
+            private_iters,
+        );
+        println!(
+            "  {:<7} {:>8.1} ns/op private | {:>4} inflations {:>4} deflations | monitors: peak {} live {}",
+            choice.name(),
+            run.ns_per_op,
+            run.inflations,
+            run.deflations,
+            run.monitors_peak,
+            run.monitors_live
+        );
+        per_op.push((choice, run.ns_per_op));
+        out.push(BenchRecord::timed(
+            format!("churn/{choice}/ns_per_op"),
+            "churn",
+            Some(choice.name()),
+            "ns_per_op",
+            GateClass::Micro,
+            &run.samples,
+        ));
+        out.push(BenchRecord::scalar(
+            format!("churn/{choice}/monitors_live"),
+            "churn",
+            Some(choice.name()),
+            "count",
+            GateClass::Exact,
+            Direction::LowerIsBetter,
+            run.monitors_live as f64,
+        ));
+        out.push(BenchRecord::scalar(
+            format!("churn/{choice}/inflations"),
+            "churn",
+            Some(choice.name()),
+            "count",
+            GateClass::Exact,
+            Direction::Informational,
+            run.inflations as f64,
+        ));
+        if choice.deflation_capable() {
+            out.push(BenchRecord::scalar(
+                format!("churn/{choice}/monitors_peak"),
+                "churn",
+                Some(choice.name()),
+                "count",
+                GateClass::Exact,
+                Direction::LowerIsBetter,
+                run.monitors_peak as f64,
+            ));
+            out.push(BenchRecord::scalar(
+                format!("churn/{choice}/deflations"),
+                "churn",
+                Some(choice.name()),
+                "count",
+                GateClass::Exact,
+                Direction::Informational,
+                run.deflations as f64,
+            ));
+        }
+    }
+    if let (Some(&(_, thin_ns)), Some(&(_, cjm_ns))) = (
+        per_op
+            .iter()
+            .find(|(c, _)| *c == thinlock::BackendChoice::Thin),
+        per_op
+            .iter()
+            .find(|(c, _)| *c == thinlock::BackendChoice::Cjm),
+    ) {
+        println!(
+            "  -> private phase after a burst: cjm runs {:.1}x the thin-word speed of a \
+             permanently fat lock (higher is better for deflation)",
+            thin_ns / cjm_ns.max(f64::MIN_POSITIVE)
+        );
     }
 }
 
@@ -724,6 +825,7 @@ fn lockcheck_races() {
 /// facts already pinned exactly by `tests/modelcheck_protocol.rs`, so
 /// gating them here would duplicate the test without adding signal.
 fn lockmc() {
+    use thinlock::BackendChoice;
     use thinlock_modelcheck::{reduction_factor, run_verify, Limits};
 
     heading("lockmc: exhaustive protocol model checking (DPOR)");
@@ -731,7 +833,7 @@ fn lockmc() {
         "  {:<22} {:>10} {:>10} {:>8}  verdict",
         "program", "naive", "dpor", "factor"
     );
-    let reports = run_verify(&Limits::exhaustive(), true);
+    let reports = run_verify(&Limits::exhaustive(), true, BackendChoice::Thin);
     for r in &reports {
         let naive = r.naive.as_ref().expect("naive baseline requested");
         println!(
@@ -823,6 +925,10 @@ fn profile_section(profile_json: Option<&str>, out: &mut BenchReport) -> Result<
 /// `profile` section as JSON (the bench report itself is the caller's to
 /// write — the `reproduce` binary does so under `--json`).
 ///
+/// `backend` narrows the `churn` section to one protocol (`reproduce
+/// --backend`); `None` runs the full [`CHURN_BACKENDS`] head-to-head,
+/// which is what the committed baseline and [`expected_ids`] describe.
+///
 /// # Errors
 ///
 /// An error string if the profile section's inflation-attribution
@@ -832,6 +938,7 @@ pub fn run_sections(
     iters: i32,
     scale: u64,
     profile_json: Option<&str>,
+    backend: Option<thinlock::BackendChoice>,
 ) -> Result<BenchReport, String> {
     let cfg = trace_config(scale);
     let all = sections.iter().any(|s| s == "all");
@@ -859,6 +966,12 @@ pub fn run_sections(
     }
     if want("ablations") {
         ablations(&cfg, iters, &mut out);
+    }
+    if want("churn") {
+        match backend {
+            Some(choice) => churn(iters, &[choice], &mut out),
+            None => churn(iters, &CHURN_BACKENDS, &mut out),
+        }
     }
     if want("predict") {
         predict(iters, &mut out);
@@ -945,8 +1058,18 @@ pub fn expected_ids() -> Vec<String> {
         ids.push(format!("ablations/spin/{name}"));
     }
     for name in CONCURRENT_BENCHES {
-        for kind in ProtocolKind::ALL_EXTENDED {
+        for kind in ProtocolKind::ALL_BACKENDS {
             ids.push(format!("ablations/concurrent/{name}/{}", kind.name()));
+        }
+    }
+
+    for choice in CHURN_BACKENDS {
+        ids.push(format!("churn/{choice}/ns_per_op"));
+        ids.push(format!("churn/{choice}/monitors_live"));
+        ids.push(format!("churn/{choice}/inflations"));
+        if choice.deflation_capable() {
+            ids.push(format!("churn/{choice}/monitors_peak"));
+            ids.push(format!("churn/{choice}/deflations"));
         }
     }
 

@@ -1,0 +1,228 @@
+//! Backend selection: one name-keyed constructor for every protocol the
+//! workspace implements, so harnesses (`reproduce --backend`, `chaos
+//! --backend`, `lockmc --backend`) build interchangeable
+//! [`SyncBackend`] trait objects from a CLI flag instead of hard-coding
+//! `ThinLocks`.
+//!
+//! ```
+//! use thinlock::BackendChoice;
+//!
+//! let choice = BackendChoice::from_name("cjm").expect("known backend");
+//! let locks = choice.build(16);
+//! assert_eq!(locks.name(), "CJM");
+//! assert!(locks.deflation_capable());
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use thinlock_runtime::backend::SyncBackend;
+use thinlock_runtime::events::TraceSink;
+use thinlock_runtime::fault::FaultInjector;
+use thinlock_runtime::schedule::Schedule;
+use thinlock_runtime::stats::LockStats;
+
+use crate::cjm::CjmLocks;
+use crate::tasuki::TasukiLocks;
+use crate::thin::ThinLocks;
+
+/// The protocols selectable by name from harness CLIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendChoice {
+    /// The paper's protocol: one-way inflation into a grow-only monitor
+    /// table ([`ThinLocks`]).
+    Thin,
+    /// Tasuki-style deflation on observed-quiet release, still over a
+    /// grow-only table ([`TasukiLocks`]).
+    Tasuki,
+    /// Compact Java Monitors: deflation plus a bounded recycling monitor
+    /// pool ([`CjmLocks`]).
+    Cjm,
+}
+
+/// Optional instrumentation threaded into a backend at construction.
+///
+/// The thin and CJM backends accept all four seams; the Tasuki baseline
+/// is an uninstrumented reference implementation, so seams passed with
+/// [`BackendChoice::Tasuki`] are ignored (harnesses that need a seam —
+/// the model checker, the chaos runner — restrict themselves to
+/// [`BackendChoice::schedulable`] choices).
+#[derive(Default)]
+pub struct BackendSeams {
+    /// Statistics counters (`ThinLocks::with_stats` discipline).
+    pub stats: Option<Arc<LockStats>>,
+    /// Event sink for the full transition stream.
+    pub trace_sink: Option<Arc<dyn TraceSink>>,
+    /// Fault injector for the chaos harness.
+    pub fault_injector: Option<Arc<dyn FaultInjector>>,
+    /// Cooperative schedule for the model checker.
+    pub schedule: Option<Arc<dyn Schedule>>,
+    /// Install the registry exit sweeper for orphaned-lock recovery.
+    pub orphan_recovery: bool,
+}
+
+impl fmt::Debug for BackendSeams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BackendSeams")
+            .field("stats", &self.stats.is_some())
+            .field("trace_sink", &self.trace_sink.is_some())
+            .field("fault_injector", &self.fault_injector.is_some())
+            .field("schedule", &self.schedule.is_some())
+            .field("orphan_recovery", &self.orphan_recovery)
+            .finish()
+    }
+}
+
+impl BackendChoice {
+    /// Every selectable backend, in CLI-listing order.
+    pub const ALL: [BackendChoice; 3] = [
+        BackendChoice::Thin,
+        BackendChoice::Tasuki,
+        BackendChoice::Cjm,
+    ];
+
+    /// Parses a CLI name (case-insensitive): `thin`, `tasuki`, `cjm`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "thin" => Some(BackendChoice::Thin),
+            "tasuki" => Some(BackendChoice::Tasuki),
+            "cjm" => Some(BackendChoice::Cjm),
+            _ => None,
+        }
+    }
+
+    /// The CLI name; [`BackendChoice::from_name`] round-trips it.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::Thin => "thin",
+            BackendChoice::Tasuki => "tasuki",
+            BackendChoice::Cjm => "cjm",
+        }
+    }
+
+    /// Whether this backend ever restores a fat word to neutral — picks
+    /// the invariant set the model checker enforces (one-way inflation
+    /// vs. deflation safety).
+    pub fn deflation_capable(self) -> bool {
+        match self {
+            BackendChoice::Thin => false,
+            BackendChoice::Tasuki | BackendChoice::Cjm => true,
+        }
+    }
+
+    /// Whether the backend honors all [`BackendSeams`] — the harnesses
+    /// that depend on a seam (model checking needs `schedule`, chaos
+    /// needs `fault_injector`) only offer these choices.
+    pub fn schedulable(self) -> bool {
+        !matches!(self, BackendChoice::Tasuki)
+    }
+
+    /// Builds an uninstrumented backend over a fresh heap of `capacity`
+    /// objects.
+    pub fn build(self, capacity: usize) -> Arc<dyn SyncBackend + Send + Sync> {
+        self.build_with(capacity, BackendSeams::default())
+    }
+
+    /// Builds a backend with instrumentation seams attached (see
+    /// [`BackendSeams`] for the Tasuki caveat).
+    pub fn build_with(
+        self,
+        capacity: usize,
+        seams: BackendSeams,
+    ) -> Arc<dyn SyncBackend + Send + Sync> {
+        match self {
+            BackendChoice::Thin => {
+                let mut p = ThinLocks::with_capacity(capacity);
+                if let Some(stats) = seams.stats {
+                    p = p.with_stats(stats);
+                }
+                if let Some(sink) = seams.trace_sink {
+                    p = p.with_trace_sink(sink);
+                }
+                if let Some(injector) = seams.fault_injector {
+                    p = p.with_fault_injector(injector);
+                }
+                if let Some(schedule) = seams.schedule {
+                    p = p.with_schedule(schedule);
+                }
+                if seams.orphan_recovery {
+                    p = p.with_orphan_recovery();
+                }
+                Arc::new(p)
+            }
+            BackendChoice::Tasuki => Arc::new(TasukiLocks::with_capacity(capacity)),
+            BackendChoice::Cjm => {
+                let mut p = CjmLocks::with_capacity(capacity);
+                if let Some(stats) = seams.stats {
+                    p = p.with_stats(stats);
+                }
+                if let Some(sink) = seams.trace_sink {
+                    p = p.with_trace_sink(sink);
+                }
+                if let Some(injector) = seams.fault_injector {
+                    p = p.with_fault_injector(injector);
+                }
+                if let Some(schedule) = seams.schedule {
+                    p = p.with_schedule(schedule);
+                }
+                if seams.orphan_recovery {
+                    p = p.with_orphan_recovery();
+                }
+                Arc::new(p)
+            }
+        }
+    }
+}
+
+impl fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for choice in BackendChoice::ALL {
+            assert_eq!(BackendChoice::from_name(choice.name()), Some(choice));
+        }
+        assert_eq!(BackendChoice::from_name("CJM"), Some(BackendChoice::Cjm));
+        assert_eq!(BackendChoice::from_name("nope"), None);
+    }
+
+    #[test]
+    fn built_backends_lock_and_report_capability() {
+        for choice in BackendChoice::ALL {
+            let locks = choice.build(4);
+            assert_eq!(locks.deflation_capable(), choice.deflation_capable());
+            let r = locks.registry().register().unwrap();
+            let t = r.token();
+            let obj = locks.heap().alloc().unwrap();
+            locks.lock(obj, t).unwrap();
+            assert!(locks.holds_lock(obj, t));
+            assert_eq!(locks.owner_of(obj), Some(t.index()));
+            locks.unlock(obj, t).unwrap();
+            assert_eq!(locks.owner_of(obj), None, "{choice}");
+        }
+    }
+
+    #[test]
+    fn seams_thread_through_instrumented_backends() {
+        let stats = Arc::new(LockStats::new());
+        let seams = BackendSeams {
+            stats: Some(Arc::clone(&stats)),
+            orphan_recovery: true,
+            ..BackendSeams::default()
+        };
+        let locks = BackendChoice::Cjm.build_with(4, seams);
+        let r = locks.registry().register().unwrap();
+        let t = r.token();
+        let obj = locks.heap().alloc().unwrap();
+        locks.lock(obj, t).unwrap();
+        locks.unlock(obj, t).unwrap();
+        assert_eq!(stats.snapshot().scenario_counts[0], 1);
+    }
+}

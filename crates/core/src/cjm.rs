@@ -1,0 +1,1524 @@
+//! Compact Java Monitors: thin locks with *deflation* and a bounded,
+//! recycling monitor pool.
+//!
+//! The paper's protocol inflates one-way: once an object's lock word
+//! points at a fat monitor, it points there until the heap dies
+//! (Section 2.3.4 — "the lock will stay inflated for the rest of the
+//! object's lifetime"). That is the right trade for the paper's
+//! workloads, but under *churn* — millions of short-lived objects that
+//! each see one burst of contention or a single `wait`/`notify` — the
+//! monitor population only ever grows. Compact Java Monitors (Dice &
+//! Kogan, arXiv:2102.04188) restore the neutral word when a monitor
+//! quiesces, so the pool of monitors tracks the number of *currently
+//! contended* objects instead of the number ever contended.
+//!
+//! State machine of one object's lock word:
+//!
+//! ```text
+//!             CAS                       store
+//!  Unlocked ───────► Thin(me, 0)  ◄───────────┐
+//!     ▲                 │   ▲                 │
+//!     │ store           │add│sub              │
+//!     ├─────────────────┤   └── Thin(me, n) ──┘
+//!     │                 │
+//!     │   contention / overflow / wait-notify
+//!     │                 ▼
+//!     └─────────── Fat(monitor)
+//!       deflate: sole quiescent owner releases
+//! ```
+//!
+//! The invariants (checked by the tests here and the model checker's
+//! deflation-safety mode):
+//!
+//! * **Owner-only writes**, exactly as in the thin protocol — including
+//!   the deflating store, which only the monitor's sole owner performs.
+//! * **Deflation safety:** a monitor is deflated only while its owner
+//!   holds it exactly once with an empty entry queue and an empty wait
+//!   set, snapshotted atomically
+//!   ([`FatLock::is_sole_quiescent_owner`]). Threads that enqueue
+//!   *after* the snapshot revalidate the lock word once they acquire
+//!   the monitor and retry if it moved on.
+//! * **Bounded population:** monitors come from a recycling
+//!   [`MonitorPool`]; a deflated slot returns to the free list, so the
+//!   live population is bounded by the number of simultaneously
+//!   inflated objects, not by the total ever inflated.
+//!
+//! # The deflate / re-inflate races
+//!
+//! Deflation opens two races one-way inflation never has, both resolved
+//! by *revalidation after acquisition*:
+//!
+//! 1. **Deflate vs. concurrent acquire.** A contender reads a fat word,
+//!    queues on the monitor, and parks; meanwhile the owner deflates
+//!    (the contender enqueued after the quiescence snapshot) and the
+//!    releasing `unlock` wakes it. On waking it owns a monitor that no
+//!    longer backs the object, detects the stale word, releases the
+//!    monitor (waking anyone queued behind it), and retries on the
+//!    fresh word.
+//! 2. **Recycled-slot ABA.** The stale monitor may have been re-bound
+//!    to a *different* object by the time the contender acquires it.
+//!    The pool therefore tracks a per-slot object binding, published
+//!    before the fat word and cleared before the slot is freed:
+//!    revalidation accepts the acquisition only if the word still
+//!    carries this index *and* the slot is still bound to this object.
+//!    A transient foreign acquisition is harmless — the mistaken holder
+//!    releases immediately and never blocks while holding.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use thinlock_monitor::{FatLock, MonitorPool};
+use thinlock_runtime::arch::LockWordCell;
+use thinlock_runtime::backend::{MonitorProbe, SyncBackend};
+use thinlock_runtime::backoff::Backoff;
+use thinlock_runtime::error::{SyncError, SyncResult};
+use thinlock_runtime::events::{TraceEventKind, TraceSink};
+use thinlock_runtime::fault::{FaultAction, FaultInjector, InjectionPoint};
+use thinlock_runtime::heap::{Heap, ObjRef};
+use thinlock_runtime::lockword::{LockWord, MonitorIndex, ThreadIndex, MAX_THIN_COUNT};
+use thinlock_runtime::protocol::{SyncProtocol, WaitOutcome};
+use thinlock_runtime::registry::{ExitSweeper, ThreadRecord, ThreadRegistry, ThreadToken};
+use thinlock_runtime::schedule::{SchedPoint, Schedule};
+use thinlock_runtime::stats::{InflationCause, LockScenario, LockStats};
+
+use crate::config::{DynamicConfig, FastPathConfig, UnlockStrategy};
+
+/// Nesting depth at or below which an acquisition counts as "shallow" in
+/// the statistics (Section 3.2 of the paper).
+const SHALLOW_DEPTH: u32 = 4;
+
+/// The Compact-Java-Monitors protocol: the thin-lock fast path, plus
+/// deflation back to the neutral word when a monitor quiesces, over a
+/// bounded recycling [`MonitorPool`].
+///
+/// # Example — the deflation lifecycle
+///
+/// A `wait`-style inflation is undone by the final quiet release, and
+/// the monitor slot is recycled:
+///
+/// ```
+/// use thinlock::CjmLocks;
+/// use thinlock_runtime::{SyncBackend, SyncProtocol};
+///
+/// let locks = CjmLocks::with_capacity(8);
+/// let reg = locks.registry().register()?;
+/// let t = reg.token();
+/// let obj = locks.heap().alloc()?;
+///
+/// locks.lock(obj, t)?;
+/// locks.notify(obj, t)?;                  // wait/notify forces inflation
+/// assert!(locks.probe_word(obj).is_fat());
+/// assert_eq!(locks.monitors_live(), 1);
+///
+/// locks.unlock(obj, t)?;                  // sole quiescent owner: deflate
+/// assert!(locks.probe_word(obj).is_unlocked());
+/// assert_eq!(locks.monitors_live(), 0);
+/// assert_eq!(locks.deflation_count(), 1);
+///
+/// // The next churn round reuses the same slot instead of growing.
+/// locks.lock(obj, t)?;
+/// locks.notify(obj, t)?;
+/// locks.unlock(obj, t)?;
+/// assert_eq!(locks.monitors_peak(), 1, "population bounded by churn width");
+/// assert_eq!(locks.monitors_allocated(), 2, "but allocations keep counting");
+/// # Ok::<(), thinlock_runtime::SyncError>(())
+/// ```
+pub struct CjmLocks {
+    heap: Arc<Heap>,
+    registry: ThreadRegistry,
+    pool: Arc<MonitorPool>,
+    config: DynamicConfig,
+    stats: Option<Arc<LockStats>>,
+    tracer: Option<Arc<dyn TraceSink>>,
+    injector: Option<Arc<dyn FaultInjector>>,
+    schedule: Option<Arc<dyn Schedule>>,
+    inflations: AtomicU64,
+    deflations: AtomicU64,
+}
+
+impl CjmLocks {
+    /// Creates a protocol over a fresh heap of `capacity` objects, with
+    /// the monitor pool bound equal to the heap capacity (every object
+    /// simultaneously inflated is the worst case, so acquisition can
+    /// only fail on pool exhaustion if something leaks).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::new(
+            Arc::new(Heap::with_capacity(capacity)),
+            ThreadRegistry::new(),
+        )
+    }
+
+    /// Creates a protocol over an existing heap and registry, pool bound
+    /// equal to the heap capacity.
+    pub fn new(heap: Arc<Heap>, registry: ThreadRegistry) -> Self {
+        let bound = heap.capacity();
+        Self::with_monitor_bound(heap, registry, bound)
+    }
+
+    /// Creates a protocol with an explicit monitor-pool bound — the hard
+    /// ceiling on simultaneously live monitors. A bound below the number
+    /// of simultaneously contended objects makes inflation fail with
+    /// [`SyncError::MonitorIndexExhausted`]; contention inflation
+    /// tolerates that (contenders keep spinning), `wait`/`notify`
+    /// surface it to the caller.
+    pub fn with_monitor_bound(heap: Arc<Heap>, registry: ThreadRegistry, bound: usize) -> Self {
+        CjmLocks {
+            heap,
+            registry,
+            pool: Arc::new(MonitorPool::with_capacity(bound)),
+            config: DynamicConfig::default(),
+            stats: None,
+            tracer: None,
+            injector: None,
+            schedule: None,
+            inflations: AtomicU64::new(0),
+            deflations: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches statistics counters (same discipline as
+    /// `ThinLocks::with_stats`).
+    #[must_use]
+    pub fn with_stats(mut self, stats: Arc<LockStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// The attached statistics, if any.
+    pub fn stats(&self) -> Option<&LockStats> {
+        self.stats.as_deref()
+    }
+
+    /// Attaches an event sink; every transition — including
+    /// [`TraceEventKind::Deflated`] — streams through it, and the pool
+    /// emits [`TraceEventKind::MonitorAllocated`] on every slot
+    /// acquisition, recycled slots included.
+    #[must_use]
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.pool.set_sink(Arc::clone(&sink));
+        self.tracer = Some(sink);
+        self
+    }
+
+    /// Attaches a fault injector, propagated into the pool (stamped into
+    /// every fat lock it creates) and the heap.
+    #[must_use]
+    pub fn with_fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.pool.set_fault_injector(Arc::clone(&injector));
+        self.heap.set_fault_injector(Arc::clone(&injector));
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Attaches a cooperative schedule, propagated into the pool. On top
+    /// of the thin protocol's points this backend passes through
+    /// [`SchedPoint::Deflate`] between the quiescence decision and the
+    /// deflating store — the window the deflation-safety invariant
+    /// probes.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Arc<dyn Schedule>) -> Self {
+        self.pool.set_schedule(Arc::clone(&schedule));
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Installs the orphaned-lock sweeper (see
+    /// `ThinLocks::with_orphan_recovery`); dead owners of pooled
+    /// monitors are reclaimed the same way, and the freed monitor is
+    /// left live for the next release or [`CjmLocks::reclaim_idle`] pass
+    /// to deflate.
+    #[must_use]
+    pub fn with_orphan_recovery(self) -> Self {
+        self.enable_orphan_recovery();
+        self
+    }
+
+    /// Non-consuming form of [`CjmLocks::with_orphan_recovery`].
+    pub fn enable_orphan_recovery(&self) {
+        self.registry.set_exit_sweeper(Arc::new(CjmOrphanSweeper {
+            heap: Arc::clone(&self.heap),
+            pool: Arc::clone(&self.pool),
+            tracer: self.tracer.clone(),
+            injector: self.injector.clone(),
+            config: self.config,
+        }));
+    }
+
+    /// The monitor pool — population gauges for benchmarks and tests.
+    pub fn pool(&self) -> &MonitorPool {
+        &self.pool
+    }
+
+    /// The raw lock word of `obj` — diagnostics and tests.
+    pub fn lock_word(&self, obj: ObjRef) -> LockWord {
+        self.cell(obj).load_relaxed()
+    }
+
+    #[inline]
+    fn cell(&self, obj: ObjRef) -> &LockWordCell {
+        self.heap.header(obj).lock_word()
+    }
+
+    #[inline]
+    fn obj_index(obj: ObjRef) -> u32 {
+        u32::try_from(obj.index()).expect("heap index fits in 32 bits")
+    }
+
+    #[inline]
+    fn record_lock(&self, scenario: LockScenario, depth: u32) {
+        if let Some(s) = &self.stats {
+            s.record_lock(scenario, depth);
+        }
+    }
+
+    #[inline]
+    fn emit(&self, thread: Option<ThreadIndex>, obj: Option<ObjRef>, kind: TraceEventKind) {
+        if let Some(sink) = &self.tracer {
+            sink.record(thread, obj, kind);
+        }
+    }
+
+    #[inline]
+    fn inject(&self, point: InjectionPoint) -> FaultAction {
+        match &self.injector {
+            None => FaultAction::Proceed,
+            Some(injector) => injector.decide(point),
+        }
+    }
+
+    #[inline]
+    fn reach(&self, point: SchedPoint, obj: ObjRef) {
+        if let Some(s) = &self.schedule {
+            let _ = s.reached(point, Some(obj));
+        }
+    }
+
+    /// Resolves the fat lock of an inflated word (the slot may already
+    /// be recycled — callers revalidate after acquiring).
+    fn monitor_of(&self, word: LockWord) -> Option<(MonitorIndex, &FatLock)> {
+        let idx = word.monitor_index()?;
+        Some((idx, self.pool.get(idx)?))
+    }
+
+    /// The fat monitor currently backing `obj`, if its word is fat.
+    pub fn monitor_for(&self, obj: ObjRef) -> Option<&FatLock> {
+        let word = self.cell(obj).load_acquire();
+        if word.is_fat() {
+            self.monitor_of(word).map(|(_, m)| m)
+        } else {
+            None
+        }
+    }
+
+    /// True if the acquisition of `monitor` (slot `idx`) still stands
+    /// for `obj`: the word still carries this index and the slot is
+    /// still bound to this object. Evaluated *while holding* the
+    /// monitor, so a `true` answer cannot be invalidated concurrently —
+    /// deflation requires sole ownership.
+    fn revalidate(&self, obj: ObjRef, word: LockWord, idx: MonitorIndex) -> bool {
+        self.cell(obj).load_acquire() == word
+            && self.pool.binding(idx) == Some(Self::obj_index(obj))
+    }
+
+    /// Owner-only inflation: replaces the thin word the caller holds
+    /// `locks` times with a pooled fat monitor owned the same number of
+    /// times. The slot may be recycled and transiently held by a stale
+    /// acquirer, so adoption goes through the monitor's queue
+    /// (`lock_n`) instead of constructing a pre-owned monitor.
+    fn inflate_owned(
+        &self,
+        obj: ObjRef,
+        t: ThreadToken,
+        locks: u32,
+        cause: InflationCause,
+    ) -> SyncResult<&FatLock> {
+        self.reach(SchedPoint::Inflate, obj);
+        if self.inject(InjectionPoint::Inflate) == FaultAction::Yield {
+            std::thread::yield_now();
+        }
+        let idx = self.pool.acquire(Self::obj_index(obj))?;
+        let monitor = self.pool.get(idx).expect("acquired slot resolves");
+        if let Err(e) = monitor.lock_n(t, locks, &self.registry) {
+            // Adoption failed (stale token): unbind and return the slot
+            // before anyone can see it.
+            self.pool.release(idx);
+            return Err(e);
+        }
+        let cell = self.cell(obj);
+        let current = cell.load_relaxed();
+        debug_assert_eq!(
+            current.thin_owner().map(ThreadIndex::get),
+            Some(t.index().get())
+        );
+        cell.store_release(current.inflated(idx));
+        self.inflations.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = &self.stats {
+            s.record_inflation(cause);
+        }
+        self.emit(
+            Some(t.index()),
+            Some(obj),
+            TraceEventKind::Inflated { cause },
+        );
+        Ok(monitor)
+    }
+
+    /// The deflating release: the caller holds `monitor` as its sole
+    /// quiescent owner. Restores the neutral word *before* releasing the
+    /// monitor (a contender that acquired first would pass revalidation
+    /// against a monitor about to be unbound), then frees the slot.
+    fn deflate_and_release(
+        &self,
+        obj: ObjRef,
+        idx: MonitorIndex,
+        monitor: &FatLock,
+        t: ThreadToken,
+    ) -> SyncResult<()> {
+        self.reach(SchedPoint::Deflate, obj);
+        if self.inject(InjectionPoint::UnlockStore) == FaultAction::Yield {
+            // Deschedule between the quiescence decision and the
+            // deflating store — the window in which fresh contenders can
+            // still enqueue (they revalidate and retry; the chaos suite
+            // leans on this).
+            std::thread::yield_now();
+        }
+        let cell = self.cell(obj);
+        let current = cell.load_relaxed();
+        debug_assert!(current.is_fat(), "only the sole owner deflates");
+        cell.store_release(current.with_lock_field_clear());
+        self.deflations.fetch_add(1, Ordering::Relaxed);
+        self.emit(
+            Some(t.index()),
+            Some(obj),
+            TraceEventKind::Deflated { index: idx.get() },
+        );
+        // Release wakes the front of the entry queue, if any contender
+        // slipped in after the snapshot; it will revalidate and retry.
+        let r = monitor.unlock(t, &self.registry);
+        debug_assert!(r.is_ok(), "sole owner release cannot fail");
+        self.pool.release(idx);
+        if let Some(s) = &self.stats {
+            s.record_unlock_fat();
+        }
+        self.emit(Some(t.index()), Some(obj), TraceEventKind::UnlockFat);
+        r
+    }
+
+    /// The complete lock algorithm — the thin fast path is bit-for-bit
+    /// the paper's (Section 2.3), only the slow path differs.
+    #[inline]
+    fn lock_impl(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        let profile = self.config.profile();
+        let cell = self.cell(obj);
+
+        let old = cell.load_relaxed().with_lock_field_clear();
+        let new = LockWord::from_bits(old.bits() | t.shifted());
+        self.reach(SchedPoint::LockFast, obj);
+        let fast = match self.inject(InjectionPoint::LockFastCas) {
+            FaultAction::FailCas => false,
+            FaultAction::Yield => {
+                std::thread::yield_now();
+                true
+            }
+            _ => true,
+        };
+        if fast && cell.try_cas(old, new, profile).is_ok() {
+            self.record_lock(LockScenario::Unlocked, 1);
+            self.emit(Some(t.index()), Some(obj), TraceEventKind::AcquireUnlocked);
+            return Ok(());
+        }
+
+        let word = cell.load_relaxed();
+        if word.can_nest(t.shifted()) {
+            self.reach(SchedPoint::LockNest, obj);
+            cell.store_relaxed(word.with_count_incremented());
+            let depth = u32::from(word.thin_count()) + 2;
+            self.record_lock(
+                if depth <= SHALLOW_DEPTH {
+                    LockScenario::NestedShallow
+                } else {
+                    LockScenario::NestedDeep
+                },
+                depth,
+            );
+            self.emit(
+                Some(t.index()),
+                Some(obj),
+                TraceEventKind::AcquireNested { depth },
+            );
+            return Ok(());
+        }
+
+        self.lock_slow(obj, t, word)
+    }
+
+    /// Slow path: count overflow, inflated locks (with revalidation),
+    /// and contention.
+    #[inline(never)]
+    fn lock_slow(&self, obj: ObjRef, t: ThreadToken, mut word: LockWord) -> SyncResult<()> {
+        let profile = self.config.profile();
+        let cell = self.cell(obj);
+        let mut backoff = Backoff::with_policy(self.config.spin_policy());
+        let mut spun = false;
+        let mut waiting = BlockedOnGuard(None);
+        loop {
+            if word.is_fat() {
+                let Some((idx, monitor)) = self.monitor_of(word) else {
+                    word = cell.load_acquire();
+                    continue;
+                };
+                let (depth, contended) = match monitor.lock_uncontended(t) {
+                    Some(depth) => (depth, depth > 1),
+                    None => {
+                        waiting.publish(&self.registry, t, obj);
+                        monitor.lock(t, &self.registry)?;
+                        (monitor.count(), true)
+                    }
+                };
+                // A re-entrant acquisition (depth > 1) needs no check:
+                // we already held the monitor, so the word cannot have
+                // deflated. A fresh one must revalidate against
+                // deflate-and-recycle.
+                if depth == 1 && !self.revalidate(obj, word, idx) {
+                    let r = monitor.unlock(t, &self.registry);
+                    debug_assert!(r.is_ok());
+                    // Advisory spin point so a serializing scheduler
+                    // regains control on every retry.
+                    self.reach(SchedPoint::LockSpin, obj);
+                    word = cell.load_acquire();
+                    continue;
+                }
+                if let Some(s) = &self.stats {
+                    s.record_lock(
+                        if depth > 1 {
+                            if depth <= SHALLOW_DEPTH {
+                                LockScenario::NestedShallow
+                            } else {
+                                LockScenario::NestedDeep
+                            }
+                        } else if contended {
+                            LockScenario::FatContended
+                        } else {
+                            LockScenario::FatUncontended
+                        },
+                        depth,
+                    );
+                    s.record_spin_rounds(backoff.rounds());
+                }
+                self.emit(
+                    Some(t.index()),
+                    Some(obj),
+                    TraceEventKind::AcquireFat { contended },
+                );
+                return Ok(());
+            }
+
+            if word.is_thin_owned_by(t.shifted()) {
+                debug_assert_eq!(u32::from(word.thin_count()), MAX_THIN_COUNT);
+                let locks = u32::from(word.thin_count()) + 1 + 1;
+                self.emit(
+                    Some(t.index()),
+                    Some(obj),
+                    TraceEventKind::AcquireNested { depth: locks },
+                );
+                self.inflate_owned(obj, t, locks, InflationCause::CountOverflow)?;
+                self.record_lock(LockScenario::NestedDeep, locks);
+                return Ok(());
+            }
+
+            if word.is_unlocked() {
+                let new = LockWord::from_bits(word.bits() | t.shifted());
+                self.reach(SchedPoint::LockSlowCas, obj);
+                let attempt = match self.inject(InjectionPoint::LockSlowCas) {
+                    FaultAction::FailCas => false,
+                    FaultAction::Yield => {
+                        std::thread::yield_now();
+                        true
+                    }
+                    _ => true,
+                };
+                if attempt && cell.try_cas(word, new, profile).is_ok() {
+                    if spun {
+                        let rounds = u32::try_from(backoff.rounds()).unwrap_or(u32::MAX);
+                        self.emit(
+                            Some(t.index()),
+                            Some(obj),
+                            TraceEventKind::AcquireContendedThin {
+                                spin_rounds: rounds,
+                            },
+                        );
+                        // Post-contention inflation is an optimization;
+                        // a full pool keeps the thin lock and lets the
+                        // next contender spin.
+                        match self.inflate_owned(obj, t, 1, InflationCause::Contention) {
+                            Ok(_) | Err(SyncError::MonitorIndexExhausted) => {}
+                            Err(e) => return Err(e),
+                        }
+                        self.record_lock(LockScenario::ContendedThin, 1);
+                        if let Some(s) = &self.stats {
+                            s.record_spin_rounds(backoff.rounds());
+                        }
+                    } else {
+                        self.record_lock(LockScenario::Unlocked, 1);
+                        self.emit(Some(t.index()), Some(obj), TraceEventKind::AcquireUnlocked);
+                    }
+                    return Ok(());
+                }
+                word = cell.load_acquire();
+                continue;
+            }
+
+            spun = true;
+            waiting.publish(&self.registry, t, obj);
+            self.reach(SchedPoint::LockSpin, obj);
+            if self.inject(InjectionPoint::LockSpin) == FaultAction::Yield {
+                std::thread::yield_now();
+            }
+            backoff.snooze();
+            word = cell.load_acquire();
+        }
+    }
+
+    /// The complete unlock algorithm; identical to the thin protocol's
+    /// until the fat release, which deflates when quiescent.
+    #[inline]
+    fn unlock_impl(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        let profile = self.config.profile();
+        let cell = self.cell(obj);
+        let word = cell.load_relaxed();
+
+        if word.is_locked_once_by(t.shifted()) {
+            self.reach(SchedPoint::UnlockThin, obj);
+            if self.inject(InjectionPoint::UnlockStore) == FaultAction::Yield {
+                std::thread::yield_now();
+            }
+            let restored = word.with_lock_field_clear();
+            match self.config.unlock_strategy() {
+                UnlockStrategy::Store => cell.store_unlock(restored, profile),
+                UnlockStrategy::CompareAndSwap => {
+                    let r = cell.try_cas_release(word, restored, profile);
+                    debug_assert!(r.is_ok(), "owner-only discipline violated");
+                }
+            }
+            if let Some(s) = &self.stats {
+                s.record_unlock_thin();
+            }
+            self.emit(Some(t.index()), Some(obj), TraceEventKind::UnlockThin);
+            return Ok(());
+        }
+
+        if word.is_thin_owned_by(t.shifted()) {
+            debug_assert!(word.thin_count() > 0);
+            self.reach(SchedPoint::UnlockNest, obj);
+            cell.store_relaxed(word.with_count_decremented());
+            if let Some(s) = &self.stats {
+                s.record_unlock_thin();
+            }
+            self.emit(Some(t.index()), Some(obj), TraceEventKind::UnlockThin);
+            return Ok(());
+        }
+
+        self.unlock_slow(obj, t, word)
+    }
+
+    #[inline(never)]
+    fn unlock_slow(&self, obj: ObjRef, t: ThreadToken, word: LockWord) -> SyncResult<()> {
+        if word.is_fat() {
+            let Some((idx, monitor)) = self.monitor_of(word) else {
+                // A fat word always resolves while its owner holds it;
+                // reaching here means the caller does not own the lock.
+                return Err(SyncError::NotOwner);
+            };
+            // Deflate iff we are the sole quiescent owner — one atomic
+            // snapshot; see FatLock::is_sole_quiescent_owner for why the
+            // check cannot be three separate reads.
+            if monitor.is_sole_quiescent_owner(t) {
+                return self.deflate_and_release(obj, idx, monitor, t);
+            }
+            self.reach(SchedPoint::FatUnlock, obj);
+            let r = monitor.unlock(t, &self.registry);
+            if r.is_ok() {
+                if let Some(s) = &self.stats {
+                    s.record_unlock_fat();
+                }
+                self.emit(Some(t.index()), Some(obj), TraceEventKind::UnlockFat);
+            }
+            return r;
+        }
+        if word.is_unlocked() {
+            Err(SyncError::NotLocked)
+        } else {
+            Err(SyncError::NotOwner)
+        }
+    }
+
+    /// Idle-scan reclaimer: walks the heap and deflates every fat word
+    /// whose monitor is free and quiescent, returning the number of
+    /// monitors reclaimed. The normal release path already deflates, so
+    /// this only finds monitors stranded live by an abnormal path — an
+    /// orphan sweep that reclaimed a dead owner, or a notify storm that
+    /// drained without a final quiet release. Run it from a maintenance
+    /// thread the way a JVM would run its monitor-deflation safepoint
+    /// pass.
+    pub fn reclaim_idle(&self, t: ThreadToken) -> usize {
+        let mut reclaimed = 0;
+        for obj in self.heap.iter() {
+            let word = self.cell(obj).load_acquire();
+            if !word.is_fat() {
+                continue;
+            }
+            let Some((idx, monitor)) = self.monitor_of(word) else {
+                continue;
+            };
+            // Try to become the owner without blocking; holding the
+            // monitor freezes deflation state, then the usual
+            // revalidate-and-quiesce check decides.
+            if !monitor.try_lock(t) {
+                continue;
+            }
+            if self.revalidate(obj, word, idx) && monitor.is_sole_quiescent_owner(t) {
+                if self.deflate_and_release(obj, idx, monitor, t).is_ok() {
+                    reclaimed += 1;
+                }
+            } else {
+                let _ = monitor.unlock(t, &self.registry);
+            }
+        }
+        reclaimed
+    }
+
+    /// Pre-inflates `obj` with an unowned pooled monitor (the receiving
+    /// end of a `lockcheck` hint). Under this backend the hint is
+    /// advisory twice over: the first quiet release deflates the monitor
+    /// again, which is exactly the backend's contract.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::MonitorIndexExhausted`] if the pool is at its bound.
+    pub fn pre_inflate(&self, obj: ObjRef) -> SyncResult<bool> {
+        let cell = self.cell(obj);
+        let word = cell.load_relaxed();
+        if !word.is_unlocked() {
+            return Ok(false);
+        }
+        let idx = self.pool.acquire(Self::obj_index(obj))?;
+        let inflated = word.inflated(idx);
+        if cell.try_cas(word, inflated, self.config.profile()).is_ok() {
+            self.inflations.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = &self.stats {
+                s.record_inflation(InflationCause::Hint);
+            }
+            self.emit(
+                None,
+                Some(obj),
+                TraceEventKind::Inflated {
+                    cause: InflationCause::Hint,
+                },
+            );
+            Ok(true)
+        } else {
+            // Lost the installing race: unlike the one-way table, the
+            // pool takes the slot back instead of leaking it.
+            self.pool.release(idx);
+            Ok(false)
+        }
+    }
+
+    /// Ensures `obj`'s lock is fat, inflating if the caller holds it
+    /// thin. While the caller owns the resolved monitor the word cannot
+    /// deflate, so no revalidation loop is needed here.
+    fn require_fat(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<&FatLock> {
+        let word = self.cell(obj).load_acquire();
+        if word.is_fat() {
+            let Some((_, monitor)) = self.monitor_of(word) else {
+                return Err(SyncError::NotLocked);
+            };
+            if !monitor.holds(t) {
+                return Err(if monitor.owner().is_some() {
+                    SyncError::NotOwner
+                } else {
+                    SyncError::NotLocked
+                });
+            }
+            return Ok(monitor);
+        }
+        if word.is_thin_owned_by(t.shifted()) {
+            let locks = u32::from(word.thin_count()) + 1;
+            return self.inflate_owned(obj, t, locks, InflationCause::WaitNotify);
+        }
+        if word.is_unlocked() {
+            Err(SyncError::NotLocked)
+        } else {
+            Err(SyncError::NotOwner)
+        }
+    }
+
+    /// One non-blocking acquisition attempt. The fat branch loops only
+    /// to absorb deflate/re-inflate transitions observed mid-attempt.
+    fn try_lock_impl(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<bool> {
+        let profile = self.config.profile();
+        let cell = self.cell(obj);
+
+        let old = cell.load_relaxed().with_lock_field_clear();
+        let new = LockWord::from_bits(old.bits() | t.shifted());
+        let fast = match self.inject(InjectionPoint::LockFastCas) {
+            FaultAction::FailCas => false,
+            FaultAction::Yield => {
+                std::thread::yield_now();
+                true
+            }
+            _ => true,
+        };
+        if fast && cell.try_cas(old, new, profile).is_ok() {
+            self.record_lock(LockScenario::Unlocked, 1);
+            self.emit(Some(t.index()), Some(obj), TraceEventKind::AcquireUnlocked);
+            return Ok(true);
+        }
+
+        loop {
+            let word = cell.load_relaxed();
+            if word.can_nest(t.shifted()) {
+                cell.store_relaxed(word.with_count_incremented());
+                let depth = u32::from(word.thin_count()) + 2;
+                self.record_lock(
+                    if depth <= SHALLOW_DEPTH {
+                        LockScenario::NestedShallow
+                    } else {
+                        LockScenario::NestedDeep
+                    },
+                    depth,
+                );
+                self.emit(
+                    Some(t.index()),
+                    Some(obj),
+                    TraceEventKind::AcquireNested { depth },
+                );
+                return Ok(true);
+            }
+
+            if word.is_fat() {
+                let Some((idx, monitor)) = self.monitor_of(word) else {
+                    continue;
+                };
+                let contended = monitor.owner().is_some();
+                if !monitor.try_lock(t) {
+                    return Ok(false);
+                }
+                let depth = monitor.count();
+                if depth == 1 && !self.revalidate(obj, word, idx) {
+                    let r = monitor.unlock(t, &self.registry);
+                    debug_assert!(r.is_ok());
+                    continue;
+                }
+                self.record_lock(
+                    if depth > 1 {
+                        if depth <= SHALLOW_DEPTH {
+                            LockScenario::NestedShallow
+                        } else {
+                            LockScenario::NestedDeep
+                        }
+                    } else if contended {
+                        LockScenario::FatContended
+                    } else {
+                        LockScenario::FatUncontended
+                    },
+                    depth,
+                );
+                self.emit(
+                    Some(t.index()),
+                    Some(obj),
+                    TraceEventKind::AcquireFat { contended },
+                );
+                return Ok(true);
+            }
+
+            if word.is_thin_owned_by(t.shifted()) {
+                debug_assert_eq!(u32::from(word.thin_count()), MAX_THIN_COUNT);
+                let locks = u32::from(word.thin_count()) + 2;
+                self.emit(
+                    Some(t.index()),
+                    Some(obj),
+                    TraceEventKind::AcquireNested { depth: locks },
+                );
+                self.inflate_owned(obj, t, locks, InflationCause::CountOverflow)?;
+                self.record_lock(LockScenario::NestedDeep, locks);
+                return Ok(true);
+            }
+
+            if word.is_unlocked() {
+                let new = LockWord::from_bits(word.bits() | t.shifted());
+                if cell.try_cas(word, new, profile).is_ok() {
+                    self.record_lock(LockScenario::Unlocked, 1);
+                    self.emit(Some(t.index()), Some(obj), TraceEventKind::AcquireUnlocked);
+                    return Ok(true);
+                }
+                continue;
+            }
+
+            // Thin-held by another thread: non-blocking means give up.
+            return Ok(false);
+        }
+    }
+
+    /// Deadline-bounded acquisition (see `ThinLocks::lock_deadline`);
+    /// the fat branch revalidates like the untimed path.
+    fn lock_deadline_impl(&self, obj: ObjRef, t: ThreadToken, timeout: Duration) -> SyncResult<()> {
+        if self.try_lock_impl(obj, t)? {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let deadline = now
+            .checked_add(timeout)
+            .unwrap_or_else(|| now + Duration::from_secs(86_400 * 365));
+        let mut waiting = BlockedOnGuard(None);
+        waiting.publish(&self.registry, t, obj);
+        let mut backoff = Backoff::with_policy(self.config.spin_policy());
+        loop {
+            let word = self.cell(obj).load_acquire();
+            if word.is_fat() {
+                let Some((idx, monitor)) = self.monitor_of(word) else {
+                    continue;
+                };
+                let contended = monitor.owner().is_some();
+                match monitor.lock_n_deadline(t, 1, &self.registry, deadline) {
+                    Ok(()) => {
+                        let depth = monitor.count();
+                        if depth == 1 && !self.revalidate(obj, word, idx) {
+                            let r = monitor.unlock(t, &self.registry);
+                            debug_assert!(r.is_ok());
+                            if Instant::now() >= deadline {
+                                return self.deadline_expired(obj, t);
+                            }
+                            continue;
+                        }
+                        if let Some(s) = &self.stats {
+                            s.record_lock(
+                                if depth > 1 {
+                                    if depth <= SHALLOW_DEPTH {
+                                        LockScenario::NestedShallow
+                                    } else {
+                                        LockScenario::NestedDeep
+                                    }
+                                } else if contended {
+                                    LockScenario::FatContended
+                                } else {
+                                    LockScenario::FatUncontended
+                                },
+                                depth,
+                            );
+                        }
+                        self.emit(
+                            Some(t.index()),
+                            Some(obj),
+                            TraceEventKind::AcquireFat { contended },
+                        );
+                        return Ok(());
+                    }
+                    Err(SyncError::Timeout) => return self.deadline_expired(obj, t),
+                    Err(e) => return Err(e),
+                }
+            }
+            if self.try_lock_impl(obj, t)? {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return self.deadline_expired(obj, t);
+            }
+            if self.inject(InjectionPoint::LockSpin) == FaultAction::Yield {
+                std::thread::yield_now();
+            }
+            backoff.snooze();
+        }
+    }
+
+    fn deadline_expired(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        self.emit(Some(t.index()), Some(obj), TraceEventKind::AcquireTimedOut);
+        if let Some(report) = crate::watchdog::confirm_cycle(self, t.index(), obj) {
+            let threads = u32::try_from(report.threads.len()).unwrap_or(u32::MAX);
+            self.emit(
+                Some(t.index()),
+                Some(obj),
+                TraceEventKind::DeadlockDetected { threads },
+            );
+            return Err(SyncError::DeadlockDetected);
+        }
+        Err(SyncError::Timeout)
+    }
+}
+
+/// RAII publication of a thread's waits-for edge; mirrors the thin
+/// protocol's guard.
+struct BlockedOnGuard(Option<Arc<ThreadRecord>>);
+
+impl BlockedOnGuard {
+    fn publish(&mut self, registry: &ThreadRegistry, t: ThreadToken, obj: ObjRef) {
+        if self.0.is_none() {
+            if let Ok(record) = registry.record(t.index()) {
+                record.set_blocked_on(Some(obj));
+                self.0 = Some(record);
+            }
+        }
+    }
+}
+
+impl Drop for BlockedOnGuard {
+    fn drop(&mut self) {
+        if let Some(record) = &self.0 {
+            record.set_blocked_on(None);
+        }
+    }
+}
+
+/// The registry exit sweep over the pool: force-releases every lock a
+/// dead thread left behind. A reclaimed fat monitor stays live (unowned,
+/// word still fat) — the next contender's quiet release, or a
+/// [`CjmLocks::reclaim_idle`] pass, deflates it.
+struct CjmOrphanSweeper {
+    heap: Arc<Heap>,
+    pool: Arc<MonitorPool>,
+    tracer: Option<Arc<dyn TraceSink>>,
+    injector: Option<Arc<dyn FaultInjector>>,
+    config: DynamicConfig,
+}
+
+impl CjmOrphanSweeper {
+    fn emit_reclaim(&self, dead: ThreadIndex, obj: ObjRef, fat: bool) {
+        if let Some(sink) = &self.tracer {
+            sink.record(
+                Some(dead),
+                Some(obj),
+                TraceEventKind::OrphanReclaimed { fat },
+            );
+        }
+    }
+}
+
+impl ExitSweeper for CjmOrphanSweeper {
+    fn sweep_thread(&self, dead: ThreadIndex, registry: &ThreadRegistry) {
+        if let Some(injector) = &self.injector {
+            if injector.decide(InjectionPoint::RegistryRelease) == FaultAction::Yield {
+                std::thread::yield_now();
+            }
+        }
+        for obj in self.heap.iter() {
+            let cell = self.heap.header(obj).lock_word();
+            let word = cell.load_acquire();
+            if word.is_fat() {
+                let Some(idx) = word.monitor_index() else {
+                    continue;
+                };
+                if let Some(monitor) = self.pool.get(idx) {
+                    if monitor.reclaim_orphan(dead, registry) {
+                        self.emit_reclaim(dead, obj, true);
+                    }
+                }
+            } else if word.thin_owner() == Some(dead) {
+                let cleared = word.with_lock_field_clear();
+                if cell.try_cas(word, cleared, self.config.profile()).is_ok() {
+                    self.emit_reclaim(dead, obj, false);
+                }
+            }
+        }
+    }
+}
+
+impl SyncProtocol for CjmLocks {
+    #[inline]
+    fn lock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        self.lock_impl(obj, t)
+    }
+
+    #[inline]
+    fn unlock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        self.unlock_impl(obj, t)
+    }
+
+    fn try_lock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<bool> {
+        let acquired = self.try_lock_impl(obj, t)?;
+        if !acquired {
+            self.emit(Some(t.index()), Some(obj), TraceEventKind::AcquireTimedOut);
+        }
+        Ok(acquired)
+    }
+
+    fn lock_deadline(&self, obj: ObjRef, t: ThreadToken, timeout: Duration) -> SyncResult<()> {
+        self.lock_deadline_impl(obj, t, timeout)
+    }
+
+    fn wait(
+        &self,
+        obj: ObjRef,
+        t: ThreadToken,
+        timeout: Option<Duration>,
+    ) -> SyncResult<WaitOutcome> {
+        if let Some(s) = &self.stats {
+            s.record_wait();
+        }
+        let monitor = self.require_fat(obj, t)?;
+        self.emit(Some(t.index()), Some(obj), TraceEventKind::Wait);
+        // While we sit in the wait set (and later the entry queue) the
+        // monitor can never pass the quiescence snapshot, so the word
+        // stays fat until we have re-acquired and released it.
+        monitor.wait(t, &self.registry, timeout)
+    }
+
+    fn notify(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        if let Some(s) = &self.stats {
+            s.record_notify();
+        }
+        let monitor = self.require_fat(obj, t)?;
+        self.emit(Some(t.index()), Some(obj), TraceEventKind::Notify);
+        self.reach(SchedPoint::Notify, obj);
+        monitor.notify(t)
+    }
+
+    fn notify_all(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        if let Some(s) = &self.stats {
+            s.record_notify();
+        }
+        let monitor = self.require_fat(obj, t)?;
+        self.emit(Some(t.index()), Some(obj), TraceEventKind::Notify);
+        self.reach(SchedPoint::Notify, obj);
+        monitor.notify_all(t)
+    }
+
+    fn holds_lock(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        let word = self.cell(obj).load_acquire();
+        if word.is_fat() {
+            self.monitor_of(word).is_some_and(|(_, m)| m.holds(t))
+        } else {
+            word.is_thin_owned_by(t.shifted())
+        }
+    }
+
+    fn pre_inflate_hint(&self, obj: ObjRef) -> bool {
+        let applied = self.pre_inflate(obj).unwrap_or(false);
+        self.emit(None, Some(obj), TraceEventKind::PreInflateHint { applied });
+        applied
+    }
+
+    fn trace_sink(&self) -> Option<&dyn TraceSink> {
+        self.tracer.as_deref()
+    }
+
+    fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    fn registry(&self) -> &ThreadRegistry {
+        &self.registry
+    }
+
+    fn name(&self) -> &'static str {
+        "CJM"
+    }
+}
+
+impl SyncBackend for CjmLocks {
+    fn monitor_probe(&self, obj: ObjRef) -> Option<MonitorProbe> {
+        let monitor = self.monitor_for(obj)?;
+        Some(MonitorProbe {
+            owner: monitor.owner(),
+            count: monitor.count(),
+            entry_queue_len: monitor.entry_queue_len(),
+            wait_set_len: monitor.wait_set_len(),
+        })
+    }
+
+    fn in_wait_set(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        self.monitor_for(obj).is_some_and(|m| m.is_waiting(t))
+    }
+
+    fn deflation_capable(&self) -> bool {
+        true
+    }
+
+    fn inflation_count(&self) -> u64 {
+        self.inflations.load(Ordering::Relaxed)
+    }
+
+    fn deflation_count(&self) -> u64 {
+        self.deflations.load(Ordering::Relaxed)
+    }
+
+    fn monitors_live(&self) -> usize {
+        self.pool.live()
+    }
+
+    fn monitors_peak(&self) -> usize {
+        self.pool.peak()
+    }
+
+    fn monitors_allocated(&self) -> u64 {
+        self.pool.allocated_total()
+    }
+}
+
+impl fmt::Debug for CjmLocks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CjmLocks")
+            .field("heap", &self.heap)
+            .field("live", &self.pool.live())
+            .field("peak", &self.pool.peak())
+            .field("inflations", &self.inflations.load(Ordering::Relaxed))
+            .field("deflations", &self.deflations.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::thread;
+
+    fn fresh(capacity: usize) -> CjmLocks {
+        CjmLocks::with_capacity(capacity)
+    }
+
+    #[test]
+    fn thin_fast_path_matches_paper() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        let before = p.lock_word(obj);
+        p.lock(obj, t).unwrap();
+        let held = p.lock_word(obj);
+        assert_eq!(held.thin_owner().map(|o| o.get()), Some(t.index().get()));
+        assert_eq!(held.header_bits(), before.header_bits());
+        p.unlock(obj, t).unwrap();
+        assert_eq!(p.lock_word(obj), before, "word restored bit-for-bit");
+        assert_eq!(p.inflation_count(), 0);
+    }
+
+    #[test]
+    fn quiet_fat_release_deflates_and_recycles() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, t).unwrap();
+        p.notify(obj, t).unwrap(); // inflate (WaitNotify)
+        assert!(p.lock_word(obj).is_fat());
+        assert_eq!(p.monitors_live(), 1);
+        p.unlock(obj, t).unwrap(); // deflate
+        assert!(p.lock_word(obj).is_unlocked(), "word back to neutral");
+        assert_eq!(p.monitors_live(), 0);
+        assert_eq!(p.deflation_count(), 1);
+        // Deflated object relocks thin.
+        p.lock(obj, t).unwrap();
+        assert!(p.lock_word(obj).is_thin_shape());
+        p.unlock(obj, t).unwrap();
+    }
+
+    #[test]
+    fn nested_fat_release_does_not_deflate_early() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, t).unwrap();
+        p.lock(obj, t).unwrap();
+        p.notify(obj, t).unwrap(); // inflate at depth 2
+        assert!(p.lock_word(obj).is_fat());
+        p.unlock(obj, t).unwrap();
+        assert!(p.lock_word(obj).is_fat(), "still held once: no deflation");
+        assert_eq!(p.deflation_count(), 0);
+        p.unlock(obj, t).unwrap();
+        assert!(p.lock_word(obj).is_unlocked(), "final release deflates");
+        assert_eq!(p.deflation_count(), 1);
+    }
+
+    #[test]
+    fn waiters_block_deflation_until_the_last_release() {
+        let p = Arc::new(fresh(4));
+        let obj = p.heap().alloc().unwrap();
+        let waiter = {
+            let p = Arc::clone(&p);
+            thread::spawn(move || {
+                let r = p.registry().register().unwrap();
+                let t = r.token();
+                p.lock(obj, t).unwrap();
+                let out = p.wait(obj, t, None).unwrap();
+                assert!(p.holds_lock(obj, t));
+                p.unlock(obj, t).unwrap();
+                out
+            })
+        };
+        while !p.in_wait_set_any(obj) {
+            thread::yield_now();
+        }
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        p.lock(obj, t).unwrap();
+        p.notify(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+        // The notified waiter was in the entry queue at our release, so
+        // our release must NOT have deflated.
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Notified);
+        // The waiter's own final release was quiescent: deflated.
+        assert!(p.lock_word(obj).is_unlocked());
+        assert_eq!(p.monitors_live(), 0);
+        assert_eq!(p.deflation_count(), 1);
+    }
+
+    impl CjmLocks {
+        /// Test helper: anyone in the wait set of obj's monitor?
+        fn in_wait_set_any(&self, obj: ObjRef) -> bool {
+            self.monitor_for(obj).is_some_and(|m| m.wait_set_len() > 0)
+        }
+    }
+
+    #[test]
+    fn reinflation_ping_pong_bounds_population() {
+        // The churn loop: every round inflates (wait-notify cause) and
+        // the quiet release deflates. Monitor population must stay at
+        // one slot regardless of the number of rounds — the table-based
+        // protocols grow their footprint per object (thin) or per
+        // inflation (tasuki).
+        const ROUNDS: u64 = 500;
+        let p = fresh(8);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let objs: Vec<_> = (0..8).map(|_| p.heap().alloc().unwrap()).collect();
+        for round in 0..ROUNDS {
+            let obj = objs[(round % 8) as usize];
+            p.lock(obj, t).unwrap();
+            p.notify(obj, t).unwrap();
+            p.unlock(obj, t).unwrap();
+        }
+        assert_eq!(p.monitors_live(), 0, "all monitors deflated");
+        assert_eq!(p.monitors_peak(), 1, "never more than one live");
+        assert_eq!(p.inflation_count(), ROUNDS);
+        assert_eq!(p.deflation_count(), ROUNDS);
+        assert_eq!(p.monitors_allocated(), ROUNDS, "slot recycled each round");
+        assert!(p.pool().recycled_total() >= ROUNDS - 1);
+    }
+
+    #[test]
+    fn deflate_vs_concurrent_acquire_race() {
+        // Hammer one object from several threads with a wait-notify
+        // inflation in every round, so deflating releases constantly
+        // race against fresh fat-path acquisitions and the revalidation
+        // path runs for real. The counter proves mutual exclusion held.
+        let p = Arc::new(fresh(4));
+        let obj = p.heap().alloc().unwrap();
+        let total = Arc::new(AtomicU64::new(0));
+        const THREADS: usize = 4;
+        const ITERS: u64 = 400;
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let p = Arc::clone(&p);
+            let total = Arc::clone(&total);
+            handles.push(thread::spawn(move || {
+                let r = p.registry().register().unwrap();
+                let t = r.token();
+                for _ in 0..ITERS {
+                    p.lock(obj, t).unwrap();
+                    p.notify(obj, t).unwrap(); // force fat while held
+                    let v = total.load(Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    total.store(v + 1, Ordering::Relaxed);
+                    p.unlock(obj, t).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), THREADS as u64 * ITERS);
+        let r = p.registry().register().unwrap();
+        assert!(!p.holds_lock(obj, r.token()));
+        assert!(p.monitors_peak() <= 1, "one object: at most one monitor");
+        // Every inflation was eventually undone.
+        let _ = p.reclaim_idle(r.token());
+        assert_eq!(p.monitors_live(), 0, "population converged to zero");
+    }
+
+    #[test]
+    fn contention_inflates_then_deflates() {
+        let p = Arc::new(fresh(4));
+        let obj = p.heap().alloc().unwrap();
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let owner = {
+            let p = Arc::clone(&p);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let r = p.registry().register().unwrap();
+                let t = r.token();
+                p.lock(obj, t).unwrap();
+                barrier.wait();
+                thread::sleep(Duration::from_millis(30));
+                p.unlock(obj, t).unwrap();
+            })
+        };
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        barrier.wait();
+        p.lock(obj, t).unwrap(); // spins, acquires, inflates
+        assert!(p.lock_word(obj).is_fat(), "contention inflated");
+        p.unlock(obj, t).unwrap(); // quiet: deflates
+        owner.join().unwrap();
+        assert!(p.lock_word(obj).is_unlocked(), "deflated after the burst");
+        assert_eq!(p.monitors_live(), 0);
+    }
+
+    #[test]
+    fn count_overflow_inflates_and_unwinds_to_neutral() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        for _ in 0..257 {
+            p.lock(obj, t).unwrap();
+        }
+        assert!(p.lock_word(obj).is_fat());
+        for _ in 0..257 {
+            p.unlock(obj, t).unwrap();
+        }
+        assert!(p.lock_word(obj).is_unlocked(), "full unwind deflates");
+        assert_eq!(p.deflation_count(), 1);
+        assert_eq!(p.monitors_live(), 0);
+    }
+
+    #[test]
+    fn unlock_errors_mirror_java() {
+        let p = fresh(4);
+        let ra = p.registry().register().unwrap();
+        let rb = p.registry().register().unwrap();
+        let obj = p.heap().alloc().unwrap();
+        assert_eq!(p.unlock(obj, ra.token()), Err(SyncError::NotLocked));
+        p.lock(obj, ra.token()).unwrap();
+        assert_eq!(p.unlock(obj, rb.token()), Err(SyncError::NotOwner));
+        // Same through the fat shape.
+        p.notify(obj, ra.token()).unwrap();
+        assert_eq!(p.unlock(obj, rb.token()), Err(SyncError::NotOwner));
+        p.unlock(obj, ra.token()).unwrap();
+        assert_eq!(p.unlock(obj, ra.token()), Err(SyncError::NotLocked));
+    }
+
+    #[test]
+    fn try_lock_and_deadline_cross_deflation() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        // try_lock through a fat word.
+        p.pre_inflate(obj).unwrap();
+        assert!(p.lock_word(obj).is_fat());
+        assert!(p.try_lock(obj, t).unwrap());
+        p.unlock(obj, t).unwrap(); // quiet release of the hint monitor
+        assert!(p.lock_word(obj).is_unlocked(), "hint deflated on release");
+        // lock_deadline on the neutral word.
+        p.lock_deadline(obj, t, Duration::from_millis(50)).unwrap();
+        p.unlock(obj, t).unwrap();
+    }
+
+    #[test]
+    fn pool_exhaustion_is_tolerated_on_contention_path() {
+        // Bound of zero: inflation can never succeed. Contention must
+        // still be correct (spin-only), and wait/notify must surface the
+        // exhaustion.
+        let heap = Arc::new(Heap::with_capacity(4));
+        let p = CjmLocks::with_monitor_bound(heap, ThreadRegistry::new(), 0);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, t).unwrap();
+        assert_eq!(p.notify(obj, t), Err(SyncError::MonitorIndexExhausted));
+        p.unlock(obj, t).unwrap();
+        assert_eq!(p.pre_inflate(obj), Err(SyncError::MonitorIndexExhausted));
+        assert!(!p.pre_inflate_hint(obj));
+    }
+
+    #[test]
+    fn orphan_sweep_then_idle_scan_reclaims_monitor() {
+        let p = Arc::new(fresh(4).with_orphan_recovery());
+        let obj = p.heap().alloc().unwrap();
+        {
+            let p = Arc::clone(&p);
+            thread::spawn(move || {
+                let r = p.registry().register().unwrap();
+                let t = r.token();
+                p.lock(obj, t).unwrap();
+                p.notify(obj, t).unwrap(); // inflate
+                                           // Exit without unlocking: the sweeper reclaims.
+            })
+            .join()
+            .unwrap();
+        }
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        assert!(p.lock_word(obj).is_fat(), "sweep leaves the word fat");
+        assert_eq!(p.owner_of(obj), None, "ownership reclaimed");
+        assert_eq!(p.monitors_live(), 1, "monitor stranded live");
+        assert_eq!(p.reclaim_idle(t), 1, "idle scan deflates it");
+        assert!(p.lock_word(obj).is_unlocked());
+        assert_eq!(p.monitors_live(), 0);
+        // Object fully usable afterwards.
+        p.lock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+    }
+
+    #[test]
+    fn population_bound_under_many_objects() {
+        // Inflate K objects simultaneously (hold them fat), release
+        // them, and confirm peak == K while the final population is 0.
+        const K: usize = 8;
+        let p = fresh(K);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let objs: Vec<_> = (0..K).map(|_| p.heap().alloc().unwrap()).collect();
+        for &obj in &objs {
+            p.lock(obj, t).unwrap();
+            p.notify(obj, t).unwrap();
+        }
+        assert_eq!(p.monitors_live(), K);
+        for &obj in &objs {
+            p.unlock(obj, t).unwrap();
+        }
+        assert_eq!(p.monitors_live(), 0);
+        assert_eq!(p.monitors_peak(), K);
+        assert!(p.pool().footprint() <= K, "footprint bounded by peak");
+    }
+
+    #[test]
+    fn stats_and_events_flow_through() {
+        let stats = Arc::new(LockStats::new());
+        let p = fresh(4).with_stats(Arc::clone(&stats));
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, t).unwrap();
+        p.lock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+        let snap = stats.snapshot();
+        assert_eq!(snap.scenario_counts[0], 1);
+        assert_eq!(snap.scenario_counts[1], 1);
+        assert_eq!(snap.unlocks_thin, 2);
+    }
+
+    #[test]
+    fn backend_probes_report_cjm_shape() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        assert!(p.deflation_capable());
+        assert!(p.monitor_probe(obj).is_none());
+        p.lock(obj, t).unwrap();
+        assert_eq!(p.owner_of(obj), Some(t.index()));
+        p.notify(obj, t).unwrap();
+        let probe = p.monitor_probe(obj).unwrap();
+        assert_eq!(probe.owner, Some(t.index()));
+        assert_eq!(probe.count, 1);
+        assert!(!probe.is_idle());
+        p.unlock(obj, t).unwrap();
+        assert!(p.monitor_probe(obj).is_none(), "deflated: no fat probe");
+        assert_eq!(p.owner_of(obj), None);
+    }
+}

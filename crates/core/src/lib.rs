@@ -53,11 +53,15 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod backend;
+pub mod cjm;
 pub mod config;
 pub mod tasuki;
 pub mod thin;
 pub mod watchdog;
 
+pub use backend::{BackendChoice, BackendSeams};
+pub use cjm::CjmLocks;
 pub use config::{
     DynamicConfig, FastPathConfig, StaticKernelCas, StaticMp, StaticUp, UnlockStrategy,
 };

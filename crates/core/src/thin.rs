@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use thinlock_monitor::{FatLock, MonitorTable};
 use thinlock_runtime::arch::{ArchProfile, LockWordCell};
+use thinlock_runtime::backend::{MonitorProbe, SyncBackend};
 use thinlock_runtime::backoff::Backoff;
 use thinlock_runtime::error::{SyncError, SyncResult};
 use thinlock_runtime::events::{TraceEventKind, TraceSink};
@@ -1046,6 +1047,43 @@ impl<C: FastPathConfig> SyncProtocol for ThinLocks<C> {
 
     fn name(&self) -> &'static str {
         "ThinLock"
+    }
+}
+
+impl<C: FastPathConfig> SyncBackend for ThinLocks<C> {
+    fn monitor_probe(&self, obj: ObjRef) -> Option<MonitorProbe> {
+        let monitor = self.monitor_for(obj)?;
+        Some(MonitorProbe {
+            owner: monitor.owner(),
+            count: monitor.count(),
+            entry_queue_len: monitor.entry_queue_len(),
+            wait_set_len: monitor.wait_set_len(),
+        })
+    }
+
+    fn in_wait_set(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        self.monitor_for(obj).is_some_and(|m| m.is_waiting(t))
+    }
+
+    // deflation_capable stays `false`: one-way inflation is this
+    // protocol's contract, and the model checker enforces it.
+
+    fn inflation_count(&self) -> u64 {
+        self.monitors.len() as u64
+    }
+
+    fn monitors_live(&self) -> usize {
+        // The table never recycles: every monitor ever allocated still
+        // backs a fat word, so live == peak == allocated.
+        self.monitors.len()
+    }
+
+    fn monitors_peak(&self) -> usize {
+        self.monitors.len()
+    }
+
+    fn monitors_allocated(&self) -> u64 {
+        self.monitors.len() as u64
     }
 }
 

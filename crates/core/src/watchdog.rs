@@ -35,13 +35,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
 
+use thinlock_runtime::backend::SyncBackend;
 use thinlock_runtime::events::TraceEventKind;
 use thinlock_runtime::heap::ObjRef;
 use thinlock_runtime::lockword::ThreadIndex;
-use thinlock_runtime::protocol::SyncProtocol;
-
-use crate::config::FastPathConfig;
-use crate::thin::ThinLocks;
 
 /// One waits-for cycle: `threads[i]` is blocked acquiring `objects[i]`,
 /// which is owned by `threads[(i + 1) % len]`.
@@ -88,8 +85,8 @@ impl fmt::Display for DeadlockReport {
 /// `waiting_on`) and returns the cycle if the chain loops back to
 /// `start`. A chain that dead-ends (some owner is not blocked) or loops
 /// without passing through `start` yields `None`.
-pub fn cycle_from<C: FastPathConfig>(
-    locks: &ThinLocks<C>,
+pub fn cycle_from<B: SyncBackend + ?Sized>(
+    locks: &B,
     start: ThreadIndex,
     waiting_on: ObjRef,
 ) -> Option<DeadlockReport> {
@@ -115,8 +112,8 @@ pub fn cycle_from<C: FastPathConfig>(
 
 /// [`cycle_from`], double-checked: the edges are read racily, so a cycle
 /// only counts if two scans separated by a yield observe it identically.
-pub fn confirm_cycle<C: FastPathConfig>(
-    locks: &ThinLocks<C>,
+pub fn confirm_cycle<B: SyncBackend + ?Sized>(
+    locks: &B,
     start: ThreadIndex,
     waiting_on: ObjRef,
 ) -> Option<DeadlockReport> {
@@ -129,7 +126,7 @@ pub fn confirm_cycle<C: FastPathConfig>(
 /// One full pass: every live thread with a published waits-for edge is
 /// used as a starting point, and distinct confirmed cycles are returned
 /// (the same cycle reached from two of its members is reported once).
-pub fn scan<C: FastPathConfig>(locks: &ThinLocks<C>) -> Vec<DeadlockReport> {
+pub fn scan<B: SyncBackend + ?Sized>(locks: &B) -> Vec<DeadlockReport> {
     let mut reports = Vec::new();
     let mut seen: HashSet<Vec<u16>> = HashSet::new();
     for record in locks.registry().live_records() {
@@ -168,7 +165,13 @@ pub struct Watchdog {
 
 impl Watchdog {
     /// Spawns the watchdog over `locks`, scanning every `interval`.
-    pub fn spawn<C: FastPathConfig>(locks: Arc<ThinLocks<C>>, interval: Duration) -> Self {
+    /// Generic over [`SyncBackend`], so the same watchdog serves the thin
+    /// protocol, the deflating CJM backend, and trait objects built by
+    /// the `--backend` harness seam.
+    pub fn spawn<B: SyncBackend + Send + Sync + ?Sized + 'static>(
+        locks: Arc<B>,
+        interval: Duration,
+    ) -> Self {
         let shared = Arc::new(WatchdogShared {
             stop: Mutex::new(false),
             wake: Condvar::new(),
@@ -193,7 +196,7 @@ impl Watchdog {
                             return;
                         }
                     }
-                    for report in scan(&locks) {
+                    for report in scan(&*locks) {
                         if seen.insert(report.normalized()) {
                             if let Some(sink) = locks.trace_sink() {
                                 sink.record(
@@ -257,8 +260,10 @@ impl fmt::Debug for Watchdog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::thin::ThinLocks;
     use std::sync::Barrier;
     use thinlock_runtime::error::SyncError;
+    use thinlock_runtime::protocol::SyncProtocol;
 
     #[test]
     fn no_deadlock_scan_is_empty() {

@@ -1,18 +1,22 @@
 //! Command-line driver for the seeded chaos sweep.
 //!
 //! ```text
-//! chaos [--seeds N] [--start S] [--threads T] [--objects O] [--ops K]
-//!       [--rate-ppm R] [--kill-every M] [SEED ...]
+//! chaos [--backend B] [--seeds N] [--start S] [--threads T] [--objects O]
+//!       [--ops K] [--rate-ppm R] [--kill-every M] [SEED ...]
 //! ```
 //!
 //! With positional seeds, runs exactly those schedules; otherwise
-//! sweeps `S .. S+N`. Every run is checked against the std-Mutex
-//! oracle; the first divergence is printed with its seed (which
-//! replays it) and the process exits nonzero. `scripts/chaos.sh` runs
-//! the fixed sweep that gates the repo.
+//! sweeps `S .. S+N`. `--backend` picks the protocol under test
+//! (`thin` by default, `cjm` for the deflating bounded-pool backend);
+//! deflation-capable backends additionally get the monitor-population
+//! bound checked at every convergence. Every run is checked against
+//! the std-Mutex oracle; the first divergence is printed with its seed
+//! (which replays it) and the process exits nonzero. `scripts/chaos.sh`
+//! runs the fixed sweep that gates the repo.
 
 use std::process::ExitCode;
 
+use thinlock::BackendChoice;
 use thinlock_fault::{run_schedule, ChaosConfig, ChaosTotals};
 use thinlock_runtime::fault::InjectionPoint;
 
@@ -23,6 +27,7 @@ struct Options {
     ops: usize,
     rate_ppm: u32,
     kill_every: u64,
+    backend: BackendChoice,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -33,6 +38,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         ops: 28,
         rate_ppm: 200_000,
         kill_every: 4,
+        backend: BackendChoice::Thin,
     };
     let mut count: u64 = 256;
     let mut start: u64 = 0;
@@ -62,6 +68,16 @@ fn parse(args: &[String]) -> Result<Options, String> {
             opts.rate_ppm = v.parse().map_err(|e| format!("--rate-ppm: {e}"))?;
         } else if let Some(v) = flag("--kill-every")? {
             opts.kill_every = v.parse().map_err(|e| format!("--kill-every: {e}"))?;
+        } else if let Some(v) = flag("--backend")? {
+            match BackendChoice::from_name(&v) {
+                Some(choice) if choice.schedulable() => opts.backend = choice,
+                Some(choice) => {
+                    return Err(format!(
+                        "--backend: `{choice}` has no fault seam and cannot run under chaos"
+                    ));
+                }
+                None => return Err(format!("--backend: unknown backend `{v}`")),
+            }
         } else if arg == "--help" || arg == "-h" {
             return Err("usage".to_string());
         } else if let Ok(seed) = arg.parse::<u64>() {
@@ -83,8 +99,8 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("{msg}");
             eprintln!(
-                "usage: chaos [--seeds N] [--start S] [--threads T] [--objects O] \
-                 [--ops K] [--rate-ppm R] [--kill-every M] [SEED ...]"
+                "usage: chaos [--backend <thin|cjm>] [--seeds N] [--start S] [--threads T] \
+                 [--objects O] [--ops K] [--rate-ppm R] [--kill-every M] [SEED ...]"
             );
             return ExitCode::FAILURE;
         }
@@ -99,13 +115,14 @@ fn main() -> ExitCode {
             ops_per_thread: opts.ops,
             fault_rate_ppm: opts.rate_ppm,
             kill_thread: opts.kill_every != 0 && seed % opts.kill_every == 0,
+            backend: opts.backend,
         };
         match run_schedule(cfg) {
             Ok(report) => totals.absorb(&report),
             Err(msg) => {
                 eprintln!("DIVERGENCE: {msg}");
-                eprintln!("replay with: chaos --threads {} --objects {} --ops {} --rate-ppm {} --kill-every {} {seed}",
-                    opts.threads, opts.objects, opts.ops, opts.rate_ppm, opts.kill_every);
+                eprintln!("replay with: chaos --backend {} --threads {} --objects {} --ops {} --rate-ppm {} --kill-every {} {seed}",
+                    opts.backend, opts.threads, opts.objects, opts.ops, opts.rate_ppm, opts.kill_every);
                 return ExitCode::FAILURE;
             }
         }
@@ -113,9 +130,15 @@ fn main() -> ExitCode {
 
     let r = &totals.report;
     println!(
-        "chaos: {} schedules converged ({} ops, {} acquisitions, {} try-contended, {} timeouts, {} waits, orphan runs: {})",
-        totals.runs, r.ops, r.acquisitions, r.try_contended, r.timeouts, r.waits, r.orphaned
+        "chaos[{}]: {} schedules converged ({} ops, {} acquisitions, {} try-contended, {} timeouts, {} waits, orphan runs: {})",
+        opts.backend, totals.runs, r.ops, r.acquisitions, r.try_contended, r.timeouts, r.waits, r.orphaned
     );
+    if opts.backend.deflation_capable() {
+        println!(
+            "monitor population: {} inflations, {} deflations, peak {} (bound {}), live at exit {}",
+            r.inflations, r.deflations, r.monitors_peak, opts.objects, r.monitors_live
+        );
+    }
     println!("injected faults: {} total", r.total_fires());
     for point in InjectionPoint::ALL {
         println!("  {:<18} {:>8}", point.name(), r.fires[point.index()]);

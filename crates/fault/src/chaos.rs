@@ -1,7 +1,8 @@
 //! The seeded chaos harness: randomized schedules cross-checked
 //! against a `std::sync::Mutex` oracle.
 //!
-//! [`run_schedule`] spins up a [`ThinLocks`] protocol with a
+//! [`run_schedule`] builds the protocol selected by
+//! [`ChaosConfig::backend`] (any schedulable [`BackendChoice`]) with a
 //! [`FaultPlan`] attached, drives it with several threads executing a
 //! seed-derived mix of operations (plain/nested acquisition,
 //! `try_lock`, `lock_deadline`, timed `wait`), and checks mutual
@@ -17,17 +18,24 @@
 //! Optionally ([`ChaosConfig::kill_thread`]) one thread dies
 //! mid-schedule while owning a lock, exercising the orphan sweep: the
 //! run only converges if reclamation returns the object to circulation.
+//!
+//! Deflation-capable backends get one extra convergence check: the
+//! monitor population must respect its bound — the peak never exceeds
+//! the object count (one bound monitor per object) and no monitor can
+//! be live at the end beyond that same ceiling. Under CJM this is the
+//! chaos-side witness for the bounded-pool claim: thousands of faulted
+//! inflate/deflate cycles may not leak a single pool slot.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use thinlock::ThinLocks;
+use thinlock::{BackendChoice, BackendSeams};
+use thinlock_runtime::backend::SyncBackend;
 use thinlock_runtime::error::SyncError;
 use thinlock_runtime::fault::InjectionPoint;
 use thinlock_runtime::heap::ObjRef;
 use thinlock_runtime::prng::{SplitMix64, Xorshift128Plus};
-use thinlock_runtime::protocol::SyncProtocol;
 
 use crate::plan::{FaultPlan, POINTS};
 
@@ -48,11 +56,20 @@ pub struct ChaosConfig {
     /// When set, worker 0 dies halfway through its schedule while
     /// owning a lock, leaving an orphan for the registry sweep.
     pub kill_thread: bool,
+    /// Protocol under test; must be [`BackendChoice::schedulable`]
+    /// because chaos depends on the fault-injection seam.
+    pub backend: BackendChoice,
 }
 
 impl ChaosConfig {
-    /// A small, quick configuration for sweeping many seeds.
+    /// A small, quick configuration for sweeping many seeds on the
+    /// paper's thin-lock protocol.
     pub fn quick(seed: u64) -> Self {
+        ChaosConfig::quick_on(seed, BackendChoice::Thin)
+    }
+
+    /// [`ChaosConfig::quick`] with the backend chosen explicitly.
+    pub fn quick_on(seed: u64, backend: BackendChoice) -> Self {
         ChaosConfig {
             seed,
             threads: 3,
@@ -60,6 +77,7 @@ impl ChaosConfig {
             ops_per_thread: 28,
             fault_rate_ppm: 200_000,
             kill_thread: seed.is_multiple_of(4),
+            backend,
         }
     }
 }
@@ -79,6 +97,15 @@ pub struct ChaosReport {
     pub waits: u64,
     /// Whether a worker died owning a lock (and the orphan was swept).
     pub orphaned: bool,
+    /// Inflations the backend performed over the run.
+    pub inflations: u64,
+    /// Deflations the backend performed over the run (0 on the thin
+    /// backend, whose inflation is one-way).
+    pub deflations: u64,
+    /// Peak simultaneous monitor population over the run.
+    pub monitors_peak: usize,
+    /// Monitors still live when the run converged.
+    pub monitors_live: usize,
     /// Per-point fault-injection fire counts, indexed like
     /// [`InjectionPoint::ALL`].
     pub fires: [u64; POINTS],
@@ -97,6 +124,10 @@ impl ChaosReport {
         self.timeouts += other.timeouts;
         self.waits += other.waits;
         self.orphaned |= other.orphaned;
+        self.inflations += other.inflations;
+        self.deflations += other.deflations;
+        self.monitors_peak = self.monitors_peak.max(other.monitors_peak);
+        self.monitors_live = self.monitors_live.max(other.monitors_live);
     }
 }
 
@@ -136,7 +167,7 @@ impl ChaosTotals {
 type Oracle = Vec<Mutex<u64>>;
 
 struct Shared {
-    locks: ThinLocks,
+    locks: Arc<dyn SyncBackend + Send + Sync>,
     oracle: Oracle,
     diverged: AtomicBool,
 }
@@ -147,13 +178,25 @@ struct Shared {
 /// # Errors
 ///
 /// Any oracle disagreement (two simultaneous owners, a lock left held
-/// at the end, a lost counter increment) or unexpected protocol error.
+/// at the end, a lost counter increment, a monitor-population bound
+/// violation on a deflation-capable backend) or unexpected protocol
+/// error.
 pub fn run_schedule(cfg: ChaosConfig) -> Result<ChaosReport, String> {
     assert!(cfg.threads >= 1 && cfg.objects >= 1 && cfg.ops_per_thread >= 1);
+    assert!(
+        cfg.backend.schedulable(),
+        "chaos needs the fault seam; backend `{}` does not offer it",
+        cfg.backend
+    );
     let plan = Arc::new(FaultPlan::chaos(cfg.seed, cfg.fault_rate_ppm));
-    let locks = ThinLocks::with_capacity(cfg.objects)
-        .with_fault_injector(plan.clone())
-        .with_orphan_recovery();
+    let locks = cfg.backend.build_with(
+        cfg.objects,
+        BackendSeams {
+            fault_injector: Some(plan.clone()),
+            orphan_recovery: true,
+            ..BackendSeams::default()
+        },
+    );
     let objs: Vec<ObjRef> = (0..cfg.objects)
         .map(|_| locks.heap().alloc().expect("chaos heap sized for objects"))
         .collect();
@@ -220,6 +263,21 @@ pub fn run_schedule(cfg: ChaosConfig) -> Result<ChaosReport, String> {
         return Err(format!(
             "seed {}: oracle counted {counted} critical sections but workers report {}",
             cfg.seed, report.acquisitions
+        ));
+    }
+
+    // Monitor-population bound: at most one monitor can be bound per
+    // object, so neither the peak nor the leftover live population may
+    // ever exceed the object count. On CJM a violation here means the
+    // pool leaked a slot through a faulted inflate/deflate cycle.
+    report.inflations = shared.locks.inflation_count();
+    report.deflations = shared.locks.deflation_count();
+    report.monitors_peak = shared.locks.monitors_peak();
+    report.monitors_live = shared.locks.monitors_live();
+    if report.monitors_peak > cfg.objects || report.monitors_live > cfg.objects {
+        return Err(format!(
+            "seed {}: monitor population exceeded its bound on `{}`: peak {} live {} over {} objects",
+            cfg.seed, cfg.backend, report.monitors_peak, report.monitors_live, cfg.objects
         ));
     }
     report.fires = plan.fire_counts();

@@ -3,6 +3,7 @@
 //! oracle, with full injection-point catalog coverage asserted over
 //! the sweep.
 
+use thinlock::BackendChoice;
 use thinlock_fault::{run_schedule, ChaosConfig, ChaosTotals};
 use thinlock_runtime::fault::InjectionPoint;
 
@@ -69,6 +70,7 @@ fn zero_rate_schedule_is_clean() {
         ops_per_thread: 50,
         fault_rate_ppm: 0,
         kill_thread: false,
+        backend: BackendChoice::Thin,
     })
     .expect("fault-free schedule converges");
     assert_eq!(report.total_fires(), 0);
@@ -87,8 +89,57 @@ fn high_rate_schedule_survives() {
         ops_per_thread: 20,
         fault_rate_ppm: 600_000,
         kill_thread: true,
+        backend: BackendChoice::Thin,
     })
     .expect("high-rate schedule converges");
     assert!(report.orphaned);
     assert!(report.fires[InjectionPoint::LockFastCas.index()] > 0);
+}
+
+/// The CJM backend survives the same 1024-seed faulted sweep the thin
+/// protocol does, and the monitor population stays bounded: the peak
+/// never exceeds the object count (one bound monitor per object — a
+/// violated bound means a pool slot leaked through a faulted
+/// inflate/deflate cycle, and `run_schedule` reports it as a
+/// divergence), deflation actually happens across the sweep, and the
+/// pool never deflates more than it inflated.
+#[test]
+fn cjm_monitor_population_stays_bounded_under_thousand_seed_chaos() {
+    let mut totals = ChaosTotals::default();
+    for seed in 0..1024u64 {
+        let cfg = ChaosConfig::quick_on(seed, BackendChoice::Cjm);
+        match run_schedule(cfg) {
+            Ok(report) => {
+                assert!(
+                    report.deflations <= report.inflations,
+                    "seed {seed}: {} deflations exceed {} inflations",
+                    report.deflations,
+                    report.inflations
+                );
+                totals.absorb(&report);
+            }
+            Err(msg) => panic!("oracle divergence under cjm: {msg}"),
+        }
+    }
+    assert_eq!(totals.runs, 1024);
+    assert!(
+        totals.report.orphaned,
+        "kill runs exercised the cjm orphan sweep"
+    );
+    assert!(
+        totals.report.inflations > 0 && totals.report.deflations > 0,
+        "sweep exercised the inflate/deflate cycle: {} inflations, {} deflations",
+        totals.report.inflations,
+        totals.report.deflations
+    );
+    assert!(
+        totals.report.monitors_peak <= 4,
+        "peak population {} exceeded the 4-object bound in some run",
+        totals.report.monitors_peak
+    );
+    assert!(
+        totals.report.total_fires() > 1000,
+        "fault rate injected a real fault volume under cjm: {}",
+        totals.report.total_fires()
+    );
 }

@@ -1,4 +1,4 @@
-//! `lockmc` — exhaustive model checking of the thin-lock protocol.
+//! `lockmc` — exhaustive model checking of the sync-protocol backends.
 //!
 //! ```text
 //! lockmc verify            full exploration: naive DFS baseline + DPOR
@@ -11,25 +11,53 @@
 //!                          counterexample timeline
 //! ```
 //!
+//! Both commands take `--backend <thin|cjm>` (default `thin`). The
+//! invariant suite adapts: the thin backend is held to one-way
+//! inflation, the deflating CJM backend to deflation safety (a fat →
+//! thin transition is legal only from a quiescent monitor).
+//!
 //! Exit status: 0 on success, 1 on a failed contract, 2 on bad usage.
 
 use std::process::ExitCode;
 
+use thinlock::BackendChoice;
 use thinlock_modelcheck::{
     reduction_factor, run_mutations, run_verify, Limits, MutationReport, VerifyReport,
 };
 
-const USAGE: &str = "usage: lockmc <verify [--quick] | --mutate [--quick]>";
+const USAGE: &str = "usage: lockmc <verify [--quick] | --mutate [--quick]> [--backend <thin|cjm>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut command: Option<&str> = None;
-    for arg in &args {
+    let mut backend = BackendChoice::Thin;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "verify" if command.is_none() => command = Some("verify"),
             "--mutate" if command.is_none() => command = Some("mutate"),
+            "--backend" => {
+                let Some(name) = iter.next() else {
+                    eprintln!("lockmc: --backend needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                match BackendChoice::from_name(name) {
+                    Some(choice) if choice.schedulable() => backend = choice,
+                    Some(choice) => {
+                        eprintln!(
+                            "lockmc: backend `{choice}` has no schedule seam and cannot be \
+                             model checked\n{USAGE}"
+                        );
+                        return ExitCode::from(2);
+                    }
+                    None => {
+                        eprintln!("lockmc: unknown backend `{name}`\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             other => {
                 eprintln!("lockmc: unknown argument `{other}`\n{USAGE}");
                 return ExitCode::from(2);
@@ -42,8 +70,8 @@ fn main() -> ExitCode {
         Limits::exhaustive()
     };
     match command {
-        Some("verify") => verify(&limits, !quick),
-        Some("mutate") => mutate(&limits),
+        Some("verify") => verify(&limits, !quick, backend),
+        Some("mutate") => mutate(&limits, backend),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -51,9 +79,9 @@ fn main() -> ExitCode {
     }
 }
 
-fn verify(limits: &Limits, with_naive: bool) -> ExitCode {
+fn verify(limits: &Limits, with_naive: bool, backend: BackendChoice) -> ExitCode {
     println!(
-        "lockmc verify: exploring {} catalog programs ({})",
+        "lockmc verify: exploring {} catalog programs on backend `{backend}` ({})",
         thinlock_modelcheck::verify_programs().len(),
         if with_naive {
             "naive DFS + DPOR"
@@ -61,7 +89,7 @@ fn verify(limits: &Limits, with_naive: bool) -> ExitCode {
             "DPOR only, quick budget"
         }
     );
-    let reports = run_verify(limits, with_naive);
+    let reports = run_verify(limits, with_naive, backend);
     let mut failed = false;
     for r in &reports {
         print_verify_report(r);
@@ -92,7 +120,7 @@ fn verify(limits: &Limits, with_naive: bool) -> ExitCode {
         eprintln!("lockmc: verify FAILED");
         return ExitCode::FAILURE;
     }
-    println!("lockmc: verify OK — no interleaving violates the invariant suite");
+    println!("lockmc: verify OK — no `{backend}` interleaving violates the invariant suite");
     ExitCode::SUCCESS
 }
 
@@ -137,9 +165,9 @@ fn print_verify_report(r: &VerifyReport) {
     }
 }
 
-fn mutate(limits: &Limits) -> ExitCode {
-    println!("lockmc --mutate: hunting seeded protocol bugs with DPOR");
-    let reports = run_mutations(limits);
+fn mutate(limits: &Limits, backend: BackendChoice) -> ExitCode {
+    println!("lockmc --mutate: hunting seeded protocol bugs on backend `{backend}` with DPOR");
+    let reports = run_mutations(limits, backend);
     let mut failed = false;
     for r in &reports {
         print_mutation_report(r, &mut failed);

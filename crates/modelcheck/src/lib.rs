@@ -20,8 +20,11 @@
 //!   rogue-unlock / wait / notify-set), worker bodies, enabledness, and
 //!   [`run_execution`], one controlled run.
 //! * [`invariant`] — the per-quiescent-state invariant suite: mutual
-//!   exclusion, one-way inflation, lock-word well-formedness and
-//!   model conformance, balanced acquire/release, no lost wakeups.
+//!   exclusion, lock-word well-formedness and model conformance,
+//!   balanced acquire/release, no lost wakeups, and a shape-transition
+//!   invariant keyed to the backend — one-way inflation for the thin
+//!   protocol, deflation safety for deflation-capable backends
+//!   (`lockmc --backend cjm`).
 //! * [`mod@explore`] — DFS + DPOR [`explore()`], schedule [`replay`],
 //!   and counterexample [`shrink`]ing.
 //! * [`mutate`] — seeded protocol bugs ([`MutationKind`]) the checker

@@ -3,16 +3,19 @@
 //!
 //! Each [`MutationKind`] is a single, surgically small deviation from
 //! the protocol — the kind of bug a real implementation could ship
-//! with. [`MutantProtocol`] wraps the genuine [`ThinLocks`] instance
-//! and overrides exactly one operation; everything else delegates, so a
-//! caught mutation demonstrates the invariant suite noticed *that*
-//! deviation, not some unrelated breakage. The mutation suite
-//! (`lockmc --mutate`) fails if any mutation survives exploration.
+//! with. [`MutantProtocol`] wraps a genuine backend instance (thin or
+//! any other [`SyncBackend`]) and overrides exactly one operation;
+//! everything else delegates, so a caught mutation demonstrates the
+//! invariant suite noticed *that* deviation, not some unrelated
+//! breakage. The mutation suite (`lockmc --mutate`) fails if any
+//! mutation survives exploration — under the thin backend the deflating
+//! mutation trips one-way inflation, under a deflation-capable backend
+//! it must trip deflation safety instead.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use thinlock::ThinLocks;
+use thinlock_runtime::backend::SyncBackend;
 use thinlock_runtime::error::SyncResult;
 use thinlock_runtime::heap::{Heap, ObjRef};
 use thinlock_runtime::lockword::LockWord;
@@ -73,9 +76,8 @@ impl std::fmt::Display for MutationKind {
 }
 
 /// The real protocol with exactly one seeded bug.
-#[derive(Debug)]
 pub struct MutantProtocol {
-    inner: Arc<ThinLocks>,
+    inner: Arc<dyn SyncBackend + Send + Sync>,
     kind: MutationKind,
     sched: Arc<CoopScheduler>,
 }
@@ -85,7 +87,11 @@ impl MutantProtocol {
     /// lets the mutated step block at a schedule point of its own, so
     /// the explorer can interleave other workers around the buggy
     /// write.
-    pub fn new(inner: Arc<ThinLocks>, kind: MutationKind, sched: Arc<CoopScheduler>) -> Self {
+    pub fn new(
+        inner: Arc<dyn SyncBackend + Send + Sync>,
+        kind: MutationKind,
+        sched: Arc<CoopScheduler>,
+    ) -> Self {
         MutantProtocol { inner, kind, sched }
     }
 
@@ -94,7 +100,7 @@ impl MutantProtocol {
     }
 
     fn word(&self, obj: ObjRef) -> LockWord {
-        self.inner.lock_word(obj)
+        self.inner.probe_word(obj)
     }
 
     fn store(&self, obj: ObjRef, word: LockWord) {
@@ -103,6 +109,15 @@ impl MutantProtocol {
             .header(obj)
             .lock_word()
             .store_relaxed(word);
+    }
+}
+
+impl std::fmt::Debug for MutantProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MutantProtocol")
+            .field("inner", &self.inner.name())
+            .field("kind", &self.kind)
+            .finish()
     }
 }
 

@@ -3,18 +3,19 @@
 //!
 //! A [`McProgram`] gives each worker a straight-line list of [`McOp`]s
 //! against a shared set of heap objects. [`run_execution`] builds a
-//! fresh [`ThinLocks`] instance (optionally wrapped in a protocol
-//! mutant), spawns one OS thread per worker under the
-//! [`CoopScheduler`], and drives the execution by repeatedly asking a
-//! `pick` callback which enabled worker takes the next step. After
-//! every step the invariant suite inspects the quiescent state; the
-//! first violation ends the execution with the offending decision
-//! sequence attached.
+//! fresh backend instance chosen by the program's [`BackendChoice`]
+//! (optionally wrapped in a protocol mutant), spawns one OS thread per
+//! worker under the [`CoopScheduler`], and drives the execution by
+//! repeatedly asking a `pick` callback which enabled worker takes the
+//! next step. After every step the invariant suite inspects the
+//! quiescent state; the first violation ends the execution with the
+//! offending decision sequence attached.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use thinlock::ThinLocks;
+use thinlock::{BackendChoice, BackendSeams};
+use thinlock_runtime::backend::SyncBackend;
 use thinlock_runtime::events::TraceSink;
 use thinlock_runtime::heap::ObjRef;
 use thinlock_runtime::protocol::SyncProtocol;
@@ -62,6 +63,11 @@ pub struct McProgram {
     pub pre_inflate: Vec<usize>,
     /// Protocol mutation to run under, if any ([`MutationKind`]).
     pub mutation: Option<MutationKind>,
+    /// Backend the execution instantiates; must be
+    /// [`BackendChoice::schedulable`]. Picks the invariant set too:
+    /// one-way inflation for the thin backend, deflation safety for
+    /// deflation-capable ones.
+    pub backend: BackendChoice,
 }
 
 impl McProgram {
@@ -75,7 +81,19 @@ impl McProgram {
             pad_objects: 1,
             pre_inflate: Vec::new(),
             mutation: None,
+            backend: BackendChoice::Thin,
         }
+    }
+
+    /// The same program retargeted at another backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        assert!(
+            backend.schedulable(),
+            "backend {backend} has no schedule seam and cannot be model checked"
+        );
+        self.backend = backend;
+        self
     }
 
     /// Number of workers.
@@ -225,22 +243,19 @@ fn worker_body(
 /// park (only once the monitor is unowned — barging is allowed), and
 /// the wait park (only once a notify moved the waiter out of the wait
 /// set).
-fn label_enabled(thin: &ThinLocks, token: ThreadToken, label: Label) -> bool {
+fn label_enabled(backend: &(impl SyncBackend + ?Sized), token: ThreadToken, label: Label) -> bool {
     let (point, obj) = label;
     let Some(obj) = obj else { return true };
     match point {
         SchedPoint::LockSpin => {
-            let word = thin.lock_word(obj);
+            let word = backend.probe_word(obj);
             word.is_unlocked() || word.is_fat()
         }
-        SchedPoint::FatPark => thin
-            .monitor_for(obj)
-            .map(|m| m.owner().is_none())
+        SchedPoint::FatPark => backend
+            .monitor_probe(obj)
+            .map(|m| m.owner.is_none())
             .unwrap_or(true),
-        SchedPoint::WaitPark => thin
-            .monitor_for(obj)
-            .map(|m| !m.is_waiting(token))
-            .unwrap_or(true),
+        SchedPoint::WaitPark => !backend.in_wait_set(obj, token),
         _ => true,
     }
 }
@@ -302,38 +317,43 @@ pub fn run_execution(
     mut pick: impl FnMut(usize, &[WorkerView], &[usize]) -> Pick,
 ) -> ExecutionRecord {
     let n = program.workers();
-    let mut builder = ThinLocks::with_capacity(program.pad_objects + program.objects)
-        .with_schedule(Arc::clone(sched) as Arc<dyn Schedule>);
-    if let Some(sink) = sink {
-        builder = builder.with_trace_sink(sink);
-    }
-    let thin = Arc::new(builder);
+    let backend = program.backend.build_with(
+        program.pad_objects + program.objects,
+        BackendSeams {
+            schedule: Some(Arc::clone(sched) as Arc<dyn Schedule>),
+            trace_sink: sink,
+            ..BackendSeams::default()
+        },
+    );
 
     for _ in 0..program.pad_objects {
-        thin.heap().alloc().expect("padding object fits");
+        backend.heap().alloc().expect("padding object fits");
     }
     let objs: Vec<ObjRef> = (0..program.objects)
-        .map(|_| thin.heap().alloc().expect("program object fits"))
+        .map(|_| backend.heap().alloc().expect("program object fits"))
         .collect();
     for &o in &program.pre_inflate {
-        thin.pre_inflate(objs[o]).expect("pre-inflation succeeds");
+        assert!(
+            backend.pre_inflate_hint(objs[o]),
+            "pre-inflation succeeds on a fresh object"
+        );
     }
 
     let regs: Vec<_> = (0..n)
-        .map(|_| thin.registry().register().expect("worker registers"))
+        .map(|_| backend.registry().register().expect("worker registers"))
         .collect();
     let tokens: Vec<ThreadToken> = regs.iter().map(|r| r.token()).collect();
 
     let mutant = program
         .mutation
-        .map(|kind| MutantProtocol::new(Arc::clone(&thin), kind, Arc::clone(sched)));
+        .map(|kind| MutantProtocol::new(Arc::clone(&backend), kind, Arc::clone(sched)));
     let proto: &dyn SyncProtocol = match &mutant {
         Some(m) => m,
-        None => thin.as_ref(),
+        None => backend.as_ref(),
     };
 
     let driver = DriverState::new(n, program.objects);
-    let mut invariants = InvariantState::new(&thin, &objs);
+    let mut invariants = InvariantState::new(backend.as_ref(), &objs);
     sched.reset(n);
 
     std::thread::scope(|s| {
@@ -354,7 +374,9 @@ pub fn run_execution(
             let views = sched.wait_quiescent();
             if let Some(msg) = driver.take_violation() {
                 rec.violation = Some(("balanced-ops", msg));
-            } else if let Some(v) = invariants.check_state(&thin, &objs, &tokens, &driver) {
+            } else if let Some(v) =
+                invariants.check_state(backend.as_ref(), &objs, &tokens, &driver)
+            {
                 rec.violation = Some(v);
             }
             let all_finished = views.iter().all(|v| v.status == WorkerStatus::Finished);
@@ -366,7 +388,7 @@ pub fn run_execution(
                 break;
             }
             if all_finished {
-                rec.violation = invariants.check_end(&thin, &objs, &tokens, &driver);
+                rec.violation = invariants.check_end(backend.as_ref(), &objs, &tokens, &driver);
                 break;
             }
             let enabled: Vec<usize> = views
@@ -375,7 +397,7 @@ pub fn run_execution(
                 .filter(|(w, v)| {
                     v.status == WorkerStatus::Blocked
                         && v.pending
-                            .map(|l| label_enabled(&thin, tokens[*w], l))
+                            .map(|l| label_enabled(backend.as_ref(), tokens[*w], l))
                             .unwrap_or(false)
                 })
                 .map(|(w, _)| w)
@@ -436,14 +458,14 @@ pub fn run_execution(
 /// built protocol instance — the custom-harness sibling of
 /// [`run_execution`] for workloads the [`McOp`] language cannot express
 /// (e.g. exhaustive exploration of VM bytecode programs). The caller
-/// constructs `thin` with the scheduler attached
-/// ([`ThinLocks::with_schedule`]) plus any trace sink, registers one
+/// constructs the backend with the scheduler attached (e.g.
+/// `ThinLocks::with_schedule`) plus any trace sink, registers one
 /// token per body (used for enabledness of the gated park/spin points),
 /// and supplies one closure per worker. No invariant suite or op model
 /// runs; the only violation this harness itself reports is a quiescent
 /// deadlock. Bodies that panic propagate after the worker is drained.
-pub fn run_bodies<'a>(
-    thin: &Arc<ThinLocks>,
+pub fn run_bodies<'a, B: SyncBackend + ?Sized>(
+    backend: &Arc<B>,
     sched: &Arc<CoopScheduler>,
     tokens: &[ThreadToken],
     bodies: Vec<Box<dyn FnOnce() + Send + 'a>>,
@@ -474,7 +496,7 @@ pub fn run_bodies<'a>(
                 .filter(|(w, v)| {
                     v.status == WorkerStatus::Blocked
                         && v.pending
-                            .map(|l| label_enabled(thin, tokens[*w], l))
+                            .map(|l| label_enabled(backend.as_ref(), tokens[*w], l))
                             .unwrap_or(false)
                 })
                 .map(|(w, _)| w)

@@ -17,6 +17,7 @@
 
 use std::sync::Arc;
 
+use thinlock::BackendChoice;
 use thinlock_obs::CounterexampleLog;
 
 use crate::explore::{
@@ -185,12 +186,16 @@ pub fn render_replay(
     out
 }
 
-/// Runs the verify suite. With `with_naive`, each program also runs
-/// under exhaustive DFS for the reduction-factor baseline.
-pub fn run_verify(limits: &Limits, with_naive: bool) -> Vec<VerifyReport> {
+/// Runs the verify suite against `backend`. With `with_naive`, each
+/// program also runs under exhaustive DFS for the reduction-factor
+/// baseline. The invariant suite adapts to the backend: the thin
+/// backend is checked for one-way inflation, deflation-capable backends
+/// for deflation safety.
+pub fn run_verify(limits: &Limits, with_naive: bool, backend: BackendChoice) -> Vec<VerifyReport> {
     let sched = Arc::new(CoopScheduler::new());
     verify_programs()
         .into_iter()
+        .map(|program| program.with_backend(backend))
         .map(|program| {
             let naive = with_naive.then(|| explore(&program, &sched, Mode::Naive, limits));
             let dpor = explore(&program, &sched, Mode::Dpor, limits);
@@ -290,12 +295,13 @@ pub fn mutation_programs() -> Vec<(MutationKind, McProgram)> {
         .collect()
 }
 
-/// Hunts every seeded mutation with DPOR exploration; each must be
-/// caught and its counterexample shrunk.
-pub fn run_mutations(limits: &Limits) -> Vec<MutationReport> {
+/// Hunts every seeded mutation with DPOR exploration under `backend`;
+/// each must be caught and its counterexample shrunk.
+pub fn run_mutations(limits: &Limits, backend: BackendChoice) -> Vec<MutationReport> {
     let sched = Arc::new(CoopScheduler::new());
     mutation_programs()
         .into_iter()
+        .map(|(kind, program)| (kind, program.with_backend(backend)))
         .map(|(kind, program)| {
             let out = explore(&program, &sched, Mode::Dpor, limits);
             let caught = out.violation.map(|v| {

@@ -570,12 +570,18 @@ impl FatLock {
             }
             if record.take_interrupt(false) {
                 // Remove ourselves from the wait set unless a notify
-                // already did; the notification takes precedence.
+                // already did; the notification takes precedence. The move
+                // to the entry queue happens in the same critical section:
+                // a thread leaving `wait` must never be in *neither* queue,
+                // or a deflating backend's quiescence snapshot could pass
+                // while this thread is about to re-acquire a monitor that
+                // no longer backs its object.
                 let mut inner = self.lock_inner();
                 if flag.notified.load(Ordering::Acquire) {
                     break WaitOutcome::Notified;
                 }
                 inner.wait_set.retain(|e| e.thread != me);
+                inner.enqueue_entry_back(me);
                 drop(inner);
                 record.take_interrupt(true);
                 self.lock_n(t, saved_depth, registry)?;
@@ -606,7 +612,11 @@ impl FatLock {
                         if flag.notified.load(Ordering::Acquire) {
                             break WaitOutcome::Notified;
                         }
+                        // Migrate wait set → entry queue atomically (see the
+                        // interrupt path above for why the single critical
+                        // section matters to deflating backends).
                         inner.wait_set.retain(|e| e.thread != me);
+                        inner.enqueue_entry_back(me);
                         drop(inner);
                         self.lock_n(t, saved_depth, registry)?;
                         return Ok(WaitOutcome::TimedOut);
@@ -693,6 +703,28 @@ impl FatLock {
     #[inline]
     pub fn holds(&self, t: ThreadToken) -> bool {
         self.lock_inner().owner == Some(t.index())
+    }
+
+    /// Atomically true iff `t` owns the monitor exactly once and both the
+    /// entry queue and the wait set are empty — the deflation precondition
+    /// of a Compact-Java-Monitors backend (BACKENDS.md), evaluated in a
+    /// single critical section so all four facts hold at one instant.
+    ///
+    /// Three separate `count`/`entry_queue_len`/`wait_set_len` reads would
+    /// not do: a timed-out waiter migrates from the wait set to the entry
+    /// queue without owning the monitor, and could slip between two of the
+    /// reads, letting a release deflate a monitor that still has a thread
+    /// inside it. Because the migration itself is one critical section in
+    /// [`wait`](FatLock::wait), and the wait set can only *grow* under
+    /// ownership, a `true` snapshot taken by the owner stays deflation-safe
+    /// until the owner releases: only fresh entry-queue racers can arrive,
+    /// and those revalidate the lock word after acquiring.
+    pub fn is_sole_quiescent_owner(&self, t: ThreadToken) -> bool {
+        let inner = self.lock_inner();
+        inner.owner == Some(t.index())
+            && inner.count == 1
+            && inner.entry_queue.is_empty()
+            && inner.wait_set.is_empty()
     }
 
     /// Number of threads blocked on entry (diagnostics).
@@ -1154,6 +1186,79 @@ mod tests {
         assert!(!lock.reclaim_orphan(dead, &reg), "no ownership to reclaim");
         assert_eq!(lock.entry_queue_len(), 0, "dead entry purged");
         lock.unlock(ra.token(), &reg).unwrap();
+    }
+
+    #[test]
+    fn quiescence_snapshot_tracks_owner_count_and_queues() {
+        let (lock, reg) = setup();
+        let ra = reg.register().unwrap();
+        let ta = ra.token();
+        assert!(
+            !lock.is_sole_quiescent_owner(ta),
+            "unowned is not quiescent"
+        );
+        lock.lock(ta, &reg).unwrap();
+        assert!(lock.is_sole_quiescent_owner(ta));
+        lock.lock(ta, &reg).unwrap();
+        assert!(!lock.is_sole_quiescent_owner(ta), "nested count blocks");
+        lock.unlock(ta, &reg).unwrap();
+        let rb = reg.register().unwrap();
+        assert!(!lock.is_sole_quiescent_owner(rb.token()), "non-owner");
+        // A queued contender blocks quiescence.
+        {
+            let mut inner = lock.lock_inner();
+            inner.enqueue_entry_back(rb.token().index());
+        }
+        assert!(!lock.is_sole_quiescent_owner(ta), "entry queue blocks");
+        {
+            let mut inner = lock.lock_inner();
+            inner.remove_from_entry(rb.token().index());
+        }
+        assert!(lock.is_sole_quiescent_owner(ta));
+        lock.unlock(ta, &reg).unwrap();
+    }
+
+    #[test]
+    fn timed_out_waiter_is_never_in_neither_queue() {
+        // A waiter whose timeout expires must migrate wait set → entry
+        // queue atomically; the monitor must never observe it absent from
+        // both while it is still logically inside `wait`.
+        let (lock, reg) = setup();
+        let waiter = {
+            let lock = Arc::clone(&lock);
+            let reg = reg.clone();
+            thread::spawn(move || {
+                let r = reg.register().unwrap();
+                let t = r.token();
+                lock.lock(t, &reg).unwrap();
+                let out = lock.wait(t, &reg, Some(Duration::from_millis(20))).unwrap();
+                assert!(lock.holds(t), "monitor re-acquired after timeout");
+                lock.unlock(t, &reg).unwrap();
+                out
+            })
+        };
+        // While holding the monitor ourselves for the whole expiry window,
+        // the waiter can time out but must land in the entry queue — it can
+        // never re-acquire (we own), and the atomic migration means the
+        // quiescence snapshot stays false throughout.
+        while lock.wait_set_len() == 0 {
+            thread::yield_now();
+        }
+        let r = reg.register().unwrap();
+        let t = r.token();
+        lock.lock(t, &reg).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(120);
+        while lock.wait_set_len() > 0 && Instant::now() < deadline {
+            assert!(
+                !lock.is_sole_quiescent_owner(t),
+                "waiter visible in a queue at every instant"
+            );
+            thread::yield_now();
+        }
+        // Timed out by now: the waiter sits in the entry queue.
+        assert!(!lock.is_sole_quiescent_owner(t));
+        lock.unlock(t, &reg).unwrap();
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::TimedOut);
     }
 
     #[test]

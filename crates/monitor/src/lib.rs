@@ -19,6 +19,10 @@
 //!   wait-free lookups ("the fat lock pointer is simply obtained by
 //!   shifting the monitor index to the right and indexing into the vector",
 //!   Section 3.3).
+//! * [`pool::MonitorPool`] — the recycling sibling of the table for
+//!   *deflating* backends (Compact Java Monitors): same wait-free lookup,
+//!   but slots return to a free list when their monitor deflates, so a
+//!   bounded pool serves unbounded churn (BACKENDS.md).
 //!
 //! Thin locks (the `thinlock` crate) are "implemented as a veneer over the
 //! existing heavy-weight locking facilities" — i.e., over this crate. The
@@ -29,7 +33,9 @@
 #![deny(missing_debug_implementations)]
 
 pub mod fatlock;
+pub mod pool;
 pub mod table;
 
 pub use fatlock::FatLock;
+pub use pool::MonitorPool;
 pub use table::MonitorTable;

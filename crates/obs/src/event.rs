@@ -58,6 +58,7 @@ pub(crate) fn encode_kind(kind: TraceEventKind) -> (u8, u32) {
             (16, u32::from(field) | (u32::from(write) << 16))
         }
         TraceEventKind::RaceDetected { field } => (17, u32::from(field)),
+        TraceEventKind::Deflated { index } => (18, index),
     }
 }
 
@@ -96,6 +97,7 @@ pub(crate) fn decode_kind(code: u8, payload: u32) -> Option<TraceEventKind> {
         17 => TraceEventKind::RaceDetected {
             field: u16::try_from(payload).ok()?,
         },
+        18 => TraceEventKind::Deflated { index: payload },
         _ => return None,
     })
 }
@@ -165,6 +167,7 @@ mod tests {
                 write: true,
             },
             TraceEventKind::RaceDetected { field: 7 },
+            TraceEventKind::Deflated { index: 0x7F_FFFF },
         ] {
             roundtrip(kind);
         }

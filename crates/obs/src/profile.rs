@@ -85,8 +85,13 @@ pub struct ObjectProfile {
     /// Data races the dynamic Eraser sanitizer reported on this object
     /// (at most one per field).
     pub races: u64,
-    /// The object's inflation, if its lock ever inflated (thin-lock
-    /// inflation is one-way, so at most one per object).
+    /// Times this object's fat word was deflated back to the neutral
+    /// thin shape (always 0 under the one-way thin backend).
+    pub deflations: u64,
+    /// The object's *first* inflation, if its lock ever inflated. Under
+    /// the thin backend inflation is one-way so there is at most one; a
+    /// deflating backend may re-inflate, in which case the earliest
+    /// event is kept.
     pub inflation: Option<Inflation>,
 }
 
@@ -110,6 +115,7 @@ impl ObjectProfile {
             field_reads: 0,
             field_writes: 0,
             races: 0,
+            deflations: 0,
             inflation: None,
         }
     }
@@ -153,6 +159,9 @@ pub struct ContentionProfile {
     pub spin_histogram: [u64; SPIN_BUCKETS],
     /// Fat-lock slots handed out by the monitor table.
     pub monitors_allocated: u64,
+    /// Fat words restored to the neutral thin shape by a deflating
+    /// backend (always 0 under the one-way thin backend).
+    pub deflations: u64,
     /// Monitor operations elided by the static escape analysis.
     pub elision_hits: u64,
     /// Pre-inflation hints delivered to the protocol.
@@ -200,6 +209,7 @@ impl ContentionProfile {
         let mut inflations = Vec::new();
         let mut spin_histogram = [0u64; SPIN_BUCKETS];
         let mut monitors_allocated = 0;
+        let mut deflations = 0;
         let mut elision_hits = 0;
         let mut pre_inflate_hints = 0;
         let mut pre_inflate_applied = 0;
@@ -278,6 +288,12 @@ impl ContentionProfile {
                     }
                 }
                 TraceEventKind::MonitorAllocated { .. } => monitors_allocated += 1,
+                TraceEventKind::Deflated { .. } => {
+                    deflations += 1;
+                    if let Some(p) = profile {
+                        p.deflations += 1;
+                    }
+                }
                 TraceEventKind::ElisionHit => {
                     elision_hits += 1;
                     if let Some(p) = profile {
@@ -342,6 +358,7 @@ impl ContentionProfile {
             inflations,
             spin_histogram,
             monitors_allocated,
+            deflations,
             elision_hits,
             pre_inflate_hints,
             pre_inflate_applied,
@@ -389,6 +406,7 @@ impl ContentionProfile {
         w.field_u64("dropped", self.dropped);
         w.field_u64("redirected", self.redirected);
         w.field_u64("monitors_allocated", self.monitors_allocated);
+        w.field_u64("deflations", self.deflations);
         w.field_u64("elision_hits", self.elision_hits);
         w.field_u64("pre_inflate_hints", self.pre_inflate_hints);
         w.field_u64("pre_inflate_applied", self.pre_inflate_applied);
@@ -428,6 +446,7 @@ impl ContentionProfile {
             w.field_u64("field_reads", o.field_reads);
             w.field_u64("field_writes", o.field_writes);
             w.field_u64("races", o.races);
+            w.field_u64("deflations", o.deflations);
             match o.inflation {
                 Some(i) => {
                     w.begin_named_object("inflation");
@@ -488,6 +507,9 @@ impl fmt::Display for ContentionProfile {
             self.pre_inflate_hints,
             self.pre_inflate_applied
         )?;
+        if self.deflations > 0 {
+            writeln!(f, "deflations: {}", self.deflations)?;
+        }
         if self.field_reads + self.field_writes + self.races_detected > 0 {
             writeln!(
                 f,

@@ -107,6 +107,16 @@ pub enum TraceEventKind {
         /// successful `Inflated { cause: Hint }` event follows).
         applied: bool,
     },
+    /// A deflating release restored the object's lock word from its fat
+    /// shape back to the neutral thin shape, releasing the monitor for
+    /// reuse. Only protocols with a deflation step (the CJM backend)
+    /// emit this; under the thin protocol inflation is one-way and this
+    /// event never occurs.
+    Deflated {
+        /// The monitor index the object's fat word pointed at before
+        /// the deflating store (the slot returned to the pool).
+        index: u32,
+    },
     /// The registry's exit sweep force-released a lock whose owner
     /// deregistered (died) while still holding it; `thread` is the dead
     /// owner and `obj` the reclaimed object.
@@ -160,6 +170,7 @@ impl TraceEventKind {
             TraceEventKind::MonitorAllocated { .. } => "monitor-allocated",
             TraceEventKind::ElisionHit => "elision-hit",
             TraceEventKind::PreInflateHint { .. } => "pre-inflate-hint",
+            TraceEventKind::Deflated { .. } => "deflated",
             TraceEventKind::OrphanReclaimed { .. } => "orphan-reclaimed",
             TraceEventKind::DeadlockDetected { .. } => "deadlock-detected",
             TraceEventKind::AcquireTimedOut => "acquire-timed-out",

@@ -17,6 +17,10 @@
 //! * [`protocol`] — the [`protocol::SyncProtocol`] trait implemented by the
 //!   thin-lock protocol and by both baselines, so benchmarks and the
 //!   bytecode VM are generic over the locking implementation.
+//! * [`backend`] — the [`backend::SyncBackend`] extension trait: the
+//!   introspection probes (owner, lock word, monitor snapshot, monitor
+//!   population) that make whole backends interchangeable under the
+//!   chaos, model-checking, and benchmark harnesses (BACKENDS.md).
 //! * [`stats`] — instrumentation counters for the locking-scenario
 //!   characterization of Section 3.2 (Table 1 / Figure 3).
 //! * [`events`] — the [`events::TraceSink`] seam through which protocols
@@ -48,6 +52,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod arch;
+pub mod backend;
 pub mod backoff;
 pub mod error;
 pub mod events;
@@ -60,6 +65,7 @@ pub mod registry;
 pub mod schedule;
 pub mod stats;
 
+pub use backend::{MonitorProbe, SyncBackend};
 pub use error::{SyncError, SyncResult};
 pub use events::{TraceEventKind, TraceSink};
 pub use fault::{FaultAction, FaultInjector, InjectionPoint};

@@ -63,6 +63,11 @@ pub enum SchedPoint {
     UnlockNest,
     /// Before a fat lock is released through its monitor.
     FatUnlock,
+    /// Before a deflating release restores the object's word to its
+    /// neutral thin shape. Only protocols with a deflation step (the
+    /// CJM backend, the Tasuki variant) emit this point; the thin
+    /// protocol's one-way inflation never reaches it.
+    Deflate,
     /// Before parking in the fat-lock entry queue. `SkipPark` applies.
     FatPark,
     /// Before parking in a `wait`. `SkipPark` applies.
@@ -77,7 +82,7 @@ pub enum SchedPoint {
 
 impl SchedPoint {
     /// Every schedule point, in catalog order.
-    pub const ALL: [SchedPoint; 12] = [
+    pub const ALL: [SchedPoint; 13] = [
         SchedPoint::LockFast,
         SchedPoint::LockNest,
         SchedPoint::LockSlowCas,
@@ -86,6 +91,7 @@ impl SchedPoint {
         SchedPoint::UnlockThin,
         SchedPoint::UnlockNest,
         SchedPoint::FatUnlock,
+        SchedPoint::Deflate,
         SchedPoint::FatPark,
         SchedPoint::WaitPark,
         SchedPoint::Notify,
@@ -103,6 +109,7 @@ impl SchedPoint {
             SchedPoint::UnlockThin => "unlock-thin",
             SchedPoint::UnlockNest => "unlock-nest",
             SchedPoint::FatUnlock => "fat-unlock",
+            SchedPoint::Deflate => "deflate",
             SchedPoint::FatPark => "fat-park",
             SchedPoint::WaitPark => "wait-park",
             SchedPoint::Notify => "notify",

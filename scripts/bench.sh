@@ -46,6 +46,12 @@ smoke)
         --json out/bench_smoke.json "$@" >out/bench_smoke_output.txt
     ./target/release/benchgate --baseline "$BASELINE" \
         --current out/bench_smoke.json --ids-only
+    # The churn section per backend, through the --backend flag itself.
+    for backend in thin cjm; do
+        ./target/release/reproduce churn --iters 300 --scale 50000 \
+            --backend "$backend" >>out/bench_smoke_output.txt
+    done
+    echo "backend smoke (thin, cjm) appended to out/bench_smoke_output.txt"
     ;;
 *)
     echo "usage: scripts/bench.sh [run|gate|refresh-baseline|smoke] [extra reproduce args...]" >&2

@@ -19,4 +19,10 @@ echo "== chaos: high fault rate, tight contention (2 objects, 60% injection)"
 echo "== chaos: wide fan-out (6 threads, 8 objects, no kills)"
 "${CHAOS[@]}" --seeds 64 --start 9000 --threads 6 --objects 8 --ops 40 --kill-every 0
 
+echo "== chaos[cjm]: 1024-seed sweep, deflating backend with bounded monitor pool"
+"${CHAOS[@]}" --backend cjm --seeds 1024 --start 0
+
+echo "== chaos[cjm]: high fault rate, tight contention (2 objects, 60% injection)"
+"${CHAOS[@]}" --backend cjm --seeds 128 --start 5000 --objects 2 --rate-ppm 600000
+
 echo "All chaos schedules converged."

@@ -22,11 +22,17 @@ cargo test -q --offline
 echo "== lockcheck: race verdicts must match ground truth"
 cargo run -q --release --offline -p thinlock-analysis --bin lockcheck -- --deny-races >/dev/null
 
-echo "== lockmc: bounded interleaving exploration must stay clean"
-cargo run -q --release --offline -p thinlock-modelcheck --bin lockmc -- verify --quick >/dev/null
+echo "== lockmc: bounded interleaving exploration must stay clean (thin, cjm)"
+for backend in thin cjm; do
+    cargo run -q --release --offline -p thinlock-modelcheck --bin lockmc -- \
+        verify --quick --backend "$backend" >/dev/null
+done
 
-echo "== lockmc: every seeded protocol mutation must be caught"
-cargo run -q --release --offline -p thinlock-modelcheck --bin lockmc -- --mutate --quick >/dev/null
+echo "== lockmc: every seeded protocol mutation must be caught (thin, cjm)"
+for backend in thin cjm; do
+    cargo run -q --release --offline -p thinlock-modelcheck --bin lockmc -- \
+        --mutate --quick --backend "$backend" >/dev/null
+done
 
 echo "== bench smoke: tiny reproduce --json run + id-coverage gate"
 bash scripts/bench.sh smoke

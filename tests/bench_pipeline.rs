@@ -139,7 +139,7 @@ fn gate_round_trips_through_json() {
 /// baseline can never drift apart silently.
 #[test]
 fn tiny_all_run_emits_every_expected_id() {
-    let report = report::run_sections(&["all".to_string()], 300, 50_000, None)
+    let report = report::run_sections(&["all".to_string()], 300, 50_000, None, None)
         .expect("tiny reproduction run succeeds");
     let got: BTreeSet<&str> = report.benchmarks.iter().map(|r| r.id.as_str()).collect();
     let want_vec = report::expected_ids();

@@ -6,13 +6,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use thinlock_bench::ProtocolKind; // semantics tests cover the paper's three protocols plus Tasuki
+use thinlock_bench::ProtocolKind; // semantics tests cover every implemented backend (paper's three, Tasuki, CJM)
 use thinlock_runtime::error::SyncError;
 use thinlock_runtime::protocol::{SyncProtocol, SyncProtocolExt, WaitOutcome};
 
 #[test]
 fn single_threaded_semantics_are_identical() {
-    for kind in ProtocolKind::ALL_EXTENDED {
+    for kind in ProtocolKind::ALL_BACKENDS {
         let p = kind.build(8, 0);
         let reg = p.registry().register().unwrap();
         let t = reg.token();
@@ -41,7 +41,7 @@ fn single_threaded_semantics_are_identical() {
 
 #[test]
 fn ownership_violations_rejected_everywhere() {
-    for kind in ProtocolKind::ALL_EXTENDED {
+    for kind in ProtocolKind::ALL_BACKENDS {
         let p = kind.build(4, 0);
         let ra = p.registry().register().unwrap();
         let rb = p.registry().register().unwrap();
@@ -67,7 +67,7 @@ fn ownership_violations_rejected_everywhere() {
 fn guarded_counter_is_exact_under_every_protocol() {
     const THREADS: usize = 4;
     const ITERS: u64 = 400;
-    for kind in ProtocolKind::ALL_EXTENDED {
+    for kind in ProtocolKind::ALL_BACKENDS {
         let p: Arc<dyn SyncProtocol> = Arc::from(kind.build(4, 0));
         let obj = p.heap().alloc().unwrap();
         let counter = Arc::new(AtomicU64::new(0));
@@ -99,7 +99,7 @@ fn guarded_counter_is_exact_under_every_protocol() {
 
 #[test]
 fn wait_notify_rendezvous_under_every_protocol() {
-    for kind in ProtocolKind::ALL_EXTENDED {
+    for kind in ProtocolKind::ALL_BACKENDS {
         let p: Arc<dyn SyncProtocol> = Arc::from(kind.build(4, 0));
         let obj = p.heap().alloc().unwrap();
         let ready = Arc::new(AtomicU64::new(0));
@@ -143,7 +143,7 @@ fn wait_notify_rendezvous_under_every_protocol() {
 
 #[test]
 fn timed_wait_times_out_under_every_protocol() {
-    for kind in ProtocolKind::ALL_EXTENDED {
+    for kind in ProtocolKind::ALL_BACKENDS {
         let p = kind.build(4, 0);
         let reg = p.registry().register().unwrap();
         let t = reg.token();
@@ -159,7 +159,7 @@ fn timed_wait_times_out_under_every_protocol() {
 #[test]
 fn notify_all_wakes_all_under_every_protocol() {
     const WAITERS: usize = 3;
-    for kind in ProtocolKind::ALL_EXTENDED {
+    for kind in ProtocolKind::ALL_BACKENDS {
         let p: Arc<dyn SyncProtocol> = Arc::from(kind.build(4, 0));
         let obj = p.heap().alloc().unwrap();
         let entered = Arc::new(AtomicU64::new(0));
@@ -197,7 +197,7 @@ fn notify_all_wakes_all_under_every_protocol() {
 
 #[test]
 fn guard_api_works_for_dynamic_protocols() {
-    for kind in ProtocolKind::ALL_EXTENDED {
+    for kind in ProtocolKind::ALL_BACKENDS {
         let p = kind.build(4, 0);
         let reg = p.registry().register().unwrap();
         let t = reg.token();

@@ -12,7 +12,7 @@ use thinlock_runtime::protocol::{SyncProtocol, SyncProtocolExt};
 
 #[test]
 fn panic_inside_guard_releases_monitor_everywhere() {
-    for kind in ProtocolKind::ALL_EXTENDED {
+    for kind in ProtocolKind::ALL_BACKENDS {
         let p = kind.build(4, 0);
         let reg = p.registry().register().unwrap();
         let t = reg.token();
@@ -31,7 +31,7 @@ fn panic_inside_guard_releases_monitor_everywhere() {
 
 #[test]
 fn panic_in_one_thread_does_not_wedge_others() {
-    for kind in ProtocolKind::ALL_EXTENDED {
+    for kind in ProtocolKind::ALL_BACKENDS {
         let p: Arc<dyn SyncProtocol> = Arc::from(kind.build(4, 0));
         let obj = p.heap().alloc().unwrap();
         let progressed = Arc::new(AtomicU64::new(0));
@@ -69,7 +69,7 @@ fn panic_in_one_thread_does_not_wedge_others() {
 
 #[test]
 fn heap_exhaustion_is_a_clean_error() {
-    for kind in ProtocolKind::ALL_EXTENDED {
+    for kind in ProtocolKind::ALL_BACKENDS {
         let p = kind.build(2, 0);
         let _a = p.heap().alloc().unwrap();
         let _b = p.heap().alloc().unwrap();
@@ -105,8 +105,12 @@ fn registry_exhaustion_is_a_clean_error() {
 }
 
 #[test]
-fn interrupt_during_wait_surfaces_under_thin_and_tasuki() {
-    for kind in [ProtocolKind::ThinLock, ProtocolKind::Tasuki] {
+fn interrupt_during_wait_surfaces_under_parking_backends() {
+    for kind in [
+        ProtocolKind::ThinLock,
+        ProtocolKind::Tasuki,
+        ProtocolKind::Cjm,
+    ] {
         let p: Arc<dyn SyncProtocol> = Arc::from(kind.build(4, 0));
         let obj = p.heap().alloc().unwrap();
         let waiter_index = Arc::new(AtomicU64::new(0));
@@ -165,7 +169,7 @@ fn monitor_exhaustion_reported_not_corrupting() {
 
 #[test]
 fn zero_timeout_wait_returns_promptly() {
-    for kind in ProtocolKind::ALL_EXTENDED {
+    for kind in ProtocolKind::ALL_BACKENDS {
         let p = kind.build(2, 0);
         let reg = p.registry().register().unwrap();
         let t = reg.token();

@@ -13,6 +13,7 @@
 
 use std::sync::Arc;
 
+use thinlock::BackendChoice;
 use thinlock_modelcheck::suite::{render_replay, run_mutations, run_verify};
 use thinlock_modelcheck::{explore, reduction_factor, CoopScheduler, Limits, Mode, MutationKind};
 
@@ -54,7 +55,7 @@ fn required_state_spaces_are_exhausted_clean() {
 /// factor beats 2x.
 #[test]
 fn verify_suite_is_clean_with_reduction_over_two() {
-    let reports = run_verify(&Limits::exhaustive(), true);
+    let reports = run_verify(&Limits::exhaustive(), true, BackendChoice::Thin);
     for r in &reports {
         assert!(r.violation.is_none(), "{}: {:?}", r.name, r.violation);
         assert!(r.dpor.complete, "{}: dpor incomplete", r.name);
@@ -79,7 +80,7 @@ fn verify_suite_is_clean_with_reduction_over_two() {
 #[test]
 fn every_mutation_is_caught_with_deterministic_counterexample() {
     let limits = Limits::exhaustive();
-    let reports = run_mutations(&limits);
+    let reports = run_mutations(&limits, BackendChoice::Thin);
     assert_eq!(reports.len(), MutationKind::ALL.len());
     let sched = Arc::new(CoopScheduler::new());
     let programs = thinlock_modelcheck::mutation_programs();
@@ -123,7 +124,7 @@ fn every_mutation_is_caught_with_deterministic_counterexample() {
 /// check.
 #[test]
 fn mutations_are_caught_by_diverse_invariants() {
-    let reports = run_mutations(&Limits::exhaustive());
+    let reports = run_mutations(&Limits::exhaustive(), BackendChoice::Thin);
     let invariants: std::collections::HashSet<&'static str> = reports
         .iter()
         .filter_map(|r| r.caught.as_ref().map(|c| c.invariant))
@@ -132,4 +133,33 @@ fn mutations_are_caught_by_diverse_invariants() {
         invariants.len() >= 3,
         "all mutations caught by too few invariants: {invariants:?}"
     );
+}
+
+/// The CJM backend's verify suite is clean under the quick budget: the
+/// same catalog programs, but the shape-transition invariant is
+/// deflation safety rather than one-way inflation, and the explored
+/// space includes the deflate-vs-acquire revalidation race.
+#[test]
+fn cjm_verify_suite_is_clean_under_quick_budget() {
+    let reports = run_verify(&Limits::quick(), false, BackendChoice::Cjm);
+    for r in &reports {
+        assert!(r.violation.is_none(), "{}: {:?}", r.name, r.violation);
+    }
+}
+
+/// Every seeded mutation is also caught under the CJM backend — in
+/// particular the deflating mutation, which one-way inflation can no
+/// longer flag, must now be caught by the deflation-safety invariant
+/// (or a downstream break it causes).
+#[test]
+fn every_mutation_is_caught_under_cjm() {
+    let reports = run_mutations(&Limits::quick(), BackendChoice::Cjm);
+    assert_eq!(reports.len(), MutationKind::ALL.len());
+    for r in &reports {
+        assert!(
+            r.caught.is_some(),
+            "{}: seeded mutation survived exploration under cjm",
+            r.kind
+        );
+    }
 }

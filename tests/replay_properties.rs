@@ -107,7 +107,7 @@ fn replay_is_protocol_independent() {
         let pi = gen_profile_index(&mut rng);
         let trace = generate(&MACRO_BENCHMARKS[pi], &cfg);
         let mut per_protocol = Vec::new();
-        for kind in ProtocolKind::ALL_EXTENDED {
+        for kind in ProtocolKind::ALL_BACKENDS {
             let p = kind.build(trace.required_heap_capacity(), 0);
             let reg = p.registry().register().unwrap();
             let out = replay(&*p, &trace, reg.token()).unwrap();
@@ -148,7 +148,7 @@ fn pathological_trace_replays_everywhere() {
     }
     let trace = LockTrace::from_ops("pathological", ops).expect("well-formed");
     assert_eq!(trace.lock_ops(), 50 * 4 + 299);
-    for kind in ProtocolKind::ALL_EXTENDED {
+    for kind in ProtocolKind::ALL_BACKENDS {
         let p = kind.build(trace.required_heap_capacity(), 0);
         let reg = p.registry().register().unwrap();
         let out = replay(&*p, &trace, reg.token()).unwrap();

@@ -41,7 +41,7 @@ fn run_on(kind: ProtocolKind, bench: MicroBench, iters: i32) -> i32 {
 #[test]
 fn every_benchmark_on_every_protocol_returns_iters() {
     for bench in ALL_BENCHES {
-        for kind in ProtocolKind::ALL {
+        for kind in ProtocolKind::ALL_BACKENDS {
             assert_eq!(run_on(kind, bench, 137), 137, "{kind} / {bench}");
         }
     }
@@ -78,7 +78,7 @@ fn assembled_program_runs_like_the_generated_one() {
 
 #[test]
 fn call_sync_updates_field_identically_across_protocols() {
-    for kind in ProtocolKind::ALL {
+    for kind in ProtocolKind::ALL_BACKENDS {
         let bench = MicroBench::CallSync;
         let protocol = kind.build(2, 1);
         let pool = vec![protocol.heap().alloc().unwrap()];
@@ -100,7 +100,7 @@ fn threads_program_totals_are_exact_under_contention() {
     // monitor must serialize the read-modify-write in `bump`.
     const THREADS: u32 = 4;
     const ITERS: i32 = 500;
-    for kind in ProtocolKind::ALL {
+    for kind in ProtocolKind::ALL_BACKENDS {
         let protocol: Arc<dyn SyncProtocol> = Arc::from(kind.build(2, 1));
         let shared = protocol.heap().alloc().unwrap();
         // CallSync both locks and mutates a field, making lost updates
