@@ -42,11 +42,11 @@ pub enum BackendChoice {
 
 /// Optional instrumentation threaded into a backend at construction.
 ///
-/// The thin and CJM backends accept all four seams; the Tasuki baseline
-/// is an uninstrumented reference implementation, so seams passed with
-/// [`BackendChoice::Tasuki`] are ignored (harnesses that need a seam —
-/// the model checker, the chaos runner — restrict themselves to
-/// [`BackendChoice::schedulable`] choices).
+/// The thin and CJM backends accept all five seams. The Tasuki backend
+/// honors `fault_injector` and `orphan_recovery` (so the chaos harness
+/// and the crash matrix cover it) but ignores `stats`, `trace_sink`, and
+/// `schedule` — harnesses that depend on one of those restrict
+/// themselves to [`BackendChoice::schedulable`] choices.
 #[derive(Default)]
 pub struct BackendSeams {
     /// Statistics counters (`ThinLocks::with_stats` discipline).
@@ -110,10 +110,33 @@ impl BackendChoice {
         }
     }
 
-    /// Whether the backend honors all [`BackendSeams`] — the harnesses
-    /// that depend on a seam (model checking needs `schedule`, chaos
-    /// needs `fault_injector`) only offer these choices.
+    /// Whether the backend honors all [`BackendSeams`] — harnesses that
+    /// depend on the `schedule` seam (the model checker) only offer
+    /// these choices.
     pub fn schedulable(self) -> bool {
+        !matches!(self, BackendChoice::Tasuki)
+    }
+
+    /// Whether the backend consults [`FaultInjector`] at its labeled
+    /// injection points — the capability the chaos harness and the
+    /// crash-chaos supervisor require. All three backends qualify.
+    pub fn fault_injectable(self) -> bool {
+        true
+    }
+
+    /// Whether the backend installs a registry exit sweeper when
+    /// [`BackendSeams::orphan_recovery`] is set, force-releasing a dead
+    /// thread's locks. All three backends qualify.
+    pub fn orphan_recoverable(self) -> bool {
+        true
+    }
+
+    /// Whether `monitors_live`/`monitors_peak` are bounded by the number
+    /// of simultaneously-inflated objects. The Tasuki table never reuses
+    /// an index (its deflation revalidation relies on that), so its
+    /// reported population is the *cumulative* inflation count and the
+    /// chaos harness must not grade it against the live-object bound.
+    pub fn bounded_monitor_population(self) -> bool {
         !matches!(self, BackendChoice::Tasuki)
     }
 
@@ -150,7 +173,16 @@ impl BackendChoice {
                 }
                 Arc::new(p)
             }
-            BackendChoice::Tasuki => Arc::new(TasukiLocks::with_capacity(capacity)),
+            BackendChoice::Tasuki => {
+                let mut p = TasukiLocks::with_capacity(capacity);
+                if let Some(injector) = seams.fault_injector {
+                    p = p.with_fault_injector(injector);
+                }
+                if seams.orphan_recovery {
+                    p = p.with_orphan_recovery();
+                }
+                Arc::new(p)
+            }
             BackendChoice::Cjm => {
                 let mut p = CjmLocks::with_capacity(capacity);
                 if let Some(stats) = seams.stats {
@@ -224,5 +256,48 @@ mod tests {
         locks.lock(obj, t).unwrap();
         locks.unlock(obj, t).unwrap();
         assert_eq!(stats.snapshot().scenario_counts[0], 1);
+    }
+
+    #[test]
+    fn capability_matrix() {
+        for choice in BackendChoice::ALL {
+            assert!(choice.fault_injectable(), "{choice}");
+            assert!(choice.orphan_recoverable(), "{choice}");
+        }
+        assert!(BackendChoice::Thin.bounded_monitor_population());
+        assert!(BackendChoice::Cjm.bounded_monitor_population());
+        assert!(!BackendChoice::Tasuki.bounded_monitor_population());
+        assert!(!BackendChoice::Tasuki.schedulable());
+    }
+
+    #[test]
+    fn tasuki_honors_fault_and_orphan_seams() {
+        use thinlock_runtime::fault::{FaultAction, InjectionPoint};
+
+        #[derive(Debug, Default)]
+        struct Counting(std::sync::atomic::AtomicUsize);
+        impl FaultInjector for Counting {
+            fn decide(&self, _point: InjectionPoint) -> FaultAction {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                FaultAction::Proceed
+            }
+        }
+
+        let injector = Arc::new(Counting::default());
+        let seams = BackendSeams {
+            fault_injector: Some(Arc::clone(&injector) as Arc<dyn FaultInjector>),
+            orphan_recovery: true,
+            ..BackendSeams::default()
+        };
+        let locks = BackendChoice::Tasuki.build_with(4, seams);
+        let r = locks.registry().register().unwrap();
+        let t = r.token();
+        let obj = locks.heap().alloc().unwrap();
+        locks.lock(obj, t).unwrap();
+        locks.unlock(obj, t).unwrap();
+        assert!(
+            injector.0.load(std::sync::atomic::Ordering::Relaxed) >= 2,
+            "tasuki must consult the injector on lock and unlock"
+        );
     }
 }

@@ -36,17 +36,19 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{fence, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use thinlock_monitor::{FatLock, MonitorTable};
 use thinlock_runtime::arch::{ArchProfile, LockWordCell};
 use thinlock_runtime::backend::{MonitorProbe, SyncBackend};
+use thinlock_runtime::backoff::{Backoff, SpinPolicy};
 use thinlock_runtime::error::{SyncError, SyncResult};
+use thinlock_runtime::fault::{FaultAction, FaultInjector, InjectionPoint};
 use thinlock_runtime::heap::{Heap, ObjRef};
 use thinlock_runtime::lockword::{LockWord, ThreadIndex, MAX_THIN_COUNT};
 use thinlock_runtime::protocol::{SyncProtocol, WaitOutcome};
-use thinlock_runtime::registry::{ThreadRegistry, ThreadToken};
+use thinlock_runtime::registry::{ExitSweeper, ThreadRegistry, ThreadToken};
 
 /// Bit 0 of the auxiliary header word: "a thread is parked waiting for
 /// this object's flat lock". Lives outside the lock word so that only the
@@ -66,20 +68,25 @@ struct Lobby {
 }
 
 impl Lobby {
+    /// Locks the lobby map, recovering from poison: every lobby critical
+    /// section is a single self-contained map mutation, so a waiter that
+    /// panicked while holding the guard left the map consistent — the
+    /// same reasoning [`FatLock`] uses for its own queues. Wedging every
+    /// future contender over a bystander's panic would turn one thread's
+    /// bug into a whole-process hang.
+    fn guard(&self) -> MutexGuard<'_, HashMap<usize, Vec<ThreadIndex>>> {
+        self.waiting.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn enqueue(&self, obj: ObjRef, me: ThreadIndex) {
-        self.waiting
-            .lock()
-            .expect("lobby poisoned")
-            .entry(obj.index())
-            .or_default()
-            .push(me);
+        self.guard().entry(obj.index()).or_default().push(me);
     }
 
     /// Removes `me` from the queue; returns true if the queue is now empty
     /// (caller may clear the flc bit while we still hold the lobby lock —
     /// a new contender re-sets it *after* enqueueing, so no clear is lost).
     fn retract(&self, obj: ObjRef, me: ThreadIndex, aux: &std::sync::atomic::AtomicU32) {
-        let mut map = self.waiting.lock().expect("lobby poisoned");
+        let mut map = self.guard();
         if let Some(q) = map.get_mut(&obj.index()) {
             q.retain(|&x| x != me);
             if q.is_empty() {
@@ -92,7 +99,7 @@ impl Lobby {
     /// Drains and wakes every waiter for `obj`, clearing the flc bit.
     fn wake_all(&self, obj: ObjRef, aux: &std::sync::atomic::AtomicU32, registry: &ThreadRegistry) {
         let drained = {
-            let mut map = self.waiting.lock().expect("lobby poisoned");
+            let mut map = self.guard();
             let drained = map.remove(&obj.index()).unwrap_or_default();
             if map.get(&obj.index()).is_none() {
                 aux.fetch_and(!FLC_BIT, Ordering::SeqCst);
@@ -129,8 +136,9 @@ impl Lobby {
 pub struct TasukiLocks {
     heap: Arc<Heap>,
     registry: ThreadRegistry,
-    monitors: MonitorTable,
-    lobby: Lobby,
+    monitors: Arc<MonitorTable>,
+    lobby: Arc<Lobby>,
+    injector: Option<Arc<dyn FaultInjector>>,
     profile: ArchProfile,
     inflations: std::sync::atomic::AtomicU64,
     deflations: std::sync::atomic::AtomicU64,
@@ -152,11 +160,60 @@ impl TasukiLocks {
         TasukiLocks {
             heap,
             registry,
-            monitors,
-            lobby: Lobby::default(),
+            monitors: Arc::new(monitors),
+            lobby: Arc::new(Lobby::default()),
+            injector: None,
             profile: ArchProfile::PowerPcMp,
             inflations: std::sync::atomic::AtomicU64::new(0),
             deflations: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a fault injector, consulted at the same labeled
+    /// [`InjectionPoint`]s as the base protocol (fast/slow CAS, the
+    /// pre-park spin point, unlock stores, inflation) and propagated into
+    /// the heap and monitor table so allocation, fat-path, and park
+    /// points are covered too. When absent the cost is one never-taken
+    /// branch per point.
+    #[must_use]
+    pub fn with_fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.monitors.set_fault_injector(Arc::clone(&injector));
+        self.heap.set_fault_injector(Arc::clone(&injector));
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Installs the orphaned-lock sweeper on this protocol's registry,
+    /// mirroring [`ThinLocks::with_orphan_recovery`]: a dead thread's
+    /// thin words are force-cleared, its fat monitors reclaimed, and —
+    /// specific to this protocol — the lobby is woken for any object
+    /// whose flc bit is still set, so a contender parked on the dead
+    /// owner's flat lock does not sleep forever.
+    ///
+    /// [`ThinLocks::with_orphan_recovery`]: crate::ThinLocks::with_orphan_recovery
+    #[must_use]
+    pub fn with_orphan_recovery(self) -> Self {
+        self.enable_orphan_recovery();
+        self
+    }
+
+    /// Non-consuming form of [`with_orphan_recovery`](Self::with_orphan_recovery).
+    pub fn enable_orphan_recovery(&self) {
+        self.registry
+            .set_exit_sweeper(Arc::new(TasukiOrphanSweeper {
+                heap: Arc::clone(&self.heap),
+                monitors: Arc::clone(&self.monitors),
+                lobby: Arc::clone(&self.lobby),
+                injector: self.injector.clone(),
+                profile: self.profile,
+            }));
+    }
+
+    #[inline]
+    fn inject(&self, point: InjectionPoint) -> FaultAction {
+        match &self.injector {
+            None => FaultAction::Proceed,
+            Some(injector) => injector.decide(point),
         }
     }
 
@@ -194,6 +251,9 @@ impl TasukiLocks {
 
     /// Owner-only inflation; same as the base protocol.
     fn inflate_owned(&self, obj: ObjRef, t: ThreadToken, locks: u32) -> SyncResult<&FatLock> {
+        if self.inject(InjectionPoint::Inflate) == FaultAction::Yield {
+            std::thread::yield_now();
+        }
         let idx = self.monitors.allocate(FatLock::new_owned(t, locks))?;
         let cell = self.cell(obj);
         let current = cell.load_relaxed();
@@ -206,11 +266,30 @@ impl TasukiLocks {
     /// lobby instead of spinning, and never inflates by itself.
     fn lock_impl(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
         let cell = self.cell(obj);
+        // Jittered per-thread backoff for the deflation-race retry loop,
+        // seeded by the thread index so seeded replays stay deterministic
+        // (see `runtime::backoff`).
+        let mut backoff = Backoff::jittered(SpinPolicy::SpinThenYield, u64::from(t.index().get()));
+        let mut first = true;
         loop {
-            // Thin fast path.
+            // Thin fast path (slow-path CAS on later rounds).
+            let point = if first {
+                InjectionPoint::LockFastCas
+            } else {
+                InjectionPoint::LockSlowCas
+            };
+            first = false;
+            let attempt_cas = match self.inject(point) {
+                FaultAction::FailCas => false,
+                FaultAction::Yield => {
+                    std::thread::yield_now();
+                    true
+                }
+                _ => true,
+            };
             let old = cell.load_relaxed().with_lock_field_clear();
             let new = LockWord::from_bits(old.bits() | t.shifted());
-            if cell.try_cas(old, new, self.profile).is_ok() {
+            if attempt_cas && cell.try_cas(old, new, self.profile).is_ok() {
                 return Ok(());
             }
             let word = cell.load_relaxed();
@@ -235,6 +314,9 @@ impl TasukiLocks {
                     return Ok(());
                 }
                 monitor.unlock(t, &self.registry)?;
+                // Lost a deflation race; back off before revalidating so
+                // racers that collided in lockstep spread out.
+                backoff.snooze();
                 continue;
             }
             if word.is_unlocked() {
@@ -249,7 +331,16 @@ impl TasukiLocks {
             fence(Ordering::SeqCst);
             let recheck = cell.load_relaxed();
             if thin_held_by_other(recheck, me) {
-                record.parker().park();
+                // The park stands in for the base protocol's spin: same
+                // labeled point, so chaos plans and the crash matrix can
+                // perturb (or kill) a contender right before it sleeps.
+                match self.inject(InjectionPoint::LockSpin) {
+                    FaultAction::Yield => std::thread::yield_now(),
+                    // Skip the park entirely — parks may always wake
+                    // spuriously, so the retry loop must already cope.
+                    FaultAction::SpuriousWake => {}
+                    _ => record.parker().park(),
+                }
             }
             // Woken (or the lock changed state): retract and retry.
             self.lobby.retract(obj, me, self.aux(obj));
@@ -263,6 +354,9 @@ impl TasukiLocks {
         if word.is_locked_once_by(t.shifted()) {
             // Final thin unlock: releasing store, then the Dekker-paired
             // flc check so a parked contender is always woken.
+            if self.inject(InjectionPoint::UnlockStore) == FaultAction::Yield {
+                std::thread::yield_now();
+            }
             cell.store_unlock(word.with_lock_field_clear(), self.profile);
             fence(Ordering::SeqCst);
             if self.aux(obj).load(Ordering::SeqCst) & FLC_BIT != 0 {
@@ -286,10 +380,16 @@ impl TasukiLocks {
             }
             // Deflation: if this releases the last nesting level and the
             // monitor is quiet, restore the thin word before releasing.
-            // A racer that enqueues between the checks and our release is
-            // woken by the release and revalidates.
-            if monitor.count() == 1 && monitor.entry_queue_len() == 0 && monitor.wait_set_len() == 0
-            {
+            // A racer that enqueues between the snapshot and our release is
+            // woken by the release and revalidates. The snapshot must be
+            // one critical section: a timed-out waiter migrating wait set
+            // -> entry queue could otherwise slip between two separate
+            // len() reads and be seen by neither, letting us deflate a
+            // monitor it is about to re-acquire.
+            if monitor.is_sole_quiescent_owner(t) {
+                if self.inject(InjectionPoint::UnlockStore) == FaultAction::Yield {
+                    std::thread::yield_now();
+                }
                 cell.store_release(word.with_lock_field_clear());
                 self.deflations.fetch_add(1, Ordering::Relaxed);
                 monitor.unlock(t, &self.registry)?;
@@ -345,6 +445,51 @@ impl TasukiLocks {
 
 fn thin_held_by_other(word: LockWord, me: ThreadIndex) -> bool {
     word.is_thin_shape() && word.thin_owner().is_some_and(|o| o != me)
+}
+
+/// Heap-scanning exit sweeper for [`TasukiLocks`] — the same shape as the
+/// base protocol's, plus one protocol-specific duty: after reclaiming the
+/// dead thread's locks it wakes the lobby for every object whose flc bit
+/// is set, because this protocol's contenders *park* instead of spinning
+/// and a wakeup owed by the dead owner would otherwise never arrive.
+struct TasukiOrphanSweeper {
+    heap: Arc<Heap>,
+    monitors: Arc<MonitorTable>,
+    lobby: Arc<Lobby>,
+    injector: Option<Arc<dyn FaultInjector>>,
+    profile: ArchProfile,
+}
+
+impl ExitSweeper for TasukiOrphanSweeper {
+    fn sweep_thread(&self, dead: ThreadIndex, registry: &ThreadRegistry) {
+        if let Some(injector) = &self.injector {
+            if injector.decide(InjectionPoint::RegistryRelease) == FaultAction::Yield {
+                std::thread::yield_now();
+            }
+        }
+        for obj in self.heap.iter() {
+            let header = self.heap.header(obj);
+            let cell = header.lock_word();
+            let word = cell.load_acquire();
+            if word.is_fat() {
+                if let Some(idx) = word.monitor_index() {
+                    if let Some(monitor) = self.monitors.get(idx) {
+                        monitor.reclaim_orphan(dead, registry);
+                    }
+                }
+            } else if word.thin_owner() == Some(dead) {
+                // Owner-only writes: the CAS can only lose to a concurrent
+                // sweep of the same index, which is fine either way.
+                let cleared = word.with_lock_field_clear();
+                let _ = cell.try_cas(word, cleared, self.profile);
+            }
+            // Either reclamation may have freed a lock the lobby is parked
+            // on; hand every announced contender a fresh look.
+            if header.aux().load(Ordering::SeqCst) & FLC_BIT != 0 {
+                self.lobby.wake_all(obj, header.aux(), registry);
+            }
+        }
+    }
 }
 
 impl SyncProtocol for TasukiLocks {
@@ -655,5 +800,183 @@ mod tests {
         }
         assert!(p.lock_word(obj).is_unlocked());
         assert_eq!(p.inflation_count(), 1, "no re-inflation in private phase");
+    }
+
+    #[test]
+    fn panicking_waiter_does_not_wedge_lobby() {
+        let p = Arc::new(TasukiLocks::with_capacity(4));
+        let obj = p.heap().alloc().unwrap();
+        // Poison the lobby mutex exactly the way a panicking waiter would:
+        // die while holding the guard.
+        {
+            let lobby = Arc::clone(&p.lobby);
+            let victim = thread::spawn(move || {
+                let _guard = lobby.waiting.lock().unwrap();
+                panic!("waiter dies mid-bookkeeping");
+            });
+            assert!(victim.join().is_err());
+        }
+        assert!(p.lobby.waiting.is_poisoned(), "mutex must start poisoned");
+        // Contention still routes through the lobby: enqueue, park, wake,
+        // and retract all recover from the poison instead of panicking.
+        let barrier = Arc::new(Barrier::new(2));
+        let holder = {
+            let p = Arc::clone(&p);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let reg = p.registry().register().unwrap();
+                let t = reg.token();
+                p.lock(obj, t).unwrap();
+                barrier.wait();
+                thread::sleep(Duration::from_millis(30));
+                p.unlock(obj, t).unwrap();
+            })
+        };
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        barrier.wait();
+        p.lock(obj, t).unwrap();
+        assert!(p.holds_lock(obj, t));
+        p.unlock(obj, t).unwrap();
+        holder.join().unwrap();
+        assert!(p.lock_word(obj).is_unlocked());
+    }
+
+    #[test]
+    fn orphan_sweep_frees_dead_owners_lock_and_wakes_lobby() {
+        let p = Arc::new(TasukiLocks::with_capacity(4).with_orphan_recovery());
+        let obj = p.heap().alloc().unwrap();
+        let locked = Arc::new(AtomicU64::new(0));
+        let holder = {
+            let p = Arc::clone(&p);
+            let locked = Arc::clone(&locked);
+            thread::spawn(move || {
+                let reg = p.registry().register().unwrap();
+                let t = reg.token();
+                p.lock(obj, t).unwrap();
+                locked.store(1, Ordering::Release);
+                thread::sleep(Duration::from_millis(40));
+                // Registration drops here with the lock still held: the
+                // exit sweep must clear the word and wake the lobby.
+            })
+        };
+        while locked.load(Ordering::Acquire) == 0 {
+            thread::yield_now();
+        }
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        // Parks on the dead owner's flat lock; only the sweep's wake can
+        // release us, since the owner never unlocks.
+        p.lock(obj, t).unwrap();
+        assert!(p.holds_lock(obj, t));
+        p.unlock(obj, t).unwrap();
+        holder.join().unwrap();
+        assert!(p.lock_word(obj).is_unlocked());
+    }
+
+    #[test]
+    fn fault_injector_consults_tasuki_points() {
+        use std::sync::atomic::AtomicUsize;
+
+        #[derive(Debug, Default)]
+        struct Counting([AtomicUsize; 16]);
+        impl thinlock_runtime::fault::FaultInjector for Counting {
+            fn decide(&self, point: InjectionPoint) -> FaultAction {
+                self.0[point.index()].fetch_add(1, Ordering::Relaxed);
+                FaultAction::Proceed
+            }
+        }
+
+        let injector = Arc::new(Counting::default());
+        let p = TasukiLocks::with_capacity(4)
+            .with_fault_injector(Arc::clone(&injector) as Arc<dyn FaultInjector>);
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, t).unwrap();
+        let _ = p.wait(obj, t, Some(Duration::from_millis(1))).unwrap();
+        p.unlock(obj, t).unwrap();
+        let seen = |pt: InjectionPoint| injector.0[pt.index()].load(Ordering::Relaxed);
+        assert!(seen(InjectionPoint::LockFastCas) >= 1, "fast CAS consulted");
+        assert!(seen(InjectionPoint::UnlockStore) >= 1, "unlock consulted");
+        assert!(seen(InjectionPoint::Inflate) >= 1, "wait inflates");
+        assert!(
+            seen(InjectionPoint::MonitorAllocate) >= 1,
+            "table allocation consulted via propagation"
+        );
+        assert!(
+            seen(InjectionPoint::WaitPark) >= 1,
+            "fat-lock wait consulted via propagation"
+        );
+    }
+
+    #[test]
+    fn injected_cas_failure_still_acquires() {
+        use std::sync::atomic::AtomicUsize;
+
+        #[derive(Debug, Default)]
+        struct FailFirst(AtomicUsize);
+        impl thinlock_runtime::fault::FaultInjector for FailFirst {
+            fn decide(&self, point: InjectionPoint) -> FaultAction {
+                if point == InjectionPoint::LockFastCas {
+                    self.0.fetch_add(1, Ordering::Relaxed);
+                    FaultAction::FailCas
+                } else {
+                    FaultAction::Proceed
+                }
+            }
+        }
+
+        let injector = Arc::new(FailFirst::default());
+        let p = TasukiLocks::with_capacity(4)
+            .with_fault_injector(Arc::clone(&injector) as Arc<dyn FaultInjector>);
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        let obj = p.heap().alloc().unwrap();
+        p.lock(obj, t).unwrap(); // fast CAS suppressed; slow round wins
+        assert!(p.holds_lock(obj, t));
+        p.unlock(obj, t).unwrap();
+        assert!(injector.0.load(Ordering::Relaxed) >= 1);
+    }
+
+    /// Regression: the deflation snapshot in `unlock_impl` must be one
+    /// critical section (`FatLock::is_sole_quiescent_owner`). A timed-out
+    /// waiter migrates wait set -> entry queue atomically inside
+    /// `FatLock::wait`, but three separate `count`/`entry_queue_len`/
+    /// `wait_set_len` reads could observe it in *neither* queue, deflate
+    /// the monitor it is about to re-acquire, and leave its `unlock`
+    /// staring at a neutral word (`SyncError::NotLocked`). Hammer tiny
+    /// timed waits against an owner whose every quiet release deflates;
+    /// any unwrap failure here is the race.
+    #[test]
+    fn timed_wait_migration_never_races_deflation() {
+        use std::sync::atomic::AtomicBool;
+
+        let p = Arc::new(TasukiLocks::with_capacity(4));
+        let obj = p.heap().alloc().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let p = Arc::clone(&p);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let reg = p.registry().register().unwrap();
+                let t = reg.token();
+                while !stop.load(Ordering::Relaxed) {
+                    p.lock(obj, t).unwrap();
+                    // Expires almost every round: nobody notifies, so this
+                    // drives the wait-set -> entry-queue migration.
+                    p.wait(obj, t, Some(Duration::from_micros(50))).unwrap();
+                    p.unlock(obj, t).unwrap();
+                }
+            })
+        };
+        let reg = p.registry().register().unwrap();
+        let t = reg.token();
+        for _ in 0..30_000 {
+            p.lock(obj, t).unwrap();
+            p.unlock(obj, t).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        waiter.join().unwrap();
     }
 }

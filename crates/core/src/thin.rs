@@ -381,7 +381,10 @@ impl<C: FastPathConfig> ThinLocks<C> {
     fn lock_slow(&self, obj: ObjRef, t: ThreadToken, mut word: LockWord) -> SyncResult<()> {
         let profile = self.config.profile();
         let cell = self.cell(obj);
-        let mut backoff = Backoff::with_policy(self.config.spin_policy());
+        // Jittered per-thread backoff (runtime::backoff): spinners that
+        // collided in lockstep draw distinct pulse sequences, seeded by
+        // the thread index so seeded replays stay deterministic.
+        let mut backoff = Backoff::jittered(self.config.spin_policy(), u64::from(t.index().get()));
         let mut spun = false;
         // Advisory waits-for edge for the deadlock watchdog; published on
         // the first blocking step, cleared when the guard drops.
@@ -772,7 +775,10 @@ impl<C: FastPathConfig> ThinLocks<C> {
             .unwrap_or_else(|| now + Duration::from_secs(86_400 * 365));
         let mut waiting = BlockedOnGuard(None);
         waiting.publish(&self.registry, t, obj);
-        let mut backoff = Backoff::with_policy(self.config.spin_policy());
+        // Jittered per-thread backoff (runtime::backoff): spinners that
+        // collided in lockstep draw distinct pulse sequences, seeded by
+        // the thread index so seeded replays stay deterministic.
+        let mut backoff = Backoff::jittered(self.config.spin_policy(), u64::from(t.index().get()));
         loop {
             let word = self.cell(obj).load_acquire();
             if word.is_fat() {

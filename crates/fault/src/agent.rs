@@ -1,0 +1,343 @@
+//! The sacrificial chaos agent: one process, one backend, one seed.
+//!
+//! The `chaos-agent` binary wraps [`run_schedule`] in the process
+//! envelope the crash-chaos supervisor expects:
+//!
+//! - **Heartbeats.** A monitor thread emits one single-line JSON
+//!   heartbeat on stdout every [`AgentConfig::heartbeat`] while the
+//!   schedule runs, so the supervisor can distinguish "slow" from
+//!   "stuck" without guessing. The stream is framed as `start` →
+//!   `hb`\* → `result` (see DESIGN.md §16 for the schema).
+//! - **Atomic artifacts.** The converged report is written to
+//!   [`AgentConfig::artifact`] via a temp file plus `rename`, so a
+//!   crash at *any* instruction can never leave a torn final file —
+//!   the property the crash matrix verifies for every backend ×
+//!   injection point.
+//! - **Crash armament.** The `--abort-at` flag
+//!   ([`ChaosConfig::abort_at`](crate::ChaosConfig)) arms
+//!   [`FaultPlan::with_abort_at`](crate::FaultPlan::with_abort_at):
+//!   the first time the protocol consults that point, the process
+//!   dies with `std::process::abort()` mid-critical-section.
+//!
+//! Exit codes: `0` clean convergence, `2` oracle divergence, anything
+//! else (including death by signal) is a crash for the supervisor to
+//! classify.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use thinlock::BackendChoice;
+use thinlock_obs::json::JsonWriter;
+use thinlock_runtime::fault::InjectionPoint;
+
+use crate::chaos::{run_schedule, ChaosConfig, ChaosReport};
+
+/// Exit code for a run whose oracle diverged (kept distinct from the
+/// generic `1` so the supervisor can tell "the protocol is wrong" from
+/// "the harness fell over").
+pub const EXIT_DIVERGED: u8 = 2;
+
+/// Everything one agent process needs, parsed from its command line.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// The chaos schedule to run (seed, backend, shape, fault rate).
+    pub chaos: ChaosConfig,
+    /// Where to write the converged report atomically; `None` skips the
+    /// artifact.
+    pub artifact: Option<PathBuf>,
+    /// Heartbeat cadence on stdout.
+    pub heartbeat: Duration,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            chaos: ChaosConfig {
+                seed: 0,
+                threads: 3,
+                objects: 2,
+                ops_per_thread: 96,
+                fault_rate_ppm: 200_000,
+                kill_thread: false,
+                backend: BackendChoice::Thin,
+                abort_at: None,
+            },
+            artifact: None,
+            heartbeat: Duration::from_millis(20),
+        }
+    }
+}
+
+impl AgentConfig {
+    /// Parses the `chaos-agent` command line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown flags, missing values, or
+    /// unparsable numbers/names.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut cfg = AgentConfig::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = || {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{arg} requires a value"))
+            };
+            match arg.as_str() {
+                "--seed" => {
+                    cfg.chaos.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?
+                }
+                "--threads" => {
+                    cfg.chaos.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
+                }
+                "--objects" => {
+                    cfg.chaos.objects = value()?.parse().map_err(|e| format!("--objects: {e}"))?;
+                }
+                "--ops" => {
+                    cfg.chaos.ops_per_thread =
+                        value()?.parse().map_err(|e| format!("--ops: {e}"))?;
+                }
+                "--rate-ppm" => {
+                    cfg.chaos.fault_rate_ppm =
+                        value()?.parse().map_err(|e| format!("--rate-ppm: {e}"))?;
+                }
+                "--kill-thread" => cfg.chaos.kill_thread = true,
+                "--backend" => {
+                    let name = value()?;
+                    cfg.chaos.backend = BackendChoice::from_name(&name)
+                        .ok_or_else(|| format!("--backend: unknown backend `{name}`"))?;
+                }
+                "--abort-at" => {
+                    let name = value()?;
+                    cfg.chaos.abort_at = Some(
+                        InjectionPoint::from_name(&name)
+                            .ok_or_else(|| format!("--abort-at: unknown point `{name}`"))?,
+                    );
+                }
+                "--artifact" => cfg.artifact = Some(PathBuf::from(value()?)),
+                "--heartbeat-ms" => {
+                    cfg.heartbeat = Duration::from_millis(
+                        value()?
+                            .parse()
+                            .map_err(|e| format!("--heartbeat-ms: {e}"))?,
+                    );
+                }
+                other => return Err(format!("unrecognized argument: {other}")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+fn emit(line: &str) {
+    // Stdout is the heartbeat channel: one JSON document per line,
+    // flushed immediately so the supervisor's staleness clock is honest.
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+fn start_line(cfg: &AgentConfig) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("type", "start");
+    w.field_str("backend", cfg.chaos.backend.name());
+    w.field_u64("seed", cfg.chaos.seed);
+    w.field_u64("pid", u64::from(std::process::id()));
+    if let Some(point) = cfg.chaos.abort_at {
+        w.field_str("abort_at", point.name());
+    }
+    w.end_object();
+    w.finish()
+}
+
+fn heartbeat_line(seq: u64) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("type", "hb");
+    w.field_u64("seq", seq);
+    w.end_object();
+    w.finish()
+}
+
+/// The agent's converged-report JSON — also the artifact body, so the
+/// supervisor and the crash matrix parse one schema.
+pub fn report_json(cfg: &AgentConfig, outcome: &Result<ChaosReport, String>) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("type", "result");
+    w.field_str("backend", cfg.chaos.backend.name());
+    w.field_u64("seed", cfg.chaos.seed);
+    match outcome {
+        Ok(report) => {
+            w.field_bool("ok", true);
+            w.field_u64("ops", report.ops);
+            w.field_u64("acquisitions", report.acquisitions);
+            w.field_u64("waits", report.waits);
+            w.field_u64("waits_refused", report.waits_refused);
+            w.field_bool("orphaned", report.orphaned);
+            w.field_u64("inflations", report.inflations);
+            w.field_u64("deflations", report.deflations);
+            w.field_u64("fires", report.total_fires());
+        }
+        Err(msg) => {
+            w.field_bool("ok", false);
+            w.field_str("error", msg);
+        }
+    }
+    w.end_object();
+    w.finish()
+}
+
+/// Writes `body` to `path` atomically: a unique temp file in the same
+/// directory, then `rename` — the only durable states are "absent" and
+/// "complete", never "torn".
+///
+/// # Errors
+///
+/// Propagates any I/O error from the write or the rename.
+pub fn write_artifact_atomic(path: &std::path::Path, body: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Runs the agent: heartbeats on stdout, one chaos schedule, an atomic
+/// artifact, and the framed `result` line. Returns the process exit
+/// code (`0` clean, [`EXIT_DIVERGED`] on oracle divergence).
+pub fn run(cfg: &AgentConfig) -> u8 {
+    emit(&start_line(cfg));
+
+    let done = Arc::new(AtomicBool::new(false));
+    let ticker = {
+        let done = Arc::clone(&done);
+        let cadence = cfg.heartbeat;
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                seq += 1;
+                emit(&heartbeat_line(seq));
+                std::thread::sleep(cadence);
+            }
+        })
+    };
+
+    let outcome = run_schedule(cfg.chaos);
+    done.store(true, Ordering::Relaxed);
+    let _ = ticker.join();
+
+    let body = report_json(cfg, &outcome);
+    if let Some(path) = &cfg.artifact {
+        if let Err(e) = write_artifact_atomic(path, &body) {
+            eprintln!("chaos-agent: artifact write failed: {e}");
+            return 1;
+        }
+    }
+    emit(&body);
+    match outcome {
+        Ok(_) => 0,
+        Err(_) => EXIT_DIVERGED,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinlock_obs::parse::parse;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_covers_every_flag() {
+        let cfg = AgentConfig::parse(&args(&[
+            "--seed",
+            "9",
+            "--backend",
+            "cjm",
+            "--threads",
+            "2",
+            "--objects",
+            "3",
+            "--ops",
+            "17",
+            "--rate-ppm",
+            "1000",
+            "--kill-thread",
+            "--abort-at",
+            "inflate",
+            "--artifact",
+            "/tmp/x.json",
+            "--heartbeat-ms",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.chaos.seed, 9);
+        assert_eq!(cfg.chaos.backend, BackendChoice::Cjm);
+        assert_eq!(cfg.chaos.threads, 2);
+        assert_eq!(cfg.chaos.objects, 3);
+        assert_eq!(cfg.chaos.ops_per_thread, 17);
+        assert_eq!(cfg.chaos.fault_rate_ppm, 1000);
+        assert!(cfg.chaos.kill_thread);
+        assert_eq!(cfg.chaos.abort_at, Some(InjectionPoint::Inflate));
+        assert_eq!(
+            cfg.artifact.as_deref(),
+            Some(std::path::Path::new("/tmp/x.json"))
+        );
+        assert_eq!(cfg.heartbeat, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags_and_names() {
+        assert!(AgentConfig::parse(&args(&["--bogus"])).is_err());
+        assert!(AgentConfig::parse(&args(&["--backend", "nope"])).is_err());
+        assert!(AgentConfig::parse(&args(&["--abort-at", "nope"])).is_err());
+        assert!(AgentConfig::parse(&args(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn report_json_round_trips_through_the_parser() {
+        let cfg = AgentConfig::default();
+        let ok = report_json(&cfg, &Ok(ChaosReport::default()));
+        let doc = parse(&ok).expect("valid JSON");
+        assert_eq!(doc.get("type").and_then(|v| v.as_str()), Some("result"));
+        assert_eq!(doc.get("ok").and_then(|v| v.as_bool()), Some(true));
+        let bad = report_json(&cfg, &Err("seed 7: divergence".to_string()));
+        let doc = parse(&bad).expect("valid JSON");
+        assert_eq!(doc.get("ok").and_then(|v| v.as_bool()), Some(false));
+        assert!(doc.get("error").and_then(|v| v.as_str()).is_some());
+    }
+
+    #[test]
+    fn artifact_write_is_atomic_by_rename() {
+        let dir = std::env::temp_dir().join(format!("thinlock-agent-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        write_artifact_atomic(&path, "{\"x\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"x\":1}");
+        // Overwrite goes through the same rename path.
+        write_artifact_atomic(&path, "{\"x\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"x\":2}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_emits_framed_stream_and_artifact() {
+        let dir = std::env::temp_dir().join(format!("thinlock-agent-run-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let mut cfg = AgentConfig::default();
+        cfg.chaos.ops_per_thread = 8;
+        cfg.artifact = Some(path.clone());
+        assert_eq!(run(&cfg), 0);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let doc = parse(&body).expect("artifact is valid JSON");
+        assert_eq!(doc.get("ok").and_then(|v| v.as_bool()), Some(true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

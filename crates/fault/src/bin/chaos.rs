@@ -7,7 +7,8 @@
 //!
 //! With positional seeds, runs exactly those schedules; otherwise
 //! sweeps `S .. S+N`. `--backend` picks the protocol under test
-//! (`thin` by default, `cjm` for the deflating bounded-pool backend);
+//! (`thin` by default, `tasuki` for the parking deflater, `cjm` for
+//! the deflating bounded-pool backend);
 //! deflation-capable backends additionally get the monitor-population
 //! bound checked at every convergence. Every run is checked against
 //! the std-Mutex oracle; the first divergence is printed with its seed
@@ -70,7 +71,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             opts.kill_every = v.parse().map_err(|e| format!("--kill-every: {e}"))?;
         } else if let Some(v) = flag("--backend")? {
             match BackendChoice::from_name(&v) {
-                Some(choice) if choice.schedulable() => opts.backend = choice,
+                Some(choice) if choice.fault_injectable() => opts.backend = choice,
                 Some(choice) => {
                     return Err(format!(
                         "--backend: `{choice}` has no fault seam and cannot run under chaos"
@@ -99,7 +100,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("{msg}");
             eprintln!(
-                "usage: chaos [--backend <thin|cjm>] [--seeds N] [--start S] [--threads T] \
+                "usage: chaos [--backend <thin|tasuki|cjm>] [--seeds N] [--start S] [--threads T] \
                  [--objects O] [--ops K] [--rate-ppm R] [--kill-every M] [SEED ...]"
             );
             return ExitCode::FAILURE;
@@ -114,8 +115,11 @@ fn main() -> ExitCode {
             objects: opts.objects,
             ops_per_thread: opts.ops,
             fault_rate_ppm: opts.rate_ppm,
-            kill_thread: opts.kill_every != 0 && seed % opts.kill_every == 0,
+            kill_thread: opts.kill_every != 0
+                && seed % opts.kill_every == 0
+                && opts.backend.orphan_recoverable(),
             backend: opts.backend,
+            abort_at: None,
         };
         match run_schedule(cfg) {
             Ok(report) => totals.absorb(&report),
@@ -130,8 +134,8 @@ fn main() -> ExitCode {
 
     let r = &totals.report;
     println!(
-        "chaos[{}]: {} schedules converged ({} ops, {} acquisitions, {} try-contended, {} timeouts, {} waits, orphan runs: {})",
-        opts.backend, totals.runs, r.ops, r.acquisitions, r.try_contended, r.timeouts, r.waits, r.orphaned
+        "chaos[{}]: {} schedules converged ({} ops, {} acquisitions, {} try-contended, {} timeouts, {} waits ({} refused), orphan runs: {})",
+        opts.backend, totals.runs, r.ops, r.acquisitions, r.try_contended, r.timeouts, r.waits, r.waits_refused, r.orphaned
     );
     if opts.backend.deflation_capable() {
         println!(

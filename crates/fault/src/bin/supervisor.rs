@@ -1,0 +1,209 @@
+//! The crash-chaos supervisor CLI.
+//!
+//! ```text
+//! supervisor run    [--agent PATH] [--seed S] [--agents N] [--backend B]
+//!                   [--retries R] [--quorum P] [--deadline-secs D]
+//! supervisor matrix [--agent PATH] [--seed S] [--backends b1,b2] [--points p1,p2|all]
+//! ```
+//!
+//! `run` supervises N chaos agents (one derived seed each) and prints
+//! the degradation report JSON; exit 0 iff the quorum survived.
+//! `matrix` drives the crash matrix — for every backend × injection
+//! point an agent is killed mid-protocol via `--abort-at` and must be
+//! observed crashing, leave no torn artifact, and converge on a seeded
+//! disarmed retry — and prints the matrix JSON; exit 0 iff every cell
+//! passes. Both locate the `chaos-agent` binary next to this
+//! executable unless `--agent` overrides it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use thinlock::BackendChoice;
+use thinlock_fault::supervise::{crash_matrix, supervise, AgentSpec, SupervisorConfig};
+use thinlock_runtime::fault::InjectionPoint;
+
+fn sibling_agent() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let agent = exe.parent()?.join("chaos-agent");
+    agent.exists().then_some(agent)
+}
+
+fn parse_backends(spec: &str) -> Result<Vec<BackendChoice>, String> {
+    if spec == "all" {
+        return Ok(BackendChoice::ALL.to_vec());
+    }
+    spec.split(',')
+        .map(|name| {
+            BackendChoice::from_name(name).ok_or_else(|| format!("unknown backend `{name}`"))
+        })
+        .collect()
+}
+
+fn parse_points(spec: &str) -> Result<Vec<InjectionPoint>, String> {
+    if spec == "all" {
+        return Ok(InjectionPoint::ALL.to_vec());
+    }
+    spec.split(',')
+        .map(|name| {
+            InjectionPoint::from_name(name).ok_or_else(|| format!("unknown point `{name}`"))
+        })
+        .collect()
+}
+
+struct Options {
+    mode: String,
+    agent: Option<PathBuf>,
+    cfg: SupervisorConfig,
+    agents: usize,
+    backend: BackendChoice,
+    backends: Vec<BackendChoice>,
+    points: Vec<InjectionPoint>,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut it = args.iter();
+    let mode = it
+        .next()
+        .cloned()
+        .ok_or_else(|| "expected a subcommand: run | matrix".to_string())?;
+    if mode != "run" && mode != "matrix" {
+        return Err(format!(
+            "unknown subcommand `{mode}` (expected run | matrix)"
+        ));
+    }
+    let mut opts = Options {
+        mode,
+        agent: None,
+        cfg: SupervisorConfig::default(),
+        agents: 4,
+        backend: BackendChoice::Thin,
+        backends: BackendChoice::ALL.to_vec(),
+        points: InjectionPoint::ALL.to_vec(),
+    };
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg.as_str() {
+            "--agent" => opts.agent = Some(PathBuf::from(value()?)),
+            "--seed" => opts.cfg.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--agents" => opts.agents = value()?.parse().map_err(|e| format!("--agents: {e}"))?,
+            "--retries" => {
+                opts.cfg.max_retries = value()?.parse().map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--quorum" => {
+                opts.cfg.quorum_percent = value()?.parse().map_err(|e| format!("--quorum: {e}"))?;
+            }
+            "--deadline-secs" => {
+                opts.cfg.deadline = Duration::from_secs(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--deadline-secs: {e}"))?,
+                );
+            }
+            "--grace-secs" => {
+                opts.cfg.heartbeat_grace = Duration::from_secs(
+                    value()?.parse().map_err(|e| format!("--grace-secs: {e}"))?,
+                );
+            }
+            "--backend" => {
+                let name = value()?;
+                opts.backend = BackendChoice::from_name(&name)
+                    .ok_or_else(|| format!("--backend: unknown backend `{name}`"))?;
+            }
+            "--backends" => opts.backends = parse_backends(&value()?)?,
+            "--points" => opts.points = parse_points(&value()?)?,
+            other => return Err(format!("unrecognized argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: supervisor run [--agent PATH] [--seed S] [--agents N] [--backend B] \
+                 [--retries R] [--quorum P] [--deadline-secs D] [--grace-secs G]\n       \
+                 supervisor matrix [--agent PATH] [--seed S] [--backends b1,b2|all] \
+                 [--points p1,p2|all] [--deadline-secs D] [--grace-secs G]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(agent) = opts.agent.clone().or_else(sibling_agent) else {
+        eprintln!("supervisor: no chaos-agent next to this binary; pass --agent PATH");
+        return ExitCode::FAILURE;
+    };
+
+    if opts.mode == "run" {
+        let specs: Vec<AgentSpec> = (0..opts.agents)
+            .map(|i| AgentSpec {
+                id: format!("agent-{i}"),
+                program: agent.clone(),
+                args: vec![
+                    "--backend".into(),
+                    opts.backend.name().into(),
+                    "--seed".into(),
+                    "{seed}".into(),
+                ],
+                first_attempt_extra: Vec::new(),
+            })
+            .collect();
+        let report = supervise(&opts.cfg, &specs);
+        println!("{}", report.to_json());
+        if report.quorum_met() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "supervisor: quorum missed ({}/{} clean, {}% required)",
+                report.clean_agents(),
+                report.agents.len(),
+                report.quorum_percent
+            );
+            ExitCode::FAILURE
+        }
+    } else {
+        let workdir = std::env::temp_dir().join(format!("thinlock-matrix-{}", std::process::id()));
+        if let Err(e) = std::fs::create_dir_all(&workdir) {
+            eprintln!(
+                "supervisor: cannot create workdir {}: {e}",
+                workdir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        let report = crash_matrix(&opts.cfg, &agent, &workdir, &opts.backends, &opts.points);
+        println!("{}", report.to_json());
+        let _ = std::fs::remove_dir_all(&workdir);
+        let failures = report.failures();
+        if failures.is_empty() {
+            eprintln!(
+                "supervisor: crash matrix passed ({} cells, seed {})",
+                report.cells.len(),
+                report.seed
+            );
+            ExitCode::SUCCESS
+        } else {
+            for cell in failures {
+                eprintln!(
+                    "supervisor: FAILED cell {} x {}: crashed={} artifact_intact={} retry_clean={} retry_outcome={} crash_seed={:?} (probes {})",
+                    cell.backend,
+                    cell.point.name(),
+                    cell.crashed,
+                    cell.artifact_intact,
+                    cell.retry_clean,
+                    cell.retry_outcome.map_or("none", |o| o.name()),
+                    cell.crash_seed,
+                    cell.probes
+                );
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -56,9 +56,16 @@ pub struct ChaosConfig {
     /// When set, worker 0 dies halfway through its schedule while
     /// owning a lock, leaving an orphan for the registry sweep.
     pub kill_thread: bool,
-    /// Protocol under test; must be [`BackendChoice::schedulable`]
+    /// Protocol under test; must be [`BackendChoice::fault_injectable`]
     /// because chaos depends on the fault-injection seam.
     pub backend: BackendChoice,
+    /// When set, the plan additionally arms this point with
+    /// [`FaultAction::Abort`](thinlock_runtime::fault::FaultAction::Abort):
+    /// the first consultation kills the whole process with
+    /// `std::process::abort()`. Only meaningful inside a sacrificial
+    /// agent process (the crash-chaos supervisor's matrix); never set it
+    /// in an in-process harness.
+    pub abort_at: Option<InjectionPoint>,
 }
 
 impl ChaosConfig {
@@ -78,6 +85,7 @@ impl ChaosConfig {
             fault_rate_ppm: 200_000,
             kill_thread: seed.is_multiple_of(4),
             backend,
+            abort_at: None,
         }
     }
 }
@@ -95,6 +103,12 @@ pub struct ChaosReport {
     pub timeouts: u64,
     /// Timed waits performed.
     pub waits: u64,
+    /// Timed waits a bounded deflating backend refused with
+    /// [`SyncError::MonitorIndexExhausted`] — the pool was transiently
+    /// full (deflation frees a slot only *after* the neutral store), the
+    /// caller still held the thin lock, and the run degraded gracefully
+    /// instead of diverging.
+    pub waits_refused: u64,
     /// Whether a worker died owning a lock (and the orphan was swept).
     pub orphaned: bool,
     /// Inflations the backend performed over the run.
@@ -123,6 +137,7 @@ impl ChaosReport {
         self.try_contended += other.try_contended;
         self.timeouts += other.timeouts;
         self.waits += other.waits;
+        self.waits_refused += other.waits_refused;
         self.orphaned |= other.orphaned;
         self.inflations += other.inflations;
         self.deflations += other.deflations;
@@ -184,11 +199,20 @@ struct Shared {
 pub fn run_schedule(cfg: ChaosConfig) -> Result<ChaosReport, String> {
     assert!(cfg.threads >= 1 && cfg.objects >= 1 && cfg.ops_per_thread >= 1);
     assert!(
-        cfg.backend.schedulable(),
+        cfg.backend.fault_injectable(),
         "chaos needs the fault seam; backend `{}` does not offer it",
         cfg.backend
     );
-    let plan = Arc::new(FaultPlan::chaos(cfg.seed, cfg.fault_rate_ppm));
+    assert!(
+        !cfg.kill_thread || cfg.backend.orphan_recoverable(),
+        "kill_thread needs the exit sweeper; backend `{}` does not offer it",
+        cfg.backend
+    );
+    let mut plan = FaultPlan::chaos(cfg.seed, cfg.fault_rate_ppm);
+    if let Some(point) = cfg.abort_at {
+        plan = plan.with_abort_at(point);
+    }
+    let plan = Arc::new(plan);
     let locks = cfg.backend.build_with(
         cfg.objects,
         BackendSeams {
@@ -274,7 +298,11 @@ pub fn run_schedule(cfg: ChaosConfig) -> Result<ChaosReport, String> {
     report.deflations = shared.locks.deflation_count();
     report.monitors_peak = shared.locks.monitors_peak();
     report.monitors_live = shared.locks.monitors_live();
-    if report.monitors_peak > cfg.objects || report.monitors_live > cfg.objects {
+    // Tasuki reports cumulative (never-recycled) table length here, so the
+    // live-object bound only applies to backends that claim it.
+    if cfg.backend.bounded_monitor_population()
+        && (report.monitors_peak > cfg.objects || report.monitors_live > cfg.objects)
+    {
         return Err(format!(
             "seed {}: monitor population exceeded its bound on `{}`: peak {} live {} over {} objects",
             cfg.seed, cfg.backend, report.monitors_peak, report.monitors_live, cfg.objects
@@ -438,11 +466,17 @@ fn worker_body(
                 linger(&mut rng);
                 drop(guard);
                 let wait_timeout = Duration::from_micros(rng.range_u32(50, 600).into());
-                shared
-                    .locks
-                    .wait(obj, t, Some(wait_timeout))
-                    .map_err(|e| format!("wait: {e}"))?;
-                report.waits += 1;
+                match shared.locks.wait(obj, t, Some(wait_timeout)) {
+                    Ok(_) => report.waits += 1,
+                    // A bounded deflating backend can transiently refuse
+                    // the inflation `wait` needs (deflation frees the
+                    // pool slot only after the neutral store). The thin
+                    // lock is still held, so this is graceful
+                    // degradation, not divergence — like `Timeout` from
+                    // `lock_deadline`.
+                    Err(SyncError::MonitorIndexExhausted) => report.waits_refused += 1,
+                    Err(e) => return Err(format!("wait: {e}")),
+                }
                 let guard = claim_oracle(shared, idx, &mut report)?;
                 linger(&mut rng);
                 drop(guard);

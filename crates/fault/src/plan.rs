@@ -102,6 +102,15 @@ impl FaultPlan {
         plan
     }
 
+    /// Arms `point` to [`FaultAction::Abort`] unconditionally: the first
+    /// time the protocol consults that point, the process dies there.
+    /// The crash-chaos agent layers this over [`FaultPlan::chaos`] to
+    /// simulate a worker killed mid-protocol at a chosen step.
+    #[must_use]
+    pub fn with_abort_at(self, point: InjectionPoint) -> Self {
+        self.with_rule(point, FaultAction::Abort, PPM)
+    }
+
     /// Sets the rule for `point`: inject `action` with probability
     /// `rate_ppm` (in parts per million, saturating at [`PPM`] = always).
     #[must_use]
@@ -165,6 +174,12 @@ impl FaultInjector for FaultPlan {
             return FaultAction::Proceed;
         }
         self.fired[idx].fetch_add(1, Ordering::Relaxed);
+        // The Abort contract (see `FaultAction::Abort`): the injector
+        // itself kills the process at the consultation point, so every
+        // labeled site is abortable without per-site handling.
+        if rule.action == FaultAction::Abort {
+            std::process::abort();
+        }
         rule.action
     }
 }

@@ -9,9 +9,11 @@
 //! still has and recover fully once pressure lifts.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use thinlock::ThinLocks;
+use thinlock::{CjmLocks, ThinLocks};
 use thinlock_fault::{FaultPlan, PPM};
+use thinlock_runtime::backend::SyncBackend;
 use thinlock_runtime::error::SyncError;
 use thinlock_runtime::fault::{FaultAction, InjectionPoint};
 use thinlock_runtime::heap::Heap;
@@ -179,4 +181,99 @@ fn runtime_survives_serial_exhaustion_of_every_resource() {
     }
     worker.join().unwrap();
     assert_eq!(locks.owner_of(obj), None);
+}
+
+/// CJM's recycling pool, genuinely full (bound 1, slot held by another
+/// object): the acquire path that must inflate surfaces
+/// [`SyncError::MonitorIndexExhausted`] instead of blocking or
+/// panicking, thin locking keeps working throughout, and deflating the
+/// slot's current tenant restores full service.
+#[test]
+fn cjm_tiny_pool_exhaustion_errors_then_recycles() {
+    let heap = Arc::new(Heap::with_capacity(4));
+    let locks = CjmLocks::with_monitor_bound(Arc::clone(&heap), ThreadRegistry::new(), 1);
+    let reg = locks.registry().register().unwrap();
+    let t = reg.token();
+    let a = heap.alloc().unwrap();
+    let b = heap.alloc().unwrap();
+
+    // Occupy the single slot: `a` inflates via wait and stays inflated
+    // while locked.
+    locks.lock(a, t).unwrap();
+    assert_eq!(
+        locks.wait(a, t, Some(Duration::from_millis(1))),
+        Ok(thinlock_runtime::protocol::WaitOutcome::TimedOut)
+    );
+    assert!(locks.lock_word(a).is_fat());
+
+    // Pool full: `b` cannot inflate — the error is surfaced, not a hang.
+    locks.lock(b, t).unwrap();
+    assert_eq!(
+        locks.wait(b, t, Some(Duration::from_millis(1))),
+        Err(SyncError::MonitorIndexExhausted)
+    );
+    assert_eq!(locks.notify(b, t), Err(SyncError::MonitorIndexExhausted));
+    assert_eq!(
+        locks.pre_inflate(heap.alloc().unwrap()),
+        Err(SyncError::MonitorIndexExhausted)
+    );
+
+    // Thin locking on `b` is unimpaired by the refused inflations.
+    assert!(locks.lock_word(b).is_thin_shape());
+    locks.unlock(b, t).unwrap();
+    for _ in 0..10 {
+        locks.lock(b, t).unwrap();
+        locks.unlock(b, t).unwrap();
+    }
+
+    // Quiet release of `a` deflates and recycles the slot; `b` can now
+    // inflate for real.
+    locks.unlock(a, t).unwrap();
+    assert!(locks.lock_word(a).is_unlocked(), "quiet release deflated");
+    assert!(locks.deflation_count() >= 1);
+    locks.lock(b, t).unwrap();
+    assert_eq!(
+        locks.wait(b, t, Some(Duration::from_millis(1))),
+        Ok(thinlock_runtime::protocol::WaitOutcome::TimedOut)
+    );
+    locks.unlock(b, t).unwrap();
+}
+
+/// Contended acquisition under a full pool must *not* fail: contention
+/// inflation tolerates `MonitorIndexExhausted` (contenders keep
+/// spinning on the thin word), so the lock still changes hands and
+/// mutual exclusion holds with zero pool slots available.
+#[test]
+fn cjm_contention_survives_with_zero_pool_slots() {
+    let heap = Arc::new(Heap::with_capacity(2));
+    let locks = Arc::new(CjmLocks::with_monitor_bound(
+        Arc::clone(&heap),
+        ThreadRegistry::new(),
+        0,
+    ));
+    let obj = heap.alloc().unwrap();
+    let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let locks = Arc::clone(&locks);
+        let counter = Arc::clone(&counter);
+        handles.push(std::thread::spawn(move || {
+            let reg = locks.registry().register().unwrap();
+            let t = reg.token();
+            for _ in 0..200 {
+                locks.lock(obj, t).unwrap();
+                let v = counter.load(std::sync::atomic::Ordering::Relaxed);
+                std::hint::spin_loop();
+                counter.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                locks.unlock(obj, t).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 600);
+    assert_eq!(locks.inflation_count(), 0, "nothing to inflate with");
+    let reg = locks.registry().register().unwrap();
+    assert!(!locks.holds_lock(obj, reg.token()));
 }

@@ -1,0 +1,233 @@
+//! Supervisor unit tests against *mock* agents — small `/bin/sh`
+//! scripts that hang, exit nonzero, or emit malformed heartbeat JSON —
+//! covering the deadline-kill, retry-with-backoff, and quorum
+//! degradation paths without the cost of real chaos schedules.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use thinlock_fault::supervise::{supervise, AgentSpec, Outcome, SupervisorConfig};
+use thinlock_obs::parse::parse;
+
+fn sh(id: &str, script: &str) -> AgentSpec {
+    AgentSpec {
+        id: id.to_string(),
+        program: PathBuf::from("/bin/sh"),
+        args: vec!["-c".to_string(), script.to_string()],
+        first_attempt_extra: Vec::new(),
+    }
+}
+
+fn quick_cfg() -> SupervisorConfig {
+    SupervisorConfig {
+        seed: 11,
+        deadline: Duration::from_secs(10),
+        heartbeat_grace: Duration::from_secs(10),
+        max_retries: 0,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(40),
+        quorum_percent: 100,
+    }
+}
+
+#[test]
+fn clean_exit_with_result_line_is_clean() {
+    let spec = sh(
+        "ok",
+        r#"echo '{"type":"hb","seq":1}'; echo '{"type":"result","ok":true}'; exit 0"#,
+    );
+    let report = supervise(&quick_cfg(), &[spec]);
+    let agent = &report.agents[0];
+    assert_eq!(agent.final_outcome(), Outcome::Clean);
+    assert_eq!(agent.attempts.len(), 1);
+    assert_eq!(agent.attempts[0].heartbeats, 1);
+    assert!(!agent.attempts[0].killed);
+    assert!(report.quorum_met());
+}
+
+#[test]
+fn hang_past_deadline_is_killed_and_timed_out() {
+    let mut cfg = quick_cfg();
+    cfg.deadline = Duration::from_millis(400);
+    // Heartbeats keep flowing, so only the wall-clock deadline can fire.
+    let spec = sh(
+        "hang",
+        r#"i=0; while true; do i=$((i+1)); echo "{\"type\":\"hb\",\"seq\":$i}"; sleep 0.05; done"#,
+    );
+    let report = supervise(&cfg, &[spec]);
+    let attempt = &report.agents[0].attempts[0];
+    assert_eq!(attempt.outcome, Outcome::Timeout);
+    assert!(attempt.killed, "supervisor must have killed the straggler");
+    assert!(attempt.heartbeats >= 1, "it was alive, just endless");
+    assert!(!report.quorum_met());
+}
+
+#[test]
+fn heartbeat_silence_past_grace_is_killed_and_timed_out() {
+    let mut cfg = quick_cfg();
+    cfg.heartbeat_grace = Duration::from_millis(300);
+    // One heartbeat, then silence far longer than the grace window —
+    // the deadline (10s) never comes into play.
+    let spec = sh("silent", r#"echo '{"type":"hb","seq":1}'; sleep 30"#);
+    let report = supervise(&cfg, &[spec]);
+    let attempt = &report.agents[0].attempts[0];
+    assert_eq!(attempt.outcome, Outcome::Timeout);
+    assert!(attempt.killed);
+    assert!(
+        attempt.duration < Duration::from_secs(8),
+        "killed on staleness, not deadline: {:?}",
+        attempt.duration
+    );
+}
+
+#[test]
+fn malformed_heartbeats_are_tolerated_and_counted() {
+    let spec = sh(
+        "garbled",
+        r#"echo 'not json at all'; echo '{"type":"hb","seq":1}'; echo '{broken'; echo '{"type":"result","ok":true}'; exit 0"#,
+    );
+    let report = supervise(&quick_cfg(), &[spec]);
+    let attempt = &report.agents[0].attempts[0];
+    assert_eq!(
+        attempt.outcome,
+        Outcome::Clean,
+        "garbage does not kill a run"
+    );
+    assert_eq!(attempt.malformed_lines, 2);
+    assert_eq!(attempt.heartbeats, 1);
+}
+
+#[test]
+fn exit_two_and_ok_false_classify_as_oracle_violation() {
+    let by_code = sh("div-code", r#"exit 2"#);
+    let by_line = sh(
+        "div-line",
+        r#"echo '{"type":"result","ok":false,"error":"divergence"}'; exit 1"#,
+    );
+    let report = supervise(&quick_cfg(), &[by_code, by_line]);
+    assert_eq!(report.agents[0].final_outcome(), Outcome::OracleViolation);
+    assert_eq!(report.agents[1].final_outcome(), Outcome::OracleViolation);
+}
+
+#[test]
+fn fail_once_then_succeed_exercises_seeded_retry_backoff() {
+    let dir = std::env::temp_dir().join(format!("thinlock-sup-mock-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |marker: &str| {
+        let marker = dir.join(marker);
+        let script = format!(
+            r#"if [ -f {m} ]; then echo '{{"type":"result","ok":true}}'; exit 0; else touch {m}; exit 3; fi"#,
+            m = marker.display()
+        );
+        let mut cfg = quick_cfg();
+        cfg.max_retries = 2;
+        supervise(&cfg, &[sh("flaky", &script)])
+    };
+    let a = run("first.marker");
+    let agent = &a.agents[0];
+    assert_eq!(agent.attempts.len(), 2, "crash, then clean retry");
+    assert_eq!(agent.attempts[0].outcome, Outcome::Crash);
+    assert_eq!(agent.attempts[1].outcome, Outcome::Clean);
+    assert_eq!(agent.final_outcome(), Outcome::Clean);
+    assert_eq!(agent.backoffs_ns.len(), 1, "one backoff slept");
+    assert!(agent.backoffs_ns[0] > 0);
+
+    // Determinism: the same supervisor seed re-derives the identical
+    // agent seed and the identical backoff schedule.
+    let b = run("second.marker");
+    assert_eq!(a.agents[0].seed, b.agents[0].seed);
+    assert_eq!(a.agents[0].backoffs_ns, b.agents[0].backoffs_ns);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn retries_exhausted_keeps_the_failure() {
+    let mut cfg = quick_cfg();
+    cfg.max_retries = 2;
+    let report = supervise(&cfg, &[sh("doomed", "exit 7")]);
+    let agent = &report.agents[0];
+    assert_eq!(agent.attempts.len(), 3, "initial + 2 retries");
+    assert_eq!(agent.final_outcome(), Outcome::Crash);
+    assert_eq!(agent.backoffs_ns.len(), 2);
+    assert!(!report.quorum_met());
+}
+
+#[test]
+fn quorum_degradation_succeeds_with_partial_results() {
+    let specs = vec![
+        sh("ok-1", r#"echo '{"type":"result","ok":true}'; exit 0"#),
+        sh("ok-2", r#"echo '{"type":"result","ok":true}'; exit 0"#),
+        sh("dead", "exit 9"),
+    ];
+    let mut cfg = quick_cfg();
+    cfg.quorum_percent = 66;
+    let report = supervise(&cfg, &specs);
+    assert_eq!(report.clean_agents(), 2);
+    assert!(report.quorum_met(), "2/3 clean meets a 66% quorum");
+
+    cfg.quorum_percent = 100;
+    let strict = supervise(&cfg, &specs);
+    assert!(!strict.quorum_met(), "2/3 clean misses a 100% quorum");
+}
+
+#[test]
+fn first_attempt_extra_args_are_dropped_on_retry() {
+    // The extra arg makes the first attempt exit nonzero; the retry,
+    // without it, succeeds — the exact shape of a crash-matrix cell.
+    let spec = AgentSpec {
+        id: "armed".to_string(),
+        program: PathBuf::from("/bin/sh"),
+        args: vec![
+            "-c".to_string(),
+            r#"if [ "$0" = "armed" ]; then exit 6; fi; echo '{"type":"result","ok":true}'; exit 0"#
+                .to_string(),
+        ],
+        first_attempt_extra: vec!["armed".to_string()],
+    };
+    let mut cfg = quick_cfg();
+    cfg.max_retries = 1;
+    let report = supervise(&cfg, &[spec]);
+    let agent = &report.agents[0];
+    assert_eq!(agent.attempts[0].outcome, Outcome::Crash);
+    assert_eq!(agent.attempts[1].outcome, Outcome::Clean);
+}
+
+#[test]
+fn degradation_report_serializes_to_valid_json() {
+    let mut cfg = quick_cfg();
+    cfg.max_retries = 1;
+    let report = supervise(
+        &cfg,
+        &[
+            sh("ok", r#"echo '{"type":"result","ok":true}'; exit 0"#),
+            sh("dead", "exit 5"),
+        ],
+    );
+    let doc = parse(&report.to_json()).expect("report is valid JSON");
+    assert_eq!(
+        doc.get("type").and_then(|v| v.as_str()),
+        Some("degradation-report")
+    );
+    assert_eq!(doc.get("agents_total").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(doc.get("agents_clean").and_then(|v| v.as_u64()), Some(1));
+    let agents = doc.get("agents").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(agents.len(), 2);
+    assert_eq!(
+        agents[1].get("final").and_then(|v| v.as_str()),
+        Some("crash")
+    );
+}
+
+#[test]
+fn missing_program_is_a_crash_not_a_panic() {
+    let spec = AgentSpec {
+        id: "ghost".to_string(),
+        program: PathBuf::from("/nonexistent/thinlock-ghost-agent"),
+        args: Vec::new(),
+        first_attempt_extra: Vec::new(),
+    };
+    let report = supervise(&quick_cfg(), &[spec]);
+    assert_eq!(report.agents[0].final_outcome(), Outcome::Crash);
+}

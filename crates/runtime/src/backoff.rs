@@ -10,6 +10,9 @@
 //! in — the owner can only make progress if the spinner yields).
 
 use std::fmt;
+use std::time::Duration;
+
+use crate::prng::SplitMix64;
 
 /// How the contention path waits for the owner to release (Section 2.3.4
 /// leaves this open: "standard back-off techniques… can be applied").
@@ -47,6 +50,7 @@ pub struct Backoff {
     step: u32,
     rounds: u64,
     policy: SpinPolicy,
+    jitter: Option<SplitMix64>,
 }
 
 /// Past this step, each snooze yields the processor instead of busy
@@ -74,6 +78,38 @@ impl Backoff {
             step: 0,
             rounds: 0,
             policy,
+            jitter: None,
+        }
+    }
+
+    /// Creates a backoff whose busy-wait pulse counts are *jittered* by a
+    /// PRNG seeded from `seed`: each round spins its exponential base plus
+    /// a uniform draw below it. Jitter decorrelates spinners that entered
+    /// the contention loop in lockstep (Anderson's randomized backoff);
+    /// the draw sequence is a pure function of the seed, so a seeded
+    /// harness replays the identical waits. The protocol crates seed this
+    /// with the spinning thread's index, which keeps replays deterministic
+    /// per thread while giving every thread a distinct pulse sequence.
+    pub fn jittered(policy: SpinPolicy, seed: u64) -> Self {
+        Backoff {
+            step: 0,
+            rounds: 0,
+            policy,
+            jitter: Some(SplitMix64::new(seed)),
+        }
+    }
+
+    /// One busy-wait burst of `1 << step` pulses, stretched by up to the
+    /// same amount again when jitter is enabled.
+    #[inline]
+    fn pulse(&mut self, step: u32) {
+        let base = 1u32 << step;
+        let extra = match &mut self.jitter {
+            Some(rng) => (rng.next_u64() % u64::from(base)) as u32,
+            None => 0,
+        };
+        for _ in 0..(base + extra) {
+            std::hint::spin_loop();
         }
     }
 
@@ -83,9 +119,7 @@ impl Backoff {
         match self.policy {
             SpinPolicy::SpinThenYield => {
                 if self.step <= SPIN_LIMIT {
-                    for _ in 0..(1u32 << self.step) {
-                        std::hint::spin_loop();
-                    }
+                    self.pulse(self.step);
                     self.step += 1;
                 } else {
                     std::thread::yield_now();
@@ -96,9 +130,7 @@ impl Backoff {
                 if self.rounds.is_multiple_of(64) {
                     std::thread::yield_now();
                 } else {
-                    for _ in 0..(1u32 << SPIN_LIMIT.min(self.step)) {
-                        std::hint::spin_loop();
-                    }
+                    self.pulse(SPIN_LIMIT.min(self.step));
                     self.step = (self.step + 1).min(SPIN_LIMIT);
                 }
             }
@@ -132,6 +164,86 @@ impl Backoff {
 impl fmt::Display for Backoff {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "backoff(step={}, rounds={})", self.step, self.rounds)
+    }
+}
+
+/// Seeded, jittered exponential backoff over wall-clock durations — the
+/// retry policy shared by everything in the workspace that re-attempts a
+/// *failed* operation rather than spinning on a busy one: the crash-chaos
+/// supervisor re-launching a dead agent process, and any future
+/// remote/IO retry loop.
+///
+/// Delay for attempt `n` is drawn uniformly from `[cap_n/2, cap_n]` where
+/// `cap_n = min(base << n, cap)` — "equal jitter", which keeps the
+/// exponential envelope (so retry storms die out) while desynchronizing
+/// fleets that failed together. Every draw derives from the seed, so a
+/// supervisor replaying a run schedules byte-identical retry timelines.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use thinlock_runtime::backoff::RetryBackoff;
+///
+/// let base = Duration::from_millis(10);
+/// let cap = Duration::from_millis(80);
+/// let mut a = RetryBackoff::new(7, base, cap);
+/// let mut b = RetryBackoff::new(7, base, cap);
+/// let d = a.next_delay();
+/// assert_eq!(d, b.next_delay(), "same seed, same schedule");
+/// assert!(d >= base / 2 && d <= base);
+/// assert_eq!(a.attempts(), 1);
+/// ```
+#[derive(Debug)]
+pub struct RetryBackoff {
+    rng: SplitMix64,
+    base: Duration,
+    cap: Duration,
+    attempts: u32,
+}
+
+impl RetryBackoff {
+    /// Creates a retry policy drawing from `seed`, starting at `base`
+    /// (clamped to at least 1µs so the envelope actually grows) and never
+    /// exceeding `cap` per delay.
+    pub fn new(seed: u64, base: Duration, cap: Duration) -> Self {
+        RetryBackoff {
+            rng: SplitMix64::new(seed),
+            base: base.max(Duration::from_micros(1)),
+            cap: cap.max(base),
+            attempts: 0,
+        }
+    }
+
+    /// The delay to sleep before the next retry; each call advances the
+    /// exponential envelope by one attempt.
+    pub fn next_delay(&mut self) -> Duration {
+        let shift = self.attempts.min(31);
+        self.attempts += 1;
+        let envelope = self
+            .base
+            .saturating_mul(1u32 << shift)
+            .min(self.cap)
+            .max(self.base);
+        let env_nanos = envelope.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let half = env_nanos / 2;
+        let jitter = self.rng.next_u64() % (env_nanos - half + 1);
+        Duration::from_nanos(half + jitter)
+    }
+
+    /// Delays handed out so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+}
+
+impl fmt::Display for RetryBackoff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retry-backoff(attempts={}, base={:?}, cap={:?})",
+            self.attempts, self.base, self.cap
+        )
     }
 }
 
@@ -193,5 +305,51 @@ mod tests {
     fn default_policy_is_spin_then_yield() {
         assert_eq!(SpinPolicy::default(), SpinPolicy::SpinThenYield);
         assert_eq!(Backoff::new().policy(), SpinPolicy::SpinThenYield);
+    }
+
+    #[test]
+    fn jittered_backoff_escalates_like_unjittered() {
+        let mut b = Backoff::jittered(SpinPolicy::SpinThenYield, 99);
+        assert!(!b.is_yielding());
+        for _ in 0..=SPIN_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        assert_eq!(b.rounds(), u64::from(SPIN_LIMIT) + 1);
+    }
+
+    #[test]
+    fn retry_delays_are_seeded_and_bounded() {
+        let base = Duration::from_millis(2);
+        let cap = Duration::from_millis(40);
+        let mut a = RetryBackoff::new(1234, base, cap);
+        let mut b = RetryBackoff::new(1234, base, cap);
+        let mut envelope = base;
+        for attempt in 0..12 {
+            let da = a.next_delay();
+            let db = b.next_delay();
+            assert_eq!(da, db, "attempt {attempt}: same seed, same delay");
+            assert!(da >= envelope / 2, "attempt {attempt}: below half envelope");
+            assert!(da <= cap, "attempt {attempt}: above the cap");
+            envelope = (envelope * 2).min(cap);
+        }
+        assert_eq!(a.attempts(), 12);
+    }
+
+    #[test]
+    fn retry_seeds_decorrelate() {
+        let base = Duration::from_millis(4);
+        let cap = Duration::from_secs(1);
+        let mut a = RetryBackoff::new(1, base, cap);
+        let mut b = RetryBackoff::new(2, base, cap);
+        let distinct = (0..8).any(|_| a.next_delay() != b.next_delay());
+        assert!(distinct, "different seeds should produce different jitter");
+    }
+
+    #[test]
+    fn retry_display_mentions_attempts() {
+        let mut r = RetryBackoff::new(0, Duration::from_millis(1), Duration::from_millis(8));
+        let _ = r.next_delay();
+        assert!(r.to_string().contains("attempts=1"));
     }
 }

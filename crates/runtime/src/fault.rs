@@ -59,8 +59,10 @@ use std::fmt;
 /// A labeled place in the locking protocol where faults can be injected.
 ///
 /// Each variant names one step of the protocol state machine; the doc
-/// comment states which [`FaultAction`]s are applicable there. The list
-/// is the injection-point catalog of DESIGN.md §11.
+/// comment states which [`FaultAction`]s are applicable there
+/// ([`FaultAction::Abort`] is applicable at *every* point — a process
+/// can die anywhere). The list is the injection-point catalog of
+/// DESIGN.md §11.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum InjectionPoint {
@@ -144,6 +146,13 @@ impl InjectionPoint {
             .position(|p| *p == self)
             .expect("every point appears in ALL")
     }
+
+    /// Parses a [`name`](InjectionPoint::name) back into its point —
+    /// the inverse used by CLI flags (`chaos-agent --abort-at`,
+    /// `supervisor matrix --points`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
 }
 
 impl fmt::Display for InjectionPoint {
@@ -171,6 +180,21 @@ pub enum FaultAction {
     /// Report resource exhaustion from an allocation step without
     /// consuming the resource.
     Exhaust,
+    /// Kill the whole process (`std::process::abort`) at this point —
+    /// the crash-chaos supervisor's worker-death probe, modeling a
+    /// worker that dies abruptly mid-protocol (OOM-killed, segfaulted,
+    /// power-cut) at a labeled step.
+    ///
+    /// Unlike every other action, `Abort` never *reaches* an injection
+    /// site: a conforming injector (the `thinlock-fault` crate's
+    /// `FaultPlan`) performs the abort inside its own `decide` the
+    /// moment the rule fires, so the crash lands at the exact
+    /// consultation point no matter how the site dispatches on the
+    /// returned action. The variant exists so plans can be *configured*
+    /// to crash at a labeled point; a site that somehow receives it
+    /// treats it as [`Proceed`](FaultAction::Proceed). [`decide_at`]
+    /// honors the same contract for third-party injectors.
+    Abort,
 }
 
 impl fmt::Display for FaultAction {
@@ -181,6 +205,7 @@ impl fmt::Display for FaultAction {
             FaultAction::Yield => "yield",
             FaultAction::SpuriousWake => "spurious-wake",
             FaultAction::Exhaust => "exhaust",
+            FaultAction::Abort => "abort",
         };
         f.write_str(s)
     }
@@ -212,7 +237,13 @@ pub fn decide_at(
 ) -> FaultAction {
     match injector {
         None => FaultAction::Proceed,
-        Some(i) => i.decide(point),
+        // Backstop for injectors that return Abort instead of aborting
+        // inside `decide` (see the FaultAction::Abort contract): the
+        // crash still happens at the labeled point.
+        Some(i) => match i.decide(point) {
+            FaultAction::Abort => std::process::abort(),
+            action => action,
+        },
     }
 }
 
@@ -266,5 +297,14 @@ mod tests {
         assert_eq!(FaultAction::default(), FaultAction::Proceed);
         assert_eq!(FaultAction::Proceed.to_string(), "proceed");
         assert_eq!(FaultAction::SpuriousWake.to_string(), "spurious-wake");
+        assert_eq!(FaultAction::Abort.to_string(), "abort");
+    }
+
+    #[test]
+    fn point_names_round_trip() {
+        for point in InjectionPoint::ALL {
+            assert_eq!(InjectionPoint::from_name(point.name()), Some(point));
+        }
+        assert_eq!(InjectionPoint::from_name("no-such-point"), None);
     }
 }

@@ -40,4 +40,7 @@ bash scripts/bench.sh smoke
 echo "== chaos: seeded fault-injection sweep"
 bash scripts/chaos.sh
 
+echo "== supervise: crash-matrix slice + degraded run"
+bash scripts/supervise.sh
+
 echo "All checks passed."

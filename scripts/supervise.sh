@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Crash-chaos supervision gate: agent processes are killed mid-protocol
+# via the --abort-at fault seam and must be observed crashing, leave no
+# torn artifact, and converge on a seeded disarmed retry.
+#
+# Default: a quick slice (one backend x three injection points) plus a
+# small supervised run — cheap enough for every check.sh invocation.
+# `--full` widens to the complete matrix: every backend x every labeled
+# injection point. Everything derives from the supervisor seed, so a
+# failing cell names the exact seed that replays it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-quick}"
+
+echo "== build: supervisor + chaos-agent (release)"
+cargo build -q --release --offline -p thinlock-fault --bin supervisor --bin chaos-agent
+
+SUPERVISOR=(target/release/supervisor)
+
+# Generous budgets: the host may be a loaded single-CPU container, and
+# a supervisor-side kill on a starved-but-healthy agent is a false
+# failure (the deadline/grace semantics themselves are covered by the
+# mock-agent unit tests with tight budgets).
+BUDGET=(--deadline-secs 120 --grace-secs 60)
+
+if [ "$MODE" = "--full" ] || [ "$MODE" = "full" ]; then
+    echo "== supervise: full crash matrix (all backends x all points)"
+    "${SUPERVISOR[@]}" matrix --seed 7001 --backends all --points all \
+        "${BUDGET[@]}" >/dev/null
+else
+    echo "== supervise: quick crash-matrix slice (thin x 3 points)"
+    "${SUPERVISOR[@]}" matrix --seed 7001 --backends thin \
+        --points lock-fast-cas,inflate,unlock-store \
+        "${BUDGET[@]}" >/dev/null
+
+    echo "== supervise: degraded run (4 agents, 100% quorum, 2 retries)"
+    "${SUPERVISOR[@]}" run --seed 7002 --agents 4 --retries 2 --quorum 100 \
+        "${BUDGET[@]}" >/dev/null
+fi
+
+echo "Supervision gate passed."
