@@ -1,13 +1,14 @@
 //! Regenerates every table and figure of the thin-locks paper.
 //!
 //! ```text
-//! reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|churn|predict|lockcheck|lockmc|profile]
+//! reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|churn|fairness|predict|lockcheck|lockmc|profile]
 //!           [--iters N] [--scale N] [--quick] [--json PATH] [--profile-json PATH]
-//!           [--backend <thin|cjm|tasuki>]
+//!           [--backend <thin|cjm|tasuki|fissile|hapax|adaptive>]
 //! ```
 //!
-//! `--backend` narrows the `churn` section to one protocol; without it
-//! the section runs the thin/cjm head-to-head the committed baseline
+//! `--backend` narrows the `churn` and `fairness` sections to one
+//! protocol; without it churn runs the thin/cjm head-to-head and
+//! fairness the thin/fissile/hapax head-to-head the committed baseline
 //! records (so a `--backend` run's JSON is a subset of the baseline's
 //! id set — use it for spot measurements, not for gating).
 //!
@@ -81,8 +82,9 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: reproduce [all|table1|table2|fig3|fig4|fig5|fig6|ablations|churn\
-                            |predict|lockcheck|lockmc|profile] [--iters N] [--scale N] [--quick] \
-                            [--json PATH] [--profile-json PATH] [--backend <thin|cjm|tasuki>]"
+                            |fairness|predict|lockcheck|lockmc|profile] [--iters N] [--scale N] \
+                            [--quick] [--json PATH] [--profile-json PATH] \
+                            [--backend <thin|cjm|tasuki|fissile|hapax|adaptive>]"
                         .to_string(),
                 )
             }

@@ -25,9 +25,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use thinlock::config::{DynamicConfig, FastPathConfig, StaticMp, StaticUp};
-use thinlock::{BackendChoice, TasukiLocks, ThinLocks};
+use thinlock::{AdaptiveLocks, BackendChoice, TasukiLocks, ThinLocks};
 use thinlock_baselines::{HotLocks, MonitorCache};
 use thinlock_runtime::arch::ArchProfile;
+use thinlock_runtime::backend::SyncBackend;
 use thinlock_runtime::error::SyncResult;
 use thinlock_runtime::heap::{Heap, ObjRef};
 use thinlock_runtime::protocol::{SyncProtocol, WaitOutcome};
@@ -55,6 +56,14 @@ pub enum ProtocolKind {
     /// Compact Java Monitors (`thinlock::cjm`): deflation plus a bounded
     /// recycling monitor pool; see BACKENDS.md.
     Cjm,
+    /// Fissile locks (`thinlock::fissile`): thin fast path that fissions
+    /// into FIFO ticket admission under contention and re-coheres when
+    /// the queue drains; see BACKENDS.md.
+    Fissile,
+    /// Hapax locks (`thinlock::hapax`): every blocking acquisition takes
+    /// a FIFO ticket — constant-time arrival, strict admission order;
+    /// see BACKENDS.md.
+    Hapax,
 }
 
 impl ProtocolKind {
@@ -73,16 +82,18 @@ impl ProtocolKind {
         ProtocolKind::Tasuki,
     ];
 
-    /// Every protocol the workspace implements — the paper's three plus
-    /// both deflating extensions. The observational-equivalence matrix
-    /// (`tests/cross_protocol.rs`) and the concurrent macro replay run
-    /// over this set.
-    pub const ALL_BACKENDS: [ProtocolKind; 5] = [
+    /// Every protocol the workspace implements — the paper's three, both
+    /// deflating extensions, and the contention-adaptive backends. The
+    /// observational-equivalence matrix (`tests/cross_protocol.rs`) and
+    /// the concurrent macro replay run over this set.
+    pub const ALL_BACKENDS: [ProtocolKind; 7] = [
         ProtocolKind::ThinLock,
         ProtocolKind::Jdk111,
         ProtocolKind::Ibm112,
         ProtocolKind::Tasuki,
         ProtocolKind::Cjm,
+        ProtocolKind::Fissile,
+        ProtocolKind::Hapax,
     ];
 
     /// Display name matching the paper.
@@ -93,6 +104,8 @@ impl ProtocolKind {
             ProtocolKind::Ibm112 => "IBM112",
             ProtocolKind::Tasuki => "Tasuki",
             ProtocolKind::Cjm => "CJM",
+            ProtocolKind::Fissile => "Fissile",
+            ProtocolKind::Hapax => "Hapax",
         }
     }
 
@@ -115,6 +128,8 @@ impl ProtocolKind {
             )),
             ProtocolKind::Tasuki => Box::new(TasukiLocks::new(heap, registry)),
             ProtocolKind::Cjm => Box::new(thinlock::CjmLocks::new(heap, registry)),
+            ProtocolKind::Fissile => Box::new(thinlock::FissileLocks::new(heap, registry)),
+            ProtocolKind::Hapax => Box::new(thinlock::HapaxLocks::new(heap, registry)),
         }
     }
 }
@@ -786,6 +801,262 @@ pub fn run_churn(
     }
 }
 
+/// Threads the fairness workload contends with — the "≥ 8 threads"
+/// regime where FIFO admission visibly beats unfair spinning.
+pub const FAIRNESS_THREADS: usize = 8;
+
+/// Acquisitions the fairness workload hands out per repetition.
+pub const FAIRNESS_ACQUISITIONS: u64 = 1_600;
+
+/// Jain's fairness index over per-thread acquisition counts:
+/// `(Σx)² / (n · Σx²)`. Ranges from `1/n` (one thread took everything)
+/// to `1.0` (perfectly even split); an all-zero slice is defined as
+/// `1.0` (nobody was treated worse than anybody else).
+///
+/// ```
+/// use thinlock_bench::jain_index;
+///
+/// assert_eq!(jain_index(&[100, 100, 100, 100]), 1.0);
+/// assert_eq!(jain_index(&[400, 0, 0, 0]), 0.25);   // 1/n: total capture
+/// assert!(jain_index(&[300, 50, 25, 25]) < 0.6);
+/// ```
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn jain_index(counts: &[u64]) -> f64 {
+    assert!(!counts.is_empty(), "jain_index needs at least one count");
+    let n = counts.len() as f64;
+    let sum: f64 = counts.iter().map(|&c| c as f64).sum();
+    let sum_sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n * sum_sq)
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample slice.
+/// `p` is in percent (`50.0` is the median).
+///
+/// ```
+/// use thinlock_bench::percentile;
+///
+/// let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+/// assert_eq!(percentile(&sorted, 50.0), 50.0);
+/// assert_eq!(percentile(&sorted, 95.0), 95.0);
+/// assert_eq!(percentile(&sorted, 99.0), 99.0);
+/// assert_eq!(percentile(&sorted, 100.0), 100.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics on an empty slice or `p` outside `(0, 100]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile needs at least one sample");
+    assert!(p > 0.0 && p <= 100.0, "percentile wants 0 < p <= 100");
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Result of one fairness run. See [`run_fairness`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessRun {
+    /// Backend measured.
+    pub backend: BackendChoice,
+    /// Contending threads.
+    pub threads: usize,
+    /// Acquisitions handed out per repetition.
+    pub acquisitions: u64,
+    /// Median per-repetition Jain index — the headline fairness number.
+    pub jain: f64,
+    /// Per-repetition Jain indices, ascending.
+    pub jain_samples: Vec<f64>,
+    /// Per-thread acquisition counts of the median-Jain repetition.
+    pub per_thread: Vec<u64>,
+    /// Median lock-acquisition (hand-off) latency in ns, pooled over
+    /// every repetition.
+    pub handoff_p50: f64,
+    /// 95th-percentile hand-off latency in ns.
+    pub handoff_p95: f64,
+    /// 99th-percentile hand-off latency in ns — the tail a starved
+    /// thread actually experiences.
+    pub handoff_p99: f64,
+}
+
+/// The fairness workload: `threads` contenders race over one shared
+/// object for a fixed pool of `acquisitions`, claimed one per critical
+/// section from a counter that only the lock holder touches. The
+/// holder yields once inside the critical section — a stand-in for
+/// real guarded work, and on a single-CPU host the only thing that
+/// lets contenders arrive at all (without it the first scheduled
+/// thread drains the whole pool inside one timeslice, under *every*
+/// backend).
+///
+/// The shared pool is what makes admission order *visible*: under a
+/// barging acquirer (thin's releaser immediately re-CASes the word it
+/// just released and almost always wins) one thread drains most of the
+/// pool while the others starve, so its per-thread counts are skewed
+/// and the Jain index sinks toward `1/threads`. Under FIFO ticket
+/// admission (hapax always, fissile once contention fissions the word)
+/// every contender gets served in arrival order and the counts come
+/// out nearly even. Per-acquisition `lock()` wall times are pooled
+/// across repetitions into hand-off latency percentiles — FIFO trades
+/// a longer median hand-off for a bounded tail.
+///
+/// Each repetition runs on a freshly built backend (the [`run_churn`]
+/// discipline); the headline Jain index is the median repetition's.
+pub fn run_fairness(choice: BackendChoice, threads: usize, acquisitions: u64) -> FairnessRun {
+    assert!(threads >= 1 && acquisitions >= 1);
+    let mut reps: Vec<(f64, Vec<u64>)> = Vec::with_capacity(DEFAULT_REPS);
+    let mut latencies: Vec<f64> = Vec::new();
+    for _ in 0..DEFAULT_REPS {
+        let locks = choice.build(2);
+        let obj = locks.heap().alloc().expect("heap has room");
+        let (counts, lat) = fairness_rep(&locks, obj, threads, acquisitions);
+        latencies.extend(lat);
+        reps.push((jain_index(&counts), counts));
+    }
+    reps.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let jain_samples: Vec<f64> = reps.iter().map(|r| r.0).collect();
+    let (jain, per_thread) = reps.swap_remove(reps.len() / 2);
+    latencies.sort_by(f64::total_cmp);
+    FairnessRun {
+        backend: choice,
+        threads,
+        acquisitions,
+        jain,
+        jain_samples,
+        per_thread,
+        handoff_p50: percentile(&latencies, 50.0),
+        handoff_p95: percentile(&latencies, 95.0),
+        handoff_p99: percentile(&latencies, 99.0),
+    }
+}
+
+/// One repetition of the fairness workload on a caller-supplied backend
+/// instance and object: returns the per-thread acquisition counts and
+/// every per-acquisition `lock()` wall time in ns, in no particular
+/// order across threads. [`run_fairness`] wraps this in fresh-instance
+/// repetitions; the adaptive pipeline calls it directly — once to
+/// record a contention profile on a traced [`AdaptiveLocks`] instance,
+/// and again after [`apply_plan`] to re-measure the pinned object.
+pub fn fairness_rep(
+    locks: &Arc<dyn SyncBackend + Send + Sync>,
+    obj: ObjRef,
+    threads: usize,
+    acquisitions: u64,
+) -> (Vec<u64>, Vec<f64>) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    assert!(threads >= 1 && acquisitions >= 1);
+    // Only ever read or written while holding `obj`'s lock; the atomic
+    // type is for cross-thread visibility, not contention.
+    let remaining = AtomicU64::new(acquisitions);
+    let barrier = std::sync::Barrier::new(threads);
+    let mut counts = vec![0u64; threads];
+    let mut latencies = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let remaining = &remaining;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let reg = locks.registry().register().expect("registry has room");
+                    let t = reg.token();
+                    let mut mine = 0u64;
+                    let mut lat = Vec::new();
+                    barrier.wait();
+                    loop {
+                        let start = Instant::now();
+                        locks.lock(obj, t).expect("fairness lock");
+                        lat.push(start.elapsed().as_nanos() as f64);
+                        let left = remaining.load(Ordering::Relaxed);
+                        if left == 0 {
+                            locks.unlock(obj, t).expect("fairness unlock");
+                            break;
+                        }
+                        remaining.store(left - 1, Ordering::Relaxed);
+                        mine += 1;
+                        std::thread::yield_now();
+                        locks.unlock(obj, t).expect("fairness unlock");
+                    }
+                    (mine, lat)
+                })
+            })
+            .collect();
+        for (slot, handle) in counts.iter_mut().zip(handles) {
+            let (mine, lat) = handle.join().expect("fairness worker");
+            *slot = mine;
+            latencies.extend(lat);
+        }
+    });
+    (counts, latencies)
+}
+
+/// A per-object strategy plan for the adaptive backend: which objects a
+/// contention profile says should rest in FIFO mode. See
+/// [`plan_from_profile`] and [`apply_plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptivePlan {
+    /// Objects to pin into FIFO admission.
+    pub pin: Vec<ObjRef>,
+    /// Contended-acquisition threshold the plan was derived with.
+    pub threshold: u64,
+}
+
+/// Derives an [`AdaptivePlan`] from an observed contention profile: an
+/// object is pinned when the profile attributes it at least `threshold`
+/// contended acquisitions (spun-on thin acquisitions plus contended fat
+/// acquisitions). This is the profile → policy half the core crate
+/// deliberately leaves to its consumers (it sits below `thinlock-obs`
+/// in the dependency order); the mechanism half is
+/// [`AdaptiveLocks::pin_fifo`].
+pub fn plan_from_profile(
+    profile: &thinlock_obs::ContentionProfile,
+    threshold: u64,
+) -> AdaptivePlan {
+    assert!(threshold >= 1, "a zero threshold would pin every object");
+    AdaptivePlan {
+        pin: profile
+            .objects
+            .iter()
+            .filter(|o| o.acquire_contended_thin + o.acquire_fat_contended >= threshold)
+            .map(|o| o.obj)
+            .collect(),
+        threshold,
+    }
+}
+
+/// Applies an [`AdaptivePlan`]: pins every object the plan names and
+/// releases any existing pin the plan dropped, so re-planning from a
+/// fresh profile converges instead of accumulating stale pins.
+///
+/// ```
+/// use thinlock::AdaptiveLocks;
+/// use thinlock_bench::{apply_plan, AdaptivePlan};
+/// use thinlock_runtime::protocol::SyncProtocol;
+///
+/// let locks = AdaptiveLocks::with_capacity(4);
+/// let hot = locks.heap().alloc()?;
+/// apply_plan(&locks, &AdaptivePlan { pin: vec![hot], threshold: 1 });
+/// assert!(locks.pinned(hot));
+/// // A later profile disagrees: the stale pin is released.
+/// apply_plan(&locks, &AdaptivePlan { pin: vec![], threshold: 1 });
+/// assert!(!locks.pinned(hot));
+/// # Ok::<(), thinlock_runtime::SyncError>(())
+/// ```
+pub fn apply_plan(locks: &AdaptiveLocks, plan: &AdaptivePlan) {
+    for index in 0..locks.heap().capacity() {
+        let obj = ObjRef::from_index(index);
+        if locks.pinned(obj) && !plan.pin.contains(&obj) {
+            locks.release_fifo(obj);
+        }
+    }
+    for &obj in &plan.pin {
+        locks.pin_fifo(obj);
+    }
+}
+
 /// One row of the nest-count-width ablation: for each candidate width,
 /// the worst-case fraction of lock operations (over all Table 1 traces)
 /// that would overflow and force an inflation.
@@ -1254,6 +1525,108 @@ mod tests {
         for (name, elapsed, ok) in concurrent_macro(profile, &cfg).unwrap() {
             assert!(ok, "{name}: exclusion violated");
             assert!(elapsed > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn jain_index_on_synthetic_counts() {
+        assert_eq!(jain_index(&[1, 1, 1, 1]), 1.0);
+        assert_eq!(jain_index(&[4, 0, 0, 0]), 0.25);
+        assert_eq!(jain_index(&[0, 0]), 1.0, "all-zero is defined as even");
+        let skewed = jain_index(&[100, 10, 10, 10]);
+        assert!(skewed > 0.25 && skewed < 1.0, "{skewed}");
+        // Scale invariance: only the shape of the split matters.
+        assert!((jain_index(&[3, 1]) - jain_index(&[300, 100])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&sorted, 25.0), 10.0);
+        assert_eq!(percentile(&sorted, 50.0), 20.0);
+        assert_eq!(percentile(&sorted, 51.0), 30.0);
+        assert_eq!(percentile(&sorted, 99.0), 40.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn fairness_run_conserves_the_acquisition_pool() {
+        for choice in [BackendChoice::Hapax, BackendChoice::Fissile] {
+            let r = run_fairness(choice, 4, 64);
+            assert_eq!(r.per_thread.iter().sum::<u64>(), 64, "{choice:?}");
+            assert_eq!(r.per_thread.len(), 4);
+            assert_eq!(r.jain_samples.len(), DEFAULT_REPS);
+            assert!(r.jain > 0.0 && r.jain <= 1.0, "{choice:?}: {}", r.jain);
+            assert!(r.handoff_p50 <= r.handoff_p95 && r.handoff_p95 <= r.handoff_p99);
+        }
+    }
+
+    #[test]
+    fn plan_pins_only_contended_objects() {
+        use thinlock_obs::{ContentionProfile, LockTracer, TracerConfig};
+        use thinlock_runtime::events::TraceSink;
+
+        let tracer = Arc::new(LockTracer::new(TracerConfig {
+            max_threads: 8,
+            ring_capacity: 4096,
+        }));
+        let locks = AdaptiveLocks::with_capacity(4)
+            .with_trace_sink(Arc::clone(&tracer) as Arc<dyn TraceSink>);
+        let hot = locks.heap().alloc().unwrap();
+        let cold = locks.heap().alloc().unwrap();
+
+        // Contend on `hot` (owner holds across a barrier, so the second
+        // thread's acquisition is recorded as contended); leave `cold`
+        // uncontended.
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let reg = locks.registry().register().unwrap();
+                let t = reg.token();
+                locks.lock(hot, t).unwrap();
+                barrier.wait();
+                std::thread::sleep(Duration::from_millis(5));
+                locks.unlock(hot, t).unwrap();
+            });
+            let reg = locks.registry().register().unwrap();
+            let t = reg.token();
+            barrier.wait();
+            locks.lock(hot, t).unwrap();
+            locks.unlock(hot, t).unwrap();
+            locks.lock(cold, t).unwrap();
+            locks.unlock(cold, t).unwrap();
+        });
+
+        let profile = ContentionProfile::build(&tracer.snapshot());
+        let plan = plan_from_profile(&profile, 1);
+        assert!(plan.pin.contains(&hot), "contended object pinned: {plan:?}");
+        assert!(
+            !plan.pin.contains(&cold),
+            "uncontended object left reactive"
+        );
+
+        apply_plan(&locks, &plan);
+        assert!(locks.pinned(hot) && !locks.pinned(cold));
+        // Re-planning with an empty plan releases the stale pin.
+        apply_plan(
+            &locks,
+            &AdaptivePlan {
+                pin: Vec::new(),
+                threshold: 1,
+            },
+        );
+        assert!(!locks.pinned(hot));
+    }
+
+    #[test]
+    fn adaptive_backends_build_through_protocol_kind() {
+        for kind in [ProtocolKind::Fissile, ProtocolKind::Hapax] {
+            let p = kind.build(4, 0);
+            assert_eq!(p.name(), kind.name());
+            let reg = p.registry().register().unwrap();
+            let obj = p.heap().alloc().unwrap();
+            p.lock(obj, reg.token()).unwrap();
+            p.unlock(obj, reg.token()).unwrap();
         }
     }
 

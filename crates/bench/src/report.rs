@@ -19,7 +19,7 @@ use crate::{
 };
 
 /// Every section name `reproduce` accepts, in presentation order.
-pub const SECTIONS: [&str; 12] = [
+pub const SECTIONS: [&str; 13] = [
     "table1",
     "table2",
     "fig3",
@@ -28,6 +28,7 @@ pub const SECTIONS: [&str; 12] = [
     "fig6",
     "ablations",
     "churn",
+    "fairness",
     "predict",
     "lockcheck",
     "lockmc",
@@ -38,6 +39,15 @@ pub const SECTIONS: [&str; 12] = [
 /// `reproduce` runs without `--backend`.
 pub const CHURN_BACKENDS: [thinlock::BackendChoice; 2] =
     [thinlock::BackendChoice::Thin, thinlock::BackendChoice::Cjm];
+
+/// The backends the `fairness` section measures head-to-head when
+/// `reproduce` runs without `--backend`: the barging baseline against
+/// both FIFO-admission backends.
+pub const FAIRNESS_BACKENDS: [thinlock::BackendChoice; 3] = [
+    thinlock::BackendChoice::Thin,
+    thinlock::BackendChoice::Fissile,
+    thinlock::BackendChoice::Hapax,
+];
 
 /// The canonical trace configuration every reproduction run uses: a
 /// fixed seed so trace-derived numbers are deterministic, scaled down by
@@ -466,6 +476,148 @@ fn churn(iters: i32, backends: &[thinlock::BackendChoice], out: &mut BenchReport
             thin_ns / cjm_ns.max(f64::MIN_POSITIVE)
         );
     }
+}
+
+/// The fairness/tail head-to-head (BACKENDS.md): a shared acquisition
+/// pool at [`crate::FAIRNESS_THREADS`] contenders, where thin's barging
+/// lets a few threads capture the pool while FIFO ticket admission
+/// splits it evenly. The Jain index is gated (higher is better) for the
+/// backends that actually promise admission order
+/// ([`thinlock::BackendChoice::fifo_admission`]); thin's index and the
+/// hand-off latency percentiles are informational. Ends with the
+/// adaptive pipeline demo: profile a traced burst, derive a pin plan,
+/// apply it, re-measure.
+fn fairness(iters: i32, backends: &[thinlock::BackendChoice], out: &mut BenchReport) {
+    use std::sync::Arc;
+    use thinlock_runtime::backend::SyncBackend;
+    use thinlock_runtime::protocol::SyncProtocol;
+
+    heading("fairness: per-thread acquisition split and hand-off tail under contention");
+    let threads = crate::FAIRNESS_THREADS;
+    let pool = (iters as u64).clamp(200, crate::FAIRNESS_ACQUISITIONS);
+    println!("{threads} threads, one object, {pool} acquisitions per repetition:");
+    let mut jains = Vec::new();
+    for &choice in backends {
+        let run = crate::run_fairness(choice, threads, pool);
+        println!(
+            "  {:<8} Jain {:.3} | hand-off ns p50 {:>10.0} p95 {:>10.0} p99 {:>10.0} | counts {:?}",
+            choice.name(),
+            run.jain,
+            run.handoff_p50,
+            run.handoff_p95,
+            run.handoff_p99,
+            run.per_thread
+        );
+        jains.push((choice, run.jain));
+        out.push(BenchRecord::scalar(
+            format!("fairness/t{threads}/{choice}/jain_index"),
+            "fairness",
+            Some(choice.name()),
+            "ratio",
+            GateClass::Ratio,
+            if choice.fifo_admission() {
+                Direction::HigherIsBetter
+            } else {
+                // A barging backend makes no admission-order promise:
+                // its index is the contrast, not a gated quantity.
+                Direction::Informational
+            },
+            run.jain,
+        ));
+        for (tail, value) in [
+            ("handoff_p50", run.handoff_p50),
+            ("handoff_p95", run.handoff_p95),
+            ("handoff_p99", run.handoff_p99),
+        ] {
+            out.push(BenchRecord::scalar(
+                format!("fairness/t{threads}/{choice}/{tail}"),
+                "fairness",
+                Some(choice.name()),
+                "ns",
+                GateClass::Micro,
+                Direction::Informational,
+                value,
+            ));
+        }
+    }
+    let fifo_floor = jains
+        .iter()
+        .filter(|(c, _)| c.fifo_admission())
+        .map(|&(_, j)| j)
+        .fold(f64::NAN, f64::min);
+    if let Some(&(_, thin_jain)) = jains
+        .iter()
+        .find(|(c, _)| *c == thinlock::BackendChoice::Thin)
+    {
+        if !fifo_floor.is_nan() {
+            println!(
+                "  -> FIFO admission splits the pool at Jain {fifo_floor:.3} vs thin's barging \
+                 {thin_jain:.3} (1.0 is a perfectly even split)"
+            );
+        }
+    }
+
+    // The adaptive pipeline, end to end: burst-load a traced instance,
+    // derive the pin plan from its contention profile, apply it, and
+    // re-measure the pinned object.
+    let tracer = Arc::new(thinlock_obs::LockTracer::new(thinlock_obs::TracerConfig {
+        max_threads: threads as u16 + 1,
+        ring_capacity: 16_384,
+    }));
+    let adaptive = Arc::new(
+        thinlock::AdaptiveLocks::with_capacity(4)
+            .with_trace_sink(Arc::clone(&tracer) as Arc<dyn thinlock_runtime::events::TraceSink>),
+    );
+    let hot = adaptive.heap().alloc().expect("heap has room");
+    let cold = adaptive.heap().alloc().expect("heap has room");
+    let dyn_locks: Arc<dyn SyncBackend + Send + Sync> = Arc::clone(&adaptive) as _;
+    crate::fairness_rep(&dyn_locks, hot, threads, pool / 4);
+    {
+        let reg = adaptive.registry().register().expect("registry has room");
+        let t = reg.token();
+        for _ in 0..8 {
+            adaptive.lock(cold, t).expect("cold lock");
+            adaptive.unlock(cold, t).expect("cold unlock");
+        }
+    }
+    let profile = thinlock_obs::ContentionProfile::build(&tracer.snapshot());
+    let plan = crate::plan_from_profile(&profile, (pool / 16).max(1));
+    crate::apply_plan(&adaptive, &plan);
+    assert!(
+        adaptive.pinned(hot) && !adaptive.pinned(cold),
+        "the burst-contended object (and only it) must be pinned: {plan:?}"
+    );
+    // Best-of-3 repetitions: the claim is about the pinned mechanism,
+    // not one scheduler roll.
+    let pinned_jain = (0..3)
+        .map(|_| {
+            let (counts, _) = crate::fairness_rep(&dyn_locks, hot, threads, pool / 4);
+            crate::jain_index(&counts)
+        })
+        .fold(0.0, f64::max);
+    println!(
+        "  -> adaptive: profile pinned {} of {} traced objects; pinned-object Jain {pinned_jain:.3}",
+        plan.pin.len(),
+        profile.objects.len()
+    );
+    out.push(BenchRecord::scalar(
+        "fairness/adaptive/pinned_objects",
+        "fairness",
+        Some("adaptive"),
+        "count",
+        GateClass::Exact,
+        Direction::Informational,
+        plan.pin.len() as f64,
+    ));
+    out.push(BenchRecord::scalar(
+        "fairness/adaptive/pinned_jain",
+        "fairness",
+        Some("adaptive"),
+        "ratio",
+        GateClass::Ratio,
+        Direction::HigherIsBetter,
+        pinned_jain,
+    ));
 }
 
 /// Section 3.4's consistency check: predict macro speedup from the
@@ -973,6 +1125,12 @@ pub fn run_sections(
             None => churn(iters, &CHURN_BACKENDS, &mut out),
         }
     }
+    if want("fairness") {
+        match backend {
+            Some(choice) => fairness(iters, &[choice], &mut out),
+            None => fairness(iters, &FAIRNESS_BACKENDS, &mut out),
+        }
+    }
     if want("predict") {
         predict(iters, &mut out);
     }
@@ -1072,6 +1230,21 @@ pub fn expected_ids() -> Vec<String> {
             ids.push(format!("churn/{choice}/deflations"));
         }
     }
+
+    for choice in FAIRNESS_BACKENDS {
+        ids.push(format!(
+            "fairness/t{}/{choice}/jain_index",
+            crate::FAIRNESS_THREADS
+        ));
+        for tail in ["handoff_p50", "handoff_p95", "handoff_p99"] {
+            ids.push(format!(
+                "fairness/t{}/{choice}/{tail}",
+                crate::FAIRNESS_THREADS
+            ));
+        }
+    }
+    ids.push("fairness/adaptive/pinned_objects".into());
+    ids.push("fairness/adaptive/pinned_jain".into());
 
     ids.push("predict/saving_ns_per_call".into());
     ids.push("predict/predicted_saving_ns".into());

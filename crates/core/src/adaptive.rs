@@ -1,0 +1,352 @@
+//! Adaptive locks: a composite backend that picks a per-object
+//! strategy — the thin-style cohered fast path or FIFO ticket
+//! admission — from observed contention.
+//!
+//! This is a thin policy shell over [`FissileLocks`]: fissile already
+//! carries *both* strategies and a reversible switch between them
+//! (fission and re-cohesion), so "adaptive" reduces to deciding, per
+//! object, where the switch should rest:
+//!
+//! * Objects never classified stay fully reactive — short contention
+//!   bursts fission and re-cohere exactly as fissile does on its own.
+//! * Objects a contention profile marks as persistently contended are
+//!   [pinned](AdaptiveLocks::pin_fifo) into FIFO mode, skipping the
+//!   spin-then-fission detour on every future conflict; a pin is
+//!   released ([`release_fifo`](AdaptiveLocks::release_fifo)) if a
+//!   later profile disagrees.
+//!
+//! The *derivation* of the pin set from an observed
+//! `ContentionProfile` deliberately does not live here: the core crate
+//! sits below the observability crate in the dependency order, so
+//! profile → plan mapping ships with the consumer (see
+//! `thinlock-bench`'s fairness pipeline, which records a profile under
+//! burst load, derives a plan, applies it through
+//! [`pin_fifo`](AdaptiveLocks::pin_fifo), and re-measures). This layer
+//! only guarantees the mechanism: pins persist across queue drains,
+//! and every harness seam (stats, trace, faults, schedule, orphan
+//! sweep) is the fissile one underneath.
+//!
+//! ```
+//! use thinlock::AdaptiveLocks;
+//! use thinlock_runtime::protocol::SyncProtocol;
+//!
+//! let locks = AdaptiveLocks::with_capacity(8);
+//! let reg = locks.registry().register()?;
+//! let me = reg.token();
+//! let hot = locks.heap().alloc()?;
+//!
+//! locks.pin_fifo(hot);             // policy: this object is contended
+//! locks.lock(hot, me)?;            // FIFO ticket, no spin detour
+//! locks.unlock(hot, me)?;
+//! assert!(locks.pinned(hot), "pins survive queue drains");
+//! locks.release_fifo(hot);         // policy changed its mind
+//! assert!(!locks.is_fissioned(hot));
+//! # Ok::<(), thinlock_runtime::SyncError>(())
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use thinlock_monitor::FatLock;
+use thinlock_runtime::backend::{MonitorProbe, SyncBackend};
+use thinlock_runtime::error::SyncResult;
+use thinlock_runtime::events::TraceSink;
+use thinlock_runtime::fault::FaultInjector;
+use thinlock_runtime::heap::{Heap, ObjRef};
+use thinlock_runtime::lockword::LockWord;
+use thinlock_runtime::protocol::{SyncProtocol, WaitOutcome};
+use thinlock_runtime::registry::{ThreadRegistry, ThreadToken};
+use thinlock_runtime::schedule::Schedule;
+use thinlock_runtime::stats::LockStats;
+
+use crate::fissile::FissileLocks;
+
+/// The adaptive composite backend. All synchronization semantics are
+/// [`FissileLocks`]'s; this type adds only the pin-policy surface and
+/// its own backend identity.
+pub struct AdaptiveLocks {
+    inner: FissileLocks,
+}
+
+impl AdaptiveLocks {
+    /// Creates a protocol over a fresh heap of `capacity` objects.
+    pub fn with_capacity(capacity: usize) -> Self {
+        AdaptiveLocks {
+            inner: FissileLocks::with_capacity(capacity),
+        }
+    }
+
+    /// Creates a protocol over an existing heap and registry.
+    pub fn new(heap: Arc<Heap>, registry: ThreadRegistry) -> Self {
+        AdaptiveLocks {
+            inner: FissileLocks::new(heap, registry),
+        }
+    }
+
+    /// Attaches statistics counters (`ThinLocks::with_stats` discipline).
+    #[must_use]
+    pub fn with_stats(self, stats: Arc<LockStats>) -> Self {
+        AdaptiveLocks {
+            inner: self.inner.with_stats(stats),
+        }
+    }
+
+    /// Attaches an event sink for the full transition stream.
+    #[must_use]
+    pub fn with_trace_sink(self, sink: Arc<dyn TraceSink>) -> Self {
+        AdaptiveLocks {
+            inner: self.inner.with_trace_sink(sink),
+        }
+    }
+
+    /// Attaches a fault injector (propagated through the full stack).
+    #[must_use]
+    pub fn with_fault_injector(self, injector: Arc<dyn FaultInjector>) -> Self {
+        AdaptiveLocks {
+            inner: self.inner.with_fault_injector(injector),
+        }
+    }
+
+    /// Attaches a cooperative schedule (model checker).
+    #[must_use]
+    pub fn with_schedule(self, schedule: Arc<dyn Schedule>) -> Self {
+        AdaptiveLocks {
+            inner: self.inner.with_schedule(schedule),
+        }
+    }
+
+    /// Installs the orphaned-lock sweeper on this protocol's registry.
+    #[must_use]
+    pub fn with_orphan_recovery(self) -> Self {
+        AdaptiveLocks {
+            inner: self.inner.with_orphan_recovery(),
+        }
+    }
+
+    /// Non-consuming form of [`AdaptiveLocks::with_orphan_recovery`].
+    pub fn enable_orphan_recovery(&self) {
+        self.inner.enable_orphan_recovery();
+    }
+
+    /// Number of locks inflated so far (monitors allocated).
+    pub fn inflated_count(&self) -> usize {
+        self.inner.inflated_count()
+    }
+
+    /// The raw lock word of `obj` — diagnostics and tests.
+    pub fn lock_word(&self, obj: ObjRef) -> LockWord {
+        self.inner.lock_word(obj)
+    }
+
+    /// The fat monitor of `obj`, if its lock has inflated.
+    pub fn monitor_for(&self, obj: ObjRef) -> Option<&FatLock> {
+        self.inner.monitor_for(obj)
+    }
+
+    /// True while `obj` is in FIFO mode (reactive fission or a pin).
+    pub fn is_fissioned(&self, obj: ObjRef) -> bool {
+        self.inner.is_fissioned(obj)
+    }
+
+    /// Pins `obj` into FIFO mode — the policy's "persistently
+    /// contended" verdict. Exempt from re-cohesion until
+    /// [`release_fifo`](AdaptiveLocks::release_fifo).
+    pub fn pin_fifo(&self, obj: ObjRef) {
+        self.inner.pin_fifo(obj);
+    }
+
+    /// Releases a pin, restoring the reactive cohered fast path.
+    pub fn release_fifo(&self, obj: ObjRef) {
+        self.inner.release_fifo(obj);
+    }
+
+    /// True while `obj` is pinned by the policy.
+    pub fn pinned(&self, obj: ObjRef) -> bool {
+        self.inner.pinned(obj)
+    }
+
+    /// Pre-inflation hint, identical to the thin backend's.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::MonitorIndexExhausted`](thinlock_runtime::SyncError::MonitorIndexExhausted)
+    /// if the monitor table is full.
+    pub fn pre_inflate(&self, obj: ObjRef) -> SyncResult<bool> {
+        self.inner.pre_inflate(obj)
+    }
+}
+
+impl SyncProtocol for AdaptiveLocks {
+    fn lock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        self.inner.lock(obj, t)
+    }
+
+    fn unlock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        self.inner.unlock(obj, t)
+    }
+
+    fn try_lock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<bool> {
+        self.inner.try_lock(obj, t)
+    }
+
+    fn lock_deadline(&self, obj: ObjRef, t: ThreadToken, timeout: Duration) -> SyncResult<()> {
+        self.inner.lock_deadline(obj, t, timeout)
+    }
+
+    fn wait(
+        &self,
+        obj: ObjRef,
+        t: ThreadToken,
+        timeout: Option<Duration>,
+    ) -> SyncResult<WaitOutcome> {
+        self.inner.wait(obj, t, timeout)
+    }
+
+    fn notify(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        self.inner.notify(obj, t)
+    }
+
+    fn notify_all(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        self.inner.notify_all(obj, t)
+    }
+
+    fn holds_lock(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        self.inner.holds_lock(obj, t)
+    }
+
+    fn pre_inflate_hint(&self, obj: ObjRef) -> bool {
+        self.inner.pre_inflate_hint(obj)
+    }
+
+    fn trace_sink(&self) -> Option<&dyn TraceSink> {
+        self.inner.trace_sink()
+    }
+
+    fn heap(&self) -> &Heap {
+        self.inner.heap()
+    }
+
+    fn registry(&self) -> &ThreadRegistry {
+        self.inner.registry()
+    }
+
+    fn name(&self) -> &'static str {
+        "Adaptive"
+    }
+}
+
+impl SyncBackend for AdaptiveLocks {
+    fn monitor_probe(&self, obj: ObjRef) -> Option<MonitorProbe> {
+        self.inner.monitor_probe(obj)
+    }
+
+    fn in_wait_set(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        self.inner.in_wait_set(obj, t)
+    }
+
+    fn spin_enabled(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        self.inner.spin_enabled(obj, t)
+    }
+
+    fn inflation_count(&self) -> u64 {
+        self.inner.inflation_count()
+    }
+
+    fn monitors_live(&self) -> usize {
+        self.inner.monitors_live()
+    }
+
+    fn monitors_peak(&self) -> usize {
+        self.inner.monitors_peak()
+    }
+
+    fn monitors_allocated(&self) -> u64 {
+        self.inner.monitors_allocated()
+    }
+}
+
+impl fmt::Debug for AdaptiveLocks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdaptiveLocks")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn identity_is_adaptive_semantics_are_fissile() {
+        let p = AdaptiveLocks::with_capacity(4);
+        assert_eq!(p.name(), "Adaptive");
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        let before = p.lock_word(obj);
+        p.lock(obj, t).unwrap();
+        assert!(p.holds_lock(obj, t));
+        p.unlock(obj, t).unwrap();
+        assert_eq!(p.lock_word(obj), before);
+        assert_eq!(p.inflated_count(), 0);
+    }
+
+    #[test]
+    fn pins_route_lockers_through_the_queue_and_persist() {
+        let p = AdaptiveLocks::with_capacity(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        p.pin_fifo(obj);
+        assert!(p.pinned(obj) && p.is_fissioned(obj));
+        p.lock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+        assert!(p.pinned(obj), "queue drain does not release a pin");
+        p.release_fifo(obj);
+        assert!(!p.is_fissioned(obj));
+        // Back on the cohered fast path.
+        p.lock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+    }
+
+    #[test]
+    fn unpinned_objects_stay_reactive() {
+        let p = AdaptiveLocks::with_capacity(4);
+        let obj = p.heap().alloc().unwrap();
+        // Manual fission (what budget exhaustion does) still re-coheres:
+        // only pins are sticky.
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        assert!(p.inner.fission(obj));
+        p.lock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+        assert!(!p.is_fissioned(obj), "reactive fission drained away");
+    }
+
+    #[test]
+    fn orphan_sweep_works_through_the_wrapper() {
+        let p = Arc::new(AdaptiveLocks::with_capacity(4).with_orphan_recovery());
+        let obj = p.heap().alloc().unwrap();
+        p.pin_fifo(obj);
+        {
+            let r = p.registry().register().unwrap();
+            p.lock(obj, r.token()).unwrap();
+            // Dies owning the pinned lock.
+        }
+        assert!(p.lock_word(obj).is_unlocked());
+        assert!(p.pinned(obj), "sweep retires the ticket but keeps the pin");
+        let handle = {
+            let p = Arc::clone(&p);
+            thread::spawn(move || {
+                let r = p.registry().register().unwrap();
+                let t = r.token();
+                p.lock(obj, t).unwrap();
+                p.unlock(obj, t).unwrap();
+            })
+        };
+        handle.join().unwrap();
+    }
+}

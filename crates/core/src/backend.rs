@@ -22,7 +22,10 @@ use thinlock_runtime::fault::FaultInjector;
 use thinlock_runtime::schedule::Schedule;
 use thinlock_runtime::stats::LockStats;
 
+use crate::adaptive::AdaptiveLocks;
 use crate::cjm::CjmLocks;
+use crate::fissile::FissileLocks;
+use crate::hapax::HapaxLocks;
 use crate::tasuki::TasukiLocks;
 use crate::thin::ThinLocks;
 
@@ -38,15 +41,25 @@ pub enum BackendChoice {
     /// Compact Java Monitors: deflation plus a bounded recycling monitor
     /// pool ([`CjmLocks`]).
     Cjm,
+    /// Thin fast path that fissions into a FIFO ticket queue under
+    /// contention and re-coheres when it drains ([`FissileLocks`]).
+    Fissile,
+    /// Constant-time ticketed arrival with FIFO admission on every
+    /// blocking acquisition ([`HapaxLocks`]).
+    Hapax,
+    /// Per-object composite: fissile semantics plus a pin policy driven
+    /// by observed contention ([`AdaptiveLocks`]).
+    Adaptive,
 }
 
 /// Optional instrumentation threaded into a backend at construction.
 ///
-/// The thin and CJM backends accept all five seams. The Tasuki backend
-/// honors `fault_injector` and `orphan_recovery` (so the chaos harness
-/// and the crash matrix cover it) but ignores `stats`, `trace_sink`, and
-/// `schedule` — harnesses that depend on one of those restrict
-/// themselves to [`BackendChoice::schedulable`] choices.
+/// The thin, CJM, fissile, hapax, and adaptive backends accept all five
+/// seams. The Tasuki backend honors `fault_injector` and
+/// `orphan_recovery` (so the chaos harness and the crash matrix cover
+/// it) but ignores `stats`, `trace_sink`, and `schedule` — harnesses
+/// that depend on one of those restrict themselves to
+/// [`BackendChoice::schedulable`] choices.
 #[derive(Default)]
 pub struct BackendSeams {
     /// Statistics counters (`ThinLocks::with_stats` discipline).
@@ -75,18 +88,25 @@ impl fmt::Debug for BackendSeams {
 
 impl BackendChoice {
     /// Every selectable backend, in CLI-listing order.
-    pub const ALL: [BackendChoice; 3] = [
+    pub const ALL: [BackendChoice; 6] = [
         BackendChoice::Thin,
         BackendChoice::Tasuki,
         BackendChoice::Cjm,
+        BackendChoice::Fissile,
+        BackendChoice::Hapax,
+        BackendChoice::Adaptive,
     ];
 
-    /// Parses a CLI name (case-insensitive): `thin`, `tasuki`, `cjm`.
+    /// Parses a CLI name (case-insensitive): `thin`, `tasuki`, `cjm`,
+    /// `fissile`, `hapax`, `adaptive`.
     pub fn from_name(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
             "thin" => Some(BackendChoice::Thin),
             "tasuki" => Some(BackendChoice::Tasuki),
             "cjm" => Some(BackendChoice::Cjm),
+            "fissile" => Some(BackendChoice::Fissile),
+            "hapax" => Some(BackendChoice::Hapax),
+            "adaptive" => Some(BackendChoice::Adaptive),
             _ => None,
         }
     }
@@ -97,15 +117,23 @@ impl BackendChoice {
             BackendChoice::Thin => "thin",
             BackendChoice::Tasuki => "tasuki",
             BackendChoice::Cjm => "cjm",
+            BackendChoice::Fissile => "fissile",
+            BackendChoice::Hapax => "hapax",
+            BackendChoice::Adaptive => "adaptive",
         }
     }
 
     /// Whether this backend ever restores a fat word to neutral — picks
     /// the invariant set the model checker enforces (one-way inflation
-    /// vs. deflation safety).
+    /// vs. deflation safety). The ticket-queue backends answer
+    /// contention outside the word, so their inflation (wait/notify,
+    /// overflow, hints only) stays strictly one-way.
     pub fn deflation_capable(self) -> bool {
         match self {
-            BackendChoice::Thin => false,
+            BackendChoice::Thin
+            | BackendChoice::Fissile
+            | BackendChoice::Hapax
+            | BackendChoice::Adaptive => false,
             BackendChoice::Tasuki | BackendChoice::Cjm => true,
         }
     }
@@ -119,14 +147,15 @@ impl BackendChoice {
 
     /// Whether the backend consults [`FaultInjector`] at its labeled
     /// injection points — the capability the chaos harness and the
-    /// crash-chaos supervisor require. All three backends qualify.
+    /// crash-chaos supervisor require. Every backend qualifies.
     pub fn fault_injectable(self) -> bool {
         true
     }
 
     /// Whether the backend installs a registry exit sweeper when
     /// [`BackendSeams::orphan_recovery`] is set, force-releasing a dead
-    /// thread's locks. All three backends qualify.
+    /// thread's locks (and, for the ticket-queue backends, retiring the
+    /// dead owner's pending FIFO hand-off). Every backend qualifies.
     pub fn orphan_recoverable(self) -> bool {
         true
     }
@@ -138,6 +167,20 @@ impl BackendChoice {
     /// chaos harness must not grade it against the live-object bound.
     pub fn bounded_monitor_population(self) -> bool {
         !matches!(self, BackendChoice::Tasuki)
+    }
+
+    /// Whether contended acquisitions are admitted in FIFO arrival
+    /// order (ticket-queue backends) rather than by spin race. Fairness
+    /// harnesses gate the Jain index only for these backends — a
+    /// barging acquirer makes no admission-order promise to regress.
+    /// Fissile qualifies because its fissioned mode is the FIFO queue
+    /// and contention is exactly what fissions the word; adaptive
+    /// inherits fissile's machinery.
+    pub fn fifo_admission(self) -> bool {
+        matches!(
+            self,
+            BackendChoice::Fissile | BackendChoice::Hapax | BackendChoice::Adaptive
+        )
     }
 
     /// Builds an uninstrumented backend over a fresh heap of `capacity`
@@ -185,6 +228,63 @@ impl BackendChoice {
             }
             BackendChoice::Cjm => {
                 let mut p = CjmLocks::with_capacity(capacity);
+                if let Some(stats) = seams.stats {
+                    p = p.with_stats(stats);
+                }
+                if let Some(sink) = seams.trace_sink {
+                    p = p.with_trace_sink(sink);
+                }
+                if let Some(injector) = seams.fault_injector {
+                    p = p.with_fault_injector(injector);
+                }
+                if let Some(schedule) = seams.schedule {
+                    p = p.with_schedule(schedule);
+                }
+                if seams.orphan_recovery {
+                    p = p.with_orphan_recovery();
+                }
+                Arc::new(p)
+            }
+            BackendChoice::Fissile => {
+                let mut p = FissileLocks::with_capacity(capacity);
+                if let Some(stats) = seams.stats {
+                    p = p.with_stats(stats);
+                }
+                if let Some(sink) = seams.trace_sink {
+                    p = p.with_trace_sink(sink);
+                }
+                if let Some(injector) = seams.fault_injector {
+                    p = p.with_fault_injector(injector);
+                }
+                if let Some(schedule) = seams.schedule {
+                    p = p.with_schedule(schedule);
+                }
+                if seams.orphan_recovery {
+                    p = p.with_orphan_recovery();
+                }
+                Arc::new(p)
+            }
+            BackendChoice::Hapax => {
+                let mut p = HapaxLocks::with_capacity(capacity);
+                if let Some(stats) = seams.stats {
+                    p = p.with_stats(stats);
+                }
+                if let Some(sink) = seams.trace_sink {
+                    p = p.with_trace_sink(sink);
+                }
+                if let Some(injector) = seams.fault_injector {
+                    p = p.with_fault_injector(injector);
+                }
+                if let Some(schedule) = seams.schedule {
+                    p = p.with_schedule(schedule);
+                }
+                if seams.orphan_recovery {
+                    p = p.with_orphan_recovery();
+                }
+                Arc::new(p)
+            }
+            BackendChoice::Adaptive => {
+                let mut p = AdaptiveLocks::with_capacity(capacity);
                 if let Some(stats) = seams.stats {
                     p = p.with_stats(stats);
                 }
@@ -263,11 +363,23 @@ mod tests {
         for choice in BackendChoice::ALL {
             assert!(choice.fault_injectable(), "{choice}");
             assert!(choice.orphan_recoverable(), "{choice}");
+            if choice != BackendChoice::Tasuki {
+                assert!(choice.schedulable(), "{choice}");
+                assert!(choice.bounded_monitor_population(), "{choice}");
+            }
         }
-        assert!(BackendChoice::Thin.bounded_monitor_population());
-        assert!(BackendChoice::Cjm.bounded_monitor_population());
         assert!(!BackendChoice::Tasuki.bounded_monitor_population());
         assert!(!BackendChoice::Tasuki.schedulable());
+        for queueing in [
+            BackendChoice::Fissile,
+            BackendChoice::Hapax,
+            BackendChoice::Adaptive,
+        ] {
+            assert!(
+                !queueing.deflation_capable(),
+                "{queueing}: queue backends keep one-way inflation"
+            );
+        }
     }
 
     #[test]

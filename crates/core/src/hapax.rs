@@ -1,0 +1,1161 @@
+//! Hapax locks: constant-time arrival, constant-time unlock, FIFO
+//! admission (after "Hapax: Value-Based Mutual Exclusion",
+//! arXiv:2511.14608).
+//!
+//! The thin protocol's contended path is a spin race: arrival costs
+//! nothing but admission is decided by whichever CAS happens to land,
+//! so under sustained contention one thread can starve the rest. Hapax
+//! inverts the trade-off. Every blocking acquisition performs exactly
+//! one `fetch_add` on arrival — drawing a ticket from the
+//! crate-internal `ticket` side table — and threads are *admitted* to
+//! contend for the word strictly in ticket order:
+//!
+//! ```text
+//!   arrive:  ticket ← next.fetch_add(1)            (constant time)
+//!   admit:   spin until serving ≥ ticket (wrapping) and word unlocked
+//!   take:    CAS the word, record the hand-off obligation
+//!   unlock:  clear the word, retire the obligation, serving += 1
+//!                                                   (constant time)
+//! ```
+//!
+//! Mutual exclusion itself is still the lock word — the ticket table
+//! only *sequences* contenders — so the word stays bit-identical to the
+//! thin backend's (header preservation, owner-only writes, one-way
+//! inflation) and nesting, `wait`/`notify` inflation, count overflow,
+//! and the fat-monitor path are unchanged. `try_lock` and
+//! deadline-bounded acquisitions hold no ticket and may barge; the
+//! exactly-once retirement rule in the `ticket` module keeps the queue
+//! sound anyway. Inflation permanently diverts the queue to the fat
+//! monitor (every admission iteration checks the fat shape first), so
+//! stranded tickets are harmless.
+//!
+//! The cost profile is the honest inverse of thin's: the uncontended
+//! acquisition pays one extra `fetch_add` + store, and in exchange the
+//! contended path is first-come-first-served with bounded hand-off —
+//! the fairness/tail benchmarks in `thinlock-bench` measure exactly
+//! this trade.
+//!
+//! # FIFO hand-off
+//!
+//! ```
+//! use std::sync::Arc;
+//! use thinlock::HapaxLocks;
+//! use thinlock_runtime::protocol::SyncProtocol;
+//!
+//! let locks = Arc::new(HapaxLocks::with_capacity(4));
+//! let obj = locks.heap().alloc()?;
+//! let reg = locks.registry().register()?;
+//! let me = reg.token();
+//!
+//! locks.lock(obj, me)?;               // ticket 0: admitted at once
+//! assert_eq!(locks.queue_depth(obj), 1);
+//! let waiter = {
+//!     let locks = Arc::clone(&locks);
+//!     std::thread::spawn(move || {
+//!         let reg = locks.registry().register().unwrap();
+//!         let t = reg.token();
+//!         locks.lock(obj, t).unwrap(); // ticket 1: queues behind us
+//!         locks.unlock(obj, t).unwrap();
+//!     })
+//! };
+//! while locks.queue_depth(obj) < 2 {  // the waiter has arrived...
+//!     std::thread::yield_now();
+//! }
+//! locks.unlock(obj, me)?;             // ...and the release hands off
+//! waiter.join().unwrap();
+//! assert_eq!(locks.queue_depth(obj), 0, "queue drained");
+//! # Ok::<(), thinlock_runtime::SyncError>(())
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use thinlock_monitor::{FatLock, MonitorTable};
+use thinlock_runtime::arch::LockWordCell;
+use thinlock_runtime::backend::{MonitorProbe, SyncBackend};
+use thinlock_runtime::backoff::Backoff;
+use thinlock_runtime::error::{SyncError, SyncResult};
+use thinlock_runtime::events::{TraceEventKind, TraceSink};
+use thinlock_runtime::fault::{FaultAction, FaultInjector, InjectionPoint};
+use thinlock_runtime::heap::{Heap, ObjRef};
+use thinlock_runtime::lockword::{LockWord, ThreadIndex, MAX_THIN_COUNT};
+use thinlock_runtime::protocol::{SyncProtocol, WaitOutcome};
+use thinlock_runtime::registry::{ExitSweeper, ThreadRecord, ThreadRegistry, ThreadToken};
+use thinlock_runtime::schedule::{SchedPoint, Schedule};
+use thinlock_runtime::stats::{InflationCause, LockScenario, LockStats};
+
+use crate::config::{DynamicConfig, FastPathConfig, UnlockStrategy};
+use crate::ticket::TicketLedger;
+
+/// Nesting depth at or below which an acquisition counts as "shallow"
+/// in the statistics (same convention as the thin backend).
+const SHALLOW_DEPTH: u32 = 4;
+
+/// The hapax-lock protocol: ticketed FIFO admission over the thin lock
+/// word. See the module docs for the arrival/admit/unlock cycle.
+pub struct HapaxLocks {
+    heap: Arc<Heap>,
+    registry: ThreadRegistry,
+    monitors: Arc<MonitorTable>,
+    config: DynamicConfig,
+    tickets: Arc<TicketLedger>,
+    stats: Option<Arc<LockStats>>,
+    tracer: Option<Arc<dyn TraceSink>>,
+    injector: Option<Arc<dyn FaultInjector>>,
+    schedule: Option<Arc<dyn Schedule>>,
+}
+
+impl HapaxLocks {
+    /// Creates a protocol over a fresh heap of `capacity` objects.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::new(
+            Arc::new(Heap::with_capacity(capacity)),
+            ThreadRegistry::new(),
+        )
+    }
+
+    /// Creates a protocol over an existing heap and registry. The
+    /// monitor table and ticket ledger are sized to the heap.
+    pub fn new(heap: Arc<Heap>, registry: ThreadRegistry) -> Self {
+        let monitors = Arc::new(MonitorTable::with_capacity(heap.capacity()));
+        let tickets = Arc::new(TicketLedger::new(heap.capacity(), registry.max_threads()));
+        HapaxLocks {
+            heap,
+            registry,
+            monitors,
+            config: DynamicConfig::default(),
+            tickets,
+            stats: None,
+            tracer: None,
+            injector: None,
+            schedule: None,
+        }
+    }
+
+    /// Attaches statistics counters (`ThinLocks::with_stats` discipline).
+    #[must_use]
+    pub fn with_stats(mut self, stats: Arc<LockStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Attaches an event sink for the full transition stream.
+    #[must_use]
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.monitors.set_sink(Arc::clone(&sink));
+        self.tracer = Some(sink);
+        self
+    }
+
+    /// Attaches a fault injector, propagated into the monitor table and
+    /// the heap so one injector covers the whole stack.
+    #[must_use]
+    pub fn with_fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.monitors.set_fault_injector(Arc::clone(&injector));
+        self.heap.set_fault_injector(Arc::clone(&injector));
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Attaches a cooperative schedule (model checker). Timed paths
+    /// carry no schedule points, matching the thin backend.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Arc<dyn Schedule>) -> Self {
+        self.monitors.set_schedule(Arc::clone(&schedule));
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Installs the orphaned-lock sweeper on this protocol's registry.
+    /// The sweep force-releases a dead thread's words *and* retires its
+    /// pending ticket hand-off, so the FIFO queue behind a dead owner
+    /// keeps draining.
+    #[must_use]
+    pub fn with_orphan_recovery(self) -> Self {
+        self.enable_orphan_recovery();
+        self
+    }
+
+    /// Non-consuming form of [`HapaxLocks::with_orphan_recovery`].
+    pub fn enable_orphan_recovery(&self) {
+        self.registry.set_exit_sweeper(Arc::new(HapaxSweeper {
+            heap: Arc::clone(&self.heap),
+            monitors: Arc::clone(&self.monitors),
+            tracer: self.tracer.clone(),
+            injector: self.injector.clone(),
+            profile: self.config.profile(),
+            tickets: Arc::clone(&self.tickets),
+        }));
+    }
+
+    /// Number of locks inflated so far (monitors allocated).
+    pub fn inflated_count(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// The raw lock word of `obj` — diagnostics and tests.
+    pub fn lock_word(&self, obj: ObjRef) -> LockWord {
+        self.cell(obj).load_relaxed()
+    }
+
+    /// The fat monitor of `obj`, if its lock has inflated.
+    pub fn monitor_for(&self, obj: ObjRef) -> Option<&FatLock> {
+        let word = self.cell(obj).load_acquire();
+        if word.is_fat() {
+            Some(self.monitor_of(word))
+        } else {
+            None
+        }
+    }
+
+    /// Tickets drawn for `obj` that have not yet been retired: the
+    /// holder (if it arrived through `lock`) plus every queued thread.
+    /// Advisory — the queue moves on concurrently.
+    pub fn queue_depth(&self, obj: ObjRef) -> u32 {
+        self.tickets.outstanding(obj)
+    }
+
+    #[inline]
+    fn cell(&self, obj: ObjRef) -> &LockWordCell {
+        self.heap.header(obj).lock_word()
+    }
+
+    #[inline]
+    fn record_lock(&self, scenario: LockScenario, depth: u32) {
+        if let Some(s) = &self.stats {
+            s.record_lock(scenario, depth);
+        }
+    }
+
+    #[inline]
+    fn record_inflation(&self, cause: InflationCause) {
+        if let Some(s) = &self.stats {
+            s.record_inflation(cause);
+        }
+    }
+
+    #[inline]
+    fn emit(&self, thread: Option<ThreadIndex>, obj: Option<ObjRef>, kind: TraceEventKind) {
+        if let Some(sink) = &self.tracer {
+            sink.record(thread, obj, kind);
+        }
+    }
+
+    #[inline]
+    fn inject(&self, point: InjectionPoint) -> FaultAction {
+        match &self.injector {
+            None => FaultAction::Proceed,
+            Some(injector) => injector.decide(point),
+        }
+    }
+
+    #[inline]
+    fn reach(&self, point: SchedPoint, obj: ObjRef) {
+        if let Some(s) = &self.schedule {
+            let _ = s.reached(point, Some(obj));
+        }
+    }
+
+    fn monitor_of(&self, word: LockWord) -> &FatLock {
+        let idx = word.monitor_index().expect("word must be inflated");
+        self.monitors
+            .get(idx)
+            .expect("inflated word references an allocated monitor")
+    }
+
+    /// Owner-only inflation, identical to the thin backend's. Reached
+    /// only from `wait`/`notify` and count overflow — contention is the
+    /// queue's job.
+    fn inflate_owned(
+        &self,
+        obj: ObjRef,
+        t: ThreadToken,
+        locks: u32,
+        cause: InflationCause,
+    ) -> SyncResult<&FatLock> {
+        self.reach(SchedPoint::Inflate, obj);
+        if self.inject(InjectionPoint::Inflate) == FaultAction::Yield {
+            std::thread::yield_now();
+        }
+        let idx = self.monitors.allocate(FatLock::new_owned(t, locks))?;
+        let cell = self.cell(obj);
+        let current = cell.load_relaxed();
+        cell.store_release(current.inflated(idx));
+        self.record_inflation(cause);
+        self.emit(
+            Some(t.index()),
+            Some(obj),
+            TraceEventKind::Inflated { cause },
+        );
+        Ok(self.monitor_of(current.inflated(idx)))
+    }
+
+    /// Fat-monitor acquisition (entry queue), shared by the admission
+    /// loop's divert-on-inflation arm and the initial fat check.
+    fn lock_fat(
+        &self,
+        obj: ObjRef,
+        t: ThreadToken,
+        word: LockWord,
+        waiting: &mut BlockedOnGuard,
+    ) -> SyncResult<()> {
+        // The monitor's own park point carries no object (the fat lock
+        // does not know which word references it); a scheduler resolves
+        // it to the caller's most recent announced object. The initial
+        // fat check diverts here before the arrival announcement, so
+        // make one now or the park would be attributed to a stale
+        // object — or none at all.
+        self.reach(SchedPoint::LockFast, obj);
+        let monitor = self.monitor_of(word);
+        let (depth, contended) = match monitor.lock_uncontended(t) {
+            Some(depth) => (depth, depth > 1),
+            None => {
+                waiting.publish(&self.registry, t, obj);
+                monitor.lock(t, &self.registry)?;
+                (monitor.count(), true)
+            }
+        };
+        self.record_lock(
+            if depth > 1 {
+                if depth <= SHALLOW_DEPTH {
+                    LockScenario::NestedShallow
+                } else {
+                    LockScenario::NestedDeep
+                }
+            } else if contended {
+                LockScenario::FatContended
+            } else {
+                LockScenario::FatUncontended
+            },
+            depth,
+        );
+        self.emit(
+            Some(t.index()),
+            Some(obj),
+            TraceEventKind::AcquireFat { contended },
+        );
+        Ok(())
+    }
+
+    /// The complete lock algorithm: nest/overflow/fat short-circuits,
+    /// then constant-time arrival and the FIFO admission loop.
+    #[inline]
+    fn lock_impl(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        let profile = self.config.profile();
+        let cell = self.cell(obj);
+        let mut waiting = BlockedOnGuard(None);
+
+        // Re-entrant cases never touch the queue: the word is already
+        // owned by us and owner-only writes make these stores safe.
+        let word = cell.load_relaxed();
+        if word.can_nest(t.shifted()) {
+            self.reach(SchedPoint::LockNest, obj);
+            cell.store_relaxed(word.with_count_incremented());
+            let depth = u32::from(word.thin_count()) + 2;
+            self.record_lock(
+                if depth <= SHALLOW_DEPTH {
+                    LockScenario::NestedShallow
+                } else {
+                    LockScenario::NestedDeep
+                },
+                depth,
+            );
+            self.emit(
+                Some(t.index()),
+                Some(obj),
+                TraceEventKind::AcquireNested { depth },
+            );
+            return Ok(());
+        }
+        if word.is_thin_owned_by(t.shifted()) {
+            // Owned by us at the maximum count: the 257th acquisition.
+            debug_assert_eq!(u32::from(word.thin_count()), MAX_THIN_COUNT);
+            let locks = u32::from(word.thin_count()) + 1 + 1;
+            self.emit(
+                Some(t.index()),
+                Some(obj),
+                TraceEventKind::AcquireNested { depth: locks },
+            );
+            self.inflate_owned(obj, t, locks, InflationCause::CountOverflow)?;
+            self.record_lock(LockScenario::NestedDeep, locks);
+            return Ok(());
+        }
+        if word.is_fat() {
+            return self.lock_fat(obj, t, word, &mut waiting);
+        }
+
+        // Constant-time arrival. The schedule point precedes the ticket
+        // draw so the model checker owns the arrival order.
+        self.reach(SchedPoint::LockFast, obj);
+        let ticket = self.tickets.take_ticket(obj);
+        self.tickets.publish_wait(t, obj, ticket);
+        let mut backoff = Backoff::jittered(self.config.spin_policy(), u64::from(t.index().get()));
+        loop {
+            let word = cell.load_acquire();
+            if word.is_fat() {
+                // The lock inflated (wait/notify or overflow by the
+                // owner): the whole queue diverts to the monitor and
+                // our ticket is stranded, harmlessly.
+                self.tickets.clear_wait(t);
+                return self.lock_fat(obj, t, word, &mut waiting);
+            }
+            if self.tickets.is_admitted(obj, ticket) && word.is_unlocked() {
+                let new = LockWord::from_bits(word.bits() | t.shifted());
+                self.reach(SchedPoint::LockSlowCas, obj);
+                let attempt = match self.inject(InjectionPoint::LockSlowCas) {
+                    FaultAction::FailCas => false,
+                    FaultAction::Yield => {
+                        std::thread::yield_now();
+                        true
+                    }
+                    _ => true,
+                };
+                if attempt && cell.try_cas(word, new, profile).is_ok() {
+                    self.tickets.clear_wait(t);
+                    self.tickets.record_admitted(obj, ticket);
+                    let rounds = backoff.rounds();
+                    if rounds == 0 {
+                        self.record_lock(LockScenario::Unlocked, 1);
+                        self.emit(Some(t.index()), Some(obj), TraceEventKind::AcquireUnlocked);
+                    } else {
+                        self.emit(
+                            Some(t.index()),
+                            Some(obj),
+                            TraceEventKind::AcquireContendedThin {
+                                spin_rounds: u32::try_from(rounds).unwrap_or(u32::MAX),
+                            },
+                        );
+                        self.record_lock(LockScenario::ContendedThin, 1);
+                        if let Some(s) = &self.stats {
+                            s.record_spin_rounds(rounds);
+                        }
+                    }
+                    return Ok(());
+                }
+                // Lost the word to a barger; re-check from the top.
+                continue;
+            }
+            waiting.publish(&self.registry, t, obj);
+            self.reach(SchedPoint::LockSpin, obj);
+            if self.inject(InjectionPoint::LockSpin) == FaultAction::Yield {
+                std::thread::yield_now();
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// The complete unlock algorithm: the thin backend's word
+    /// transitions plus the constant-time hand-off (snapshot, clear,
+    /// retire, bump).
+    #[inline]
+    fn unlock_impl(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        let profile = self.config.profile();
+        let cell = self.cell(obj);
+        let word = cell.load_relaxed();
+
+        if word.is_locked_once_by(t.shifted()) {
+            // Snapshot the hand-off obligation *before* the word clear:
+            // afterwards a new ticketed owner could arm a fresh one.
+            let snapshot = self.tickets.admitted_snapshot(obj);
+            self.reach(SchedPoint::UnlockThin, obj);
+            if self.inject(InjectionPoint::UnlockStore) == FaultAction::Yield {
+                std::thread::yield_now();
+            }
+            let restored = word.with_lock_field_clear();
+            match self.config.unlock_strategy() {
+                UnlockStrategy::Store => cell.store_unlock(restored, profile),
+                UnlockStrategy::CompareAndSwap => {
+                    let r = cell.try_cas_release(word, restored, profile);
+                    debug_assert!(r.is_ok(), "owner-only discipline violated");
+                }
+            }
+            self.tickets.retire_admitted(obj, snapshot);
+            if let Some(s) = &self.stats {
+                s.record_unlock_thin();
+            }
+            self.emit(Some(t.index()), Some(obj), TraceEventKind::UnlockThin);
+            return Ok(());
+        }
+
+        if word.is_thin_owned_by(t.shifted()) {
+            debug_assert!(word.thin_count() > 0);
+            self.reach(SchedPoint::UnlockNest, obj);
+            cell.store_relaxed(word.with_count_decremented());
+            if let Some(s) = &self.stats {
+                s.record_unlock_thin();
+            }
+            self.emit(Some(t.index()), Some(obj), TraceEventKind::UnlockThin);
+            return Ok(());
+        }
+
+        self.unlock_slow(obj, t, word)
+    }
+
+    #[inline(never)]
+    fn unlock_slow(&self, obj: ObjRef, t: ThreadToken, word: LockWord) -> SyncResult<()> {
+        if word.is_fat() {
+            self.reach(SchedPoint::FatUnlock, obj);
+            let r = self.monitor_of(word).unlock(t, &self.registry);
+            if r.is_ok() {
+                if let Some(s) = &self.stats {
+                    s.record_unlock_fat();
+                }
+                self.emit(Some(t.index()), Some(obj), TraceEventKind::UnlockFat);
+            }
+            return r;
+        }
+        if word.is_unlocked() {
+            Err(SyncError::NotLocked)
+        } else {
+            Err(SyncError::NotOwner)
+        }
+    }
+
+    /// Pre-inflation hint, identical to the thin backend's.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::MonitorIndexExhausted`] if the monitor table is full.
+    pub fn pre_inflate(&self, obj: ObjRef) -> SyncResult<bool> {
+        let cell = self.cell(obj);
+        let word = cell.load_relaxed();
+        if !word.is_unlocked() {
+            return Ok(false);
+        }
+        let idx = self.monitors.allocate(FatLock::new())?;
+        if cell
+            .try_cas(word, word.inflated(idx), self.config.profile())
+            .is_ok()
+        {
+            self.record_inflation(InflationCause::Hint);
+            self.emit(
+                None,
+                Some(obj),
+                TraceEventKind::Inflated {
+                    cause: InflationCause::Hint,
+                },
+            );
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Ensures `obj`'s lock is fat, inflating if the caller holds it thin.
+    fn require_fat(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<&FatLock> {
+        let word = self.cell(obj).load_acquire();
+        if word.is_fat() {
+            let monitor = self.monitor_of(word);
+            if !monitor.holds(t) {
+                return Err(if monitor.owner().is_some() {
+                    SyncError::NotOwner
+                } else {
+                    SyncError::NotLocked
+                });
+            }
+            return Ok(monitor);
+        }
+        if word.is_thin_owned_by(t.shifted()) {
+            let locks = u32::from(word.thin_count()) + 1;
+            return self.inflate_owned(obj, t, locks, InflationCause::WaitNotify);
+        }
+        if word.is_unlocked() {
+            Err(SyncError::NotLocked)
+        } else {
+            Err(SyncError::NotOwner)
+        }
+    }
+
+    /// One non-blocking acquisition attempt. A `try_lock` holds no
+    /// ticket: it may barge past the queue (and its release may retire
+    /// a dead ticketed owner's hand-off via the exactly-once rule).
+    fn try_lock_impl(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<bool> {
+        let profile = self.config.profile();
+        let cell = self.cell(obj);
+
+        let old = cell.load_relaxed().with_lock_field_clear();
+        let new = LockWord::from_bits(old.bits() | t.shifted());
+        let fast = match self.inject(InjectionPoint::LockFastCas) {
+            FaultAction::FailCas => false,
+            FaultAction::Yield => {
+                std::thread::yield_now();
+                true
+            }
+            _ => true,
+        };
+        if fast && cell.try_cas(old, new, profile).is_ok() {
+            self.record_lock(LockScenario::Unlocked, 1);
+            self.emit(Some(t.index()), Some(obj), TraceEventKind::AcquireUnlocked);
+            return Ok(true);
+        }
+
+        let word = cell.load_relaxed();
+        if word.can_nest(t.shifted()) {
+            cell.store_relaxed(word.with_count_incremented());
+            let depth = u32::from(word.thin_count()) + 2;
+            self.record_lock(
+                if depth <= SHALLOW_DEPTH {
+                    LockScenario::NestedShallow
+                } else {
+                    LockScenario::NestedDeep
+                },
+                depth,
+            );
+            self.emit(
+                Some(t.index()),
+                Some(obj),
+                TraceEventKind::AcquireNested { depth },
+            );
+            return Ok(true);
+        }
+
+        if word.is_fat() {
+            let monitor = self.monitor_of(word);
+            let contended = monitor.owner().is_some();
+            if monitor.try_lock(t) {
+                let depth = monitor.count();
+                self.record_lock(
+                    if depth > 1 {
+                        if depth <= SHALLOW_DEPTH {
+                            LockScenario::NestedShallow
+                        } else {
+                            LockScenario::NestedDeep
+                        }
+                    } else if contended {
+                        LockScenario::FatContended
+                    } else {
+                        LockScenario::FatUncontended
+                    },
+                    depth,
+                );
+                self.emit(
+                    Some(t.index()),
+                    Some(obj),
+                    TraceEventKind::AcquireFat { contended },
+                );
+                return Ok(true);
+            }
+            return Ok(false);
+        }
+
+        if word.is_thin_owned_by(t.shifted()) {
+            debug_assert_eq!(u32::from(word.thin_count()), MAX_THIN_COUNT);
+            let locks = u32::from(word.thin_count()) + 2;
+            self.emit(
+                Some(t.index()),
+                Some(obj),
+                TraceEventKind::AcquireNested { depth: locks },
+            );
+            self.inflate_owned(obj, t, locks, InflationCause::CountOverflow)?;
+            self.record_lock(LockScenario::NestedDeep, locks);
+            return Ok(true);
+        }
+
+        if word.is_unlocked() {
+            let new = LockWord::from_bits(word.bits() | t.shifted());
+            if cell.try_cas(word, new, profile).is_ok() {
+                self.record_lock(LockScenario::Unlocked, 1);
+                self.emit(Some(t.index()), Some(obj), TraceEventKind::AcquireUnlocked);
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Deadline-bounded acquisition, identical in shape to the thin
+    /// backend's: ticketless spinning (barging) on a thin word, timed
+    /// parking on a fat one, and never a trace left on timeout.
+    fn lock_deadline_impl(&self, obj: ObjRef, t: ThreadToken, timeout: Duration) -> SyncResult<()> {
+        if self.try_lock_impl(obj, t)? {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let deadline = now
+            .checked_add(timeout)
+            .unwrap_or_else(|| now + Duration::from_secs(86_400 * 365));
+        let mut waiting = BlockedOnGuard(None);
+        waiting.publish(&self.registry, t, obj);
+        let mut backoff = Backoff::jittered(self.config.spin_policy(), u64::from(t.index().get()));
+        loop {
+            let word = self.cell(obj).load_acquire();
+            if word.is_fat() {
+                let monitor = self.monitor_of(word);
+                let contended = monitor.owner().is_some();
+                return match monitor.lock_n_deadline(t, 1, &self.registry, deadline) {
+                    Ok(()) => {
+                        let depth = monitor.count();
+                        self.record_lock(
+                            if depth > 1 {
+                                if depth <= SHALLOW_DEPTH {
+                                    LockScenario::NestedShallow
+                                } else {
+                                    LockScenario::NestedDeep
+                                }
+                            } else if contended {
+                                LockScenario::FatContended
+                            } else {
+                                LockScenario::FatUncontended
+                            },
+                            depth,
+                        );
+                        self.emit(
+                            Some(t.index()),
+                            Some(obj),
+                            TraceEventKind::AcquireFat { contended },
+                        );
+                        Ok(())
+                    }
+                    Err(SyncError::Timeout) => self.deadline_expired(obj, t),
+                    Err(e) => Err(e),
+                };
+            }
+            if self.try_lock_impl(obj, t)? {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return self.deadline_expired(obj, t);
+            }
+            if self.inject(InjectionPoint::LockSpin) == FaultAction::Yield {
+                std::thread::yield_now();
+            }
+            backoff.snooze();
+        }
+    }
+
+    fn deadline_expired(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        self.emit(Some(t.index()), Some(obj), TraceEventKind::AcquireTimedOut);
+        if let Some(report) = crate::watchdog::confirm_cycle(self, t.index(), obj) {
+            let threads = u32::try_from(report.threads.len()).unwrap_or(u32::MAX);
+            self.emit(
+                Some(t.index()),
+                Some(obj),
+                TraceEventKind::DeadlockDetected { threads },
+            );
+            return Err(SyncError::DeadlockDetected);
+        }
+        Err(SyncError::Timeout)
+    }
+}
+
+/// RAII publication of a thread's waits-for edge (same discipline as
+/// the thin backend).
+struct BlockedOnGuard(Option<Arc<ThreadRecord>>);
+
+impl BlockedOnGuard {
+    fn publish(&mut self, registry: &ThreadRegistry, t: ThreadToken, obj: ObjRef) {
+        if self.0.is_none() {
+            if let Ok(record) = registry.record(t.index()) {
+                record.set_blocked_on(Some(obj));
+                self.0 = Some(record);
+            }
+        }
+    }
+}
+
+impl Drop for BlockedOnGuard {
+    fn drop(&mut self) {
+        if let Some(record) = &self.0 {
+            record.set_blocked_on(None);
+        }
+    }
+}
+
+/// The registry exit sweep: the thin sweeper's word reclamation plus
+/// ticket-queue repair — a dead ticketed owner's hand-off is retired so
+/// the threads queued behind it keep draining.
+struct HapaxSweeper {
+    heap: Arc<Heap>,
+    monitors: Arc<MonitorTable>,
+    tracer: Option<Arc<dyn TraceSink>>,
+    injector: Option<Arc<dyn FaultInjector>>,
+    profile: thinlock_runtime::arch::ArchProfile,
+    tickets: Arc<TicketLedger>,
+}
+
+impl HapaxSweeper {
+    fn emit_reclaim(&self, dead: ThreadIndex, obj: ObjRef, fat: bool) {
+        if let Some(sink) = &self.tracer {
+            sink.record(
+                Some(dead),
+                Some(obj),
+                TraceEventKind::OrphanReclaimed { fat },
+            );
+        }
+    }
+}
+
+impl ExitSweeper for HapaxSweeper {
+    fn sweep_thread(&self, dead: ThreadIndex, registry: &ThreadRegistry) {
+        if let Some(injector) = &self.injector {
+            if injector.decide(InjectionPoint::RegistryRelease) == FaultAction::Yield {
+                std::thread::yield_now();
+            }
+        }
+        self.tickets.clear_wait_index(dead);
+        for obj in self.heap.iter() {
+            let cell = self.heap.header(obj).lock_word();
+            let word = cell.load_acquire();
+            if word.is_fat() {
+                let Some(idx) = word.monitor_index() else {
+                    continue;
+                };
+                if let Some(monitor) = self.monitors.get(idx) {
+                    if monitor.reclaim_orphan(dead, registry) {
+                        self.emit_reclaim(dead, obj, true);
+                    }
+                }
+            } else if word.thin_owner() == Some(dead) {
+                // Snapshot before the clearing CAS, mirroring unlock:
+                // the obligation is either 0 or the dead owner's.
+                let snapshot = self.tickets.admitted_snapshot(obj);
+                let cleared = word.with_lock_field_clear();
+                if cell.try_cas(word, cleared, self.profile).is_ok() {
+                    self.tickets.retire_admitted(obj, snapshot);
+                    self.emit_reclaim(dead, obj, false);
+                }
+            }
+        }
+    }
+}
+
+impl SyncProtocol for HapaxLocks {
+    fn lock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        self.lock_impl(obj, t)
+    }
+
+    fn unlock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        self.unlock_impl(obj, t)
+    }
+
+    fn try_lock(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<bool> {
+        let acquired = self.try_lock_impl(obj, t)?;
+        if !acquired {
+            self.emit(Some(t.index()), Some(obj), TraceEventKind::AcquireTimedOut);
+        }
+        Ok(acquired)
+    }
+
+    fn lock_deadline(&self, obj: ObjRef, t: ThreadToken, timeout: Duration) -> SyncResult<()> {
+        self.lock_deadline_impl(obj, t, timeout)
+    }
+
+    fn wait(
+        &self,
+        obj: ObjRef,
+        t: ThreadToken,
+        timeout: Option<Duration>,
+    ) -> SyncResult<WaitOutcome> {
+        if let Some(s) = &self.stats {
+            s.record_wait();
+        }
+        let monitor = self.require_fat(obj, t)?;
+        self.emit(Some(t.index()), Some(obj), TraceEventKind::Wait);
+        monitor.wait(t, &self.registry, timeout)
+    }
+
+    fn notify(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        if let Some(s) = &self.stats {
+            s.record_notify();
+        }
+        let monitor = self.require_fat(obj, t)?;
+        self.emit(Some(t.index()), Some(obj), TraceEventKind::Notify);
+        self.reach(SchedPoint::Notify, obj);
+        monitor.notify(t)
+    }
+
+    fn notify_all(&self, obj: ObjRef, t: ThreadToken) -> SyncResult<()> {
+        if let Some(s) = &self.stats {
+            s.record_notify();
+        }
+        let monitor = self.require_fat(obj, t)?;
+        self.emit(Some(t.index()), Some(obj), TraceEventKind::Notify);
+        self.reach(SchedPoint::Notify, obj);
+        monitor.notify_all(t)
+    }
+
+    fn holds_lock(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        let word = self.cell(obj).load_acquire();
+        if word.is_fat() {
+            self.monitor_of(word).holds(t)
+        } else {
+            word.is_thin_owned_by(t.shifted())
+        }
+    }
+
+    fn pre_inflate_hint(&self, obj: ObjRef) -> bool {
+        let applied = self.pre_inflate(obj).unwrap_or(false);
+        self.emit(None, Some(obj), TraceEventKind::PreInflateHint { applied });
+        applied
+    }
+
+    fn trace_sink(&self) -> Option<&dyn TraceSink> {
+        self.tracer.as_deref()
+    }
+
+    fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    fn registry(&self) -> &ThreadRegistry {
+        &self.registry
+    }
+
+    fn name(&self) -> &'static str {
+        "Hapax"
+    }
+}
+
+impl SyncBackend for HapaxLocks {
+    fn monitor_probe(&self, obj: ObjRef) -> Option<MonitorProbe> {
+        let monitor = self.monitor_for(obj)?;
+        Some(MonitorProbe {
+            owner: monitor.owner(),
+            count: monitor.count(),
+            entry_queue_len: monitor.entry_queue_len(),
+            wait_set_len: monitor.wait_set_len(),
+        })
+    }
+
+    fn in_wait_set(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        self.monitor_for(obj).is_some_and(|m| m.is_waiting(t))
+    }
+
+    fn spin_enabled(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        let word = self.probe_word(obj);
+        match self.tickets.waiting_ticket(t, obj) {
+            // Queued: progress needs the fat shape (divert) or an
+            // admitted ticket with the word free.
+            Some(ticket) => {
+                word.is_fat() || (word.is_unlocked() && self.tickets.is_admitted(obj, ticket))
+            }
+            None => word.is_unlocked() || word.is_fat(),
+        }
+    }
+
+    fn inflation_count(&self) -> u64 {
+        self.monitors.len() as u64
+    }
+
+    fn monitors_live(&self) -> usize {
+        self.monitors.len()
+    }
+
+    fn monitors_peak(&self) -> usize {
+        self.monitors.len()
+    }
+
+    fn monitors_allocated(&self) -> u64 {
+        self.monitors.len() as u64
+    }
+}
+
+impl fmt::Debug for HapaxLocks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HapaxLocks")
+            .field("heap", &self.heap)
+            .field("inflated", &self.monitors.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::thread;
+
+    fn fresh(capacity: usize) -> HapaxLocks {
+        HapaxLocks::with_capacity(capacity)
+    }
+
+    #[test]
+    fn lock_unlock_restores_word_and_drains_queue() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        let before = p.lock_word(obj);
+        p.lock(obj, t).unwrap();
+        assert_eq!(p.queue_depth(obj), 1, "holder's ticket is outstanding");
+        assert!(p.holds_lock(obj, t));
+        p.unlock(obj, t).unwrap();
+        assert_eq!(p.lock_word(obj), before, "word restored bit-for-bit");
+        assert_eq!(p.queue_depth(obj), 0);
+        assert_eq!(p.inflated_count(), 0);
+    }
+
+    #[test]
+    fn nesting_counts_without_new_tickets() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        for depth in 1..=5u8 {
+            p.lock(obj, t).unwrap();
+            assert_eq!(p.lock_word(obj).thin_count(), depth - 1);
+        }
+        assert_eq!(p.queue_depth(obj), 1, "one ticket for five acquisitions");
+        for _ in 0..5 {
+            p.unlock(obj, t).unwrap();
+        }
+        assert!(p.lock_word(obj).is_unlocked());
+        assert_eq!(p.queue_depth(obj), 0);
+    }
+
+    #[test]
+    fn admission_is_fifo_in_arrival_order() {
+        let p = Arc::new(fresh(4));
+        let obj = p.heap().alloc().unwrap();
+        let holder = p.registry().register().unwrap();
+        p.lock(obj, holder.token()).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        const WAITERS: u32 = 3;
+        for k in 0..WAITERS {
+            // Spawn strictly one at a time: waiter k has drawn its
+            // ticket (queue_depth advanced) before k+1 starts, so
+            // arrival order is deterministic.
+            let p2 = Arc::clone(&p);
+            let order = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                let r = p2.registry().register().unwrap();
+                let t = r.token();
+                p2.lock(obj, t).unwrap();
+                order.lock().unwrap().push(k);
+                p2.unlock(obj, t).unwrap();
+            }));
+            while p.queue_depth(obj) < k + 2 {
+                thread::yield_now();
+            }
+        }
+        p.unlock(obj, holder.token()).unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2], "FIFO admission");
+        assert_eq!(p.queue_depth(obj), 0);
+        assert_eq!(p.inflated_count(), 0, "contention never inflates");
+    }
+
+    #[test]
+    fn count_overflow_still_inflates() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        for _ in 0..257 {
+            p.lock(obj, t).unwrap();
+        }
+        assert!(p.lock_word(obj).is_fat());
+        assert_eq!(p.inflated_count(), 1);
+        for _ in 0..257 {
+            p.unlock(obj, t).unwrap();
+        }
+        assert!(!p.holds_lock(obj, t));
+        // The lock remains usable through the fat path.
+        p.lock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+    }
+
+    #[test]
+    fn wait_notify_inflates_and_works() {
+        let p = Arc::new(fresh(4));
+        let obj = p.heap().alloc().unwrap();
+        let waiter = {
+            let p = Arc::clone(&p);
+            thread::spawn(move || {
+                let r = p.registry().register().unwrap();
+                let t = r.token();
+                p.lock(obj, t).unwrap();
+                let out = p.wait(obj, t, None).unwrap();
+                p.unlock(obj, t).unwrap();
+                out
+            })
+        };
+        while !p.lock_word(obj).is_fat() {
+            thread::yield_now();
+        }
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        p.lock(obj, t).unwrap();
+        p.notify(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+        assert_eq!(waiter.join().unwrap(), WaitOutcome::Notified);
+    }
+
+    #[test]
+    fn orphan_sweep_retires_dead_ticketed_owner() {
+        let p = Arc::new(fresh(4).with_orphan_recovery());
+        let obj = p.heap().alloc().unwrap();
+        {
+            // Dies owning a ticketed acquisition: the sweeper must clear
+            // the word AND retire the hand-off so later tickets are
+            // still admitted.
+            let r = p.registry().register().unwrap();
+            p.lock(obj, r.token()).unwrap();
+        }
+        assert!(p.lock_word(obj).is_unlocked(), "sweeper cleared the word");
+        assert_eq!(p.queue_depth(obj), 0, "sweeper retired the ticket");
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        p.lock(obj, t).unwrap();
+        p.unlock(obj, t).unwrap();
+    }
+
+    #[test]
+    fn try_lock_barges_without_a_ticket() {
+        let p = fresh(4);
+        let r = p.registry().register().unwrap();
+        let t = r.token();
+        let obj = p.heap().alloc().unwrap();
+        assert!(p.try_lock(obj, t).unwrap());
+        assert_eq!(p.queue_depth(obj), 0, "bargers draw no ticket");
+        p.unlock(obj, t).unwrap();
+        assert!(p.lock_word(obj).is_unlocked());
+    }
+
+    #[test]
+    fn unlock_errors_mirror_java() {
+        let p = fresh(4);
+        let ra = p.registry().register().unwrap();
+        let rb = p.registry().register().unwrap();
+        let obj = p.heap().alloc().unwrap();
+        assert_eq!(p.unlock(obj, ra.token()), Err(SyncError::NotLocked));
+        p.lock(obj, ra.token()).unwrap();
+        assert_eq!(p.unlock(obj, rb.token()), Err(SyncError::NotOwner));
+        p.unlock(obj, ra.token()).unwrap();
+    }
+
+    #[test]
+    fn mutual_exclusion_many_threads_one_object() {
+        let p = Arc::new(fresh(4));
+        let obj = p.heap().alloc().unwrap();
+        let total = Arc::new(AtomicU64::new(0));
+        const THREADS: usize = 4;
+        const ITERS: u64 = 300;
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let p = Arc::clone(&p);
+            let total = Arc::clone(&total);
+            handles.push(thread::spawn(move || {
+                let r = p.registry().register().unwrap();
+                let t = r.token();
+                for _ in 0..ITERS {
+                    p.lock(obj, t).unwrap();
+                    let v = total.load(Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    total.store(v + 1, Ordering::Relaxed);
+                    p.unlock(obj, t).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), THREADS as u64 * ITERS);
+        assert_eq!(p.inflated_count(), 0, "contention never inflates");
+        assert_eq!(p.queue_depth(obj), 0);
+    }
+}

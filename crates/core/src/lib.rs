@@ -53,18 +53,25 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod adaptive;
 pub mod backend;
 pub mod cjm;
 pub mod config;
+pub mod fissile;
+pub mod hapax;
 pub mod tasuki;
 pub mod thin;
+pub(crate) mod ticket;
 pub mod watchdog;
 
+pub use adaptive::AdaptiveLocks;
 pub use backend::{BackendChoice, BackendSeams};
 pub use cjm::CjmLocks;
 pub use config::{
     DynamicConfig, FastPathConfig, StaticKernelCas, StaticMp, StaticUp, UnlockStrategy,
 };
+pub use fissile::FissileLocks;
+pub use hapax::HapaxLocks;
 pub use tasuki::TasukiLocks;
 pub use thin::ThinLocks;
 pub use watchdog::{DeadlockReport, Watchdog};

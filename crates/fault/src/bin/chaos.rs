@@ -100,7 +100,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("{msg}");
             eprintln!(
-                "usage: chaos [--backend <thin|tasuki|cjm>] [--seeds N] [--start S] [--threads T] \
+                "usage: chaos [--backend <thin|tasuki|cjm|fissile|hapax|adaptive>] [--seeds N] [--start S] [--threads T] \
                  [--objects O] [--ops K] [--rate-ppm R] [--kill-every M] [SEED ...]"
             );
             return ExitCode::FAILURE;

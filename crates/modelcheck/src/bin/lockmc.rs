@@ -11,10 +11,13 @@
 //!                          counterexample timeline
 //! ```
 //!
-//! Both commands take `--backend <thin|cjm>` (default `thin`). The
-//! invariant suite adapts: the thin backend is held to one-way
-//! inflation, the deflating CJM backend to deflation safety (a fat →
-//! thin transition is legal only from a quiescent monitor).
+//! Both commands take `--backend <thin|cjm|fissile|hapax|adaptive>`
+//! (default `thin`). The invariant suite adapts: the thin backend is
+//! held to one-way inflation, the deflating CJM backend to deflation
+//! safety (a fat → thin transition is legal only from a quiescent
+//! monitor), and the ticket-queue backends (fissile, hapax, adaptive)
+//! additionally walk their FIFO arrival orders — the schedule point
+//! precedes the ticket draw, so the checker owns admission order.
 //!
 //! Exit status: 0 on success, 1 on a failed contract, 2 on bad usage.
 
@@ -25,7 +28,8 @@ use thinlock_modelcheck::{
     reduction_factor, run_mutations, run_verify, Limits, MutationReport, VerifyReport,
 };
 
-const USAGE: &str = "usage: lockmc <verify [--quick] | --mutate [--quick]> [--backend <thin|cjm>]";
+const USAGE: &str =
+    "usage: lockmc <verify [--quick] | --mutate [--quick]> [--backend <thin|cjm|fissile|hapax|adaptive>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

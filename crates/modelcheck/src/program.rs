@@ -247,10 +247,7 @@ fn label_enabled(backend: &(impl SyncBackend + ?Sized), token: ThreadToken, labe
     let (point, obj) = label;
     let Some(obj) = obj else { return true };
     match point {
-        SchedPoint::LockSpin => {
-            let word = backend.probe_word(obj);
-            word.is_unlocked() || word.is_fat()
-        }
+        SchedPoint::LockSpin => backend.spin_enabled(obj, token),
         SchedPoint::FatPark => backend
             .monitor_probe(obj)
             .map(|m| m.owner.is_none())

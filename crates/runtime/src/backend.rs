@@ -130,6 +130,23 @@ pub trait SyncBackend: SyncProtocol {
         false
     }
 
+    /// Whether a spin step by thread `t` on `obj` can make progress —
+    /// the enabledness the model checker consults before granting a
+    /// `LockSpin` step, so exhaustive exploration never schedules a
+    /// spinner that is guaranteed to loop back to the same state.
+    ///
+    /// The default matches spin-until-released protocols: a spinner can
+    /// advance once the word is unlocked (the CAS can win) or fat (the
+    /// monitor path takes over). FIFO-admission backends override this
+    /// to also require that the spinner's ticket has been granted;
+    /// without the override the checker would explore ungranted CAS
+    /// attempts that the protocol itself never makes.
+    fn spin_enabled(&self, obj: ObjRef, t: ThreadToken) -> bool {
+        let _ = t;
+        let word = self.probe_word(obj);
+        word.is_unlocked() || word.is_fat()
+    }
+
     /// True if this backend can restore a fat word back to the neutral
     /// thin shape. Backends that return `true` emit
     /// [`TraceEventKind::Deflated`](crate::events::TraceEventKind::Deflated)
@@ -235,6 +252,11 @@ mod tests {
         assert!(b.probe_word(obj).is_unlocked());
         assert!(b.monitor_probe(obj).is_none());
         assert_eq!(b.owner_of(obj), None);
+        let r = b.registry.register().unwrap();
+        assert!(
+            b.spin_enabled(obj, r.token()),
+            "spinning on an unlocked word is enabled by default"
+        );
         assert!(!b.deflation_capable());
         assert_eq!(b.inflation_count(), 0);
         assert_eq!(b.deflation_count(), 0);

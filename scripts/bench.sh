@@ -51,7 +51,13 @@ smoke)
         ./target/release/reproduce churn --iters 300 --scale 50000 \
             --backend "$backend" >>out/bench_smoke_output.txt
     done
-    echo "backend smoke (thin, cjm) appended to out/bench_smoke_output.txt"
+    # The fairness section per backend, including the adaptive composite.
+    for backend in fissile hapax adaptive; do
+        ./target/release/reproduce fairness --iters 300 --scale 50000 \
+            --backend "$backend" >>out/bench_smoke_output.txt
+    done
+    echo "backend smoke (churn: thin, cjm; fairness: fissile, hapax, adaptive)" \
+        "appended to out/bench_smoke_output.txt"
     ;;
 *)
     echo "usage: scripts/bench.sh [run|gate|refresh-baseline|smoke] [extra reproduce args...]" >&2

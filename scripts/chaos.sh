@@ -25,4 +25,10 @@ echo "== chaos[cjm]: 1024-seed sweep, deflating backend with bounded monitor poo
 echo "== chaos[cjm]: high fault rate, tight contention (2 objects, 60% injection)"
 "${CHAOS[@]}" --backend cjm --seeds 128 --start 5000 --objects 2 --rate-ppm 600000
 
+echo "== chaos[fissile]: 1024-seed sweep, fission/re-cohesion under faults and kills"
+"${CHAOS[@]}" --backend fissile --seeds 1024 --start 0
+
+echo "== chaos[hapax]: 1024-seed sweep, FIFO ticket admission under faults and kills"
+"${CHAOS[@]}" --backend hapax --seeds 1024 --start 0
+
 echo "All chaos schedules converged."

@@ -22,14 +22,14 @@ cargo test -q --offline
 echo "== lockcheck: race verdicts must match ground truth"
 cargo run -q --release --offline -p thinlock-analysis --bin lockcheck -- --deny-races >/dev/null
 
-echo "== lockmc: bounded interleaving exploration must stay clean (thin, cjm)"
-for backend in thin cjm; do
+echo "== lockmc: bounded interleaving exploration must stay clean (thin, cjm, fissile, hapax)"
+for backend in thin cjm fissile hapax; do
     cargo run -q --release --offline -p thinlock-modelcheck --bin lockmc -- \
         verify --quick --backend "$backend" >/dev/null
 done
 
-echo "== lockmc: every seeded protocol mutation must be caught (thin, cjm)"
-for backend in thin cjm; do
+echo "== lockmc: every seeded protocol mutation must be caught (thin, cjm, fissile, hapax)"
+for backend in thin cjm fissile hapax; do
     cargo run -q --release --offline -p thinlock-modelcheck --bin lockmc -- \
         --mutate --quick --backend "$backend" >/dev/null
 done

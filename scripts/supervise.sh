@@ -29,8 +29,8 @@ if [ "$MODE" = "--full" ] || [ "$MODE" = "full" ]; then
     "${SUPERVISOR[@]}" matrix --seed 7001 --backends all --points all \
         "${BUDGET[@]}" >/dev/null
 else
-    echo "== supervise: quick crash-matrix slice (thin x 3 points)"
-    "${SUPERVISOR[@]}" matrix --seed 7001 --backends thin \
+    echo "== supervise: quick crash-matrix slice (thin, fissile, hapax x 3 points)"
+    "${SUPERVISOR[@]}" matrix --seed 7001 --backends thin,fissile,hapax \
         --points lock-fast-cas,inflate,unlock-store \
         "${BUDGET[@]}" >/dev/null
 

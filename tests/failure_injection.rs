@@ -110,6 +110,8 @@ fn interrupt_during_wait_surfaces_under_parking_backends() {
         ProtocolKind::ThinLock,
         ProtocolKind::Tasuki,
         ProtocolKind::Cjm,
+        ProtocolKind::Fissile,
+        ProtocolKind::Hapax,
     ] {
         let p: Arc<dyn SyncProtocol> = Arc::from(kind.build(4, 0));
         let obj = p.heap().alloc().unwrap();

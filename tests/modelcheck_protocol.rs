@@ -163,3 +163,55 @@ fn every_mutation_is_caught_under_cjm() {
         );
     }
 }
+
+/// The fissile backend's verify suite is clean under the quick budget.
+/// The explored space includes the fission-vs-unlock and
+/// re-cohesion-vs-arrival races, and the contended programs route every
+/// blocking path through the FIFO ticket queue.
+#[test]
+fn fissile_verify_suite_is_clean_under_quick_budget() {
+    let reports = run_verify(&Limits::quick(), false, BackendChoice::Fissile);
+    for r in &reports {
+        assert!(r.violation.is_none(), "{}: {:?}", r.name, r.violation);
+    }
+}
+
+/// Every seeded mutation is caught under the fissile backend too.
+#[test]
+fn every_mutation_is_caught_under_fissile() {
+    let reports = run_mutations(&Limits::quick(), BackendChoice::Fissile);
+    assert_eq!(reports.len(), MutationKind::ALL.len());
+    for r in &reports {
+        assert!(
+            r.caught.is_some(),
+            "{}: seeded mutation survived exploration under fissile",
+            r.kind
+        );
+    }
+}
+
+/// The hapax backend's verify suite is clean under the quick budget:
+/// ticket admission replaces spinning entirely, so the checker walks
+/// arrival orders (the schedule point precedes the ticket draw) instead
+/// of spin interleavings.
+#[test]
+fn hapax_verify_suite_is_clean_under_quick_budget() {
+    let reports = run_verify(&Limits::quick(), false, BackendChoice::Hapax);
+    for r in &reports {
+        assert!(r.violation.is_none(), "{}: {:?}", r.name, r.violation);
+    }
+}
+
+/// Every seeded mutation is caught under the hapax backend.
+#[test]
+fn every_mutation_is_caught_under_hapax() {
+    let reports = run_mutations(&Limits::quick(), BackendChoice::Hapax);
+    assert_eq!(reports.len(), MutationKind::ALL.len());
+    for r in &reports {
+        assert!(
+            r.caught.is_some(),
+            "{}: seeded mutation survived exploration under hapax",
+            r.kind
+        );
+    }
+}
