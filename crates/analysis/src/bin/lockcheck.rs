@@ -11,22 +11,44 @@
 //!   verdict disagrees with ground truth (a clean program flagged, a
 //!   racy program missed) or a sequential-library program has race
 //!   candidates. CI wires this into `scripts/check.sh`.
+//! * `--plan` — additionally runs the contention-shape pass over the
+//!   concurrent library, executes each program under the lock tracer,
+//!   and cross-checks the static `SyncPlan` against the dynamic
+//!   `ContentionProfile` per allocation site: every site must agree, or
+//!   diverge only toward the conservative side (static protection on a
+//!   site the run left cold). Static shapes are also checked against
+//!   each program's labeled `expected_shapes` ground truth.
+//! * `--deny-disagreement` — implies `--plan`; exits non-zero on any
+//!   non-conservative static↔dynamic disagreement, expected-shape
+//!   mismatch, or dynamic run failure. CI wires this into
+//!   `scripts/check.sh`.
 //! * `--json` — emits a single machine-readable JSON document instead
 //!   of the text report: the full `AnalysisReport` tree per program
 //!   (see `thinlock_analysis::json`), the races cross-check when
-//!   `--races` is also set, and the summary totals. Exit-code behaviour
-//!   (including `--deny-races`) is unchanged.
+//!   `--races` is also set, the plan agreement table when `--plan` is
+//!   also set, and the summary totals. Exit-code behaviour (including
+//!   `--deny-races` and `--deny-disagreement`) is unchanged.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use thinlock_analysis::contention::{classify_agreement, Agreement};
 use thinlock_analysis::escape::EscapeContext;
 use thinlock_analysis::guards::EntryRole;
 use thinlock_analysis::json::write_report;
 use thinlock_analysis::{analyze_program, analyze_program_with_roles, AnalysisReport};
-use thinlock_obs::JsonWriter;
+use thinlock_obs::{ContentionProfile, JsonWriter, LockTracer, TracerConfig};
+use thinlock_runtime::events::TraceSink;
+use thinlock_trace::vmreplay::run_concurrent_program;
 use thinlock_vm::library;
 use thinlock_vm::program::Program;
 use thinlock_vm::programs::{self, ConcurrentProgram, MicroBench};
+
+/// Iterations per role thread for the `--plan` dynamic runs: enough to
+/// make hot sites visibly contended without slowing CI.
+const PLAN_ITERS: u32 = 300;
+/// Fixed schedule-perturbation seed so agreement verdicts are stable.
+const PLAN_SEED: u64 = 0x51ee_d10c;
 
 #[derive(Default)]
 struct Totals {
@@ -39,6 +61,11 @@ struct Totals {
     guarded_facts: usize,
     race_candidates: usize,
     race_mismatches: usize,
+    plan_sites: usize,
+    plan_conservative: usize,
+    plan_disagreements: usize,
+    plan_shape_mismatches: usize,
+    plan_run_errors: usize,
 }
 
 /// One analyzed program from the sequential catalog.
@@ -55,6 +82,33 @@ struct RaceRun {
     agrees: bool,
     /// Expected racy fields absent from the candidate list.
     missing: Vec<(u32, u16)>,
+}
+
+/// One allocation site cross-checked static plan vs dynamic profile.
+struct PlanSite {
+    pool: u32,
+    /// Static contention shape (stable lowercase name).
+    shape: String,
+    elide: bool,
+    pre_inflate: bool,
+    pin_fifo: bool,
+    backend_hint: String,
+    /// Ground-truth label from `ConcurrentProgram::expected_shapes`,
+    /// when the program carries one for this pool index.
+    expected: Option<&'static str>,
+    /// Dynamic contended acquisitions (thin-spin + fat-queued).
+    contended: u64,
+    /// Dynamic `wait` operations observed on the site.
+    waits: u64,
+    agreement: Agreement,
+}
+
+/// One concurrent-library program run under the `--plan` agreement gate.
+struct PlanRun {
+    entry: ConcurrentProgram,
+    sites: Vec<PlanSite>,
+    /// Why the dynamic run produced no profile, if it failed.
+    run_error: Option<String>,
 }
 
 /// The sequential analysis catalog: every micro-benchmark, the scanner
@@ -169,7 +223,96 @@ fn analyze_races(totals: &mut Totals) -> Vec<RaceRun> {
         .collect()
 }
 
-fn print_text(runs: &[ProgramRun], races: Option<&[RaceRun]>, totals: &Totals) {
+/// The `--plan` section: static `SyncPlan` inference per concurrent
+/// program, a traced dynamic run of the same program, and a per-site
+/// agreement verdict between the two.
+fn analyze_plans(totals: &mut Totals) -> Vec<PlanRun> {
+    programs::concurrent_library()
+        .into_iter()
+        .map(|entry| {
+            let ctx = EscapeContext::threads(entry.total_threads());
+            let roles: Vec<EntryRole> = entry
+                .roles
+                .iter()
+                .map(|r| EntryRole {
+                    name: r.method.to_string(),
+                    method: entry.program.method_id(r.method).unwrap_or(0),
+                    threads: r.threads,
+                })
+                .collect();
+            let report = analyze_program_with_roles(&entry.program, &ctx, &roles);
+
+            let tracer = Arc::new(LockTracer::new(TracerConfig::default()));
+            let sink: Arc<dyn TraceSink> = tracer.clone();
+            let run_error = run_concurrent_program(&entry, PLAN_ITERS, PLAN_SEED, Some(sink)).err();
+            let profile = ContentionProfile::build(&tracer.snapshot());
+
+            let sites: Vec<PlanSite> = report
+                .contention
+                .sites
+                .iter()
+                .map(|site| {
+                    // The replay pool is allocated in order, so a profile
+                    // object's heap index is its pool index.
+                    let (contended, waits) = profile
+                        .objects
+                        .iter()
+                        .find(|o| o.obj.index() == site.pool as usize)
+                        .map(|o| (o.acquire_contended_thin + o.acquire_fat_contended, o.waits))
+                        .unwrap_or((0, 0));
+                    let plan = report
+                        .contention
+                        .plan
+                        .entry(site.pool)
+                        .copied()
+                        .unwrap_or_else(|| thinlock_vm::plan::PlanEntry::neutral(site.pool));
+                    let agreement = classify_agreement(Some(&plan), contended, waits);
+                    let expected = entry
+                        .expected_shapes
+                        .iter()
+                        .find(|&&(pool, _)| pool == site.pool)
+                        .map(|&(_, label)| label);
+                    totals.plan_sites += 1;
+                    match agreement {
+                        Agreement::Agree => {}
+                        Agreement::Conservative => totals.plan_conservative += 1,
+                        Agreement::Disagree => totals.plan_disagreements += 1,
+                    }
+                    if expected.is_some_and(|label| label != site.shape.as_str()) {
+                        totals.plan_shape_mismatches += 1;
+                    }
+                    PlanSite {
+                        pool: site.pool,
+                        shape: site.shape.as_str().to_string(),
+                        elide: plan.elide,
+                        pre_inflate: plan.pre_inflate,
+                        pin_fifo: plan.pin_fifo,
+                        backend_hint: plan.backend_hint.as_str().to_string(),
+                        expected,
+                        contended,
+                        waits,
+                        agreement,
+                    }
+                })
+                .collect();
+            if run_error.is_some() {
+                totals.plan_run_errors += 1;
+            }
+            PlanRun {
+                entry,
+                sites,
+                run_error,
+            }
+        })
+        .collect()
+}
+
+fn print_text(
+    runs: &[ProgramRun],
+    races: Option<&[RaceRun]>,
+    plans: Option<&[PlanRun]>,
+    totals: &Totals,
+) {
     println!("lockcheck: static lock-discipline analysis\n");
     for run in runs {
         let verdict = if run.report.is_clean() {
@@ -208,6 +351,51 @@ fn print_text(runs: &[ProgramRun], races: Option<&[RaceRun]>, totals: &Totals) {
         }
         println!();
     }
+    if let Some(plans) = plans {
+        println!("== plan: static SyncPlan vs dynamic contention profile");
+        for run in plans {
+            println!(
+                "  {} [{} thread(s), iters={PLAN_ITERS}, seed={PLAN_SEED:#x}]",
+                run.entry.name,
+                run.entry.total_threads()
+            );
+            if let Some(err) = &run.run_error {
+                println!("    RUN ERROR: {err}");
+            }
+            for site in &run.sites {
+                let verdict = match site.agreement {
+                    Agreement::Agree => "agree",
+                    Agreement::Conservative => "conservative (allowed)",
+                    Agreement::Disagree => "DISAGREE",
+                };
+                let mut flags = Vec::new();
+                if site.elide {
+                    flags.push("elide");
+                }
+                if site.pre_inflate {
+                    flags.push("pre-inflate");
+                }
+                if site.pin_fifo {
+                    flags.push("pin-fifo");
+                }
+                let flags = if flags.is_empty() {
+                    "-".to_string()
+                } else {
+                    flags.join(",")
+                };
+                println!(
+                    "    pool[{}] static={} hint={} flags={} dynamic: contended={} waits={} — {verdict}",
+                    site.pool, site.shape, site.backend_hint, flags, site.contended, site.waits,
+                );
+                if let Some(expected) = site.expected {
+                    if expected != site.shape {
+                        println!("      SHAPE MISMATCH: labeled ground truth is {expected}");
+                    }
+                }
+            }
+        }
+        println!();
+    }
     println!(
         "summary: {} program(s), {} method(s); {} diagnostic(s), \
          {} deadlock cycle(s), {} elidable sync op(s), {} pre-inflation hint(s)",
@@ -224,9 +412,25 @@ fn print_text(runs: &[ProgramRun], races: Option<&[RaceRun]>, totals: &Totals) {
             totals.guarded_facts, totals.race_candidates, totals.race_mismatches,
         );
     }
+    if plans.is_some() {
+        println!(
+            "plan: {} site(s), {} conservative divergence(s), {} disagreement(s), \
+             {} shape mismatch(es), {} run error(s)",
+            totals.plan_sites,
+            totals.plan_conservative,
+            totals.plan_disagreements,
+            totals.plan_shape_mismatches,
+            totals.plan_run_errors,
+        );
+    }
 }
 
-fn print_json(runs: &[ProgramRun], races: Option<&[RaceRun]>, totals: &Totals) {
+fn print_json(
+    runs: &[ProgramRun],
+    races: Option<&[RaceRun]>,
+    plans: Option<&[PlanRun]>,
+    totals: &Totals,
+) {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.field_str("tool", "lockcheck");
@@ -266,6 +470,39 @@ fn print_json(runs: &[ProgramRun], races: Option<&[RaceRun]>, totals: &Totals) {
         }
         w.end_array();
     }
+    if let Some(plans) = plans {
+        w.begin_named_array("plan");
+        for run in plans {
+            w.begin_object();
+            w.field_str("program", run.entry.name);
+            w.field_u64("threads", u64::from(run.entry.total_threads()));
+            w.field_u64("iters", u64::from(PLAN_ITERS));
+            w.field_u64("seed", PLAN_SEED);
+            if let Some(err) = &run.run_error {
+                w.field_str("run_error", err);
+            }
+            w.begin_named_array("sites");
+            for site in &run.sites {
+                w.begin_object();
+                w.field_u64("pool", u64::from(site.pool));
+                w.field_str("static_shape", &site.shape);
+                w.field_bool("elide", site.elide);
+                w.field_bool("pre_inflate", site.pre_inflate);
+                w.field_bool("pin_fifo", site.pin_fifo);
+                w.field_str("backend_hint", &site.backend_hint);
+                if let Some(expected) = site.expected {
+                    w.field_str("expected_shape", expected);
+                }
+                w.field_u64("dynamic_contended", site.contended);
+                w.field_u64("dynamic_waits", site.waits);
+                w.field_str("agreement", site.agreement.as_str());
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+    }
     w.begin_named_object("summary");
     w.field_u64("programs", totals.programs as u64);
     w.field_u64("methods", totals.methods as u64);
@@ -276,6 +513,11 @@ fn print_json(runs: &[ProgramRun], races: Option<&[RaceRun]>, totals: &Totals) {
     w.field_u64("guarded_facts", totals.guarded_facts as u64);
     w.field_u64("race_candidates", totals.race_candidates as u64);
     w.field_u64("race_mismatches", totals.race_mismatches as u64);
+    w.field_u64("plan_sites", totals.plan_sites as u64);
+    w.field_u64("plan_conservative", totals.plan_conservative as u64);
+    w.field_u64("plan_disagreements", totals.plan_disagreements as u64);
+    w.field_u64("plan_shape_mismatches", totals.plan_shape_mismatches as u64);
+    w.field_u64("plan_run_errors", totals.plan_run_errors as u64);
     w.end_object();
     w.end_object();
     println!("{}", w.finish());
@@ -285,29 +527,49 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let deny_races = args.iter().any(|a| a == "--deny-races");
     let races = deny_races || args.iter().any(|a| a == "--races");
+    let deny_disagreement = args.iter().any(|a| a == "--deny-disagreement");
+    let plan = deny_disagreement || args.iter().any(|a| a == "--plan");
     let json = args.iter().any(|a| a == "--json");
-    if let Some(unknown) = args
-        .iter()
-        .find(|a| *a != "--races" && *a != "--deny-races" && *a != "--json")
-    {
-        eprintln!("lockcheck: unknown flag {unknown} (expected --races, --deny-races, or --json)");
+    const KNOWN: [&str; 5] = [
+        "--races",
+        "--deny-races",
+        "--plan",
+        "--deny-disagreement",
+        "--json",
+    ];
+    if let Some(unknown) = args.iter().find(|a| !KNOWN.contains(&a.as_str())) {
+        eprintln!(
+            "lockcheck: unknown flag {unknown} (expected {})",
+            KNOWN.join(", ")
+        );
         return ExitCode::from(2);
     }
 
     let mut totals = Totals::default();
     let runs = analyze_catalog(&mut totals);
     let race_runs = races.then(|| analyze_races(&mut totals));
+    let plan_runs = plan.then(|| analyze_plans(&mut totals));
 
     if json {
-        print_json(&runs, race_runs.as_deref(), &totals);
+        print_json(&runs, race_runs.as_deref(), plan_runs.as_deref(), &totals);
     } else {
-        print_text(&runs, race_runs.as_deref(), &totals);
+        print_text(&runs, race_runs.as_deref(), plan_runs.as_deref(), &totals);
     }
 
     if deny_races && totals.race_mismatches > 0 {
         eprintln!(
             "lockcheck: --deny-races: {} race verdict(s) disagree with ground truth",
             totals.race_mismatches
+        );
+        return ExitCode::FAILURE;
+    }
+    let plan_failures =
+        totals.plan_disagreements + totals.plan_shape_mismatches + totals.plan_run_errors;
+    if deny_disagreement && plan_failures > 0 {
+        eprintln!(
+            "lockcheck: --deny-disagreement: {} disagreement(s), {} shape mismatch(es), \
+             {} run error(s) between static plan and dynamic profile",
+            totals.plan_disagreements, totals.plan_shape_mismatches, totals.plan_run_errors,
         );
         return ExitCode::FAILURE;
     }

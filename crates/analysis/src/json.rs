@@ -8,16 +8,41 @@
 //! [`Bound`](crate::nestdepth::Bound)) use their `Display` forms, which
 //! are stable one-token strings.
 
-use thinlock_obs::JsonWriter;
+use thinlock_obs::{JsonValue, JsonWriter};
 
 use crate::escape::SharedPool;
 use crate::lockstack::MethodLockFacts;
 use crate::AnalysisReport;
 
+/// Version of the per-program JSON document produced by
+/// [`write_report`].
+///
+/// * **v1** (implicit — documents without a `schema_version` field):
+///   sections `lock_order`, `escape`, `nest`, `guards`; method facts
+///   without `cond_ops`.
+/// * **v2**: adds the explicit `schema_version` field, the
+///   `contention` section (per-site shapes plus the derived `plan`),
+///   and per-method `cond_ops` (`wait`/`notify` sites).
+///
+/// Every v1 field is preserved unchanged, so v1 consumers keep working
+/// on v2 documents; [`schema_version`] recovers the version when
+/// reading either.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The schema version of a parsed report document: the explicit
+/// `schema_version` field, or 1 for documents that predate it.
+pub fn schema_version(value: &JsonValue) -> u64 {
+    value
+        .get("schema_version")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(1)
+}
+
 /// Serializes one named program's report as a JSON object into `w`.
 /// The caller brackets it inside an array or named field.
 pub fn write_report(w: &mut JsonWriter, name: &str, thread_count: u32, report: &AnalysisReport) {
     w.begin_object();
+    w.field_u64("schema_version", SCHEMA_VERSION);
     w.field_str("program", name);
     w.field_u64("threads", u64::from(thread_count));
     w.field_bool("clean", report.is_clean());
@@ -162,6 +187,34 @@ pub fn write_report(w: &mut JsonWriter, name: &str, thread_count: u32, report: &
     );
     w.end_object();
 
+    w.begin_named_object("contention");
+    w.begin_named_array("sites");
+    for site in &report.contention.sites {
+        w.begin_object();
+        w.field_u64("pool", u64::from(site.pool));
+        w.field_str("shape", site.shape.as_str());
+        w.field_u64("threads", u64::from(site.threads));
+        w.field_u64("weight", site.weight);
+        w.field_u64("waits", site.waits);
+        w.field_u64("notifies", site.notifies);
+        w.field_str("reason", &site.reason);
+        w.end_object();
+    }
+    w.end_array();
+    w.field_u64("unknown_weight", report.contention.unknown_weight);
+    w.begin_named_array("plan");
+    for entry in &report.contention.plan.entries {
+        w.begin_object();
+        w.field_u64("pool", u64::from(entry.pool));
+        w.field_bool("elide", entry.elide);
+        w.field_bool("pre_inflate", entry.pre_inflate);
+        w.field_bool("pin_fifo", entry.pin_fifo);
+        w.field_str("backend_hint", entry.backend_hint.as_str());
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+
     w.end_object();
 }
 
@@ -198,6 +251,20 @@ fn write_method(w: &mut JsonWriter, m: &MethodLockFacts) {
         w.field_u64("pc", op.pc as u64);
         w.field_bool("is_enter", op.is_enter);
         w.field_str("sym", &op.sym.to_string());
+        w.end_object();
+    }
+    w.end_array();
+    w.begin_named_array("cond_ops");
+    for c in &m.cond_ops {
+        w.begin_object();
+        w.field_u64("pc", c.pc as u64);
+        w.field_bool("is_wait", c.is_wait);
+        w.field_str("sym", &c.sym.to_string());
+        w.begin_named_array("held");
+        for h in &c.held {
+            w.elem_str(&h.to_string());
+        }
+        w.end_array();
         w.end_object();
     }
     w.end_array();
@@ -262,8 +329,59 @@ mod tests {
             .and_then(|v| v.as_array())
             .expect("methods array");
         assert_eq!(methods.len(), report.methods.len());
-        for key in ["lock_order", "escape", "nest", "guards"] {
+        for key in ["lock_order", "escape", "nest", "guards", "contention"] {
             assert!(value.get(key).is_some(), "missing section {key}");
         }
+        assert_eq!(schema_version(&value), SCHEMA_VERSION);
+        let contention = value.get("contention").unwrap();
+        let sites = contention
+            .get("sites")
+            .and_then(|v| v.as_array())
+            .expect("sites array");
+        assert_eq!(sites.len(), report.contention.sites.len());
+        let plan = contention
+            .get("plan")
+            .and_then(|v| v.as_array())
+            .expect("plan array");
+        assert_eq!(plan.len(), sites.len());
+        for entry in plan {
+            assert!(entry.get("backend_hint").and_then(|v| v.as_str()).is_some());
+        }
+    }
+
+    #[test]
+    fn v1_documents_without_schema_version_still_parse() {
+        // A pre-v2 document: no `schema_version`, no `contention`
+        // section, no per-method `cond_ops`. Consumers must read it
+        // with the v1 default rather than rejecting it.
+        let v1 = r#"{
+            "program": "legacy",
+            "threads": 2,
+            "clean": true,
+            "verify_errors": [],
+            "methods": [{
+                "method_id": 0,
+                "name": "main",
+                "synchronized": false,
+                "max_lock_stack": 1,
+                "diagnostics": [],
+                "acquires": [{"pc": 1, "sym": "pool[0]", "held": []}],
+                "monitor_ops": [],
+                "invokes": [],
+                "field_accesses": []
+            }],
+            "lock_order": {"edges": [], "cycles": [], "unresolved_edges": 0},
+            "nest": {"bounds": [], "hints": [], "dynamic_depth": "1"}
+        }"#;
+        let value = thinlock_obs::parse(v1).expect("v1 parses");
+        assert_eq!(schema_version(&value), 1);
+        assert!(value.get("contention").is_none());
+        let method = &value.get("methods").and_then(|v| v.as_array()).unwrap()[0];
+        assert!(method.get("cond_ops").is_none(), "v1 has no cond_ops");
+        assert_eq!(
+            method.get("name").and_then(|v| v.as_str()),
+            Some("main"),
+            "v1 fields remain readable"
+        );
     }
 }

@@ -27,6 +27,13 @@
 //!   lockset while reachable from more than one thread-role is flagged
 //!   as a race candidate. Cross-checked at runtime by the dynamic Eraser
 //!   sanitizer in `thinlock_obs`.
+//! * [`contention`] — interprocedural contention-shape inference: loop
+//!   weights times thread roles classify every pool site (thread-local,
+//!   uncontended, hot-mutex, wait-heavy, churn) and emit a startup
+//!   `SyncPlan` (elision, pre-inflation, FIFO pinning, backend hints)
+//!   the VM applies via `Vm::apply_sync_plan`. `lockcheck --plan`
+//!   cross-checks the static plan against the dynamic
+//!   `ContentionProfile` of the same program, site by site.
 //!
 //! [`report`] assembles the per-method findings of all passes, and the
 //! `lockcheck` binary prints them for the built-in program library —
@@ -36,6 +43,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod contention;
 pub mod escape;
 pub mod guards;
 pub mod json;

@@ -171,6 +171,24 @@ pub struct MonitorSite {
     pub sym: Sym,
 }
 
+/// A `wait`/`notify` site with its resolved operand and held-set.
+///
+/// These are the substrate of the contention pass's `WaitHeavy` shape:
+/// an object that is statically waited/notified on is predicted to park
+/// threads on its monitor, so pre-inflation is profitable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CondSite {
+    /// Program counter of the instruction.
+    pub pc: usize,
+    /// `true` for `wait`, `false` for `notify`.
+    pub is_wait: bool,
+    /// Symbolic identity of the monitor being waited/notified on.
+    pub sym: Sym,
+    /// Symbols held at the site, innermost last; includes the
+    /// synchronized receiver where applicable.
+    pub held: Vec<Sym>,
+}
+
 /// A field access (`GetField`/`PutField` or their dynamic forms) with
 /// the symbolic object, resolved field, and the locks held around it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -218,6 +236,8 @@ pub struct MethodLockFacts {
     pub acquires: Vec<AcquireSite>,
     /// Every `monitorenter`/`monitorexit` in the body with its operand.
     pub monitor_ops: Vec<MonitorSite>,
+    /// Every `wait`/`notify` in the body with its operand and held-set.
+    pub cond_ops: Vec<CondSite>,
     /// Every `Invoke` with symbolic arguments and held-set.
     pub invokes: Vec<InvokeSite>,
     /// Every field access with its symbolic object, resolved field, and
@@ -309,6 +329,7 @@ pub fn analyze_method(program: &Program, method_id: u16, method: &Method) -> Met
         diagnostics: Vec::new(),
         acquires: Vec::new(),
         monitor_ops: Vec::new(),
+        cond_ops: Vec::new(),
         invokes: Vec::new(),
         field_accesses: Vec::new(),
         max_lock_stack: 0,
@@ -461,6 +482,22 @@ pub fn analyze_method(program: &Program, method_id: u16, method: &Method) -> Met
                         }
                     }
                 }
+            }
+            Op::Wait | Op::Notify => {
+                let sym = frame.stack.last().map_or(Sym::Unknown, |v| v.as_sym());
+                let held = held_with_base(&frame.lock_stack);
+                if sym != Sym::Unknown && !held.iter().any(|&h| h == sym || h == Sym::Unknown) {
+                    op_diags.insert((
+                        pc,
+                        format!("{} on {sym} without holding its monitor", op.mnemonic()),
+                    ));
+                }
+                facts.cond_ops.push(CondSite {
+                    pc,
+                    is_wait: matches!(op, Op::Wait),
+                    sym,
+                    held,
+                });
             }
             Op::GetField(_) | Op::PutField(_) | Op::GetFieldDyn | Op::PutFieldDyn => {
                 // Peek the operand `back` slots from the stack top.
@@ -661,6 +698,12 @@ fn transfer(program: &Program, frame: &Frame, op: Op) -> Option<(Frame, Vec<usiz
             // Pop the lock stack even when empty or mismatched so one
             // orphan exit yields one diagnostic, not a cascade.
             f.lock_stack.pop();
+        }
+        Op::Wait | Op::Notify => {
+            // Consume the monitor operand; the held-set is unchanged
+            // (wait releases and re-acquires atomically from the
+            // bytecode's point of view).
+            pop!();
         }
         Op::Invoke(id) => {
             let callee = program.method(id)?;

@@ -5,6 +5,7 @@ use std::fmt;
 use thinlock_vm::program::Program;
 use thinlock_vm::verify::{verify_method, VerifyOptions};
 
+use crate::contention::{self, ContentionReport};
 use crate::escape::{self, EscapeContext, EscapeReport};
 use crate::guards::{self, EntryRole, GuardsReport};
 use crate::lockorder::{self, LockOrderReport};
@@ -28,6 +29,8 @@ pub struct AnalysisReport {
     pub nest: NestDepthReport,
     /// Guarded-by inference and lockset race candidates.
     pub guards: GuardsReport,
+    /// Contention-shape classification and the derived startup plan.
+    pub contention: ContentionReport,
 }
 
 impl AnalysisReport {
@@ -79,6 +82,7 @@ pub fn analyze_program_with_roles(
     let escape = escape::analyze(program, &methods, ctx);
     let nest = nestdepth::analyze(&methods);
     let guards = guards::analyze(program, &methods, roles, ctx);
+    let contention = contention::analyze(program, &methods, roles, &escape, &nest);
     AnalysisReport {
         verify_errors,
         methods,
@@ -86,6 +90,7 @@ pub fn analyze_program_with_roles(
         escape,
         nest,
         guards,
+        contention,
     }
 }
 
@@ -163,6 +168,9 @@ impl fmt::Display for AnalysisReport {
                 "    ({} unresolved field access(es) excluded from lockset inference)",
                 self.guards.unresolved_accesses
             )?;
+        }
+        for line in self.contention.to_string().lines() {
+            writeln!(f, "  {line}")?;
         }
         Ok(())
     }

@@ -1619,6 +1619,196 @@ mod tests {
     }
 
     #[test]
+    fn plan_threshold_boundary_is_inclusive() {
+        use thinlock_obs::{ContentionProfile, LockTracer, TracerConfig};
+        use thinlock_runtime::events::{TraceEventKind, TraceSink};
+
+        let tracer = LockTracer::new(TracerConfig {
+            max_threads: 2,
+            ring_capacity: 4096,
+        });
+        let at = ObjRef::from_index(0);
+        let under = ObjRef::from_index(1);
+        // `at` lands exactly on the threshold, split across both
+        // contended kinds to pin down the sum in the formula; `under`
+        // stops one short.
+        for _ in 0..7 {
+            tracer.record(
+                None,
+                Some(at),
+                TraceEventKind::AcquireContendedThin { spin_rounds: 1 },
+            );
+        }
+        tracer.record(
+            None,
+            Some(at),
+            TraceEventKind::AcquireFat { contended: true },
+        );
+        for _ in 0..7 {
+            tracer.record(
+                None,
+                Some(under),
+                TraceEventKind::AcquireContendedThin { spin_rounds: 1 },
+            );
+        }
+        let profile = ContentionProfile::build(&tracer.snapshot());
+
+        let plan = plan_from_profile(&profile, 8);
+        assert_eq!(
+            plan.pin,
+            vec![at],
+            "count == threshold pins; count == threshold - 1 does not"
+        );
+        // One notch up neither object qualifies.
+        assert!(plan_from_profile(&profile, 9).pin.is_empty());
+        // Uncontended fat acquisitions must not count toward the sum.
+        tracer.record(
+            None,
+            Some(under),
+            TraceEventKind::AcquireFat { contended: false },
+        );
+        let profile = ContentionProfile::build(&tracer.snapshot());
+        assert_eq!(plan_from_profile(&profile, 8).pin, vec![at]);
+    }
+
+    #[test]
+    fn plan_from_empty_profile_pins_nothing() {
+        use thinlock_obs::{ContentionProfile, LockTracer, TracerConfig};
+
+        let tracer = LockTracer::new(TracerConfig {
+            max_threads: 2,
+            ring_capacity: 64,
+        });
+        let profile = ContentionProfile::build(&tracer.snapshot());
+        assert!(profile.objects.is_empty());
+        assert!(plan_from_profile(&profile, 1).pin.is_empty());
+    }
+
+    #[test]
+    fn single_thread_workload_never_pins() {
+        use thinlock_obs::{ContentionProfile, LockTracer, TracerConfig};
+        use thinlock_runtime::events::TraceSink;
+
+        let tracer = Arc::new(LockTracer::new(TracerConfig {
+            max_threads: 2,
+            ring_capacity: 4096,
+        }));
+        let locks = AdaptiveLocks::with_capacity(2)
+            .with_trace_sink(Arc::clone(&tracer) as Arc<dyn TraceSink>);
+        let obj = locks.heap().alloc().unwrap();
+        let reg = locks.registry().register().unwrap();
+        let t = reg.token();
+        for _ in 0..300 {
+            locks.lock(obj, t).unwrap();
+            locks.unlock(obj, t).unwrap();
+        }
+        let profile = ContentionProfile::build(&tracer.snapshot());
+        // A single thread can never observe contention, so even the
+        // loosest threshold must leave everything reactive.
+        assert!(
+            plan_from_profile(&profile, 1).pin.is_empty(),
+            "single-thread workload produced a pin: {profile:?}"
+        );
+    }
+
+    #[test]
+    fn plan_formula_matches_static_dynamic_pins() {
+        use thinlock_analysis::contention::dynamic_pins;
+        use thinlock_obs::{ContentionProfile, LockTracer, TracerConfig};
+        use thinlock_runtime::events::{TraceEventKind, TraceSink};
+
+        let tracer = LockTracer::new(TracerConfig {
+            max_threads: 2,
+            ring_capacity: 4096,
+        });
+        for index in 0..4usize {
+            let obj = ObjRef::from_index(index);
+            for _ in 0..(index * 5) {
+                tracer.record(
+                    None,
+                    Some(obj),
+                    TraceEventKind::AcquireContendedThin { spin_rounds: 1 },
+                );
+            }
+            tracer.record(
+                None,
+                Some(obj),
+                TraceEventKind::AcquireFat { contended: true },
+            );
+        }
+        let profile = ContentionProfile::build(&tracer.snapshot());
+        // The analysis crate's agreement gate re-derives the dynamic pin
+        // set with the same formula; any drift between the two would let
+        // the static↔dynamic cross-check silently diverge from what the
+        // bench pipeline actually applies.
+        for threshold in [1, 2, 6, 11, 64] {
+            assert_eq!(
+                plan_from_profile(&profile, threshold).pin,
+                dynamic_pins(&profile, threshold),
+                "threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn static_plan_reproduces_pinned_fairness() {
+        use thinlock_analysis::escape::EscapeContext;
+        use thinlock_analysis::guards::EntryRole;
+
+        // Statically infer the SyncPlan for the hot-object program — no
+        // dynamic profiling anywhere in this test.
+        let entry = thinlock_vm::programs::concurrent_library()
+            .into_iter()
+            .find(|e| e.name == "hot-object")
+            .expect("hot-object is in the concurrent library");
+        let ctx = EscapeContext::threads(entry.total_threads());
+        let roles: Vec<EntryRole> = entry
+            .roles
+            .iter()
+            .map(|r| EntryRole {
+                name: r.method.to_string(),
+                method: entry.program.method_id(r.method).unwrap(),
+                threads: r.threads,
+            })
+            .collect();
+        let report = thinlock_analysis::analyze_program_with_roles(&entry.program, &ctx, &roles);
+        let plan = &report.contention.plan;
+        assert!(
+            plan.entry(0).is_some_and(|e| e.pin_fifo),
+            "static pass pins the hot site: {plan:?}"
+        );
+
+        // Apply the static plan to a fresh adaptive backend and measure
+        // fairness on the pinned object.
+        let threads = entry.total_threads() as usize;
+        let adaptive = Arc::new(AdaptiveLocks::with_capacity(
+            entry.program.pool_size() as usize + 1,
+        ));
+        let pool: Vec<ObjRef> = (0..entry.program.pool_size())
+            .map(|_| adaptive.heap().alloc().unwrap())
+            .collect();
+        for pin in plan.pin_pools() {
+            adaptive.pin_fifo(pool[pin as usize]);
+        }
+        assert!(adaptive.pinned(pool[0]));
+
+        let dyn_locks: Arc<dyn SyncBackend + Send + Sync> =
+            Arc::clone(&adaptive) as Arc<dyn SyncBackend + Send + Sync>;
+        // Best-of-3: the claim is about the FIFO mechanism the static
+        // plan selected, not one scheduler roll.
+        let jain = (0..3)
+            .map(|_| {
+                let (counts, _) = fairness_rep(&dyn_locks, pool[0], threads, 2_000);
+                jain_index(&counts)
+            })
+            .fold(0.0, f64::max);
+        assert!(
+            jain >= 0.9,
+            "statically pinned hot object should split evenly (Jain ≈ 1.0), got {jain:.3}"
+        );
+    }
+
+    #[test]
     fn adaptive_backends_build_through_protocol_kind() {
         for kind in [ProtocolKind::Fissile, ProtocolKind::Hapax] {
             let p = kind.build(4, 0);

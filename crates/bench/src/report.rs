@@ -881,6 +881,7 @@ fn lockcheck(out: &mut BenchReport) {
     println!("  pre-inflation hints:   {hints}");
     println!("  (run the `lockcheck` binary for per-method findings)");
     lockcheck_races();
+    lockcheck_plan();
     for (id, value) in [
         ("lockcheck/programs", programs),
         ("lockcheck/diagnostics", diagnostics),
@@ -966,6 +967,85 @@ fn lockcheck_races() {
             "all programs (static == dynamic == ground truth)".to_string()
         } else {
             format!("{mismatches} mismatch(es) — see `lockcheck --deny-races`")
+        }
+    );
+}
+
+/// The plan-agreement subsection (DESIGN.md §18): the contention-shape
+/// pass's static `SyncPlan` per concurrent program, cross-checked per
+/// allocation site against a traced dynamic run. Text only — the gate
+/// lives in `lockcheck --deny-disagreement` (wired into check.sh), so
+/// no new bench ids are minted here.
+fn lockcheck_plan() {
+    use std::sync::Arc;
+    use thinlock_analysis::contention::{classify_agreement, Agreement};
+    use thinlock_analysis::escape::EscapeContext;
+    use thinlock_analysis::guards::EntryRole;
+    use thinlock_obs::{ContentionProfile, LockTracer, TracerConfig};
+    use thinlock_trace::vmreplay::run_concurrent_program;
+    use thinlock_vm::programs::concurrent_library;
+
+    println!("  plan: static SyncPlan vs dynamic contention profile");
+    let mut disagreements = 0usize;
+    let mut conservative = 0usize;
+    for entry in concurrent_library() {
+        let ctx = EscapeContext::threads(entry.total_threads());
+        let roles: Vec<EntryRole> = entry
+            .roles
+            .iter()
+            .map(|r| EntryRole {
+                name: r.method.to_string(),
+                method: entry.program.method_id(r.method).unwrap_or(0),
+                threads: r.threads,
+            })
+            .collect();
+        let report = thinlock_analysis::analyze_program_with_roles(&entry.program, &ctx, &roles);
+
+        let tracer = Arc::new(LockTracer::new(TracerConfig::default()));
+        if let Err(e) = run_concurrent_program(
+            &entry,
+            96,
+            0xB16B_00B5,
+            Some(Arc::clone(&tracer) as Arc<dyn thinlock_runtime::events::TraceSink>),
+        ) {
+            println!("    {}: replay failed: {e}", entry.name);
+            disagreements += 1;
+            continue;
+        }
+        let profile = ContentionProfile::build(&tracer.snapshot());
+
+        for site in &report.contention.sites {
+            // The replay pool is allocated in order: heap index == pool.
+            let (contended, waits) = profile
+                .objects
+                .iter()
+                .find(|o| o.obj.index() == site.pool as usize)
+                .map(|o| (o.acquire_contended_thin + o.acquire_fat_contended, o.waits))
+                .unwrap_or((0, 0));
+            let verdict =
+                classify_agreement(report.contention.plan.entry(site.pool), contended, waits);
+            match verdict {
+                Agreement::Agree => {}
+                Agreement::Conservative => conservative += 1,
+                Agreement::Disagree => disagreements += 1,
+            }
+            println!(
+                "    {:22} pool[{}] static={:12} contended={:3} waits={:3} — {}",
+                entry.name,
+                site.pool,
+                site.shape.as_str(),
+                contended,
+                waits,
+                verdict.as_str(),
+            );
+        }
+    }
+    println!(
+        "    plan agreement: {}",
+        if disagreements == 0 {
+            format!("no disagreements ({conservative} conservative divergence(s) allowed)")
+        } else {
+            format!("{disagreements} disagreement(s) — see `lockcheck --deny-disagreement`")
         }
     );
 }

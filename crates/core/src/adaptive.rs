@@ -219,6 +219,11 @@ impl SyncProtocol for AdaptiveLocks {
         self.inner.pre_inflate_hint(obj)
     }
 
+    fn pin_fifo_hint(&self, obj: ObjRef) -> bool {
+        self.pin_fifo(obj);
+        true
+    }
+
     fn trace_sink(&self) -> Option<&dyn TraceSink> {
         self.inner.trace_sink()
     }

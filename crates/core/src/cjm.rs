@@ -1339,8 +1339,17 @@ mod tests {
         let r = p.registry().register().unwrap();
         assert!(!p.holds_lock(obj, r.token()));
         assert!(p.monitors_peak() <= 1, "one object: at most one monitor");
-        // Every inflation was eventually undone.
-        let _ = p.reclaim_idle(r.token());
+        // Every inflation is eventually undone. One scan can miss a
+        // monitor that is momentarily non-quiescent (a loaded host
+        // delays the last waiter's bookkeeping), so give the reclaimer
+        // a few passes before judging convergence.
+        for _ in 0..50 {
+            let _ = p.reclaim_idle(r.token());
+            if p.monitors_live() == 0 {
+                break;
+            }
+            thread::sleep(std::time::Duration::from_millis(2));
+        }
         assert_eq!(p.monitors_live(), 0, "population converged to zero");
     }
 

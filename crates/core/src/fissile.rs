@@ -1090,6 +1090,11 @@ impl SyncProtocol for FissileLocks {
         applied
     }
 
+    fn pin_fifo_hint(&self, obj: ObjRef) -> bool {
+        self.pin_fifo(obj);
+        true
+    }
+
     fn trace_sink(&self) -> Option<&dyn TraceSink> {
         self.tracer.as_deref()
     }

@@ -889,6 +889,14 @@ impl SyncProtocol for HapaxLocks {
         applied
     }
 
+    fn pin_fifo_hint(&self, obj: ObjRef) -> bool {
+        // Hapax admission is a ticket lock: every acquirer of every
+        // object already queues in FIFO order, so the pin is trivially
+        // honored.
+        let _ = obj;
+        true
+    }
+
     fn trace_sink(&self) -> Option<&dyn TraceSink> {
         self.tracer.as_deref()
     }

@@ -152,6 +152,20 @@ pub trait SyncProtocol: Send + Sync {
         false
     }
 
+    /// Static FIFO-admission hint, delivered before a workload runs.
+    ///
+    /// A contention analysis that predicts a hot multi-thread mutex can
+    /// ask the protocol to admit `obj`'s acquirers in FIFO order from
+    /// the start, instead of waiting for a dynamic policy to observe the
+    /// contention first. Returns `true` if the protocol honors the pin.
+    /// The default does nothing: most protocols have no admission-order
+    /// machinery to arm (the probe `BackendChoice::fifo_admission` names
+    /// the ones that do).
+    fn pin_fifo_hint(&self, obj: ObjRef) -> bool {
+        let _ = obj;
+        false
+    }
+
     /// The event sink this protocol records lock events into, if any.
     ///
     /// Protocols that support event tracing (the thin-lock protocol with

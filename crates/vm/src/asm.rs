@@ -404,6 +404,14 @@ impl MethodBuilder {
                 want(0)?;
                 Op::MonitorExit
             }
+            "wait" => {
+                want(0)?;
+                Op::Wait
+            }
+            "notify" => {
+                want(0)?;
+                Op::Notify
+            }
             "invoke" => {
                 want(1)?;
                 Op::Invoke(int(operands[0])? as u16)

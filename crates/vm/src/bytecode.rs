@@ -76,6 +76,13 @@ pub enum Op {
     MonitorEnter,
     /// Pop an object reference; release its monitor.
     MonitorExit,
+    /// Pop an object reference; wait on its monitor (`Object.wait` with a
+    /// short interpreter-chosen timeout, so a waiter with no notifier
+    /// still makes progress). The monitor must be held.
+    Wait,
+    /// Pop an object reference; wake one waiter on its monitor
+    /// (`Object.notify`). The monitor must be held.
+    Notify,
     /// Call method `id`; pops the callee's arguments (receiver first in
     /// the argument list, deepest on the stack), pushes its return value
     /// if it has one.
@@ -126,6 +133,8 @@ impl Op {
             Op::IfEq(_) => "ifeq",
             Op::MonitorEnter => "monitorenter",
             Op::MonitorExit => "monitorexit",
+            Op::Wait => "wait",
+            Op::Notify => "notify",
             Op::Invoke(_) => "invoke",
             Op::Throw => "athrow",
             Op::Return => "return",
@@ -203,6 +212,8 @@ mod tests {
             Op::IfEq(7),
             Op::MonitorEnter,
             Op::MonitorExit,
+            Op::Wait,
+            Op::Notify,
             Op::Invoke(2),
             Op::Return,
             Op::IReturn,

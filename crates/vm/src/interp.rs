@@ -127,6 +127,33 @@ impl<'p, P: SyncProtocol + ?Sized> Vm<'p, P> {
             .count()
     }
 
+    /// Applies a startup [`SyncPlan`](crate::plan::SyncPlan): every
+    /// `pre_inflate` entry is delivered through
+    /// [`SyncProtocol::pre_inflate_hint`] and every `pin_fifo` entry
+    /// through [`SyncProtocol::pin_fifo_hint`], generalizing
+    /// [`apply_pre_inflation_hints`](Self::apply_pre_inflation_hints) to
+    /// the full plan vocabulary. `elide` entries are not acted on here —
+    /// elision is a bytecode transform that must run before the `Vm` is
+    /// built — and `backend_hint` is advisory input to backend
+    /// selection, not to a running protocol. Returns how many hints the
+    /// protocol honored (representation changed or pin accepted).
+    /// Out-of-range pool indices are ignored: the plan is advisory.
+    pub fn apply_sync_plan(&self, plan: &crate::plan::SyncPlan) -> usize {
+        let mut applied = 0;
+        for entry in &plan.entries {
+            let Some(&obj) = self.pool.get(entry.pool as usize) else {
+                continue;
+            };
+            if entry.pre_inflate && self.protocol.pre_inflate_hint(obj) {
+                applied += 1;
+            }
+            if entry.pin_fifo && self.protocol.pin_fifo_hint(obj) {
+                applied += 1;
+            }
+        }
+        applied
+    }
+
     /// Runs method `name` with `args` on the calling thread.
     ///
     /// # Errors
@@ -484,6 +511,19 @@ impl<'p, P: SyncProtocol + ?Sized> Vm<'p, P> {
                 Op::MonitorExit => {
                     let obj = pop_obj!();
                     self.protocol.unlock(obj, token)?;
+                }
+                Op::Wait => {
+                    let obj = pop_obj!();
+                    // A bounded wait keeps single-threaded executions (and
+                    // schedules where every notifier has already finished)
+                    // live: a timed-out waiter simply re-acquires and
+                    // proceeds, per JLS spurious-wakeup rules.
+                    self.protocol
+                        .wait(obj, token, Some(std::time::Duration::from_millis(1)))?;
+                }
+                Op::Notify => {
+                    let obj = pop_obj!();
+                    self.protocol.notify(obj, token)?;
                 }
                 Op::Invoke(id) => {
                     let callee = self.program.method(id).ok_or(VmError::BadMethod { id })?;

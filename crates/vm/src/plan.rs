@@ -1,0 +1,159 @@
+//! Machine-readable synchronization plans.
+//!
+//! A [`SyncPlan`] is the startup contract between a static analysis (the
+//! `thinlock-analysis` contention pass) or a dynamic profiler (the
+//! `thinlock-bench` adaptive planner) and the VM: per pooled object, the
+//! knobs worth turning before the workload runs. Like
+//! [`ElisionPlan`](crate::transform::ElisionPlan) it is plain data
+//! rather than an analysis type, so the VM stays independent of the
+//! crates that produce plans (they depend on this one).
+//!
+//! [`Vm::apply_sync_plan`](crate::interp::Vm::apply_sync_plan) consumes
+//! the two flags the protocol can act on at startup (`pre_inflate`,
+//! `pin_fifo`); `elide` is applied earlier, at transform time, and
+//! `backend_hint` is advisory input to backend *selection* (see
+//! BACKENDS.md), not to a running protocol.
+
+use std::fmt;
+
+/// Which lock representation a site's predicted contention shape favors.
+///
+/// Advisory: it names a protocol *capability*, not a concrete backend.
+/// The mapping to backends goes through the capability probes on
+/// `BackendChoice` (`fifo_admission`, `deflation_capable`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum BackendHint {
+    /// The featherweight default: a thin lock word is enough.
+    #[default]
+    Thin,
+    /// Park-heavy: start fat so waiters never inflate mid-wait.
+    Fat,
+    /// Hot and multi-threaded: FIFO admission keeps handoff fair.
+    Fifo,
+    /// Many short-lived monitors: a deflating backend bounds the
+    /// monitor population.
+    Deflating,
+}
+
+impl BackendHint {
+    /// Stable lowercase name used in JSON reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendHint::Thin => "thin",
+            BackendHint::Fat => "fat",
+            BackendHint::Fifo => "fifo",
+            BackendHint::Deflating => "deflating",
+        }
+    }
+}
+
+impl fmt::Display for BackendHint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-site knobs for one pooled object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanEntry {
+    /// Pool index of the object the entry is about.
+    pub pool: u32,
+    /// Monitor operations on this object are provably thread-local and
+    /// may be removed (see `transform::elide_local_sync`).
+    pub elide: bool,
+    /// Switch to the expensive lock shape before the workload runs.
+    pub pre_inflate: bool,
+    /// Pin the object to FIFO admission for fair handoff.
+    pub pin_fifo: bool,
+    /// Preferred lock representation for this site.
+    pub backend_hint: BackendHint,
+}
+
+impl PlanEntry {
+    /// A do-nothing entry for `pool` (thin, no flags set).
+    pub fn neutral(pool: u32) -> Self {
+        PlanEntry {
+            pool,
+            elide: false,
+            pre_inflate: false,
+            pin_fifo: false,
+            backend_hint: BackendHint::Thin,
+        }
+    }
+}
+
+/// A startup synchronization plan: one entry per pooled object the
+/// producer had something to say about. Objects without an entry get
+/// the neutral default behavior.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyncPlan {
+    /// Plan entries, sorted by pool index, at most one per index.
+    pub entries: Vec<PlanEntry>,
+}
+
+impl SyncPlan {
+    /// The entry for `pool`, if the plan names it.
+    pub fn entry(&self, pool: u32) -> Option<&PlanEntry> {
+        self.entries.iter().find(|e| e.pool == pool)
+    }
+
+    /// Pool indices the plan wants pre-inflated.
+    pub fn pre_inflate_pools(&self) -> Vec<u32> {
+        self.entries
+            .iter()
+            .filter(|e| e.pre_inflate)
+            .map(|e| e.pool)
+            .collect()
+    }
+
+    /// Pool indices the plan wants pinned to FIFO admission.
+    pub fn pin_pools(&self) -> Vec<u32> {
+        self.entries
+            .iter()
+            .filter(|e| e.pin_fifo)
+            .map(|e| e.pool)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_accessors_filter_by_flag() {
+        let plan = SyncPlan {
+            entries: vec![
+                PlanEntry {
+                    pre_inflate: true,
+                    backend_hint: BackendHint::Fat,
+                    ..PlanEntry::neutral(0)
+                },
+                PlanEntry {
+                    pin_fifo: true,
+                    backend_hint: BackendHint::Fifo,
+                    ..PlanEntry::neutral(2)
+                },
+                PlanEntry::neutral(5),
+            ],
+        };
+        assert_eq!(plan.pre_inflate_pools(), vec![0]);
+        assert_eq!(plan.pin_pools(), vec![2]);
+        assert_eq!(plan.entry(5), Some(&PlanEntry::neutral(5)));
+        assert_eq!(plan.entry(1), None);
+    }
+
+    #[test]
+    fn backend_hint_names_are_stable() {
+        for (h, s) in [
+            (BackendHint::Thin, "thin"),
+            (BackendHint::Fat, "fat"),
+            (BackendHint::Fifo, "fifo"),
+            (BackendHint::Deflating, "deflating"),
+        ] {
+            assert_eq!(h.as_str(), s);
+            assert_eq!(h.to_string(), s);
+        }
+        assert_eq!(BackendHint::default(), BackendHint::Thin);
+    }
+}

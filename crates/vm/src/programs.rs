@@ -503,6 +503,14 @@ pub struct ConcurrentProgram {
     pub racy: bool,
     /// The `(pool, field)` pairs expected to race (empty when clean).
     pub racy_fields: Vec<(u32, u16)>,
+    /// Ground-truth contention shape per pool site, as
+    /// `(pool, shape-name)` with the stable lowercase names of the
+    /// `lockcheck` contention pass (`"thread-local"`, `"uncontended"`,
+    /// `"hot-mutex"`, `"wait-heavy"`, `"churn"`). Labels are plain
+    /// strings so this crate stays independent of `thinlock-analysis`;
+    /// the static pass is tested against exactly these labels, the same
+    /// way the race detectors are tested against `racy_fields`.
+    pub expected_shapes: Vec<(u32, &'static str)>,
 }
 
 impl ConcurrentProgram {
@@ -592,6 +600,7 @@ pub fn concurrent_library() -> Vec<ConcurrentProgram> {
         fields: 1,
         racy: false,
         racy_fields: Vec::new(),
+        expected_shapes: vec![(0, "hot-mutex")],
     });
 
     // Clean: same discipline through the dynamic field forms.
@@ -602,6 +611,7 @@ pub fn concurrent_library() -> Vec<ConcurrentProgram> {
         fields: 1,
         racy: false,
         racy_fields: Vec::new(),
+        expected_shapes: vec![(0, "hot-mutex")],
     });
 
     // Clean: one writer, two readers, all under pool[0].
@@ -624,6 +634,7 @@ pub fn concurrent_library() -> Vec<ConcurrentProgram> {
         fields: 1,
         racy: false,
         racy_fields: Vec::new(),
+        expected_shapes: vec![(0, "hot-mutex")],
     });
 
     // Clean: pool[1] guards pool[0].f0, pool[0] guards pool[0].f1 — the
@@ -637,6 +648,7 @@ pub fn concurrent_library() -> Vec<ConcurrentProgram> {
         fields: 2,
         racy: false,
         racy_fields: Vec::new(),
+        expected_shapes: vec![(0, "hot-mutex"), (1, "hot-mutex")],
     });
 
     // Racy: two threads increment pool[0].f0 with no lock at all.
@@ -647,6 +659,7 @@ pub fn concurrent_library() -> Vec<ConcurrentProgram> {
         fields: 1,
         racy: true,
         racy_fields: vec![(0, 0)],
+        expected_shapes: vec![(0, "uncontended")],
     });
 
     // Racy: the same unguarded increment through the dynamic forms.
@@ -657,6 +670,7 @@ pub fn concurrent_library() -> Vec<ConcurrentProgram> {
         fields: 1,
         racy: true,
         racy_fields: vec![(0, 0)],
+        expected_shapes: vec![(0, "uncontended")],
     });
 
     // Racy: one disciplined writer plus two bare writers — the per-field
@@ -680,9 +694,144 @@ pub fn concurrent_library() -> Vec<ConcurrentProgram> {
         fields: 1,
         racy: true,
         racy_fields: vec![(0, 0)],
+        expected_shapes: vec![(0, "uncontended")],
+    });
+
+    // Clean, hot: four threads hammer one guarded counter — the
+    // canonical hot single-object mutex (the fairness workload's
+    // shape). Statically distinguishable from `guarded-counter` only
+    // by its thread count.
+    library.push(ConcurrentProgram {
+        name: "hot-object",
+        program: looped_program(1, guarded_inc(0, 0, 0)),
+        roles: vec![ThreadRole {
+            method: "main",
+            threads: 4,
+        }],
+        fields: 1,
+        racy: false,
+        racy_fields: Vec::new(),
+        expected_shapes: vec![(0, "hot-mutex")],
+    });
+
+    // Clean, churning: each iteration locks a *rotating* pool object
+    // (`pool[i % 4]`, through `aloadpool` with a loop-varying index)
+    // and bumps a field on the locked object itself. No single site is
+    // hot, but the monitor population cycles — the deflation story.
+    // Race-free: every access of pool[p].f0 holds pool[p]'s own lock.
+    library.push(ConcurrentProgram {
+        name: "churn-locks",
+        program: churn_program(4),
+        roles: worker2("main"),
+        fields: 1,
+        racy: false,
+        racy_fields: Vec::new(),
+        expected_shapes: vec![(0, "churn"), (1, "churn"), (2, "churn"), (3, "churn")],
+    });
+
+    // Clean, wait-heavy: one producer bumps pool[0].f0 and notifies;
+    // two consumers wait on pool[0] and read the field, all under
+    // pool[0]'s monitor. Parking is part of the protocol, so the site
+    // should be fat before the first waiter arrives.
+    let mut pipeline = Program::new(1);
+    pipeline.add_method(looped_method(
+        "producer",
+        vec![
+            Op::AConst(0),
+            Op::MonitorEnter,
+            Op::AConst(0),
+            Op::AConst(0),
+            Op::GetField(0),
+            Op::IConst(1),
+            Op::IAdd,
+            Op::PutField(0),
+            Op::AConst(0),
+            Op::Notify,
+            Op::AConst(0),
+            Op::MonitorExit,
+        ],
+    ));
+    pipeline.add_method(looped_method(
+        "consumer",
+        vec![
+            Op::AConst(0),
+            Op::MonitorEnter,
+            Op::AConst(0),
+            Op::Wait,
+            Op::AConst(0),
+            Op::GetField(0),
+            Op::Pop,
+            Op::AConst(0),
+            Op::MonitorExit,
+        ],
+    ));
+    library.push(ConcurrentProgram {
+        name: "wait-pipeline",
+        program: pipeline,
+        roles: vec![
+            ThreadRole {
+                method: "producer",
+                threads: 1,
+            },
+            ThreadRole {
+                method: "consumer",
+                threads: 2,
+            },
+        ],
+        fields: 1,
+        racy: false,
+        racy_fields: Vec::new(),
+        expected_shapes: vec![(0, "wait-heavy")],
     });
 
     library
+}
+
+/// `main(iters)`: lock `pool[i % locks]` each iteration and bump a
+/// field on the locked object. Every lock identity is dynamic
+/// (`aloadpool` with a loop-varying index), so the lock *population*
+/// churns while no single site gets hot. Locals: 0 = iters, 1 = i,
+/// 3 = the iteration's lock object.
+fn churn_program(locks: u32) -> Program {
+    let locks_i32 = i32::try_from(locks).expect("small lock count");
+    let code = vec![
+        Op::IConst(0),         // 0
+        Op::IStore(1),         // 1: i = 0
+        Op::ILoad(1),          // 2: loop head
+        Op::ILoad(0),          // 3
+        Op::IfICmpGe(22),      // 4: -> END
+        Op::ILoad(1),          // 5
+        Op::IConst(locks_i32), // 6
+        Op::IRem,              // 7
+        Op::ALoadPool,         // 8: pool[i % locks]
+        Op::AStore(3),         // 9
+        Op::ALoad(3),          // 10
+        Op::MonitorEnter,      // 11
+        Op::ALoad(3),          // 12
+        Op::ALoad(3),          // 13
+        Op::GetField(0),       // 14
+        Op::IConst(1),         // 15
+        Op::IAdd,              // 16
+        Op::PutField(0),       // 17
+        Op::ALoad(3),          // 18
+        Op::MonitorExit,       // 19
+        Op::IInc(1, 1),        // 20
+        Op::Goto(2),           // 21
+        Op::ILoad(1),          // 22: END
+        Op::IReturn,           // 23
+    ];
+    let mut program = Program::new(locks);
+    program.add_method(Method::new(
+        "main",
+        1,
+        4,
+        MethodFlags {
+            synchronized: false,
+            returns_value: true,
+        },
+        code,
+    ));
+    program
 }
 
 #[cfg(test)]
@@ -836,7 +985,7 @@ mod tests {
     #[test]
     fn concurrent_library_programs_validate_and_run() {
         let library = concurrent_library();
-        assert_eq!(library.len(), 7);
+        assert_eq!(library.len(), 10);
         for entry in &library {
             entry
                 .program
@@ -865,7 +1014,9 @@ mod tests {
                 assert_eq!(out, 25, "{}/{}", entry.name, role.method);
             }
             for o in &pool {
-                assert!(locks.lock_word(*o).is_unlocked(), "{}", entry.name);
+                // `wait` inflates under the one-way thin backend, so
+                // check ownership, not the thin word shape.
+                assert!(locks.owner_of(*o).is_none(), "{}", entry.name);
             }
         }
     }

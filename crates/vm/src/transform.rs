@@ -41,7 +41,10 @@ pub fn strip_synchronization(program: &Program) -> Program {
             .code()
             .iter()
             .map(|&op| match op {
-                Op::MonitorEnter | Op::MonitorExit => Op::Pop,
+                // Wait/notify require monitor ownership, so once the
+                // enters are gone they must go too (a stripped program
+                // would otherwise raise IllegalMonitorState at run time).
+                Op::MonitorEnter | Op::MonitorExit | Op::Wait | Op::Notify => Op::Pop,
                 other => other,
             })
             .collect();

@@ -391,6 +391,12 @@ pub fn verify_method(
                     })?;
                 }
             }
+            Op::Wait | Op::Notify => {
+                // Stack-wise these are monitorexit-shaped: consume one ref.
+                // Monitor ownership is a dynamic property, so the verifier
+                // does not require a surrounding monitorenter here.
+                pop_kind!(VType::Ref);
+            }
             Op::Invoke(id) => {
                 let callee = program
                     .method(id)

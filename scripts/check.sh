@@ -22,6 +22,9 @@ cargo test -q --offline
 echo "== lockcheck: race verdicts must match ground truth"
 cargo run -q --release --offline -p thinlock-analysis --bin lockcheck -- --deny-races >/dev/null
 
+echo "== lockcheck: static SyncPlan must agree with the dynamic contention profile"
+cargo run -q --release --offline -p thinlock-analysis --bin lockcheck -- --deny-disagreement >/dev/null
+
 echo "== lockmc: bounded interleaving exploration must stay clean (thin, cjm, fissile, hapax)"
 for backend in thin cjm fissile hapax; do
     cargo run -q --release --offline -p thinlock-modelcheck --bin lockmc -- \
